@@ -1,0 +1,33 @@
+//! # picola-baselines — conventional minimum-length encoders
+//!
+//! The comparison points of the paper's evaluation, reconstructed from their
+//! published algorithms (see DESIGN.md §4 for the substitution rationale):
+//!
+//! - [`NovaEncoder`] — NOVA-style hybrid (`i_hybrid` / `io_hybrid`): greedy
+//!   face placement plus iterative improvement of the *satisfied-constraint*
+//!   weight. Ignores the implementation cost of violated constraints.
+//! - [`EncLikeEncoder`] — ENC-style: targets the partial problem with logic
+//!   minimization inside the evaluation loop; good costs, punishing runtime,
+//!   explicit evaluation budget.
+//! - [`AnnealingEncoder`] — simulated annealing over the conventional
+//!   objective (NOVA's non-hybrid style).
+//! - [`NaturalEncoder`] / [`RandomEncoder`] — floors.
+//!
+//! All encoders implement [`picola_core::Encoder`], so the state-assignment
+//! flow and the table benches can swap them freely.
+
+#![warn(missing_docs)]
+
+pub mod anneal;
+pub mod dicho;
+pub mod enc;
+pub mod nova;
+pub mod objective;
+pub mod simple;
+
+pub use anneal::AnnealingEncoder;
+pub use dicho::DichotomyEncoder;
+pub use enc::{EncLikeEncoder, EncRunInfo};
+pub use nova::{NovaEncoder, NovaMode};
+pub use objective::{adjacency_bonus, satisfied_dichotomies, satisfied_weight};
+pub use simple::{NaturalEncoder, RandomEncoder};

@@ -1,0 +1,299 @@
+//! A NOVA-style baseline encoder (Villa & Sangiovanni-Vincentelli, 1990).
+//!
+//! Reconstruction of the *hybrid* strategies the paper compares against:
+//! a greedy constructive phase embeds the heaviest face constraints into
+//! free subcubes of `B^nv`, then an iterative-improvement phase swaps codes
+//! to maximize the weight of **satisfied** constraints. Violated constraints
+//! contribute nothing to the objective — the conventional behaviour whose
+//! suboptimality motivates PICOLA.
+//!
+//! `i_hybrid` uses input (face) constraints only; `io_hybrid` adds a
+//! code-adjacency bonus derived from the machine's next-state structure.
+
+use crate::objective::{adjacency_bonus, satisfied_weight};
+use picola_constraints::{Encoding, GroupConstraint};
+use picola_core::Encoder;
+use picola_constraints::min_code_length;
+
+/// Which NOVA flavour to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NovaMode {
+    /// Input constraints only (`NOVA -e ih`).
+    #[default]
+    IHybrid,
+    /// Input constraints plus output (next-state) adjacency (`NOVA -e ioh`).
+    IoHybrid,
+}
+
+/// The NOVA-style encoder.
+#[derive(Debug, Clone, Default)]
+pub struct NovaEncoder {
+    /// Flavour.
+    pub mode: NovaMode,
+    /// Next-state adjacency weights `(state_a, state_b, weight)` used by
+    /// [`NovaMode::IoHybrid`]; ignored by `IHybrid`.
+    pub adjacency: Vec<(usize, usize, f64)>,
+    /// Maximum improvement passes (each pass tries all code swaps once).
+    pub max_passes: usize,
+}
+
+impl NovaEncoder {
+    /// An `i_hybrid` encoder with default effort.
+    pub fn i_hybrid() -> Self {
+        NovaEncoder {
+            mode: NovaMode::IHybrid,
+            adjacency: Vec::new(),
+            max_passes: 8,
+        }
+    }
+
+    /// An `io_hybrid` encoder with the given adjacency weights.
+    pub fn io_hybrid(adjacency: Vec<(usize, usize, f64)>) -> Self {
+        NovaEncoder {
+            mode: NovaMode::IoHybrid,
+            adjacency,
+            max_passes: 8,
+        }
+    }
+
+    fn objective(&self, enc: &Encoding, constraints: &[GroupConstraint]) -> f64 {
+        let base = satisfied_weight(enc, constraints);
+        match self.mode {
+            NovaMode::IHybrid => base,
+            NovaMode::IoHybrid => base + 0.5 * adjacency_bonus(enc, &self.adjacency),
+        }
+    }
+}
+
+/// All cubes of dimension `d` in `B^nv` as `(fixed_mask, values)` pairs.
+fn cubes_of_dim(nv: usize, d: usize) -> Vec<(u32, u32)> {
+    let full = ((1u64 << nv) - 1) as u32;
+    let mut out = Vec::new();
+    // Choose the free-bit mask (d bits free), then all value patterns for
+    // the fixed bits.
+    for free in 0..=full {
+        if (free & full) != free || free.count_ones() as usize != d {
+            continue;
+        }
+        let fixed = full & !free;
+        let mut vals = Vec::new();
+        // enumerate values over fixed bits
+        let fixed_bits: Vec<u32> = (0..nv as u32).filter(|b| fixed >> b & 1 == 1).collect();
+        let count = 1u32 << fixed_bits.len();
+        for v in 0..count {
+            let mut value = 0u32;
+            for (i, &b) in fixed_bits.iter().enumerate() {
+                if v >> i & 1 == 1 {
+                    value |= 1 << b;
+                }
+            }
+            vals.push(value);
+        }
+        for v in vals {
+            out.push((fixed, v));
+        }
+    }
+    out
+}
+
+/// Greedy constructive phase: returns codes (u32::MAX = unassigned).
+fn greedy_place(n: usize, nv: usize, constraints: &[GroupConstraint]) -> Vec<u32> {
+    const UNASSIGNED: u32 = u32::MAX;
+    let size = 1usize << nv;
+    let mut code: Vec<u32> = vec![UNASSIGNED; n];
+    let mut used = vec![false; size];
+
+    // Heaviest constraints first (weight x (members - 1)), deterministic.
+    let mut order: Vec<usize> = (0..constraints.len())
+        .filter(|&k| !constraints[k].is_trivial())
+        .collect();
+    order.sort_by(|&a, &b| {
+        let wa = constraints[a].weight() * (constraints[a].len() - 1);
+        let wb = constraints[b].weight() * (constraints[b].len() - 1);
+        wb.cmp(&wa).then(a.cmp(&b))
+    });
+
+    for k in order {
+        let members: Vec<usize> = constraints[k].members().to_vec();
+        let unplaced: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&s| code[s] == UNASSIGNED)
+            .collect();
+        let d = constraints[k].min_dim().min(nv);
+        // Find the best cube of the minimal dimension (then grow if needed)
+        // that contains all placed members, no placed non-member, and has
+        // room for the unplaced members.
+        let mut chosen: Option<(u32, u32)> = None;
+        'dims: for dim in d..=nv {
+            let mut best: Option<((u32, u32), usize)> = None;
+            for (fixed, values) in cubes_of_dim(nv, dim) {
+                let inside = |c: u32| (c ^ values) & fixed == 0;
+                let mut ok = true;
+                for (s, &c) in code.iter().enumerate() {
+                    if c == UNASSIGNED {
+                        continue;
+                    }
+                    let member = constraints[k].members().contains(s);
+                    if member && !inside(c) {
+                        ok = false;
+                        break;
+                    }
+                    if !member && inside(c) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                let free_slots = (0..size as u32)
+                    .filter(|&w| inside(w) && !used[w as usize])
+                    .count();
+                if free_slots < unplaced.len() {
+                    continue;
+                }
+                let waste = free_slots - unplaced.len();
+                if best.is_none() || waste < best.expect("checked").1 {
+                    best = Some(((fixed, values), waste));
+                }
+            }
+            if let Some((cube, _)) = best {
+                chosen = Some(cube);
+                break 'dims;
+            }
+        }
+        if let Some((fixed, values)) = chosen {
+            let free: Vec<u32> = (0..size as u32)
+                .filter(|&w| (w ^ values) & fixed == 0 && !used[w as usize])
+                .collect();
+            for (s, &w) in unplaced.iter().zip(&free) {
+                code[*s] = w;
+                used[w as usize] = true;
+            }
+        }
+    }
+
+    // Any remaining symbols take the lowest free codes.
+    let mut free = (0..size as u32).filter(|&w| !used[w as usize]);
+    for c in code.iter_mut() {
+        if *c == UNASSIGNED {
+            let w = free.next().expect("enough codes for all symbols");
+            *c = w;
+        }
+    }
+    code
+}
+
+impl Encoder for NovaEncoder {
+    fn name(&self) -> &str {
+        match self.mode {
+            NovaMode::IHybrid => "nova-ih",
+            NovaMode::IoHybrid => "nova-ioh",
+        }
+    }
+
+    fn encode(&self, n: usize, constraints: &[GroupConstraint]) -> Encoding {
+        let nv = min_code_length(n);
+        let codes = greedy_place(n, nv, constraints);
+        let mut enc = Encoding::new(nv, codes).expect("greedy placement yields distinct codes");
+        let size = 1usize << nv;
+
+        // Iterative improvement: symbol-symbol code swaps and moves onto
+        // free code words, steepest ascent per pass.
+        let mut best_obj = self.objective(&enc, constraints);
+        for _ in 0..self.max_passes.max(1) {
+            let mut improved = false;
+            // swaps
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let mut codes = enc.codes().to_vec();
+                    codes.swap(i, j);
+                    let cand = Encoding::new(nv, codes).expect("swap keeps codes distinct");
+                    let obj = self.objective(&cand, constraints);
+                    if obj > best_obj + 1e-9 {
+                        enc = cand;
+                        best_obj = obj;
+                        improved = true;
+                    }
+                }
+            }
+            // moves to free codes (recheck freeness against the current
+            // encoding — earlier accepted moves change it)
+            for i in 0..n {
+                for w in 0..size {
+                    if enc.codes().contains(&(w as u32)) {
+                        continue;
+                    }
+                    let mut codes = enc.codes().to_vec();
+                    codes[i] = w as u32;
+                    let cand = Encoding::new(nv, codes).expect("moving to a free code is distinct");
+                    let obj = self.objective(&cand, constraints);
+                    if obj > best_obj + 1e-9 {
+                        enc = cand;
+                        best_obj = obj;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        enc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picola_constraints::SymbolSet;
+
+    fn groups(n: usize, gs: &[&[usize]]) -> Vec<GroupConstraint> {
+        gs.iter()
+            .map(|g| GroupConstraint::new(SymbolSet::from_members(n, g.iter().copied())))
+            .collect()
+    }
+
+    #[test]
+    fn cubes_of_dim_enumerates_correctly() {
+        // B^3: dim-1 cubes = 3 choose 1 free bit x 4 fixed patterns = 12
+        assert_eq!(cubes_of_dim(3, 1).len(), 12);
+        assert_eq!(cubes_of_dim(3, 0).len(), 8);
+        assert_eq!(cubes_of_dim(3, 3).len(), 1);
+    }
+
+    #[test]
+    fn nova_satisfies_easy_faces() {
+        let cs = groups(8, &[&[0, 1], &[2, 3, 4, 5]]);
+        let enc = NovaEncoder::i_hybrid().encode(8, &cs);
+        assert!(enc.satisfies(cs[0].members()), "{enc}");
+        assert!(enc.satisfies(cs[1].members()), "{enc}");
+    }
+
+    #[test]
+    fn nova_produces_distinct_min_length_codes() {
+        let cs = groups(11, &[&[0, 1, 2], &[4, 5], &[8, 9, 10]]);
+        let enc = NovaEncoder::i_hybrid().encode(11, &cs);
+        assert_eq!(enc.nv(), 4);
+        assert_eq!(enc.num_symbols(), 11);
+    }
+
+    #[test]
+    fn io_hybrid_pulls_adjacent_states_together() {
+        let cs = groups(8, &[]);
+        let adj = vec![(0, 7, 5.0), (1, 6, 5.0)];
+        let enc = NovaEncoder::io_hybrid(adj.clone()).encode(8, &cs);
+        let d07 = (enc.code(0) ^ enc.code(7)).count_ones();
+        let d16 = (enc.code(1) ^ enc.code(6)).count_ones();
+        assert!(d07 <= 1, "adjacency not honoured: {enc}");
+        assert!(d16 <= 1, "adjacency not honoured: {enc}");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let cs = groups(10, &[&[0, 1, 2], &[5, 6]]);
+        let a = NovaEncoder::i_hybrid().encode(10, &cs);
+        let b = NovaEncoder::i_hybrid().encode(10, &cs);
+        assert_eq!(a, b);
+    }
+}

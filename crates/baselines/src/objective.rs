@@ -1,0 +1,82 @@
+//! Shared objective functions for the baseline encoders.
+
+use picola_constraints::{Encoding, GroupConstraint};
+
+/// The conventional objective NOVA-style tools maximize: total weight of the
+/// *satisfied* face constraints (violated ones contribute nothing — exactly
+/// the blindness the paper criticizes).
+pub fn satisfied_weight(enc: &Encoding, constraints: &[GroupConstraint]) -> f64 {
+    constraints
+        .iter()
+        .filter(|c| !c.is_trivial() && enc.satisfies(c.members()))
+        .map(|c| c.weight() as f64 * (c.len() as f64 - 1.0))
+        .sum()
+}
+
+/// Number of satisfied seed dichotomies over all non-trivial constraints —
+/// the alternative conventional objective.
+pub fn satisfied_dichotomies(enc: &Encoding, constraints: &[GroupConstraint]) -> usize {
+    let mut count = 0;
+    for c in constraints.iter().filter(|c| !c.is_trivial()) {
+        let sc = enc.supercube(c.members());
+        for s in 0..enc.num_symbols() {
+            if !c.members().contains(s) && !sc.contains(enc.code(s)) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Weighted code-adjacency bonus used by the `io_hybrid` flavour: each pair
+/// `(i, j, w)` contributes `w · (nv − hamming(code_i, code_j)) / nv`,
+/// rewarding short distances between states that the output (next-state)
+/// structure wants close.
+pub fn adjacency_bonus(enc: &Encoding, adjacency: &[(usize, usize, f64)]) -> f64 {
+    let nv = enc.nv() as f64;
+    adjacency
+        .iter()
+        .map(|&(i, j, w)| {
+            let d = (enc.code(i) ^ enc.code(j)).count_ones() as f64;
+            w * (nv - d) / nv
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picola_constraints::SymbolSet;
+
+    fn groups(n: usize, gs: &[&[usize]]) -> Vec<GroupConstraint> {
+        gs.iter()
+            .map(|g| GroupConstraint::new(SymbolSet::from_members(n, g.iter().copied())))
+            .collect()
+    }
+
+    #[test]
+    fn satisfied_weight_counts_only_satisfied() {
+        let enc = Encoding::natural(4);
+        let cs = groups(4, &[&[0, 1], &[0, 3]]);
+        // {0,1} = face 0-, satisfied; {0,3} spans everything, violated
+        assert_eq!(satisfied_weight(&enc, &cs), 1.0);
+    }
+
+    #[test]
+    fn dichotomy_count_is_partial_credit() {
+        let enc = Encoding::natural(4);
+        let cs = groups(4, &[&[0, 3]]);
+        // supercube of 00 and 11 is --: no outsider excluded
+        assert_eq!(satisfied_dichotomies(&enc, &cs), 0);
+        let cs2 = groups(4, &[&[0, 1]]);
+        assert_eq!(satisfied_dichotomies(&enc, &cs2), 2);
+    }
+
+    #[test]
+    fn adjacency_prefers_close_codes() {
+        let close = Encoding::new(2, vec![0b00, 0b01, 0b10, 0b11]).unwrap();
+        let adj = vec![(0usize, 1usize, 1.0f64)];
+        let far = Encoding::new(2, vec![0b00, 0b11, 0b10, 0b01]).unwrap();
+        assert!(adjacency_bonus(&close, &adj) > adjacency_bonus(&far, &adj));
+    }
+}

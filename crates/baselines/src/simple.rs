@@ -1,0 +1,74 @@
+//! Trivial baseline encoders: floors for the benches and tests.
+
+use picola_constraints::{Encoding, GroupConstraint};
+use picola_core::Encoder;
+use picola_constraints::min_code_length;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Assigns codes in counting order (symbol `i` gets code `i`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaturalEncoder;
+
+impl Encoder for NaturalEncoder {
+    fn name(&self) -> &str {
+        "natural"
+    }
+
+    fn encode(&self, n: usize, _constraints: &[GroupConstraint]) -> Encoding {
+        Encoding::natural(n)
+    }
+}
+
+/// Assigns a seeded random permutation of the code space.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomEncoder {
+    /// RNG seed; equal seeds give equal encodings.
+    pub seed: u64,
+}
+
+impl Default for RandomEncoder {
+    fn default() -> Self {
+        RandomEncoder { seed: 0x9e3779b9 }
+    }
+}
+
+impl Encoder for RandomEncoder {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn encode(&self, n: usize, _constraints: &[GroupConstraint]) -> Encoding {
+        let nv = min_code_length(n);
+        let mut words: Vec<u32> = (0..1u32 << nv).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        words.shuffle(&mut rng);
+        words.truncate(n);
+        Encoding::new(nv, words).expect("a permutation prefix is distinct")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picola_constraints::SymbolSet;
+
+    #[test]
+    fn natural_is_identity() {
+        let e = NaturalEncoder.encode(5, &[]);
+        assert_eq!(e.codes(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn random_is_seeded_and_valid() {
+        let cs = [GroupConstraint::new(SymbolSet::from_members(6, [0, 1]))];
+        let a = RandomEncoder { seed: 7 }.encode(6, &cs);
+        let b = RandomEncoder { seed: 7 }.encode(6, &cs);
+        let c = RandomEncoder { seed: 8 }.encode(6, &cs);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.num_symbols(), 6);
+        assert_eq!(a.nv(), 3);
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the constraint machinery: nv-compatibility
+//! checks, constraint-matrix column application, and the greedy cube-cover
+//! estimate that drives refinement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use picola_constraints::{
+    nv_compatible, ConstraintMatrix, Encoding, Geometry, GroupConstraint, SymbolSet,
+};
+use picola_core::estimate_cubes;
+use std::hint::black_box;
+
+fn constraints_for(n: usize, count: usize) -> Vec<GroupConstraint> {
+    (0..count)
+        .map(|i| {
+            GroupConstraint::new(SymbolSet::from_members(
+                n,
+                [(3 * i) % n, (3 * i + 1) % n, (5 * i + 2) % n],
+            ))
+        })
+        .collect()
+}
+
+fn bench_compat(c: &mut Criterion) {
+    let n = 48;
+    let a = SymbolSet::from_members(n, [0, 1, 2, 3]);
+    let b = SymbolSet::from_members(n, [3, 7, 9]);
+    let ga = Geometry::unconstrained(4, 6);
+    let gb = Geometry::unconstrained(3, 6);
+    c.bench_function("nv_compatible/overlapping", |bch| {
+        bch.iter(|| nv_compatible(black_box(&a), ga, black_box(&b), gb, 6, n))
+    });
+    let d = SymbolSet::from_members(n, [20, 21, 22, 23, 24]);
+    let gd = Geometry::unconstrained(5, 6);
+    c.bench_function("nv_compatible/disjoint", |bch| {
+        bch.iter(|| nv_compatible(black_box(&a), ga, black_box(&d), gd, 6, n))
+    });
+}
+
+fn bench_matrix(c: &mut Criterion) {
+    let n = 64;
+    let cs = constraints_for(n, 24);
+    c.bench_function("matrix/apply-column-64sym-24con", |bch| {
+        bch.iter(|| {
+            let mut m = ConstraintMatrix::new(n, 6, cs.clone());
+            let col: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+            m.apply_column(black_box(&col));
+            m
+        })
+    });
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let n = 121;
+    let cs = constraints_for(n, 16);
+    let enc = Encoding::natural(n);
+    c.bench_function("estimate_cubes/121sym-16con", |bch| {
+        bch.iter(|| estimate_cubes(black_box(&enc), black_box(&cs)))
+    });
+}
+
+criterion_group!(benches, bench_compat, bench_matrix, bench_estimate);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the encoders: PICOLA vs. the baselines on
+//! extracted constraint sets, plus a scaling sweep over symbol counts —
+//! supporting the paper's claim that PICOLA is far cheaper than
+//! minimization-in-the-loop (ENC) encoding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use picola_baselines::{EncLikeEncoder, NovaEncoder};
+use picola_constraints::{ExtractMethod, GroupConstraint, SymbolSet};
+use picola_core::{Encoder, PicolaEncoder};
+use picola_fsm::benchmark_fsm;
+use picola_stassign::fsm_constraints;
+use std::hint::black_box;
+
+fn suite_constraints(name: &str) -> (usize, Vec<GroupConstraint>) {
+    let fsm = benchmark_fsm(name).expect("suite machine");
+    let cs = fsm_constraints(&fsm, ExtractMethod::Quick);
+    (fsm.num_states(), cs)
+}
+
+fn bench_encoders_on_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode");
+    for name in ["bbara", "keyb", "planet"] {
+        let (n, cs) = suite_constraints(name);
+        group.bench_with_input(BenchmarkId::new("picola", name), &cs, |b, cs| {
+            b.iter(|| PicolaEncoder::default().encode(black_box(n), black_box(cs)))
+        });
+        group.bench_with_input(BenchmarkId::new("nova-ih", name), &cs, |b, cs| {
+            b.iter(|| NovaEncoder::i_hybrid().encode(black_box(n), black_box(cs)))
+        });
+        // ENC with a tiny budget — even then it dwarfs the others.
+        let enc = EncLikeEncoder {
+            max_evaluations: 30,
+        };
+        group.bench_with_input(BenchmarkId::new("enc-30evals", name), &cs, |b, cs| {
+            b.iter(|| enc.encode(black_box(n), black_box(cs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_picola_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("picola-scaling");
+    for &n in &[8usize, 16, 32, 64, 128] {
+        // synthetic constraint set: chained triples
+        let cs: Vec<GroupConstraint> = (0..n / 4)
+            .map(|i| {
+                GroupConstraint::new(SymbolSet::from_members(
+                    n,
+                    [(4 * i) % n, (4 * i + 1) % n, (4 * i + 2) % n],
+                ))
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cs, |b, cs| {
+            b.iter(|| PicolaEncoder::default().encode(black_box(n), black_box(cs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoders_on_suite, bench_picola_scaling);
+criterion_main!(benches);

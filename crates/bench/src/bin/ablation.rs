@@ -1,0 +1,99 @@
+//! Ablation study over PICOLA's design choices (DESIGN.md §7):
+//! guide constraints on/off, dynamic classification on/off, and the three
+//! cost models, measured by the Table I cube metric.
+//!
+//! ```text
+//! cargo run -p picola-bench --release --bin ablation [-- --quick --fsm NAME]
+//! ```
+
+use picola_bench::HarnessOptions;
+use picola_core::{evaluate_encoding, picola_encode_with, CostModel, PicolaOptions};
+use picola_fsm::table1_names;
+use picola_stassign::fsm_constraints;
+
+fn main() {
+    let opts = match HarnessOptions::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let variants: Vec<(&str, PicolaOptions)> = vec![
+        ("full", PicolaOptions::default()),
+        (
+            "no-guides",
+            PicolaOptions {
+                disable_guides: true,
+                ..PicolaOptions::default()
+            },
+        ),
+        (
+            "no-classify",
+            PicolaOptions {
+                disable_classify: true,
+                ..PicolaOptions::default()
+            },
+        ),
+        (
+            "no-refine",
+            PicolaOptions {
+                disable_refine: true,
+                ..PicolaOptions::default()
+            },
+        ),
+        // Isolates the guide-constraint effect inside the constructive
+        // phase (the paper's §3.2 claim): guides on vs. off, no polish.
+        (
+            "no-refine-no-guides",
+            PicolaOptions {
+                disable_refine: true,
+                disable_guides: true,
+                ..PicolaOptions::default()
+            },
+        ),
+        (
+            "uniform-cost",
+            PicolaOptions {
+                cost: CostModel::UniformDichotomy,
+                ..PicolaOptions::default()
+            },
+        ),
+        (
+            "completion-cost",
+            PicolaOptions {
+                cost: CostModel::ConstraintCompletion,
+                ..PicolaOptions::default()
+            },
+        ),
+    ];
+
+    println!("Ablation — total constraint-implementation cubes per PICOLA variant");
+    println!();
+    print!("{:<10}", "FSM");
+    for (name, _) in &variants {
+        print!(" {name:>16}");
+    }
+    println!();
+
+    let mut totals = vec![0usize; variants.len()];
+    for fsm in opts.machines(&table1_names()) {
+        let constraints = fsm_constraints(&fsm, opts.extract_method(&fsm));
+        print!("{:<10}", fsm.name());
+        for (i, (_, vopts)) in variants.iter().enumerate() {
+            let r = picola_encode_with(fsm.num_states(), &constraints, vopts);
+            let cubes = evaluate_encoding(&r.encoding, &constraints).total_cubes;
+            totals[i] += cubes;
+            print!(" {cubes:>16}");
+        }
+        println!();
+    }
+
+    println!();
+    print!("{:<10}", "TOTAL");
+    for t in &totals {
+        print!(" {t:>16}");
+    }
+    println!();
+}

@@ -1,0 +1,64 @@
+//! Compares *every* encoder in the repository on the Table I metric
+//! (cubes to implement the extracted face constraints), including the
+//! baselines outside the paper's own comparison — useful as a quality
+//! landscape of the partial-encoding problem.
+//!
+//! ```text
+//! cargo run -p picola-bench --release --bin encoders [-- --fsm NAME --quick]
+//! ```
+
+use picola_baselines::{
+    AnnealingEncoder, DichotomyEncoder, EncLikeEncoder, NaturalEncoder, NovaEncoder,
+    RandomEncoder,
+};
+use picola_bench::HarnessOptions;
+use picola_core::{evaluate_encoding, Encoder, PicolaEncoder};
+use picola_fsm::table1_names;
+use picola_stassign::fsm_constraints;
+
+fn main() {
+    let opts = match HarnessOptions::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let encoders: Vec<Box<dyn Encoder>> = vec![
+        Box::new(NaturalEncoder),
+        Box::new(RandomEncoder::default()),
+        Box::new(DichotomyEncoder),
+        Box::<AnnealingEncoder>::default(),
+        Box::new(NovaEncoder::i_hybrid()),
+        Box::new(EncLikeEncoder {
+            max_evaluations: 600,
+        }),
+        Box::<PicolaEncoder>::default(),
+    ];
+
+    print!("{:<10}", "FSM");
+    for e in &encoders {
+        print!(" {:>8}", e.name());
+    }
+    println!();
+
+    let mut totals = vec![0usize; encoders.len()];
+    for fsm in opts.machines(&table1_names()) {
+        let constraints = fsm_constraints(&fsm, opts.extract_method(&fsm));
+        let n = fsm.num_states();
+        print!("{:<10}", fsm.name());
+        for (i, e) in encoders.iter().enumerate() {
+            let enc = e.encode(n, &constraints);
+            let cubes = evaluate_encoding(&enc, &constraints).total_cubes;
+            totals[i] += cubes;
+            print!(" {cubes:>8}");
+        }
+        println!();
+    }
+    print!("{:<10}", "TOTAL");
+    for t in &totals {
+        print!(" {t:>8}");
+    }
+    println!();
+}

@@ -1,0 +1,67 @@
+//! Code-length sweep: the paper's motivating trade-off, measured.
+//!
+//! Satisfying the *complete* set of face constraints may require codes much
+//! longer than `ceil(log2 n)`; common practice fixes the minimum length and
+//! accepts violations (the partial problem PICOLA solves). This experiment
+//! encodes each machine at `nv = min .. min+3` bits and reports the
+//! constraint-implementation cubes and the satisfied fraction at each
+//! length, plus the resulting two-level size of the full machine — showing
+//! where extra state bits stop paying.
+//!
+//! ```text
+//! cargo run -p picola-bench --release --bin length_sweep [-- --fsm NAME]
+//! ```
+
+use picola_bench::HarnessOptions;
+use picola_core::{evaluate_encoding, picola_encode_with, PicolaOptions};
+use picola_fsm::min_code_length;
+use picola_logic::espresso_with;
+use picola_stassign::{encode_machine, fsm_constraints};
+
+fn main() {
+    let opts = match HarnessOptions::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let names = ["bbara", "ex3", "dk16", "donfile", "ex2", "keyb", "tbk"];
+
+    println!(
+        "{:<10} {:>4} {:>8} {:>10} {:>10}",
+        "FSM", "nv", "cubes", "satisfied", "fsm-size"
+    );
+    for fsm in opts.machines(&names) {
+        let constraints = fsm_constraints(&fsm, opts.extract_method(&fsm));
+        let n = fsm.num_states();
+        let min_nv = min_code_length(n);
+        for nv in min_nv..=min_nv + 3 {
+            let r = picola_encode_with(
+                n,
+                &constraints,
+                &PicolaOptions {
+                    nv_override: Some(nv),
+                    ..PicolaOptions::default()
+                },
+            );
+            let eval = evaluate_encoding(&r.encoding, &constraints);
+            let em = encode_machine(&fsm, &r.encoding);
+            let minimize = picola_logic::MinimizeOptions {
+                check_invariants: false,
+                ..Default::default()
+            };
+            let size = espresso_with(&em.on, &em.dc, &minimize).len();
+            println!(
+                "{:<10} {:>4} {:>8} {:>7}/{:<2} {:>10}",
+                fsm.name(),
+                nv,
+                eval.total_cubes,
+                eval.satisfied,
+                eval.evaluated,
+                size
+            );
+        }
+        println!();
+    }
+}

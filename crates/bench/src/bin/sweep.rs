@@ -1,0 +1,69 @@
+//! Sweeps the NEW-tool ingredients over selected machines: plain PICOLA,
+//! pair-constraint augmentation, and the output-plane polish, reporting the
+//! minimized two-level size of each variant next to the NOVA baselines.
+//!
+//! ```text
+//! cargo run -p picola-bench --release --bin sweep [-- --fsm NAME ...]
+//! ```
+
+use picola_baselines::NovaEncoder;
+use picola_bench::HarnessOptions;
+use picola_core::PicolaEncoder;
+use picola_fsm::table2_names;
+use picola_stassign::{assign_states, next_state_adjacency, FlowOptions, PicolaStateEncoder};
+
+fn main() {
+    let opts = match HarnessOptions::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "{:<10} {:>6} {:>6} {:>7} {:>7} {:>7} {:>7}",
+        "FSM", "ih", "ioh", "plain", "pairs", "polish", "full"
+    );
+    let mut totals = [0usize; 6];
+    for fsm in opts.machines(&table2_names()) {
+        let flow = FlowOptions {
+            extract: opts.extract_method(&fsm),
+            ..FlowOptions::default()
+        };
+        let adjacency = next_state_adjacency(&fsm);
+        let ih = assign_states(&fsm, &NovaEncoder::i_hybrid(), &flow).size;
+        let ioh = assign_states(&fsm, &NovaEncoder::io_hybrid(adjacency), &flow).size;
+        let plain = assign_states(&fsm, &PicolaEncoder::default(), &flow).size;
+
+        let mut pairs_only = PicolaStateEncoder::for_fsm(&fsm);
+        pairs_only.polish_passes = 0;
+        pairs_only.top_pairs = 4;
+        let pairs = assign_states(&fsm, &pairs_only, &flow).size;
+
+        let polish_only = PicolaStateEncoder::for_fsm(&fsm); // default config
+        let polish = assign_states(&fsm, &polish_only, &flow).size;
+
+        let mut full = PicolaStateEncoder::for_fsm(&fsm);
+        full.top_pairs = 4;
+        let full = assign_states(&fsm, &full, &flow).size;
+
+        println!(
+            "{:<10} {:>6} {:>6} {:>7} {:>7} {:>7} {:>7}",
+            fsm.name(),
+            ih,
+            ioh,
+            plain,
+            pairs,
+            polish,
+            full
+        );
+        for (t, v) in totals.iter_mut().zip([ih, ioh, plain, pairs, polish, full]) {
+            *t += v;
+        }
+    }
+    println!(
+        "{:<10} {:>6} {:>6} {:>7} {:>7} {:>7} {:>7}",
+        "TOTAL", totals[0], totals[1], totals[2], totals[3], totals[4], totals[5]
+    );
+}

@@ -1,0 +1,79 @@
+//! Reproduces **Table I** of the paper: number of group constraints per
+//! input-encoding problem and the cubes required to implement the
+//! constraints under the minimum-length encodings of NOVA, ENC and PICOLA.
+//!
+//! ```text
+//! cargo run -p picola-bench --release --bin table1 [-- --quick --fsm NAME --kiss-dir DIR]
+//! ```
+
+use picola_bench::{secs, table1_row, HarnessOptions};
+use picola_fsm::table1_names;
+
+fn main() {
+    let opts = match HarnessOptions::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!("Table I — cubes to implement the face constraints (min-length encodings)");
+    println!("(synthetic IWLS'93-parameter suite unless --kiss-dir is given; see DESIGN.md §4)");
+    println!();
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>7} {:>9} {:>9} {:>9}",
+        "FSM", "const", "NOVA", "ENC", "PICOLA", "t_nova", "t_enc", "t_picola"
+    );
+
+    let mut total_nova = 0usize;
+    let mut total_picola = 0usize;
+    let mut nova_wins = 0usize;
+    let mut picola_wins = 0usize;
+    let mut enc_total: usize = 0;
+    let mut enc_solved_all = true;
+
+    for fsm in opts.machines(&table1_names()) {
+        let row = table1_row(&fsm, &opts);
+        let enc_text = match row.enc_cubes {
+            Some(c) => c.to_string(),
+            None => "*".to_owned(),
+        };
+        println!(
+            "{:<10} {:>6} {:>6} {:>6} {:>7} {:>9} {:>9} {:>9}",
+            row.name,
+            row.num_constraints,
+            row.nova_cubes,
+            enc_text,
+            row.picola_cubes,
+            secs(row.times[0]),
+            secs(row.times[1]),
+            secs(row.times[2]),
+        );
+        total_nova += row.nova_cubes;
+        total_picola += row.picola_cubes;
+        match row.enc_cubes {
+            Some(c) => enc_total += c,
+            None => enc_solved_all = false,
+        }
+        use std::cmp::Ordering;
+        match row.nova_cubes.cmp(&row.picola_cubes) {
+            Ordering::Greater => picola_wins += 1,
+            Ordering::Less => nova_wins += 1,
+            Ordering::Equal => {}
+        }
+    }
+
+    println!();
+    println!("totals: NOVA = {total_nova} cubes, PICOLA = {total_picola} cubes");
+    if enc_solved_all {
+        println!("        ENC   = {enc_total} cubes");
+    } else {
+        println!("        ENC   = {enc_total} cubes over solved instances (* = budget exhausted)");
+    }
+    println!("wins:   PICOLA beats NOVA on {picola_wins}, NOVA beats PICOLA on {nova_wins}");
+    if total_picola > 0 {
+        let overhead = 100.0 * (total_nova as f64 - total_picola as f64) / total_picola as f64;
+        println!("NOVA implementation is {overhead:+.1}% vs PICOLA (paper: about +11%)");
+    }
+}

@@ -1,0 +1,59 @@
+//! Reproduces **Table II** of the paper: two-level implementation size of
+//! the combinational component after state assignment, and encoder runtimes
+//! normalized to NOVA `i_hybrid`, for NOVA `i_hybrid`, NOVA `io_hybrid` and
+//! the PICOLA-based tool.
+//!
+//! ```text
+//! cargo run -p picola-bench --release --bin table2 [-- --quick --fsm NAME --kiss-dir DIR]
+//! ```
+
+use picola_bench::{table2_row, HarnessOptions};
+use picola_fsm::table2_names;
+
+fn main() {
+    let opts = match HarnessOptions::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!("Table II — state assignment: two-level size and normalized encode time");
+    println!("(synthetic IWLS'93-parameter suite unless --kiss-dir is given; see DESIGN.md §4)");
+    println!();
+    println!(
+        "{:<10} {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+        "FSM", "ih.size", "ih.time", "ioh.size", "ioh.time", "new.size", "new.time"
+    );
+
+    let mut totals = [0usize; 3];
+    for fsm in opts.machines(&table2_names()) {
+        let row = table2_row(&fsm, &opts);
+        println!(
+            "{:<10} {:>8} {:>8.2} | {:>8} {:>8.2} | {:>8} {:>8.2}",
+            row.name,
+            row.nova_ih.size,
+            1.00,
+            row.nova_ioh.size,
+            row.time_ratio(&row.nova_ioh),
+            row.new_tool.size,
+            row.time_ratio(&row.new_tool),
+        );
+        totals[0] += row.nova_ih.size;
+        totals[1] += row.nova_ioh.size;
+        totals[2] += row.new_tool.size;
+    }
+
+    println!();
+    println!(
+        "Total    {:>8}          | {:>8}          | {:>8}",
+        totals[0], totals[1], totals[2]
+    );
+    if totals[2] > 0 {
+        println!(
+            "new tool vs nova-ih: {:+.1}% size (paper: the new tool wins overall)",
+            100.0 * (totals[2] as f64 - totals[0] as f64) / totals[0] as f64
+        );
+    }
+}

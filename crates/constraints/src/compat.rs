@@ -1,0 +1,243 @@
+//! nv-compatibility of face constraints (paper §3.3).
+//!
+//! Two constraints are *nv-compatible* when they can be satisfied
+//! simultaneously in `B^nv`. The paper gives necessary conditions built from
+//! face-embedding theory: dimension ordering between a constraint and its
+//! *son* (intersection), the dimension formula
+//! `dim(super(L_A, L_B)) = dim(L_A) + dim(L_B) − dim(L_AB)`, and a
+//! don't-care budget for disjoint constraints. Since `nv ≤ 8` in practice,
+//! we decide existence of consistent dimensions by brute force over the
+//! (tiny) dimension ranges, giving a check that is exactly the conjunction
+//! of the paper's conditions.
+
+use crate::symbols::SymbolSet;
+
+/// The dimension range a constraint's implementing cube may still take,
+/// given the columns generated so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of member symbols.
+    pub size: usize,
+    /// Smallest possible final supercube dimension
+    /// (`max(ceil(log2 size), #disagreeing columns)`).
+    pub lower: usize,
+    /// Largest possible final supercube dimension
+    /// (`nv − #participating columns`).
+    pub upper: usize,
+}
+
+impl Geometry {
+    /// Geometry of a fresh constraint (no columns generated).
+    pub fn unconstrained(size: usize, nv: usize) -> Self {
+        let min_dim = if size <= 1 {
+            0
+        } else {
+            (usize::BITS - (size - 1).leading_zeros()) as usize
+        };
+        Geometry {
+            size,
+            lower: min_dim,
+            upper: nv,
+        }
+    }
+
+    /// Whether any dimension remains feasible: the constraint can only be
+    /// embedded if a cube of some legal dimension exists.
+    pub fn feasible(&self) -> bool {
+        self.lower <= self.upper
+    }
+
+    /// Whether the constraint can be embedded *at all* in `B^nv` with `n`
+    /// symbols: some dimension `d` in range must give a cube whose spare
+    /// capacity fits the unused-code budget, `2^d − size ≤ 2^nv − n`
+    /// (equivalently, the `n − size` outside symbols fit outside the cube).
+    ///
+    /// This unary rule catches cases like a 3-member face among `n = 2^nv`
+    /// symbols: the face needs a 4-code cube with one spare word, but no
+    /// code word is spare.
+    pub fn feasible_in(&self, nv: usize, n: usize) -> bool {
+        if !self.feasible() {
+            return false;
+        }
+        let dc_total = (1u64 << nv) - n as u64;
+        (self.lower..=self.upper.min(nv))
+            .any(|d| (1u64 << d) >= self.size as u64 && (1u64 << d) - self.size as u64 <= dc_total)
+    }
+}
+
+/// Whether constraints `a` and `b` (as member sets with their current
+/// geometries) can still be satisfied simultaneously in `B^nv`, for a
+/// universe of `n` symbols.
+///
+/// Returns `false` only when the paper's necessary conditions are provably
+/// violated for *every* choice of cube dimensions within the geometries —
+/// i.e. `false` certifies incompatibility, `true` is inconclusive (as with
+/// any necessary-condition test).
+pub fn nv_compatible(
+    a: &SymbolSet,
+    ga: Geometry,
+    b: &SymbolSet,
+    gb: Geometry,
+    nv: usize,
+    n: usize,
+) -> bool {
+    if !ga.feasible() || !gb.feasible() {
+        return false;
+    }
+    let son = a.intersection(b);
+    let son_size = son.len();
+
+    if son_size == 0 {
+        // Disjoint constraints: their cubes must exclude each other's codes,
+        // and the spare capacity of both cubes competes for the same unused
+        // code words: dc(L_A) + dc(L_B) ≤ dc(S) = 2^nv − n.
+        let dc_total = (1u64 << nv) - n as u64;
+        for da in ga.lower..=ga.upper {
+            for db in gb.lower..=gb.upper {
+                let dca = (1u64 << da) - ga.size as u64;
+                let dcb = (1u64 << db) - gb.size as u64;
+                // The two cubes must also jointly fit the universe.
+                if dca + dcb <= dc_total && (1u64 << da) + (1u64 << db) <= (1u64 << nv) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    // Overlapping constraints: a son-cube of dimension `dab` must fit inside
+    // both cubes, with strict dimension ordering for proper subsets
+    // (conditions I) and a don't-care budget no larger than either father's
+    // (conditions II).
+    let son_min_dim = if son_size <= 1 {
+        0
+    } else {
+        (usize::BITS - (son_size - 1).leading_zeros()) as usize
+    };
+    let proper_in_a = son_size < ga.size;
+    let proper_in_b = son_size < gb.size;
+    let union_size = ga.size + gb.size - son_size;
+
+    for da in ga.lower..=ga.upper {
+        for db in gb.lower..=gb.upper {
+            let dab_max = (da - usize::from(proper_in_a)).min(db - usize::from(proper_in_b));
+            for dab in son_min_dim..=dab_max.min(nv) {
+                // Conditions II: dc(son) ≤ dc(fathers).
+                let dc_son = (1u64 << dab) - son_size as u64;
+                if dc_son > (1u64 << da) - ga.size as u64 {
+                    continue;
+                }
+                if dc_son > (1u64 << db) - gb.size as u64 {
+                    continue;
+                }
+                // Dimension formula for the joint supercube.
+                let d_super = da + db - dab;
+                if d_super > nv {
+                    continue;
+                }
+                // The joint supercube must hold all union codes.
+                if (1u64 << d_super) < union_size as u64 {
+                    continue;
+                }
+                return true;
+            }
+            // Guard against an empty dab range (needs strict ordering but
+            // the fathers are already at the son's minimum).
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(n: usize, m: &[usize]) -> SymbolSet {
+        SymbolSet::from_members(n, m.iter().copied())
+    }
+
+    #[test]
+    fn unconstrained_geometry() {
+        let g = Geometry::unconstrained(5, 4);
+        assert_eq!(g.lower, 3);
+        assert_eq!(g.upper, 4);
+        assert!(g.feasible());
+    }
+
+    #[test]
+    fn small_disjoint_constraints_are_compatible() {
+        // n=8, nv=3: {0,1} and {2,3} can use faces 00-, 01-.
+        let a = set(8, &[0, 1]);
+        let b = set(8, &[2, 3]);
+        let ga = Geometry::unconstrained(2, 3);
+        let gb = Geometry::unconstrained(2, 3);
+        assert!(nv_compatible(&a, ga, &b, gb, 3, 8));
+    }
+
+    #[test]
+    fn disjoint_constraints_exceeding_dc_budget_are_incompatible() {
+        // n = 8, nv = 3 (no spare codes). {0,1,2} needs a 4-code cube with
+        // one spare; {3,4,5} likewise; dc budget is 0 -> incompatible.
+        let a = set(8, &[0, 1, 2]);
+        let b = set(8, &[3, 4, 5]);
+        let ga = Geometry::unconstrained(3, 3);
+        let gb = Geometry::unconstrained(3, 3);
+        assert!(!nv_compatible(&a, ga, &b, gb, 3, 8));
+    }
+
+    #[test]
+    fn disjoint_cubes_must_fit_the_space() {
+        // Two 5-member disjoint constraints in nv=3: each needs a full
+        // 8-code cube -> cannot coexist.
+        let a = set(10, &[0, 1, 2, 3, 4]);
+        let b = set(10, &[5, 6, 7, 8, 9]);
+        // (n = 10 does not fit nv = 3 anyway, use nv = 4)
+        let ga = Geometry::unconstrained(5, 4);
+        let gb = Geometry::unconstrained(5, 4);
+        // 2^3 + 2^3 = 16 = 2^4 fits exactly, dc budget: (8-5)+(8-5)=6 == 16-10
+        assert!(nv_compatible(&a, ga, &b, gb, 4, 10));
+        // but with one more symbol (n = 11) the dc budget (5) is exceeded
+        let a2 = set(11, &[0, 1, 2, 3, 4]);
+        let b2 = set(11, &[5, 6, 7, 8, 9]);
+        assert!(!nv_compatible(&a2, ga, &b2, gb, 4, 11));
+    }
+
+    #[test]
+    fn nested_constraints_need_strictly_larger_father() {
+        // son ⊊ father forces dim(father) > dim(son).
+        let a = set(8, &[0, 1, 2, 3]); // needs dim ≥ 2
+        let b = set(8, &[0, 1]); // needs dim ≥ 1
+        let ga = Geometry::unconstrained(4, 3);
+        let gb = Geometry::unconstrained(2, 3);
+        assert!(nv_compatible(&a, ga, &b, gb, 3, 8));
+        // Tighten a's upper bound to 1: a 4-member constraint cannot live in
+        // a 2-code cube at all.
+        let ga_tight = Geometry { size: 4, lower: 2, upper: 1 };
+        assert!(!nv_compatible(&a, ga_tight, &b, gb, 3, 8));
+    }
+
+    #[test]
+    fn overlapping_constraints_dimension_formula() {
+        // A = {0,1,2,3}, B = {3,4,5,6}: son {3}, union 7 symbols.
+        // dims: dA ≥ 2, dB ≥ 2, dab = 0 (singleton son), strict ordering ok,
+        // d_super = 4 ≤ nv = 4 feasible, 2^4 ≥ 7. Compatible for nv = 4.
+        let a = set(16, &[0, 1, 2, 3]);
+        let b = set(16, &[3, 4, 5, 6]);
+        let ga = Geometry::unconstrained(4, 4);
+        let gb = Geometry::unconstrained(4, 4);
+        assert!(nv_compatible(&a, ga, &b, gb, 4, 16));
+        // For nv = 3 the supercube formula needs d_super = 2+2-0 = 4 > 3 and
+        // no larger dab is allowed (son is a proper subset of both, dab <
+        // min(dA,dB) and dc(son) constraints) -> incompatible.
+        let ga3 = Geometry::unconstrained(4, 3);
+        let gb3 = Geometry::unconstrained(4, 3);
+        assert!(!nv_compatible(&a, ga3, &b, gb3, 3, 16));
+    }
+
+    #[test]
+    fn identical_constraints_are_compatible() {
+        let a = set(8, &[0, 1, 2]);
+        let g = Geometry::unconstrained(3, 3);
+        assert!(nv_compatible(&a, g, &a.clone(), g, 3, 8));
+    }
+}

@@ -1,0 +1,195 @@
+//! Face (group) constraints and seed dichotomies.
+
+use crate::symbols::SymbolSet;
+use std::fmt;
+
+/// The provenance of a constraint inside the encoding process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintKind {
+    /// A face constraint extracted from the symbolic cover.
+    Original,
+    /// A guide constraint substituted for an infeasible constraint; carries
+    /// the index of the original constraint it guides.
+    Guide {
+        /// Index of the constraint this guide was derived from.
+        parent: usize,
+    },
+}
+
+/// A group (face) constraint: a set of symbols whose codes must span a
+/// Boolean cube containing no other symbol's code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupConstraint {
+    members: SymbolSet,
+    kind: ConstraintKind,
+    /// Multiplicity: how many symbolic implicants produced this member set.
+    weight: usize,
+}
+
+impl GroupConstraint {
+    /// Creates an original constraint of weight 1.
+    pub fn new(members: SymbolSet) -> Self {
+        GroupConstraint {
+            members,
+            kind: ConstraintKind::Original,
+            weight: 1,
+        }
+    }
+
+    /// Creates a guide constraint for the original constraint `parent`.
+    pub fn guide(members: SymbolSet, parent: usize) -> Self {
+        GroupConstraint {
+            members,
+            kind: ConstraintKind::Guide { parent },
+            weight: 1,
+        }
+    }
+
+    /// The member symbols.
+    pub fn members(&self) -> &SymbolSet {
+        &self.members
+    }
+
+    /// The constraint's provenance.
+    pub fn kind(&self) -> ConstraintKind {
+        self.kind
+    }
+
+    /// Multiplicity of the constraint among extracted implicants.
+    pub fn weight(&self) -> usize {
+        self.weight
+    }
+
+    /// Adjusts the multiplicity.
+    pub fn set_weight(&mut self, w: usize) {
+        self.weight = w;
+    }
+
+    /// Number of member symbols.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the constraint has no members (degenerate).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// A constraint is *trivial* when it has fewer than two members or spans
+    /// all symbols: it is satisfied by every encoding.
+    pub fn is_trivial(&self) -> bool {
+        let k = self.members.len();
+        k < 2 || k == self.members.universe()
+    }
+
+    /// The seed dichotomies of the constraint: one per outside symbol.
+    pub fn dichotomies(&self) -> impl Iterator<Item = Dichotomy> + '_ {
+        let n = self.members.universe();
+        (0..n)
+            .filter(move |&s| !self.members.contains(s))
+            .map(move |s| Dichotomy {
+                members: self.members.clone(),
+                outsider: s,
+            })
+    }
+
+    /// Minimum dimension of any cube holding all members:
+    /// `ceil(log2(len))`.
+    pub fn min_dim(&self) -> usize {
+        let k = self.len().max(1);
+        (usize::BITS - (k - 1).leading_zeros()) as usize
+    }
+}
+
+impl fmt::Display for GroupConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ConstraintKind::Original => write!(f, "L{}", self.members),
+            ConstraintKind::Guide { parent } => write!(f, "G[{}]{}", parent, self.members),
+        }
+    }
+}
+
+/// A seed dichotomy `(B1 : B2)` of a group constraint: `B1` is the member
+/// set, `B2` a single outside symbol. It is satisfied when some encoding
+/// column gives every member one value and the outsider the other.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dichotomy {
+    /// The constraint's member block `B1`.
+    pub members: SymbolSet,
+    /// The single outside symbol forming `B2`.
+    pub outsider: usize,
+}
+
+impl Dichotomy {
+    /// Whether a code-matrix column (one bit per symbol) satisfies this
+    /// dichotomy: all members share a value and the outsider differs.
+    pub fn satisfied_by_column(&self, column: &[bool]) -> bool {
+        let mut it = self.members.iter();
+        let Some(first) = it.next() else {
+            return false;
+        };
+        let v = column[first];
+        if it.any(|i| column[i] != v) {
+            return false;
+        }
+        column[self.outsider] != v
+    }
+}
+
+impl fmt::Display for Dichotomy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} : s{})", self.members, self.outsider)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dichotomies_enumerate_outsiders() {
+        let c = GroupConstraint::new(SymbolSet::from_members(5, [1, 2]));
+        let d: Vec<usize> = c.dichotomies().map(|d| d.outsider).collect();
+        assert_eq!(d, vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn dichotomy_satisfaction() {
+        let c = GroupConstraint::new(SymbolSet::from_members(4, [0, 1]));
+        let d: Vec<Dichotomy> = c.dichotomies().collect();
+        // column: symbols 0,1 -> 1; symbol 2 -> 0; symbol 3 -> 1
+        let col = vec![true, true, false, true];
+        assert!(d[0].satisfied_by_column(&col)); // outsider 2 differs
+        assert!(!d[1].satisfied_by_column(&col)); // outsider 3 equals members
+        // members split => nothing satisfied
+        let col2 = vec![true, false, false, false];
+        assert!(!d[0].satisfied_by_column(&col2));
+    }
+
+    #[test]
+    fn min_dim_is_ceil_log2() {
+        let mk = |k: usize| {
+            GroupConstraint::new(SymbolSet::from_members(16, 0..k)).min_dim()
+        };
+        assert_eq!(mk(1), 0);
+        assert_eq!(mk(2), 1);
+        assert_eq!(mk(3), 2);
+        assert_eq!(mk(4), 2);
+        assert_eq!(mk(5), 3);
+    }
+
+    #[test]
+    fn triviality() {
+        assert!(GroupConstraint::new(SymbolSet::from_members(4, [2])).is_trivial());
+        assert!(GroupConstraint::new(SymbolSet::full(4)).is_trivial());
+        assert!(!GroupConstraint::new(SymbolSet::from_members(4, [0, 1])).is_trivial());
+    }
+
+    #[test]
+    fn guide_kind_tracks_parent() {
+        let g = GroupConstraint::guide(SymbolSet::from_members(4, [0, 3]), 7);
+        assert_eq!(g.kind(), ConstraintKind::Guide { parent: 7 });
+        assert!(g.to_string().starts_with("G[7]"));
+    }
+}

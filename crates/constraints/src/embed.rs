@@ -1,0 +1,236 @@
+//! Exact face embedding by backtracking.
+//!
+//! Decides, for small instances, whether a constraint set is *completely*
+//! satisfiable in `B^nv` — and finds the smallest such `nv`. This is the
+//! exact version of the question the paper's `Classify()` answers with
+//! necessary conditions, and quantifies the premise of the partial problem:
+//! full satisfaction often needs codes well beyond `ceil(log2 n)`.
+
+use crate::constraint::GroupConstraint;
+use crate::encoding::Encoding;
+
+/// Outcome of an exact embedding search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmbedOutcome {
+    /// An encoding satisfying every constraint.
+    Embedded(Encoding),
+    /// Proven unsatisfiable in the given number of bits.
+    Impossible,
+    /// The node budget ran out before a decision.
+    BudgetExceeded,
+}
+
+/// Searches for an encoding of `n` symbols in `nv` bits satisfying *all*
+/// constraints, by backtracking over symbol-to-code assignments with
+/// face-consistency pruning.
+///
+/// `max_nodes` bounds the search tree. Exponential in the worst case; keep
+/// `n` small (≤ 16 or so) or the budget tight.
+pub fn embed_exact(
+    n: usize,
+    nv: usize,
+    constraints: &[GroupConstraint],
+    max_nodes: usize,
+) -> EmbedOutcome {
+    let size = 1usize << nv;
+    if n > size {
+        return EmbedOutcome::Impossible;
+    }
+    let active: Vec<&GroupConstraint> =
+        constraints.iter().filter(|c| !c.is_trivial()).collect();
+
+    // Order symbols: members of large constraints first (fail fast).
+    let mut involvement = vec![0usize; n];
+    for c in &active {
+        for m in c.members().iter() {
+            involvement[m] += c.len();
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&s| std::cmp::Reverse(involvement[s]));
+
+    struct Search<'a> {
+        n: usize,
+        nv: usize,
+        active: &'a [&'a GroupConstraint],
+        order: &'a [usize],
+        codes: Vec<Option<u32>>,
+        used: Vec<bool>,
+        nodes: usize,
+        max_nodes: usize,
+        exceeded: bool,
+    }
+
+    impl Search<'_> {
+        /// Partial consistency: the supercube of the already-assigned
+        /// members only *grows* as more members are placed, so an assigned
+        /// non-member inside the current partial supercube can never escape
+        /// — prune immediately. (Capacity cannot be pruned partially: free
+        /// bits may still open up.)
+        fn consistent(&self) -> bool {
+            let full = ((1u64 << self.nv) - 1) as u32;
+            for c in self.active {
+                let mut and = u32::MAX;
+                let mut or = 0u32;
+                let mut assigned = 0usize;
+                for m in c.members().iter() {
+                    if let Some(code) = self.codes[m] {
+                        and &= code;
+                        or |= code;
+                        assigned += 1;
+                    }
+                }
+                if assigned == 0 {
+                    continue;
+                }
+                let fixed = full & !(and ^ or);
+                let values = and & fixed;
+                for (s, code) in self.codes.iter().enumerate() {
+                    if let Some(code) = code {
+                        if !c.members().contains(s) && (code ^ values) & fixed == 0 {
+                            return false;
+                        }
+                    }
+                }
+            }
+            true
+        }
+
+        fn go(&mut self, depth: usize) -> bool {
+            self.nodes += 1;
+            if self.nodes > self.max_nodes {
+                self.exceeded = true;
+                return false;
+            }
+            if depth == self.n {
+                return self.final_check();
+            }
+            let s = self.order[depth];
+            for w in 0..1u32 << self.nv {
+                if self.used[w as usize] {
+                    continue;
+                }
+                self.codes[s] = Some(w);
+                self.used[w as usize] = true;
+                if self.consistent() && self.go(depth + 1) {
+                    return true;
+                }
+                self.codes[s] = None;
+                self.used[w as usize] = false;
+                if self.exceeded {
+                    return false;
+                }
+            }
+            false
+        }
+
+        fn final_check(&self) -> bool {
+            let codes: Vec<u32> = self.codes.iter().map(|c| c.expect("complete")).collect();
+            let enc = Encoding::new(self.nv, codes).expect("distinct by used[]");
+            self.active.iter().all(|c| enc.satisfies(c.members()))
+        }
+    }
+
+    let mut search = Search {
+        n,
+        nv,
+        active: &active,
+        order: &order,
+        codes: vec![None; n],
+        used: vec![false; size],
+        nodes: 0,
+        max_nodes,
+        exceeded: false,
+    };
+    if search.go(0) {
+        let codes: Vec<u32> = search.codes.iter().map(|c| c.expect("complete")).collect();
+        EmbedOutcome::Embedded(Encoding::new(nv, codes).expect("distinct"))
+    } else if search.exceeded {
+        EmbedOutcome::BudgetExceeded
+    } else {
+        EmbedOutcome::Impossible
+    }
+}
+
+/// The smallest code length at which all constraints embed, searched
+/// upward from `ceil(log2 n)`; `None` when the budget runs out first or no
+/// length up to `max_nv` works.
+pub fn minimal_embedding_length(
+    n: usize,
+    constraints: &[GroupConstraint],
+    max_nv: usize,
+    max_nodes: usize,
+) -> Option<(usize, Encoding)> {
+    let start = crate::min_code_length(n);
+    for nv in start..=max_nv {
+        match embed_exact(n, nv, constraints, max_nodes) {
+            EmbedOutcome::Embedded(e) => return Some((nv, e)),
+            EmbedOutcome::Impossible => continue,
+            EmbedOutcome::BudgetExceeded => return None,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::SymbolSet;
+
+    fn groups(n: usize, gs: &[&[usize]]) -> Vec<GroupConstraint> {
+        gs.iter()
+            .map(|g| GroupConstraint::new(SymbolSet::from_members(n, g.iter().copied())))
+            .collect()
+    }
+
+    #[test]
+    fn easy_instances_embed_at_min_length() {
+        let cs = groups(8, &[&[0, 1], &[2, 3], &[4, 5, 6, 7]]);
+        match embed_exact(8, 3, &cs, 1_000_000) {
+            EmbedOutcome::Embedded(e) => {
+                for c in &cs {
+                    assert!(e.satisfies(c.members()));
+                }
+            }
+            other => panic!("expected embedding, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dc_starved_instances_are_impossible() {
+        // Two disjoint 3-member faces among 8 symbols in 3 bits: impossible
+        // (each face needs a spare code word, none exist).
+        let cs = groups(8, &[&[0, 1, 2], &[3, 4, 5]]);
+        assert_eq!(embed_exact(8, 3, &cs, 2_000_000), EmbedOutcome::Impossible);
+        // One more bit suffices.
+        match embed_exact(8, 4, &cs, 2_000_000) {
+            EmbedOutcome::Embedded(e) => {
+                assert!(e.satisfies(cs[0].members()));
+                assert!(e.satisfies(cs[1].members()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimal_length_finds_the_threshold() {
+        let cs = groups(8, &[&[0, 1, 2], &[3, 4, 5]]);
+        let (nv, enc) = minimal_embedding_length(8, &cs, 6, 2_000_000).expect("embeds by nv=4");
+        assert_eq!(nv, 4);
+        assert!(cs.iter().all(|c| enc.satisfies(c.members())));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let cs = groups(12, &[&[0, 1, 2], &[3, 4, 5], &[6, 7, 8], &[9, 10, 11]]);
+        assert_eq!(embed_exact(12, 4, &cs, 3), EmbedOutcome::BudgetExceeded);
+    }
+
+    #[test]
+    fn unconstrained_instances_always_embed() {
+        match embed_exact(5, 3, &[], 1000) {
+            EmbedOutcome::Embedded(e) => assert_eq!(e.num_symbols(), 5),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Binary encodings (code matrices) of a set of symbols.
+
+use crate::symbols::SymbolSet;
+use picola_logic::{Cover, Cube, Domain};
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing an [`Encoding`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodingError {
+    /// Two symbols received the same code.
+    DuplicateCode {
+        /// The repeated code word.
+        code: u32,
+    },
+    /// A code does not fit in the declared number of bits.
+    CodeOutOfRange {
+        /// The offending code word.
+        code: u32,
+        /// The declared code length.
+        nv: usize,
+    },
+}
+
+impl fmt::Display for EncodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodingError::DuplicateCode { code } => {
+                write!(f, "duplicate code {code:b} assigned to two symbols")
+            }
+            EncodingError::CodeOutOfRange { code, nv } => {
+                write!(f, "code {code:b} does not fit in {nv} bits")
+            }
+        }
+    }
+}
+
+impl Error for EncodingError {}
+
+/// The supercube of a set of binary codes: the smallest Boolean cube
+/// containing them, as (mask of fixed bits, their values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodeCube {
+    /// Bits fixed in the cube (1 = fixed).
+    pub fixed: u32,
+    /// Values of the fixed bits (only meaningful where `fixed` is 1).
+    pub values: u32,
+    /// Code length in bits.
+    pub nv: usize,
+}
+
+impl CodeCube {
+    /// The cube's dimension: number of free bits.
+    pub fn dim(&self) -> usize {
+        self.nv - (self.fixed.count_ones() as usize)
+    }
+
+    /// Whether the cube contains `code`.
+    pub fn contains(&self, code: u32) -> bool {
+        (code ^ self.values) & self.fixed == 0
+    }
+
+    /// Number of code words inside the cube (`2^dim`).
+    pub fn capacity(&self) -> u64 {
+        1u64 << self.dim()
+    }
+
+    /// Renders as a `0`/`1`/`-` string, most significant bit first.
+    pub fn render(&self) -> String {
+        (0..self.nv)
+            .rev()
+            .map(|b| {
+                if self.fixed >> b & 1 == 1 {
+                    if self.values >> b & 1 == 1 {
+                        '1'
+                    } else {
+                        '0'
+                    }
+                } else {
+                    '-'
+                }
+            })
+            .collect()
+    }
+}
+
+/// A complete minimum-length (or longer) binary encoding of `n` symbols:
+/// the paper's *code matrix*, row `i` being the code of symbol `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Encoding {
+    nv: usize,
+    codes: Vec<u32>,
+}
+
+impl Encoding {
+    /// Creates an encoding, validating distinctness and range.
+    ///
+    /// # Errors
+    ///
+    /// [`EncodingError::CodeOutOfRange`] when a code needs more than `nv`
+    /// bits; [`EncodingError::DuplicateCode`] when two symbols share a code.
+    pub fn new(nv: usize, codes: Vec<u32>) -> Result<Self, EncodingError> {
+        let limit = 1u64 << nv;
+        for &c in &codes {
+            if u64::from(c) >= limit {
+                return Err(EncodingError::CodeOutOfRange { code: c, nv });
+            }
+        }
+        let mut seen = vec![false; limit as usize];
+        for &c in &codes {
+            if seen[c as usize] {
+                return Err(EncodingError::DuplicateCode { code: c });
+            }
+            seen[c as usize] = true;
+        }
+        Ok(Encoding { nv, codes })
+    }
+
+    /// The natural (counting-order) encoding of `n` symbols in
+    /// `ceil(log2 n)` bits.
+    pub fn natural(n: usize) -> Self {
+        let nv = crate::min_code_length(n);
+        Encoding {
+            nv,
+            codes: (0..n as u32).collect(),
+        }
+    }
+
+    /// Code length in bits.
+    pub fn nv(&self) -> usize {
+        self.nv
+    }
+
+    /// Number of encoded symbols.
+    pub fn num_symbols(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// The code of symbol `i`.
+    pub fn code(&self, i: usize) -> u32 {
+        self.codes[i]
+    }
+
+    /// All codes in symbol order.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Column `j` of the code matrix as a boolean vector over symbols.
+    pub fn column(&self, j: usize) -> Vec<bool> {
+        self.codes.iter().map(|&c| c >> j & 1 == 1).collect()
+    }
+
+    /// Builds an encoding from code-matrix columns (column `j` supplies bit
+    /// `j` of every code).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Encoding::new`] validation.
+    pub fn from_columns(columns: &[Vec<bool>]) -> Result<Self, EncodingError> {
+        let nv = columns.len();
+        let n = columns.first().map_or(0, Vec::len);
+        let mut codes = vec![0u32; n];
+        for (j, col) in columns.iter().enumerate() {
+            assert_eq!(col.len(), n, "ragged column matrix");
+            for (i, &b) in col.iter().enumerate() {
+                if b {
+                    codes[i] |= 1 << j;
+                }
+            }
+        }
+        Encoding::new(nv, codes)
+    }
+
+    /// The supercube of the codes of `members`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `members` is empty.
+    pub fn supercube(&self, members: &SymbolSet) -> CodeCube {
+        let mut it = members.iter();
+        let first = self.codes[it.next().expect("supercube of an empty set")];
+        let mut and = first;
+        let mut or = first;
+        for i in it {
+            and &= self.codes[i];
+            or |= self.codes[i];
+        }
+        // Bits fixed in the supercube: positions where all codes agree —
+        // `and ^ or` marks the disagreeing bit positions.
+        let full = ((1u64 << self.nv) - 1) as u32;
+        let fixed = full & !(and ^ or);
+        CodeCube {
+            fixed,
+            values: and & fixed,
+            nv: self.nv,
+        }
+    }
+
+    /// The intruder set of a face constraint `members` under this encoding:
+    /// non-members whose codes fall inside the members' supercube.
+    pub fn intruders(&self, members: &SymbolSet) -> SymbolSet {
+        let sc = self.supercube(members);
+        let mut out = SymbolSet::empty(members.universe());
+        for i in 0..self.codes.len() {
+            if !members.contains(i) && sc.contains(self.codes[i]) {
+                out.insert(i);
+            }
+        }
+        out
+    }
+
+    /// Whether the face constraint `members` is satisfied (its supercube
+    /// contains no other symbol's code).
+    pub fn satisfies(&self, members: &SymbolSet) -> bool {
+        self.intruders(members).is_empty()
+    }
+
+    /// The minterm cube of symbol `i`'s code over `dom = Domain::binary(nv)`
+    /// (variable `b` of the domain is code bit `b`).
+    pub fn code_cube(&self, dom: &Domain, i: usize) -> Cube {
+        let mut c = Cube::full(dom);
+        for b in 0..self.nv {
+            c.restrict_binary(dom, b, self.codes[i] >> b & 1 == 1);
+        }
+        c
+    }
+
+    /// The Boolean function of a face constraint under this encoding, as
+    /// `(on, dc)` covers over `Domain::binary(nv)`: on-set = member codes,
+    /// dc-set = unused code words; the off-set (non-member codes) is
+    /// implicit. This is exactly the function whose minimized cube count the
+    /// paper's evaluation totals.
+    pub fn constraint_function(&self, dom: &Domain, members: &SymbolSet) -> (Cover, Cover) {
+        let mut on = Cover::empty(dom);
+        for i in members.iter() {
+            on.push(self.code_cube(dom, i));
+        }
+        let mut used = vec![false; 1usize << self.nv];
+        for &c in &self.codes {
+            used[c as usize] = true;
+        }
+        let mut dc = Cover::empty(dom);
+        for (w, &u) in used.iter().enumerate() {
+            if !u {
+                let mut c = Cube::full(dom);
+                for b in 0..self.nv {
+                    c.restrict_binary(dom, b, w >> b & 1 == 1);
+                }
+                dc.push(c);
+            }
+        }
+        (on, dc)
+    }
+}
+
+impl fmt::Display for Encoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, &c) in self.codes.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "s{i}: {c:0width$b}", width = self.nv)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn natural_encoding_is_valid() {
+        let e = Encoding::natural(10);
+        assert_eq!(e.nv(), 4);
+        assert_eq!(e.code(9), 9);
+    }
+
+    #[test]
+    fn duplicate_and_range_errors() {
+        assert!(matches!(
+            Encoding::new(2, vec![0, 1, 1]),
+            Err(EncodingError::DuplicateCode { code: 1 })
+        ));
+        assert!(matches!(
+            Encoding::new(2, vec![0, 4]),
+            Err(EncodingError::CodeOutOfRange { code: 4, nv: 2 })
+        ));
+    }
+
+    #[test]
+    fn supercube_of_agreeing_codes() {
+        // codes: 0000, 0010 -> supercube 00-0
+        let e = Encoding::new(4, vec![0b0000, 0b0010]).unwrap();
+        let sc = e.supercube(&SymbolSet::from_members(2, [0, 1]));
+        assert_eq!(sc.render(), "00-0");
+        assert_eq!(sc.dim(), 1);
+        assert!(sc.contains(0b0000));
+        assert!(sc.contains(0b0010));
+        assert!(!sc.contains(0b0100));
+    }
+
+    #[test]
+    fn intruders_fall_inside_supercube() {
+        // symbols 0,1 at 000 and 011; symbol 2 at 001 intrudes (supercube 0--)
+        let e = Encoding::new(3, vec![0b000, 0b011, 0b001]).unwrap();
+        let members = SymbolSet::from_members(3, [0, 1]);
+        let i = e.intruders(&members);
+        assert_eq!(i.to_vec(), vec![2]);
+        assert!(!e.satisfies(&members));
+        // moving symbol 2 to 1xx clears the intrusion
+        let e2 = Encoding::new(3, vec![0b000, 0b011, 0b100]).unwrap();
+        assert!(e2.satisfies(&members));
+    }
+
+    #[test]
+    fn columns_roundtrip() {
+        let e = Encoding::new(3, vec![0b101, 0b010, 0b111]).unwrap();
+        let cols: Vec<Vec<bool>> = (0..3).map(|j| e.column(j)).collect();
+        let back = Encoding::from_columns(&cols).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn constraint_function_shape() {
+        let e = Encoding::new(2, vec![0b00, 0b01, 0b10]).unwrap();
+        let dom = Domain::binary(2);
+        let (on, dc) = e.constraint_function(&dom, &SymbolSet::from_members(3, [0, 1]));
+        assert_eq!(on.len(), 2);
+        assert_eq!(dc.len(), 1); // code 11 unused
+    }
+
+    #[test]
+    fn code_cube_is_a_minterm() {
+        let e = Encoding::new(3, vec![0b110]).unwrap();
+        let dom = Domain::binary(3);
+        let c = e.code_cube(&dom, 0);
+        assert_eq!(c.part_count(), 3);
+        // bit 0 = 0, bit 1 = 1, bit 2 = 1
+        assert_eq!(c.render(&dom), "0 1 1");
+    }
+}

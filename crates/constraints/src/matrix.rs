@@ -1,0 +1,400 @@
+//! The enriched constraint matrix (paper §3.1).
+//!
+//! The classic `r × n` 0/1 constraint matrix is augmented in place: after
+//! code column `i` is generated, each zero entry whose seed dichotomy that
+//! column satisfies is stamped with `i + 1`. The matrix thus *remembers
+//! which encoding column satisfies each dichotomy*, and per constraint the
+//! set of *participating* columns (columns in which all members agree),
+//! from which the supercube dimension and the intruder set follow.
+
+use crate::constraint::GroupConstraint;
+use crate::symbols::SymbolSet;
+use std::fmt;
+
+/// Life-cycle of a constraint during column-based encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintStatus {
+    /// Still may be satisfied.
+    Active,
+    /// All seed dichotomies satisfied: the face is embedded.
+    Satisfied,
+    /// Detected unsatisfiable in `B^nv`; a guide constraint may have been
+    /// generated for it.
+    Infeasible,
+}
+
+/// One constraint with its bookkeeping inside the matrix.
+#[derive(Debug, Clone)]
+pub struct TrackedConstraint {
+    constraint: GroupConstraint,
+    status: ConstraintStatus,
+    /// For each symbol outside the constraint: the 1-based index of the
+    /// column that satisfied its dichotomy (the paper's stamped matrix
+    /// entry), or 0 while unsatisfied. Member symbols keep 0.
+    sat_col: Vec<usize>,
+    /// Columns (0-based) in which all members agreed.
+    participating: Vec<usize>,
+    /// Columns (0-based) in which members disagreed.
+    disagreeing: Vec<usize>,
+    /// Whether a guide constraint was already generated for it.
+    guided: bool,
+}
+
+impl TrackedConstraint {
+    /// The underlying group constraint.
+    pub fn constraint(&self) -> &GroupConstraint {
+        &self.constraint
+    }
+
+    /// Current status.
+    pub fn status(&self) -> ConstraintStatus {
+        self.status
+    }
+
+    /// The paper's matrix entry for symbol `j`: `1` for members, otherwise
+    /// the 1-based satisfying column or `0`.
+    pub fn entry(&self, j: usize) -> usize {
+        if self.constraint.members().contains(j) {
+            1
+        } else {
+            self.sat_col[j]
+        }
+    }
+
+    /// Columns in which all members agreed so far.
+    pub fn participating(&self) -> &[usize] {
+        &self.participating
+    }
+
+    /// Columns in which the members disagreed so far.
+    pub fn disagreeing(&self) -> &[usize] {
+        &self.disagreeing
+    }
+
+    /// Whether a guide constraint was already spawned for this constraint.
+    pub fn guided(&self) -> bool {
+        self.guided
+    }
+
+    /// Outsiders whose dichotomy is still unsatisfied — the *potential
+    /// intruder set*: if the encoding finished now with every remaining
+    /// column non-participating, exactly these symbols could sit in the
+    /// supercube. (Upon completion of all `nv` columns this is precisely
+    /// `I_k`.)
+    pub fn pending_intruders(&self) -> SymbolSet {
+        let n = self.constraint.members().universe();
+        let mut out = SymbolSet::empty(n);
+        for j in 0..n {
+            if !self.constraint.members().contains(j) && self.sat_col[j] == 0 {
+                out.insert(j);
+            }
+        }
+        out
+    }
+
+    /// Number of unsatisfied seed dichotomies.
+    pub fn unsatisfied_dichotomies(&self) -> usize {
+        let members = self.constraint.members();
+        self.sat_col
+            .iter()
+            .enumerate()
+            .filter(|&(j, &c)| !members.contains(j) && c == 0)
+            .count()
+    }
+}
+
+/// The enriched constraint matrix driving column-based encoding.
+#[derive(Debug, Clone)]
+pub struct ConstraintMatrix {
+    n: usize,
+    nv: usize,
+    constraints: Vec<TrackedConstraint>,
+    columns: Vec<Vec<bool>>,
+}
+
+impl ConstraintMatrix {
+    /// Builds the matrix for `n` symbols encoded in `nv` bits from the
+    /// extracted constraints. Trivial constraints (singletons, full sets)
+    /// are registered as already satisfied.
+    pub fn new(n: usize, nv: usize, constraints: Vec<GroupConstraint>) -> Self {
+        let tracked = constraints
+            .into_iter()
+            .map(|c| {
+                let trivial = c.is_trivial();
+                TrackedConstraint {
+                    sat_col: vec![0; n],
+                    status: if trivial {
+                        ConstraintStatus::Satisfied
+                    } else {
+                        ConstraintStatus::Active
+                    },
+                    participating: Vec::new(),
+                    disagreeing: Vec::new(),
+                    guided: false,
+                    constraint: c,
+                }
+            })
+            .collect();
+        ConstraintMatrix {
+            n,
+            nv,
+            constraints: tracked,
+            columns: Vec::new(),
+        }
+    }
+
+    /// Number of symbols.
+    pub fn num_symbols(&self) -> usize {
+        self.n
+    }
+
+    /// Code length.
+    pub fn nv(&self) -> usize {
+        self.nv
+    }
+
+    /// Number of generated columns.
+    pub fn columns_done(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The generated columns so far.
+    pub fn columns(&self) -> &[Vec<bool>] {
+        &self.columns
+    }
+
+    /// The tracked constraints.
+    pub fn constraints(&self) -> &[TrackedConstraint] {
+        &self.constraints
+    }
+
+    /// The tracked constraint `k`.
+    pub fn constraint(&self, k: usize) -> &TrackedConstraint {
+        &self.constraints[k]
+    }
+
+    /// Indices of constraints with the given status.
+    pub fn with_status(&self, status: ConstraintStatus) -> Vec<usize> {
+        (0..self.constraints.len())
+            .filter(|&k| self.constraints[k].status == status)
+            .collect()
+    }
+
+    /// Commits a finished code column, stamping satisfied dichotomies with
+    /// the column number and updating participation and statuses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column length differs from the symbol count or all `nv`
+    /// columns were already generated.
+    pub fn apply_column(&mut self, column: &[bool]) {
+        assert_eq!(column.len(), self.n, "column length mismatch");
+        assert!(self.columns.len() < self.nv, "all columns already generated");
+        let col_index = self.columns.len();
+        for tc in &mut self.constraints {
+            // Trivial constraints need no bookkeeping.
+            if tc.constraint.is_trivial() {
+                continue;
+            }
+            let members = tc.constraint.members();
+            let mut it = members.iter();
+            let Some(first) = it.next() else { continue };
+            let v = column[first];
+            let agree = it.all(|i| column[i] == v);
+            if agree {
+                tc.participating.push(col_index);
+                for (j, &bit) in column.iter().enumerate() {
+                    if bit != v && !members.contains(j) && tc.sat_col[j] == 0 {
+                        tc.sat_col[j] = col_index + 1;
+                    }
+                }
+            } else {
+                tc.disagreeing.push(col_index);
+            }
+            if tc.status == ConstraintStatus::Active && tc.unsatisfied_dichotomies() == 0 {
+                tc.status = ConstraintStatus::Satisfied;
+            }
+        }
+        self.columns.push(column.to_vec());
+    }
+
+    /// Marks constraint `k` infeasible.
+    pub fn mark_infeasible(&mut self, k: usize) {
+        self.constraints[k].status = ConstraintStatus::Infeasible;
+    }
+
+    /// Adds the guide constraint for infeasible constraint `parent`: the
+    /// group constraint of its pending intruders. The new constraint's
+    /// bookkeeping is replayed against the already-generated columns so its
+    /// dichotomy state is consistent. Returns the new constraint's index,
+    /// or `None` if the intruder set is trivial (nothing to guide).
+    pub fn add_guide(&mut self, parent: usize) -> Option<usize> {
+        let intruders = self.constraints[parent].pending_intruders();
+        self.constraints[parent].guided = true;
+        let guide = GroupConstraint::guide(intruders, parent);
+        if guide.is_trivial() {
+            return None;
+        }
+        let mut tc = TrackedConstraint {
+            sat_col: vec![0; self.n],
+            status: ConstraintStatus::Active,
+            participating: Vec::new(),
+            disagreeing: Vec::new(),
+            guided: false,
+            constraint: guide,
+        };
+        // Replay history.
+        for (col_index, column) in self.columns.iter().enumerate() {
+            let members = tc.constraint.members();
+            let mut it = members.iter();
+            let first = it.next().expect("guide has >= 2 members");
+            let v = column[first];
+            if it.all(|i| column[i] == v) {
+                tc.participating.push(col_index);
+                for (j, &bit) in column.iter().enumerate() {
+                    if bit != v && !members.contains(j) && tc.sat_col[j] == 0 {
+                        tc.sat_col[j] = col_index + 1;
+                    }
+                }
+            } else {
+                tc.disagreeing.push(col_index);
+            }
+        }
+        if tc.unsatisfied_dichotomies() == 0 {
+            tc.status = ConstraintStatus::Satisfied;
+        }
+        self.constraints.push(tc);
+        Some(self.constraints.len() - 1)
+    }
+
+    /// Upper bound on the final supercube dimension of constraint `k`:
+    /// `nv − #participating columns` (the paper's `dim[super(L_k)]`
+    /// bookkeeping).
+    pub fn dim_super_upper(&self, k: usize) -> usize {
+        self.nv - self.constraints[k].participating.len()
+    }
+
+    /// Lower bound on the final supercube dimension: columns in which
+    /// members already disagree stay free forever, and distinct codes force
+    /// at least `ceil(log2 |L|)` free dimensions.
+    pub fn dim_super_lower(&self, k: usize) -> usize {
+        let tc = &self.constraints[k];
+        tc.disagreeing.len().max(tc.constraint.min_dim())
+    }
+}
+
+impl fmt::Display for ConstraintMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "constraint matrix: {} constraints, {} symbols, {}/{} columns",
+            self.constraints.len(),
+            self.n,
+            self.columns.len(),
+            self.nv
+        )?;
+        for (k, tc) in self.constraints.iter().enumerate() {
+            write!(f, "L{k} [{:?}]:", tc.status)?;
+            for j in 0..self.n {
+                write!(f, " {}", tc.entry(j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintKind;
+
+    fn matrix_4x8() -> ConstraintMatrix {
+        // 8 symbols, nv = 3, two constraints
+        let c1 = GroupConstraint::new(SymbolSet::from_members(8, [0, 1]));
+        let c2 = GroupConstraint::new(SymbolSet::from_members(8, [2, 3, 4]));
+        ConstraintMatrix::new(8, 3, vec![c1, c2])
+    }
+
+    #[test]
+    fn column_application_stamps_dichotomies() {
+        let mut m = matrix_4x8();
+        // column: 0,1 -> 0; rest -> 1
+        let col: Vec<bool> = (0..8).map(|i| i >= 2).collect();
+        m.apply_column(&col);
+        let tc = m.constraint(0);
+        assert_eq!(tc.status(), ConstraintStatus::Satisfied);
+        assert_eq!(tc.entry(5), 1); // 1-based column index 1
+        assert_eq!(tc.entry(0), 1); // member
+        assert_eq!(tc.participating(), &[0]);
+        // constraint 2's members split in this column? 2,3,4 all get true:
+        assert_eq!(m.constraint(1).participating(), &[0]);
+        // but its outsiders 5,6,7 got the same value -> dichotomies pending
+        assert!(m.constraint(1).entry(5) == 0);
+        assert!(m.constraint(1).entry(0) == 1 || m.constraint(1).entry(0) > 0);
+    }
+
+    #[test]
+    fn pending_intruders_shrink_with_columns() {
+        let mut m = matrix_4x8();
+        let col1: Vec<bool> = (0..8).map(|i| i >= 2).collect();
+        m.apply_column(&col1);
+        assert_eq!(m.constraint(1).pending_intruders().to_vec(), vec![5, 6, 7]);
+        // second column separates 5 and 6 from {2,3,4}
+        let col2: Vec<bool> = (0..8).map(|i| matches!(i, 5 | 6)).collect();
+        m.apply_column(&col2);
+        assert_eq!(m.constraint(1).pending_intruders().to_vec(), vec![7]);
+        assert_eq!(m.constraint(1).entry(5), 2);
+    }
+
+    #[test]
+    fn dim_bounds_track_participation() {
+        let mut m = matrix_4x8();
+        assert_eq!(m.dim_super_upper(1), 3);
+        assert_eq!(m.dim_super_lower(1), 2); // ceil(log2 3)
+        let col: Vec<bool> = (0..8).map(|i| i >= 2).collect();
+        m.apply_column(&col);
+        assert_eq!(m.dim_super_upper(1), 2);
+        // a splitting column raises the lower bound
+        let split: Vec<bool> = (0..8).map(|i| i == 2).collect();
+        m.apply_column(&split);
+        assert_eq!(m.dim_super_lower(1), 2);
+        assert_eq!(m.constraint(1).disagreeing(), &[1]);
+    }
+
+    #[test]
+    fn guide_replays_history() {
+        let mut m = matrix_4x8();
+        let col: Vec<bool> = (0..8).map(|i| i >= 2).collect();
+        m.apply_column(&col);
+        m.mark_infeasible(1);
+        let g = m.add_guide(1).expect("intruders {5,6,7} form a guide");
+        assert_eq!(m.constraint(g).constraint().members().to_vec(), vec![5, 6, 7]);
+        assert_eq!(
+            m.constraint(g).constraint().kind(),
+            ConstraintKind::Guide { parent: 1 }
+        );
+        // The replay: in col 0, guide members 5,6,7 all true; outsiders 0,1
+        // are false -> dichotomies to 0 and 1 satisfied at column 1.
+        assert_eq!(m.constraint(g).entry(0), 1);
+        assert_eq!(m.constraint(g).entry(2), 0);
+        assert!(m.constraint(1).guided());
+    }
+
+    #[test]
+    fn trivial_constraints_start_satisfied() {
+        let c = GroupConstraint::new(SymbolSet::from_members(4, [2]));
+        let m = ConstraintMatrix::new(4, 2, vec![c]);
+        assert_eq!(m.constraint(0).status(), ConstraintStatus::Satisfied);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_columns_panics() {
+        let mut m = matrix_4x8();
+        for _ in 0..4 {
+            let col = vec![false; 8];
+            m.apply_column(&col);
+        }
+    }
+}

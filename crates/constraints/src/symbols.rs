@@ -1,0 +1,229 @@
+//! Sets of symbols (states) as compact bit-sets.
+
+use std::fmt;
+
+/// A subset of `n` symbols, stored as a bit-set.
+///
+/// Symbol indices are `0..n`. All binary set operations require equal
+/// universe sizes (checked by assertions).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolSet {
+    n: usize,
+    bits: Vec<u64>,
+}
+
+impl SymbolSet {
+    /// The empty subset of a universe of `n` symbols.
+    pub fn empty(n: usize) -> Self {
+        SymbolSet {
+            n,
+            bits: vec![0; n.div_ceil(64).max(1)],
+        }
+    }
+
+    /// The full universe of `n` symbols.
+    pub fn full(n: usize) -> Self {
+        let mut s = Self::empty(n);
+        for i in 0..n {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// A set from explicit members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member is `>= n`.
+    pub fn from_members<I: IntoIterator<Item = usize>>(n: usize, members: I) -> Self {
+        let mut s = Self::empty(n);
+        for m in members {
+            s.insert(m);
+        }
+        s
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Adds symbol `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.n, "symbol {i} outside universe of {}", self.n);
+        self.bits[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Removes symbol `i`.
+    pub fn remove(&mut self, i: usize) {
+        if i < self.n {
+            self.bits[i / 64] &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Whether symbol `i` is a member.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.n && self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n).filter(move |&i| self.contains(i))
+    }
+
+    /// Members as a vector.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    fn zip_check(&self, other: &SymbolSet) {
+        assert_eq!(self.n, other.n, "symbol-set universe mismatch");
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &SymbolSet) -> SymbolSet {
+        self.zip_check(other);
+        SymbolSet {
+            n: self.n,
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &SymbolSet) -> SymbolSet {
+        self.zip_check(other);
+        SymbolSet {
+            n: self.n,
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Set difference `self ∖ other`.
+    pub fn difference(&self, other: &SymbolSet) -> SymbolSet {
+        self.zip_check(other);
+        SymbolSet {
+            n: self.n,
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a & !b)
+                .collect(),
+        }
+    }
+
+    /// Complement within the universe.
+    pub fn complement(&self) -> SymbolSet {
+        Self::full(self.n).difference(self)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &SymbolSet) -> bool {
+        self.zip_check(other);
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Whether the sets share no member.
+    pub fn is_disjoint(&self, other: &SymbolSet) -> bool {
+        self.zip_check(other);
+        self.bits.iter().zip(&other.bits).all(|(a, b)| a & b == 0)
+    }
+}
+
+impl fmt::Display for SymbolSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "s{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = SymbolSet::empty(100);
+        s.insert(0);
+        s.insert(64);
+        s.insert(99);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(64));
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.to_vec(), vec![0, 99]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = SymbolSet::from_members(8, [0, 1, 2]);
+        let b = SymbolSet::from_members(8, [2, 3]);
+        assert_eq!(a.union(&b).to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(a.intersection(&b).to_vec(), vec![2]);
+        assert_eq!(a.difference(&b).to_vec(), vec![0, 1]);
+        assert!(!a.is_disjoint(&b));
+        assert!(a.intersection(&b).is_subset(&a));
+        assert_eq!(a.complement().to_vec(), vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = SymbolSet::from_members(6, [0, 1]);
+        let b = SymbolSet::from_members(6, [4, 5]);
+        assert!(a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn display_lists_members() {
+        let s = SymbolSet::from_members(5, [1, 3]);
+        assert_eq!(s.to_string(), "{s1,s3}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_insert_panics() {
+        let mut s = SymbolSet::empty(4);
+        s.insert(4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn universe_mismatch_panics() {
+        let a = SymbolSet::empty(4);
+        let b = SymbolSet::empty(5);
+        let _ = a.union(&b);
+    }
+}

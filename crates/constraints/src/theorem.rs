@@ -1,0 +1,167 @@
+//! Theorem I of the paper: economical implementation of an unsatisfied
+//! constraint whose intruders form a face.
+//!
+//! *If the symbols in the intruder set `I` of `L` form a cube which does not
+//! intersect any symbol of `L`, then `L` can be implemented with
+//! `dim[super(L)] − dim[super(I)]` cubes.* The constructive proof builds,
+//! for each literal `m` of `super(I)` absent from `super(L)`, the cube
+//! obtained from `super(I)` by complementing `m` and freeing the remaining
+//! such literals. This module implements that construction and is what makes
+//! guide constraints pay off: satisfying the guide constraint (the group
+//! constraint over `I`) shrinks `dim[super(I)]` and with it the cube count.
+
+use crate::encoding::{CodeCube, Encoding};
+use crate::symbols::SymbolSet;
+
+/// Outcome of applying Theorem I to a constraint under an encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaceImplementation {
+    /// The constraint is satisfied: one cube (its supercube) implements it.
+    SingleCube(CodeCube),
+    /// The intruders form a face disjoint from the members: the theorem's
+    /// cube collection implements the constraint.
+    TheoremCubes(Vec<CodeCube>),
+    /// The theorem does not apply (some member code lies inside the
+    /// intruders' supercube); a general two-level minimization is needed.
+    NotApplicable,
+}
+
+impl FaceImplementation {
+    /// Number of cubes when the theorem (or satisfaction) applies.
+    pub fn cube_count(&self) -> Option<usize> {
+        match self {
+            FaceImplementation::SingleCube(_) => Some(1),
+            FaceImplementation::TheoremCubes(v) => Some(v.len()),
+            FaceImplementation::NotApplicable => None,
+        }
+    }
+}
+
+/// Applies Theorem I to constraint `members` under `enc`.
+///
+/// Returns [`FaceImplementation::SingleCube`] when the constraint is
+/// satisfied, [`FaceImplementation::TheoremCubes`] when the intruder set is
+/// non-empty but its supercube avoids every member code (the theorem's
+/// hypothesis), and [`FaceImplementation::NotApplicable`] otherwise.
+///
+/// # Panics
+///
+/// Panics if `members` is empty.
+pub fn theorem_i(enc: &Encoding, members: &SymbolSet) -> FaceImplementation {
+    let super_l = enc.supercube(members);
+    let intruders = enc.intruders(members);
+    if intruders.is_empty() {
+        return FaceImplementation::SingleCube(super_l);
+    }
+    let super_i = enc.supercube(&intruders);
+    // Hypothesis: super(I) must not capture any member code.
+    if members.iter().any(|m| super_i.contains(enc.code(m))) {
+        return FaceImplementation::NotApplicable;
+    }
+    // M = literals fixed in super(I) but free in super(L).
+    let m_mask = super_i.fixed & !super_l.fixed;
+    let mut cubes = Vec::new();
+    for b in 0..enc.nv() as u32 {
+        if m_mask >> b & 1 == 0 {
+            continue;
+        }
+        // Start from super(I), complement literal b, free the other M
+        // literals.
+        let fixed = (super_i.fixed & !m_mask) | (1 << b);
+        let values = (super_i.values & !(1 << b)) | (!super_i.values & (1 << b));
+        cubes.push(CodeCube {
+            fixed,
+            values: values & fixed,
+            nv: enc.nv(),
+        });
+    }
+    debug_assert_eq!(cubes.len(), super_l.dim() - super_i.dim());
+    FaceImplementation::TheoremCubes(cubes)
+}
+
+/// Verifies that a cube collection implements a constraint: every member
+/// code covered, no other symbol's code covered. Used by tests and debug
+/// assertions.
+pub fn implements_constraint(enc: &Encoding, members: &SymbolSet, cubes: &[CodeCube]) -> bool {
+    (0..enc.num_symbols()).all(|s| {
+        let covered = cubes.iter().any(|c| c.contains(enc.code(s)));
+        covered == members.contains(s)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-bit instance patterned on the paper's running example: members
+    /// spread over a half-space with two intruders forming a small face.
+    #[test]
+    fn theorem_cubes_exclude_intruders() {
+        // Symbols: 0..=6. Members L = {2, 3, 4, 5} with codes spanning
+        // super(L) = 0---; intruders {0, 1} at 0000 and 0010,
+        // super(I) = 00-0.
+        let enc = Encoding::new(
+            4,
+            vec![
+                0b0000, // s0 (intruder)
+                0b0010, // s1 (intruder)
+                0b0001, // s2
+                0b0011, // s3
+                0b0100, // s4
+                0b0111, // s5
+                0b1000, // s6 (outside super(L))
+            ],
+        )
+        .unwrap();
+        let members = SymbolSet::from_members(7, [2, 3, 4, 5]);
+        let r = theorem_i(&enc, &members);
+        let FaceImplementation::TheoremCubes(cubes) = &r else {
+            panic!("theorem should apply: {r:?}");
+        };
+        // dim(super L) = 3 (0---), dim(super I) = 1 (00-0) -> 2 cubes.
+        assert_eq!(cubes.len(), 2);
+        assert!(implements_constraint(&enc, &members, cubes));
+    }
+
+    #[test]
+    fn satisfied_constraint_is_one_cube() {
+        let enc = Encoding::new(2, vec![0b00, 0b01, 0b10, 0b11]).unwrap();
+        let members = SymbolSet::from_members(4, [0, 1]);
+        let r = theorem_i(&enc, &members);
+        assert_eq!(r.cube_count(), Some(1));
+        let FaceImplementation::SingleCube(c) = r else {
+            panic!()
+        };
+        assert_eq!(c.render(), "0-");
+    }
+
+    #[test]
+    fn not_applicable_when_member_in_intruder_cube() {
+        // members {0,1} at 000, 011 (super 0--); intruders {2,3} at
+        // 001, 010 -> super(I) = 0-- which contains the member codes.
+        let enc = Encoding::new(3, vec![0b000, 0b011, 0b001, 0b010]).unwrap();
+        let members = SymbolSet::from_members(4, [0, 1]);
+        assert_eq!(theorem_i(&enc, &members), FaceImplementation::NotApplicable);
+    }
+
+    #[test]
+    fn cube_count_matches_dimension_difference() {
+        // members spread to super(L) = ----; single intruder at 0000,
+        // super(I) = 0000 (dim 0) -> 4 cubes.
+        let enc = Encoding::new(
+            4,
+            vec![
+                0b0000, // s0 intruder
+                0b1111, 0b0001, 0b0010, 0b0100, 0b1000,
+            ],
+        )
+        .unwrap();
+        let members = SymbolSet::from_members(6, [1, 2, 3, 4, 5]);
+        let r = theorem_i(&enc, &members);
+        let FaceImplementation::TheoremCubes(cubes) = &r else {
+            panic!("theorem should apply: {r:?}")
+        };
+        assert_eq!(cubes.len(), 4);
+        assert!(implements_constraint(&enc, &members, cubes));
+    }
+}

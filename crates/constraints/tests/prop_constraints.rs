@@ -1,0 +1,113 @@
+//! Property tests of the constraint machinery against brute-force oracles.
+
+use picola_constraints::{ConstraintMatrix, Encoding, GroupConstraint, SymbolSet};
+use proptest::prelude::*;
+
+/// Strategy: a valid encoding of `n` symbols in `nv` bits.
+fn encoding(n: usize, nv: usize) -> impl Strategy<Value = Encoding> {
+    proptest::sample::subsequence((0u32..1 << nv).collect::<Vec<_>>(), n)
+        .prop_shuffle()
+        .prop_map(move |codes| Encoding::new(nv, codes).expect("distinct"))
+}
+
+fn member_set(n: usize) -> impl Strategy<Value = SymbolSet> {
+    proptest::collection::vec(any::<bool>(), n).prop_map(move |bits| {
+        let mut s = SymbolSet::empty(n);
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                s.insert(i);
+            }
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn supercube_is_the_minimal_enclosing_cube(
+        enc in encoding(10, 4),
+        members in member_set(10),
+    ) {
+        prop_assume!(!members.is_empty());
+        let sc = enc.supercube(&members);
+        // contains every member code
+        for m in members.iter() {
+            prop_assert!(sc.contains(enc.code(m)));
+        }
+        // minimal: every fixed bit is justified by all members agreeing
+        for b in 0..4u32 {
+            if sc.fixed >> b & 1 == 1 {
+                let vals: Vec<u32> =
+                    members.iter().map(|m| enc.code(m) >> b & 1).collect();
+                prop_assert!(vals.windows(2).all(|w| w[0] == w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn intruders_match_brute_force(
+        enc in encoding(10, 4),
+        members in member_set(10),
+    ) {
+        prop_assume!(!members.is_empty());
+        let sc = enc.supercube(&members);
+        let brute: Vec<usize> = (0..10)
+            .filter(|&s| !members.contains(s) && sc.contains(enc.code(s)))
+            .collect();
+        prop_assert_eq!(enc.intruders(&members).to_vec(), brute);
+    }
+
+    #[test]
+    fn matrix_satisfaction_matches_column_semantics(
+        enc in encoding(8, 3),
+        members in member_set(8),
+    ) {
+        prop_assume!(members.len() >= 2 && members.len() < 8);
+        // Feed the encoding's columns into the matrix; afterwards the
+        // stamped entries must agree with direct dichotomy evaluation.
+        let c = GroupConstraint::new(members.clone());
+        let mut matrix = ConstraintMatrix::new(8, 3, vec![c.clone()]);
+        for j in 0..3 {
+            matrix.apply_column(&enc.column(j));
+        }
+        let tc = matrix.constraint(0);
+        for d in c.dichotomies() {
+            let stamped = tc.entry(d.outsider);
+            let directly = (0..3).find(|&j| d.satisfied_by_column(&enc.column(j)));
+            match directly {
+                Some(j) => prop_assert_eq!(stamped, j + 1, "outsider {}", d.outsider),
+                None => prop_assert_eq!(stamped, 0, "outsider {}", d.outsider),
+            }
+        }
+        // And full satisfaction in matrix terms == face embedding, because
+        // the columns came from a complete valid encoding.
+        prop_assert_eq!(
+            tc.unsatisfied_dichotomies() == 0,
+            enc.satisfies(&members)
+        );
+    }
+
+    #[test]
+    fn constraint_function_partitions_codes(
+        enc in encoding(12, 4),
+        members in member_set(12),
+    ) {
+        prop_assume!(!members.is_empty());
+        let dom = picola_logic::Domain::binary(4);
+        let (on, dc) = enc.constraint_function(&dom, &members);
+        prop_assert_eq!(on.len(), members.len());
+        prop_assert_eq!(dc.len(), 16 - 12);
+        // on, dc and the implicit off partition the code space
+        let off = picola_logic::complement(&on.union(&dc));
+        for s in 0..12 {
+            let mut point = Vec::new();
+            for b in 0..4 {
+                point.push((enc.code(s) >> b & 1) as usize);
+            }
+            prop_assert_eq!(on.covers_point(&point), members.contains(s));
+            prop_assert_eq!(off.covers_point(&point), !members.contains(s));
+        }
+    }
+}

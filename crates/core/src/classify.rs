@@ -1,0 +1,204 @@
+//! `Classify()` and `Update_constraints()` — dynamic infeasibility detection
+//! (paper §3.3) and guide-constraint substitution (paper §3.2).
+
+use picola_constraints::{
+    nv_compatible, ConstraintKind, ConstraintMatrix, ConstraintStatus, Geometry,
+};
+
+/// What one `Update_constraints()` round did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassifyOutcome {
+    /// Constraints newly marked infeasible this round.
+    pub newly_infeasible: Vec<usize>,
+    /// Guide constraints added this round (their matrix indices).
+    pub guides_added: Vec<usize>,
+}
+
+/// The current dimension range of constraint `k`'s implementing cube.
+pub fn geometry(matrix: &ConstraintMatrix, k: usize) -> Geometry {
+    Geometry {
+        size: matrix.constraint(k).constraint().len(),
+        lower: matrix.dim_super_lower(k),
+        upper: matrix.dim_super_upper(k),
+    }
+}
+
+/// Runs one classification round: active constraints that can no longer be
+/// satisfied are marked infeasible and (for original constraints, when
+/// `use_guides` is set) replaced by the guide constraint over their pending
+/// intruders.
+///
+/// A constraint is declared infeasible when
+/// 1. its own geometry admits no embeddable cube dimension — no dimension in
+///    `[lower, upper]` both holds the members and leaves the `n − size`
+///    outside symbols room (`2^d − size ≤ 2^nv − n`), or
+/// 2. all `nv` columns are generated and dichotomies remain unsatisfied, or
+/// 3. it is not nv-compatible with some already-*satisfied*, non-trivial
+///    constraint (the paper's trigger: “once a constraint is satisfied,
+///    those ones which are not nv-compatible to it are identified as
+///    infeasible”).
+pub fn update_constraints(matrix: &mut ConstraintMatrix, use_guides: bool) -> ClassifyOutcome {
+    let nv = matrix.nv();
+    let n = matrix.num_symbols();
+    let done = matrix.columns_done();
+    let mut outcome = ClassifyOutcome::default();
+
+    let satisfied: Vec<usize> = matrix
+        .with_status(ConstraintStatus::Satisfied)
+        .into_iter()
+        .filter(|&s| !matrix.constraint(s).constraint().is_trivial())
+        .collect();
+
+    for k in matrix.with_status(ConstraintStatus::Active) {
+        let gk = geometry(matrix, k);
+        let mut infeasible = !gk.feasible_in(nv, n);
+        if !infeasible && done == nv && matrix.constraint(k).unsatisfied_dichotomies() > 0 {
+            infeasible = true;
+        }
+        if !infeasible {
+            for &s in &satisfied {
+                let gs = geometry(matrix, s);
+                let a = matrix.constraint(k).constraint().members();
+                let b = matrix.constraint(s).constraint().members();
+                if !nv_compatible(a, gk, b, gs, nv, n) {
+                    infeasible = true;
+                    break;
+                }
+            }
+        }
+        if infeasible {
+            matrix.mark_infeasible(k);
+            outcome.newly_infeasible.push(k);
+        }
+    }
+
+    if use_guides && done < nv {
+        for &k in &outcome.newly_infeasible {
+            // Only original constraints spawn guides; a guide that fails is
+            // simply dropped (one level of guiding, see DESIGN.md §7).
+            if matrix.constraint(k).constraint().kind() == ConstraintKind::Original
+                && !matrix.constraint(k).guided()
+            {
+                if let Some(g) = matrix.add_guide(k) {
+                    outcome.guides_added.push(g);
+                }
+            }
+        }
+    }
+
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picola_constraints::{GroupConstraint, SymbolSet};
+
+    fn mk(n: usize, nv: usize, groups: &[&[usize]]) -> ConstraintMatrix {
+        let cs = groups
+            .iter()
+            .map(|g| GroupConstraint::new(SymbolSet::from_members(n, g.iter().copied())))
+            .collect();
+        ConstraintMatrix::new(n, nv, cs)
+    }
+
+    #[test]
+    fn no_infeasibility_at_start_for_sane_constraints() {
+        // power-of-two faces need no spare codes; both embed in 3 bits.
+        let mut m = mk(8, 3, &[&[0, 1], &[2, 3, 4, 5]]);
+        let out = update_constraints(&mut m, true);
+        assert!(out.newly_infeasible.is_empty());
+        // with spare codes available, odd-sized faces are fine too
+        let mut m2 = mk(6, 3, &[&[0, 1, 2], &[3, 4]]);
+        let out2 = update_constraints(&mut m2, true);
+        assert!(out2.newly_infeasible.is_empty());
+    }
+
+    #[test]
+    fn splitting_columns_make_a_big_constraint_infeasible() {
+        // Constraint of 4 symbols needs dim >= 2 = all free columns of nv=3
+        // once two columns split its members.
+        let mut m = mk(8, 3, &[&[0, 1, 2, 3]]);
+        // Column 1 splits members 0,1 from 2,3.
+        m.apply_column(&[true, true, false, false, true, false, true, false]);
+        // Column 2 splits members 0,2 from 1,3.
+        m.apply_column(&[true, false, true, false, false, true, true, false]);
+        // Now lower bound = max(ceil(log2 4), 2 disagreeing) = 2, upper =
+        // 3 - 0 participating = 3: still feasible geometrically...
+        let g = geometry(&m, 0);
+        assert!(g.feasible());
+        // ...but a third splitting column kills it: lower 3 > upper 3? No —
+        // force participation impossibility instead: after the final column
+        // with remaining dichotomies unsatisfied it must be infeasible.
+        m.apply_column(&[true, false, false, true, true, true, true, true]);
+        let out = update_constraints(&mut m, true);
+        assert_eq!(out.newly_infeasible, vec![0]);
+    }
+
+    #[test]
+    fn incompatible_with_satisfied_constraint_is_detected() {
+        // n = 8, nv = 3, zero spare codes. Two disjoint 3-member
+        // constraints cannot both hold: each needs a 4-code cube with one
+        // spare word, but dc(S) = 2^3 - 8 = 0.
+        let mut m = mk(8, 3, &[&[0, 1, 2], &[3, 4, 5]]);
+        // One column separating {0,1,2} from everything else satisfies
+        // constraint 0 outright.
+        m.apply_column(&[false, false, false, true, true, true, true, true]);
+        assert_eq!(m.constraint(0).status(), ConstraintStatus::Satisfied);
+        let out = update_constraints(&mut m, true);
+        assert_eq!(out.newly_infeasible, vec![1]);
+        // Outsiders 6 and 7 still share the members' side: they are the
+        // pending intruders and become the guide constraint.
+        assert_eq!(out.guides_added.len(), 1);
+        let g = out.guides_added[0];
+        assert_eq!(m.constraint(g).constraint().members().to_vec(), vec![6, 7]);
+    }
+
+    #[test]
+    fn guides_are_added_once_and_only_for_originals() {
+        let mut m = mk(8, 3, &[&[0, 1, 2, 3, 4]]);
+        // Split the members heavily so the constraint dies.
+        m.apply_column(&[true, true, false, false, true, false, true, false]);
+        m.apply_column(&[true, false, true, false, false, true, true, false]);
+        m.apply_column(&[false, true, true, false, true, true, false, true]);
+        let out = update_constraints(&mut m, true);
+        assert_eq!(out.newly_infeasible, vec![0]);
+        // done == nv, so no guides are added at the end.
+        assert!(out.guides_added.is_empty());
+    }
+
+    #[test]
+    fn dc_budget_rule_fires_immediately() {
+        // A 3-member face among n = 2^nv symbols can never be embedded: it
+        // needs a 4-code cube with a spare word, and there are none. The
+        // unary rule fires before any column exists, and the guide spans
+        // all pending intruders (every outsider).
+        let mut m = mk(8, 3, &[&[0, 1, 2]]);
+        let out = update_constraints(&mut m, true);
+        assert_eq!(out.newly_infeasible, vec![0]);
+        assert_eq!(out.guides_added.len(), 1);
+        let g = out.guides_added[0];
+        assert_eq!(
+            m.constraint(g).constraint().members().to_vec(),
+            vec![3, 4, 5, 6, 7]
+        );
+    }
+
+    #[test]
+    fn unary_geometry_rule_is_a_safety_net() {
+        // The matrix itself does not enforce valid partial encodings; when
+        // fed a column in which five members of a min_dim-3 constraint
+        // participate (impossible under validity), the geometry rule still
+        // catches the contradiction and spawns a guide over the pending
+        // intruders mid-run.
+        let mut m = mk(8, 3, &[&[0, 1, 2, 3, 4]]);
+        m.apply_column(&[false, false, false, false, false, false, false, true]);
+        // participating = [0] -> upper = 2 < lower = 3
+        let out = update_constraints(&mut m, true);
+        assert_eq!(out.newly_infeasible, vec![0]);
+        assert_eq!(out.guides_added.len(), 1);
+        let g = out.guides_added[0];
+        // outsiders 5 and 6 share the members' side: pending intruders
+        assert_eq!(m.constraint(g).constraint().members().to_vec(), vec![5, 6]);
+    }
+}

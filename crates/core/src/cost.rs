@@ -1,0 +1,129 @@
+//! Cost models for column generation (paper §3.4).
+//!
+//! `Solve()` scores each candidate bit assignment by a weighted sum of the
+//! seed dichotomies the column would satisfy. The paper specifies that a
+//! dichotomy's weight depends on the *size* and *type* (original vs. guide)
+//! of its face constraint and on the columns generated so far; the exact
+//! shape is left open, so the default model below is our instantiation and
+//! the alternatives exist for the ablation study.
+
+use picola_constraints::{ConstraintKind, TrackedConstraint};
+
+/// Selectable weighting of seed dichotomies.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum CostModel {
+    /// The paper-guided default: original constraints count double, weights
+    /// are normalized by the constraint's outsider count, scaled by its
+    /// extraction multiplicity, and boosted as the constraint approaches
+    /// full satisfaction (so nearly-embedded faces get finished).
+    #[default]
+    PaperWeighted,
+    /// Every unsatisfied seed dichotomy weighs 1 — the classic
+    /// dichotomy-maximization objective.
+    UniformDichotomy,
+    /// Only completing a constraint scores: a dichotomy weighs 1 when it is
+    /// the constraint's last unsatisfied one, else a small epsilon. Mimics
+    /// the conventional satisfied-constraint-count objective.
+    ConstraintCompletion,
+}
+
+impl CostModel {
+    /// Weight of keeping a constraint's members together, per dichotomy the
+    /// column leaves unsatisfied on the members' own side.
+    ///
+    /// The immediate score of a column counts only dichotomies it satisfies;
+    /// without a potential term, splitting the members of a face whose
+    /// outsiders have not yet been separated costs *nothing now* but
+    /// forfeits the whole face. Pricing each still-pending dichotomy at this
+    /// fraction of its weight keeps `Solve()` from trading live faces for
+    /// marginal gains — the paper's “weight … depend\[s\] on the encoding
+    /// column generated so far” hook.
+    pub fn together_potential(self) -> f64 {
+        match self {
+            CostModel::PaperWeighted => 0.5,
+            CostModel::UniformDichotomy => 0.0,
+            CostModel::ConstraintCompletion => 0.0,
+        }
+    }
+
+    /// Weight of one yet-unsatisfied seed dichotomy of `tc`.
+    ///
+    /// `initial_outsiders` is the constraint's dichotomy count before any
+    /// column was generated (used for normalization).
+    pub fn dichotomy_weight(self, tc: &TrackedConstraint, initial_outsiders: usize) -> f64 {
+        let unsat = tc.unsatisfied_dichotomies();
+        match self {
+            CostModel::PaperWeighted => {
+                let type_factor = match tc.constraint().kind() {
+                    ConstraintKind::Original => 2.0,
+                    ConstraintKind::Guide { .. } => 1.0,
+                };
+                let multiplicity = tc.constraint().weight() as f64;
+                let total = initial_outsiders.max(1) as f64;
+                let progress = 1.0 - (unsat as f64 / total);
+                type_factor * multiplicity * (1.0 + progress) / total
+            }
+            CostModel::UniformDichotomy => 1.0,
+            CostModel::ConstraintCompletion => {
+                if unsat == 1 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picola_constraints::{ConstraintMatrix, GroupConstraint, SymbolSet};
+
+    fn tracked(members: &[usize], n: usize) -> ConstraintMatrix {
+        let c = GroupConstraint::new(SymbolSet::from_members(n, members.iter().copied()));
+        ConstraintMatrix::new(n, 3, vec![c])
+    }
+
+    #[test]
+    fn paper_weight_boosts_progress() {
+        let mut m = tracked(&[0, 1], 6);
+        let w0 = CostModel::PaperWeighted.dichotomy_weight(m.constraint(0), 4);
+        // satisfy two dichotomies
+        let col = vec![false, false, true, true, false, false];
+        m.apply_column(&col);
+        let w1 = CostModel::PaperWeighted.dichotomy_weight(m.constraint(0), 4);
+        assert!(w1 > w0, "progress should raise the weight: {w0} -> {w1}");
+    }
+
+    #[test]
+    fn originals_outweigh_guides() {
+        let n = 6;
+        let orig = GroupConstraint::new(SymbolSet::from_members(n, [0, 1]));
+        let guide = GroupConstraint::guide(SymbolSet::from_members(n, [2, 3]), 0);
+        let m = ConstraintMatrix::new(n, 3, vec![orig, guide]);
+        let wo = CostModel::PaperWeighted.dichotomy_weight(m.constraint(0), 4);
+        let wg = CostModel::PaperWeighted.dichotomy_weight(m.constraint(1), 4);
+        assert!(wo > wg);
+    }
+
+    #[test]
+    fn uniform_is_constant() {
+        let m = tracked(&[0, 1, 2], 8);
+        assert_eq!(
+            CostModel::UniformDichotomy.dichotomy_weight(m.constraint(0), 5),
+            1.0
+        );
+    }
+
+    #[test]
+    fn completion_spikes_on_last_dichotomy() {
+        let mut m = tracked(&[0, 1], 4);
+        // satisfy one of the two dichotomies (outsiders 2 and 3): members
+        // get false, outsider 2 true, outsider 3 false.
+        m.apply_column(&[false, false, true, false]);
+        assert_eq!(m.constraint(0).unsatisfied_dichotomies(), 1);
+        let w = CostModel::ConstraintCompletion.dichotomy_weight(m.constraint(0), 2);
+        assert_eq!(w, 1.0);
+    }
+}

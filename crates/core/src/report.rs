@@ -1,0 +1,84 @@
+//! Human-readable reports of encoding runs.
+
+use crate::eval::EncodingEvaluation;
+use crate::picola::PicolaResult;
+use picola_constraints::{ConstraintStatus, GroupConstraint};
+use std::fmt;
+
+/// A printable summary of a PICOLA run plus its evaluation.
+#[derive(Debug, Clone)]
+pub struct RunReport<'a> {
+    /// The algorithm result.
+    pub result: &'a PicolaResult,
+    /// The evaluated constraint costs.
+    pub evaluation: &'a EncodingEvaluation,
+    /// The constraint set the evaluation refers to.
+    pub constraints: &'a [GroupConstraint],
+}
+
+impl fmt::Display for RunReport<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let enc = &self.result.encoding;
+        writeln!(
+            f,
+            "encoding: {} symbols x {} bits; {} original constraints satisfied, {} guides",
+            enc.num_symbols(),
+            enc.nv(),
+            self.result.satisfied_originals(),
+            self.result.guides_generated()
+        )?;
+        writeln!(
+            f,
+            "cost: {} cubes over {} constraints ({} satisfied)",
+            self.evaluation.total_cubes, self.evaluation.evaluated, self.evaluation.satisfied
+        )?;
+        for cost in &self.evaluation.per_constraint {
+            let c = &self.constraints[cost.index];
+            let status = self
+                .result
+                .matrix
+                .constraints()
+                .get(cost.index)
+                .map(|tc| tc.status());
+            writeln!(
+                f,
+                "  {c}: {} cube(s){}{}",
+                cost.cubes,
+                if cost.satisfied { " [satisfied]" } else { "" },
+                match status {
+                    Some(ConstraintStatus::Infeasible) => " [infeasible]",
+                    _ => "",
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_encoding;
+    use crate::picola::picola_encode;
+    use picola_constraints::SymbolSet;
+
+    #[test]
+    fn report_renders_all_sections() {
+        let n = 8;
+        let cs = vec![
+            GroupConstraint::new(SymbolSet::from_members(n, [0, 1])),
+            GroupConstraint::new(SymbolSet::from_members(n, [2, 3, 4])),
+        ];
+        let result = picola_encode(n, &cs);
+        let evaluation = evaluate_encoding(&result.encoding, &cs);
+        let report = RunReport {
+            result: &result,
+            evaluation: &evaluation,
+            constraints: &cs,
+        };
+        let text = report.to_string();
+        assert!(text.contains("8 symbols x 3 bits"), "{text}");
+        assert!(text.contains("cubes over 2 constraints"), "{text}");
+        assert!(text.contains("cube(s)"), "{text}");
+    }
+}

@@ -1,0 +1,273 @@
+//! `Solve()` — generation of one encoding column (paper §3.4).
+//!
+//! The column starts at all-ones. Bits are assigned to 0 one at a time: a
+//! flip is *forced* while some class of identically-coded symbols has too
+//! many members left on the 1 side (the column must become a valid partial
+//! encoding), and *opportunistic* while the best legal flip has strictly
+//! positive weighted-dichotomy gain. Among legal candidates the flip
+//! maximizing the gain is chosen, ties broken by the lowest symbol index so
+//! runs are deterministic.
+
+use crate::cost::CostModel;
+use crate::validity::ValidityTracker;
+use picola_constraints::{ConstraintMatrix, ConstraintStatus};
+
+/// The role a symbol plays for one tracked constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Member,
+    UnsatOutsider,
+}
+
+/// Incremental scorer: per active constraint, how many members and
+/// unsatisfied outsiders sit on each side of the working column.
+struct ColumnScorer {
+    weight: Vec<f64>,
+    member_true: Vec<usize>,
+    member_false: Vec<usize>,
+    out_true: Vec<usize>,
+    out_false: Vec<usize>,
+    /// Per symbol: (local constraint index, role) pairs.
+    touch: Vec<Vec<(usize, Role)>>,
+    /// Fraction of a pending dichotomy's weight credited while the members
+    /// stay together (see [`CostModel::together_potential`]).
+    potential: f64,
+}
+
+impl ColumnScorer {
+    fn new(matrix: &ConstraintMatrix, cost: CostModel) -> Self {
+        let n = matrix.num_symbols();
+        let mut s = ColumnScorer {
+            weight: Vec::new(),
+            member_true: Vec::new(),
+            member_false: Vec::new(),
+            out_true: Vec::new(),
+            out_false: Vec::new(),
+            touch: vec![Vec::new(); n],
+            potential: cost.together_potential(),
+        };
+        for k in matrix.with_status(ConstraintStatus::Active) {
+            let tc = matrix.constraint(k);
+            let unsat = tc.unsatisfied_dichotomies();
+            if unsat == 0 {
+                continue;
+            }
+            let members = tc.constraint().members();
+            let initial_outsiders = n - members.len();
+            let local = s.weight.len();
+            s.weight
+                .push(cost.dichotomy_weight(tc, initial_outsiders));
+            s.member_true.push(members.len());
+            s.member_false.push(0);
+            let mut unsat_out = 0;
+            for j in 0..n {
+                if members.contains(j) {
+                    s.touch[j].push((local, Role::Member));
+                } else if tc.entry(j) == 0 {
+                    s.touch[j].push((local, Role::UnsatOutsider));
+                    unsat_out += 1;
+                }
+            }
+            s.out_true.push(unsat_out);
+            s.out_false.push(0);
+        }
+        s
+    }
+
+    /// Score of constraint `k` for given side counts: dichotomies the
+    /// column would satisfy if finalized now, plus the potential credit for
+    /// pending dichotomies while the members remain together.
+    fn score_counts(&self, k: usize, mt: usize, mf: usize, ot: usize, of: usize) -> f64 {
+        let (sat, pending) = if mf == 0 {
+            (of, ot)
+        } else if mt == 0 {
+            (ot, of)
+        } else {
+            (0, 0)
+        };
+        self.weight[k] * (sat as f64 + self.potential * pending as f64)
+    }
+
+    /// Score contribution of constraint `k` for the current side counts.
+    fn score_one(&self, k: usize) -> f64 {
+        self.score_counts(
+            k,
+            self.member_true[k],
+            self.member_false[k],
+            self.out_true[k],
+            self.out_false[k],
+        )
+    }
+
+    /// Gain of flipping symbol `i` from the 1 side to the 0 side.
+    fn gain(&self, i: usize) -> f64 {
+        let mut delta = 0.0;
+        for &(k, role) in &self.touch[i] {
+            let before = self.score_one(k);
+            let after = match role {
+                Role::Member => self.score_counts(
+                    k,
+                    self.member_true[k] - 1,
+                    self.member_false[k] + 1,
+                    self.out_true[k],
+                    self.out_false[k],
+                ),
+                Role::UnsatOutsider => self.score_counts(
+                    k,
+                    self.member_true[k],
+                    self.member_false[k],
+                    self.out_true[k] - 1,
+                    self.out_false[k] + 1,
+                ),
+            };
+            delta += after - before;
+        }
+        delta
+    }
+
+    fn apply_flip(&mut self, i: usize) {
+        for &(k, role) in &self.touch[i] {
+            match role {
+                Role::Member => {
+                    self.member_true[k] -= 1;
+                    self.member_false[k] += 1;
+                }
+                Role::UnsatOutsider => {
+                    self.out_true[k] -= 1;
+                    self.out_false[k] += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Generates the next code column for the current matrix/validity state.
+///
+/// The returned column is guaranteed valid (see
+/// [`ValidityTracker::column_is_valid`]).
+///
+/// # Panics
+///
+/// Panics if no columns remain to be generated.
+pub fn solve_column(
+    matrix: &ConstraintMatrix,
+    validity: &ValidityTracker,
+    cost: CostModel,
+) -> Vec<bool> {
+    let n = matrix.num_symbols();
+    assert!(validity.columns_left() > 0, "no columns left to generate");
+    let limit = validity.next_class_limit();
+    let mut column = vec![true; n];
+    let mut scorer = ColumnScorer::new(matrix, cost);
+
+    loop {
+        let splits = validity.split_sizes(&column);
+        let oversized: Vec<usize> = splits
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(t, _))| t > limit)
+            .map(|(c, _)| c)
+            .collect();
+        let forced = !oversized.is_empty();
+
+        let mut best: Option<(f64, usize)> = None;
+        for (i, _) in column.iter().enumerate().filter(|&(_, &b)| b) {
+            let class = validity.class_of(i);
+            if forced && !oversized.contains(&class) {
+                continue;
+            }
+            // Legal only if the 0 side of the class stays within the limit.
+            if splits[class].1 >= limit {
+                continue;
+            }
+            let g = scorer.gain(i);
+            let better = match best {
+                None => true,
+                Some((bg, _)) => g > bg + 1e-12,
+            };
+            if better {
+                best = Some((g, i));
+            }
+        }
+
+        match best {
+            Some((g, i)) if forced || g > 1e-12 => {
+                column[i] = false;
+                scorer.apply_flip(i);
+            }
+            _ => break,
+        }
+    }
+
+    debug_assert!(validity.column_is_valid(&column));
+    column
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picola_constraints::{ConstraintMatrix, GroupConstraint, SymbolSet};
+
+    fn setup(n: usize, nv: usize, groups: &[&[usize]]) -> (ConstraintMatrix, ValidityTracker) {
+        let cs = groups
+            .iter()
+            .map(|g| GroupConstraint::new(SymbolSet::from_members(n, g.iter().copied())))
+            .collect();
+        (ConstraintMatrix::new(n, nv, cs), ValidityTracker::new(n, nv))
+    }
+
+    #[test]
+    fn column_is_valid_and_deterministic() {
+        let (m, v) = setup(8, 3, &[&[0, 1], &[2, 3, 4]]);
+        let c1 = solve_column(&m, &v, CostModel::PaperWeighted);
+        let c2 = solve_column(&m, &v, CostModel::PaperWeighted);
+        assert_eq!(c1, c2);
+        assert!(v.column_is_valid(&c1));
+    }
+
+    #[test]
+    fn column_separates_a_small_constraint() {
+        // one constraint {0,1} among 4 symbols, nv = 2: the first column
+        // should isolate {0,1} from the others (both dichotomies satisfied).
+        let (mut m, mut v) = setup(4, 2, &[&[0, 1]]);
+        let col = solve_column(&m, &v, CostModel::PaperWeighted);
+        assert_eq!(col[0], col[1], "members must agree");
+        assert_ne!(col[0], col[2], "outsider 2 must differ");
+        assert_ne!(col[0], col[3], "outsider 3 must differ");
+        m.apply_column(&col);
+        v.commit(&col);
+        assert_eq!(
+            m.constraint(0).status(),
+            picola_constraints::ConstraintStatus::Satisfied
+        );
+    }
+
+    #[test]
+    fn forced_flips_fix_oversized_classes() {
+        // No constraints at all: flips happen only because validity forces
+        // a split of the single 8-symbol class (limit 4).
+        let (m, v) = setup(8, 3, &[]);
+        let col = solve_column(&m, &v, CostModel::PaperWeighted);
+        let zeros = col.iter().filter(|&&b| !b).count();
+        let ones = col.len() - zeros;
+        assert!(zeros <= 4 && ones <= 4, "split {ones}/{zeros} not valid");
+    }
+
+    #[test]
+    fn full_encoding_distinguishes_everything() {
+        let (mut m, mut v) = setup(8, 3, &[&[0, 1], &[2, 3, 4], &[5, 6]]);
+        for _ in 0..3 {
+            let col = solve_column(&m, &v, CostModel::PaperWeighted);
+            m.apply_column(&col);
+            v.commit(&col);
+        }
+        assert!(v.fully_distinguished());
+    }
+
+    #[test]
+    fn uniform_cost_also_yields_valid_columns() {
+        let (m, v) = setup(10, 4, &[&[0, 1, 2], &[4, 5], &[7, 8, 9]]);
+        let col = solve_column(&m, &v, CostModel::UniformDichotomy);
+        assert!(v.column_is_valid(&col));
+    }
+}

@@ -1,0 +1,203 @@
+//! Valid-partial-encoding tracking.
+//!
+//! A partial encoding (some columns of the code matrix) is *valid* when
+//! every group of symbols sharing the same partial code can still be told
+//! apart by the remaining columns: each such class must have at most
+//! `2^(remaining columns)` members.
+
+/// Tracks the equivalence classes induced by the generated code columns.
+#[derive(Debug, Clone)]
+pub struct ValidityTracker {
+    n: usize,
+    nv: usize,
+    /// Class id per symbol under the columns committed so far.
+    class: Vec<usize>,
+    columns_done: usize,
+}
+
+impl ValidityTracker {
+    /// A fresh tracker: all `n` symbols in one class, `nv` columns to come.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` symbols fit in `nv` bits.
+    pub fn new(n: usize, nv: usize) -> Self {
+        assert!(
+            (n as u64) <= 1u64 << nv,
+            "{n} symbols cannot be distinguished by {nv} bits"
+        );
+        ValidityTracker {
+            n,
+            nv,
+            class: vec![0; n],
+            columns_done: 0,
+        }
+    }
+
+    /// Number of symbols.
+    pub fn num_symbols(&self) -> usize {
+        self.n
+    }
+
+    /// Columns committed so far.
+    pub fn columns_done(&self) -> usize {
+        self.columns_done
+    }
+
+    /// Remaining columns.
+    pub fn columns_left(&self) -> usize {
+        self.nv - self.columns_done
+    }
+
+    /// The class id of a symbol.
+    pub fn class_of(&self, symbol: usize) -> usize {
+        self.class[symbol]
+    }
+
+    /// Class populations indexed by class id.
+    pub fn class_sizes(&self) -> Vec<usize> {
+        let max = self.class.iter().copied().max().unwrap_or(0);
+        let mut sizes = vec![0usize; max + 1];
+        for &c in &self.class {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+
+    /// Maximum members one class may hold *after* the next column is
+    /// committed (`2^(columns_left − 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no columns remain.
+    pub fn next_class_limit(&self) -> usize {
+        assert!(self.columns_left() > 0, "no columns left");
+        1usize << (self.columns_left() - 1)
+    }
+
+    /// Whether committing `column` keeps the partial encoding valid.
+    pub fn column_is_valid(&self, column: &[bool]) -> bool {
+        assert_eq!(column.len(), self.n, "column length mismatch");
+        if self.columns_left() == 0 {
+            return false;
+        }
+        let limit = self.next_class_limit();
+        let sizes = self.split_sizes(column);
+        sizes.iter().all(|&(t, f)| t <= limit && f <= limit)
+    }
+
+    /// Per existing class, how many members would land on the (true, false)
+    /// side of `column`.
+    pub fn split_sizes(&self, column: &[bool]) -> Vec<(usize, usize)> {
+        let max = self.class.iter().copied().max().unwrap_or(0);
+        let mut sizes = vec![(0usize, 0usize); max + 1];
+        for (i, &c) in self.class.iter().enumerate() {
+            if column[i] {
+                sizes[c].0 += 1;
+            } else {
+                sizes[c].1 += 1;
+            }
+        }
+        sizes
+    }
+
+    /// Commits a column, refining the classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column is invalid (see [`ValidityTracker::column_is_valid`]).
+    pub fn commit(&mut self, column: &[bool]) {
+        assert!(self.column_is_valid(column), "invalid column committed");
+        // New class id = old id * 2 + bit, then compact.
+        let mut raw: Vec<usize> = self
+            .class
+            .iter()
+            .zip(column)
+            .map(|(&c, &b)| c * 2 + usize::from(b))
+            .collect();
+        let mut ids: Vec<usize> = raw.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        for r in &mut raw {
+            *r = ids.binary_search(r).expect("id present");
+        }
+        self.class = raw;
+        self.columns_done += 1;
+    }
+
+    /// Whether the committed columns already give every symbol a unique
+    /// partial code.
+    pub fn fully_distinguished(&self) -> bool {
+        self.class_sizes().iter().all(|&s| s <= 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_one_class() {
+        let v = ValidityTracker::new(6, 3);
+        assert_eq!(v.class_sizes(), vec![6]);
+        assert_eq!(v.next_class_limit(), 4);
+    }
+
+    #[test]
+    fn balanced_column_is_valid_and_splits() {
+        let mut v = ValidityTracker::new(6, 3);
+        let col = vec![true, true, true, false, false, false];
+        assert!(v.column_is_valid(&col));
+        v.commit(&col);
+        let mut sizes = v.class_sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 3]);
+        assert_eq!(v.columns_left(), 2);
+    }
+
+    #[test]
+    fn oversized_side_is_invalid() {
+        let v = ValidityTracker::new(6, 3);
+        // all six on one side: 6 > 2^2
+        let col = vec![true; 6];
+        assert!(!v.column_is_valid(&col));
+        // 5/1 split still invalid
+        let col2 = vec![true, true, true, true, true, false];
+        assert!(!v.column_is_valid(&col2));
+    }
+
+    #[test]
+    fn full_run_distinguishes_all() {
+        let mut v = ValidityTracker::new(4, 2);
+        v.commit(&[true, true, false, false]);
+        assert!(!v.fully_distinguished());
+        v.commit(&[true, false, true, false]);
+        assert!(v.fully_distinguished());
+        assert_eq!(v.columns_left(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn committing_invalid_column_panics() {
+        let mut v = ValidityTracker::new(4, 2);
+        v.commit(&[true, true, true, false]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_symbols_rejected() {
+        let _ = ValidityTracker::new(9, 3);
+    }
+
+    #[test]
+    fn exact_capacity_is_tight() {
+        // 8 symbols in 3 bits: every column must split 4/4, then 2/2 ...
+        let mut v = ValidityTracker::new(8, 3);
+        let col: Vec<bool> = (0..8).map(|i| i < 4).collect();
+        assert!(v.column_is_valid(&col));
+        let skew: Vec<bool> = (0..8).map(|i| i < 5).collect();
+        assert!(!v.column_is_valid(&skew));
+        v.commit(&col);
+        assert_eq!(v.next_class_limit(), 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests of the PICOLA core: column validity, end-to-end encoding
+//! invariants, and cost-model consistency.
+
+use picola_constraints::{ConstraintMatrix, GroupConstraint, SymbolSet};
+use picola_core::{picola_encode_with, solve_column, CostModel, PicolaOptions, ValidityTracker};
+use proptest::prelude::*;
+
+fn group_sets(n: usize) -> impl Strategy<Value = Vec<GroupConstraint>> {
+    proptest::collection::vec(proptest::collection::vec(0..n, 2..5), 0..6).prop_map(
+        move |groups| {
+            groups
+                .into_iter()
+                .map(|g| GroupConstraint::new(SymbolSet::from_members(n, g)))
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solve_column_always_returns_valid_columns(
+        groups in group_sets(12),
+        cost_pick in 0u8..3,
+    ) {
+        let n = 12;
+        let nv = 4;
+        let cost = match cost_pick {
+            0 => CostModel::PaperWeighted,
+            1 => CostModel::UniformDichotomy,
+            _ => CostModel::ConstraintCompletion,
+        };
+        let mut matrix = ConstraintMatrix::new(n, nv, groups);
+        let mut validity = ValidityTracker::new(n, nv);
+        for _ in 0..nv {
+            let col = solve_column(&matrix, &validity, cost);
+            prop_assert!(validity.column_is_valid(&col));
+            matrix.apply_column(&col);
+            validity.commit(&col);
+        }
+        prop_assert!(validity.fully_distinguished());
+    }
+
+    #[test]
+    fn all_option_combinations_yield_legal_encodings(
+        groups in group_sets(10),
+        disable_guides in any::<bool>(),
+        disable_classify in any::<bool>(),
+        disable_refine in any::<bool>(),
+    ) {
+        let n = 10;
+        let opts = PicolaOptions {
+            disable_guides,
+            disable_classify,
+            disable_refine,
+            ..PicolaOptions::default()
+        };
+        let r = picola_encode_with(n, &groups, &opts);
+        prop_assert_eq!(r.encoding.num_symbols(), n);
+        prop_assert_eq!(r.encoding.nv(), 4);
+        // Encoding::new inside guarantees distinctness; double-check.
+        let mut codes = r.encoding.codes().to_vec();
+        codes.sort_unstable();
+        codes.dedup();
+        prop_assert_eq!(codes.len(), n);
+    }
+
+    #[test]
+    fn refine_never_increases_the_estimate(groups in group_sets(10)) {
+        use picola_core::estimate_cubes;
+        let n = 10;
+        let plain = picola_encode_with(
+            n,
+            &groups,
+            &PicolaOptions {
+                disable_refine: true,
+                ..PicolaOptions::default()
+            },
+        );
+        let refined = picola_encode_with(n, &groups, &PicolaOptions::default());
+        prop_assert!(
+            estimate_cubes(&refined.encoding, &groups)
+                <= estimate_cubes(&plain.encoding, &groups)
+        );
+    }
+}

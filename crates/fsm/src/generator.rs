@@ -1,0 +1,259 @@
+//! Deterministic random FSM generation.
+//!
+//! Produces well-formed, deterministic machines whose rows look like real
+//! KISS2 benchmarks: per state, a small set of *tested* input bits
+//! partitions the input space into non-overlapping branches; next states are
+//! biased towards a chain and a hub state so the machine is connected and
+//! has the locality real control FSMs exhibit.
+
+use crate::machine::{Fsm, Ternary, Transition};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters for [`generate_fsm`].
+#[derive(Debug, Clone)]
+pub struct FsmSpec {
+    /// Machine name (also used for state-name prefixes).
+    pub name: String,
+    /// Number of states (≥ 2).
+    pub states: usize,
+    /// Number of binary primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Soft cap on the number of transition rows.
+    pub max_rows: usize,
+    /// Maximum number of input bits any one state tests (bounds the branch
+    /// fan-out per state and keeps downstream minimization tractable).
+    pub max_tested_bits: usize,
+    /// RNG seed; equal specs generate equal machines.
+    pub seed: u64,
+}
+
+impl FsmSpec {
+    /// A spec with defaults suitable for mid-size control FSMs.
+    pub fn new(name: &str, states: usize, inputs: usize, outputs: usize) -> Self {
+        FsmSpec {
+            name: name.to_owned(),
+            states,
+            inputs,
+            outputs,
+            max_rows: states * 6,
+            max_tested_bits: 3,
+            seed: fnv1a(name.as_bytes()),
+        }
+    }
+}
+
+/// 64-bit FNV-1a hash used to derive stable per-name seeds.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Generates a deterministic FSM from `spec`.
+///
+/// Guarantees: state 0 is the reset state; every state `s > 0` is reachable
+/// (a transition from `s − 1` to `s` is forced); within one state the input
+/// fields of its rows are mutually disjoint, so the machine is
+/// deterministic; the row count does not exceed `max_rows` by more than one
+/// branch group.
+///
+/// # Panics
+///
+/// Panics if `states < 2`.
+pub fn generate_fsm(spec: &FsmSpec) -> Fsm {
+    assert!(spec.states >= 2, "need at least two states");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let state_names: Vec<String> = (0..spec.states).map(|i| format!("s{i}")).collect();
+    let mut fsm = Fsm::new(&spec.name, spec.inputs, spec.outputs, state_names);
+    fsm.set_reset(0);
+
+    let hub = rng.random_range(0..spec.states);
+    let mut rows = 0usize;
+
+    /// Per-state behaviour template, reusable by twin states.
+    struct StateRows {
+        bits: Vec<usize>,
+        branch_to: Vec<usize>,
+        branch_out: Vec<Vec<Ternary>>,
+    }
+    let mut templates: Vec<StateRows> = Vec::with_capacity(spec.states);
+
+    for s in 0..spec.states {
+        // With some probability a state becomes a *twin* of an earlier one:
+        // it tests the same input bits and behaves identically on every
+        // branch but the forced chain branch. Real control FSMs are full of
+        // such behaviourally-similar states, and they are precisely what
+        // multi-valued minimization merges into multi-state face
+        // constraints.
+        let twin_of = if s >= 2 && rng.random_range(0..10) < 5 {
+            Some(rng.random_range(0..s))
+        } else {
+            None
+        };
+
+        let (bits, mut branch_to, branch_out) = if let Some(t) = twin_of {
+            let tpl = &templates[t];
+            (tpl.bits.clone(), tpl.branch_to.clone(), tpl.branch_out.clone())
+        } else {
+            // Budget-aware branch fan-out for this state.
+            let remaining_states = spec.states - s;
+            let budget = spec.max_rows.saturating_sub(rows).max(1);
+            let per_state = (budget / remaining_states).max(1);
+            let mut k = rng.random_range(0..=spec.max_tested_bits.min(spec.inputs));
+            while k > 0 && (1usize << k) > per_state.max(2) {
+                k -= 1;
+            }
+            let mut bits: Vec<usize> = (0..spec.inputs).collect();
+            bits.shuffle(&mut rng);
+            bits.truncate(k);
+            bits.sort_unstable();
+
+            let branches = 1usize << k;
+            let mut branch_to = Vec::with_capacity(branches);
+            let mut branch_out = Vec::with_capacity(branches);
+            for _ in 0..branches {
+                // Next-state choice: chain bias keeps the machine connected
+                // and local; the hub mimics an idle/error state.
+                let to = match rng.random_range(0..10) {
+                    0..=3 => (s + 1) % spec.states,
+                    4..=5 => hub,
+                    6 => s,
+                    _ => rng.random_range(0..spec.states),
+                };
+                branch_to.push(to);
+                branch_out.push(
+                    (0..spec.outputs)
+                        .map(|_| match rng.random_range(0..20) {
+                            0..=5 => Ternary::One,
+                            6..=17 => Ternary::Zero,
+                            _ => Ternary::DontCare,
+                        })
+                        .collect(),
+                );
+            }
+            (bits, branch_to, branch_out)
+        };
+
+        // Forced chain edge on branch 0 guarantees reachability.
+        if s + 1 < spec.states {
+            branch_to[0] = s + 1;
+        }
+
+        for (b, &to) in branch_to.iter().enumerate() {
+            let mut input = vec![Ternary::DontCare; spec.inputs];
+            for (j, &bit) in bits.iter().enumerate() {
+                input[bit] = if (b >> j) & 1 == 1 {
+                    Ternary::One
+                } else {
+                    Ternary::Zero
+                };
+            }
+            fsm.push_transition(Transition {
+                input,
+                from: Some(s),
+                to: Some(to),
+                output: branch_out[b].clone(),
+            });
+            rows += 1;
+        }
+
+        templates.push(StateRows {
+            bits,
+            branch_to,
+            branch_out,
+        });
+    }
+
+    fsm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FsmSpec {
+        FsmSpec::new("toy", 8, 4, 2)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_fsm(&spec());
+        let b = generate_fsm(&spec());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut s2 = spec();
+        s2.seed ^= 1;
+        assert_ne!(generate_fsm(&spec()), generate_fsm(&s2));
+    }
+
+    #[test]
+    fn all_states_reachable_via_chain() {
+        let m = generate_fsm(&spec());
+        for s in 1..m.num_states() {
+            assert!(
+                m.transitions()
+                    .iter()
+                    .any(|t| t.from == Some(s - 1) && t.to == Some(s)),
+                "missing chain edge into state {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn rows_within_budget() {
+        let mut sp = spec();
+        sp.max_rows = 20;
+        let m = generate_fsm(&sp);
+        // per-state fan-out adjusts; allow one branch group of slack
+        assert!(m.transitions().len() <= 20 + (1 << sp.max_tested_bits));
+    }
+
+    #[test]
+    fn rows_are_deterministic_per_state() {
+        let m = generate_fsm(&spec());
+        for s in 0..m.num_states() {
+            let rows: Vec<_> = m
+                .transitions()
+                .iter()
+                .filter(|t| t.from == Some(s))
+                .collect();
+            for i in 0..rows.len() {
+                for j in (i + 1)..rows.len() {
+                    let disjoint = rows[i]
+                        .input
+                        .iter()
+                        .zip(&rows[j].input)
+                        .any(|(a, b)| {
+                            matches!(
+                                (a, b),
+                                (Ternary::Zero, Ternary::One) | (Ternary::One, Ternary::Zero)
+                            )
+                        });
+                    assert!(disjoint, "state {s} rows {i} and {j} overlap");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_state_has_a_row() {
+        let m = generate_fsm(&spec());
+        assert!(m.states_with_transitions().iter().all(|&b| b));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b"bbara"), fnv1a(b"bbara"));
+        assert_ne!(fnv1a(b"bbara"), fnv1a(b"bbsse"));
+    }
+}

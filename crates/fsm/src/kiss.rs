@@ -1,0 +1,277 @@
+//! KISS2 state-transition-table parsing and printing.
+
+use crate::machine::{Fsm, Ternary, Transition};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error produced when parsing a KISS2 file fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKissError {
+    line: usize,
+    message: String,
+}
+
+impl ParseKissError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseKissError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line of the error, 0 for file-level problems.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseKissError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "invalid KISS2: {}", self.message)
+        } else {
+            write!(f, "invalid KISS2 at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for ParseKissError {}
+
+struct RawRow {
+    line: usize,
+    input: String,
+    from: String,
+    to: String,
+    output: String,
+}
+
+/// Parses a KISS2 state-transition table.
+///
+/// Recognized directives: `.i`, `.o`, `.p`, `.s`, `.r`, `.e`/`.end`;
+/// comments start with `#`. State names are collected in order of first
+/// appearance (present state first), with the `.r` reset state forced to
+/// index 0 as NOVA and most state-assignment tools do.
+///
+/// # Errors
+///
+/// Returns [`ParseKissError`] on malformed directives, field-width
+/// mismatches, or unknown characters.
+pub fn parse_kiss(name: &str, text: &str) -> Result<Fsm, ParseKissError> {
+    let mut ni: Option<usize> = None;
+    let mut no: Option<usize> = None;
+    let mut reset_name: Option<String> = None;
+    let mut rows: Vec<RawRow> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut it = rest.split_whitespace();
+            let key = it.next().unwrap_or("");
+            match key {
+                "i" => {
+                    ni = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| ParseKissError::new(lineno, ".i needs a count"))?,
+                    )
+                }
+                "o" => {
+                    no = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| ParseKissError::new(lineno, ".o needs a count"))?,
+                    )
+                }
+                "p" | "s" => { /* informational */ }
+                "r" => reset_name = it.next().map(str::to_owned),
+                "e" | "end" => break,
+                _ => {
+                    return Err(ParseKissError::new(
+                        lineno,
+                        format!("unknown directive .{key}"),
+                    ))
+                }
+            }
+        } else {
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 4 {
+                return Err(ParseKissError::new(
+                    lineno,
+                    format!("expected 4 fields, found {}", fields.len()),
+                ));
+            }
+            rows.push(RawRow {
+                line: lineno,
+                input: fields[0].to_owned(),
+                from: fields[1].to_owned(),
+                to: fields[2].to_owned(),
+                output: fields[3].to_owned(),
+            });
+        }
+    }
+
+    let ni = ni.ok_or_else(|| ParseKissError::new(0, "missing .i directive"))?;
+    let no = no.ok_or_else(|| ParseKissError::new(0, "missing .o directive"))?;
+
+    // Collect state names: reset first, then order of appearance.
+    let mut states: Vec<String> = Vec::new();
+    let add_state = |states: &mut Vec<String>, s: &str| {
+        if s != "*" && !states.iter().any(|x| x == s) {
+            states.push(s.to_owned());
+        }
+    };
+    if let Some(r) = &reset_name {
+        add_state(&mut states, r);
+    }
+    for row in &rows {
+        add_state(&mut states, &row.from);
+        add_state(&mut states, &row.to);
+    }
+    if states.is_empty() {
+        return Err(ParseKissError::new(0, "no states found"));
+    }
+
+    let mut fsm = Fsm::new(name, ni, no, states);
+    if let Some(r) = &reset_name {
+        let idx = fsm.state_index(r).expect("reset state was registered");
+        fsm.set_reset(idx);
+    }
+
+    for row in rows {
+        let parse_field = |s: &str, width: usize, what: &str| -> Result<Vec<Ternary>, ParseKissError> {
+            if s.len() != width {
+                return Err(ParseKissError::new(
+                    row.line,
+                    format!("{what} field has width {}, expected {width}", s.len()),
+                ));
+            }
+            s.chars()
+                .map(|c| {
+                    Ternary::from_char(c).ok_or_else(|| {
+                        ParseKissError::new(row.line, format!("bad {what} character {c:?}"))
+                    })
+                })
+                .collect()
+        };
+        let input = parse_field(&row.input, ni, "input")?;
+        let output = parse_field(&row.output, no, "output")?;
+        let from = if row.from == "*" {
+            None
+        } else {
+            Some(fsm.state_index(&row.from).expect("state registered"))
+        };
+        let to = if row.to == "*" {
+            None
+        } else {
+            Some(fsm.state_index(&row.to).expect("state registered"))
+        };
+        fsm.push_transition(Transition {
+            input,
+            from,
+            to,
+            output,
+        });
+    }
+
+    Ok(fsm)
+}
+
+/// Serializes an FSM back to KISS2.
+pub fn write_kiss(fsm: &Fsm) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".i {}", fsm.num_inputs());
+    let _ = writeln!(out, ".o {}", fsm.num_outputs());
+    let _ = writeln!(out, ".p {}", fsm.transitions().len());
+    let _ = writeln!(out, ".s {}", fsm.num_states());
+    if let Some(r) = fsm.reset() {
+        let _ = writeln!(out, ".r {}", fsm.states()[r]);
+    }
+    for t in fsm.transitions() {
+        let input: String = t.input.iter().map(|x| x.to_char()).collect();
+        let output: String = t.output.iter().map(|x| x.to_char()).collect();
+        let from = t.from.map_or("*".to_owned(), |s| fsm.states()[s].clone());
+        let to = t.to.map_or("*".to_owned(), |s| fsm.states()[s].clone());
+        let _ = writeln!(out, "{input} {from} {to} {output}");
+    }
+    let _ = writeln!(out, ".e");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LION_LIKE: &str = "\
+# a small 4-state machine
+.i 2
+.o 1
+.r st0
+-0 st0 st0 0
+01 st0 st1 0
+11 st1 st1 1
+10 st1 st2 1
+0- st2 st3 1
+-1 st3 st0 0
+.e
+";
+
+    #[test]
+    fn parse_small_machine() {
+        let m = parse_kiss("lionish", LION_LIKE).unwrap();
+        assert_eq!(m.num_inputs(), 2);
+        assert_eq!(m.num_outputs(), 1);
+        assert_eq!(m.num_states(), 4);
+        assert_eq!(m.reset(), Some(0));
+        assert_eq!(m.transitions().len(), 6);
+        assert_eq!(m.states()[0], "st0");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = parse_kiss("lionish", LION_LIKE).unwrap();
+        let text = write_kiss(&m);
+        let back = parse_kiss("lionish", &text).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn wildcard_states() {
+        let text = ".i 1\n.o 1\n1 * s1 1\n0 s1 * 0\n.e\n";
+        let m = parse_kiss("w", text).unwrap();
+        assert_eq!(m.transitions()[0].from, None);
+        assert_eq!(m.transitions()[1].to, None);
+        assert_eq!(m.num_states(), 1);
+    }
+
+    #[test]
+    fn reset_state_is_index_zero() {
+        let text = ".i 1\n.o 1\n.r sB\n1 sA sB 1\n0 sB sA 0\n.e\n";
+        let m = parse_kiss("r", text).unwrap();
+        assert_eq!(m.states()[0], "sB");
+        assert_eq!(m.reset(), Some(0));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = ".i 2\n.o 1\n1 st0 st1 1\n.e\n";
+        let err = parse_kiss("bad", text).unwrap_err();
+        assert_eq!(err.line(), 3);
+        assert!(err.to_string().contains("width"));
+    }
+
+    #[test]
+    fn missing_directives_rejected() {
+        assert!(parse_kiss("x", "1 a b 1\n").is_err());
+    }
+
+    #[test]
+    fn bad_characters_rejected() {
+        let text = ".i 1\n.o 1\nX s0 s1 1\n.e\n";
+        assert!(parse_kiss("x", text).is_err());
+    }
+}

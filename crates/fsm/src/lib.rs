@@ -1,0 +1,37 @@
+//! # picola-fsm — finite-state-machine substrate
+//!
+//! KISS2 parsing/printing, the FSM data model, symbolic (multi-valued)
+//! covers with the paper's one-hot next-state substitution, and the
+//! deterministic synthetic benchmark suite standing in for the IWLS'93 set
+//! (see `DESIGN.md` §4).
+//!
+//! ```
+//! use picola_fsm::{benchmark_fsm, symbolic_cover};
+//!
+//! let fsm = benchmark_fsm("bbara").expect("bbara is in the suite");
+//! assert_eq!(fsm.num_states(), 10);
+//! let sc = symbolic_cover(&fsm);
+//! assert_eq!(sc.domain.var(sc.state_var()).parts(), 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod kiss;
+pub mod machine;
+pub mod minimize;
+pub mod simulate;
+pub mod stats;
+pub mod suite;
+pub mod symbolic;
+
+pub use generator::{generate_fsm, FsmSpec};
+pub use kiss::{parse_kiss, write_kiss, ParseKissError};
+pub use machine::{min_code_length, Fsm, Ternary, Transition};
+pub use minimize::{minimize_states, state_partition, StatePartition};
+pub use simulate::{completely_specified, Simulator, Step};
+pub use stats::{fsm_stats, FsmStats};
+pub use suite::{
+    benchmark_fsm, benchmark_info, table1_names, table2_names, BenchmarkInfo, BENCHMARKS,
+};
+pub use symbolic::{symbolic_cover, SymbolicCover};

@@ -1,0 +1,269 @@
+//! The finite-state-machine data model (KISS2 semantics).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A ternary value of a primary-input literal or primary-output value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ternary {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Don't care (`-`).
+    DontCare,
+}
+
+impl Ternary {
+    /// Parses one KISS2 character.
+    pub fn from_char(c: char) -> Option<Self> {
+        match c {
+            '0' => Some(Ternary::Zero),
+            '1' => Some(Ternary::One),
+            '-' | '2' | '~' => Some(Ternary::DontCare),
+            _ => None,
+        }
+    }
+
+    /// The KISS2 character.
+    pub fn to_char(self) -> char {
+        match self {
+            Ternary::Zero => '0',
+            Ternary::One => '1',
+            Ternary::DontCare => '-',
+        }
+    }
+}
+
+/// One row of a KISS2 state-transition table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// Primary-input field, one [`Ternary`] per input.
+    pub input: Vec<Ternary>,
+    /// Present state, `None` for the `*` (any state) row.
+    pub from: Option<usize>,
+    /// Next state, `None` for a `*` (unspecified) next state.
+    pub to: Option<usize>,
+    /// Primary-output field.
+    pub output: Vec<Ternary>,
+}
+
+/// A symbolic finite state machine: named states plus a state-transition
+/// table over ternary inputs/outputs, as read from a KISS2 file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fsm {
+    name: String,
+    num_inputs: usize,
+    num_outputs: usize,
+    states: Vec<String>,
+    reset: Option<usize>,
+    transitions: Vec<Transition>,
+}
+
+impl Fsm {
+    /// Creates an FSM with the given interface and state names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if state names are not unique.
+    pub fn new(name: &str, num_inputs: usize, num_outputs: usize, states: Vec<String>) -> Self {
+        let mut seen = BTreeMap::new();
+        for (i, s) in states.iter().enumerate() {
+            assert!(
+                seen.insert(s.clone(), i).is_none(),
+                "duplicate state name {s:?}"
+            );
+        }
+        Fsm {
+            name: name.to_owned(),
+            num_inputs,
+            num_outputs,
+            states,
+            reset: None,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// The machine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// State names in index order.
+    pub fn states(&self) -> &[String] {
+        &self.states
+    }
+
+    /// The state index of `name`.
+    pub fn state_index(&self, name: &str) -> Option<usize> {
+        self.states.iter().position(|s| s == name)
+    }
+
+    /// The reset state, if declared.
+    pub fn reset(&self) -> Option<usize> {
+        self.reset
+    }
+
+    /// Declares the reset state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn set_reset(&mut self, state: usize) {
+        assert!(state < self.states.len(), "reset state out of range");
+        self.reset = Some(state);
+    }
+
+    /// The transition rows.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Appends a transition row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if field widths or state indices are inconsistent with the
+    /// machine.
+    pub fn push_transition(&mut self, t: Transition) {
+        assert_eq!(t.input.len(), self.num_inputs, "input width mismatch");
+        assert_eq!(t.output.len(), self.num_outputs, "output width mismatch");
+        if let Some(s) = t.from {
+            assert!(s < self.states.len(), "present state out of range");
+        }
+        if let Some(s) = t.to {
+            assert!(s < self.states.len(), "next state out of range");
+        }
+        self.transitions.push(t);
+    }
+
+    /// Minimum binary code length that distinguishes all states:
+    /// `ceil(log2(num_states))`, at least 1.
+    pub fn min_code_length(&self) -> usize {
+        min_code_length(self.num_states())
+    }
+
+    /// States with at least one outgoing transition (by explicit row; `*`
+    /// rows count for all states).
+    pub fn states_with_transitions(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.num_states()];
+        for t in &self.transitions {
+            match t.from {
+                Some(s) => seen[s] = true,
+                None => seen.iter_mut().for_each(|b| *b = true),
+            }
+        }
+        seen
+    }
+}
+
+/// `ceil(log2(n))` clamped below by 1 — the minimum number of encoding bits
+/// for `n` symbols.
+pub fn min_code_length(n: usize) -> usize {
+    if n <= 2 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+impl fmt::Display for Fsm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} states, {} inputs, {} outputs, {} transitions",
+            self.name,
+            self.num_states(),
+            self.num_inputs,
+            self.num_outputs,
+            self.transitions.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> Fsm {
+        let mut m = Fsm::new(
+            "toy",
+            2,
+            1,
+            vec!["a".into(), "b".into(), "c".into()],
+        );
+        m.push_transition(Transition {
+            input: vec![Ternary::One, Ternary::DontCare],
+            from: Some(0),
+            to: Some(1),
+            output: vec![Ternary::One],
+        });
+        m
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let m = simple();
+        assert_eq!(m.num_states(), 3);
+        assert_eq!(m.state_index("b"), Some(1));
+        assert_eq!(m.state_index("z"), None);
+        assert_eq!(m.transitions().len(), 1);
+    }
+
+    #[test]
+    fn min_code_length_values() {
+        assert_eq!(min_code_length(1), 1);
+        assert_eq!(min_code_length(2), 1);
+        assert_eq!(min_code_length(3), 2);
+        assert_eq!(min_code_length(4), 2);
+        assert_eq!(min_code_length(5), 3);
+        assert_eq!(min_code_length(16), 4);
+        assert_eq!(min_code_length(17), 5);
+        assert_eq!(min_code_length(121), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_states_rejected() {
+        let _ = Fsm::new("bad", 1, 1, vec!["a".into(), "a".into()]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_width_transition_rejected() {
+        let mut m = simple();
+        m.push_transition(Transition {
+            input: vec![Ternary::One],
+            from: Some(0),
+            to: Some(1),
+            output: vec![Ternary::One],
+        });
+    }
+
+    #[test]
+    fn wildcard_rows_mark_all_states() {
+        let mut m = simple();
+        m.push_transition(Transition {
+            input: vec![Ternary::DontCare, Ternary::DontCare],
+            from: None,
+            to: Some(0),
+            output: vec![Ternary::DontCare],
+        });
+        assert!(m.states_with_transitions().iter().all(|&b| b));
+    }
+}

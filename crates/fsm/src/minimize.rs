@@ -1,0 +1,238 @@
+//! State minimization by partition refinement (Moore/Hopcroft style).
+//!
+//! For completely specified machines this computes the exact equivalent-
+//! state partition and rebuilds the reduced machine. Incompletely specified
+//! rows are handled conservatively: two states are only merged when they
+//! agree (including don't-cares verbatim) on every input minterm, so the
+//! reduction is always behaviour-preserving, though not necessarily
+//! maximal for ISFSMs (exact ISFSM minimization is NP-hard and out of
+//! scope).
+
+use crate::machine::{Fsm, Ternary, Transition};
+use crate::simulate::Simulator;
+
+/// The equivalence classes of states, `class[s]` = class id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatePartition {
+    /// Class id per state.
+    pub class: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+/// Computes the conservative equivalent-state partition.
+///
+/// Two states start in the same class when, for every input minterm, the
+/// matching rows have identical output fields (ternaries compared
+/// verbatim) and identical specified-ness; refinement then splits classes
+/// until next states land in equal classes everywhere.
+///
+/// Exponential in the input count; inputs are capped at 16.
+///
+/// # Panics
+///
+/// Panics if the machine has more than 16 inputs.
+pub fn state_partition(fsm: &Fsm) -> StatePartition {
+    assert!(fsm.num_inputs() <= 16, "too many inputs for minterm sweep");
+    let n = fsm.num_states();
+    let inputs = 1u32 << fsm.num_inputs();
+    let sim = Simulator::new(fsm);
+
+    // Signature: per input minterm, the output field (or None when
+    // unspecified).
+    let signature = |s: usize| -> Vec<Option<Vec<Ternary>>> {
+        (0..inputs)
+            .map(|i| sim.lookup(s, i).map(|t| t.output.clone()))
+            .collect()
+    };
+
+    // Initial partition by output signatures.
+    let mut class = vec![0usize; n];
+    {
+        let mut sigs: Vec<Vec<Option<Vec<Ternary>>>> = Vec::new();
+        for (s, slot) in class.iter_mut().enumerate() {
+            let sig = signature(s);
+            match sigs.iter().position(|x| *x == sig) {
+                Some(k) => *slot = k,
+                None => {
+                    *slot = sigs.len();
+                    sigs.push(sig);
+                }
+            }
+        }
+    }
+
+    // Refinement: split on next-state class vectors.
+    loop {
+        let mut table: Vec<(usize, Vec<Option<usize>>)> = Vec::new();
+        let mut next = vec![0usize; n];
+        for s in 0..n {
+            let vector: Vec<Option<usize>> = (0..inputs)
+                .map(|i| {
+                    sim.lookup(s, i)
+                        .and_then(|t| t.to)
+                        .map(|to| class[to])
+                })
+                .collect();
+            let key = (class[s], vector);
+            match table.iter().position(|x| *x == key) {
+                Some(k) => next[s] = k,
+                None => {
+                    next[s] = table.len();
+                    table.push(key);
+                }
+            }
+        }
+        if next == class {
+            break;
+        }
+        class = next;
+    }
+
+    let num_classes = class.iter().copied().max().map_or(0, |m| m + 1);
+    StatePartition { class, num_classes }
+}
+
+/// Rebuilds the machine with equivalent states merged. State names are the
+/// representative (lowest-index) member of each class; the reset state maps
+/// to its class representative.
+pub fn minimize_states(fsm: &Fsm) -> Fsm {
+    let partition = state_partition(fsm);
+    // representative per class = lowest member
+    let mut rep: Vec<Option<usize>> = vec![None; partition.num_classes];
+    for (s, &k) in partition.class.iter().enumerate() {
+        if rep[k].is_none() {
+            rep[k] = Some(s);
+        }
+    }
+    // order classes by representative for stable naming
+    let mut classes: Vec<usize> = (0..partition.num_classes).collect();
+    classes.sort_by_key(|&k| rep[k].expect("every class has a member"));
+    let mut new_index = vec![0usize; partition.num_classes];
+    let mut names = Vec::new();
+    for (i, &k) in classes.iter().enumerate() {
+        new_index[k] = i;
+        names.push(fsm.states()[rep[k].expect("member")].clone());
+    }
+
+    let mut out = Fsm::new(fsm.name(), fsm.num_inputs(), fsm.num_outputs(), names);
+    if let Some(r) = fsm.reset() {
+        out.set_reset(new_index[partition.class[r]]);
+    }
+    let mut seen_rows: Vec<Transition> = Vec::new();
+    for t in fsm.transitions() {
+        // keep rows whose source is a representative (or `*`)
+        let keep = match t.from {
+            None => true,
+            Some(s) => rep[partition.class[s]] == Some(s),
+        };
+        if !keep {
+            continue;
+        }
+        let mapped = Transition {
+            input: t.input.clone(),
+            from: t.from.map(|s| new_index[partition.class[s]]),
+            to: t.to.map(|s| new_index[partition.class[s]]),
+            output: t.output.clone(),
+        };
+        if !seen_rows.contains(&mapped) {
+            seen_rows.push(mapped);
+        }
+    }
+    for t in seen_rows {
+        out.push_transition(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kiss::parse_kiss;
+    use crate::simulate::Simulator;
+
+    /// b and c behave identically; d differs in output.
+    const MERGEABLE: &str = "\
+.i 1
+.o 1
+.r a
+0 a b 0
+1 a c 0
+0 b a 1
+1 b d 0
+0 c a 1
+1 c d 0
+0 d a 0
+1 d d 1
+.e
+";
+
+    #[test]
+    fn equivalent_states_are_found() {
+        let m = parse_kiss("t", MERGEABLE).unwrap();
+        let p = state_partition(&m);
+        assert_eq!(p.class[1], p.class[2], "b and c are equivalent");
+        assert_ne!(p.class[1], p.class[3], "d differs");
+        assert_eq!(p.num_classes, 3);
+    }
+
+    #[test]
+    fn minimized_machine_is_smaller_and_equivalent() {
+        let m = parse_kiss("t", MERGEABLE).unwrap();
+        let r = minimize_states(&m);
+        assert_eq!(r.num_states(), 3);
+        // behavioural equivalence on input sequences
+        let mut a = Simulator::new(&m);
+        let mut b = Simulator::new(&r);
+        let mut x = 1u32;
+        for _ in 0..64 {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            let input = x >> 16 & 1;
+            let sa = a.step(input);
+            let sb = b.step(input);
+            match (sa, sb) {
+                (Some(sa), Some(sb)) => assert_eq!(sa.output, sb.output),
+                (None, None) => {}
+                other => panic!("specified-ness diverged: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_machines_stay_put() {
+        let text = ".i 1\n.o 1\n0 a b 0\n1 a a 1\n0 b a 1\n1 b b 0\n.e\n";
+        let m = parse_kiss("t", text).unwrap();
+        let r = minimize_states(&m);
+        assert_eq!(r.num_states(), 2);
+    }
+
+    #[test]
+    fn refinement_separates_on_successors() {
+        // a and b have equal outputs but successors of different classes.
+        let text = "\
+.i 1
+.o 1
+0 a c 0
+1 a c 0
+0 b d 0
+1 b d 0
+0 c c 1
+1 c c 1
+0 d d 0
+1 d d 0
+.e
+";
+        let m = parse_kiss("t", text).unwrap();
+        let p = state_partition(&m);
+        assert_ne!(p.class[0], p.class[1]);
+    }
+
+    #[test]
+    fn generated_twins_are_merged() {
+        // the suite generator seeds twin states; minimization must find
+        // some of them on a twin-heavy machine
+        let m = crate::suite::benchmark_fsm("ex3").unwrap();
+        let r = minimize_states(&m);
+        assert!(r.num_states() <= m.num_states());
+    }
+}

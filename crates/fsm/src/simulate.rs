@@ -1,0 +1,186 @@
+//! Symbolic FSM simulation.
+//!
+//! Executes a machine on concrete input vectors, row by row, producing the
+//! next state and the (ternary) output vector. Used by the integration
+//! tests to prove that an encoded, minimized implementation behaves exactly
+//! like the symbolic machine, and by clients that want traces.
+
+use crate::machine::{Fsm, Ternary};
+
+/// The outcome of one simulation step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// State before the step.
+    pub from: usize,
+    /// Applied input vector, bit `b` = input `b`.
+    pub input: u32,
+    /// Next state, `None` when the matching row leaves it unspecified
+    /// (`*`).
+    pub to: Option<usize>,
+    /// Output vector, one ternary per primary output (don't-cares stay
+    /// unresolved).
+    pub output: Vec<Ternary>,
+}
+
+/// A deterministic simulator over an [`Fsm`].
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    fsm: &'a Fsm,
+    state: usize,
+}
+
+impl<'a> Simulator<'a> {
+    /// Starts at the machine's reset state (or state 0 when undeclared).
+    pub fn new(fsm: &'a Fsm) -> Self {
+        Simulator {
+            fsm,
+            state: fsm.reset().unwrap_or(0),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> usize {
+        self.state
+    }
+
+    /// Forces the current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn set_state(&mut self, state: usize) {
+        assert!(state < self.fsm.num_states(), "state out of range");
+        self.state = state;
+    }
+
+    /// Finds the transition row matching `(state, input)`: explicit rows
+    /// first, then `*`-state rows. `None` when the behaviour is unspecified.
+    pub fn lookup(&self, state: usize, input: u32) -> Option<&'a crate::machine::Transition> {
+        let matches_input = |t: &crate::machine::Transition| {
+            t.input.iter().enumerate().all(|(b, lit)| match lit {
+                Ternary::Zero => input >> b & 1 == 0,
+                Ternary::One => input >> b & 1 == 1,
+                Ternary::DontCare => true,
+            })
+        };
+        self.fsm
+            .transitions()
+            .iter()
+            .find(|t| t.from == Some(state) && matches_input(t))
+            .or_else(|| {
+                self.fsm
+                    .transitions()
+                    .iter()
+                    .find(|t| t.from.is_none() && matches_input(t))
+            })
+    }
+
+    /// Applies one input vector. Returns `None` when no row matches (the
+    /// machine's behaviour is unspecified for this input); the state is then
+    /// left unchanged.
+    pub fn step(&mut self, input: u32) -> Option<Step> {
+        let t = self.lookup(self.state, input)?;
+        let step = Step {
+            from: self.state,
+            input,
+            to: t.to,
+            output: t.output.clone(),
+        };
+        if let Some(to) = t.to {
+            self.state = to;
+        }
+        Some(step)
+    }
+
+    /// Runs a whole input sequence, collecting the specified steps.
+    pub fn run<I: IntoIterator<Item = u32>>(&mut self, inputs: I) -> Vec<Step> {
+        inputs.into_iter().filter_map(|i| self.step(i)).collect()
+    }
+}
+
+/// Whether the machine is *completely specified*: every (state, input
+/// minterm) pair matches some row. Exponential in the input count; intended
+/// for machines with few inputs.
+pub fn completely_specified(fsm: &Fsm) -> bool {
+    let sim = Simulator::new(fsm);
+    let inputs = 1u32 << fsm.num_inputs().min(20);
+    (0..fsm.num_states()).all(|s| (0..inputs).all(|i| sim.lookup(s, i).is_some()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kiss::parse_kiss;
+
+    const TOY: &str = "\
+.i 2
+.o 1
+.r a
+-0 a a 0
+01 a b 1
+11 a c 1
+-- b a -
+0- c c 0
+1- c b 1
+.e
+";
+
+    #[test]
+    fn steps_follow_the_table() {
+        let m = parse_kiss("toy", TOY).unwrap();
+        let mut sim = Simulator::new(&m);
+        assert_eq!(sim.state(), 0);
+        let s = sim.step(0b01).unwrap(); // input x0=1? bit0=1,bit1=0 -> "01"? note bit order
+        // input bits: bit b corresponds to input column b; row "01" means
+        // x0=0, x1=1 -> that is input = 0b10.
+        assert_eq!(s.from, 0);
+        let mut sim = Simulator::new(&m);
+        let s = sim.step(0b10).unwrap(); // x0=0, x1=1 matches "01 a b 1"
+        assert_eq!(s.to, Some(1));
+        assert_eq!(sim.state(), 1);
+        assert_eq!(s.output, vec![Ternary::One]);
+    }
+
+    #[test]
+    fn run_executes_sequences() {
+        let m = parse_kiss("toy", TOY).unwrap();
+        let mut sim = Simulator::new(&m);
+        let steps = sim.run([0b10, 0b00, 0b11]);
+        assert_eq!(steps.len(), 3);
+        // a -> b -> a -> c
+        assert_eq!(sim.state(), 2);
+    }
+
+    #[test]
+    fn toy_machine_is_completely_specified() {
+        let m = parse_kiss("toy", TOY).unwrap();
+        assert!(completely_specified(&m));
+    }
+
+    #[test]
+    fn unspecified_inputs_return_none() {
+        let text = ".i 1\n.o 1\n1 a a 1\n.e\n";
+        let m = parse_kiss("partial", text).unwrap();
+        let mut sim = Simulator::new(&m);
+        assert!(sim.step(0).is_none());
+        assert_eq!(sim.state(), 0);
+        assert!(!completely_specified(&m));
+    }
+
+    #[test]
+    fn star_state_rows_are_fallbacks() {
+        let text = ".i 1\n.o 1\n1 a b 1\n- * a 0\n1 b b 1\n.e\n";
+        let m = parse_kiss("star", text).unwrap();
+        let mut sim = Simulator::new(&m);
+        sim.set_state(1);
+        let s = sim.step(0).unwrap(); // only the * row matches
+        assert_eq!(s.to, Some(0));
+    }
+
+    #[test]
+    fn generated_suite_machines_are_completely_specified_per_row_structure() {
+        let m = crate::suite::benchmark_fsm("s8").unwrap();
+        // generator states always have a branch for every tested-bit value
+        assert!(completely_specified(&m));
+    }
+}

@@ -1,0 +1,144 @@
+//! Structural statistics of state-transition tables.
+
+use crate::machine::{Fsm, Ternary};
+
+/// Summary statistics of a machine, as reported by benchmark listings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FsmStats {
+    /// Number of states.
+    pub states: usize,
+    /// Number of primary inputs / outputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Transition rows.
+    pub rows: usize,
+    /// Fraction of input-field literals that are don't-cares.
+    pub input_dc_density: f64,
+    /// Fraction of output-field literals that are don't-cares.
+    pub output_dc_density: f64,
+    /// Per-state incoming-row counts.
+    pub fanin: Vec<usize>,
+    /// Per-state outgoing-row counts (`*` rows count for every state).
+    pub fanout: Vec<usize>,
+    /// States reachable from the reset state.
+    pub reachable: usize,
+}
+
+impl FsmStats {
+    /// The state with the largest fan-in (the natural all-zero-code
+    /// candidate), ties broken by lowest index.
+    pub fn hottest_state(&self) -> Option<usize> {
+        (0..self.fanin.len()).max_by_key(|&s| (self.fanin[s], usize::MAX - s))
+    }
+}
+
+/// Computes [`FsmStats`] for a machine.
+pub fn fsm_stats(fsm: &Fsm) -> FsmStats {
+    let n = fsm.num_states();
+    let mut fanin = vec![0usize; n];
+    let mut fanout = vec![0usize; n];
+    let mut in_dc = 0usize;
+    let mut in_total = 0usize;
+    let mut out_dc = 0usize;
+    let mut out_total = 0usize;
+
+    for t in fsm.transitions() {
+        if let Some(to) = t.to {
+            fanin[to] += 1;
+        }
+        match t.from {
+            Some(s) => fanout[s] += 1,
+            None => fanout.iter_mut().for_each(|f| *f += 1),
+        }
+        for lit in &t.input {
+            in_total += 1;
+            if *lit == Ternary::DontCare {
+                in_dc += 1;
+            }
+        }
+        for lit in &t.output {
+            out_total += 1;
+            if *lit == Ternary::DontCare {
+                out_dc += 1;
+            }
+        }
+    }
+
+    // Reachability from reset.
+    let mut seen = vec![false; n];
+    let mut stack = vec![fsm.reset().unwrap_or(0)];
+    while let Some(s) = stack.pop() {
+        if std::mem::replace(&mut seen[s], true) {
+            continue;
+        }
+        for t in fsm.transitions() {
+            let from_matches = t.from.is_none_or(|f| f == s);
+            if from_matches {
+                if let Some(to) = t.to {
+                    if !seen[to] {
+                        stack.push(to);
+                    }
+                }
+            }
+        }
+    }
+
+    FsmStats {
+        states: n,
+        inputs: fsm.num_inputs(),
+        outputs: fsm.num_outputs(),
+        rows: fsm.transitions().len(),
+        input_dc_density: if in_total == 0 {
+            0.0
+        } else {
+            in_dc as f64 / in_total as f64
+        },
+        output_dc_density: if out_total == 0 {
+            0.0
+        } else {
+            out_dc as f64 / out_total as f64
+        },
+        fanin,
+        fanout,
+        reachable: seen.iter().filter(|&&b| b).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kiss::parse_kiss;
+    use crate::suite::benchmark_fsm;
+
+    #[test]
+    fn stats_of_a_small_machine() {
+        let text = ".i 2\n.o 1\n.r a\n-0 a a 0\n01 a b -\n-- b a 1\n.e\n";
+        let m = parse_kiss("t", text).unwrap();
+        let s = fsm_stats(&m);
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.fanin, vec![2, 1]);
+        assert_eq!(s.fanout, vec![2, 1]);
+        assert_eq!(s.reachable, 2);
+        assert!(s.input_dc_density > 0.0 && s.input_dc_density < 1.0);
+        assert!((s.output_dc_density - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.hottest_state(), Some(0));
+    }
+
+    #[test]
+    fn suite_machines_are_fully_reachable() {
+        for name in ["bbara", "dk16", "planet"] {
+            let m = benchmark_fsm(name).unwrap();
+            let s = fsm_stats(&m);
+            assert_eq!(s.reachable, s.states, "{name}");
+        }
+    }
+
+    #[test]
+    fn hottest_state_breaks_ties_low() {
+        let text = ".i 1\n.o 1\n0 a b 0\n1 b a 0\n.e\n";
+        let m = parse_kiss("t", text).unwrap();
+        let s = fsm_stats(&m);
+        assert_eq!(s.hottest_state(), Some(0));
+    }
+}

@@ -1,0 +1,199 @@
+//! Symbolic (multi-valued) covers of FSMs.
+//!
+//! The present state is one multi-valued variable; the output field is the
+//! one-hot-coded next state followed by the primary outputs — exactly the
+//! representation the paper derives its input-encoding problems from
+//! (“substituting next state field by a onehot code”).
+
+use crate::machine::{Fsm, Ternary};
+use picola_logic::{Cover, Cube, Domain, DomainBuilder};
+
+/// A multi-valued cover of an FSM's combinational behaviour.
+#[derive(Debug, Clone)]
+pub struct SymbolicCover {
+    /// Domain: binary primary inputs, one multi-valued present-state
+    /// variable named `"ps"`, and an output variable of
+    /// `num_states + num_outputs` parts (one-hot next state, then primary
+    /// outputs).
+    pub domain: Domain,
+    /// On-set: asserted next-state bits and primary outputs.
+    pub on: Cover,
+    /// Don't-care set from `-` outputs and `*` next states.
+    pub dc: Cover,
+    /// Number of states of the underlying machine.
+    pub num_states: usize,
+    /// Number of binary primary inputs.
+    pub num_inputs: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+}
+
+impl SymbolicCover {
+    /// Index of the present-state variable in [`SymbolicCover::domain`].
+    pub fn state_var(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Index of the output variable.
+    pub fn output_var(&self) -> usize {
+        self.num_inputs + 1
+    }
+
+    /// Global part index of the one-hot next-state bit for `state`.
+    pub fn next_state_part(&self, state: usize) -> usize {
+        let ov = self.domain.output_var().expect("output var");
+        self.domain.var(ov).offset() + state
+    }
+
+    /// Global part index of primary output `o`.
+    pub fn output_part(&self, o: usize) -> usize {
+        let ov = self.domain.output_var().expect("output var");
+        self.domain.var(ov).offset() + self.num_states + o
+    }
+}
+
+/// Builds the symbolic cover of `fsm`.
+///
+/// Each transition row contributes an on-set cube asserting its one-hot
+/// next-state bit and its `1` outputs, plus (when present) a dc-set cube for
+/// its `-` outputs and `*` next state.
+pub fn symbolic_cover(fsm: &Fsm) -> SymbolicCover {
+    let n = fsm.num_states();
+    let ni = fsm.num_inputs();
+    let no = fsm.num_outputs();
+    let domain = DomainBuilder::new()
+        .binaries("x", ni)
+        .multi("ps", n)
+        .output("z", n + no)
+        .build();
+    let state_var = ni;
+    let ov = domain.output_var().expect("output var");
+    let out_off = domain.var(ov).offset();
+
+    let mut on = Cover::empty(&domain);
+    let mut dc = Cover::empty(&domain);
+
+    for t in fsm.transitions() {
+        let mut base = Cube::full(&domain);
+        for (v, lit) in t.input.iter().enumerate() {
+            match lit {
+                Ternary::Zero => base.restrict_binary(&domain, v, false),
+                Ternary::One => base.restrict_binary(&domain, v, true),
+                Ternary::DontCare => {}
+            }
+        }
+        if let Some(s) = t.from {
+            base.restrict(&domain, state_var, s);
+        }
+
+        let mut on_parts: Vec<usize> = Vec::new();
+        let mut dc_parts: Vec<usize> = Vec::new();
+        match t.to {
+            Some(s) => on_parts.push(s),
+            None => dc_parts.extend(0..n),
+        }
+        for (o, lit) in t.output.iter().enumerate() {
+            match lit {
+                Ternary::One => on_parts.push(n + o),
+                Ternary::DontCare => dc_parts.push(n + o),
+                Ternary::Zero => {}
+            }
+        }
+
+        let with_outputs = |parts: &[usize]| -> Option<Cube> {
+            if parts.is_empty() {
+                return None;
+            }
+            let mut c = base.clone();
+            for p in domain.var(ov).part_range() {
+                c.clear_part(p);
+            }
+            for &q in parts {
+                c.set_part(out_off + q);
+            }
+            Some(c)
+        };
+        if let Some(c) = with_outputs(&on_parts) {
+            on.push(c);
+        }
+        if let Some(c) = with_outputs(&dc_parts) {
+            dc.push(c);
+        }
+    }
+
+    SymbolicCover {
+        domain,
+        on,
+        dc,
+        num_states: n,
+        num_inputs: ni,
+        num_outputs: no,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kiss::parse_kiss;
+
+    const SAMPLE: &str = "\
+.i 2
+.o 1
+.r s0
+-0 s0 s0 0
+01 s0 s1 -
+11 s1 s2 1
+1- s2 * 1
+.e
+";
+
+    #[test]
+    fn domain_layout() {
+        let m = parse_kiss("t", SAMPLE).unwrap();
+        let sc = symbolic_cover(&m);
+        assert_eq!(sc.domain.num_vars(), 2 + 1 + 1);
+        assert_eq!(sc.domain.var(sc.state_var()).parts(), 3);
+        let ov = sc.domain.output_var().unwrap();
+        assert_eq!(sc.domain.var(ov).parts(), 3 + 1);
+    }
+
+    #[test]
+    fn on_cubes_assert_next_state_and_outputs() {
+        let m = parse_kiss("t", SAMPLE).unwrap();
+        let sc = symbolic_cover(&m);
+        // Row 3 (11 s1 s2 1): on cube with next-state part 2 and output part.
+        let found = sc.on.iter().any(|c| {
+            c.has_part(sc.next_state_part(2))
+                && c.has_part(sc.output_part(0))
+                && c.var_parts(&sc.domain, sc.state_var()) == vec![1]
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn dc_cubes_capture_dash_outputs_and_star_next() {
+        let m = parse_kiss("t", SAMPLE).unwrap();
+        let sc = symbolic_cover(&m);
+        // Row 2 has output '-': a dc cube with the PO part.
+        assert!(sc
+            .dc
+            .iter()
+            .any(|c| c.has_part(sc.output_part(0))
+                && c.var_parts(&sc.domain, sc.state_var()) == vec![0]));
+        // Row 4 has next state '*': dc over all next-state parts.
+        assert!(sc
+            .dc
+            .iter()
+            .any(|c| (0..3).all(|s| c.has_part(sc.next_state_part(s)))));
+    }
+
+    #[test]
+    fn row_without_asserted_outputs_creates_no_on_cube() {
+        let text = ".i 1\n.o 1\n0 a a 0\n1 a b 1\n.e\n";
+        let m = parse_kiss("t", text).unwrap();
+        let sc = symbolic_cover(&m);
+        // Row 1 asserts next state a => still an on cube (one-hot bit).
+        assert_eq!(sc.on.len(), 2);
+        assert!(sc.dc.is_empty());
+    }
+}

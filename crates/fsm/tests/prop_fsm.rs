@@ -1,0 +1,94 @@
+//! Property tests for the FSM substrate.
+
+use picola_fsm::{generate_fsm, parse_kiss, symbolic_cover, write_kiss, FsmSpec, Ternary};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = FsmSpec> {
+    (2usize..12, 1usize..5, 1usize..4, any::<u64>()).prop_map(|(states, inputs, outputs, seed)| {
+        let mut s = FsmSpec::new("prop", states, inputs, outputs);
+        s.seed = seed;
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_machines_roundtrip_through_kiss(spec in spec_strategy()) {
+        // Parsing renumbers states by order of appearance, so compare the
+        // *textual* fixpoint: serialize, parse, serialize again.
+        let fsm = generate_fsm(&spec);
+        let text = write_kiss(&fsm);
+        let back = parse_kiss("prop", &text).expect("generated KISS2 parses");
+        prop_assert_eq!(text.clone(), write_kiss(&back));
+        prop_assert_eq!(fsm.num_states(), back.num_states());
+        prop_assert_eq!(fsm.transitions().len(), back.transitions().len());
+    }
+
+    #[test]
+    fn generated_machines_are_deterministic_automata(spec in spec_strategy()) {
+        let fsm = generate_fsm(&spec);
+        // No two rows of one state may overlap in input space.
+        for s in 0..fsm.num_states() {
+            let rows: Vec<_> = fsm
+                .transitions()
+                .iter()
+                .filter(|t| t.from == Some(s))
+                .collect();
+            for i in 0..rows.len() {
+                for j in (i + 1)..rows.len() {
+                    let disjoint = rows[i].input.iter().zip(&rows[j].input).any(|(a, b)| {
+                        matches!(
+                            (a, b),
+                            (Ternary::Zero, Ternary::One) | (Ternary::One, Ternary::Zero)
+                        )
+                    });
+                    prop_assert!(disjoint, "state {} rows {} and {} overlap", s, i, j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generated_machines_are_connected(spec in spec_strategy()) {
+        let fsm = generate_fsm(&spec);
+        // BFS from the reset state reaches everything.
+        let n = fsm.num_states();
+        let mut seen = vec![false; n];
+        let mut stack = vec![fsm.reset().unwrap_or(0)];
+        while let Some(s) = stack.pop() {
+            if std::mem::replace(&mut seen[s], true) {
+                continue;
+            }
+            for t in fsm.transitions() {
+                if t.from == Some(s) {
+                    if let Some(to) = t.to {
+                        if !seen[to] {
+                            stack.push(to);
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b), "unreachable states exist");
+    }
+
+    #[test]
+    fn symbolic_cover_accounts_for_every_row(spec in spec_strategy()) {
+        let fsm = generate_fsm(&spec);
+        let sc = symbolic_cover(&fsm);
+        // every row asserts its next state: at least one on-cube per row
+        // restricted to that present state (the generator never emits '*').
+        let rows_with_next = fsm
+            .transitions()
+            .iter()
+            .filter(|t| t.to.is_some())
+            .count();
+        prop_assert!(sc.on.len() >= rows_with_next.min(1));
+        // every on-cube's state literal is a single state
+        for c in sc.on.iter() {
+            prop_assert_eq!(c.var_parts(&sc.domain, sc.state_var()).len(), 1);
+        }
+    }
+}

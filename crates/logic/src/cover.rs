@@ -1,0 +1,329 @@
+//! Covers: sets of cubes representing a sum-of-products.
+
+use crate::cube::Cube;
+use crate::domain::Domain;
+use std::fmt;
+
+/// A sum-of-products form: an unordered collection of [`Cube`]s over one
+/// [`Domain`].
+///
+/// Invariants: every contained cube is valid (non-empty) and the trailing
+/// bits beyond the domain are zero. Duplicate or contained cubes *may* be
+/// present transiently; [`Cover::scc`] removes them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cover {
+    dom: Domain,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// The empty cover (constant 0).
+    pub fn empty(dom: &Domain) -> Self {
+        Cover {
+            dom: dom.clone(),
+            cubes: Vec::new(),
+        }
+    }
+
+    /// The universal cover (constant 1): a single full cube.
+    pub fn universe(dom: &Domain) -> Self {
+        Cover {
+            dom: dom.clone(),
+            cubes: vec![Cube::full(dom)],
+        }
+    }
+
+    /// Builds a cover from cubes, dropping invalid (empty) ones.
+    pub fn from_cubes<I: IntoIterator<Item = Cube>>(dom: &Domain, cubes: I) -> Self {
+        let cubes = cubes
+            .into_iter()
+            .filter(|c| c.is_valid(dom))
+            .collect();
+        Cover {
+            dom: dom.clone(),
+            cubes,
+        }
+    }
+
+    /// Parses a cover over a purely binary domain from whitespace-separated
+    /// cube strings like `"10- 0-1"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cube string's length differs from the number of variables
+    /// or contains characters other than `0`, `1`, `-`. Intended for tests
+    /// and examples; use [`crate::pla`] for fallible parsing.
+    pub fn parse(dom: &Domain, text: &str) -> Self {
+        let mut cubes = Vec::new();
+        for tok in text.split_whitespace() {
+            assert_eq!(
+                tok.len(),
+                dom.num_vars(),
+                "cube {tok:?} does not match domain with {} vars",
+                dom.num_vars()
+            );
+            let mut c = Cube::full(dom);
+            for (i, ch) in tok.chars().enumerate() {
+                match ch {
+                    '0' => c.restrict_binary(dom, i, false),
+                    '1' => c.restrict_binary(dom, i, true),
+                    '-' => {}
+                    _ => panic!("bad literal {ch:?} in cube {tok:?}"),
+                }
+            }
+            cubes.push(c);
+        }
+        Cover::from_cubes(dom, cubes)
+    }
+
+    /// The cover's domain.
+    pub fn domain(&self) -> &Domain {
+        &self.dom
+    }
+
+    /// The cubes.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of cubes.
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Whether the cover has no cubes.
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Iterates over the cubes.
+    pub fn iter(&self) -> std::slice::Iter<'_, Cube> {
+        self.cubes.iter()
+    }
+
+    /// Adds a cube if it is valid.
+    pub fn push(&mut self, c: Cube) {
+        if c.is_valid(&self.dom) {
+            self.cubes.push(c);
+        }
+    }
+
+    /// Removes the cube at `i`, returning it.
+    pub fn remove(&mut self, i: usize) -> Cube {
+        self.cubes.swap_remove(i)
+    }
+
+    /// Appends all cubes of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domains differ.
+    pub fn extend_with(&mut self, other: &Cover) {
+        assert_eq!(self.dom, other.dom, "cover domain mismatch");
+        self.cubes.extend(other.cubes.iter().cloned());
+    }
+
+    /// Union of two covers.
+    pub fn union(&self, other: &Cover) -> Cover {
+        let mut out = self.clone();
+        out.extend_with(other);
+        out
+    }
+
+    /// Total number of admitted parts over all cubes — ESPRESSO's secondary
+    /// cost measure (fewer parts set = more literals = worse; NB in
+    /// positional notation a *larger* part count means *fewer* literals, so
+    /// for cost comparisons use [`Cover::literal_cost`]).
+    pub fn part_count(&self) -> usize {
+        self.cubes.iter().map(|c| c.part_count()).sum()
+    }
+
+    /// Number of non-full literals summed over cubes: the usual two-level
+    /// literal count used as a tie-breaking cost.
+    pub fn literal_cost(&self) -> usize {
+        self.cubes
+            .iter()
+            .map(|c| {
+                (0..self.dom.num_vars())
+                    .filter(|&v| !c.var_is_full(&self.dom, v))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Single-cube containment: removes every cube contained in another cube
+    /// of the cover (and exact duplicates).
+    pub fn scc(&mut self) {
+        // Sort by descending part count so containers precede containees.
+        self.cubes
+            .sort_by_key(|c| std::cmp::Reverse(c.part_count()));
+        let mut kept: Vec<Cube> = Vec::with_capacity(self.cubes.len());
+        'outer: for c in self.cubes.drain(..) {
+            for k in &kept {
+                if k.covers(&c) {
+                    continue 'outer;
+                }
+            }
+            kept.push(c);
+        }
+        self.cubes = kept;
+    }
+
+    /// The cofactor of the cover with respect to cube `p`: cubes disjoint
+    /// from `p` drop out, the rest are cofactored.
+    pub fn cofactor(&self, p: &Cube) -> Cover {
+        let cubes = self
+            .cubes
+            .iter()
+            .filter_map(|c| c.cofactor(p, &self.dom))
+            .collect();
+        Cover {
+            dom: self.dom.clone(),
+            cubes,
+        }
+    }
+
+    /// The supercube of all cubes, or `None` for an empty cover.
+    pub fn supercube(&self) -> Option<Cube> {
+        let mut it = self.cubes.iter();
+        let first = it.next()?.clone();
+        Some(it.fold(first, |acc, c| acc.or(c)))
+    }
+
+    /// Whether any cube is the universal cube.
+    pub fn has_full_cube(&self) -> bool {
+        self.cubes.iter().any(|c| c.is_full(&self.dom))
+    }
+
+    /// Whether the given minterm (one value per input variable, plus an
+    /// output part if the domain has outputs) is covered.
+    ///
+    /// `point` gives, for each variable in order, the chosen part offset.
+    pub fn covers_point(&self, point: &[usize]) -> bool {
+        debug_assert_eq!(point.len(), self.dom.num_vars());
+        self.cubes.iter().any(|c| {
+            point
+                .iter()
+                .enumerate()
+                .all(|(v, &val)| c.has_part(self.dom.var(v).offset() + val))
+        })
+    }
+
+    /// Enumerates all points of the full variable space (inputs × outputs) as
+    /// part-offset vectors. Exponential; intended for small test domains.
+    pub fn enumerate_points(dom: &Domain) -> Vec<Vec<usize>> {
+        let sizes: Vec<usize> = (0..dom.num_vars()).map(|v| dom.var(v).parts()).collect();
+        let mut points = vec![vec![]];
+        for &s in &sizes {
+            let mut next = Vec::with_capacity(points.len() * s);
+            for p in &points {
+                for val in 0..s {
+                    let mut q = p.clone();
+                    q.push(val);
+                    next.push(q);
+                }
+            }
+            points = next;
+        }
+        points
+    }
+}
+
+impl fmt::Display for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "(empty cover)");
+        }
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{}", c.render(&self.dom))?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Cover {
+    type Item = &'a Cube;
+    type IntoIter = std::slice::Iter<'a, Cube>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cubes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let dom = Domain::binary(3);
+        let f = Cover::parse(&dom, "10- 0-1");
+        assert_eq!(f.len(), 2);
+        let text = format!("{f}");
+        assert!(text.contains("1 0 -"));
+    }
+
+    #[test]
+    fn scc_removes_contained_and_duplicate_cubes() {
+        let dom = Domain::binary(3);
+        let mut f = Cover::parse(&dom, "1-- 10- 10- 0-1");
+        f.scc();
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn cofactor_drops_disjoint_cubes() {
+        let dom = Domain::binary(2);
+        let f = Cover::parse(&dom, "1- 01");
+        let mut p = Cube::full(&dom);
+        p.restrict_binary(&dom, 0, true);
+        let cf = f.cofactor(&p);
+        assert_eq!(cf.len(), 1);
+        assert!(cf.cubes()[0].is_full(&dom));
+    }
+
+    #[test]
+    fn covers_point_checks_membership() {
+        let dom = Domain::binary(2);
+        let f = Cover::parse(&dom, "1-");
+        // parts: var0 value 1 => offset 1; var1 value 0 => offset 0
+        assert!(f.covers_point(&[1, 0]));
+        assert!(f.covers_point(&[1, 1]));
+        assert!(!f.covers_point(&[0, 0]));
+    }
+
+    #[test]
+    fn enumerate_points_covers_space() {
+        let dom = Domain::binary(3);
+        assert_eq!(Cover::enumerate_points(&dom).len(), 8);
+    }
+
+    #[test]
+    fn supercube_of_cover() {
+        let dom = Domain::binary(2);
+        let f = Cover::parse(&dom, "10 01");
+        let s = f.supercube().unwrap();
+        assert!(s.is_full(&dom));
+        assert!(Cover::empty(&dom).supercube().is_none());
+    }
+
+    #[test]
+    fn invalid_cubes_are_rejected_on_push() {
+        let dom = Domain::binary(1);
+        let mut f = Cover::empty(&dom);
+        let a = Cover::parse(&dom, "1").cubes()[0].clone();
+        let b = Cover::parse(&dom, "0").cubes()[0].clone();
+        f.push(a.and(&b)); // empty intersection
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn literal_cost_counts_bound_vars() {
+        let dom = Domain::binary(3);
+        let f = Cover::parse(&dom, "10- 111");
+        assert_eq!(f.literal_cost(), 2 + 3);
+    }
+}

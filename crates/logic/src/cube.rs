@@ -1,0 +1,406 @@
+//! Positional-notation cubes.
+//!
+//! A [`Cube`] is a bit-set over the parts of a [`Domain`]: bit `p` set means
+//! the cube admits the value corresponding to part `p`. A binary literal `1`
+//! is `10₂` over the variable's two parts read `(bit0, bit1)`, a don't-care is
+//! `11₂`, and a multi-valued literal is an arbitrary non-empty subset of the
+//! variable's parts. A cube with an *empty* literal in some variable denotes
+//! the empty set of minterms; such cubes are never kept inside covers.
+
+use crate::domain::Domain;
+use std::fmt;
+
+/// A product term in positional cube notation over some [`Domain`].
+///
+/// Cubes are plain bit-set values; they do not carry their domain, so all
+/// domain-dependent operations take it as a parameter. The invariant that bits
+/// above the domain's `total_parts` are zero is maintained by every operation,
+/// making `Eq`/`Hash` structural.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cube {
+    words: Vec<u64>,
+}
+
+impl Cube {
+    /// The universal cube (all parts of all variables admitted).
+    pub fn full(dom: &Domain) -> Self {
+        Cube {
+            words: dom.full_words().to_vec(),
+        }
+    }
+
+    /// A cube with *no* part admitted anywhere (the canonical empty cube).
+    pub fn empty(dom: &Domain) -> Self {
+        Cube {
+            words: vec![0; dom.words()],
+        }
+    }
+
+    /// Raw words of the bit-set.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Whether global part `p` is admitted.
+    pub fn has_part(&self, p: usize) -> bool {
+        self.words[p / 64] & (1u64 << (p % 64)) != 0
+    }
+
+    /// Admits global part `p`.
+    pub fn set_part(&mut self, p: usize) {
+        self.words[p / 64] |= 1u64 << (p % 64);
+    }
+
+    /// Removes global part `p`.
+    pub fn clear_part(&mut self, p: usize) {
+        self.words[p / 64] &= !(1u64 << (p % 64));
+    }
+
+    /// Restricts variable `var` to exactly the given value (part offset
+    /// within the variable).
+    pub fn restrict(&mut self, dom: &Domain, var: usize, value: usize) {
+        let v = dom.var(var);
+        assert!(value < v.parts(), "value {value} out of range for {}", v.name());
+        for p in v.part_range() {
+            self.clear_part(p);
+        }
+        self.set_part(v.offset() + value);
+    }
+
+    /// Restricts a binary variable to `0` or `1`.
+    pub fn restrict_binary(&mut self, dom: &Domain, var: usize, value: bool) {
+        self.restrict(dom, var, usize::from(value));
+    }
+
+    /// Widens variable `var` back to a full (don't-care) literal.
+    pub fn raise_var(&mut self, dom: &Domain, var: usize) {
+        for p in dom.var(var).part_range() {
+            self.set_part(p);
+        }
+    }
+
+    /// Intersection (bitwise AND). The result may be an empty cube; check
+    /// with [`Cube::is_valid`].
+    pub fn and(&self, other: &Cube) -> Cube {
+        Cube {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Supercube (bitwise OR): the smallest cube containing both.
+    pub fn or(&self, other: &Cube) -> Cube {
+        Cube {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// In-place supercube accumulation.
+    pub fn or_assign(&mut self, other: &Cube) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Whether `self` contains `other` as a set of minterms (bitwise ⊇).
+    pub fn covers(&self, other: &Cube) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| b & !a == 0)
+    }
+
+    /// Whether every variable's literal is non-empty, i.e. the cube denotes a
+    /// non-empty set of minterms.
+    pub fn is_valid(&self, dom: &Domain) -> bool {
+        (0..dom.num_vars()).all(|v| !self.var_is_empty(dom, v))
+    }
+
+    /// Whether the literal of variable `var` is empty.
+    pub fn var_is_empty(&self, dom: &Domain, var: usize) -> bool {
+        self.var_part_count(dom, var) == 0
+    }
+
+    /// Whether the literal of variable `var` is full (don't-care).
+    pub fn var_is_full(&self, dom: &Domain, var: usize) -> bool {
+        self.var_part_count(dom, var) == dom.var(var).parts()
+    }
+
+    /// Number of parts admitted in variable `var`.
+    pub fn var_part_count(&self, dom: &Domain, var: usize) -> usize {
+        dom.var(var)
+            .part_range()
+            .filter(|&p| self.has_part(p))
+            .count()
+    }
+
+    /// Parts admitted in variable `var`, as offsets within the variable.
+    pub fn var_parts(&self, dom: &Domain, var: usize) -> Vec<usize> {
+        let v = dom.var(var);
+        v.part_range()
+            .filter(|&p| self.has_part(p))
+            .map(|p| p - v.offset())
+            .collect()
+    }
+
+    /// Whether the cube is the universal cube.
+    pub fn is_full(&self, dom: &Domain) -> bool {
+        self.words == dom.full_words()
+    }
+
+    /// Number of variables in which `self` and `other` have disjoint
+    /// literals. Distance 0 means the cubes intersect; distance 1 enables
+    /// consensus.
+    pub fn distance(&self, other: &Cube, dom: &Domain) -> usize {
+        let meet = self.and(other);
+        (0..dom.num_vars())
+            .filter(|&v| meet.var_is_empty(dom, v))
+            .count()
+    }
+
+    /// Whether the cubes intersect (distance 0).
+    pub fn intersects(&self, other: &Cube, dom: &Domain) -> bool {
+        let meet = self.and(other);
+        meet.is_valid(dom)
+    }
+
+    /// The ESPRESSO cofactor of `self` with respect to cube `p`:
+    /// `self ∪ ¬p` in each variable, defined only when the cubes intersect.
+    ///
+    /// Returns `None` when `self` and `p` are disjoint (the cofactor is
+    /// empty).
+    pub fn cofactor(&self, p: &Cube, dom: &Domain) -> Option<Cube> {
+        if !self.intersects(p, dom) {
+            return None;
+        }
+        let words = self
+            .words
+            .iter()
+            .zip(&p.words)
+            .zip(dom.full_words())
+            .map(|((a, b), full)| (a | !b) & full)
+            .collect();
+        Some(Cube { words })
+    }
+
+    /// The consensus (distance-1 merge) of two cubes, `None` unless their
+    /// distance is exactly 1.
+    ///
+    /// In the variable where the literals are disjoint the consensus takes
+    /// the union; everywhere else the intersection.
+    pub fn consensus(&self, other: &Cube, dom: &Domain) -> Option<Cube> {
+        let meet = self.and(other);
+        let mut conflict = None;
+        for v in 0..dom.num_vars() {
+            if meet.var_is_empty(dom, v) {
+                if conflict.is_some() {
+                    return None; // distance >= 2
+                }
+                conflict = Some(v);
+            }
+        }
+        let v = conflict?; // distance 0 has no consensus either
+        let mut out = meet;
+        let var = dom.var(v);
+        for p in var.part_range() {
+            if self.has_part(p) || other.has_part(p) {
+                out.set_part(p);
+            }
+        }
+        Some(out)
+    }
+
+    /// Number of *free* (full) variables among the binary input variables —
+    /// the cube's dimension in a purely binary input space.
+    pub fn binary_dimension(&self, dom: &Domain) -> usize {
+        dom.input_vars()
+            .filter(|&v| self.var_is_full(dom, v))
+            .count()
+    }
+
+    /// Total number of admitted parts (the cube's bit count).
+    pub fn part_count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Renders the cube in PLA style: binary variables as `0`/`1`/`-`,
+    /// multi-valued variables as a bit-string of their parts, variables
+    /// separated by spaces.
+    pub fn render(&self, dom: &Domain) -> String {
+        use crate::domain::VarKind;
+        let mut out = String::new();
+        for (i, v) in dom.vars().iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            match v.kind() {
+                VarKind::Binary => {
+                    let b0 = self.has_part(v.offset());
+                    let b1 = self.has_part(v.offset() + 1);
+                    out.push(match (b0, b1) {
+                        (true, true) => '-',
+                        (false, true) => '1',
+                        (true, false) => '0',
+                        (false, false) => '∅',
+                    });
+                }
+                _ => {
+                    for p in v.part_range() {
+                        out.push(if self.has_part(p) { '1' } else { '0' });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Cube {
+    /// Displays the raw bit words; use [`Cube::render`] for a domain-aware
+    /// rendering.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cube[")?;
+        for (i, w) in self.words.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{w:016x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainBuilder;
+
+    fn dom3() -> Domain {
+        Domain::binary(3)
+    }
+
+    /// Parses e.g. "1-0" over a binary domain.
+    fn cube(dom: &Domain, s: &str) -> Cube {
+        let mut c = Cube::full(dom);
+        for (i, ch) in s.chars().enumerate() {
+            match ch {
+                '0' => c.restrict_binary(dom, i, false),
+                '1' => c.restrict_binary(dom, i, true),
+                '-' => {}
+                _ => panic!("bad literal {ch}"),
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn restrict_and_render() {
+        let dom = dom3();
+        let c = cube(&dom, "1-0");
+        assert_eq!(c.render(&dom), "1 - 0");
+        assert!(c.is_valid(&dom));
+        assert!(!c.is_full(&dom));
+        assert!(Cube::full(&dom).is_full(&dom));
+    }
+
+    #[test]
+    fn intersection_and_validity() {
+        let dom = dom3();
+        let a = cube(&dom, "1--");
+        let b = cube(&dom, "0--");
+        let meet = a.and(&b);
+        assert!(!meet.is_valid(&dom));
+        assert!(!a.intersects(&b, &dom));
+        assert!(a.intersects(&cube(&dom, "-1-"), &dom));
+    }
+
+    #[test]
+    fn covers_is_set_containment() {
+        let dom = dom3();
+        assert!(cube(&dom, "1--").covers(&cube(&dom, "10-")));
+        assert!(!cube(&dom, "10-").covers(&cube(&dom, "1--")));
+        assert!(cube(&dom, "---").covers(&cube(&dom, "011")));
+    }
+
+    #[test]
+    fn distance_counts_conflicting_vars() {
+        let dom = dom3();
+        assert_eq!(cube(&dom, "11-").distance(&cube(&dom, "00-"), &dom), 2);
+        assert_eq!(cube(&dom, "1--").distance(&cube(&dom, "0--"), &dom), 1);
+        assert_eq!(cube(&dom, "1--").distance(&cube(&dom, "-0-"), &dom), 0);
+    }
+
+    #[test]
+    fn cofactor_matches_definition() {
+        let dom = dom3();
+        let c = cube(&dom, "11-");
+        let p = cube(&dom, "1--");
+        let cf = c.cofactor(&p, &dom).unwrap();
+        // cofactoring by x0=1 makes x0 a don't-care in the result
+        assert_eq!(cf.render(&dom), "- 1 -");
+        assert!(cube(&dom, "0--").cofactor(&p, &dom).is_none());
+    }
+
+    #[test]
+    fn consensus_requires_distance_one() {
+        let dom = dom3();
+        let a = cube(&dom, "10-");
+        let b = cube(&dom, "01-");
+        assert!(a.consensus(&b, &dom).is_none()); // distance 2
+        let a = cube(&dom, "1-0");
+        let b = cube(&dom, "0-0");
+        let c = a.consensus(&b, &dom).unwrap();
+        assert_eq!(c.render(&dom), "- - 0");
+        // distance 0 has no consensus
+        assert!(cube(&dom, "1--").consensus(&cube(&dom, "--1"), &dom).is_none());
+    }
+
+    #[test]
+    fn consensus_on_multivalued_var_unions_conflict() {
+        let dom = DomainBuilder::new().multi("s", 4).binary("x").build();
+        let mut a = Cube::full(&dom);
+        a.restrict(&dom, 0, 0);
+        a.restrict_binary(&dom, 1, true);
+        let mut b = Cube::full(&dom);
+        b.restrict(&dom, 0, 2);
+        b.restrict_binary(&dom, 1, true);
+        let c = a.consensus(&b, &dom).unwrap();
+        assert_eq!(c.var_parts(&dom, 0), vec![0, 2]);
+        assert_eq!(c.var_parts(&dom, 1), vec![1]);
+    }
+
+    #[test]
+    fn multivalued_restrict_and_parts() {
+        let dom = DomainBuilder::new().multi("s", 130).build();
+        let mut c = Cube::full(&dom);
+        c.restrict(&dom, 0, 127);
+        assert_eq!(c.var_parts(&dom, 0), vec![127]);
+        assert_eq!(c.part_count(), 1);
+        c.raise_var(&dom, 0);
+        assert!(c.var_is_full(&dom, 0));
+    }
+
+    #[test]
+    fn binary_dimension_counts_free_vars() {
+        let dom = dom3();
+        assert_eq!(cube(&dom, "---").binary_dimension(&dom), 3);
+        assert_eq!(cube(&dom, "1-0").binary_dimension(&dom), 1);
+        assert_eq!(cube(&dom, "101").binary_dimension(&dom), 0);
+    }
+
+    #[test]
+    fn supercube_is_or() {
+        let dom = dom3();
+        let s = cube(&dom, "101").or(&cube(&dom, "100"));
+        assert_eq!(s.render(&dom), "1 0 -");
+    }
+}

@@ -1,0 +1,334 @@
+//! Variable domains for positional-notation cube algebra.
+//!
+//! A [`Domain`] describes an ordered list of variables. Each variable has a
+//! number of *parts* (positions): a binary variable has two parts (`0` and
+//! `1`); a multi-valued variable with `k` values has `k` parts. A cube is a
+//! bit-set over the concatenation of all parts (see [`crate::Cube`]), which is
+//! the classic ESPRESSO-MV *positional cube notation*.
+//!
+//! Multi-output functions are represented the standard way: the output field
+//! is one extra multi-valued variable whose parts are the individual outputs.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The role of a variable inside a [`Domain`].
+///
+/// The distinction is purely informational — the cube algebra treats all
+/// variables uniformly — but parsers, printers and clients (e.g. the FSM
+/// symbolic-cover builder) use it to find fields by role rather than index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// A two-part binary input variable.
+    Binary,
+    /// A multi-valued (symbolic) input variable.
+    Multi,
+    /// The multi-valued output variable of a multi-output function.
+    Output,
+}
+
+/// One variable of a [`Domain`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Var {
+    name: String,
+    kind: VarKind,
+    parts: usize,
+    /// Global index of this variable's first part.
+    offset: usize,
+}
+
+impl Var {
+    /// The variable's name, as given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The variable's role.
+    pub fn kind(&self) -> VarKind {
+        self.kind
+    }
+
+    /// Number of parts (values) of the variable; 2 for binary variables.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// Global part index of the variable's first part.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Range of global part indices occupied by this variable.
+    pub fn part_range(&self) -> std::ops::Range<usize> {
+        self.offset..self.offset + self.parts
+    }
+}
+
+/// Builder for [`Domain`] values.
+///
+/// # Examples
+///
+/// ```
+/// use picola_logic::DomainBuilder;
+///
+/// let dom = DomainBuilder::new()
+///     .binary("a")
+///     .binary("b")
+///     .multi("state", 5)
+///     .output("out", 3)
+///     .build();
+/// assert_eq!(dom.num_vars(), 4);
+/// assert_eq!(dom.total_parts(), 2 + 2 + 5 + 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DomainBuilder {
+    vars: Vec<Var>,
+    offset: usize,
+}
+
+impl DomainBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(mut self, name: &str, kind: VarKind, parts: usize) -> Self {
+        assert!(parts >= 1, "a variable needs at least one part");
+        self.vars.push(Var {
+            name: name.to_owned(),
+            kind,
+            parts,
+            offset: self.offset,
+        });
+        self.offset += parts;
+        self
+    }
+
+    /// Appends a binary variable.
+    pub fn binary(self, name: &str) -> Self {
+        self.push(name, VarKind::Binary, 2)
+    }
+
+    /// Appends `n` binary variables named `prefix0`, `prefix1`, ….
+    pub fn binaries(mut self, prefix: &str, n: usize) -> Self {
+        for i in 0..n {
+            self = self.binary(&format!("{prefix}{i}"));
+        }
+        self
+    }
+
+    /// Appends a multi-valued variable with `parts` values.
+    pub fn multi(self, name: &str, parts: usize) -> Self {
+        self.push(name, VarKind::Multi, parts)
+    }
+
+    /// Appends the output variable with `parts` individual outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output variable was already added; a domain has at most
+    /// one output field and it must come last.
+    pub fn output(self, name: &str, parts: usize) -> Self {
+        assert!(
+            !self.vars.iter().any(|v| v.kind == VarKind::Output),
+            "a domain has at most one output variable"
+        );
+        self.push(name, VarKind::Output, parts)
+    }
+
+    /// Finalizes the domain.
+    pub fn build(self) -> Domain {
+        let total_parts = self.offset;
+        let words = total_parts.div_ceil(64).max(1);
+        let mut full = vec![0u64; words];
+        for p in 0..total_parts {
+            full[p / 64] |= 1u64 << (p % 64);
+        }
+        Domain(Arc::new(DomainInner {
+            vars: self.vars,
+            total_parts,
+            words,
+            full,
+        }))
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct DomainInner {
+    vars: Vec<Var>,
+    total_parts: usize,
+    words: usize,
+    full: Vec<u64>,
+}
+
+/// A shared, immutable description of the variables a cover ranges over.
+///
+/// `Domain` is a cheap-to-clone handle (internally reference-counted). Two
+/// domains compare equal when their variable lists are identical; covers over
+/// different domains must not be mixed and the cover operations debug-assert
+/// this.
+#[derive(Debug, Clone)]
+pub struct Domain(Arc<DomainInner>);
+
+impl PartialEq for Domain {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Domain {}
+
+impl Domain {
+    /// A domain of `n` binary input variables and no output field.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let dom = picola_logic::Domain::binary(4);
+    /// assert_eq!(dom.total_parts(), 8);
+    /// ```
+    pub fn binary(n: usize) -> Self {
+        DomainBuilder::new().binaries("x", n).build()
+    }
+
+    /// Number of variables (including the output variable, if any).
+    pub fn num_vars(&self) -> usize {
+        self.0.vars.len()
+    }
+
+    /// The variables in order.
+    pub fn vars(&self) -> &[Var] {
+        &self.0.vars
+    }
+
+    /// The `i`-th variable.
+    pub fn var(&self, i: usize) -> &Var {
+        &self.0.vars[i]
+    }
+
+    /// Total number of parts across all variables.
+    pub fn total_parts(&self) -> usize {
+        self.0.total_parts
+    }
+
+    /// Number of 64-bit words needed to store one cube.
+    pub fn words(&self) -> usize {
+        self.0.words
+    }
+
+    /// Bit mask (as words) with every part bit set — the universal cube.
+    pub(crate) fn full_words(&self) -> &[u64] {
+        &self.0.full
+    }
+
+    /// Index of the output variable, if the domain has one.
+    pub fn output_var(&self) -> Option<usize> {
+        self.0
+            .vars
+            .iter()
+            .position(|v| v.kind == VarKind::Output)
+    }
+
+    /// Indices of the non-output variables.
+    pub fn input_vars(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.num_vars()).filter(|&i| self.var(i).kind() != VarKind::Output)
+    }
+
+    /// Number of minterms of the input space (product of input part counts).
+    ///
+    /// Saturates at `u64::MAX`; intended for small test domains.
+    pub fn input_space_size(&self) -> u64 {
+        self.input_vars()
+            .map(|i| self.var(i).parts() as u64)
+            .try_fold(1u64, |acc, p| acc.checked_mul(p))
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Looks a variable up by name.
+    pub fn var_index(&self, name: &str) -> Option<usize> {
+        self.0.vars.iter().position(|v| v.name == name)
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "domain[")?;
+        for (i, v) in self.0.vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match v.kind {
+                VarKind::Binary => write!(f, "{}", v.name)?,
+                VarKind::Multi => write!(f, "{}({})", v.name, v.parts)?,
+                VarKind::Output => write!(f, "=> {}({})", v.name, v.parts)?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_offsets() {
+        let dom = DomainBuilder::new()
+            .binary("a")
+            .multi("s", 3)
+            .output("z", 2)
+            .build();
+        assert_eq!(dom.var(0).offset(), 0);
+        assert_eq!(dom.var(1).offset(), 2);
+        assert_eq!(dom.var(2).offset(), 5);
+        assert_eq!(dom.total_parts(), 7);
+        assert_eq!(dom.words(), 1);
+        assert_eq!(dom.output_var(), Some(2));
+    }
+
+    #[test]
+    fn multiword_domains() {
+        let dom = DomainBuilder::new().multi("big", 130).build();
+        assert_eq!(dom.words(), 3);
+        assert_eq!(dom.full_words().iter().map(|w| w.count_ones()).sum::<u32>(), 130);
+    }
+
+    #[test]
+    fn var_lookup_by_name() {
+        let dom = Domain::binary(3);
+        assert_eq!(dom.var_index("x1"), Some(1));
+        assert_eq!(dom.var_index("nope"), None);
+    }
+
+    #[test]
+    fn input_space_size_excludes_outputs() {
+        let dom = DomainBuilder::new()
+            .binaries("x", 2)
+            .multi("s", 5)
+            .output("z", 9)
+            .build();
+        assert_eq!(dom.input_space_size(), 4 * 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn only_one_output_var() {
+        let _ = DomainBuilder::new().output("a", 1).output("b", 1).build();
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let dom = DomainBuilder::new().binary("a").multi("s", 3).build();
+        let s = format!("{dom}");
+        assert!(s.contains('a') && s.contains("s(3)"));
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let d1 = Domain::binary(2);
+        let d2 = Domain::binary(2);
+        let d3 = Domain::binary(3);
+        assert_eq!(d1, d2);
+        assert_ne!(d1, d3);
+    }
+}

@@ -1,0 +1,77 @@
+//! Cover containment and equivalence checks.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::urp::tautology;
+
+/// Whether cover `f` covers cube `c` (i.e. `c ⊆ f`), decided by checking the
+/// cofactor of `f` with respect to `c` for tautology.
+pub fn cover_covers_cube(f: &Cover, c: &Cube) -> bool {
+    tautology(&f.cofactor(c))
+}
+
+/// Whether `g ⊆ f` as sets of minterms.
+pub fn cover_contains(f: &Cover, g: &Cover) -> bool {
+    g.iter().all(|c| cover_covers_cube(f, c))
+}
+
+/// Whether `f` and `g` cover exactly the same minterms.
+///
+/// # Examples
+///
+/// ```
+/// use picola_logic::{equivalent, Cover, Domain};
+///
+/// let dom = Domain::binary(2);
+/// let f = Cover::parse(&dom, "1- -1");
+/// let g = Cover::parse(&dom, "1- 01");
+/// assert!(equivalent(&f, &g));
+/// ```
+pub fn equivalent(f: &Cover, g: &Cover) -> bool {
+    cover_contains(f, g) && cover_contains(g, f)
+}
+
+/// Whether `f` is a legal implementation of the incompletely specified
+/// function with on-set `on` and don't-care set `dc`:
+/// `on ⊆ f ⊆ on ∪ dc`.
+pub fn implements(f: &Cover, on: &Cover, dc: &Cover) -> bool {
+    let upper = on.union(dc);
+    cover_contains(f, on) && cover_contains(&upper, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+
+    #[test]
+    fn containment_basic() {
+        let dom = Domain::binary(3);
+        let f = Cover::parse(&dom, "1-- -1-");
+        let g = Cover::parse(&dom, "11- 10-");
+        assert!(cover_contains(&f, &g));
+        assert!(!cover_contains(&g, &f));
+    }
+
+    #[test]
+    fn equivalence_of_different_forms() {
+        let dom = Domain::binary(3);
+        // xy + x'z == xy + x'z + yz (consensus cube is redundant)
+        let f = Cover::parse(&dom, "11- 0-1");
+        let g = Cover::parse(&dom, "11- 0-1 -11");
+        assert!(equivalent(&f, &g));
+    }
+
+    #[test]
+    fn implements_respects_dc_bounds() {
+        let dom = Domain::binary(2);
+        let on = Cover::parse(&dom, "11");
+        let dc = Cover::parse(&dom, "10");
+        let f = Cover::parse(&dom, "1-");
+        assert!(implements(&f, &on, &dc));
+        let g = Cover::parse(&dom, "--");
+        assert!(!implements(&g, &on, &dc));
+        let h = Cover::parse(&dom, "01");
+        assert!(!implements(&h, &on, &dc));
+    }
+}

@@ -1,0 +1,56 @@
+//! Error types of the logic substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing a PLA file fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePlaError {
+    line: usize,
+    message: String,
+}
+
+impl ParsePlaError {
+    /// Creates an error at 1-based `line` (0 when no line applies).
+    pub fn new(line: usize, message: &str) -> Self {
+        ParsePlaError {
+            line,
+            message: message.to_owned(),
+        }
+    }
+
+    /// The 1-based line number the error refers to, 0 for file-level errors.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParsePlaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "invalid PLA: {}", self.message)
+        } else {
+            write!(f, "invalid PLA at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for ParsePlaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line() {
+        let e = ParsePlaError::new(7, "bad cube");
+        assert_eq!(e.to_string(), "invalid PLA at line 7: bad cube");
+        assert_eq!(e.line(), 7);
+    }
+
+    #[test]
+    fn file_level_errors_have_no_line() {
+        let e = ParsePlaError::new(0, "missing .i directive");
+        assert!(!e.to_string().contains("line"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Exact two-level minimization (Quine–McCluskey style) for small functions.
+//!
+//! Generates all primes by iterated consensus, then solves the unate covering
+//! problem over the on-set minterms by branch and bound. Exponential: use
+//! only on functions with a small input space (the PICOLA constraint
+//! functions, with `nv ≤ 8` code bits, qualify). Serves as a quality oracle
+//! for the heuristic [`crate::espresso()`] in tests and ablations.
+
+use crate::cover::Cover;
+use crate::primes::all_primes;
+
+/// Result of an exact minimization attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExactOutcome {
+    /// A provably minimum cover was found.
+    Minimum(Cover),
+    /// The search was abandoned after exceeding the node budget; the best
+    /// cover found so far is returned.
+    BudgetExceeded(Cover),
+}
+
+impl ExactOutcome {
+    /// The cover, minimal or best-effort.
+    pub fn cover(&self) -> &Cover {
+        match self {
+            ExactOutcome::Minimum(c) | ExactOutcome::BudgetExceeded(c) => c,
+        }
+    }
+}
+
+/// Exactly minimizes `(on, dc)` with a search budget of `max_nodes`
+/// branch-and-bound nodes.
+///
+/// # Panics
+///
+/// Panics if the domains differ.
+pub fn exact_minimize(on: &Cover, dc: &Cover, max_nodes: usize) -> ExactOutcome {
+    let dom = on.domain();
+    assert_eq!(dom, dc.domain(), "exact_minimize: domain mismatch");
+    if on.is_empty() {
+        return ExactOutcome::Minimum(Cover::empty(dom));
+    }
+    let primes = all_primes(on, dc);
+
+    // Minterms of the on-set that must be covered.
+    let points: Vec<Vec<usize>> = Cover::enumerate_points(dom)
+        .into_iter()
+        .filter(|pt| on.covers_point(pt))
+        .collect();
+
+    // Coverage matrix: per prime, the bit-set of points it covers.
+    let cov: Vec<Vec<bool>> = primes
+        .iter()
+        .map(|p| {
+            let single = Cover::from_cubes(dom, [p.clone()]);
+            points.iter().map(|pt| single.covers_point(pt)).collect()
+        })
+        .collect();
+
+    let npts = points.len();
+    let nprimes = primes.len();
+    let mut nodes = 0usize;
+    let mut exceeded = false;
+
+    // Greedy initial solution for an upper bound.
+    let mut best: Option<Vec<usize>> = {
+        let mut chosen = Vec::new();
+        let mut covered = vec![false; npts];
+        while covered.iter().any(|&c| !c) {
+            let (bi, _) = (0..nprimes)
+                .map(|i| {
+                    let gain = (0..npts).filter(|&j| !covered[j] && cov[i][j]).count();
+                    (i, gain)
+                })
+                .max_by_key(|&(_, g)| g)
+                .expect("primes cover the on-set");
+            chosen.push(bi);
+            for j in 0..npts {
+                if cov[bi][j] {
+                    covered[j] = true;
+                }
+            }
+        }
+        Some(chosen)
+    };
+
+    #[allow(clippy::too_many_arguments)]
+    fn search(
+        cov: &[Vec<bool>],
+        npts: usize,
+        covered: &mut Vec<bool>,
+        chosen: &mut Vec<usize>,
+        best: &mut Option<Vec<usize>>,
+        nodes: &mut usize,
+        max_nodes: usize,
+        exceeded: &mut bool,
+    ) {
+        *nodes += 1;
+        if *nodes > max_nodes {
+            *exceeded = true;
+            return;
+        }
+        // Find the first uncovered point; none left means a complete cover.
+        let Some(j) = (0..npts).find(|&j| !covered[j]) else {
+            if best.as_ref().is_none_or(|b| chosen.len() < b.len()) {
+                *best = Some(chosen.clone());
+            }
+            return;
+        };
+        // At least one more prime is needed; prune if that cannot improve.
+        if let Some(b) = best {
+            if chosen.len() + 1 >= b.len() {
+                return;
+            }
+        }
+        // Branch over every prime covering point j.
+        for (i, row) in cov.iter().enumerate() {
+            if !row[j] {
+                continue;
+            }
+            let newly: Vec<usize> = (0..npts).filter(|&k| !covered[k] && row[k]).collect();
+            for &k in &newly {
+                covered[k] = true;
+            }
+            chosen.push(i);
+            search(cov, npts, covered, chosen, best, nodes, max_nodes, exceeded);
+            chosen.pop();
+            for &k in &newly {
+                covered[k] = false;
+            }
+            if *exceeded {
+                return;
+            }
+        }
+    }
+
+    let mut covered = vec![false; npts];
+    let mut chosen = Vec::new();
+    search(
+        &cov, npts, &mut covered, &mut chosen, &mut best, &mut nodes, max_nodes, &mut exceeded,
+    );
+
+    let chosen = best.expect("a cover exists");
+    let cover = Cover::from_cubes(dom, chosen.iter().map(|&i| primes.cubes()[i].clone()));
+    if exceeded {
+        ExactOutcome::BudgetExceeded(cover)
+    } else {
+        ExactOutcome::Minimum(cover)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::equiv::implements;
+    use crate::espresso::espresso;
+
+    #[test]
+    fn exact_matches_known_minimum() {
+        let dom = Domain::binary(3);
+        let on = Cover::parse(&dom, "110 111 011");
+        let out = exact_minimize(&on, &Cover::empty(&dom), 100_000);
+        let ExactOutcome::Minimum(c) = out else {
+            panic!("budget should suffice")
+        };
+        assert_eq!(c.len(), 2);
+        assert!(implements(&c, &on, &Cover::empty(&dom)));
+    }
+
+    #[test]
+    fn exact_lower_bounds_espresso() {
+        let dom = Domain::binary(4);
+        for text in [
+            "1100 0110 0011 1001",
+            "1111 0000 1010",
+            "1--- -1-- --1- ---1",
+        ] {
+            let on = Cover::parse(&dom, text);
+            let dc = Cover::empty(&dom);
+            let exact = exact_minimize(&on, &dc, 1_000_000);
+            let heur = espresso(&on, &dc);
+            assert!(
+                exact.cover().len() <= heur.len(),
+                "exact {} > espresso {} on {text}",
+                exact.cover().len(),
+                heur.len()
+            );
+            assert!(implements(exact.cover(), &on, &dc));
+        }
+    }
+
+    #[test]
+    fn exact_uses_dont_cares() {
+        let dom = Domain::binary(3);
+        let on = Cover::parse(&dom, "111 100");
+        let dc = Cover::parse(&dom, "110 101");
+        let out = exact_minimize(&on, &dc, 100_000);
+        assert_eq!(out.cover().len(), 1);
+    }
+
+    #[test]
+    fn empty_function_minimizes_to_empty() {
+        let dom = Domain::binary(2);
+        let out = exact_minimize(&Cover::empty(&dom), &Cover::empty(&dom), 10);
+        assert!(out.cover().is_empty());
+    }
+}

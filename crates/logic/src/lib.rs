@@ -1,0 +1,78 @@
+//! # picola-logic — two-level / multi-valued logic substrate
+//!
+//! The logic foundation of the PICOLA reproduction: positional-notation
+//! cubes and covers over mixed binary/multi-valued domains, the unate
+//! recursive paradigm (tautology, complement), an ESPRESSO-style heuristic
+//! minimizer (EXPAND / IRREDUNDANT / REDUCE / essential primes), an exact
+//! Quine–McCluskey-style minimizer for small functions, and PLA I/O.
+//!
+//! Multi-output functions are represented the classic way: the output field
+//! is one extra multi-valued variable (see [`DomainBuilder::output`]), which
+//! lets every algorithm treat multiple-output minimization uniformly.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use picola_logic::{espresso, Cover, Domain};
+//!
+//! let dom = Domain::binary(3);
+//! let on = Cover::parse(&dom, "110 111 011");
+//! let dc = Cover::empty(&dom);
+//! let minimized = espresso(&on, &dc);
+//! assert_eq!(minimized.len(), 2); // 11- and -11
+//! ```
+//!
+//! ## Module map
+//!
+//! - [`domain`] / [`cube`] / [`cover`]: the cube algebra.
+//! - [`urp`]: tautology and complementation.
+//! - [`mod@expand`] / [`mod@irredundant`] / [`mod@reduce`] / [`essential`]: the ESPRESSO
+//!   operators; [`espresso`](crate::espresso()) drives them.
+//! - [`primes`] / [`exact`]: exact prime generation and covering.
+//! - [`equiv`]: containment/equivalence checks.
+//! - [`pla`]: Berkeley PLA text format.
+
+#![warn(missing_docs)]
+
+pub mod cover;
+pub mod cube;
+pub mod domain;
+pub mod equiv;
+pub mod error;
+pub mod espresso;
+pub mod essential;
+pub mod exact;
+pub mod expand;
+pub mod gasp;
+pub mod irredundant;
+pub mod measure;
+pub mod mv_pla;
+pub mod pla;
+pub mod primes;
+pub mod reduce;
+pub mod sharp;
+pub mod urp;
+pub mod verify;
+
+pub use cover::Cover;
+pub use cube::Cube;
+pub use domain::{Domain, DomainBuilder, Var, VarKind};
+pub use equiv::{cover_contains, cover_covers_cube, equivalent, implements};
+pub use error::ParsePlaError;
+pub use espresso::{espresso, espresso_with, minimized_cube_count, MinimizeOptions};
+pub use essential::essentials;
+pub use exact::{exact_minimize, ExactOutcome};
+pub use expand::expand;
+pub use gasp::last_gasp;
+pub use irredundant::irredundant;
+pub use measure::{cover_density, cover_minterms, cube_minterms};
+pub use mv_pla::{parse_mv_pla, write_mv_pla};
+pub use pla::{parse_pla, write_pla, Pla, PlaType};
+pub use primes::all_primes;
+pub use reduce::reduce;
+pub use sharp::{cover_sharp, cube_sharp};
+pub use urp::{complement, cube_complement, tautology};
+pub use verify::{
+    find_point_in_difference, first_point_of, verify_equivalent, verify_implements, Point,
+    Verdict,
+};

@@ -1,0 +1,110 @@
+//! Counting minterms of covers without enumeration.
+//!
+//! The count is computed over a disjoint decomposition (iterated sharp), so
+//! it is exact and polynomial in the cover size rather than exponential in
+//! the variable count.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::domain::Domain;
+use crate::sharp::cube_sharp;
+
+/// Number of minterms in one cube: the product of its per-variable part
+/// counts. Saturates at `u128::MAX`.
+pub fn cube_minterms(dom: &Domain, c: &Cube) -> u128 {
+    (0..dom.num_vars())
+        .map(|v| c.var_part_count(dom, v) as u128)
+        .try_fold(1u128, u128::checked_mul)
+        .unwrap_or(u128::MAX)
+}
+
+/// Number of minterms covered by `f`, counted exactly via a disjoint
+/// decomposition.
+pub fn cover_minterms(f: &Cover) -> u128 {
+    let dom = f.domain();
+    // Make the cubes disjoint by sharping each against its predecessors.
+    let mut disjoint: Vec<Cube> = Vec::new();
+    for c in f.iter() {
+        let mut pieces = vec![c.clone()];
+        for d in &disjoint {
+            let mut next = Vec::new();
+            for p in &pieces {
+                next.extend(cube_sharp(dom, p, d));
+            }
+            pieces = next;
+            if pieces.is_empty() {
+                break;
+            }
+        }
+        disjoint.extend(pieces);
+    }
+    disjoint.iter().map(|c| cube_minterms(dom, c)).sum()
+}
+
+/// The fraction of the whole space `f` covers, in `[0, 1]`.
+pub fn cover_density(f: &Cover) -> f64 {
+    let dom = f.domain();
+    let total: u128 = (0..dom.num_vars())
+        .map(|v| dom.var(v).parts() as u128)
+        .product();
+    if total == 0 {
+        return 0.0;
+    }
+    cover_minterms(f) as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainBuilder;
+
+    #[test]
+    fn single_cube_counts() {
+        let dom = Domain::binary(4);
+        let f = Cover::parse(&dom, "1---");
+        assert_eq!(cover_minterms(&f), 8);
+        let g = Cover::parse(&dom, "10-1");
+        assert_eq!(cover_minterms(&g), 2);
+    }
+
+    #[test]
+    fn overlapping_cubes_are_not_double_counted() {
+        let dom = Domain::binary(3);
+        let f = Cover::parse(&dom, "1-- -1-");
+        // |1--| + |-1-| - |11-| = 4 + 4 - 2 = 6
+        assert_eq!(cover_minterms(&f), 6);
+    }
+
+    #[test]
+    fn counts_match_enumeration() {
+        let dom = Domain::binary(4);
+        for text in ["1--- --11 0-0-", "1010 0101", "---- 11--"] {
+            let f = Cover::parse(&dom, text);
+            let brute = Cover::enumerate_points(&dom)
+                .iter()
+                .filter(|pt| f.covers_point(pt))
+                .count() as u128;
+            assert_eq!(cover_minterms(&f), brute, "{text}");
+        }
+    }
+
+    #[test]
+    fn multivalued_counting() {
+        let dom = DomainBuilder::new().multi("s", 5).binary("x").build();
+        let mut c = Cube::full(&dom);
+        c.clear_part(0);
+        c.clear_part(1); // s in {2,3,4}
+        c.restrict_binary(&dom, 1, true);
+        let f = Cover::from_cubes(&dom, [c]);
+        assert_eq!(cover_minterms(&f), 3);
+        assert!((cover_density(&f) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tautology_has_full_density() {
+        let dom = Domain::binary(3);
+        assert_eq!(cover_minterms(&Cover::universe(&dom)), 8);
+        assert!((cover_density(&Cover::universe(&dom)) - 1.0).abs() < 1e-12);
+        assert_eq!(cover_minterms(&Cover::empty(&dom)), 0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Multi-valued PLA text format (ESPRESSO-MV's `.mv` dialect).
+//!
+//! Header `.mv <num_vars> <num_binary> <sizes…>` declares the variable
+//! structure: `num_binary` two-valued variables followed by multi-valued
+//! variables with the given part counts; the **last** variable is treated
+//! as the output field. Cube lines give the binary literals as one
+//! `0`/`1`/`-` group and each multi-valued literal as a positional
+//! `0`/`1` string, groups separated by whitespace or `|`.
+//!
+//! This is the format NOVA-era input-encoding problems circulate in; the
+//! reader/writer here lets the benches and the CLI exchange such problems
+//! directly.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::domain::{Domain, DomainBuilder};
+use crate::error::ParsePlaError;
+use std::fmt::Write as _;
+
+/// Parses a multi-valued PLA, returning its domain and on-set cover.
+///
+/// # Errors
+///
+/// Returns [`ParsePlaError`] on malformed headers, width mismatches, or
+/// illegal characters.
+pub fn parse_mv_pla(text: &str) -> Result<(Domain, Cover), ParsePlaError> {
+    let mut sizes: Option<Vec<usize>> = None;
+    let mut num_binary = 0usize;
+    let mut cube_lines: Vec<(usize, String)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut it = rest.split_whitespace();
+            match it.next().unwrap_or("") {
+                "mv" => {
+                    let nums: Vec<usize> = it
+                        .map(|v| {
+                            v.parse().map_err(|_| {
+                                ParsePlaError::new(lineno, ".mv takes integers")
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if nums.len() < 2 {
+                        return Err(ParsePlaError::new(
+                            lineno,
+                            ".mv needs <num_vars> <num_binary> <sizes...>",
+                        ));
+                    }
+                    let num_vars = nums[0];
+                    num_binary = nums[1];
+                    let mv_sizes = &nums[2..];
+                    if num_binary + mv_sizes.len() != num_vars {
+                        return Err(ParsePlaError::new(
+                            lineno,
+                            "size list does not match the variable count",
+                        ));
+                    }
+                    sizes = Some(mv_sizes.to_vec());
+                }
+                "p" | "ilb" | "ob" | "type" => { /* informational */ }
+                "e" | "end" => break,
+                other => {
+                    return Err(ParsePlaError::new(
+                        lineno,
+                        &format!("unknown directive .{other}"),
+                    ))
+                }
+            }
+        } else {
+            cube_lines.push((lineno, line.to_owned()));
+        }
+    }
+
+    let mv_sizes = sizes.ok_or_else(|| ParsePlaError::new(0, "missing .mv header"))?;
+    if mv_sizes.is_empty() {
+        return Err(ParsePlaError::new(0, "need at least one multi-valued variable (the output)"));
+    }
+
+    let mut builder = DomainBuilder::new().binaries("x", num_binary);
+    for (i, &s) in mv_sizes.iter().enumerate() {
+        if i + 1 == mv_sizes.len() {
+            builder = builder.output("z", s);
+        } else {
+            builder = builder.multi(&format!("m{i}"), s);
+        }
+    }
+    let dom = builder.build();
+
+    let mut cover = Cover::empty(&dom);
+    for (lineno, line) in cube_lines {
+        let groups: Vec<&str> = line
+            .split(|c: char| c.is_whitespace() || c == '|')
+            .filter(|g| !g.is_empty())
+            .collect();
+        let expected = usize::from(num_binary > 0) + mv_sizes.len();
+        if groups.len() != expected {
+            return Err(ParsePlaError::new(
+                lineno,
+                &format!("expected {expected} fields, found {}", groups.len()),
+            ));
+        }
+        let mut cube = Cube::full(&dom);
+        let mut gi = 0;
+        if num_binary > 0 {
+            let g = groups[gi];
+            gi += 1;
+            if g.len() != num_binary {
+                return Err(ParsePlaError::new(lineno, "binary field width mismatch"));
+            }
+            for (v, ch) in g.chars().enumerate() {
+                match ch {
+                    '0' => cube.restrict_binary(&dom, v, false),
+                    '1' => cube.restrict_binary(&dom, v, true),
+                    '-' | '2' => {}
+                    _ => {
+                        return Err(ParsePlaError::new(
+                            lineno,
+                            &format!("bad binary character {ch:?}"),
+                        ))
+                    }
+                }
+            }
+        }
+        for (k, &size) in mv_sizes.iter().enumerate() {
+            let g = groups[gi];
+            gi += 1;
+            if g.len() != size {
+                return Err(ParsePlaError::new(
+                    lineno,
+                    &format!("multi-valued field {k} width mismatch"),
+                ));
+            }
+            let var = num_binary + k;
+            let offset = dom.var(var).offset();
+            for (p, ch) in g.chars().enumerate() {
+                match ch {
+                    '1' | '4' => {}
+                    '0' => cube.clear_part(offset + p),
+                    _ => {
+                        return Err(ParsePlaError::new(
+                            lineno,
+                            &format!("bad positional character {ch:?}"),
+                        ))
+                    }
+                }
+            }
+        }
+        cover.push(cube);
+    }
+
+    Ok((dom, cover))
+}
+
+/// Serializes a multi-valued cover in the `.mv` dialect.
+///
+/// # Panics
+///
+/// Panics if the domain has no output variable (use [`crate::pla`] for
+/// plain binary PLAs).
+pub fn write_mv_pla(cover: &Cover) -> String {
+    use crate::domain::VarKind;
+    let dom = cover.domain();
+    assert!(
+        dom.output_var().is_some(),
+        "mv PLA requires an output variable"
+    );
+    let num_binary = dom
+        .vars()
+        .iter()
+        .filter(|v| v.kind() == VarKind::Binary)
+        .count();
+    let mv_sizes: Vec<usize> = dom
+        .vars()
+        .iter()
+        .filter(|v| v.kind() != VarKind::Binary)
+        .map(|v| v.parts())
+        .collect();
+
+    let mut out = String::new();
+    let _ = write!(out, ".mv {} {num_binary}", dom.num_vars());
+    for s in &mv_sizes {
+        let _ = write!(out, " {s}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, ".p {}", cover.len());
+    for cube in cover.iter() {
+        let mut fields: Vec<String> = Vec::new();
+        if num_binary > 0 {
+            let mut g = String::with_capacity(num_binary);
+            for v in 0..num_binary {
+                let b0 = cube.has_part(dom.var(v).offset());
+                let b1 = cube.has_part(dom.var(v).offset() + 1);
+                g.push(match (b0, b1) {
+                    (true, true) => '-',
+                    (false, true) => '1',
+                    (true, false) => '0',
+                    (false, false) => '?',
+                });
+            }
+            fields.push(g);
+        }
+        for v in num_binary..dom.num_vars() {
+            let var = dom.var(v);
+            let g: String = var
+                .part_range()
+                .map(|p| if cube.has_part(p) { '1' } else { '0' })
+                .collect();
+            fields.push(g);
+        }
+        let _ = writeln!(out, "{}", fields.join(" | "));
+    }
+    let _ = writeln!(out, ".e");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::equivalent;
+
+    const SAMPLE: &str = "\
+# an input-encoding problem: 2 binary inputs, a 4-valued symbol, 3 outputs
+.mv 4 2 4 3
+.p 3
+1- | 1100 | 100
+-0 | 0011 | 010
+11 | 1111 | 001
+.e
+";
+
+    #[test]
+    fn parse_mv_header_and_cubes() {
+        let (dom, cover) = parse_mv_pla(SAMPLE).unwrap();
+        assert_eq!(dom.num_vars(), 4);
+        assert_eq!(dom.var(2).parts(), 4);
+        assert_eq!(dom.output_var(), Some(3));
+        assert_eq!(cover.len(), 3);
+        // first cube: symbol literal {0, 1}
+        assert_eq!(cover.cubes()[0].var_parts(&dom, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (dom, cover) = parse_mv_pla(SAMPLE).unwrap();
+        let text = write_mv_pla(&cover);
+        let (dom2, back) = parse_mv_pla(&text).unwrap();
+        assert_eq!(dom, dom2);
+        assert!(equivalent(&cover, &back));
+    }
+
+    #[test]
+    fn symbolic_cover_roundtrips() {
+        // write a symbolic-cover-shaped domain and read it back
+        let dom = DomainBuilder::new()
+            .binaries("x", 3)
+            .multi("ps", 5)
+            .output("z", 7)
+            .build();
+        let mut cover = Cover::empty(&dom);
+        let mut c = Cube::full(&dom);
+        c.restrict(&dom, 3, 2);
+        let ov = dom.output_var().unwrap();
+        for p in dom.var(ov).part_range().skip(1) {
+            c.clear_part(p);
+        }
+        cover.push(c);
+        let text = write_mv_pla(&cover);
+        let (dom2, back) = parse_mv_pla(&text).unwrap();
+        assert_eq!(dom2.var(3).parts(), 5);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.cubes()[0].var_parts(&dom2, 3), vec![2]);
+    }
+
+    #[test]
+    fn header_errors() {
+        assert!(parse_mv_pla("1- | 10\n").is_err());
+        assert!(parse_mv_pla(".mv 3 2\n").is_err()); // sizes missing
+        assert!(parse_mv_pla(".mv 3 1 2 2\n1 | 10 | 11 | 00\n").is_err()); // extra field
+    }
+
+    #[test]
+    fn width_errors() {
+        let text = ".mv 2 1 2\n1- | 10\n";
+        assert!(parse_mv_pla(text).is_err()); // binary field too wide
+    }
+
+    #[test]
+    fn no_binary_vars_is_fine() {
+        let text = ".mv 2 0 3 2\n110 | 10\n";
+        let (dom, cover) = parse_mv_pla(text).unwrap();
+        assert_eq!(dom.num_vars(), 2);
+        assert_eq!(cover.len(), 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! Reading and writing PLAs in the Berkeley ESPRESSO format.
+//!
+//! Supported directives: `.i`, `.o`, `.p`, `.ilb`, `.ob`, `.type` (`f`,
+//! `fd`, `fr`), `.e`/`.end`, comments (`#`). Multi-valued `.mv` PLAs are not
+//! read from text; multi-valued covers are built programmatically (see
+//! [`crate::DomainBuilder`]).
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::domain::{Domain, DomainBuilder};
+use crate::error::ParsePlaError;
+use std::fmt::Write as _;
+
+/// Logical PLA type, mirroring ESPRESSO's `.type` directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlaType {
+    /// Only the on-set is given.
+    F,
+    /// On-set and don't-care set (`-` outputs) are given — the default.
+    #[default]
+    Fd,
+    /// On-set and off-set (`0` outputs) are given.
+    Fr,
+}
+
+/// An in-memory PLA: a domain of binary inputs plus one output variable, and
+/// the covers read from (or to be written to) the file.
+#[derive(Debug, Clone)]
+pub struct Pla {
+    /// Domain: `.i` binary variables followed by one output variable with
+    /// `.o` parts.
+    pub domain: Domain,
+    /// On-set cover.
+    pub on: Cover,
+    /// Don't-care cover (empty unless the type supplies one).
+    pub dc: Cover,
+    /// Off-set cover (empty unless the type is `fr`).
+    pub off: Cover,
+    /// Declared type.
+    pub ty: PlaType,
+    /// Input labels (`.ilb`), if present.
+    pub input_labels: Vec<String>,
+    /// Output labels (`.ob`), if present.
+    pub output_labels: Vec<String>,
+}
+
+impl Pla {
+    /// Builds the PLA domain for `ni` binary inputs and `no` outputs.
+    pub fn make_domain(ni: usize, no: usize) -> Domain {
+        DomainBuilder::new()
+            .binaries("x", ni)
+            .output("z", no.max(1))
+            .build()
+    }
+
+    /// Creates an empty PLA with the given dimensions.
+    pub fn new(ni: usize, no: usize) -> Self {
+        let domain = Self::make_domain(ni, no);
+        Pla {
+            on: Cover::empty(&domain),
+            dc: Cover::empty(&domain),
+            off: Cover::empty(&domain),
+            domain,
+            ty: PlaType::Fd,
+            input_labels: Vec::new(),
+            output_labels: Vec::new(),
+        }
+    }
+
+    /// Number of binary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.domain.num_vars() - 1
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        let ov = self.domain.output_var().expect("PLA domain has an output var");
+        self.domain.var(ov).parts()
+    }
+}
+
+/// Parses a PLA from text.
+///
+/// # Errors
+///
+/// Returns [`ParsePlaError`] when directives are missing or malformed, or a
+/// cube line has the wrong width or an unknown character.
+pub fn parse_pla(text: &str) -> Result<Pla, ParsePlaError> {
+    let mut ni: Option<usize> = None;
+    let mut no: Option<usize> = None;
+    let mut ty = PlaType::Fd;
+    let mut input_labels = Vec::new();
+    let mut output_labels = Vec::new();
+    let mut cube_lines: Vec<(usize, String)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| ParsePlaError::new(lineno + 1, msg);
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut it = rest.split_whitespace();
+            let key = it.next().unwrap_or("");
+            match key {
+                "i" => {
+                    ni = Some(
+                        it.next()
+                            .ok_or_else(|| err(".i needs a count"))?
+                            .parse()
+                            .map_err(|_| err(".i count is not a number"))?,
+                    )
+                }
+                "o" => {
+                    no = Some(
+                        it.next()
+                            .ok_or_else(|| err(".o needs a count"))?
+                            .parse()
+                            .map_err(|_| err(".o count is not a number"))?,
+                    )
+                }
+                "p" => { /* product-term count: informational */ }
+                "ilb" => input_labels = it.map(str::to_owned).collect(),
+                "ob" => output_labels = it.map(str::to_owned).collect(),
+                "type" => {
+                    ty = match it.next() {
+                        Some("f") => PlaType::F,
+                        Some("fd") => PlaType::Fd,
+                        Some("fr") => PlaType::Fr,
+                        other => {
+                            return Err(err(&format!(
+                                "unsupported .type {:?}",
+                                other.unwrap_or("")
+                            )))
+                        }
+                    }
+                }
+                "e" | "end" => break,
+                _ => return Err(err(&format!("unknown directive .{key}"))),
+            }
+        } else {
+            cube_lines.push((lineno + 1, line.to_owned()));
+        }
+    }
+
+    let ni = ni.ok_or_else(|| ParsePlaError::new(0, "missing .i directive"))?;
+    let no = no.ok_or_else(|| ParsePlaError::new(0, "missing .o directive"))?;
+    let mut pla = Pla::new(ni, no);
+    pla.ty = ty;
+    pla.input_labels = input_labels;
+    pla.output_labels = output_labels;
+    let dom = pla.domain.clone();
+    let ov = dom.output_var().expect("output var");
+    let out_off = dom.var(ov).offset();
+
+    for (lineno, line) in cube_lines {
+        let compact: String = line.split_whitespace().collect();
+        let err = |msg: &str| ParsePlaError::new(lineno, msg);
+        if compact.len() != ni + no {
+            return Err(err(&format!(
+                "cube has {} characters, expected {}",
+                compact.len(),
+                ni + no
+            )));
+        }
+        let mut base = Cube::full(&dom);
+        for (v, ch) in compact.chars().take(ni).enumerate() {
+            match ch {
+                '0' => base.restrict_binary(&dom, v, false),
+                '1' => base.restrict_binary(&dom, v, true),
+                '-' | '2' => {}
+                _ => return Err(err(&format!("bad input character {ch:?}"))),
+            }
+        }
+        let mut on_parts = Vec::new();
+        let mut dc_parts = Vec::new();
+        let mut off_parts = Vec::new();
+        for (o, ch) in compact.chars().skip(ni).enumerate() {
+            match ch {
+                '1' | '4' => on_parts.push(o),
+                '0' => off_parts.push(o),
+                '-' | '2' | '~' => dc_parts.push(o),
+                _ => return Err(err(&format!("bad output character {ch:?}"))),
+            }
+        }
+        let with_outputs = |parts: &[usize]| -> Option<Cube> {
+            if parts.is_empty() {
+                return None;
+            }
+            let mut c = base.clone();
+            for p in dom.var(ov).part_range() {
+                c.clear_part(p);
+            }
+            for &o in parts {
+                c.set_part(out_off + o);
+            }
+            Some(c)
+        };
+        if let Some(c) = with_outputs(&on_parts) {
+            pla.on.push(c);
+        }
+        match ty {
+            PlaType::F => {}
+            PlaType::Fd => {
+                if let Some(c) = with_outputs(&dc_parts) {
+                    pla.dc.push(c);
+                }
+            }
+            PlaType::Fr => {
+                if let Some(c) = with_outputs(&off_parts) {
+                    pla.off.push(c);
+                }
+            }
+        }
+    }
+
+    Ok(pla)
+}
+
+fn render_line(dom: &Domain, c: &Cube, ni: usize, no: usize, on_char: char, rest_char: char) -> String {
+    let ov = dom.output_var().expect("output var");
+    let out_off = dom.var(ov).offset();
+    let mut s = String::with_capacity(ni + no + 1);
+    for v in 0..ni {
+        let b0 = c.has_part(dom.var(v).offset());
+        let b1 = c.has_part(dom.var(v).offset() + 1);
+        s.push(match (b0, b1) {
+            (true, true) => '-',
+            (false, true) => '1',
+            (true, false) => '0',
+            (false, false) => '?',
+        });
+    }
+    s.push(' ');
+    for o in 0..no {
+        s.push(if c.has_part(out_off + o) { on_char } else { rest_char });
+    }
+    s
+}
+
+/// Serializes a PLA in `fd` form: one line per on-set cube (outputs `1`/`0`)
+/// followed by one line per dc-set cube (outputs `-`/`0`).
+pub fn write_pla(pla: &Pla) -> String {
+    let ni = pla.num_inputs();
+    let no = pla.num_outputs();
+    let mut out = String::new();
+    let _ = writeln!(out, ".i {ni}");
+    let _ = writeln!(out, ".o {no}");
+    if !pla.input_labels.is_empty() {
+        let _ = writeln!(out, ".ilb {}", pla.input_labels.join(" "));
+    }
+    if !pla.output_labels.is_empty() {
+        let _ = writeln!(out, ".ob {}", pla.output_labels.join(" "));
+    }
+    let _ = writeln!(out, ".p {}", pla.on.len() + pla.dc.len());
+    let _ = writeln!(out, ".type fd");
+    for c in pla.on.iter() {
+        let _ = writeln!(out, "{}", render_line(&pla.domain, c, ni, no, '1', '0'));
+    }
+    for c in pla.dc.iter() {
+        let _ = writeln!(out, "{}", render_line(&pla.domain, c, ni, no, '-', '0'));
+    }
+    let _ = writeln!(out, ".e");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::equivalent;
+
+    const SAMPLE: &str = "\
+# two-bit adder slice
+.i 3
+.o 2
+.ilb a b cin
+.ob s cout
+.type fd
+110 01
+101 01
+011 01
+111 1-
+.e
+";
+
+    #[test]
+    fn parse_basic_pla() {
+        let pla = parse_pla(SAMPLE).unwrap();
+        assert_eq!(pla.num_inputs(), 3);
+        assert_eq!(pla.num_outputs(), 2);
+        assert_eq!(pla.on.len(), 4);
+        assert_eq!(pla.dc.len(), 1);
+        assert_eq!(pla.input_labels, vec!["a", "b", "cin"]);
+    }
+
+    #[test]
+    fn roundtrip_preserves_covers() {
+        let pla = parse_pla(SAMPLE).unwrap();
+        let text = write_pla(&pla);
+        let back = parse_pla(&text).unwrap();
+        assert!(equivalent(&pla.on, &back.on));
+        assert!(equivalent(&pla.dc, &back.dc));
+    }
+
+    #[test]
+    fn fr_type_reads_off_set() {
+        let text = ".i 2\n.o 1\n.type fr\n11 1\n00 0\n.e\n";
+        let pla = parse_pla(text).unwrap();
+        assert_eq!(pla.on.len(), 1);
+        assert_eq!(pla.off.len(), 1);
+        assert!(pla.dc.is_empty());
+    }
+
+    #[test]
+    fn errors_are_reported_with_line_numbers() {
+        let text = ".i 2\n.o 1\n11Z 1\n.e\n";
+        let err = parse_pla(text).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("3") || msg.contains("character"), "{msg}");
+    }
+
+    #[test]
+    fn missing_directives_rejected() {
+        assert!(parse_pla("11 1\n").is_err());
+        assert!(parse_pla(".i 2\n11 1\n").is_err());
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let text = ".i 2\n.o 1\n111 1\n.e\n";
+        assert!(parse_pla(text).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! All-prime generation by iterated consensus (Quine's method).
+//!
+//! Exponential in the worst case; used for exact minimization of small
+//! functions and as a ground-truth oracle in tests.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+
+/// Computes the complete set of prime implicants of the function whose
+/// on-set is `on` and don't-care set is `dc`, by iterated consensus followed
+/// by absorption.
+///
+/// The primes are primes of `on ∪ dc`; a minimal cover selection against the
+/// on-set is a separate (covering) problem — see [`crate::exact_minimize`].
+pub fn all_primes(on: &Cover, dc: &Cover) -> Cover {
+    let dom = on.domain();
+    assert_eq!(dom, dc.domain(), "all_primes: domain mismatch");
+    let mut cover = on.union(dc);
+    cover.scc();
+    let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+
+    loop {
+        let mut added = false;
+        let mut new_cubes: Vec<Cube> = Vec::new();
+        for i in 0..cubes.len() {
+            for j in (i + 1)..cubes.len() {
+                if let Some(c) = cubes[i].consensus(&cubes[j], dom) {
+                    let absorbed = cubes.iter().chain(new_cubes.iter()).any(|k| k.covers(&c));
+                    if !absorbed {
+                        new_cubes.push(c);
+                    }
+                }
+            }
+        }
+        if !new_cubes.is_empty() {
+            cubes.extend(new_cubes);
+            // absorption pass
+            let mut cov = Cover::from_cubes(dom, cubes.drain(..));
+            cov.scc();
+            cubes = cov.cubes().to_vec();
+            added = true;
+        }
+        if !added {
+            break;
+        }
+    }
+
+    let mut out = Cover::from_cubes(dom, cubes);
+    out.scc();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::equiv::equivalent;
+
+    #[test]
+    fn primes_of_xor_are_the_minterms() {
+        let dom = Domain::binary(2);
+        let on = Cover::parse(&dom, "10 01");
+        let p = all_primes(&on, &Cover::empty(&dom));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn primes_merge_adjacent_minterms() {
+        let dom = Domain::binary(3);
+        let on = Cover::parse(&dom, "110 111 011");
+        let p = all_primes(&on, &Cover::empty(&dom));
+        // primes: 11- and -11
+        assert_eq!(p.len(), 2);
+        assert!(equivalent(&p, &on));
+    }
+
+    #[test]
+    fn dc_enlarges_primes() {
+        let dom = Domain::binary(2);
+        let on = Cover::parse(&dom, "11");
+        let dc = Cover::parse(&dom, "10");
+        let p = all_primes(&on, &dc);
+        assert_eq!(p.cubes()[0].render(&dom), "1 -");
+    }
+
+    #[test]
+    fn consensus_chain_finds_distant_primes() {
+        let dom = Domain::binary(3);
+        // f = a'b + ab' + bc: prime a... classic: primes of xor-ish chains
+        let on = Cover::parse(&dom, "01- 10- -11");
+        let p = all_primes(&on, &Cover::empty(&dom));
+        assert!(equivalent(&p, &on));
+        // 1-1 is a prime obtainable only via consensus of 10- and -11
+        assert!(p.iter().any(|c| c.render(&dom) == "1 - 1"));
+    }
+}

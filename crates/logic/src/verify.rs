@@ -1,0 +1,156 @@
+//! Witness-producing verification of covers.
+//!
+//! [`crate::equivalent`] answers yes/no; the checkers here return a concrete
+//! *witness minterm* when the answer is no, which turns a failing
+//! equivalence check into an actionable counterexample (and powers the
+//! library's own debugging).
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::domain::Domain;
+use crate::sharp::cover_sharp;
+
+/// A point of the domain, one part offset per variable — a minterm.
+pub type Point = Vec<usize>;
+
+/// Finds a minterm covered by `f` but not by `g`, if any.
+///
+/// Works by sharping `f # g` and materializing one point of the first
+/// residue cube — no exponential enumeration.
+pub fn find_point_in_difference(f: &Cover, g: &Cover) -> Option<Point> {
+    let diff = cover_sharp(f, g);
+    diff.cubes().first().map(|c| first_point_of(f.domain(), c))
+}
+
+/// The lexicographically first minterm inside a cube.
+pub fn first_point_of(dom: &Domain, c: &Cube) -> Point {
+    (0..dom.num_vars())
+        .map(|v| {
+            dom.var(v)
+                .part_range()
+                .position(|p| c.has_part(p))
+                .expect("valid cube has a part per variable")
+        })
+        .collect()
+}
+
+/// Result of a verification: equal, or a witness of the difference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The covers agree on every minterm.
+    Equivalent,
+    /// `left` covers this minterm, `right` does not.
+    LeftOnly(Point),
+    /// `right` covers this minterm, `left` does not.
+    RightOnly(Point),
+}
+
+/// Compares two covers, returning a witness on mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use picola_logic::{verify_equivalent, Cover, Domain, Verdict};
+///
+/// let dom = Domain::binary(2);
+/// let f = Cover::parse(&dom, "1-");
+/// let g = Cover::parse(&dom, "1- 01");
+/// match verify_equivalent(&f, &g) {
+///     Verdict::RightOnly(point) => assert_eq!(point, vec![0, 1]),
+///     other => panic!("expected a right-only witness, got {other:?}"),
+/// }
+/// ```
+pub fn verify_equivalent(left: &Cover, right: &Cover) -> Verdict {
+    if let Some(p) = find_point_in_difference(left, right) {
+        return Verdict::LeftOnly(p);
+    }
+    if let Some(p) = find_point_in_difference(right, left) {
+        return Verdict::RightOnly(p);
+    }
+    Verdict::Equivalent
+}
+
+/// Checks that `f` implements the incompletely-specified function
+/// `(on, dc)`, returning a witness minterm on violation: either an on-set
+/// point `f` misses or a point `f` asserts outside `on ∪ dc`.
+pub fn verify_implements(f: &Cover, on: &Cover, dc: &Cover) -> Result<(), Verdict> {
+    if let Some(p) = find_point_in_difference(on, f) {
+        return Err(Verdict::RightOnly(p)); // on-set point missing from f
+    }
+    let upper = on.union(dc);
+    if let Some(p) = find_point_in_difference(f, &upper) {
+        return Err(Verdict::LeftOnly(p)); // f overshoots the upper bound
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivalent_covers_get_no_witness() {
+        let dom = Domain::binary(3);
+        let f = Cover::parse(&dom, "11- 0-1");
+        let g = Cover::parse(&dom, "11- 0-1 -11"); // consensus cube redundant
+        assert_eq!(verify_equivalent(&f, &g), Verdict::Equivalent);
+    }
+
+    #[test]
+    fn witness_identifies_the_direction() {
+        let dom = Domain::binary(2);
+        let f = Cover::parse(&dom, "1- 01");
+        let g = Cover::parse(&dom, "1-");
+        match verify_equivalent(&f, &g) {
+            Verdict::LeftOnly(p) => {
+                assert!(f.covers_point(&p));
+                assert!(!g.covers_point(&p));
+            }
+            other => panic!("expected LeftOnly, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implements_witnesses_both_failure_modes() {
+        let dom = Domain::binary(2);
+        let on = Cover::parse(&dom, "11");
+        let dc = Cover::parse(&dom, "10");
+        // missing on-set point
+        let too_small = Cover::parse(&dom, "10");
+        assert!(verify_implements(&too_small, &on, &dc).is_err());
+        // overshooting the upper bound
+        let too_big = Cover::parse(&dom, "--");
+        assert!(verify_implements(&too_big, &on, &dc).is_err());
+        // just right
+        let ok = Cover::parse(&dom, "1-");
+        assert!(verify_implements(&ok, &on, &dc).is_ok());
+    }
+
+    #[test]
+    fn first_point_is_inside_the_cube() {
+        let dom = Domain::binary(3);
+        let c = Cover::parse(&dom, "-10").cubes()[0].clone();
+        let p = first_point_of(&dom, &c);
+        assert_eq!(p, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_samples() {
+        let dom = Domain::binary(4);
+        let f = Cover::parse(&dom, "1--- --11");
+        let g = Cover::parse(&dom, "1-1- --11 10--");
+        match verify_equivalent(&f, &g) {
+            Verdict::Equivalent => {
+                for pt in Cover::enumerate_points(&dom) {
+                    assert_eq!(f.covers_point(&pt), g.covers_point(&pt));
+                }
+            }
+            Verdict::LeftOnly(p) => {
+                assert!(f.covers_point(&p) && !g.covers_point(&p));
+            }
+            Verdict::RightOnly(p) => {
+                assert!(!f.covers_point(&p) && g.covers_point(&p));
+            }
+        }
+    }
+}

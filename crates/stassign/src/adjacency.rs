@@ -1,0 +1,84 @@
+//! Next-state adjacency weights for the `io_hybrid` baseline.
+//!
+//! NOVA's output-oriented modes reward codes that keep *related* states
+//! close: states that are next states of a common present state (their
+//! one-hot next-state columns can share cubes when their codes are
+//! adjacent), and predecessor/successor pairs. We derive weighted pairs
+//! from the state-transition table.
+
+use picola_fsm::Fsm;
+use std::collections::BTreeMap;
+
+/// Computes `(state_a, state_b, weight)` adjacency triples for `fsm`.
+///
+/// Weights: +1 per pair of transitions out of the same present state with
+/// different next states (sibling next states), +0.5 per transition for its
+/// (present, next) pair. Pairs are normalized with `a < b` and merged.
+pub fn next_state_adjacency(fsm: &Fsm) -> Vec<(usize, usize, f64)> {
+    let mut weights: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    let mut add = |a: usize, b: usize, w: f64| {
+        if a == b {
+            return;
+        }
+        let key = (a.min(b), a.max(b));
+        *weights.entry(key).or_insert(0.0) += w;
+    };
+
+    let rows = fsm.transitions();
+    for (i, ti) in rows.iter().enumerate() {
+        if let (Some(f), Some(t)) = (ti.from, ti.to) {
+            add(f, t, 0.5);
+        }
+        for tj in rows.iter().skip(i + 1) {
+            if ti.from.is_some() && ti.from == tj.from {
+                if let (Some(a), Some(b)) = (ti.to, tj.to) {
+                    add(a, b, 1.0);
+                }
+            }
+        }
+    }
+
+    weights
+        .into_iter()
+        .map(|((a, b), w)| (a, b, w))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picola_fsm::parse_kiss;
+
+    #[test]
+    fn siblings_and_edges_are_weighted() {
+        let text = ".i 1\n.o 1\n0 a b 0\n1 a c 0\n0 b b 0\n1 c a 0\n.e\n";
+        let m = parse_kiss("t", text).unwrap();
+        let adj = next_state_adjacency(&m);
+        // siblings b,c (both successors of a) get weight 1 from the pair
+        let bc = adj
+            .iter()
+            .find(|&&(a, b, _)| (a, b) == (1, 2))
+            .expect("pair (b,c) present");
+        assert!(bc.2 >= 1.0);
+        // edge a->b contributes 0.5
+        let ab = adj.iter().find(|&&(x, y, _)| (x, y) == (0, 1)).unwrap();
+        assert!(ab.2 >= 0.5);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let text = ".i 1\n.o 1\n0 a a 0\n1 a a 1\n.e\n";
+        let m = parse_kiss("t", text).unwrap();
+        assert!(next_state_adjacency(&m).is_empty());
+    }
+
+    #[test]
+    fn pairs_are_normalized() {
+        let text = ".i 1\n.o 1\n0 a b 0\n1 b a 0\n.e\n";
+        let m = parse_kiss("t", text).unwrap();
+        let adj = next_state_adjacency(&m);
+        assert_eq!(adj.len(), 1);
+        assert_eq!((adj[0].0, adj[0].1), (0, 1));
+        assert_eq!(adj[0].2, 1.0); // two directed edges x 0.5
+    }
+}

@@ -1,0 +1,209 @@
+//! Building the encoded (fully binary) two-level cover of an FSM.
+
+use picola_constraints::Encoding;
+use picola_fsm::{Fsm, Ternary};
+use picola_logic::{Cover, Cube, Domain, DomainBuilder};
+
+/// The encoded combinational component of a machine: next-state logic and
+/// output logic as one multi-output Boolean cover.
+#[derive(Debug, Clone)]
+pub struct EncodedMachine {
+    /// Domain: primary inputs, then `nv` state-bit variables, then the
+    /// output variable with `nv` next-state bits followed by the primary
+    /// outputs.
+    pub domain: Domain,
+    /// On-set.
+    pub on: Cover,
+    /// Don't-care set (dash outputs, `*` next states, unused state codes).
+    pub dc: Cover,
+    /// Code length used for the state field.
+    pub nv: usize,
+}
+
+/// Encodes `fsm` with `enc`, producing the binary cover whose minimized
+/// size is the paper's Table II metric.
+///
+/// Unused state code words are added to the don't-care set for every
+/// output, as all NOVA-era state-assignment flows do.
+///
+/// # Panics
+///
+/// Panics if the encoding's symbol count differs from the machine's state
+/// count.
+pub fn encode_machine(fsm: &Fsm, enc: &Encoding) -> EncodedMachine {
+    assert_eq!(
+        enc.num_symbols(),
+        fsm.num_states(),
+        "encoding does not match the machine's state count"
+    );
+    let ni = fsm.num_inputs();
+    let no = fsm.num_outputs();
+    let nv = enc.nv();
+    let mut builder = DomainBuilder::new().binaries("x", ni);
+    for b in 0..nv {
+        builder = builder.binary(&format!("y{b}"));
+    }
+    let domain = builder.output("z", nv + no).build();
+    let ov = domain.output_var().expect("output var");
+    let out_off = domain.var(ov).offset();
+
+    let mut on = Cover::empty(&domain);
+    let mut dc = Cover::empty(&domain);
+
+    let state_bits = |cube: &mut Cube, code: u32| {
+        for b in 0..nv {
+            cube.restrict_binary(&domain, ni + b, code >> b & 1 == 1);
+        }
+    };
+    let with_outputs = |base: &Cube, parts: &[usize]| -> Option<Cube> {
+        if parts.is_empty() {
+            return None;
+        }
+        let mut c = base.clone();
+        for p in domain.var(ov).part_range() {
+            c.clear_part(p);
+        }
+        for &q in parts {
+            c.set_part(out_off + q);
+        }
+        Some(c)
+    };
+
+    for t in fsm.transitions() {
+        let mut base = Cube::full(&domain);
+        for (v, lit) in t.input.iter().enumerate() {
+            match lit {
+                Ternary::Zero => base.restrict_binary(&domain, v, false),
+                Ternary::One => base.restrict_binary(&domain, v, true),
+                Ternary::DontCare => {}
+            }
+        }
+        if let Some(s) = t.from {
+            state_bits(&mut base, enc.code(s));
+        }
+
+        let mut on_parts: Vec<usize> = Vec::new();
+        let mut dc_parts: Vec<usize> = Vec::new();
+        match t.to {
+            Some(s) => {
+                let code = enc.code(s);
+                for b in 0..nv {
+                    if code >> b & 1 == 1 {
+                        on_parts.push(b);
+                    }
+                }
+            }
+            None => dc_parts.extend(0..nv),
+        }
+        for (o, lit) in t.output.iter().enumerate() {
+            match lit {
+                Ternary::One => on_parts.push(nv + o),
+                Ternary::DontCare => dc_parts.push(nv + o),
+                Ternary::Zero => {}
+            }
+        }
+        if let Some(c) = with_outputs(&base, &on_parts) {
+            on.push(c);
+        }
+        if let Some(c) = with_outputs(&base, &dc_parts) {
+            dc.push(c);
+        }
+    }
+
+    // Unused state codes: full don't cares.
+    let mut used = vec![false; 1usize << nv];
+    for &c in enc.codes() {
+        used[c as usize] = true;
+    }
+    let all_outputs: Vec<usize> = (0..nv + no).collect();
+    for (w, &u) in used.iter().enumerate() {
+        if u {
+            continue;
+        }
+        let mut base = Cube::full(&domain);
+        state_bits(&mut base, w as u32);
+        if let Some(c) = with_outputs(&base, &all_outputs) {
+            dc.push(c);
+        }
+    }
+
+    EncodedMachine {
+        domain,
+        on,
+        dc,
+        nv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picola_fsm::parse_kiss;
+
+    const TOY: &str = "\
+.i 1
+.o 1
+.r a
+0 a a 0
+1 a b 1
+1 b a -
+0 b b 0
+.e
+";
+
+    fn enc2() -> Encoding {
+        Encoding::new(1, vec![0, 1]).unwrap()
+    }
+
+    #[test]
+    fn domain_shape() {
+        let m = parse_kiss("toy", TOY).unwrap();
+        let em = encode_machine(&m, &enc2());
+        // 1 input + 1 state bit + output var
+        assert_eq!(em.domain.num_vars(), 3);
+        let ov = em.domain.output_var().unwrap();
+        assert_eq!(em.domain.var(ov).parts(), 1 + 1);
+    }
+
+    #[test]
+    fn on_cubes_reflect_codes() {
+        let m = parse_kiss("toy", TOY).unwrap();
+        let em = encode_machine(&m, &enc2());
+        // transition "1 a b 1": input 1, state 0 -> next-state bit (code of
+        // b = 1) and the PO are asserted.
+        let ov = em.domain.output_var().unwrap();
+        let off = em.domain.var(ov).offset();
+        assert!(em.on.iter().any(|c| c.has_part(off) && c.has_part(off + 1)));
+    }
+
+    #[test]
+    fn dash_outputs_become_dc() {
+        let m = parse_kiss("toy", TOY).unwrap();
+        let em = encode_machine(&m, &enc2());
+        assert_eq!(em.dc.len(), 1);
+    }
+
+    #[test]
+    fn unused_codes_are_dc() {
+        // three states in two bits: one unused code
+        let text = ".i 1\n.o 1\n0 a b 1\n1 b c 1\n0 c a 1\n.e\n";
+        let m = parse_kiss("t", text).unwrap();
+        let enc = Encoding::new(2, vec![0, 1, 2]).unwrap();
+        let em = encode_machine(&m, &enc);
+        // the unused code 11 contributes one dc cube covering all outputs
+        let ov = em.domain.output_var().unwrap();
+        let full_out = em
+            .dc
+            .iter()
+            .any(|c| em.domain.var(ov).part_range().all(|p| c.has_part(p)));
+        assert!(full_out);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_encoding_panics() {
+        let m = parse_kiss("toy", TOY).unwrap();
+        let enc = Encoding::new(2, vec![0, 1, 2]).unwrap();
+        let _ = encode_machine(&m, &enc);
+    }
+}

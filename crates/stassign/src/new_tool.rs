@@ -1,0 +1,207 @@
+//! The paper's state-assignment tool: PICOLA plus next-state structure.
+//!
+//! The paper builds its tool on the *dynamic model* of \[14\], which exploits
+//! the state-transition structure beyond pure face constraints. We realize
+//! the same idea in two compositional steps:
+//!
+//! 1. the strongest next-state adjacency pairs are injected as weighted
+//!    two-symbol face constraints (a satisfied pair spans a minimal face,
+//!    i.e. the codes sit close on the hypercube), and
+//! 2. a polish pass hill-climbs over code swaps/moves with a lexicographic
+//!    objective: first the face-constraint cube estimate (never worsened),
+//!    then an output-plane score — fan-in-weighted code popcount (heavily
+//!    targeted states want sparse codes, so their incoming rows assert few
+//!    next-state bits) plus weighted code distance of adjacent state pairs.
+
+use crate::adjacency::next_state_adjacency;
+use picola_constraints::{Encoding, GroupConstraint, SymbolSet};
+use picola_core::{estimate_cubes, Encoder, PicolaEncoder};
+use picola_fsm::Fsm;
+
+/// PICOLA with next-state-structure augmentation — the “NEW” column of
+/// Table II.
+#[derive(Debug, Clone)]
+pub struct PicolaStateEncoder {
+    /// The underlying PICOLA configuration.
+    pub picola: PicolaEncoder,
+    /// Adjacency triples `(a, b, weight)` from [`next_state_adjacency`].
+    pub adjacency: Vec<(usize, usize, f64)>,
+    /// Per-state fan-in weight (number of transition rows targeting it).
+    pub fanin: Vec<f64>,
+    /// How many of the strongest pairs to inject as constraints.
+    pub top_pairs: usize,
+    /// Polish passes (0 disables the output-plane polish).
+    pub polish_passes: usize,
+}
+
+impl PicolaStateEncoder {
+    /// Builds the tool for a specific machine.
+    pub fn for_fsm(fsm: &Fsm) -> Self {
+        let mut fanin = vec![0.0; fsm.num_states()];
+        for t in fsm.transitions() {
+            if let Some(to) = t.to {
+                fanin[to] += 1.0;
+            }
+        }
+        PicolaStateEncoder {
+            picola: PicolaEncoder::default(),
+            adjacency: next_state_adjacency(fsm),
+            fanin,
+            // Pair injection is available for experiments (see the `sweep`
+            // binary) but off by default: on the suite the polish pass
+            // captures the output-plane structure better on its own.
+            top_pairs: 0,
+            polish_passes: 2,
+        }
+    }
+
+    fn output_plane_score(&self, enc: &Encoding) -> f64 {
+        let mut score = 0.0;
+        for (s, &w) in self.fanin.iter().enumerate() {
+            if s < enc.num_symbols() {
+                score += w * f64::from(enc.code(s).count_ones());
+            }
+        }
+        for &(a, b, w) in &self.adjacency {
+            if a < enc.num_symbols() && b < enc.num_symbols() {
+                score += 0.5 * w * f64::from((enc.code(a) ^ enc.code(b)).count_ones());
+            }
+        }
+        score
+    }
+
+    fn polish(&self, mut enc: Encoding, constraints: &[GroupConstraint]) -> Encoding {
+        let n = enc.num_symbols();
+        let nv = enc.nv();
+        let size = 1usize << nv;
+        let mut best = (
+            estimate_cubes(&enc, constraints),
+            self.output_plane_score(&enc),
+        );
+        for _ in 0..self.polish_passes {
+            let mut improved = false;
+            let candidates = |enc: &Encoding| -> Vec<Vec<u32>> {
+                let mut out = Vec::new();
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        let mut codes = enc.codes().to_vec();
+                        codes.swap(i, j);
+                        out.push(codes);
+                    }
+                    for w in 0..size as u32 {
+                        if !enc.codes().contains(&w) {
+                            let mut codes = enc.codes().to_vec();
+                            codes[i] = w;
+                            out.push(codes);
+                        }
+                    }
+                }
+                out
+            };
+            for codes in candidates(&enc) {
+                let cand = Encoding::new(nv, codes).expect("polish moves keep codes distinct");
+                let score = (
+                    estimate_cubes(&cand, constraints),
+                    self.output_plane_score(&cand),
+                );
+                if score.0 < best.0 || (score.0 == best.0 && score.1 + 1e-9 < best.1) {
+                    enc = cand;
+                    best = score;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        enc
+    }
+}
+
+impl Encoder for PicolaStateEncoder {
+    fn name(&self) -> &str {
+        "picola-sa"
+    }
+
+    fn encode(&self, n: usize, constraints: &[GroupConstraint]) -> Encoding {
+        let mut augmented = constraints.to_vec();
+        let mut pairs = self.adjacency.clone();
+        pairs.sort_by(|a, b| b.2.total_cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
+        for &(a, b, w) in pairs.iter().take(self.top_pairs) {
+            if a >= n || b >= n {
+                continue;
+            }
+            let mut c = GroupConstraint::new(SymbolSet::from_members(n, [a, b]));
+            c.set_weight(w.round().max(1.0) as usize);
+            augmented.push(c);
+        }
+        let enc = self.picola.encode(n, &augmented);
+        // Polish against the *original* constraints: the pair constraints
+        // already shaped the construction, and the output-plane score keeps
+        // pulling adjacent pairs together.
+        self.polish(enc, constraints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picola_fsm::parse_kiss;
+
+    const SIBS: &str = "\
+.i 2
+.o 1
+0- a b 0
+1- a c 0
+-- b a 1
+-0 c a 0
+-1 c d 1
+-- d d 1
+.e
+";
+
+    #[test]
+    fn augmentation_pulls_sibling_next_states_together() {
+        let m = parse_kiss("t", SIBS).unwrap();
+        let tool = PicolaStateEncoder::for_fsm(&m);
+        let enc = tool.encode(m.num_states(), &[]);
+        let d = (enc.code(1) ^ enc.code(2)).count_ones();
+        assert!(d <= 1, "siblings b,c should be adjacent:\n{enc}");
+    }
+
+    #[test]
+    fn hot_states_get_sparse_codes() {
+        // state a is targeted by three rows; it should get a low-popcount
+        // code (no face constraints to interfere).
+        let m = parse_kiss("t", SIBS).unwrap();
+        let tool = PicolaStateEncoder::for_fsm(&m);
+        let enc = tool.encode(m.num_states(), &[]);
+        assert!(
+            enc.code(0).count_ones() <= 1,
+            "hot state a should be sparse:\n{enc}"
+        );
+    }
+
+    #[test]
+    fn polish_never_worsens_the_constraint_estimate() {
+        let m = parse_kiss("t", SIBS).unwrap();
+        let cs = vec![GroupConstraint::new(SymbolSet::from_members(4, [1, 2]))];
+        let tool = PicolaStateEncoder::for_fsm(&m);
+        let base = tool.picola.encode(4, &cs);
+        let polished = tool.polish(base.clone(), &cs);
+        assert!(estimate_cubes(&polished, &cs) <= estimate_cubes(&base, &cs));
+    }
+
+    #[test]
+    fn augmentation_respects_symbol_range() {
+        let tool = PicolaStateEncoder {
+            picola: PicolaEncoder::default(),
+            adjacency: vec![(0, 9, 3.0)],
+            fanin: vec![1.0; 4],
+            top_pairs: 4,
+            polish_passes: 1,
+        };
+        let enc = tool.encode(4, &[]);
+        assert_eq!(enc.num_symbols(), 4);
+    }
+}

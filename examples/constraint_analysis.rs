@@ -1,0 +1,98 @@
+//! Anatomy of an input-encoding problem: parse a KISS2 machine, extract its
+//! face constraints by multi-valued minimization, and analyse embeddability
+//! — dimension geometry, pairwise nv-compatibility, and what PICOLA's
+//! classifier would do.
+//!
+//! ```text
+//! cargo run --example constraint_analysis [path/to/machine.kiss2]
+//! ```
+
+use picola::constraints::{
+    extract_constraints, min_code_length, nv_compatible, ConstraintMatrix, Geometry,
+};
+use picola::core::update_constraints;
+use picola::fsm::{parse_kiss, symbolic_cover};
+
+/// A small traffic-light-style controller used when no file is given.
+const DEFAULT_KISS: &str = "\
+.i 2
+.o 2
+.r green
+00 green  green  10
+01 green  yellow 10
+1- green  yellow 10
+-- yellow red    01
+00 red    red    01
+01 red    red    01
+1- red    green  01
+-- walk   green  11
+";
+
+fn main() {
+    let (name, text) = match std::env::args().nth(1) {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            (path, text)
+        }
+        None => ("traffic".to_owned(), DEFAULT_KISS.to_owned()),
+    };
+    let fsm = parse_kiss(&name, &text).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    println!("{fsm}");
+    let n = fsm.num_states();
+    let nv = min_code_length(n);
+    println!("minimum code length: {nv} bits, {} spare codes", (1usize << nv) - n);
+    println!();
+
+    let sc = symbolic_cover(&fsm);
+    let constraints = extract_constraints(&sc);
+    println!("extracted {} face constraints:", constraints.len());
+    for (i, c) in constraints.iter().enumerate() {
+        let g = Geometry::unconstrained(c.len(), nv);
+        println!(
+            "  L{i} = {} weight {} | dim range [{}..{}], embeddable alone: {}",
+            c.members(),
+            c.weight(),
+            g.lower,
+            g.upper,
+            g.feasible_in(nv, n)
+        );
+    }
+    println!();
+
+    println!("pairwise nv-compatibility (necessary conditions):");
+    for i in 0..constraints.len() {
+        for j in (i + 1)..constraints.len() {
+            let gi = Geometry::unconstrained(constraints[i].len(), nv);
+            let gj = Geometry::unconstrained(constraints[j].len(), nv);
+            let ok = nv_compatible(
+                constraints[i].members(),
+                gi,
+                constraints[j].members(),
+                gj,
+                nv,
+                n,
+            );
+            if !ok {
+                println!("  L{i} and L{j} cannot both be satisfied in {nv} bits");
+            }
+        }
+    }
+
+    let mut matrix = ConstraintMatrix::new(n, nv, constraints);
+    let outcome = update_constraints(&mut matrix, true);
+    println!();
+    println!(
+        "initial Classify(): {} infeasible, {} guide constraints generated",
+        outcome.newly_infeasible.len(),
+        outcome.guides_added.len()
+    );
+    for &g in &outcome.guides_added {
+        println!("  guide: {}", matrix.constraint(g).constraint());
+    }
+}

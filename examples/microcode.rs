@@ -1,0 +1,101 @@
+//! Encoding the mnemonic input field of a microprogram — the paper's other
+//! motivating application (§1: “encoding of mnemonic input fields of the
+//! microcode”).
+//!
+//! A toy control store drives 5 control lines from a 12-value opcode
+//! mnemonic. The symbolic control table is minimized as a multi-valued
+//! function; each minimized implicant grouping several mnemonics becomes a
+//! face constraint, and PICOLA packs the mnemonics into 4 opcode bits so
+//! the decoder PLA keeps one product term per group.
+//!
+//! ```text
+//! cargo run --release --example microcode
+//! ```
+
+use picola::baselines::NaturalEncoder;
+use picola::constraints::{extract_constraints, Encoding, GroupConstraint};
+use picola::core::{evaluate_encoding, picola_encode, Encoder};
+use picola::fsm::SymbolicCover;
+use picola::logic::{Cover, Cube, DomainBuilder};
+
+const MNEMONICS: [&str; 12] = [
+    "ADD", "SUB", "AND", "OR", "XOR", "LD", "LDI", "ST", "STI", "BEQ", "BNE", "NOP",
+];
+
+/// Control lines: alu_en, mem_rd, mem_wr, reg_wr, branch.
+const CONTROL: [(usize, [u8; 5]); 12] = [
+    (0, [1, 0, 0, 1, 0]),  // ADD
+    (1, [1, 0, 0, 1, 0]),  // SUB
+    (2, [1, 0, 0, 1, 0]),  // AND
+    (3, [1, 0, 0, 1, 0]),  // OR
+    (4, [1, 0, 0, 1, 0]),  // XOR
+    (5, [0, 1, 0, 1, 0]),  // LD
+    (6, [0, 1, 0, 1, 0]),  // LDI
+    (7, [0, 0, 1, 0, 0]),  // ST
+    (8, [0, 0, 1, 0, 0]),  // STI
+    (9, [0, 0, 0, 0, 1]),  // BEQ
+    (10, [0, 0, 0, 0, 1]), // BNE
+    (11, [0, 0, 0, 0, 0]), // NOP
+];
+
+fn main() {
+    let n = MNEMONICS.len();
+    // The symbolic control table: one multi-valued variable (the mnemonic)
+    // and five control outputs — no next-state field, this is pure input
+    // encoding.
+    let domain = DomainBuilder::new().multi("op", n).output("ctl", 5).build();
+    let mut on = Cover::empty(&domain);
+    for (op, lines) in CONTROL {
+        let asserted: Vec<usize> = (0..5).filter(|&o| lines[o] == 1).collect();
+        if asserted.is_empty() {
+            continue;
+        }
+        let mut c = Cube::full(&domain);
+        c.restrict(&domain, 0, op);
+        let ov = domain.output_var().expect("output var");
+        for p in domain.var(ov).part_range() {
+            c.clear_part(p);
+        }
+        for o in asserted {
+            c.set_part(domain.var(ov).offset() + o);
+        }
+        on.push(c);
+    }
+    let sc = SymbolicCover {
+        dc: Cover::empty(&domain),
+        domain,
+        on,
+        num_states: n,
+        num_inputs: 0,
+        num_outputs: 5,
+    };
+
+    let constraints: Vec<GroupConstraint> = extract_constraints(&sc);
+    println!("opcode groups sharing control terms (face constraints):");
+    for c in &constraints {
+        let names: Vec<&str> = c.members().iter().map(|i| MNEMONICS[i]).collect();
+        println!("  {{{}}}", names.join(", "));
+    }
+    println!();
+
+    let result = picola_encode(n, &constraints);
+    let natural = NaturalEncoder.encode(n, &constraints);
+    print_encoding("PICOLA", &result.encoding, &constraints);
+    print_encoding("naive (enumeration order)", &natural, &constraints);
+}
+
+fn print_encoding(label: &str, enc: &Encoding, constraints: &[GroupConstraint]) {
+    let eval = evaluate_encoding(enc, constraints);
+    println!(
+        "{label}: {} decoder product terms ({} of {} groups single-term)",
+        eval.total_cubes, eval.satisfied, eval.evaluated
+    );
+    for (i, name) in MNEMONICS.iter().enumerate() {
+        println!(
+            "  {name:<4} = {code:0width$b}",
+            code = enc.code(i),
+            width = enc.nv()
+        );
+    }
+    println!();
+}

@@ -1,0 +1,58 @@
+//! Quickstart: the paper's running example (Figure 1), end to end.
+//!
+//! A symbolic input with 15 values is minimized into four symbolic
+//! implicants; each multi-symbol implicant becomes a face constraint. The
+//! complete set is not embeddable in the minimum 4 bits, so what matters is
+//! *how cheaply* the violated constraint is implemented — exactly what
+//! PICOLA optimizes and conventional tools ignore.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use picola::constraints::{GroupConstraint, SymbolSet};
+use picola::core::{evaluate_encoding, picola_encode, RunReport};
+
+fn main() {
+    // Figure 1b of the paper (symbols s1..s15 are 0-based here):
+    //   L1 = {s2, s6, s8, s14}
+    //   L2 = {s1, s2}
+    //   L3 = {s9, s14}
+    //   L4 = {s6, s7, s8, s9, s14}
+    let n = 15;
+    let groups: [&[usize]; 4] = [
+        &[1, 5, 7, 13],
+        &[0, 1],
+        &[8, 13],
+        &[5, 6, 7, 8, 13],
+    ];
+    let constraints: Vec<GroupConstraint> = groups
+        .iter()
+        .map(|g| GroupConstraint::new(SymbolSet::from_members(n, g.iter().copied())))
+        .collect();
+
+    println!("face constraints over {n} symbols (minimum code length = 4):");
+    for (i, c) in constraints.iter().enumerate() {
+        println!("  L{} = {}", i + 1, c.members());
+    }
+    println!();
+
+    let result = picola_encode(n, &constraints);
+    println!("PICOLA encoding:");
+    println!("{}", result.encoding);
+    println!();
+
+    let evaluation = evaluate_encoding(&result.encoding, &constraints);
+    let report = RunReport {
+        result: &result,
+        evaluation: &evaluation,
+        constraints: &constraints,
+    };
+    println!("{report}");
+    println!(
+        "L4 holds five symbols: a 5-symbol face needs a dimension-3 cube \
+         (8 codes) and room for the other 10 symbols in 16 codes, so the \
+         full set cannot be embedded in 4 bits. PICOLA's guide constraints \
+         keep the violated implicant cheap instead of abandoning it."
+    );
+}

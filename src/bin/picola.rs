@@ -1,0 +1,192 @@
+//! `picola` — command-line front end.
+//!
+//! ```text
+//! picola encode <machine.kiss2>     face constraints + PICOLA codes
+//! picola assign <machine.kiss2>     full state assignment, emits the
+//!                                   minimized encoded PLA on stdout
+//! picola minimize <file.pla>        two-level minimization of a PLA
+//! picola bench <name>               synthesize a suite benchmark as KISS2
+//! ```
+
+use picola::constraints::{extract_constraints, min_code_length};
+use picola::core::{evaluate_encoding, picola_encode};
+use picola::fsm::{benchmark_fsm, parse_kiss, symbolic_cover, write_kiss};
+use picola::logic::{espresso, parse_pla, write_pla};
+use picola::stassign::{assign_states, FlowOptions, PicolaStateEncoder};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: picola <encode|assign|minimize|export-mv|reduce|bench> <file|name>\n\
+         \n\
+         encode    <machine.kiss2>  extract face constraints, print PICOLA codes\n\
+         assign    <machine.kiss2>  full state assignment, print minimized PLA\n\
+         minimize  <file.pla>       two-level minimization (ESPRESSO)\n\
+         export-mv <machine.kiss2>  print the symbolic cover as a .mv PLA\n\
+         reduce    <machine.kiss2>  merge equivalent states, print KISS2\n\
+         bench     <name>           print a synthetic suite benchmark as KISS2"
+    );
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("picola: cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [cmd, target] = args.as_slice() else {
+        return usage();
+    };
+
+    match cmd.as_str() {
+        "encode" => {
+            let text = match read(target) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let fsm = match parse_kiss(target, &text) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("picola: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let n = fsm.num_states();
+            println!("# {fsm}");
+            println!("# minimum code length: {} bits", min_code_length(n));
+            let constraints = extract_constraints(&symbolic_cover(&fsm));
+            for c in &constraints {
+                println!("# constraint {c} (weight {})", c.weight());
+            }
+            let result = picola_encode(n, &constraints);
+            let eval = evaluate_encoding(&result.encoding, &constraints);
+            println!(
+                "# {} of {} constraints satisfied, {} cubes total",
+                eval.satisfied, eval.evaluated, eval.total_cubes
+            );
+            for (i, name) in fsm.states().iter().enumerate() {
+                println!(
+                    "{name} {code:0width$b}",
+                    code = result.encoding.code(i),
+                    width = result.encoding.nv()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "assign" => {
+            let text = match read(target) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let fsm = match parse_kiss(target, &text) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("picola: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let tool = PicolaStateEncoder::for_fsm(&fsm);
+            let r = assign_states(&fsm, &tool, &FlowOptions::default());
+            eprintln!(
+                "# {}: size {} product terms, {} literals, {:.3}s",
+                fsm.name(),
+                r.size,
+                r.literals,
+                r.total_time().as_secs_f64()
+            );
+            for (i, name) in fsm.states().iter().enumerate() {
+                eprintln!(
+                    "# {name} = {code:0width$b}",
+                    code = r.encoding.code(i),
+                    width = r.encoding.nv()
+                );
+            }
+            // Re-run the encoding step to emit the minimized PLA.
+            let em = picola::stassign::encode_machine(&fsm, &r.encoding);
+            let mut pla = picola::logic::Pla::new(
+                fsm.num_inputs() + r.encoding.nv(),
+                r.encoding.nv() + fsm.num_outputs(),
+            );
+            let minimized = espresso(&em.on, &em.dc);
+            for c in minimized.iter() {
+                // Domains are structurally identical (binary inputs + output
+                // var), so cubes carry over verbatim.
+                pla.on.push(c.clone());
+            }
+            println!("{}", write_pla(&pla));
+            ExitCode::SUCCESS
+        }
+        "minimize" => {
+            let text = match read(target) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let mut pla = match parse_pla(&text) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("picola: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let before = pla.on.len();
+            pla.on = espresso(&pla.on, &pla.dc);
+            eprintln!("# {before} -> {} cubes", pla.on.len());
+            println!("{}", write_pla(&pla));
+            ExitCode::SUCCESS
+        }
+        "export-mv" => {
+            let text = match read(target) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            match parse_kiss(target, &text) {
+                Ok(fsm) => {
+                    let sc = symbolic_cover(&fsm);
+                    print!("{}", picola::logic::write_mv_pla(&sc.on));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("picola: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "reduce" => {
+            let text = match read(target) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            match parse_kiss(target, &text) {
+                Ok(fsm) => {
+                    let reduced = picola::fsm::minimize_states(&fsm);
+                    eprintln!(
+                        "# {} -> {} states",
+                        fsm.num_states(),
+                        reduced.num_states()
+                    );
+                    print!("{}", write_kiss(&reduced));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("picola: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "bench" => match benchmark_fsm(target) {
+            Some(fsm) => {
+                print!("{}", write_kiss(&fsm));
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("picola: unknown benchmark {target:?}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}

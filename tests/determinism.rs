@@ -1,0 +1,56 @@
+//! Whole-stack determinism: the tables of the paper reproduction must come
+//! out identical on every run and machine.
+
+use picola::baselines::{AnnealingEncoder, EncLikeEncoder, NovaEncoder};
+use picola::core::{Encoder, PicolaEncoder};
+use picola::fsm::{benchmark_fsm, write_kiss};
+use picola::stassign::{assign_states, fsm_constraints, FlowOptions, PicolaStateEncoder};
+
+#[test]
+fn suite_synthesis_is_stable() {
+    for name in ["bbara", "keyb", "planet"] {
+        let a = write_kiss(&benchmark_fsm(name).unwrap());
+        let b = write_kiss(&benchmark_fsm(name).unwrap());
+        assert_eq!(a, b, "{name} synthesis unstable");
+    }
+}
+
+#[test]
+fn constraint_extraction_is_stable() {
+    let fsm = benchmark_fsm("donfile").unwrap();
+    let a = fsm_constraints(&fsm, picola::constraints::ExtractMethod::Espresso);
+    let b = fsm_constraints(&fsm, picola::constraints::ExtractMethod::Espresso);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn every_encoder_is_deterministic() {
+    let fsm = benchmark_fsm("ex3").unwrap();
+    let n = fsm.num_states();
+    let cs = fsm_constraints(&fsm, picola::constraints::ExtractMethod::Quick);
+    let encoders: Vec<Box<dyn Encoder>> = vec![
+        Box::<PicolaEncoder>::default(),
+        Box::new(NovaEncoder::i_hybrid()),
+        Box::new(EncLikeEncoder {
+            max_evaluations: 200,
+        }),
+        Box::<AnnealingEncoder>::default(),
+        Box::new(PicolaStateEncoder::for_fsm(&fsm)),
+    ];
+    for e in &encoders {
+        let a = e.encode(n, &cs);
+        let b = e.encode(n, &cs);
+        assert_eq!(a, b, "{} not deterministic", e.name());
+    }
+}
+
+#[test]
+fn flow_sizes_are_stable() {
+    let fsm = benchmark_fsm("s27").unwrap();
+    let opts = FlowOptions::default();
+    let a = assign_states(&fsm, &PicolaEncoder::default(), &opts);
+    let b = assign_states(&fsm, &PicolaEncoder::default(), &opts);
+    assert_eq!(a.size, b.size);
+    assert_eq!(a.literals, b.literals);
+    assert_eq!(a.encoding, b.encoding);
+}

@@ -1,0 +1,121 @@
+//! Property tests of the paper's theory on randomized instances: Theorem I,
+//! supercube/intruder relationships, estimate bounds, and guide-constraint
+//! behaviour.
+
+use picola::constraints::{
+    implements_constraint, theorem_i, Encoding, FaceImplementation, GroupConstraint, SymbolSet,
+};
+use picola::core::{
+    evaluate_encoding_with, greedy_constraint_cubes, picola_encode, EvalMinimizer,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random valid encoding of `n` symbols in `nv` bits plus a
+/// random member set.
+fn instance(n: usize, nv: usize) -> impl Strategy<Value = (Encoding, SymbolSet)> {
+    let codes = proptest::sample::subsequence((0u32..1 << nv).collect::<Vec<_>>(), n)
+        .prop_shuffle();
+    let members = proptest::collection::vec(any::<bool>(), n);
+    (codes, members).prop_map(move |(codes, members)| {
+        let enc = Encoding::new(nv, codes).expect("distinct by construction");
+        let mut set = SymbolSet::empty(n);
+        for (i, &m) in members.iter().enumerate() {
+            if m {
+                set.insert(i);
+            }
+        }
+        (enc, set)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn theorem_i_constructions_are_correct((enc, members) in instance(10, 4)) {
+        prop_assume!(members.len() >= 2 && members.len() < 10);
+        match theorem_i(&enc, &members) {
+            FaceImplementation::SingleCube(c) => {
+                // a satisfied face: the supercube is exactly the implementation
+                prop_assert!(implements_constraint(&enc, &members, &[c]));
+            }
+            FaceImplementation::TheoremCubes(cubes) => {
+                prop_assert!(implements_constraint(&enc, &members, &cubes));
+                // cube count = dim(super L) - dim(super I)
+                let sl = enc.supercube(&members);
+                let si = enc.supercube(&enc.intruders(&members));
+                prop_assert_eq!(cubes.len(), sl.dim() - si.dim());
+            }
+            FaceImplementation::NotApplicable => {
+                // hypothesis violated: some member inside super(I)
+                let intr = enc.intruders(&members);
+                prop_assert!(!intr.is_empty());
+                let si = enc.supercube(&intr);
+                prop_assert!(members.iter().any(|m| si.contains(enc.code(m))));
+            }
+        }
+    }
+
+    #[test]
+    fn satisfied_iff_no_intruders((enc, members) in instance(12, 4)) {
+        prop_assume!(!members.is_empty());
+        prop_assert_eq!(enc.satisfies(&members), enc.intruders(&members).is_empty());
+    }
+
+    #[test]
+    fn greedy_estimate_bounds_the_exact_minimum((enc, members) in instance(10, 4)) {
+        prop_assume!(members.len() >= 2 && members.len() < 10);
+        let constraint = GroupConstraint::new(members.clone());
+        let est = greedy_constraint_cubes(&enc, &members);
+        // The greedy cover is a valid implementation, so it can never go
+        // below the exact minimum (it may beat heuristic ESPRESSO, though).
+        let exact = evaluate_encoding_with(
+            &enc,
+            std::slice::from_ref(&constraint),
+            EvalMinimizer::Exact { max_nodes: 200_000 },
+        )
+        .total_cubes;
+        prop_assert!(est >= exact, "estimate {} < exact minimum {}", est, exact);
+        // and a satisfied face is exactly one cube in both measures
+        if enc.satisfies(&members) {
+            prop_assert_eq!(est, 1);
+            prop_assert_eq!(exact, 1);
+        }
+    }
+
+    #[test]
+    fn picola_always_yields_valid_minimum_length_codes(
+        groups in proptest::collection::vec(
+            proptest::collection::vec(0usize..12, 2..5), 1..6)
+    ) {
+        let n = 12;
+        let constraints: Vec<GroupConstraint> = groups
+            .iter()
+            .map(|g| GroupConstraint::new(SymbolSet::from_members(n, g.iter().copied())))
+            .collect();
+        let r = picola_encode(n, &constraints);
+        prop_assert_eq!(r.encoding.num_symbols(), n);
+        prop_assert_eq!(r.encoding.nv(), 4);
+        // The matrix statuses describe the constructive (column) phase, so
+        // check them against the un-refined encoding.
+        let r = picola::core::picola_encode_with(
+            n,
+            &constraints,
+            &picola::core::PicolaOptions {
+                disable_refine: true,
+                ..Default::default()
+            },
+        );
+        for tc in r.matrix.constraints() {
+            if tc.status() == picola::constraints::ConstraintStatus::Satisfied
+                && !tc.constraint().is_trivial()
+            {
+                prop_assert!(
+                    r.encoding.satisfies(tc.constraint().members()),
+                    "matrix says satisfied but the face has intruders: {}",
+                    tc.constraint()
+                );
+            }
+        }
+    }
+}
