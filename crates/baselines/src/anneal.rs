@@ -9,7 +9,7 @@
 
 use crate::objective::satisfied_weight;
 use picola_constraints::{Encoding, GroupConstraint};
-use picola_core::Encoder;
+use picola_core::{Budget, Completion, Encoder};
 use picola_constraints::min_code_length;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -47,6 +47,15 @@ impl Encoder for AnnealingEncoder {
     }
 
     fn encode(&self, n: usize, constraints: &[GroupConstraint]) -> Encoding {
+        self.encode_bounded(n, constraints, &Budget::unlimited()).0
+    }
+
+    fn encode_bounded(
+        &self,
+        n: usize,
+        constraints: &[GroupConstraint],
+        budget: &Budget,
+    ) -> (Encoding, Completion) {
         let nv = min_code_length(n);
         let size = 1usize << nv;
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -56,8 +65,11 @@ impl Encoder for AnnealingEncoder {
         let mut best_obj = obj;
         let mut temp = self.initial_temp;
 
-        for _ in 0..self.temp_steps {
+        'cool: for _ in 0..self.temp_steps {
             for _ in 0..self.moves_per_temp {
+                if !budget.tick("anneal.move", 1) {
+                    break 'cool;
+                }
                 let mut codes = enc.codes().to_vec();
                 if size > n && rng.random_bool(0.3) {
                     // move a symbol to a free code word
@@ -82,7 +94,11 @@ impl Encoder for AnnealingEncoder {
                     }
                     codes.swap(i, j);
                 }
-                let cand = Encoding::new(nv, codes).expect("moves preserve distinctness");
+                // Swaps permute codes and moves target free words, so the
+                // candidate is distinct by construction; skip defensively.
+                let Ok(cand) = Encoding::new(nv, codes) else {
+                    continue;
+                };
                 let cand_obj = satisfied_weight(&cand, constraints);
                 let accept = cand_obj >= obj
                     || rng.random_range(0.0..1.0) < ((cand_obj - obj) / temp.max(1e-9)).exp();
@@ -97,7 +113,7 @@ impl Encoder for AnnealingEncoder {
             }
             temp *= self.cooling;
         }
-        best
+        (best, budget.completion())
     }
 }
 
@@ -126,6 +142,27 @@ mod tests {
         let a = AnnealingEncoder::default().encode(10, &cs);
         let b = AnnealingEncoder::default().encode(10, &cs);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exhausted_budget_returns_valid_encoding() {
+        use picola_core::{Budget, Completion};
+        let cs = groups(8, &[&[0, 4], &[1, 5]]);
+        let budget = Budget::with_work_limit(3);
+        let (enc, completion) = AnnealingEncoder::default().encode_bounded(8, &cs, &budget);
+        assert_eq!(enc.num_symbols(), 8);
+        assert!(matches!(completion, Completion::Degraded { .. }));
+    }
+
+    #[test]
+    fn injected_fault_degrades_without_panic() {
+        use picola_core::{chaos, Budget, Completion};
+        let _guard = chaos::arm("anneal.move", 5);
+        let cs = groups(8, &[&[0, 4]]);
+        let (enc, completion) =
+            AnnealingEncoder::default().encode_bounded(8, &cs, &Budget::unlimited());
+        assert_eq!(enc.num_symbols(), 8);
+        assert!(matches!(completion, Completion::Degraded { .. }));
     }
 
     #[test]

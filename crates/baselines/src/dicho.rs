@@ -113,7 +113,11 @@ impl ColumnBuild {
             };
             self.side[s] = Some(value);
         }
-        self.side.into_iter().map(|s| s.expect("completed")).collect()
+        // The loop above assigns every remaining `None` a side.
+        self.side
+            .into_iter()
+            .map(|s| s.unwrap_or_else(|| unreachable!("completed")))
+            .collect()
     }
 }
 
@@ -162,7 +166,9 @@ impl Encoder for DichotomyEncoder {
             columns.push(column);
         }
 
-        Encoding::from_columns(&columns).expect("validity tracking guarantees distinct codes")
+        // Validity tracking guarantees distinct codes; keep a non-panicking
+        // fallback so the encoder can never take the process down.
+        Encoding::from_columns(&columns).unwrap_or_else(|_| Encoding::natural(n))
     }
 }
 

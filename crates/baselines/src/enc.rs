@@ -10,7 +10,7 @@
 //! below makes that behaviour explicit and measurable.
 
 use picola_constraints::{Encoding, GroupConstraint};
-use picola_core::{evaluate_encoding, Encoder};
+use picola_core::{evaluate_encoding, Budget, Completion, Encoder};
 use picola_constraints::min_code_length;
 
 /// Outcome details of an ENC-style run.
@@ -50,6 +50,19 @@ impl EncLikeEncoder {
         n: usize,
         constraints: &[GroupConstraint],
     ) -> (Encoding, EncRunInfo) {
+        self.encode_detailed_bounded(n, constraints, &Budget::unlimited())
+    }
+
+    /// [`EncLikeEncoder::encode_detailed`] under an external [`Budget`]:
+    /// each full-cost evaluation pays one `enc.eval` tick (on top of the
+    /// encoder's own `max_evaluations` cap), and exhaustion mid-search
+    /// returns the best encoding seen so far.
+    pub fn encode_detailed_bounded(
+        &self,
+        n: usize,
+        constraints: &[GroupConstraint],
+        budget: &Budget,
+    ) -> (Encoding, EncRunInfo) {
         let nv = min_code_length(n);
         let mut enc = Encoding::natural(n);
         let mut evals = 0usize;
@@ -59,22 +72,31 @@ impl EncLikeEncoder {
             *evals += 1;
             evaluate_encoding(e, constraints).total_cubes
         };
+        // The baseline evaluation always runs (a best-so-far cost must
+        // exist), but it pays its tick so exhaustion latches before the
+        // search loop starts.
+        let start_exhausted = !budget.tick("enc.eval", 1);
         let mut best_cost = cost(&enc, &mut evals);
+        if start_exhausted {
+            exhausted = true;
+        }
 
         // First-improvement local search over code swaps and moves to free
         // code words; every probe pays a full minimization.
         let size = 1usize << nv;
-        'outer: loop {
+        'outer: while !exhausted {
             let mut improved = false;
             for i in 0..n {
                 for j in (i + 1)..n {
-                    if evals >= self.max_evaluations {
+                    if evals >= self.max_evaluations || !budget.tick("enc.eval", 1) {
                         exhausted = true;
                         break 'outer;
                     }
                     let mut codes = enc.codes().to_vec();
                     codes.swap(i, j);
-                    let cand = Encoding::new(nv, codes).expect("swap keeps codes distinct");
+                    let Ok(cand) = Encoding::new(nv, codes) else {
+                        continue; // swaps permute codes: unreachable defensively
+                    };
                     let c = cost(&cand, &mut evals);
                     if c < best_cost {
                         enc = cand;
@@ -90,13 +112,15 @@ impl EncLikeEncoder {
                     if enc.codes().contains(&(w as u32)) {
                         continue;
                     }
-                    if evals >= self.max_evaluations {
+                    if evals >= self.max_evaluations || !budget.tick("enc.eval", 1) {
                         exhausted = true;
                         break 'outer;
                     }
                     let mut codes = enc.codes().to_vec();
                     codes[i] = w as u32;
-                    let cand = Encoding::new(nv, codes).expect("free code move is distinct");
+                    let Ok(cand) = Encoding::new(nv, codes) else {
+                        continue; // target checked free: unreachable defensively
+                    };
                     let c = cost(&cand, &mut evals);
                     if c < best_cost {
                         enc = cand;
@@ -129,6 +153,16 @@ impl Encoder for EncLikeEncoder {
     fn encode(&self, n: usize, constraints: &[GroupConstraint]) -> Encoding {
         self.encode_detailed(n, constraints).0
     }
+
+    fn encode_bounded(
+        &self,
+        n: usize,
+        constraints: &[GroupConstraint],
+        budget: &Budget,
+    ) -> (Encoding, Completion) {
+        let (enc, _) = self.encode_detailed_bounded(n, constraints, budget);
+        (enc, budget.completion())
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +193,29 @@ mod tests {
         let (_, info) = tiny.encode_detailed(8, &cs);
         assert!(info.budget_exhausted);
         assert!(info.evaluations <= 5 + 1);
+    }
+
+    #[test]
+    fn external_budget_caps_evaluations() {
+        use picola_core::{Budget, Completion};
+        let cs = groups(8, &[&[0, 5], &[1, 6], &[2, 7], &[0, 1, 2, 3, 7]]);
+        let budget = Budget::with_work_limit(4);
+        let (enc, info) = EncLikeEncoder::default().encode_detailed_bounded(8, &cs, &budget);
+        assert_eq!(enc.num_symbols(), 8);
+        assert!(info.budget_exhausted);
+        assert!(info.evaluations <= 6);
+        assert!(matches!(budget.completion(), Completion::Degraded { .. }));
+    }
+
+    #[test]
+    fn injected_fault_stops_search_gracefully() {
+        use picola_core::{chaos, Budget};
+        let _guard = chaos::arm("enc.eval", 2);
+        let cs = groups(4, &[&[0, 3]]);
+        let budget = Budget::unlimited();
+        let (enc, info) = EncLikeEncoder::default().encode_detailed_bounded(4, &cs, &budget);
+        assert_eq!(enc.num_symbols(), 4);
+        assert!(info.budget_exhausted);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::objective::{adjacency_bonus, satisfied_weight};
 use picola_constraints::{Encoding, GroupConstraint};
-use picola_core::Encoder;
+use picola_core::{Budget, Completion, Encoder};
 use picola_constraints::min_code_length;
 
 /// Which NOVA flavour to emulate.
@@ -97,7 +97,11 @@ fn cubes_of_dim(nv: usize, d: usize) -> Vec<(u32, u32)> {
 }
 
 /// Greedy constructive phase: returns codes (u32::MAX = unassigned).
-fn greedy_place(n: usize, nv: usize, constraints: &[GroupConstraint]) -> Vec<u32> {
+///
+/// Budgeted at one `nova.place` tick per constraint considered; on
+/// exhaustion the remaining constraints are skipped and their symbols fall
+/// through to the lowest-free-code sweep, which always completes.
+fn greedy_place(n: usize, nv: usize, constraints: &[GroupConstraint], budget: &Budget) -> Vec<u32> {
     const UNASSIGNED: u32 = u32::MAX;
     let size = 1usize << nv;
     let mut code: Vec<u32> = vec![UNASSIGNED; n];
@@ -114,6 +118,9 @@ fn greedy_place(n: usize, nv: usize, constraints: &[GroupConstraint]) -> Vec<u32
     });
 
     for k in order {
+        if !budget.tick("nova.place", 1) {
+            break;
+        }
         let members: Vec<usize> = constraints[k].members().to_vec();
         let unplaced: Vec<usize> = members
             .iter()
@@ -154,7 +161,7 @@ fn greedy_place(n: usize, nv: usize, constraints: &[GroupConstraint]) -> Vec<u32
                     continue;
                 }
                 let waste = free_slots - unplaced.len();
-                if best.is_none() || waste < best.expect("checked").1 {
+                if best.is_none_or(|(_, w)| waste < w) {
                     best = Some(((fixed, values), waste));
                 }
             }
@@ -174,11 +181,14 @@ fn greedy_place(n: usize, nv: usize, constraints: &[GroupConstraint]) -> Vec<u32
         }
     }
 
-    // Any remaining symbols take the lowest free codes.
+    // Any remaining symbols take the lowest free codes. `2^nv >= n`, so the
+    // free iterator always has a word per unassigned symbol.
     let mut free = (0..size as u32).filter(|&w| !used[w as usize]);
     for c in code.iter_mut() {
         if *c == UNASSIGNED {
-            let w = free.next().expect("enough codes for all symbols");
+            let w = free
+                .next()
+                .unwrap_or_else(|| unreachable!("enough codes for all symbols"));
             *c = w;
         }
     }
@@ -194,22 +204,42 @@ impl Encoder for NovaEncoder {
     }
 
     fn encode(&self, n: usize, constraints: &[GroupConstraint]) -> Encoding {
+        self.encode_bounded(n, constraints, &Budget::unlimited()).0
+    }
+
+    fn encode_bounded(
+        &self,
+        n: usize,
+        constraints: &[GroupConstraint],
+        budget: &Budget,
+    ) -> (Encoding, Completion) {
         let nv = min_code_length(n);
-        let codes = greedy_place(n, nv, constraints);
-        let mut enc = Encoding::new(nv, codes).expect("greedy placement yields distinct codes");
+        let codes = greedy_place(n, nv, constraints, budget);
+        // Greedy placement yields distinct codes; fall back to the natural
+        // encoding if that invariant ever breaks rather than panicking.
+        let mut enc = match Encoding::new(nv, codes) {
+            Ok(e) => e,
+            Err(_) => Encoding::natural(n),
+        };
         let size = 1usize << nv;
 
         // Iterative improvement: symbol-symbol code swaps and moves onto
-        // free code words, steepest ascent per pass.
+        // free code words, steepest ascent per pass. One `nova.improve`
+        // tick per candidate; exhaustion keeps the current (valid) best.
         let mut best_obj = self.objective(&enc, constraints);
-        for _ in 0..self.max_passes.max(1) {
+        'improve: for _ in 0..self.max_passes.max(1) {
             let mut improved = false;
             // swaps
             for i in 0..n {
                 for j in (i + 1)..n {
+                    if !budget.tick("nova.improve", 1) {
+                        break 'improve;
+                    }
                     let mut codes = enc.codes().to_vec();
                     codes.swap(i, j);
-                    let cand = Encoding::new(nv, codes).expect("swap keeps codes distinct");
+                    let Ok(cand) = Encoding::new(nv, codes) else {
+                        continue; // swaps permute codes: unreachable defensively
+                    };
                     let obj = self.objective(&cand, constraints);
                     if obj > best_obj + 1e-9 {
                         enc = cand;
@@ -225,9 +255,14 @@ impl Encoder for NovaEncoder {
                     if enc.codes().contains(&(w as u32)) {
                         continue;
                     }
+                    if !budget.tick("nova.improve", 1) {
+                        break 'improve;
+                    }
                     let mut codes = enc.codes().to_vec();
                     codes[i] = w as u32;
-                    let cand = Encoding::new(nv, codes).expect("moving to a free code is distinct");
+                    let Ok(cand) = Encoding::new(nv, codes) else {
+                        continue; // target checked free: unreachable defensively
+                    };
                     let obj = self.objective(&cand, constraints);
                     if obj > best_obj + 1e-9 {
                         enc = cand;
@@ -239,7 +274,7 @@ impl Encoder for NovaEncoder {
                 break;
             }
         }
-        enc
+        (enc, budget.completion())
     }
 }
 
@@ -287,6 +322,32 @@ mod tests {
         let d16 = (enc.code(1) ^ enc.code(6)).count_ones();
         assert!(d07 <= 1, "adjacency not honoured: {enc}");
         assert!(d16 <= 1, "adjacency not honoured: {enc}");
+    }
+
+    #[test]
+    fn exhausted_budget_still_places_everyone() {
+        use picola_core::{Budget, Completion};
+        for limit in [0u64, 1, 5] {
+            let cs = groups(11, &[&[0, 1, 2], &[4, 5], &[8, 9, 10]]);
+            let budget = Budget::with_work_limit(limit);
+            let (enc, completion) = NovaEncoder::i_hybrid().encode_bounded(11, &cs, &budget);
+            assert_eq!(enc.num_symbols(), 11);
+            assert_eq!(enc.nv(), 4);
+            assert!(matches!(completion, Completion::Degraded { .. }));
+        }
+    }
+
+    #[test]
+    fn injected_faults_degrade_without_panic() {
+        use picola_core::{chaos, Budget, Completion};
+        for point in ["nova.place", "nova.improve"] {
+            let _guard = chaos::arm(point, 0);
+            let cs = groups(8, &[&[0, 1], &[2, 3, 4, 5]]);
+            let (enc, completion) =
+                NovaEncoder::i_hybrid().encode_bounded(8, &cs, &Budget::unlimited());
+            assert_eq!(enc.num_symbols(), 8);
+            assert!(matches!(completion, Completion::Degraded { .. }), "{point}");
+        }
     }
 
     #[test]

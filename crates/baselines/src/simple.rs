@@ -45,7 +45,8 @@ impl Encoder for RandomEncoder {
         let mut rng = StdRng::seed_from_u64(self.seed);
         words.shuffle(&mut rng);
         words.truncate(n);
-        Encoding::new(nv, words).expect("a permutation prefix is distinct")
+        // A prefix of a permutation of all code words is distinct.
+        Encoding::new(nv, words).unwrap_or_else(|_| Encoding::natural(n))
     }
 }
 

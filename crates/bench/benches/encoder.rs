@@ -3,6 +3,10 @@
 //! supporting the paper's claim that PICOLA is far cheaper than
 //! minimization-in-the-loop (ENC) encoding.
 
+// Benches are harness code: the in-tests clippy exemption does not reach
+// bench targets, so the panic-freedom policy is waived explicitly here.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use picola_baselines::{EncLikeEncoder, NovaEncoder};
 use picola_constraints::{ExtractMethod, GroupConstraint, SymbolSet};

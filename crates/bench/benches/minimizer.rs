@@ -2,6 +2,10 @@
 //! tautology and the full minimization loop on representative covers,
 //! including the multi-valued symbolic covers of suite machines.
 
+// Benches are harness code: the in-tests clippy exemption does not reach
+// bench targets, so the panic-freedom policy is waived explicitly here.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use picola_fsm::{benchmark_fsm, symbolic_cover};
 use picola_logic::{complement, espresso, tautology, Cover, Domain};

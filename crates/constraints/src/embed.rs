@@ -125,9 +125,14 @@ pub fn embed_exact(
         }
 
         fn final_check(&self) -> bool {
-            let codes: Vec<u32> = self.codes.iter().map(|c| c.expect("complete")).collect();
-            let enc = Encoding::new(self.nv, codes).expect("distinct by used[]");
-            self.active.iter().all(|c| enc.satisfies(c.members()))
+            // At depth == n every slot is assigned and used[] kept the
+            // codes distinct; verify both rather than assume.
+            let codes: Vec<u32> = self.codes.iter().filter_map(|c| *c).collect();
+            if codes.len() != self.n {
+                return false;
+            }
+            Encoding::new(self.nv, codes)
+                .is_ok_and(|enc| self.active.iter().all(|c| enc.satisfies(c.members())))
         }
     }
 
@@ -143,8 +148,14 @@ pub fn embed_exact(
         exceeded: false,
     };
     if search.go(0) {
-        let codes: Vec<u32> = search.codes.iter().map(|c| c.expect("complete")).collect();
-        EmbedOutcome::Embedded(Encoding::new(nv, codes).expect("distinct"))
+        let codes: Vec<u32> = search.codes.iter().filter_map(|c| *c).collect();
+        match Encoding::new(nv, codes) {
+            // go(0) returns true only after final_check validated exactly
+            // this encoding, so the Err arm is unreachable; degrade to
+            // Impossible rather than panic if that invariant ever breaks.
+            Ok(enc) => EmbedOutcome::Embedded(enc),
+            Err(_) => EmbedOutcome::Impossible,
+        }
     } else if search.exceeded {
         EmbedOutcome::BudgetExceeded
     } else {

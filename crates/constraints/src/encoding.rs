@@ -177,6 +177,7 @@ impl Encoding {
     /// # Panics
     ///
     /// Panics when `members` is empty.
+    #[allow(clippy::expect_used)] // documented contract: members must be non-empty
     pub fn supercube(&self, members: &SymbolSet) -> CodeCube {
         let mut it = members.iter();
         let first = self.codes[it.next().expect("supercube of an empty set")];

@@ -247,7 +247,12 @@ impl ConstraintMatrix {
         for (col_index, column) in self.columns.iter().enumerate() {
             let members = tc.constraint.members();
             let mut it = members.iter();
-            let first = it.next().expect("guide has >= 2 members");
+            // Non-trivial guides (checked above) have at least 2 members;
+            // treat an empty set as agreeing trivially rather than panic.
+            let Some(first) = it.next() else {
+                tc.participating.push(col_index);
+                continue;
+            };
             let v = column[first];
             if it.all(|i| column[i] == v) {
                 tc.participating.push(col_index);

@@ -1,0 +1,56 @@
+//! The workspace-facing error type of the PICOLA core.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the fallible PICOLA entry points
+/// ([`crate::try_picola_encode_with`] and friends).
+///
+/// Budget exhaustion is **not** an error: bounded runs degrade gracefully
+/// and report a [`picola_logic::Completion::Degraded`] status alongside a
+/// valid result. `PicolaError` covers the cases where no meaningful result
+/// exists at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PicolaError {
+    /// The caller's input is unusable: too few symbols, an `nv_override`
+    /// that cannot distinguish the symbols, or a constraint naming a
+    /// symbol outside the universe.
+    InvalidInput(String),
+    /// An internal invariant failed. Returned instead of panicking so
+    /// callers (in particular the CLI) always stay in control.
+    Internal(String),
+}
+
+impl PicolaError {
+    /// Builds an [`PicolaError::InvalidInput`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        PicolaError::InvalidInput(msg.into())
+    }
+
+    /// Builds an [`PicolaError::Internal`].
+    pub fn internal(msg: impl Into<String>) -> Self {
+        PicolaError::Internal(msg.into())
+    }
+}
+
+impl fmt::Display for PicolaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PicolaError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            PicolaError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl Error for PicolaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_distinguishes_kinds() {
+        assert!(PicolaError::invalid("n < 2").to_string().starts_with("invalid input"));
+        assert!(PicolaError::internal("oops").to_string().starts_with("internal error"));
+    }
+}

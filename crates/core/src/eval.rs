@@ -137,12 +137,15 @@ pub fn evaluate_encoding_with(
         let cubes = match minimizer {
             EvalMinimizer::Espresso => espresso(&on, &dc).len(),
             EvalMinimizer::Exact { max_nodes } => match exact_minimize(&on, &dc, max_nodes) {
-                ExactOutcome::Minimum(cv) | ExactOutcome::BudgetExceeded(cv) => cv.len(),
+                ExactOutcome::Minimum(cv) | ExactOutcome::Truncated(cv) => cv.len(),
             },
         };
         let sat = enc.satisfies(c.members());
         if sat {
-            debug_assert_eq!(cubes, 1, "a satisfied face must cost one cube");
+            // A fully minimized satisfied face costs exactly one cube, but
+            // the minimizer may degrade under fault injection, so only the
+            // lower bound is an invariant here.
+            debug_assert!(cubes >= 1, "a satisfied face needs at least one cube");
             satisfied += 1;
         }
         total += cubes;

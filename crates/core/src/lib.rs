@@ -42,6 +42,7 @@
 
 pub mod classify;
 pub mod cost;
+pub mod error;
 pub mod eval;
 pub mod picola;
 pub mod report;
@@ -50,11 +51,19 @@ pub mod validity;
 
 pub use classify::{geometry, update_constraints, ClassifyOutcome};
 pub use cost::CostModel;
+pub use error::PicolaError;
 pub use eval::{
     estimate_cubes, evaluate_encoding, evaluate_encoding_with, greedy_constraint_cubes,
     ConstraintCost, EncodingEvaluation, EvalMinimizer,
 };
-pub use picola::{picola_encode, picola_encode_with, Encoder, PicolaEncoder, PicolaOptions, PicolaResult};
+pub use picola::{
+    picola_encode, picola_encode_portfolio, picola_encode_with, try_picola_encode_portfolio,
+    try_picola_encode_with, Encoder, PicolaEncoder, PicolaOptions, PicolaResult,
+};
 pub use report::RunReport;
 pub use solve::solve_column;
 pub use validity::ValidityTracker;
+
+// Budgeting and fault injection live in picola-logic (the dependency root);
+// re-export them here so encoder-level callers need only picola-core.
+pub use picola_logic::{chaos, Budget, Completion, ExhaustReason};

@@ -3,11 +3,13 @@
 
 use crate::classify::{update_constraints, ClassifyOutcome};
 use crate::cost::CostModel;
+use crate::error::PicolaError;
 use crate::solve::solve_column;
 use crate::validity::ValidityTracker;
 use picola_constraints::{
     min_code_length, ConstraintMatrix, ConstraintStatus, Encoding, GroupConstraint,
 };
+use picola_logic::{Budget, Completion};
 
 /// Options for [`picola_encode_with`].
 #[derive(Debug, Clone, Default)]
@@ -44,6 +46,9 @@ pub struct PicolaResult {
     pub matrix: ConstraintMatrix,
     /// Classification outcome per column round.
     pub rounds: Vec<ClassifyOutcome>,
+    /// Whether the run finished within its [`Budget`] or degraded to a
+    /// best-effort result.
+    pub completion: Completion,
 }
 
 impl PicolaResult {
@@ -94,25 +99,81 @@ pub fn picola_encode(n: usize, constraints: &[GroupConstraint]) -> PicolaResult 
 ///
 /// # Panics
 ///
-/// Panics if `n < 2` or an `nv_override` smaller than `ceil(log2 n)` is
-/// given.
+/// Panics if `n < 2`, an `nv_override` too small (or too large) is given,
+/// or a constraint's universe does not match `n`. Use
+/// [`try_picola_encode_with`] for a fully fallible entry point.
+#[allow(clippy::panic)] // documented panic contract of the legacy entry point
 pub fn picola_encode_with(
     n: usize,
     constraints: &[GroupConstraint],
     opts: &PicolaOptions,
 ) -> PicolaResult {
-    assert!(n >= 2, "need at least two symbols");
+    match try_picola_encode_with(n, constraints, opts, &Budget::unlimited()) {
+        Ok(r) => r,
+        Err(e) => panic!("picola_encode_with: {e}"),
+    }
+}
+
+/// Encodes `n` symbols under `constraints` with explicit options and an
+/// execution [`Budget`].
+///
+/// The budget is polled once per column round (trigger point
+/// `"picola.column"`) and once per candidate move of the refinement pass
+/// (`"picola.refine"`). On exhaustion the run returns early with a **valid**
+/// encoding — distinct codes of the correct length — and
+/// [`PicolaResult::completion`] reports the degradation; if the constructive
+/// phase itself was cut short, the codes fall back to plain binary counting
+/// and constraint satisfaction is whatever that happens to give.
+///
+/// # Errors
+///
+/// [`PicolaError::InvalidInput`] when `n < 2`, `nv_override` is too small
+/// to distinguish `n` symbols, or a constraint's symbol universe differs
+/// from `n`. [`PicolaError::Internal`] if a solver invariant breaks (never
+/// expected; returned instead of panicking).
+pub fn try_picola_encode_with(
+    n: usize,
+    constraints: &[GroupConstraint],
+    opts: &PicolaOptions,
+    budget: &Budget,
+) -> Result<PicolaResult, PicolaError> {
+    if n < 2 {
+        return Err(PicolaError::invalid(format!(
+            "need at least two symbols, got {n}"
+        )));
+    }
     let nv = opts.nv_override.unwrap_or_else(|| min_code_length(n));
-    assert!(
-        nv >= min_code_length(n),
-        "nv = {nv} cannot distinguish {n} symbols"
-    );
+    if nv < min_code_length(n) {
+        return Err(PicolaError::invalid(format!(
+            "nv = {nv} cannot distinguish {n} symbols (need {})",
+            min_code_length(n)
+        )));
+    }
+    if nv >= u32::BITS as usize {
+        return Err(PicolaError::invalid(format!(
+            "nv = {nv} exceeds the supported code length of {} bits",
+            u32::BITS - 1
+        )));
+    }
+    for (i, c) in constraints.iter().enumerate() {
+        if c.members().universe() != n {
+            return Err(PicolaError::invalid(format!(
+                "constraint {i} is over a universe of {} symbols, expected {n}",
+                c.members().universe()
+            )));
+        }
+    }
 
     let mut matrix = ConstraintMatrix::new(n, nv, constraints.to_vec());
     let mut validity = ValidityTracker::new(n, nv);
     let mut rounds = Vec::with_capacity(nv);
+    let mut constructive_complete = true;
 
     for _ in 0..nv {
+        if !budget.tick("picola.column", 1) {
+            constructive_complete = false;
+            break;
+        }
         let outcome = if opts.disable_classify {
             ClassifyOutcome::default()
         } else {
@@ -124,23 +185,36 @@ pub fn picola_encode_with(
         validity.commit(&column);
     }
     // Final classification pass so the matrix reports end-of-run statuses.
-    if !opts.disable_classify {
+    if constructive_complete && !opts.disable_classify {
         rounds.push(update_constraints(&mut matrix, false));
     }
 
-    let columns: Vec<Vec<bool>> = matrix.columns().to_vec();
-    let mut encoding = Encoding::from_columns(&columns)
-        .expect("validity tracking guarantees distinct codes");
+    let mut encoding = if constructive_complete {
+        let columns: Vec<Vec<bool>> = matrix.columns().to_vec();
+        Encoding::from_columns(&columns).map_err(|e| {
+            PicolaError::internal(format!(
+                "validity tracking failed to keep codes distinct: {e}"
+            ))
+        })?
+    } else {
+        // The column phase was cut short, so the matrix holds a partial
+        // (possibly non-distinct) code set. Fall back to binary counting:
+        // valid by construction, quality left to whatever luck provides.
+        Encoding::new(nv, (0..n as u32).collect()).map_err(|e| {
+            PicolaError::internal(format!("binary fallback encoding failed: {e}"))
+        })?
+    };
 
     if !opts.disable_refine {
-        encoding = refine(encoding, constraints);
+        encoding = refine(encoding, constraints, budget);
     }
 
-    PicolaResult {
+    Ok(PicolaResult {
         encoding,
         matrix,
         rounds,
-    }
+        completion: budget.completion(),
+    })
 }
 
 /// Refinement: first-improvement hill climbing over code swaps and moves to
@@ -151,7 +225,10 @@ pub fn picola_encode_with(
 /// cost only when a moved symbol is one of its members (the supercube
 /// changes) or its code enters/leaves the cached supercube (intrusion
 /// changes); all other constraints keep their cached cost.
-fn refine(enc: Encoding, constraints: &[GroupConstraint]) -> Encoding {
+///
+/// Budget-aware: each candidate move ticks `"picola.refine"`; on exhaustion
+/// the current (always valid) encoding is returned as-is.
+fn refine(enc: Encoding, constraints: &[GroupConstraint], budget: &Budget) -> Encoding {
     use crate::eval::greedy_constraint_cubes;
 
     let active: Vec<&GroupConstraint> =
@@ -208,11 +285,18 @@ fn refine(enc: Encoding, constraints: &[GroupConstraint]) -> Encoding {
                             codes: Vec<u32>,
                             moved: &[(usize, u32, u32)]|
          -> bool {
+            if !budget.tick("picola.refine", 1) {
+                return false;
+            }
             let touched = affected(&membership, supers, moved);
             if touched.is_empty() {
                 return false;
             }
-            let cand = Encoding::new(nv, codes).expect("refine moves keep codes distinct");
+            // Swaps and moves-to-free-words keep codes distinct by
+            // construction; skip the candidate rather than panic if not.
+            let Ok(cand) = Encoding::new(nv, codes) else {
+                return false;
+            };
             let mut delta: i64 = 0;
             let mut new_costs = Vec::with_capacity(touched.len());
             for &k in &touched {
@@ -261,7 +345,7 @@ fn refine(enc: Encoding, constraints: &[GroupConstraint]) -> Encoding {
                 }
             }
         }
-        if !improved {
+        if !improved || budget.is_exhausted() {
             break;
         }
     }
@@ -279,21 +363,53 @@ pub fn picola_encode_portfolio(
     base: &PicolaOptions,
     models: &[crate::cost::CostModel],
 ) -> PicolaResult {
+    match try_picola_encode_portfolio(n, constraints, base, models, &Budget::unlimited()) {
+        Ok(r) => r,
+        #[allow(clippy::panic)] // documented panic contract of the legacy entry point
+        Err(e) => panic!("picola_encode_portfolio: {e}"),
+    }
+}
+
+/// Budget-aware [`picola_encode_portfolio`]: the runs share one `budget`.
+/// Models that cannot start (budget already exhausted) are skipped, but at
+/// least one run always completes — possibly degraded — so a result is
+/// always produced.
+///
+/// # Errors
+///
+/// As [`try_picola_encode_with`], plus [`PicolaError::InvalidInput`] when
+/// `models` is empty.
+pub fn try_picola_encode_portfolio(
+    n: usize,
+    constraints: &[GroupConstraint],
+    base: &PicolaOptions,
+    models: &[crate::cost::CostModel],
+    budget: &Budget,
+) -> Result<PicolaResult, PicolaError> {
     use crate::eval::estimate_cubes;
-    assert!(!models.is_empty(), "portfolio needs at least one cost model");
+    if models.is_empty() {
+        return Err(PicolaError::invalid("portfolio needs at least one cost model"));
+    }
     let mut best: Option<(usize, PicolaResult)> = None;
     for &cost in models {
         let opts = PicolaOptions {
             cost,
             ..base.clone()
         };
-        let r = picola_encode_with(n, constraints, &opts);
+        let r = try_picola_encode_with(n, constraints, &opts, budget)?;
         let est = estimate_cubes(&r.encoding, constraints);
         if best.as_ref().is_none_or(|&(b, _)| est < b) {
             best = Some((est, r));
         }
+        // Later models would only produce the same degraded fallback.
+        if budget.is_exhausted() {
+            break;
+        }
     }
-    best.expect("at least one model ran").1
+    match best {
+        Some((_, r)) => Ok(r),
+        None => Err(PicolaError::internal("no portfolio model produced a result")),
+    }
 }
 
 /// A minimum-length symbol encoder: PICOLA and every baseline implement
@@ -306,6 +422,22 @@ pub trait Encoder {
     /// Produces a minimum-length encoding of `n` symbols that respects the
     /// face constraints as well as the strategy allows.
     fn encode(&self, n: usize, constraints: &[GroupConstraint]) -> Encoding;
+
+    /// Budget-aware [`Encoder::encode`]: stops refining when `budget` runs
+    /// out and reports how the run ended. The returned encoding is always
+    /// valid (distinct codes, minimum length).
+    ///
+    /// The default implementation ignores the budget and runs [`Encoder::encode`]
+    /// to completion; budget-aware encoders override it.
+    fn encode_bounded(
+        &self,
+        n: usize,
+        constraints: &[GroupConstraint],
+        budget: &Budget,
+    ) -> (Encoding, Completion) {
+        let enc = self.encode(n, constraints);
+        (enc, budget.completion())
+    }
 }
 
 /// The PICOLA encoder as an [`Encoder`] implementation.
@@ -336,8 +468,21 @@ impl Encoder for PicolaEncoder {
     }
 
     fn encode(&self, n: usize, constraints: &[GroupConstraint]) -> Encoding {
-        if self.portfolio {
-            picola_encode_portfolio(
+        self.encode_bounded(n, constraints, &Budget::unlimited()).0
+    }
+
+    // The Encoder trait's infallible contract mirrors picola_encode_with's
+    // documented panics on invalid input (n < 2, undersized nv_override);
+    // fallible callers use try_picola_encode_with directly.
+    #[allow(clippy::panic)]
+    fn encode_bounded(
+        &self,
+        n: usize,
+        constraints: &[GroupConstraint],
+        budget: &Budget,
+    ) -> (Encoding, Completion) {
+        let result = if self.portfolio {
+            try_picola_encode_portfolio(
                 n,
                 constraints,
                 &self.options,
@@ -346,10 +491,14 @@ impl Encoder for PicolaEncoder {
                     crate::cost::CostModel::UniformDichotomy,
                     crate::cost::CostModel::ConstraintCompletion,
                 ],
+                budget,
             )
-            .encoding
         } else {
-            picola_encode_with(n, constraints, &self.options).encoding
+            try_picola_encode_with(n, constraints, &self.options, budget)
+        };
+        match result {
+            Ok(r) => (r.encoding, r.completion),
+            Err(e) => panic!("PicolaEncoder: {e}"),
         }
     }
 }
@@ -358,6 +507,7 @@ impl Encoder for PicolaEncoder {
 mod tests {
     use super::*;
     use picola_constraints::SymbolSet;
+    use picola_logic::{chaos, ExhaustReason};
 
     fn groups(n: usize, gs: &[&[usize]]) -> Vec<GroupConstraint> {
         gs.iter()
@@ -467,6 +617,118 @@ mod tests {
         let e = enc.encode(4, &cs);
         assert_eq!(e.nv(), 2);
         assert_eq!(enc.name(), "picola");
+    }
+
+    #[test]
+    fn try_encode_rejects_bad_input() {
+        let budget = Budget::unlimited();
+        let cs = groups(4, &[&[0, 1]]);
+        let opts = PicolaOptions::default();
+        assert!(matches!(
+            try_picola_encode_with(1, &[], &opts, &budget),
+            Err(PicolaError::InvalidInput(_))
+        ));
+        let small = PicolaOptions {
+            nv_override: Some(1),
+            ..PicolaOptions::default()
+        };
+        assert!(matches!(
+            try_picola_encode_with(4, &cs, &small, &budget),
+            Err(PicolaError::InvalidInput(_))
+        ));
+        let huge = PicolaOptions {
+            nv_override: Some(40),
+            ..PicolaOptions::default()
+        };
+        assert!(matches!(
+            try_picola_encode_with(4, &cs, &huge, &budget),
+            Err(PicolaError::InvalidInput(_))
+        ));
+        // constraint universe mismatch: members sized for 8 symbols, n = 4
+        let wrong = groups(8, &[&[0, 1]]);
+        assert!(matches!(
+            try_picola_encode_with(4, &wrong, &opts, &budget),
+            Err(PicolaError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn exhausted_budget_still_yields_valid_encoding() {
+        let cs = groups(8, &[&[0, 1], &[2, 3], &[4, 5]]);
+        let budget = Budget::with_work_limit(0);
+        let r = try_picola_encode_with(8, &cs, &PicolaOptions::default(), &budget)
+            .expect("degraded, not failed");
+        assert_eq!(r.encoding.num_symbols(), 8);
+        assert_eq!(r.encoding.nv(), 3);
+        assert!(matches!(r.completion, Completion::Degraded { .. }));
+    }
+
+    #[test]
+    fn tight_budget_degrades_but_unbounded_result_matches_legacy() {
+        let cs = groups(8, &[&[0, 1], &[2, 3], &[4, 5]]);
+        let unbounded =
+            try_picola_encode_with(8, &cs, &PicolaOptions::default(), &Budget::unlimited())
+                .unwrap();
+        assert!(matches!(unbounded.completion, Completion::Complete));
+        let legacy = picola_encode(8, &cs);
+        assert_eq!(unbounded.encoding, legacy.encoding);
+        // a budget of a few ticks cuts the column phase or refinement short
+        for limit in [1u64, 2, 4] {
+            let budget = Budget::with_work_limit(limit);
+            let r = try_picola_encode_with(8, &cs, &PicolaOptions::default(), &budget).unwrap();
+            assert_eq!(r.encoding.num_symbols(), 8);
+        }
+    }
+
+    #[test]
+    fn injected_fault_at_column_phase_degrades() {
+        let _guard = chaos::arm("picola.column", 0);
+        let cs = groups(8, &[&[0, 1], &[2, 3]]);
+        let budget = Budget::unlimited();
+        let r = try_picola_encode_with(8, &cs, &PicolaOptions::default(), &budget).unwrap();
+        assert!(matches!(
+            r.completion,
+            Completion::Degraded {
+                reason: ExhaustReason::Injected,
+                ..
+            }
+        ));
+        assert_eq!(r.encoding.num_symbols(), 8);
+    }
+
+    #[test]
+    fn injected_fault_at_refine_degrades() {
+        let _guard = chaos::arm("picola.refine", 0);
+        let cs = groups(8, &[&[0, 1], &[2, 3]]);
+        let budget = Budget::unlimited();
+        let r = try_picola_encode_with(8, &cs, &PicolaOptions::default(), &budget).unwrap();
+        assert_eq!(r.encoding.num_symbols(), 8);
+        assert!(matches!(r.completion, Completion::Degraded { .. }));
+    }
+
+    #[test]
+    fn portfolio_shares_one_budget() {
+        let cs = groups(8, &[&[0, 1], &[2, 3]]);
+        let opts = PicolaOptions::default();
+        let models = [CostModel::PaperWeighted, CostModel::UniformDichotomy];
+        let budget = Budget::unlimited();
+        let r = try_picola_encode_portfolio(8, &cs, &opts, &models, &budget).unwrap();
+        assert_eq!(r.encoding.num_symbols(), 8);
+        assert!(matches!(r.completion, Completion::Complete));
+        assert!(matches!(
+            try_picola_encode_portfolio(8, &cs, &opts, &[], &budget),
+            Err(PicolaError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn encode_bounded_reports_completion() {
+        let enc = PicolaEncoder::default();
+        let cs = groups(8, &[&[0, 1]]);
+        let budget = Budget::with_work_limit(0);
+        let (e, completion) = enc.encode_bounded(8, &cs, &budget);
+        assert_eq!(e.num_symbols(), 8);
+        assert!(matches!(completion, Completion::Degraded { .. }));
     }
 
     #[test]

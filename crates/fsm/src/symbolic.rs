@@ -41,13 +41,13 @@ impl SymbolicCover {
 
     /// Global part index of the one-hot next-state bit for `state`.
     pub fn next_state_part(&self, state: usize) -> usize {
-        let ov = self.domain.output_var().expect("output var");
+        let ov = self.domain.require_output_var();
         self.domain.var(ov).offset() + state
     }
 
     /// Global part index of primary output `o`.
     pub fn output_part(&self, o: usize) -> usize {
-        let ov = self.domain.output_var().expect("output var");
+        let ov = self.domain.require_output_var();
         self.domain.var(ov).offset() + self.num_states + o
     }
 }
@@ -67,7 +67,7 @@ pub fn symbolic_cover(fsm: &Fsm) -> SymbolicCover {
         .output("z", n + no)
         .build();
     let state_var = ni;
-    let ov = domain.output_var().expect("output var");
+    let ov = domain.require_output_var();
     let out_off = domain.var(ov).offset();
 
     let mut on = Cover::empty(&domain);

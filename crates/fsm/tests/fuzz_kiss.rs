@@ -1,0 +1,106 @@
+//! Fuzzer for the KISS2 parser.
+//!
+//! Property: arbitrary, corrupted, or truncated input never panics the
+//! parser; every diagnostic carries a line number inside the input (0 for
+//! file-level errors); declared limits are enforced.
+
+// Tests are exempt from the panic-freedom policy; clippy's in-tests
+// exemption misses integration-test helpers, so waive it explicitly.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use picola_fsm::{parse_kiss, parse_kiss_with};
+use picola_logic::error::ParseLimits;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A byte soup biased toward KISS2 syntax.
+fn soup() -> impl Strategy<Value = String> {
+    vec(any::<u8>(), 0..400).prop_map(|bytes| {
+        const ALPHABET: &[u8] = b"01- .iosrep\n\t#*sab5X";
+        bytes
+            .iter()
+            .map(|&b| ALPHABET[b as usize % ALPHABET.len()] as char)
+            .collect()
+    })
+}
+
+/// A valid KISS2 machine with `rows` transitions over four states.
+fn valid_kiss(rows: usize) -> String {
+    let mut s = String::from(".i 2\n.o 1\n.s 4\n.r s0\n");
+    for t in 0..rows.max(1) {
+        let from = t % 4;
+        let to = (t + 1) % 4;
+        let i0 = if t % 2 == 0 { '0' } else { '1' };
+        let i1 = if t % 3 == 0 { '-' } else { '1' };
+        s.push_str(&format!("{i0}{i1} s{from} s{to} {}\n", t % 2));
+    }
+    s.push_str(".e\n");
+    s
+}
+
+fn line_count(text: &str) -> usize {
+    text.lines().count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn kiss_parser_never_panics_on_soup(text in soup()) {
+        if let Err(e) = parse_kiss("fuzz", &text) {
+            prop_assert!(
+                e.line() <= line_count(&text),
+                "line {} outside {}-line input",
+                e.line(),
+                line_count(&text)
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_kiss_errors_stay_in_bounds(rows in 1usize..20, cut in 0usize..300) {
+        let full = valid_kiss(rows);
+        let cut = cut.min(full.len());
+        let text = &full[..cut];
+        if let Err(e) = parse_kiss("fuzz", text) {
+            prop_assert!(e.line() <= line_count(text) + 1);
+        }
+    }
+
+    #[test]
+    fn corrupted_kiss_never_panics(rows in 1usize..20, pos in 0usize..300, byte in 0u8..128) {
+        let mut full = valid_kiss(rows).into_bytes();
+        let pos = pos % full.len();
+        full[pos] = byte;
+        let text = String::from_utf8_lossy(&full).into_owned();
+        let _ = parse_kiss("fuzz", &text);
+    }
+
+    #[test]
+    fn oversized_kiss_is_rejected_not_loaded(rows in 6usize..40) {
+        let limits = ParseLimits { max_terms: 5, ..ParseLimits::default() };
+        let text = valid_kiss(rows);
+        let err = parse_kiss_with("fuzz", &text, &limits).unwrap_err();
+        prop_assert!(err.line() <= line_count(&text));
+        prop_assert!(parse_kiss_with("fuzz", &text, &ParseLimits::default()).is_ok());
+    }
+
+    #[test]
+    fn parsed_machines_are_coherent(rows in 1usize..30) {
+        // A machine that parses must satisfy basic structural invariants —
+        // the robustness contract is Err-or-valid, never a mangled Ok.
+        let text = valid_kiss(rows);
+        let m = parse_kiss("fuzz", &text).expect("valid machine parses");
+        // `.s 4` caps the state count; short machines reference fewer.
+        prop_assert!(m.num_states() >= 2 && m.num_states() <= 4);
+        prop_assert!(m.reset().is_some());
+        for t in m.transitions() {
+            if let Some(from) = t.from {
+                prop_assert!(from < m.num_states());
+            }
+            if let Some(to) = t.to {
+                prop_assert!(to < m.num_states());
+            }
+        }
+    }
+}

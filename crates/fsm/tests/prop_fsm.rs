@@ -1,5 +1,9 @@
 //! Property tests for the FSM substrate.
 
+// Tests are exempt from the panic-freedom policy; clippy's in-tests
+// exemption misses integration-test helpers, so waive it explicitly.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use picola_fsm::{generate_fsm, parse_kiss, symbolic_cover, write_kiss, FsmSpec, Ternary};
 use proptest::prelude::*;
 

@@ -1,0 +1,302 @@
+//! Execution budgets: wall-clock deadlines and work-unit caps with
+//! graceful degradation.
+//!
+//! Every potentially exponential search in the workspace (the ESPRESSO
+//! loop, the exact minimizer, the PICOLA column/refinement phases, the
+//! baseline encoders) accepts a [`Budget`] and polls it through
+//! [`Budget::tick`] at its natural unit of work — a loop iteration, a
+//! branch-and-bound node, a candidate move. When the budget runs out the
+//! algorithm stops early and returns its **best-so-far** result tagged
+//! [`Completion::Degraded`] instead of hanging or panicking.
+//!
+//! Deadline checks are *counter-gated*: `Instant::now()` is read only once
+//! every [`CLOCK_PERIOD`] work units, so ticking costs an increment and a
+//! compare on the hot path.
+//!
+//! Budgets also host the fault-injection hook: every tick names its
+//! trigger point, and an armed [`crate::chaos`] plan can force exhaustion
+//! at that point deterministically (see the chaos module docs).
+
+use crate::chaos;
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+/// How often (in work units) the deadline is checked against the clock.
+pub const CLOCK_PERIOD: u64 = 1024;
+
+/// Why a budget ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExhaustReason {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The work-unit cap was reached.
+    WorkLimit,
+    /// A [`crate::chaos`] plan forced exhaustion at a trigger point.
+    Injected,
+}
+
+impl std::fmt::Display for ExhaustReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExhaustReason::Deadline => write!(f, "wall-clock deadline"),
+            ExhaustReason::WorkLimit => write!(f, "work limit"),
+            ExhaustReason::Injected => write!(f, "injected fault"),
+        }
+    }
+}
+
+/// Whether a bounded computation ran to completion or degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Completion {
+    /// The algorithm finished normally; the result is what an unbounded
+    /// run would have produced.
+    #[default]
+    Complete,
+    /// The budget ran out; the result is valid but best-effort.
+    Degraded {
+        /// What ran out.
+        reason: ExhaustReason,
+        /// Work units spent before exhaustion.
+        work_done: u64,
+    },
+}
+
+impl Completion {
+    /// `true` when the run finished without degradation.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Completion::Complete)
+    }
+
+    /// Folds two phase completions: degraded wins (earliest reason kept).
+    pub fn and(self, other: Completion) -> Completion {
+        match self {
+            Completion::Complete => other,
+            degraded => degraded,
+        }
+    }
+}
+
+impl std::fmt::Display for Completion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Completion::Complete => write!(f, "complete"),
+            Completion::Degraded { reason, work_done } => {
+                write!(f, "degraded ({reason} after {work_done} work units)")
+            }
+        }
+    }
+}
+
+/// A shared execution budget: an optional wall-clock deadline plus an
+/// optional cap on abstract work units.
+///
+/// A `Budget` is passed by shared reference and uses interior mutability,
+/// so one budget can be threaded through a whole pipeline (extraction →
+/// encoding → minimization) and enforce a single global limit. Exhaustion
+/// latches: once a tick fails, every later tick fails too.
+///
+/// ```
+/// use picola_logic::budget::Budget;
+///
+/// let budget = Budget::unlimited().work_limit(10);
+/// for _ in 0..10 {
+///     assert!(budget.tick("example.step", 1));
+/// }
+/// assert!(!budget.tick("example.step", 1));
+/// assert!(budget.is_exhausted());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    work_limit: Option<u64>,
+    work: Cell<u64>,
+    next_clock_check: Cell<u64>,
+    exhausted: Cell<Option<ExhaustReason>>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget with no limits (ticks always succeed unless chaos fires).
+    pub fn unlimited() -> Self {
+        Budget {
+            deadline: None,
+            work_limit: None,
+            work: Cell::new(0),
+            next_clock_check: Cell::new(CLOCK_PERIOD),
+            exhausted: Cell::new(None),
+        }
+    }
+
+    /// A budget expiring `duration` from now.
+    pub fn with_deadline(duration: Duration) -> Self {
+        Budget::unlimited().deadline_in(duration)
+    }
+
+    /// A budget allowing `limit` work units.
+    pub fn with_work_limit(limit: u64) -> Self {
+        Budget::unlimited().work_limit(limit)
+    }
+
+    /// Sets the wall-clock deadline to `duration` from now.
+    #[must_use]
+    pub fn deadline_in(mut self, duration: Duration) -> Self {
+        self.deadline = Instant::now().checked_add(duration);
+        self
+    }
+
+    /// Sets the work-unit cap.
+    #[must_use]
+    pub fn work_limit(mut self, limit: u64) -> Self {
+        self.work_limit = Some(limit);
+        self
+    }
+
+    /// Work units consumed so far.
+    pub fn work_done(&self) -> u64 {
+        self.work.get()
+    }
+
+    /// `true` once any tick has failed (or [`Budget::exhaust`] was called).
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted.get().is_some()
+    }
+
+    /// The reason the budget ran out, if it has.
+    pub fn exhaustion(&self) -> Option<ExhaustReason> {
+        self.exhausted.get()
+    }
+
+    /// The [`Completion`] describing this budget's current state.
+    pub fn completion(&self) -> Completion {
+        match self.exhausted.get() {
+            None => Completion::Complete,
+            Some(reason) => Completion::Degraded {
+                reason,
+                work_done: self.work.get(),
+            },
+        }
+    }
+
+    /// Marks the budget exhausted for `reason` (latches).
+    pub fn exhaust(&self, reason: ExhaustReason) {
+        if self.exhausted.get().is_none() {
+            self.exhausted.set(Some(reason));
+        }
+    }
+
+    /// Records `amount` work units at the named trigger point and reports
+    /// whether the computation may continue.
+    ///
+    /// Returns `false` — permanently — once the deadline has passed, the
+    /// work cap is hit, or an armed chaos plan fires at `point`. Callers
+    /// are expected to stop refining and return their best-so-far result
+    /// tagged with [`Budget::completion`].
+    #[must_use]
+    pub fn tick(&self, point: &'static str, amount: u64) -> bool {
+        if self.exhausted.get().is_some() {
+            return false;
+        }
+        if chaos::should_fire(point) {
+            self.exhausted.set(Some(ExhaustReason::Injected));
+            return false;
+        }
+        let work = self.work.get().saturating_add(amount);
+        self.work.set(work);
+        if let Some(limit) = self.work_limit {
+            if work > limit {
+                self.exhausted.set(Some(ExhaustReason::WorkLimit));
+                return false;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if work >= self.next_clock_check.get() {
+                self.next_clock_check.set(work + CLOCK_PERIOD);
+                if Instant::now() >= deadline {
+                    self.exhausted.set(Some(ExhaustReason::Deadline));
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Budget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.tick("test.step", 1));
+        }
+        assert!(!b.is_exhausted());
+        assert_eq!(b.completion(), Completion::Complete);
+        assert_eq!(b.work_done(), 10_000);
+    }
+
+    #[test]
+    fn work_limit_latches() {
+        let b = Budget::with_work_limit(5);
+        assert!(b.tick("test.step", 5));
+        assert!(!b.tick("test.step", 1));
+        assert!(!b.tick("test.step", 1), "exhaustion must latch");
+        assert_eq!(b.exhaustion(), Some(ExhaustReason::WorkLimit));
+        match b.completion() {
+            Completion::Degraded { reason, .. } => {
+                assert_eq!(reason, ExhaustReason::WorkLimit);
+            }
+            Completion::Complete => panic!("expected degraded"),
+        }
+    }
+
+    #[test]
+    fn zero_deadline_exhausts_at_first_clock_check() {
+        let b = Budget::with_deadline(Duration::ZERO);
+        let mut stopped = false;
+        for _ in 0..(2 * CLOCK_PERIOD) {
+            if !b.tick("test.step", 1) {
+                stopped = true;
+                break;
+            }
+        }
+        assert!(stopped, "deadline of zero must stop within one clock period");
+        assert_eq!(b.exhaustion(), Some(ExhaustReason::Deadline));
+    }
+
+    #[test]
+    fn large_amounts_saturate() {
+        let b = Budget::with_work_limit(u64::MAX - 1);
+        assert!(b.tick("test.step", u64::MAX - 1));
+        assert!(!b.tick("test.step", u64::MAX), "saturating add hits the cap");
+        assert_eq!(b.exhaustion(), Some(ExhaustReason::WorkLimit));
+    }
+
+    #[test]
+    fn completion_and_prefers_degradation() {
+        let complete = Completion::Complete;
+        let degraded = Completion::Degraded {
+            reason: ExhaustReason::WorkLimit,
+            work_done: 7,
+        };
+        assert_eq!(complete.and(degraded), degraded);
+        assert_eq!(degraded.and(complete), degraded);
+        assert_eq!(complete.and(complete), complete);
+        assert!(complete.is_complete());
+        assert!(!degraded.is_complete());
+    }
+
+    #[test]
+    fn manual_exhaust_keeps_first_reason() {
+        let b = Budget::unlimited();
+        b.exhaust(ExhaustReason::Deadline);
+        b.exhaust(ExhaustReason::WorkLimit);
+        assert_eq!(b.exhaustion(), Some(ExhaustReason::Deadline));
+    }
+}

@@ -1,0 +1,190 @@
+//! Deterministic fault injection for robustness tests.
+//!
+//! A *chaos plan* names one trigger point and a hit count; once armed (per
+//! thread), the `n`-th time execution reaches that point the fault fires:
+//! [`crate::budget::Budget::tick`] reports exhaustion with
+//! [`crate::budget::ExhaustReason::Injected`], and the hardened parsers
+//! return an injected parse error. Tests use this to drive every
+//! degradation path deterministically — no timing dependence, no
+//! hoping a tiny real budget happens to run out in the right place.
+//!
+//! The harness is compiled in unconditionally but designed for tests: the
+//! disarmed fast path is a single thread-local flag read, and plans are
+//! thread-local so parallel test threads cannot interfere. Production
+//! callers simply never arm a plan.
+//!
+//! ```
+//! use picola_logic::budget::Budget;
+//! use picola_logic::chaos;
+//!
+//! let _guard = chaos::arm("espresso.iter", 0);
+//! let budget = Budget::unlimited();
+//! assert!(!budget.tick("espresso.iter", 1)); // fault fires immediately
+//! assert!(budget.is_exhausted());
+//! ```
+
+use std::cell::{Cell, RefCell};
+
+/// Every trigger point registered across the workspace.
+///
+/// Algorithm points are reached through [`crate::budget::Budget::tick`];
+/// parser points through [`fail_point`]. The cross-crate chaos test arms
+/// each of these in turn and asserts that (a) the fault fires and (b) no
+/// public API panics.
+pub const TRIGGER_POINTS: &[&str] = &[
+    // picola-logic
+    "espresso.iter",
+    "exact.primes",
+    "exact.node",
+    "pla.parse",
+    "mvpla.parse",
+    // picola-fsm
+    "kiss.parse",
+    // picola-core
+    "picola.column",
+    "picola.refine",
+    // picola-baselines
+    "anneal.move",
+    "nova.place",
+    "nova.improve",
+    "enc.eval",
+];
+
+struct Plan {
+    point: &'static str,
+    /// Hits remaining before the fault fires.
+    countdown: Cell<u64>,
+    /// Times the fault has fired.
+    fired: Cell<u64>,
+}
+
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    static PLAN: RefCell<Option<Plan>> = const { RefCell::new(None) };
+}
+
+/// Disarms the active plan when dropped, so a panicking test cannot leak
+/// chaos into the next test on the same thread.
+#[must_use]
+pub struct ChaosGuard(());
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        disarm();
+    }
+}
+
+/// Arms a plan on this thread: after `after` further hits of `point`, every
+/// subsequent hit fires the fault. `after = 0` fires on the first hit.
+///
+/// `point` must be one of [`TRIGGER_POINTS`] — arming a name that no code
+/// path reports would silently test nothing, so unknown names panic (this
+/// is a test-only API).
+#[allow(clippy::panic)] // documented contract: test-only API, fails loudly
+pub fn arm(point: &str, after: u64) -> ChaosGuard {
+    let point = TRIGGER_POINTS
+        .iter()
+        .find(|&&p| p == point)
+        .unwrap_or_else(|| panic!("chaos::arm: unknown trigger point {point:?}"));
+    PLAN.with(|p| {
+        *p.borrow_mut() = Some(Plan {
+            point,
+            countdown: Cell::new(after),
+            fired: Cell::new(0),
+        });
+    });
+    ARMED.with(|a| a.set(true));
+    ChaosGuard(())
+}
+
+/// Disarms any active plan on this thread.
+pub fn disarm() {
+    ARMED.with(|a| a.set(false));
+    PLAN.with(|p| *p.borrow_mut() = None);
+}
+
+/// Times the armed plan has fired (0 when disarmed).
+pub fn times_fired() -> u64 {
+    PLAN.with(|p| p.borrow().as_ref().map_or(0, |plan| plan.fired.get()))
+}
+
+/// Reports reaching `point`; returns `true` when the armed plan says the
+/// fault fires here. Called by [`crate::budget::Budget::tick`] and by the
+/// parser fail points; the disarmed fast path is one flag read.
+pub fn should_fire(point: &str) -> bool {
+    if !ARMED.with(|a| a.get()) {
+        return false;
+    }
+    PLAN.with(|p| {
+        let plan = p.borrow();
+        let Some(plan) = plan.as_ref() else {
+            return false;
+        };
+        if plan.point != point {
+            return false;
+        }
+        let remaining = plan.countdown.get();
+        if remaining > 0 {
+            plan.countdown.set(remaining - 1);
+            false
+        } else {
+            plan.fired.set(plan.fired.get() + 1);
+            true
+        }
+    })
+}
+
+/// Parser-side fail point: `Some(message)` when an armed plan fires at
+/// `point`, to be surfaced as a parse error.
+pub fn fail_point(point: &str) -> Option<String> {
+    if should_fire(point) {
+        Some(format!("injected fault at {point}"))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_never_fires() {
+        disarm();
+        assert!(!should_fire("espresso.iter"));
+        assert_eq!(times_fired(), 0);
+        assert!(fail_point("pla.parse").is_none());
+    }
+
+    #[test]
+    fn fires_after_countdown_and_keeps_firing() {
+        let _guard = arm("exact.node", 2);
+        assert!(!should_fire("exact.node"));
+        assert!(!should_fire("exact.node"));
+        assert!(should_fire("exact.node"));
+        assert!(should_fire("exact.node"), "keeps firing once triggered");
+        assert_eq!(times_fired(), 2);
+    }
+
+    #[test]
+    fn other_points_are_unaffected() {
+        let _guard = arm("exact.node", 0);
+        assert!(!should_fire("espresso.iter"));
+        assert!(should_fire("exact.node"));
+    }
+
+    #[test]
+    fn guard_disarms_on_drop() {
+        {
+            let _guard = arm("kiss.parse", 0);
+            assert!(fail_point("kiss.parse").is_some());
+        }
+        assert!(fail_point("kiss.parse").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown trigger point")]
+    fn unknown_points_are_rejected() {
+        let _ = arm("no.such.point", 0);
+    }
+}

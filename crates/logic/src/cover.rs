@@ -53,6 +53,9 @@ impl Cover {
     /// Panics if a cube string's length differs from the number of variables
     /// or contains characters other than `0`, `1`, `-`. Intended for tests
     /// and examples; use [`crate::pla`] for fallible parsing.
+    // Documented panicking convenience for tests/examples; `crate::pla`
+    // is the fallible path for untrusted input.
+    #[allow(clippy::panic)]
     pub fn parse(dom: &Domain, text: &str) -> Self {
         let mut cubes = Vec::new();
         for tok in text.split_whitespace() {

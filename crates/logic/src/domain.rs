@@ -229,6 +229,20 @@ impl Domain {
             .position(|v| v.kind == VarKind::Output)
     }
 
+    /// Index of the output variable, for domains that are guaranteed by
+    /// construction to have one (e.g. [`crate::pla::Pla::make_domain`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain has no output variable — a programmer error at
+    /// the call site, not an input-dependent condition. Callers handling
+    /// arbitrary domains must use [`Domain::output_var`] instead.
+    #[allow(clippy::expect_used)] // contract documented above; single sanctioned site
+    pub fn require_output_var(&self) -> usize {
+        self.output_var()
+            .expect("domain was constructed with an output variable")
+    }
+
     /// Indices of the non-output variables.
     pub fn input_vars(&self) -> impl Iterator<Item = usize> + '_ {
         (0..self.num_vars()).filter(|&i| self.var(i).kind() != VarKind::Output)

@@ -1,7 +1,52 @@
-//! Error types of the logic substrate.
+//! Error types and input limits of the logic substrate.
 
 use std::error::Error;
 use std::fmt;
+
+/// Hard caps applied while parsing untrusted PLA / multi-valued PLA / KISS2
+/// text, so hostile or corrupt inputs fail fast with a diagnostic instead of
+/// exhausting memory.
+///
+/// The defaults are far above anything in the benchmark suite (the largest
+/// MCNC-style machines have dozens of states and a few hundred product
+/// terms) while still bounding allocation to a few hundred megabytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum length of a single input line, in bytes.
+    pub max_line_len: usize,
+    /// Maximum number of product terms / transitions.
+    pub max_terms: usize,
+    /// Maximum number of (binary) input variables.
+    pub max_inputs: usize,
+    /// Maximum number of output functions.
+    pub max_outputs: usize,
+    /// Maximum number of symbolic states (KISS2) / values of one
+    /// multi-valued variable.
+    pub max_states: usize,
+    /// Maximum total positional parts of the underlying domain
+    /// (sum over variables of their value counts).
+    pub max_parts: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_line_len: 1 << 16,
+            max_terms: 1 << 20,
+            max_inputs: 4096,
+            max_outputs: 4096,
+            max_states: 65_536,
+            max_parts: 1 << 20,
+        }
+    }
+}
+
+impl ParseLimits {
+    /// Limits suitable for trusted, in-repo inputs (same as `default`).
+    pub fn generous() -> Self {
+        ParseLimits::default()
+    }
+}
 
 /// Error produced when parsing a PLA file fails.
 #[derive(Debug, Clone, PartialEq, Eq)]

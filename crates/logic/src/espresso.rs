@@ -1,5 +1,6 @@
 //! The ESPRESSO heuristic two-level minimization loop.
 
+use crate::budget::{Budget, Completion};
 use crate::cover::Cover;
 use crate::equiv::implements;
 use crate::essential::essentials;
@@ -66,14 +67,38 @@ pub fn espresso(on: &Cover, dc: &Cover) -> Cover {
 /// `on ⊆ f ⊆ on ∪ dc` (verified by debug assertions when
 /// `check_invariants` is set).
 pub fn espresso_with(on: &Cover, dc: &Cover, opts: &MinimizeOptions) -> Cover {
+    espresso_bounded(on, dc, opts, &Budget::unlimited()).0
+}
+
+/// Budget-aware [`espresso_with`]: polls `budget` once per main-loop
+/// iteration (trigger point `"espresso.iter"`) and stops refining when it
+/// runs out, returning the best cover found so far.
+///
+/// The returned cover always implements `(on, dc)` — even under immediate
+/// exhaustion the on-set itself (made single-cube-containment-free) is
+/// returned — so degradation costs quality, never correctness. The second
+/// component is [`Budget::completion`] as of return.
+pub fn espresso_bounded(
+    on: &Cover,
+    dc: &Cover,
+    opts: &MinimizeOptions,
+    budget: &Budget,
+) -> (Cover, Completion) {
     let dom = on.domain();
     assert_eq!(dom, dc.domain(), "espresso: domain mismatch");
     if on.is_empty() {
-        return Cover::empty(dom);
+        return (Cover::empty(dom), budget.completion());
+    }
+    // The off-set complement below can itself be expensive, so honor a
+    // budget that is already exhausted (or exhausts at entry) before it.
+    if !budget.tick("espresso.iter", 1) {
+        let mut f = on.clone();
+        f.scc();
+        return (f, budget.completion());
     }
     let off = complement(&on.union(dc));
     if off.is_empty() {
-        return Cover::universe(dom);
+        return (Cover::universe(dom), budget.completion());
     }
 
     let mut f = on.clone();
@@ -105,6 +130,9 @@ pub fn espresso_with(on: &Cover, dc: &Cover, opts: &MinimizeOptions) -> Cover {
     let mut iterations = 0;
     'outer: loop {
         while iterations < opts.max_iterations {
+            if !budget.tick("espresso.iter", 1) {
+                break 'outer;
+            }
             iterations += 1;
             if f.is_empty() {
                 break 'outer;
@@ -120,7 +148,7 @@ pub fn espresso_with(on: &Cover, dc: &Cover, opts: &MinimizeOptions) -> Cover {
                 break;
             }
         }
-        if !opts.use_last_gasp || iterations >= opts.max_iterations {
+        if !opts.use_last_gasp || iterations >= opts.max_iterations || budget.is_exhausted() {
             break;
         }
         match crate::gasp::last_gasp(&f, &dc_aug, &off) {
@@ -137,7 +165,7 @@ pub fn espresso_with(on: &Cover, dc: &Cover, opts: &MinimizeOptions) -> Cover {
     if opts.check_invariants {
         debug_assert!(implements(&f, on, dc), "espresso: result does not implement function");
     }
-    f
+    (f, budget.completion())
 }
 
 /// Convenience wrapper returning only the minimized cube count — the cost
@@ -213,6 +241,43 @@ mod tests {
         let all = Cover::parse(&dom, "00 01 10 11");
         let m = espresso(&all, &Cover::empty(&dom));
         assert!(m.has_full_cube());
+    }
+
+    #[test]
+    fn exhausted_budget_still_implements_function() {
+        let dom = Domain::binary(4);
+        let on = Cover::parse(&dom, "1100 0110 0011 1001 1111 0101");
+        let dc = Cover::parse(&dom, "0000");
+        // Work limit 0: exhausts on the entry tick, before any refinement.
+        let budget = crate::budget::Budget::with_work_limit(0);
+        let (f, completion) = espresso_bounded(&on, &dc, &MinimizeOptions::default(), &budget);
+        assert!(!completion.is_complete());
+        assert!(implements(&f, &on, &dc));
+    }
+
+    #[test]
+    fn tight_budget_degrades_mid_loop() {
+        let dom = Domain::binary(4);
+        let on = Cover::parse(&dom, "1100 0110 0011 1001 1111 0101");
+        let dc = Cover::empty(&dom);
+        // Allows the entry tick plus one loop iteration.
+        let budget = crate::budget::Budget::with_work_limit(2);
+        let (f, completion) = espresso_bounded(&on, &dc, &MinimizeOptions::default(), &budget);
+        assert!(implements(&f, &on, &dc));
+        // Either the loop converged within budget or it degraded; both are
+        // acceptable, but the cover must be valid regardless.
+        let _ = completion;
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbounded_result() {
+        let dom = Domain::binary(3);
+        let on = Cover::parse(&dom, "110 111 011");
+        let budget = crate::budget::Budget::unlimited();
+        let (f, completion) =
+            espresso_bounded(&on, &Cover::empty(&dom), &MinimizeOptions::default(), &budget);
+        assert!(completion.is_complete());
+        assert_eq!(f.len(), espresso(&on, &Cover::empty(&dom)).len());
     }
 
     #[test]

@@ -5,42 +5,89 @@
 //! only on functions with a small input space (the PICOLA constraint
 //! functions, with `nv ≤ 8` code bits, qualify). Serves as a quality oracle
 //! for the heuristic [`crate::espresso()`] in tests and ablations.
+//!
+//! Both phases are budget-bounded: prime generation ticks `"exact.primes"`
+//! per consensus pair and the covering search ticks `"exact.node"` per
+//! branch-and-bound node. Exhaustion never panics — the best (greedy or
+//! partially-searched) cover found so far comes back as
+//! [`ExactOutcome::Truncated`].
 
+use crate::budget::Budget;
 use crate::cover::Cover;
-use crate::primes::all_primes;
+use crate::primes::all_primes_bounded;
+
+/// Point-enumeration guard: domains with more total points than this are
+/// refused (gracefully, via [`ExactOutcome::Truncated`]) rather than
+/// enumerated, since the covering matrix alone would exhaust memory.
+const MAX_EXACT_POINTS: u64 = 1 << 20;
 
 /// Result of an exact minimization attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExactOutcome {
     /// A provably minimum cover was found.
     Minimum(Cover),
-    /// The search was abandoned after exceeding the node budget; the best
-    /// cover found so far is returned.
-    BudgetExceeded(Cover),
+    /// The budget ran out (or the domain was too large to enumerate);
+    /// the best valid cover found so far is returned.
+    Truncated(Cover),
 }
 
 impl ExactOutcome {
     /// The cover, minimal or best-effort.
     pub fn cover(&self) -> &Cover {
         match self {
-            ExactOutcome::Minimum(c) | ExactOutcome::BudgetExceeded(c) => c,
+            ExactOutcome::Minimum(c) | ExactOutcome::Truncated(c) => c,
         }
+    }
+
+    /// `true` when the cover is provably minimum.
+    pub fn is_minimum(&self) -> bool {
+        matches!(self, ExactOutcome::Minimum(_))
     }
 }
 
-/// Exactly minimizes `(on, dc)` with a search budget of `max_nodes`
-/// branch-and-bound nodes.
+/// Exactly minimizes `(on, dc)` with a search budget of `max_nodes` work
+/// units shared between prime generation and branch-and-bound search.
 ///
 /// # Panics
 ///
 /// Panics if the domains differ.
 pub fn exact_minimize(on: &Cover, dc: &Cover, max_nodes: usize) -> ExactOutcome {
+    exact_minimize_bounded(on, dc, &Budget::with_work_limit(max_nodes as u64))
+}
+
+/// Exactly minimizes `(on, dc)` under `budget`.
+///
+/// The returned cover always implements the function: prime generation
+/// preserves coverage of the on-set even when truncated, and a greedy
+/// selection provides a valid cover before the branch-and-bound search
+/// refines it. Degradation costs minimality, never correctness.
+///
+/// # Panics
+///
+/// Panics if the domains differ.
+pub fn exact_minimize_bounded(on: &Cover, dc: &Cover, budget: &Budget) -> ExactOutcome {
     let dom = on.domain();
     assert_eq!(dom, dc.domain(), "exact_minimize: domain mismatch");
     if on.is_empty() {
         return ExactOutcome::Minimum(Cover::empty(dom));
     }
-    let primes = all_primes(on, dc);
+
+    let fallback = || {
+        let mut f = on.clone();
+        f.scc();
+        ExactOutcome::Truncated(f)
+    };
+
+    // Refuse to enumerate astronomically large domains.
+    let total_points = (0..dom.num_vars())
+        .map(|v| dom.var(v).parts() as u64)
+        .try_fold(1u64, |acc, p| acc.checked_mul(p))
+        .unwrap_or(u64::MAX);
+    if total_points > MAX_EXACT_POINTS {
+        return fallback();
+    }
+
+    let (primes, primes_complete) = all_primes_bounded(on, dc, budget);
 
     // Minterms of the on-set that must be covered.
     let points: Vec<Vec<usize>> = Cover::enumerate_points(dom)
@@ -59,21 +106,29 @@ pub fn exact_minimize(on: &Cover, dc: &Cover, max_nodes: usize) -> ExactOutcome 
 
     let npts = points.len();
     let nprimes = primes.len();
-    let mut nodes = 0usize;
-    let mut exceeded = false;
 
-    // Greedy initial solution for an upper bound.
+    // Greedy initial solution for an upper bound (and as the guaranteed
+    // best-so-far under budget exhaustion). Runs unbudgeted: it is
+    // polynomial and provides the degradation result itself.
     let mut best: Option<Vec<usize>> = {
         let mut chosen = Vec::new();
         let mut covered = vec![false; npts];
+        let mut stuck = false;
         while covered.iter().any(|&c| !c) {
-            let (bi, _) = (0..nprimes)
+            let pick = (0..nprimes)
                 .map(|i| {
                     let gain = (0..npts).filter(|&j| !covered[j] && cov[i][j]).count();
                     (i, gain)
                 })
                 .max_by_key(|&(_, g)| g)
-                .expect("primes cover the on-set");
+                .filter(|&(_, g)| g > 0);
+            let Some((bi, _)) = pick else {
+                // No implicant covers a remaining point — only reachable if
+                // prime generation returned an incomplete set, which it
+                // never does for the on-set; bail out defensively.
+                stuck = true;
+                break;
+            };
             chosen.push(bi);
             for j in 0..npts {
                 if cov[bi][j] {
@@ -81,23 +136,25 @@ pub fn exact_minimize(on: &Cover, dc: &Cover, max_nodes: usize) -> ExactOutcome 
                 }
             }
         }
-        Some(chosen)
+        if stuck {
+            None
+        } else {
+            Some(chosen)
+        }
     };
+    if best.is_none() {
+        return fallback();
+    }
 
-    #[allow(clippy::too_many_arguments)]
     fn search(
         cov: &[Vec<bool>],
         npts: usize,
         covered: &mut Vec<bool>,
         chosen: &mut Vec<usize>,
         best: &mut Option<Vec<usize>>,
-        nodes: &mut usize,
-        max_nodes: usize,
-        exceeded: &mut bool,
+        budget: &Budget,
     ) {
-        *nodes += 1;
-        if *nodes > max_nodes {
-            *exceeded = true;
+        if !budget.tick("exact.node", 1) {
             return;
         }
         // Find the first uncovered point; none left means a complete cover.
@@ -123,12 +180,12 @@ pub fn exact_minimize(on: &Cover, dc: &Cover, max_nodes: usize) -> ExactOutcome 
                 covered[k] = true;
             }
             chosen.push(i);
-            search(cov, npts, covered, chosen, best, nodes, max_nodes, exceeded);
+            search(cov, npts, covered, chosen, best, budget);
             chosen.pop();
             for &k in &newly {
                 covered[k] = false;
             }
-            if *exceeded {
+            if budget.is_exhausted() {
                 return;
             }
         }
@@ -136,16 +193,16 @@ pub fn exact_minimize(on: &Cover, dc: &Cover, max_nodes: usize) -> ExactOutcome 
 
     let mut covered = vec![false; npts];
     let mut chosen = Vec::new();
-    search(
-        &cov, npts, &mut covered, &mut chosen, &mut best, &mut nodes, max_nodes, &mut exceeded,
-    );
+    search(&cov, npts, &mut covered, &mut chosen, &mut best, budget);
 
-    let chosen = best.expect("a cover exists");
+    let Some(chosen) = best else {
+        return fallback();
+    };
     let cover = Cover::from_cubes(dom, chosen.iter().map(|&i| primes.cubes()[i].clone()));
-    if exceeded {
-        ExactOutcome::BudgetExceeded(cover)
-    } else {
+    if primes_complete && !budget.is_exhausted() {
         ExactOutcome::Minimum(cover)
+    } else {
+        ExactOutcome::Truncated(cover)
     }
 }
 
@@ -161,11 +218,9 @@ mod tests {
         let dom = Domain::binary(3);
         let on = Cover::parse(&dom, "110 111 011");
         let out = exact_minimize(&on, &Cover::empty(&dom), 100_000);
-        let ExactOutcome::Minimum(c) = out else {
-            panic!("budget should suffice")
-        };
-        assert_eq!(c.len(), 2);
-        assert!(implements(&c, &on, &Cover::empty(&dom)));
+        assert!(out.is_minimum(), "budget should suffice: {out:?}");
+        assert_eq!(out.cover().len(), 2);
+        assert!(implements(out.cover(), &on, &Cover::empty(&dom)));
     }
 
     #[test]
@@ -204,5 +259,58 @@ mod tests {
         let dom = Domain::binary(2);
         let out = exact_minimize(&Cover::empty(&dom), &Cover::empty(&dom), 10);
         assert!(out.cover().is_empty());
+    }
+
+    #[test]
+    fn exhausted_budget_truncates_but_stays_valid() {
+        let dom = Domain::binary(4);
+        let on = Cover::parse(&dom, "1100 0110 0011 1001 1111 0101");
+        let dc = Cover::empty(&dom);
+        for limit in [0u64, 1, 3, 10, 50] {
+            let budget = Budget::with_work_limit(limit);
+            let out = exact_minimize_bounded(&on, &dc, &budget);
+            assert_eq!(
+                out.is_minimum(),
+                !budget.is_exhausted(),
+                "minimality claim must match budget state at limit {limit}"
+            );
+            assert!(
+                implements(out.cover(), &on, &dc),
+                "limit {limit} produced an invalid cover"
+            );
+        }
+        // A tiny limit certainly cannot finish the two phases.
+        let tiny = Budget::with_work_limit(3);
+        assert!(!exact_minimize_bounded(&on, &dc, &tiny).is_minimum());
+    }
+
+    #[test]
+    fn injected_fault_at_primes_truncates() {
+        let _guard = crate::chaos::arm("exact.primes", 0);
+        let dom = Domain::binary(3);
+        let on = Cover::parse(&dom, "110 111 011");
+        let budget = Budget::unlimited();
+        let out = exact_minimize_bounded(&on, &Cover::empty(&dom), &budget);
+        assert!(!out.is_minimum());
+        assert!(implements(out.cover(), &on, &Cover::empty(&dom)));
+    }
+
+    #[test]
+    fn injected_fault_at_search_node_truncates() {
+        let _guard = crate::chaos::arm("exact.node", 0);
+        let dom = Domain::binary(3);
+        let on = Cover::parse(&dom, "110 111 011");
+        let out = exact_minimize_bounded(&on, &Cover::empty(&dom), &Budget::unlimited());
+        assert!(!out.is_minimum());
+        assert!(implements(out.cover(), &on, &Cover::empty(&dom)));
+    }
+
+    #[test]
+    fn oversized_domain_is_refused_gracefully() {
+        let dom = Domain::binary(24);
+        let on = Cover::parse(&dom, "1-----------------------");
+        let out = exact_minimize_bounded(&on, &Cover::empty(&dom), &Budget::unlimited());
+        assert!(!out.is_minimum());
+        assert!(implements(out.cover(), &on, &Cover::empty(&dom)));
     }
 }

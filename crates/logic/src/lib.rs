@@ -31,9 +31,13 @@
 //! - [`primes`] / [`exact`]: exact prime generation and covering.
 //! - [`equiv`]: containment/equivalence checks.
 //! - [`pla`]: Berkeley PLA text format.
+//! - [`budget`] / [`chaos`]: execution budgets with graceful degradation and
+//!   the deterministic fault-injection harness that tests them.
 
 #![warn(missing_docs)]
 
+pub mod budget;
+pub mod chaos;
 pub mod cover;
 pub mod cube;
 pub mod domain;
@@ -54,21 +58,24 @@ pub mod sharp;
 pub mod urp;
 pub mod verify;
 
+pub use budget::{Budget, Completion, ExhaustReason};
 pub use cover::Cover;
 pub use cube::Cube;
 pub use domain::{Domain, DomainBuilder, Var, VarKind};
 pub use equiv::{cover_contains, cover_covers_cube, equivalent, implements};
-pub use error::ParsePlaError;
-pub use espresso::{espresso, espresso_with, minimized_cube_count, MinimizeOptions};
+pub use error::{ParseLimits, ParsePlaError};
+pub use espresso::{
+    espresso, espresso_bounded, espresso_with, minimized_cube_count, MinimizeOptions,
+};
 pub use essential::essentials;
-pub use exact::{exact_minimize, ExactOutcome};
+pub use exact::{exact_minimize, exact_minimize_bounded, ExactOutcome};
 pub use expand::expand;
 pub use gasp::last_gasp;
 pub use irredundant::irredundant;
 pub use measure::{cover_density, cover_minterms, cube_minterms};
-pub use mv_pla::{parse_mv_pla, write_mv_pla};
-pub use pla::{parse_pla, write_pla, Pla, PlaType};
-pub use primes::all_primes;
+pub use mv_pla::{parse_mv_pla, parse_mv_pla_with, write_mv_pla};
+pub use pla::{parse_pla, parse_pla_with, write_pla, Pla, PlaType};
+pub use primes::{all_primes, all_primes_bounded};
 pub use reduce::reduce;
 pub use sharp::{cover_sharp, cube_sharp};
 pub use urp::{complement, cube_complement, tautology};

@@ -11,29 +11,59 @@
 //! reader/writer here lets the benches and the CLI exchange such problems
 //! directly.
 
+use crate::chaos;
 use crate::cover::Cover;
 use crate::cube::Cube;
 use crate::domain::{Domain, DomainBuilder};
-use crate::error::ParsePlaError;
+use crate::error::{ParseLimits, ParsePlaError};
 use std::fmt::Write as _;
 
-/// Parses a multi-valued PLA, returning its domain and on-set cover.
+/// Parses a multi-valued PLA with default [`ParseLimits`], returning its
+/// domain and on-set cover.
 ///
 /// # Errors
 ///
 /// Returns [`ParsePlaError`] on malformed headers, width mismatches, or
 /// illegal characters.
 pub fn parse_mv_pla(text: &str) -> Result<(Domain, Cover), ParsePlaError> {
+    parse_mv_pla_with(text, &ParseLimits::default())
+}
+
+/// Parses a multi-valued PLA, enforcing explicit input `limits` so untrusted
+/// files fail fast with a line-numbered diagnostic instead of exhausting
+/// memory.
+///
+/// # Errors
+///
+/// Returns [`ParsePlaError`] on malformed headers, width mismatches,
+/// illegal characters, or when any of the `limits` is exceeded.
+pub fn parse_mv_pla_with(
+    text: &str,
+    limits: &ParseLimits,
+) -> Result<(Domain, Cover), ParsePlaError> {
+    if let Some(msg) = chaos::fail_point("mvpla.parse") {
+        return Err(ParsePlaError::new(0, &msg));
+    }
     let mut sizes: Option<Vec<usize>> = None;
     let mut num_binary = 0usize;
     let mut cube_lines: Vec<(usize, String)> = Vec::new();
 
     for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if raw.len() > limits.max_line_len {
+            return Err(ParsePlaError::new(
+                lineno,
+                &format!(
+                    "line length {} exceeds the limit of {} bytes",
+                    raw.len(),
+                    limits.max_line_len
+                ),
+            ));
+        }
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
-        let lineno = lineno + 1;
         if let Some(rest) = line.strip_prefix('.') {
             let mut it = rest.split_whitespace();
             match it.next().unwrap_or("") {
@@ -60,6 +90,44 @@ pub fn parse_mv_pla(text: &str) -> Result<(Domain, Cover), ParsePlaError> {
                             "size list does not match the variable count",
                         ));
                     }
+                    if num_binary > limits.max_inputs {
+                        return Err(ParsePlaError::new(
+                            lineno,
+                            &format!(
+                                "{num_binary} binary variables exceed the limit of {}",
+                                limits.max_inputs
+                            ),
+                        ));
+                    }
+                    for &s in mv_sizes {
+                        if s == 0 {
+                            return Err(ParsePlaError::new(
+                                lineno,
+                                "multi-valued variable sizes must be at least 1",
+                            ));
+                        }
+                        if s > limits.max_states {
+                            return Err(ParsePlaError::new(
+                                lineno,
+                                &format!(
+                                    "multi-valued size {s} exceeds the limit of {}",
+                                    limits.max_states
+                                ),
+                            ));
+                        }
+                    }
+                    let total_parts = 2usize
+                        .saturating_mul(num_binary)
+                        .saturating_add(mv_sizes.iter().fold(0usize, |a, &s| a.saturating_add(s)));
+                    if total_parts > limits.max_parts {
+                        return Err(ParsePlaError::new(
+                            lineno,
+                            &format!(
+                                "domain needs {total_parts} positional parts, exceeding the limit of {}",
+                                limits.max_parts
+                            ),
+                        ));
+                    }
                     sizes = Some(mv_sizes.to_vec());
                 }
                 "p" | "ilb" | "ob" | "type" => { /* informational */ }
@@ -72,6 +140,12 @@ pub fn parse_mv_pla(text: &str) -> Result<(Domain, Cover), ParsePlaError> {
                 }
             }
         } else {
+            if cube_lines.len() >= limits.max_terms {
+                return Err(ParsePlaError::new(
+                    lineno,
+                    &format!("more than {} product terms", limits.max_terms),
+                ));
+            }
             cube_lines.push((lineno, line.to_owned()));
         }
     }
@@ -295,5 +369,39 @@ mod tests {
         let (dom, cover) = parse_mv_pla(text).unwrap();
         assert_eq!(dom.num_vars(), 2);
         assert_eq!(cover.len(), 1);
+    }
+
+    #[test]
+    fn zero_sized_mv_variable_rejected() {
+        assert!(parse_mv_pla(".mv 2 0 0 2\n").is_err());
+    }
+
+    #[test]
+    fn oversized_header_rejected() {
+        let limits = ParseLimits {
+            max_states: 8,
+            ..ParseLimits::default()
+        };
+        let err = parse_mv_pla_with(".mv 2 0 100 2\n", &limits).unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("limit"), "{err}");
+    }
+
+    #[test]
+    fn term_limit_enforced() {
+        let limits = ParseLimits {
+            max_terms: 1,
+            ..ParseLimits::default()
+        };
+        let text = ".mv 2 0 2 2\n10 | 10\n01 | 01\n";
+        let err = parse_mv_pla_with(text, &limits).unwrap_err();
+        assert_eq!(err.line(), 3);
+    }
+
+    #[test]
+    fn injected_parse_fault_surfaces_as_error() {
+        let _guard = chaos::arm("mvpla.parse", 0);
+        let err = parse_mv_pla(SAMPLE).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
     }
 }

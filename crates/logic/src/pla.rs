@@ -5,10 +5,11 @@
 //! read from text; multi-valued covers are built programmatically (see
 //! [`crate::DomainBuilder`]).
 
+use crate::chaos;
 use crate::cover::Cover;
 use crate::cube::Cube;
 use crate::domain::{Domain, DomainBuilder};
-use crate::error::ParsePlaError;
+use crate::error::{ParseLimits, ParsePlaError};
 use std::fmt::Write as _;
 
 /// Logical PLA type, mirroring ESPRESSO's `.type` directive.
@@ -74,18 +75,33 @@ impl Pla {
 
     /// Number of outputs.
     pub fn num_outputs(&self) -> usize {
-        let ov = self.domain.output_var().expect("PLA domain has an output var");
-        self.domain.var(ov).parts()
+        self.domain.var(self.domain.require_output_var()).parts()
     }
 }
 
-/// Parses a PLA from text.
+/// Parses a PLA from text with default [`ParseLimits`].
 ///
 /// # Errors
 ///
 /// Returns [`ParsePlaError`] when directives are missing or malformed, or a
 /// cube line has the wrong width or an unknown character.
 pub fn parse_pla(text: &str) -> Result<Pla, ParsePlaError> {
+    parse_pla_with(text, &ParseLimits::default())
+}
+
+/// Parses a PLA from text, enforcing explicit input `limits` so untrusted
+/// files fail fast with a line-numbered diagnostic instead of exhausting
+/// memory.
+///
+/// # Errors
+///
+/// Returns [`ParsePlaError`] when directives are missing or malformed, a
+/// cube line has the wrong width or an unknown character, or any of the
+/// `limits` is exceeded.
+pub fn parse_pla_with(text: &str, limits: &ParseLimits) -> Result<Pla, ParsePlaError> {
+    if let Some(msg) = chaos::fail_point("pla.parse") {
+        return Err(ParsePlaError::new(0, &msg));
+    }
     let mut ni: Option<usize> = None;
     let mut no: Option<usize> = None;
     let mut ty = PlaType::Fd;
@@ -94,30 +110,49 @@ pub fn parse_pla(text: &str) -> Result<Pla, ParsePlaError> {
     let mut cube_lines: Vec<(usize, String)> = Vec::new();
 
     for (lineno, raw) in text.lines().enumerate() {
+        let err = |msg: &str| ParsePlaError::new(lineno + 1, msg);
+        if raw.len() > limits.max_line_len {
+            return Err(err(&format!(
+                "line length {} exceeds the limit of {} bytes",
+                raw.len(),
+                limits.max_line_len
+            )));
+        }
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
-        let err = |msg: &str| ParsePlaError::new(lineno + 1, msg);
         if let Some(rest) = line.strip_prefix('.') {
             let mut it = rest.split_whitespace();
             let key = it.next().unwrap_or("");
             match key {
                 "i" => {
-                    ni = Some(
-                        it.next()
-                            .ok_or_else(|| err(".i needs a count"))?
-                            .parse()
-                            .map_err(|_| err(".i count is not a number"))?,
-                    )
+                    let n: usize = it
+                        .next()
+                        .ok_or_else(|| err(".i needs a count"))?
+                        .parse()
+                        .map_err(|_| err(".i count is not a number"))?;
+                    if n > limits.max_inputs {
+                        return Err(err(&format!(
+                            ".i {n} exceeds the limit of {} inputs",
+                            limits.max_inputs
+                        )));
+                    }
+                    ni = Some(n);
                 }
                 "o" => {
-                    no = Some(
-                        it.next()
-                            .ok_or_else(|| err(".o needs a count"))?
-                            .parse()
-                            .map_err(|_| err(".o count is not a number"))?,
-                    )
+                    let n: usize = it
+                        .next()
+                        .ok_or_else(|| err(".o needs a count"))?
+                        .parse()
+                        .map_err(|_| err(".o count is not a number"))?;
+                    if n > limits.max_outputs {
+                        return Err(err(&format!(
+                            ".o {n} exceeds the limit of {} outputs",
+                            limits.max_outputs
+                        )));
+                    }
+                    no = Some(n);
                 }
                 "p" => { /* product-term count: informational */ }
                 "ilb" => input_labels = it.map(str::to_owned).collect(),
@@ -139,18 +174,34 @@ pub fn parse_pla(text: &str) -> Result<Pla, ParsePlaError> {
                 _ => return Err(err(&format!("unknown directive .{key}"))),
             }
         } else {
+            if cube_lines.len() >= limits.max_terms {
+                return Err(err(&format!(
+                    "more than {} product terms",
+                    limits.max_terms
+                )));
+            }
             cube_lines.push((lineno + 1, line.to_owned()));
         }
     }
 
     let ni = ni.ok_or_else(|| ParsePlaError::new(0, "missing .i directive"))?;
     let no = no.ok_or_else(|| ParsePlaError::new(0, "missing .o directive"))?;
+    let total_parts = 2 * ni + no.max(1);
+    if total_parts > limits.max_parts {
+        return Err(ParsePlaError::new(
+            0,
+            &format!(
+                "domain needs {total_parts} positional parts, exceeding the limit of {}",
+                limits.max_parts
+            ),
+        ));
+    }
     let mut pla = Pla::new(ni, no);
     pla.ty = ty;
     pla.input_labels = input_labels;
     pla.output_labels = output_labels;
     let dom = pla.domain.clone();
-    let ov = dom.output_var().expect("output var");
+    let ov = dom.require_output_var();
     let out_off = dom.var(ov).offset();
 
     for (lineno, line) in cube_lines {
@@ -218,7 +269,7 @@ pub fn parse_pla(text: &str) -> Result<Pla, ParsePlaError> {
 }
 
 fn render_line(dom: &Domain, c: &Cube, ni: usize, no: usize, on_char: char, rest_char: char) -> String {
-    let ov = dom.output_var().expect("output var");
+    let ov = dom.require_output_var();
     let out_off = dom.var(ov).offset();
     let mut s = String::with_capacity(ni + no + 1);
     for v in 0..ni {
@@ -329,5 +380,48 @@ mod tests {
     fn width_mismatch_rejected() {
         let text = ".i 2\n.o 1\n111 1\n.e\n";
         assert!(parse_pla(text).is_err());
+    }
+
+    #[test]
+    fn oversized_declarations_rejected() {
+        let limits = ParseLimits {
+            max_inputs: 4,
+            max_outputs: 2,
+            ..ParseLimits::default()
+        };
+        let err = parse_pla_with(".i 100\n.o 1\n.e\n", &limits).unwrap_err();
+        assert!(err.to_string().contains("limit"), "{err}");
+        assert_eq!(err.line(), 1);
+        assert!(parse_pla_with(".i 2\n.o 3\n.e\n", &limits).is_err());
+        assert!(parse_pla_with(".i 2\n.o 1\n11 1\n.e\n", &limits).is_ok());
+    }
+
+    #[test]
+    fn too_many_terms_rejected() {
+        let limits = ParseLimits {
+            max_terms: 2,
+            ..ParseLimits::default()
+        };
+        let text = ".i 2\n.o 1\n00 1\n01 1\n10 1\n.e\n";
+        let err = parse_pla_with(text, &limits).unwrap_err();
+        assert_eq!(err.line(), 5);
+    }
+
+    #[test]
+    fn overlong_line_rejected() {
+        let limits = ParseLimits {
+            max_line_len: 16,
+            ..ParseLimits::default()
+        };
+        let text = format!(".i 2\n.o 1\n# {}\n11 1\n.e\n", "x".repeat(64));
+        let err = parse_pla_with(&text, &limits).unwrap_err();
+        assert_eq!(err.line(), 3);
+    }
+
+    #[test]
+    fn injected_parse_fault_surfaces_as_error() {
+        let _guard = chaos::arm("pla.parse", 0);
+        let err = parse_pla(SAMPLE).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
     }
 }

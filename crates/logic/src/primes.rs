@@ -3,6 +3,7 @@
 //! Exponential in the worst case; used for exact minimization of small
 //! functions and as a ground-truth oracle in tests.
 
+use crate::budget::Budget;
 use crate::cover::Cover;
 use crate::cube::Cube;
 
@@ -13,17 +14,40 @@ use crate::cube::Cube;
 /// The primes are primes of `on ∪ dc`; a minimal cover selection against the
 /// on-set is a separate (covering) problem — see [`crate::exact_minimize`].
 pub fn all_primes(on: &Cover, dc: &Cover) -> Cover {
+    all_primes_bounded(on, dc, &Budget::unlimited()).0
+}
+
+/// Budget-aware [`all_primes`]: ticks `budget` (trigger point
+/// `"exact.primes"`) once per consensus pair examined.
+///
+/// On exhaustion returns the implicants accumulated so far — a
+/// single-cube-containment-free set of implicants of `on ∪ dc` that still
+/// covers the on-set (the initial cubes are never dropped, only absorbed by
+/// larger implicants), just not necessarily all of them prime. The boolean
+/// is `true` when the set is the complete prime set.
+pub fn all_primes_bounded(on: &Cover, dc: &Cover, budget: &Budget) -> (Cover, bool) {
     let dom = on.domain();
     assert_eq!(dom, dc.domain(), "all_primes: domain mismatch");
     let mut cover = on.union(dc);
     cover.scc();
     let mut cubes: Vec<Cube> = cover.cubes().to_vec();
 
-    loop {
+    let mut complete = true;
+    'grow: loop {
         let mut added = false;
         let mut new_cubes: Vec<Cube> = Vec::new();
         for i in 0..cubes.len() {
             for j in (i + 1)..cubes.len() {
+                if !budget.tick("exact.primes", 1) {
+                    complete = false;
+                    // Keep what the pass produced so far; absorption below
+                    // still runs so the result is containment-free.
+                    cubes.extend(new_cubes);
+                    let mut cov = Cover::from_cubes(dom, cubes.drain(..));
+                    cov.scc();
+                    cubes = cov.cubes().to_vec();
+                    break 'grow;
+                }
                 if let Some(c) = cubes[i].consensus(&cubes[j], dom) {
                     let absorbed = cubes.iter().chain(new_cubes.iter()).any(|k| k.covers(&c));
                     if !absorbed {
@@ -47,7 +71,7 @@ pub fn all_primes(on: &Cover, dc: &Cover) -> Cover {
 
     let mut out = Cover::from_cubes(dom, cubes);
     out.scc();
-    out
+    (out, complete)
 }
 
 #[cfg(test)]
@@ -81,6 +105,25 @@ mod tests {
         let dc = Cover::parse(&dom, "10");
         let p = all_primes(&on, &dc);
         assert_eq!(p.cubes()[0].render(&dom), "1 -");
+    }
+
+    #[test]
+    fn truncated_primes_still_cover_the_on_set() {
+        let dom = Domain::binary(4);
+        let on = Cover::parse(&dom, "1100 0110 0011 1001 1111 0101 1010");
+        let budget = Budget::with_work_limit(3);
+        let (p, complete) = all_primes_bounded(&on, &Cover::empty(&dom), &budget);
+        assert!(!complete);
+        assert!(crate::equiv::cover_contains(&p, &on), "on-set must stay covered");
+    }
+
+    #[test]
+    fn unlimited_budget_reports_complete() {
+        let dom = Domain::binary(3);
+        let on = Cover::parse(&dom, "110 111 011");
+        let (p, complete) = all_primes_bounded(&on, &Cover::empty(&dom), &Budget::unlimited());
+        assert!(complete);
+        assert_eq!(p.len(), 2);
     }
 
     #[test]

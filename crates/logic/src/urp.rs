@@ -147,8 +147,7 @@ fn compl_rec(dom: &Domain, cubes: &[Cube]) -> Vec<Cube> {
     // Lift cubes common to all branches: they belong to the complement with
     // variable `v` left full, saving `parts` restricted copies.
     let mut out: Vec<Cube> = Vec::new();
-    if parts > 1 {
-        let (first, rest) = branch_results.split_first().unwrap();
+    if let [first, rest @ ..] = branch_results.as_slice() {
         let mut lifted: Vec<Cube> = Vec::new();
         for c in first {
             if rest.iter().all(|b| b.contains(c)) {
@@ -168,8 +167,6 @@ fn compl_rec(dom: &Domain, cubes: &[Cube]) -> Vec<Cube> {
             }
         }
         out.extend(lifted);
-    } else {
-        out = branch_results.pop().unwrap();
     }
     scc_list(dom, out)
 }

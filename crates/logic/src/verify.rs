@@ -29,7 +29,9 @@ pub fn first_point_of(dom: &Domain, c: &Cube) -> Point {
             dom.var(v)
                 .part_range()
                 .position(|p| c.has_part(p))
-                .expect("valid cube has a part per variable")
+                // Cover never stores invalid cubes (every variable has at
+                // least one part set), so this branch cannot be taken.
+                .unwrap_or_else(|| unreachable!("valid cube has a part per variable"))
         })
         .collect()
 }

@@ -1,0 +1,127 @@
+//! Fuzzers for the PLA and MV-PLA parsers.
+//!
+//! Property: whatever bytes come in — malformed, truncated, oversized —
+//! the parsers return `Err` with a line number inside the input (or 0 for
+//! file-level diagnostics); they never panic and never hang.
+
+// Tests are exempt from the panic-freedom policy; clippy's in-tests
+// exemption misses integration-test helpers, so waive it explicitly.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use picola_logic::error::ParseLimits;
+use picola_logic::{parse_mv_pla, parse_mv_pla_with, parse_pla, parse_pla_with};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A printable-ish byte soup biased toward PLA syntax so the fuzzer
+/// reaches past the first tokenizer error.
+fn soup() -> impl Strategy<Value = String> {
+    vec(any::<u8>(), 0..400).prop_map(|bytes| {
+        const ALPHABET: &[u8] = b"01-~ .ieop\n\t#mvrs2|X";
+        bytes
+            .iter()
+            .map(|&b| ALPHABET[b as usize % ALPHABET.len()] as char)
+            .collect()
+    })
+}
+
+/// A structurally valid PLA document to mutate and truncate.
+fn valid_pla(terms: usize) -> String {
+    let mut s = String::from(".i 3\n.o 2\n");
+    for t in 0..terms {
+        let a = if t % 2 == 0 { '0' } else { '1' };
+        let b = if t % 3 == 0 { '-' } else { '1' };
+        s.push_str(&format!("{a}{b}0 1{}\n", if t % 2 == 0 { '0' } else { '1' }));
+    }
+    s.push_str(".e\n");
+    s
+}
+
+/// A structurally valid MV-PLA document to mutate and truncate.
+fn valid_mv_pla(terms: usize) -> String {
+    let mut s = String::from(".mv 4 2 3 4\n");
+    for t in 0..terms {
+        let a = if t % 2 == 0 { '0' } else { '1' };
+        s.push_str(&format!("{a}- 110 101{}\n", if t % 2 == 0 { '0' } else { '1' }));
+    }
+    s.push_str(".e\n");
+    s
+}
+
+fn line_count(text: &str) -> usize {
+    text.lines().count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pla_parser_never_panics_on_soup(text in soup()) {
+        if let Err(e) = parse_pla(&text) {
+            prop_assert!(
+                e.line() <= line_count(&text),
+                "line {} outside {}-line input",
+                e.line(),
+                line_count(&text)
+            );
+        }
+    }
+
+    #[test]
+    fn mv_pla_parser_never_panics_on_soup(text in soup()) {
+        if let Err(e) = parse_mv_pla(&text) {
+            prop_assert!(e.line() <= line_count(&text));
+        }
+    }
+
+    #[test]
+    fn truncated_pla_errors_stay_in_bounds(terms in 1usize..20, cut in 0usize..200) {
+        let full = valid_pla(terms);
+        let cut = cut.min(full.len());
+        let text = &full[..cut];
+        if let Err(e) = parse_pla(text) {
+            prop_assert!(e.line() <= line_count(text) + 1);
+        }
+    }
+
+    #[test]
+    fn corrupted_pla_never_panics(terms in 1usize..20, pos in 0usize..200, byte in 0u8..128) {
+        let mut full = valid_pla(terms).into_bytes();
+        if !full.is_empty() {
+            let pos = pos % full.len();
+            full[pos] = byte;
+        }
+        let text = String::from_utf8_lossy(&full).into_owned();
+        let _ = parse_pla(&text);
+    }
+
+    #[test]
+    fn corrupted_mv_pla_never_panics(terms in 1usize..20, pos in 0usize..200, byte in 0u8..128) {
+        let mut full = valid_mv_pla(terms).into_bytes();
+        if !full.is_empty() {
+            let pos = pos % full.len();
+            full[pos] = byte;
+        }
+        let text = String::from_utf8_lossy(&full).into_owned();
+        let _ = parse_mv_pla(&text);
+    }
+
+    #[test]
+    fn oversized_pla_is_rejected_not_loaded(terms in 5usize..40) {
+        let limits = ParseLimits { max_terms: 4, ..ParseLimits::default() };
+        let text = valid_pla(terms);
+        let err = parse_pla_with(&text, &limits).unwrap_err();
+        prop_assert!(err.line() <= line_count(&text));
+        // under generous limits the same document parses
+        prop_assert!(parse_pla_with(&text, &ParseLimits::default()).is_ok());
+    }
+
+    #[test]
+    fn oversized_mv_pla_is_rejected_not_loaded(terms in 5usize..40) {
+        let limits = ParseLimits { max_terms: 4, ..ParseLimits::default() };
+        let text = valid_mv_pla(terms);
+        let err = parse_mv_pla_with(&text, &limits).unwrap_err();
+        prop_assert!(err.line() <= line_count(&text));
+        prop_assert!(parse_mv_pla_with(&text, &ParseLimits::default()).is_ok());
+    }
+}

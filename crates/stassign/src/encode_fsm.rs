@@ -44,7 +44,7 @@ pub fn encode_machine(fsm: &Fsm, enc: &Encoding) -> EncodedMachine {
         builder = builder.binary(&format!("y{b}"));
     }
     let domain = builder.output("z", nv + no).build();
-    let ov = domain.output_var().expect("output var");
+    let ov = domain.require_output_var();
     let out_off = domain.var(ov).offset();
 
     let mut on = Cover::empty(&domain);

@@ -9,9 +9,9 @@ use crate::encode_fsm::encode_machine;
 use picola_constraints::{
     extract_constraints_with, Encoding, ExtractMethod, ExtractOptions, GroupConstraint,
 };
-use picola_core::Encoder;
+use picola_core::{Budget, Completion, Encoder};
 use picola_fsm::{symbolic_cover, Fsm};
-use picola_logic::{espresso_with, MinimizeOptions};
+use picola_logic::{espresso_bounded, MinimizeOptions};
 use std::time::{Duration, Instant};
 
 /// Options for [`assign_states`].
@@ -65,6 +65,9 @@ pub struct StateAssignment {
     pub encode_time: Duration,
     /// Time spent minimizing the encoded machine.
     pub minimize_time: Duration,
+    /// Whether the flow ran to completion or was cut short by its
+    /// [`Budget`] (the result is still a valid assignment either way).
+    pub completion: Completion,
 }
 
 impl StateAssignment {
@@ -83,6 +86,19 @@ pub fn fsm_constraints(fsm: &Fsm, method: ExtractMethod) -> Vec<GroupConstraint>
 
 /// Runs the full state-assignment flow on `fsm` with the given encoder.
 pub fn assign_states(fsm: &Fsm, encoder: &dyn Encoder, opts: &FlowOptions) -> StateAssignment {
+    assign_states_bounded(fsm, encoder, opts, &Budget::unlimited())
+}
+
+/// [`assign_states`] under an execution [`Budget`] shared by the encoding
+/// and minimization stages. An exhausted budget never aborts the flow: each
+/// stage degrades to its best valid partial result and the returned
+/// [`StateAssignment::completion`] records what happened.
+pub fn assign_states_bounded(
+    fsm: &Fsm,
+    encoder: &dyn Encoder,
+    opts: &FlowOptions,
+    budget: &Budget,
+) -> StateAssignment {
     let reduced;
     let fsm = if opts.minimize_states {
         reduced = picola_fsm::minimize_states(fsm);
@@ -95,12 +111,13 @@ pub fn assign_states(fsm: &Fsm, encoder: &dyn Encoder, opts: &FlowOptions) -> St
     let extract_time = t0.elapsed();
 
     let t1 = Instant::now();
-    let encoding = encoder.encode(fsm.num_states(), &constraints);
+    let (encoding, encode_completion) =
+        encoder.encode_bounded(fsm.num_states(), &constraints, budget);
     let encode_time = t1.elapsed();
 
     let t2 = Instant::now();
     let em = encode_machine(fsm, &encoding);
-    let minimized = espresso_with(&em.on, &em.dc, &opts.minimize);
+    let (minimized, minimize_completion) = espresso_bounded(&em.on, &em.dc, &opts.minimize, budget);
     let minimize_time = t2.elapsed();
 
     StateAssignment {
@@ -113,6 +130,7 @@ pub fn assign_states(fsm: &Fsm, encoder: &dyn Encoder, opts: &FlowOptions) -> St
         extract_time,
         encode_time,
         minimize_time,
+        completion: encode_completion.and(minimize_completion),
     }
 }
 
@@ -192,6 +210,23 @@ mod tests {
         assert_eq!(r.encoding.num_symbols(), 2, "b and c merge");
         let plain = assign_states(&m, &PicolaEncoder::default(), &FlowOptions::default());
         assert!(r.size <= plain.size);
+    }
+
+    #[test]
+    fn bounded_flow_degrades_but_stays_valid() {
+        let m = parse_kiss("small", SMALL).unwrap();
+        let budget = Budget::with_work_limit(2);
+        let r = assign_states_bounded(
+            &m,
+            &PicolaEncoder::default(),
+            &FlowOptions::default(),
+            &budget,
+        );
+        assert_eq!(r.encoding.num_symbols(), 4);
+        assert!(r.size > 0, "degraded flow must still implement the machine");
+        assert!(matches!(r.completion, Completion::Degraded { .. }));
+        let full = assign_states(&m, &PicolaEncoder::default(), &FlowOptions::default());
+        assert!(matches!(full.completion, Completion::Complete));
     }
 
     #[test]

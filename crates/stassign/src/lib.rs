@@ -27,5 +27,5 @@ pub mod new_tool;
 
 pub use adjacency::next_state_adjacency;
 pub use encode_fsm::{encode_machine, EncodedMachine};
-pub use flow::{assign_states, fsm_constraints, FlowOptions, StateAssignment};
+pub use flow::{assign_states, assign_states_bounded, fsm_constraints, FlowOptions, StateAssignment};
 pub use new_tool::PicolaStateEncoder;

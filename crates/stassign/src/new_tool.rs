@@ -15,7 +15,7 @@
 
 use crate::adjacency::next_state_adjacency;
 use picola_constraints::{Encoding, GroupConstraint, SymbolSet};
-use picola_core::{estimate_cubes, Encoder, PicolaEncoder};
+use picola_core::{estimate_cubes, Budget, Completion, Encoder, PicolaEncoder};
 use picola_fsm::Fsm;
 
 /// PICOLA with next-state-structure augmentation — the “NEW” column of
@@ -70,7 +70,12 @@ impl PicolaStateEncoder {
         score
     }
 
-    fn polish(&self, mut enc: Encoding, constraints: &[GroupConstraint]) -> Encoding {
+    fn polish(
+        &self,
+        mut enc: Encoding,
+        constraints: &[GroupConstraint],
+        budget: &Budget,
+    ) -> Encoding {
         let n = enc.num_symbols();
         let nv = enc.nv();
         let size = 1usize << nv;
@@ -78,7 +83,7 @@ impl PicolaStateEncoder {
             estimate_cubes(&enc, constraints),
             self.output_plane_score(&enc),
         );
-        for _ in 0..self.polish_passes {
+        'passes: for _ in 0..self.polish_passes {
             let mut improved = false;
             let candidates = |enc: &Encoding| -> Vec<Vec<u32>> {
                 let mut out = Vec::new();
@@ -99,7 +104,12 @@ impl PicolaStateEncoder {
                 out
             };
             for codes in candidates(&enc) {
-                let cand = Encoding::new(nv, codes).expect("polish moves keep codes distinct");
+                if !budget.tick("picola.refine", 1) {
+                    break 'passes;
+                }
+                let Ok(cand) = Encoding::new(nv, codes) else {
+                    continue; // polish moves keep codes distinct; skip defensively
+                };
                 let score = (
                     estimate_cubes(&cand, constraints),
                     self.output_plane_score(&cand),
@@ -124,6 +134,15 @@ impl Encoder for PicolaStateEncoder {
     }
 
     fn encode(&self, n: usize, constraints: &[GroupConstraint]) -> Encoding {
+        self.encode_bounded(n, constraints, &Budget::unlimited()).0
+    }
+
+    fn encode_bounded(
+        &self,
+        n: usize,
+        constraints: &[GroupConstraint],
+        budget: &Budget,
+    ) -> (Encoding, Completion) {
         let mut augmented = constraints.to_vec();
         let mut pairs = self.adjacency.clone();
         pairs.sort_by(|a, b| b.2.total_cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
@@ -135,11 +154,11 @@ impl Encoder for PicolaStateEncoder {
             c.set_weight(w.round().max(1.0) as usize);
             augmented.push(c);
         }
-        let enc = self.picola.encode(n, &augmented);
+        let (enc, _) = self.picola.encode_bounded(n, &augmented, budget);
         // Polish against the *original* constraints: the pair constraints
         // already shaped the construction, and the output-plane score keeps
         // pulling adjacent pairs together.
-        self.polish(enc, constraints)
+        (self.polish(enc, constraints, budget), budget.completion())
     }
 }
 
@@ -188,7 +207,7 @@ mod tests {
         let cs = vec![GroupConstraint::new(SymbolSet::from_members(4, [1, 2]))];
         let tool = PicolaStateEncoder::for_fsm(&m);
         let base = tool.picola.encode(4, &cs);
-        let polished = tool.polish(base.clone(), &cs);
+        let polished = tool.polish(base.clone(), &cs, &Budget::unlimited());
         assert!(estimate_cubes(&polished, &cs) <= estimate_cubes(&base, &cs));
     }
 

@@ -7,6 +7,10 @@
 //! cargo run --example constraint_analysis [path/to/machine.kiss2]
 //! ```
 
+// Examples favour brevity over error plumbing; the panic-freedom policy
+// applies to library and binary code, so waive it explicitly here.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use picola::constraints::{
     extract_constraints, min_code_length, nv_compatible, ConstraintMatrix, Geometry,
 };

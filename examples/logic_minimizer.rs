@@ -6,6 +6,10 @@
 //! cargo run --release --example logic_minimizer [path/to/file.pla]
 //! ```
 
+// Examples favour brevity over error plumbing; the panic-freedom policy
+// applies to library and binary code, so waive it explicitly here.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use picola::logic::{
     complement, equivalent, espresso, exact_minimize, implements, parse_pla, write_pla,
     ExactOutcome,
@@ -71,7 +75,7 @@ fn main() {
                     assert!(equivalent(&minimized, &exact));
                 }
             }
-            ExactOutcome::BudgetExceeded(best) => {
+            ExactOutcome::Truncated(best) => {
                 println!("exact search hit its budget; best found: {} cubes", best.len())
             }
         }

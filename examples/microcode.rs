@@ -12,6 +12,10 @@
 //! cargo run --release --example microcode
 //! ```
 
+// Examples favour brevity over error plumbing; the panic-freedom policy
+// applies to library and binary code, so waive it explicitly here.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use picola::baselines::NaturalEncoder;
 use picola::constraints::{extract_constraints, Encoding, GroupConstraint};
 use picola::core::{evaluate_encoding, picola_encode, Encoder};

@@ -10,6 +10,10 @@
 //! cargo run --example quickstart
 //! ```
 
+// Examples favour brevity over error plumbing; the panic-freedom policy
+// applies to library and binary code, so waive it explicitly here.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use picola::constraints::{GroupConstraint, SymbolSet};
 use picola::core::{evaluate_encoding, picola_encode, RunReport};
 

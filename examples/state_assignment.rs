@@ -6,6 +6,10 @@
 //! cargo run --release --example state_assignment [machine-name]
 //! ```
 
+// Examples favour brevity over error plumbing; the panic-freedom policy
+// applies to library and binary code, so waive it explicitly here.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use picola::baselines::{NaturalEncoder, NovaEncoder};
 use picola::core::Encoder;
 use picola::fsm::benchmark_fsm;

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Full verification: release build, the complete test suite, and the
+# panic-freedom lint gate (clippy::unwrap_used / expect_used / panic are
+# denied workspace-wide; see [workspace.lints.clippy] in Cargo.toml).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release --offline
+
+echo "== cargo test (workspace)"
+cargo test -q --offline --workspace
+
+echo "== cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -7,186 +7,347 @@
 //! picola minimize <file.pla>        two-level minimization of a PLA
 //! picola bench <name>               synthesize a suite benchmark as KISS2
 //! ```
+//!
+//! Global flags (accepted anywhere on the command line):
+//!
+//! ```text
+//! --budget-ms <n>     wall-clock budget in milliseconds
+//! --budget-work <n>   work-unit budget (loop iterations, search nodes)
+//! ```
+//!
+//! An exhausted budget never fails the run: the tool emits its best-so-far
+//! result, marks it with a `# status: degraded (...)` comment, and exits 0.
+//! A consumer closing the output pipe early (`picola ... | head`) stops the
+//! run cleanly with exit 0 — never a panic.
+//!
+//! Exit codes:
+//!
+//! | code | meaning                                   |
+//! |------|-------------------------------------------|
+//! | 0    | success (including degraded-by-budget)    |
+//! | 2    | usage error                               |
+//! | 3    | I/O error                                 |
+//! | 4    | parse error (KISS2 / PLA)                 |
+//! | 5    | invalid input (semantically unusable)     |
+//! | 70   | internal error or caught panic            |
 
 use picola::constraints::{extract_constraints, min_code_length};
-use picola::core::{evaluate_encoding, picola_encode};
+use picola::core::{
+    evaluate_encoding, try_picola_encode_with, Budget, Completion, PicolaError, PicolaOptions,
+};
 use picola::fsm::{benchmark_fsm, parse_kiss, symbolic_cover, write_kiss};
-use picola::logic::{espresso, parse_pla, write_pla};
-use picola::stassign::{assign_states, FlowOptions, PicolaStateEncoder};
+use picola::logic::{espresso_bounded, parse_pla, write_pla, MinimizeOptions};
+use picola::stassign::{assign_states_bounded, FlowOptions, PicolaStateEncoder};
+use std::fmt;
 use std::process::ExitCode;
+use std::time::Duration;
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: picola <encode|assign|minimize|export-mv|reduce|bench> <file|name>\n\
-         \n\
-         encode    <machine.kiss2>  extract face constraints, print PICOLA codes\n\
-         assign    <machine.kiss2>  full state assignment, print minimized PLA\n\
-         minimize  <file.pla>       two-level minimization (ESPRESSO)\n\
-         export-mv <machine.kiss2>  print the symbolic cover as a .mv PLA\n\
-         reduce    <machine.kiss2>  merge equivalent states, print KISS2\n\
-         bench     <name>           print a synthetic suite benchmark as KISS2"
-    );
-    ExitCode::from(2)
+const USAGE: &str = "\
+usage: picola [--budget-ms N] [--budget-work N] <command> <file|name>
+
+encode    <machine.kiss2>  extract face constraints, print PICOLA codes
+assign    <machine.kiss2>  full state assignment, print minimized PLA
+minimize  <file.pla>       two-level minimization (ESPRESSO)
+export-mv <machine.kiss2>  print the symbolic cover as a .mv PLA
+reduce    <machine.kiss2>  merge equivalent states, print KISS2
+bench     <name>           print a synthetic suite benchmark as KISS2
+
+--budget-ms N    stop refining after N milliseconds (graceful: the best
+                 result so far is still emitted, exit code stays 0)
+--budget-work N  stop refining after N abstract work units";
+
+/// Everything that can go wrong in the CLI, mapped to distinct exit codes.
+#[derive(Debug)]
+enum AppError {
+    /// Bad command line (exit 2).
+    Usage(String),
+    /// File could not be read (exit 3).
+    Io { path: String, message: String },
+    /// Input file did not parse (exit 4).
+    Parse(String),
+    /// Input parsed but is semantically unusable (exit 5).
+    Invalid(String),
+    /// A should-not-happen failure surfaced as an error (exit 70).
+    Internal(String),
+    /// Stdout's reader went away (`picola ... | head`). Not a failure:
+    /// the run stops early and exits 0, per the POSIX convention.
+    PipeClosed,
 }
 
-fn read(path: &str) -> Result<String, ExitCode> {
-    std::fs::read_to_string(path).map_err(|e| {
-        eprintln!("picola: cannot read {path}: {e}");
-        ExitCode::FAILURE
+impl AppError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            AppError::Usage(_) => 2,
+            AppError::Io { .. } => 3,
+            AppError::Parse(_) => 4,
+            AppError::Invalid(_) => 5,
+            AppError::Internal(_) => 70,
+            AppError::PipeClosed => 0,
+        }
+    }
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppError::Usage(m) => write!(f, "{m}"),
+            AppError::Io { path, message } => write!(f, "cannot read {path}: {message}"),
+            AppError::Parse(m) => write!(f, "{m}"),
+            AppError::Invalid(m) => write!(f, "{m}"),
+            AppError::Internal(m) => write!(f, "{m}"),
+            AppError::PipeClosed => write!(f, "output pipe closed"),
+        }
+    }
+}
+
+/// Writes to stdout without the default panic-on-EPIPE: a consumer that
+/// stops reading (`head`, `less` quit early) winds the run down cleanly.
+fn out(text: &str) -> Result<(), AppError> {
+    use std::io::Write as _;
+    std::io::stdout()
+        .lock()
+        .write_all(text.as_bytes())
+        .map_err(|e| {
+            if e.kind() == std::io::ErrorKind::BrokenPipe {
+                AppError::PipeClosed
+            } else {
+                AppError::Io {
+                    path: "<stdout>".into(),
+                    message: e.to_string(),
+                }
+            }
+        })
+}
+
+fn outln(text: &str) -> Result<(), AppError> {
+    out(text)?;
+    out("\n")
+}
+
+/// Best-effort stderr diagnostics: a closed stderr must not panic the run.
+fn errln(text: &str) {
+    use std::io::Write as _;
+    let _ = writeln!(std::io::stderr().lock(), "{text}");
+}
+
+impl From<PicolaError> for AppError {
+    fn from(e: PicolaError) -> Self {
+        match e {
+            PicolaError::InvalidInput(m) => AppError::Invalid(m),
+            PicolaError::Internal(m) => AppError::Internal(m),
+        }
+    }
+}
+
+/// The parsed command line: subcommand, its target, and the run budget.
+struct Cli {
+    command: String,
+    target: String,
+    budget: Budget,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, AppError> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut budget = Budget::unlimited();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--budget-ms" | "--budget-work" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| AppError::Usage(format!("{arg} needs a value")))?;
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| AppError::Usage(format!("{arg} needs an integer, got {value:?}")))?;
+                budget = if arg == "--budget-ms" {
+                    budget.deadline_in(Duration::from_millis(n))
+                } else {
+                    budget.work_limit(n)
+                };
+            }
+            flag if flag.starts_with("--") => {
+                return Err(AppError::Usage(format!("unknown flag {flag}")));
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let [command, target] = positional.as_slice() else {
+        return Err(AppError::Usage("expected <command> <file|name>".into()));
+    };
+    Ok(Cli {
+        command: (*command).clone(),
+        target: (*target).clone(),
+        budget,
     })
+}
+
+fn read(path: &str) -> Result<String, AppError> {
+    std::fs::read_to_string(path).map_err(|e| AppError::Io {
+        path: path.to_owned(),
+        message: e.to_string(),
+    })
+}
+
+fn read_fsm(path: &str) -> Result<picola::fsm::Fsm, AppError> {
+    let text = read(path)?;
+    parse_kiss(path, &text).map_err(|e| AppError::Parse(e.to_string()))
+}
+
+/// Emits the status comment for a (possibly degraded) run. Goes to stdout
+/// so the marker travels with the result; `#` lines are comments in every
+/// format the tool emits.
+fn print_status(completion: Completion) -> Result<(), AppError> {
+    match completion {
+        Completion::Complete => Ok(()),
+        degraded @ Completion::Degraded { .. } => outln(&format!("# status: {degraded}")),
+    }
+}
+
+fn cmd_encode(cli: &Cli) -> Result<(), AppError> {
+    let fsm = read_fsm(&cli.target)?;
+    let n = fsm.num_states();
+    outln(&format!("# {fsm}"))?;
+    outln(&format!("# minimum code length: {} bits", min_code_length(n)))?;
+    let constraints = extract_constraints(&symbolic_cover(&fsm));
+    for c in &constraints {
+        outln(&format!("# constraint {c} (weight {})", c.weight()))?;
+    }
+    let result = try_picola_encode_with(n, &constraints, &PicolaOptions::default(), &cli.budget)?;
+    let eval = evaluate_encoding(&result.encoding, &constraints);
+    outln(&format!(
+        "# {} of {} constraints satisfied, {} cubes total",
+        eval.satisfied, eval.evaluated, eval.total_cubes
+    ))?;
+    print_status(result.completion)?;
+    for (i, name) in fsm.states().iter().enumerate() {
+        outln(&format!(
+            "{name} {code:0width$b}",
+            code = result.encoding.code(i),
+            width = result.encoding.nv()
+        ))?;
+    }
+    Ok(())
+}
+
+fn cmd_assign(cli: &Cli) -> Result<(), AppError> {
+    let fsm = read_fsm(&cli.target)?;
+    let tool = PicolaStateEncoder::for_fsm(&fsm);
+    let r = assign_states_bounded(&fsm, &tool, &FlowOptions::default(), &cli.budget);
+    errln(&format!(
+        "# {}: size {} product terms, {} literals, {:.3}s",
+        fsm.name(),
+        r.size,
+        r.literals,
+        r.total_time().as_secs_f64()
+    ));
+    for (i, name) in fsm.states().iter().enumerate() {
+        errln(&format!(
+            "# {name} = {code:0width$b}",
+            code = r.encoding.code(i),
+            width = r.encoding.nv()
+        ));
+    }
+    // Re-run the encoding step to emit the minimized PLA.
+    let em = picola::stassign::encode_machine(&fsm, &r.encoding);
+    let mut pla = picola::logic::Pla::new(
+        fsm.num_inputs() + r.encoding.nv(),
+        r.encoding.nv() + fsm.num_outputs(),
+    );
+    let (minimized, min_completion) = espresso_bounded(
+        &em.on,
+        &em.dc,
+        &MinimizeOptions::default(),
+        &cli.budget,
+    );
+    for c in minimized.iter() {
+        // Domains are structurally identical (binary inputs + output
+        // var), so cubes carry over verbatim.
+        pla.on.push(c.clone());
+    }
+    print_status(r.completion.and(min_completion))?;
+    outln(&write_pla(&pla))?;
+    Ok(())
+}
+
+fn cmd_minimize(cli: &Cli) -> Result<(), AppError> {
+    let text = read(&cli.target)?;
+    let mut pla = parse_pla(&text).map_err(|e| AppError::Parse(e.to_string()))?;
+    let before = pla.on.len();
+    let (minimized, completion) = espresso_bounded(
+        &pla.on,
+        &pla.dc,
+        &MinimizeOptions::default(),
+        &cli.budget,
+    );
+    pla.on = minimized;
+    errln(&format!("# {before} -> {} cubes", pla.on.len()));
+    print_status(completion)?;
+    outln(&write_pla(&pla))?;
+    Ok(())
+}
+
+fn cmd_export_mv(cli: &Cli) -> Result<(), AppError> {
+    let fsm = read_fsm(&cli.target)?;
+    let sc = symbolic_cover(&fsm);
+    out(&picola::logic::write_mv_pla(&sc.on))?;
+    Ok(())
+}
+
+fn cmd_reduce(cli: &Cli) -> Result<(), AppError> {
+    let fsm = read_fsm(&cli.target)?;
+    let reduced = picola::fsm::minimize_states(&fsm);
+    errln(&format!(
+        "# {} -> {} states",
+        fsm.num_states(),
+        reduced.num_states()
+    ));
+    out(&write_kiss(&reduced))?;
+    Ok(())
+}
+
+fn cmd_bench(cli: &Cli) -> Result<(), AppError> {
+    match benchmark_fsm(&cli.target) {
+        Some(fsm) => {
+            out(&write_kiss(&fsm))?;
+            Ok(())
+        }
+        None => Err(AppError::Invalid(format!(
+            "unknown benchmark {:?}",
+            cli.target
+        ))),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), AppError> {
+    let cli = parse_cli(args)?;
+    match cli.command.as_str() {
+        "encode" => cmd_encode(&cli),
+        "assign" => cmd_assign(&cli),
+        "minimize" => cmd_minimize(&cli),
+        "export-mv" => cmd_export_mv(&cli),
+        "reduce" => cmd_reduce(&cli),
+        "bench" => cmd_bench(&cli),
+        other => Err(AppError::Usage(format!("unknown command {other:?}"))),
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [cmd, target] = args.as_slice() else {
-        return usage();
-    };
-
-    match cmd.as_str() {
-        "encode" => {
-            let text = match read(target) {
-                Ok(t) => t,
-                Err(code) => return code,
-            };
-            let fsm = match parse_kiss(target, &text) {
-                Ok(m) => m,
-                Err(e) => {
-                    eprintln!("picola: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let n = fsm.num_states();
-            println!("# {fsm}");
-            println!("# minimum code length: {} bits", min_code_length(n));
-            let constraints = extract_constraints(&symbolic_cover(&fsm));
-            for c in &constraints {
-                println!("# constraint {c} (weight {})", c.weight());
+    // Belt and braces: the library layer is panic-free by policy, but a CLI
+    // must never unwind across `main` — any escaped panic becomes exit 70.
+    let outcome = std::panic::catch_unwind(|| run(&args));
+    match outcome {
+        Ok(Ok(()) | Err(AppError::PipeClosed)) => ExitCode::SUCCESS,
+        Ok(Err(e)) => {
+            errln(&format!("picola: {e}"));
+            if matches!(e, AppError::Usage(_)) {
+                errln(USAGE);
             }
-            let result = picola_encode(n, &constraints);
-            let eval = evaluate_encoding(&result.encoding, &constraints);
-            println!(
-                "# {} of {} constraints satisfied, {} cubes total",
-                eval.satisfied, eval.evaluated, eval.total_cubes
-            );
-            for (i, name) in fsm.states().iter().enumerate() {
-                println!(
-                    "{name} {code:0width$b}",
-                    code = result.encoding.code(i),
-                    width = result.encoding.nv()
-                );
-            }
-            ExitCode::SUCCESS
+            ExitCode::from(e.exit_code())
         }
-        "assign" => {
-            let text = match read(target) {
-                Ok(t) => t,
-                Err(code) => return code,
-            };
-            let fsm = match parse_kiss(target, &text) {
-                Ok(m) => m,
-                Err(e) => {
-                    eprintln!("picola: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let tool = PicolaStateEncoder::for_fsm(&fsm);
-            let r = assign_states(&fsm, &tool, &FlowOptions::default());
-            eprintln!(
-                "# {}: size {} product terms, {} literals, {:.3}s",
-                fsm.name(),
-                r.size,
-                r.literals,
-                r.total_time().as_secs_f64()
-            );
-            for (i, name) in fsm.states().iter().enumerate() {
-                eprintln!(
-                    "# {name} = {code:0width$b}",
-                    code = r.encoding.code(i),
-                    width = r.encoding.nv()
-                );
-            }
-            // Re-run the encoding step to emit the minimized PLA.
-            let em = picola::stassign::encode_machine(&fsm, &r.encoding);
-            let mut pla = picola::logic::Pla::new(
-                fsm.num_inputs() + r.encoding.nv(),
-                r.encoding.nv() + fsm.num_outputs(),
-            );
-            let minimized = espresso(&em.on, &em.dc);
-            for c in minimized.iter() {
-                // Domains are structurally identical (binary inputs + output
-                // var), so cubes carry over verbatim.
-                pla.on.push(c.clone());
-            }
-            println!("{}", write_pla(&pla));
-            ExitCode::SUCCESS
+        Err(_) => {
+            errln("picola: internal panic (this is a bug)");
+            ExitCode::from(70)
         }
-        "minimize" => {
-            let text = match read(target) {
-                Ok(t) => t,
-                Err(code) => return code,
-            };
-            let mut pla = match parse_pla(&text) {
-                Ok(p) => p,
-                Err(e) => {
-                    eprintln!("picola: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let before = pla.on.len();
-            pla.on = espresso(&pla.on, &pla.dc);
-            eprintln!("# {before} -> {} cubes", pla.on.len());
-            println!("{}", write_pla(&pla));
-            ExitCode::SUCCESS
-        }
-        "export-mv" => {
-            let text = match read(target) {
-                Ok(t) => t,
-                Err(code) => return code,
-            };
-            match parse_kiss(target, &text) {
-                Ok(fsm) => {
-                    let sc = symbolic_cover(&fsm);
-                    print!("{}", picola::logic::write_mv_pla(&sc.on));
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("picola: {e}");
-                    ExitCode::FAILURE
-                }
-            }
-        }
-        "reduce" => {
-            let text = match read(target) {
-                Ok(t) => t,
-                Err(code) => return code,
-            };
-            match parse_kiss(target, &text) {
-                Ok(fsm) => {
-                    let reduced = picola::fsm::minimize_states(&fsm);
-                    eprintln!(
-                        "# {} -> {} states",
-                        fsm.num_states(),
-                        reduced.num_states()
-                    );
-                    print!("{}", write_kiss(&reduced));
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("picola: {e}");
-                    ExitCode::FAILURE
-                }
-            }
-        }
-        "bench" => match benchmark_fsm(target) {
-            Some(fsm) => {
-                print!("{}", write_kiss(&fsm));
-                ExitCode::SUCCESS
-            }
-            None => {
-                eprintln!("picola: unknown benchmark {target:?}");
-                ExitCode::FAILURE
-            }
-        },
-        _ => usage(),
     }
 }

@@ -1,6 +1,10 @@
 //! Whole-stack determinism: the tables of the paper reproduction must come
 //! out identical on every run and machine.
 
+// Tests are exempt from the panic-freedom policy; clippy's in-tests
+// exemption misses integration-test helpers, so waive it explicitly.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use picola::baselines::{AnnealingEncoder, EncLikeEncoder, NovaEncoder};
 use picola::core::{Encoder, PicolaEncoder};
 use picola::fsm::{benchmark_fsm, write_kiss};

@@ -2,6 +2,10 @@
 //! supercube/intruder relationships, estimate bounds, and guide-constraint
 //! behaviour.
 
+// Tests are exempt from the panic-freedom policy; clippy's in-tests
+// exemption misses integration-test helpers, so waive it explicitly.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use picola::constraints::{
     implements_constraint, theorem_i, Encoding, FaceImplementation, GroupConstraint, SymbolSet,
 };

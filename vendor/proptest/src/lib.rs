@@ -1,0 +1,532 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! implements a small, deterministic property-testing engine exposing the
+//! subset of the proptest 1.x API the workspace uses:
+//!
+//! - the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//!   header and `pattern in strategy` arguments,
+//! - [`strategy::Strategy`] with `prop_map` / `prop_shuffle`, implemented
+//!   for integer ranges, tuples, and the [`collection::vec`] /
+//!   [`sample::subsequence`] / [`arbitrary::any`] constructors,
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`.
+//!
+//! Differences from real proptest: no shrinking (the failing input is
+//! printed instead), and cases are generated from a fixed per-test seed so
+//! runs are reproducible. `*.proptest-regressions` files are ignored.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::RngExt;
+
+    /// The RNG handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// A generator of test values.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Shuffles generated `Vec` values.
+        fn prop_shuffle(self) -> Shuffle<Self>
+        where
+            Self: Sized,
+        {
+            Shuffle { inner: self }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_shuffle`].
+    #[derive(Debug, Clone)]
+    pub struct Shuffle<S> {
+        inner: S,
+    }
+
+    impl<S, T> Strategy for Shuffle<S>
+    where
+        S: Strategy<Value = Vec<T>>,
+    {
+        type Value = Vec<T>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<T> {
+            let mut v = self.inner.new_value(rng);
+            v.shuffle(rng);
+            v
+        }
+    }
+
+    /// A strategy that always yields a clone of its value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    use super::strategy::{Strategy, TestRng};
+    use rand::{RngCore, RngExt};
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.random_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// Sizes accepted by [`vec`]: a fixed count or a (half-open or
+    /// inclusive) range of counts.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl SizeRange {
+        /// The inclusive `(lo, hi)` bounds.
+        pub fn bounds(&self) -> (usize, usize) {
+            (self.lo, self.hi_inclusive)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.size.lo..=self.size.hi_inclusive);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    use super::collection::SizeRange;
+    use super::strategy::{Strategy, TestRng};
+    use rand::seq::SliceRandom;
+    use rand::RngExt;
+
+    /// Strategy choosing a random subsequence of fixed source values,
+    /// preserving source order.
+    #[derive(Debug, Clone)]
+    pub struct Subsequence<T: Clone> {
+        source: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<T> {
+            let (lo, hi) = self.size.bounds();
+            let hi = hi.min(self.source.len());
+            assert!(
+                lo <= self.source.len(),
+                "subsequence size exceeds the source length"
+            );
+            let n = rng.random_range(lo..=hi);
+            let mut idx: Vec<usize> = (0..self.source.len()).collect();
+            idx.shuffle(rng);
+            idx.truncate(n);
+            idx.sort_unstable();
+            idx.into_iter().map(|i| self.source[i].clone()).collect()
+        }
+    }
+
+    /// A subsequence of `source` with `size` elements.
+    pub fn subsequence<T: Clone>(
+        source: Vec<T>,
+        size: impl Into<SizeRange>,
+    ) -> Subsequence<T> {
+        Subsequence {
+            source,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!`; it does not count.
+        Reject(String),
+        /// The case failed an assertion.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejection with the given message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Result type of one property-test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration (`ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required.
+        pub cases: u32,
+        /// Maximum rejected cases (via `prop_assume!`) before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Deterministic property-test driver.
+    pub struct TestRunner {
+        config: Config,
+        seed: u64,
+        name: &'static str,
+    }
+
+    impl TestRunner {
+        /// Creates a runner for the named test. The RNG seed is derived
+        /// from the test name, so each test sees a stable input stream.
+        pub fn new(config: Config, name: &'static str) -> Self {
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in name.as_bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRunner { config, seed, name }
+        }
+
+        /// Runs the body until `config.cases` cases pass; panics (so the
+        /// enclosing `#[test]` fails) on the first failing case.
+        pub fn run<F: FnMut(&mut TestRng, u32) -> TestCaseResult>(&self, mut body: F) {
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            let mut case = 0u32;
+            while passed < self.config.cases {
+                let mut rng =
+                    TestRng::seed_from_u64(self.seed.wrapping_add(u64::from(case) << 1));
+                case += 1;
+                match body(&mut rng, case) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > self.config.max_global_rejects {
+                            panic!(
+                                "{}: too many rejected cases ({} rejects, {} passes)",
+                                self.name, rejected, passed
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "{}: case {} failed (seed {:#x}): {}",
+                            self.name, case, self.seed, msg
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the test case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the test case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{:?}` == `{:?}`",
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            a,
+            b,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the test case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: `{:?}` != `{:?}`",
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            a,
+            b,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Rejects the test case (does not count towards the case budget) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
+            );
+        }
+    };
+}
+
+/// Declares property tests: an optional `#![proptest_config(..)]` header
+/// followed by `#[test] fn name(pattern in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+            runner.run(|__proptest_rng, _case| {
+                $(let $pat = $crate::strategy::Strategy::new_value(
+                    &($strat), __proptest_rng);)+
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
