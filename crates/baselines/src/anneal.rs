@@ -41,6 +41,21 @@ impl Default for AnnealingEncoder {
     }
 }
 
+impl AnnealingEncoder {
+    /// Default schedule with an explicit RNG seed.
+    ///
+    /// Portfolio runs use this to hand every worker its own deterministic
+    /// stream: the seed travels with the encoder value, so the result is
+    /// bit-identical whether the member runs sequentially or on a thread.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        AnnealingEncoder {
+            seed,
+            ..AnnealingEncoder::default()
+        }
+    }
+}
+
 impl Encoder for AnnealingEncoder {
     fn name(&self) -> &str {
         "anneal"
@@ -64,6 +79,14 @@ impl Encoder for AnnealingEncoder {
         let mut best = enc.clone();
         let mut best_obj = obj;
         let mut temp = self.initial_temp;
+        // Occupied code words as a u64-word bitset, maintained
+        // incrementally: swaps leave it unchanged, accepted moves flip two
+        // bits. (The old per-proposal `Vec<bool>` rebuild was the hot
+        // path's main allocation.) The natural start occupies 0..n.
+        let mut used: Vec<u64> = vec![0; size.div_ceil(64)];
+        for c in 0..n {
+            used[c / 64] |= 1u64 << (c % 64);
+        }
 
         'cool: for _ in 0..self.temp_steps {
             for _ in 0..self.moves_per_temp {
@@ -71,20 +94,15 @@ impl Encoder for AnnealingEncoder {
                     break 'cool;
                 }
                 let mut codes = enc.codes().to_vec();
+                // (old, new) word of a move proposal, to update `used` on
+                // acceptance; swaps don't change occupancy.
+                let mut moved: Option<(u32, u32)> = None;
                 if size > n && rng.random_bool(0.3) {
-                    // move a symbol to a free code word
-                    let used: Vec<bool> = {
-                        let mut u = vec![false; size];
-                        for &c in &codes {
-                            u[c as usize] = true;
-                        }
-                        u
-                    };
-                    let free: Vec<u32> = (0..size as u32)
-                        .filter(|&w| !used[w as usize])
-                        .collect();
+                    // move a symbol to a free code word; exactly
+                    // `size - n` words are free at all times
                     let i = rng.random_range(0..n);
-                    let w = free[rng.random_range(0..free.len())];
+                    let w = nth_free_word(&used, size, rng.random_range(0..size - n));
+                    moved = Some((codes[i], w));
                     codes[i] = w;
                 } else {
                     let i = rng.random_range(0..n);
@@ -103,6 +121,10 @@ impl Encoder for AnnealingEncoder {
                 let accept = cand_obj >= obj
                     || rng.random_range(0.0..1.0) < ((cand_obj - obj) / temp.max(1e-9)).exp();
                 if accept {
+                    if let Some((old, new)) = moved {
+                        used[old as usize / 64] &= !(1u64 << (old % 64));
+                        used[new as usize / 64] |= 1u64 << (new % 64);
+                    }
                     enc = cand;
                     obj = cand_obj;
                     if obj > best_obj {
@@ -115,6 +137,30 @@ impl Encoder for AnnealingEncoder {
         }
         (best, budget.completion())
     }
+}
+
+/// Return the `nth` (0-based) clear bit of `used` below `size`, in
+/// ascending order — the same word the old explicit free list produced at
+/// index `nth`, so the proposal distribution is unchanged.
+///
+/// Callers guarantee `nth` is less than the number of free words; the
+/// fallback return is unreachable then and merely keeps the function total.
+fn nth_free_word(used: &[u64], size: usize, mut nth: usize) -> u32 {
+    for (wi, &w) in used.iter().enumerate() {
+        let base = wi * 64;
+        let width = (size - base).min(64);
+        let mask = if width == 64 { !0u64 } else { (1u64 << width) - 1 };
+        let mut free = !w & mask;
+        let count = free.count_ones() as usize;
+        if nth < count {
+            for _ in 0..nth {
+                free &= free - 1;
+            }
+            return (base as u32) + free.trailing_zeros();
+        }
+        nth -= count;
+    }
+    0
 }
 
 #[cfg(test)]
@@ -163,6 +209,32 @@ mod tests {
             AnnealingEncoder::default().encode_bounded(8, &cs, &Budget::unlimited());
         assert_eq!(enc.num_symbols(), 8);
         assert!(matches!(completion, Completion::Degraded { .. }));
+    }
+
+    #[test]
+    fn nth_free_word_matches_a_scan() {
+        // 11 of 16 words used, scattered across the single tail word.
+        let size = 16usize;
+        let occupied = [0u32, 1, 2, 3, 5, 7, 8, 11, 12, 13, 15];
+        let mut used = vec![0u64; 1];
+        for &c in &occupied {
+            used[c as usize / 64] |= 1u64 << (c % 64);
+        }
+        let free: Vec<u32> = (0..size as u32)
+            .filter(|w| !occupied.contains(w))
+            .collect();
+        for (nth, &expect) in free.iter().enumerate() {
+            assert_eq!(nth_free_word(&used, size, nth), expect);
+        }
+    }
+
+    #[test]
+    fn with_seed_changes_only_the_seed() {
+        let enc = AnnealingEncoder::with_seed(42);
+        let def = AnnealingEncoder::default();
+        assert_eq!(enc.seed, 42);
+        assert_eq!(enc.moves_per_temp, def.moves_per_temp);
+        assert_eq!(enc.temp_steps, def.temp_steps);
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod dicho;
 pub mod enc;
 pub mod nova;
 pub mod objective;
+pub mod portfolio;
 pub mod simple;
 
 pub use anneal::AnnealingEncoder;
@@ -30,4 +31,5 @@ pub use dicho::DichotomyEncoder;
 pub use enc::{EncLikeEncoder, EncRunInfo};
 pub use nova::{NovaEncoder, NovaMode};
 pub use objective::{adjacency_bonus, satisfied_dichotomies, satisfied_weight};
+pub use portfolio::{splitmix64, standard_members, standard_portfolio};
 pub use simple::{NaturalEncoder, RandomEncoder};

@@ -1,0 +1,112 @@
+//! The standard encoder portfolio: PICOLA plus the conventional baselines.
+//!
+//! [`standard_portfolio`] is the canonical line-up the CLI, the benches, and
+//! the differential tests all race: `picola`, `nova` (i-hybrid), `anneal`,
+//! `dicho`, and `natural`. Stochastic members get explicit per-member seeds
+//! derived from one master seed by SplitMix64, so the portfolio outcome is a
+//! pure function of `(instance, seed)` — independent of thread count,
+//! scheduling, or any global RNG state.
+
+use crate::{AnnealingEncoder, DichotomyEncoder, NaturalEncoder, NovaEncoder};
+use picola_core::{Encoder, EncoderPortfolio, PicolaEncoder};
+
+/// One step of the SplitMix64 sequence: the per-member seed stream.
+///
+/// Deterministic, stateless, and well-mixed — two members never share a
+/// stream even when the master seed is small.
+#[must_use]
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Build the standard five-member portfolio.
+///
+/// Member order is fixed (`picola`, `nova`, `anneal`, `dicho`, `natural`);
+/// ties in the winning cost resolve to the earliest member, so PICOLA wins
+/// ties by construction. `seed` feeds the stochastic members through
+/// [`splitmix64`]; equal seeds give bit-identical outcomes at any thread
+/// count.
+#[must_use]
+pub fn standard_portfolio(seed: u64) -> EncoderPortfolio {
+    EncoderPortfolio::new(standard_members(seed))
+}
+
+/// The members of [`standard_portfolio`] as a plain list, for callers that
+/// race them individually (the JSON bench runs each on a private budget to
+/// attribute work units per encoder).
+#[must_use]
+pub fn standard_members(seed: u64) -> Vec<Box<dyn Encoder + Send + Sync>> {
+    let anneal_seed = splitmix64(seed.wrapping_add(1));
+    vec![
+        Box::new(PicolaEncoder::default()),
+        Box::new(NovaEncoder::i_hybrid()),
+        Box::new(AnnealingEncoder::with_seed(anneal_seed)),
+        Box::new(DichotomyEncoder),
+        Box::new(NaturalEncoder),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picola_constraints::{GroupConstraint, SymbolSet};
+    use picola_core::Budget;
+
+    fn groups(n: usize, gs: &[&[usize]]) -> Vec<GroupConstraint> {
+        gs.iter()
+            .map(|g| GroupConstraint::new(SymbolSet::from_members(n, g.iter().copied())))
+            .collect()
+    }
+
+    #[test]
+    fn standard_lineup_is_fixed() {
+        let p = standard_portfolio(0);
+        assert_eq!(p.names(), ["picola", "nova-ih", "anneal", "dicho", "natural"]);
+    }
+
+    #[test]
+    fn splitmix_separates_nearby_seeds() {
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a, b);
+        assert_ne!(a, 1);
+    }
+
+    #[test]
+    fn standard_portfolio_runs_and_is_seed_deterministic() {
+        let cs = groups(8, &[&[0, 1, 2], &[4, 5], &[6, 7]]);
+        let run = |seed| {
+            let out = standard_portfolio(seed)
+                .run(8, &cs, &Budget::unlimited())
+                .map(|o| (o.best().name.clone(), o.best().cost, o.best().encoding.clone()));
+            out
+        };
+        let a = run(7);
+        let b = run(7);
+        assert!(a.is_some());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_standard_outcome() {
+        let cs = groups(10, &[&[0, 1, 2, 3], &[5, 6], &[8, 9]]);
+        let mut seq = standard_portfolio(3);
+        seq.threads = 1;
+        let mut par = standard_portfolio(3);
+        par.threads = 4;
+        let a = seq.run(10, &cs, &Budget::unlimited());
+        let b = par.run(10, &cs, &Budget::unlimited());
+        let key = |o: &picola_core::PortfolioOutcome| {
+            (
+                o.best().name.clone(),
+                o.best().cost,
+                o.best().encoding.clone(),
+                o.members.iter().map(|m| m.cost).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(a.as_ref().map(key), b.as_ref().map(key));
+    }
+}

@@ -1,0 +1,257 @@
+//! JSON bench harness over the synthetic corpus.
+//!
+//! Races every member of the standard portfolio on each corpus instance —
+//! individually on private budgets (attributing wall time and work units
+//! per encoder), then as a portfolio sequentially and in parallel — and
+//! writes one machine-readable JSON report (`BENCH_pr2.json` by default).
+//! See README.md ("Reading the bench JSON") for the schema.
+//!
+//! ```text
+//! cargo run -p picola-bench --release --bin bench_json [-- --smoke]
+//!     [--out PATH] [--threads N] [--seed N] [--instances N]
+//! ```
+
+use picola_baselines::{standard_members, standard_portfolio};
+use picola_bench::corpus::{corpus, Instance};
+use picola_core::{estimate_cubes, Budget};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct Options {
+    smoke: bool,
+    out: String,
+    threads: usize,
+    seed: u64,
+    instances: usize,
+}
+
+impl Options {
+    fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+        let mut opts = Options {
+            smoke: false,
+            out: "BENCH_pr2.json".to_owned(),
+            threads: 4,
+            seed: 0x0001_C01A,
+            instances: 0,
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--smoke" => opts.smoke = true,
+                "--out" => opts.out = it.next().ok_or("--out needs a path")?,
+                "--threads" => {
+                    opts.threads = parse_num(&it.next().ok_or("--threads needs a count")?)?;
+                }
+                "--seed" => {
+                    opts.seed = parse_num(&it.next().ok_or("--seed needs a number")?)? as u64;
+                }
+                "--instances" => {
+                    opts.instances =
+                        parse_num(&it.next().ok_or("--instances needs a count")?)?;
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        if opts.instances == 0 {
+            opts.instances = if opts.smoke { 3 } else { 12 };
+        }
+        Ok(opts)
+    }
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("not a number: {s:?}"))
+}
+
+struct EncoderRow {
+    name: String,
+    wall: Duration,
+    work: u64,
+    cost: usize,
+    satisfied: usize,
+    complete: bool,
+}
+
+struct InstanceReport {
+    inst: Instance,
+    nontrivial: usize,
+    encoders: Vec<EncoderRow>,
+    winner: String,
+    winning_cost: usize,
+    parallel_matches: bool,
+    seq_wall: Duration,
+    par_wall: Duration,
+}
+
+fn run_instance(inst: Instance, opts: &Options) -> Result<InstanceReport, String> {
+    let nontrivial = inst.constraints.iter().filter(|c| !c.is_trivial()).count();
+
+    let encoders = standard_members(opts.seed)
+        .iter()
+        .map(|member| {
+            let budget = Budget::unlimited();
+            let t = Instant::now();
+            let (enc, completion) =
+                member.encode_bounded(inst.n, &inst.constraints, &budget);
+            let wall = t.elapsed();
+            let satisfied = inst
+                .constraints
+                .iter()
+                .filter(|c| !c.is_trivial() && enc.satisfies(c.members()))
+                .count();
+            EncoderRow {
+                name: member.name().to_owned(),
+                wall,
+                work: budget.work_done(),
+                cost: estimate_cubes(&enc, &inst.constraints),
+                satisfied,
+                complete: completion.is_complete(),
+            }
+        })
+        .collect();
+
+    let timed_portfolio = |threads: usize| {
+        let p = standard_portfolio(opts.seed).with_threads(threads);
+        let t = Instant::now();
+        let out = p.run(inst.n, &inst.constraints, &Budget::unlimited());
+        (out, t.elapsed())
+    };
+    let (seq, seq_wall) = timed_portfolio(1);
+    let (par, par_wall) = timed_portfolio(opts.threads);
+    let (seq, par) = match (seq, par) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(format!("{}: portfolio produced no outcome", inst.name)),
+    };
+
+    Ok(InstanceReport {
+        nontrivial,
+        encoders,
+        winner: seq.best().name.clone(),
+        winning_cost: seq.best().cost,
+        parallel_matches: seq.best().cost == par.best().cost
+            && seq.best().encoding == par.best().encoding,
+        seq_wall,
+        par_wall,
+        inst,
+    })
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1000.0)
+}
+
+fn emit(reports: &[InstanceReport], opts: &Options) -> String {
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"schema\": \"picola-bench/bench_json/v1\",");
+    let _ = writeln!(j, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(j, "  \"threads\": {},", opts.threads);
+    let _ = writeln!(j, "  \"smoke\": {},", opts.smoke);
+    let _ = writeln!(j, "  \"instances\": [");
+    for (ri, r) in reports.iter().enumerate() {
+        let _ = writeln!(j, "    {{");
+        let _ = writeln!(j, "      \"name\": \"{}\",", r.inst.name);
+        let _ = writeln!(j, "      \"n\": {},", r.inst.n);
+        let _ = writeln!(j, "      \"constraints\": {},", r.inst.constraints.len());
+        let _ = writeln!(j, "      \"nontrivial\": {},", r.nontrivial);
+        let _ = writeln!(j, "      \"encoders\": [");
+        for (ei, e) in r.encoders.iter().enumerate() {
+            let _ = write!(
+                j,
+                "        {{\"name\": \"{}\", \"wall_ms\": {}, \"work\": {}, \
+                 \"cost\": {}, \"satisfied\": {}, \"complete\": {}}}",
+                e.name,
+                ms(e.wall),
+                e.work,
+                e.cost,
+                e.satisfied,
+                e.complete
+            );
+            let _ = writeln!(j, "{}", if ei + 1 < r.encoders.len() { "," } else { "" });
+        }
+        let _ = writeln!(j, "      ],");
+        let _ = writeln!(j, "      \"portfolio\": {{");
+        let _ = writeln!(j, "        \"winner\": \"{}\",", r.winner);
+        let _ = writeln!(j, "        \"winning_cost\": {},", r.winning_cost);
+        let _ = writeln!(j, "        \"parallel_matches_sequential\": {},", r.parallel_matches);
+        let _ = writeln!(j, "        \"sequential_wall_ms\": {},", ms(r.seq_wall));
+        let _ = writeln!(j, "        \"parallel_wall_ms\": {}", ms(r.par_wall));
+        let _ = writeln!(j, "      }}");
+        let _ = write!(j, "    }}");
+        let _ = writeln!(j, "{}", if ri + 1 < reports.len() { "," } else { "" });
+    }
+    let _ = writeln!(j, "  ],");
+
+    let names: Vec<&str> = reports
+        .first()
+        .map(|r| r.encoders.iter().map(|e| e.name.as_str()).collect())
+        .unwrap_or_default();
+    let _ = writeln!(j, "  \"totals\": {{");
+    let _ = writeln!(j, "    \"encoders\": [");
+    for (i, name) in names.iter().enumerate() {
+        let cost: usize = reports.iter().map(|r| r.encoders[i].cost).sum();
+        let work: u64 = reports.iter().map(|r| r.encoders[i].work).sum();
+        let wall: Duration = reports.iter().map(|r| r.encoders[i].wall).sum();
+        let wins = reports.iter().filter(|r| r.winner == *name).count();
+        let _ = write!(
+            j,
+            "      {{\"name\": \"{name}\", \"total_cost\": {cost}, \
+             \"total_work\": {work}, \"total_wall_ms\": {}, \"wins\": {wins}}}",
+            ms(wall)
+        );
+        let _ = writeln!(j, "{}", if i + 1 < names.len() { "," } else { "" });
+    }
+    let _ = writeln!(j, "    ],");
+    let seq: Duration = reports.iter().map(|r| r.seq_wall).sum();
+    let par: Duration = reports.iter().map(|r| r.par_wall).sum();
+    let _ = writeln!(j, "    \"portfolio_sequential_wall_ms\": {},", ms(seq));
+    let _ = writeln!(j, "    \"portfolio_parallel_wall_ms\": {},", ms(par));
+    let _ = writeln!(
+        j,
+        "    \"parallel_speedup\": {:.3},",
+        seq.as_secs_f64() / par.as_secs_f64().max(1e-9)
+    );
+    let mismatches = reports.iter().filter(|r| !r.parallel_matches).count();
+    let _ = writeln!(j, "    \"parallel_mismatches\": {mismatches}");
+    let _ = writeln!(j, "  }}");
+    let _ = writeln!(j, "}}");
+    j
+}
+
+fn main() {
+    let opts = match Options::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut reports = Vec::new();
+    for inst in corpus(opts.instances, opts.seed) {
+        let name = inst.name.clone();
+        match run_instance(inst, &opts) {
+            Ok(r) => {
+                eprintln!(
+                    "{name}: winner {} (cost {}), seq {} ms / par {} ms",
+                    r.winner,
+                    r.winning_cost,
+                    ms(r.seq_wall),
+                    ms(r.par_wall)
+                );
+                reports.push(r);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let json = emit(&reports, &opts);
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("error: cannot write {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    eprintln!("wrote {} ({} instances)", opts.out, reports.len());
+}

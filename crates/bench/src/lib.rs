@@ -14,6 +14,10 @@
 
 #![warn(missing_docs)]
 
+pub mod corpus;
+
+pub use corpus::{corpus, Instance};
+
 use picola_baselines::{EncLikeEncoder, NovaEncoder};
 use picola_constraints::{ExtractMethod, GroupConstraint};
 use picola_core::{evaluate_encoding, Encoder, PicolaEncoder};

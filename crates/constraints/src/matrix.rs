@@ -101,6 +101,56 @@ impl TrackedConstraint {
             .filter(|&(j, &c)| !members.contains(j) && c == 0)
             .count()
     }
+
+    /// Word-parallel column bookkeeping shared by
+    /// [`ConstraintMatrix::apply_column`] and the guide replay: checks
+    /// member agreement (64 symbols per AND), records participation or
+    /// disagreement, and stamps newly satisfied dichotomies with
+    /// `col_index + 1`. `col_words` is the packed column; `n` the universe.
+    fn absorb_column(&mut self, col_index: usize, col_words: &[u64], n: usize) {
+        let mwords = self.constraint.members().words();
+        // All members true ⇔ members ⊆ column; all false ⇔ disjoint.
+        let all_true = mwords.iter().zip(col_words).all(|(m, c)| m & !c == 0);
+        let all_false = mwords.iter().zip(col_words).all(|(m, c)| m & c == 0);
+        if !(all_true || all_false) {
+            self.disagreeing.push(col_index);
+            return;
+        }
+        self.participating.push(col_index);
+        // Bits where the column differs from the members' shared value `v`,
+        // excluding the members themselves: exactly the outsiders whose
+        // seed dichotomy this column satisfies.
+        let v_mask = if all_true { !0u64 } else { 0u64 };
+        for (wi, (&c, &m)) in col_words.iter().zip(mwords).enumerate() {
+            let base = wi * 64;
+            if base >= n {
+                break;
+            }
+            let mut diff = (c ^ v_mask) & !m;
+            let width = n - base;
+            if width < 64 {
+                diff &= (1u64 << width) - 1;
+            }
+            while diff != 0 {
+                let j = base + diff.trailing_zeros() as usize;
+                diff &= diff - 1;
+                if self.sat_col[j] == 0 {
+                    self.sat_col[j] = col_index + 1;
+                }
+            }
+        }
+    }
+}
+
+/// Packs a bool column into `u64` words (bit `j` set when `column[j]`).
+fn pack_column(column: &[bool]) -> Vec<u64> {
+    let mut words = vec![0u64; column.len().div_ceil(64).max(1)];
+    for (j, &b) in column.iter().enumerate() {
+        if b {
+            words[j / 64] |= 1u64 << (j % 64);
+        }
+    }
+    words
 }
 
 /// The enriched constraint matrix driving column-based encoding.
@@ -191,26 +241,14 @@ impl ConstraintMatrix {
         assert_eq!(column.len(), self.n, "column length mismatch");
         assert!(self.columns.len() < self.nv, "all columns already generated");
         let col_index = self.columns.len();
+        let col_words = pack_column(column);
         for tc in &mut self.constraints {
-            // Trivial constraints need no bookkeeping.
-            if tc.constraint.is_trivial() {
+            // Trivial constraints need no bookkeeping, and empty member
+            // sets have no shared value to agree on.
+            if tc.constraint.is_trivial() || tc.constraint.members().is_empty() {
                 continue;
             }
-            let members = tc.constraint.members();
-            let mut it = members.iter();
-            let Some(first) = it.next() else { continue };
-            let v = column[first];
-            let agree = it.all(|i| column[i] == v);
-            if agree {
-                tc.participating.push(col_index);
-                for (j, &bit) in column.iter().enumerate() {
-                    if bit != v && !members.contains(j) && tc.sat_col[j] == 0 {
-                        tc.sat_col[j] = col_index + 1;
-                    }
-                }
-            } else {
-                tc.disagreeing.push(col_index);
-            }
+            tc.absorb_column(col_index, &col_words, self.n);
             if tc.status == ConstraintStatus::Active && tc.unsatisfied_dichotomies() == 0 {
                 tc.status = ConstraintStatus::Satisfied;
             }
@@ -243,27 +281,16 @@ impl ConstraintMatrix {
             guided: false,
             constraint: guide,
         };
-        // Replay history.
+        // Replay history, word-parallel like `apply_column`. Non-trivial
+        // guides (checked above) have at least 2 members; an empty set
+        // agrees trivially rather than panicking.
         for (col_index, column) in self.columns.iter().enumerate() {
-            let members = tc.constraint.members();
-            let mut it = members.iter();
-            // Non-trivial guides (checked above) have at least 2 members;
-            // treat an empty set as agreeing trivially rather than panic.
-            let Some(first) = it.next() else {
+            if tc.constraint.members().is_empty() {
                 tc.participating.push(col_index);
                 continue;
-            };
-            let v = column[first];
-            if it.all(|i| column[i] == v) {
-                tc.participating.push(col_index);
-                for (j, &bit) in column.iter().enumerate() {
-                    if bit != v && !members.contains(j) && tc.sat_col[j] == 0 {
-                        tc.sat_col[j] = col_index + 1;
-                    }
-                }
-            } else {
-                tc.disagreeing.push(col_index);
             }
+            let col_words = pack_column(column);
+            tc.absorb_column(col_index, &col_words, self.n);
         }
         if tc.unsatisfied_dichotomies() == 0 {
             tc.status = ConstraintStatus::Satisfied;

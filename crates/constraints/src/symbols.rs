@@ -80,9 +80,26 @@ impl SymbolSet {
         self.bits.iter().all(|&w| w == 0)
     }
 
-    /// Iterates over members in increasing order.
+    /// Iterates over members in increasing order using per-word
+    /// count-trailing-zeros extraction (skips empty words entirely).
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.n).filter(move |&i| self.contains(i))
+        self.bits.iter().enumerate().flat_map(|(wi, &w)| {
+            std::iter::successors(
+                (w != 0).then_some(w),
+                |&rest| {
+                    let next = rest & (rest - 1);
+                    (next != 0).then_some(next)
+                },
+            )
+            .map(move |rest| wi * 64 + rest.trailing_zeros() as usize)
+        })
+    }
+
+    /// The packed membership words, little-endian in symbol index. Hot
+    /// paths (constraint stamping, refine membership) run word-parallel
+    /// sweeps over this slice instead of per-symbol loops.
+    pub fn words(&self) -> &[u64] {
+        &self.bits
     }
 
     /// Members as a vector.

@@ -75,10 +75,20 @@ pub fn greedy_constraint_cubes(
     enc: &Encoding,
     members: &picola_constraints::SymbolSet,
 ) -> usize {
-    let mut uncovered: Vec<u32> = members.iter().map(|s| enc.code(s)).collect();
-    let forbidden: Vec<u32> = (0..enc.num_symbols())
+    greedy_codes_cubes(enc.codes(), members)
+}
+
+/// [`greedy_constraint_cubes`] computed directly over a codes slice.
+///
+/// The refine hot path evaluates thousands of candidate code vectors; this
+/// entry point skips `Encoding::new`'s `O(2^nv)` distinctness validation —
+/// the caller guarantees the slice holds distinct in-range codes (swaps and
+/// moves to free words preserve that by construction).
+pub fn greedy_codes_cubes(codes: &[u32], members: &picola_constraints::SymbolSet) -> usize {
+    let mut uncovered: Vec<u32> = members.iter().map(|s| codes[s]).collect();
+    let forbidden: Vec<u32> = (0..codes.len())
         .filter(|&s| !members.contains(s))
-        .map(|s| enc.code(s))
+        .map(|s| codes[s])
         .collect();
 
     let mut count = 0usize;

@@ -45,6 +45,7 @@ pub mod cost;
 pub mod error;
 pub mod eval;
 pub mod picola;
+pub mod portfolio;
 pub mod report;
 pub mod solve;
 pub mod validity;
@@ -60,6 +61,7 @@ pub use picola::{
     picola_encode, picola_encode_portfolio, picola_encode_with, try_picola_encode_portfolio,
     try_picola_encode_with, Encoder, PicolaEncoder, PicolaOptions, PicolaResult,
 };
+pub use portfolio::{EncoderPortfolio, MemberOutcome, PortfolioOutcome};
 pub use report::RunReport;
 pub use solve::solve_column;
 pub use validity::ValidityTracker;

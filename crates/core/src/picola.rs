@@ -31,6 +31,12 @@ pub struct PicolaOptions {
     pub disable_refine: bool,
     /// Encode with this many bits instead of `ceil(log2 n)`.
     pub nv_override: Option<usize>,
+    /// Worker threads for the refinement pass's candidate evaluation.
+    /// `0` or `1` run sequentially; any value produces **bit-identical**
+    /// results — candidates are evaluated read-only in fixed-size chunks
+    /// and the first improvement in enumeration order is applied, so the
+    /// thread count changes only wall time.
+    pub threads: usize,
 }
 
 /// Result of a PICOLA run.
@@ -206,7 +212,7 @@ pub fn try_picola_encode_with(
     };
 
     if !opts.disable_refine {
-        encoding = refine(encoding, constraints, budget);
+        encoding = refine(encoding, constraints, budget, opts.threads);
     }
 
     Ok(PicolaResult {
@@ -217,19 +223,129 @@ pub fn try_picola_encode_with(
     })
 }
 
+/// A refinement candidate: swap two symbols' codes, or move one symbol to
+/// a (currently free) code word.
+#[derive(Debug, Clone, Copy)]
+enum RefineCand {
+    Swap(usize, usize),
+    Move(usize, u32),
+}
+
+/// How many valid candidates are evaluated per batch. Fixed — it shapes
+/// the search trajectory, so it must not depend on the thread count.
+const REFINE_CHUNK: usize = 64;
+
+/// The supercube of `members`' codes, computed straight off the codes
+/// slice (the refine loop has no `Encoding` on its hot path).
+fn codes_supercube(
+    codes: &[u32],
+    members: &picola_constraints::SymbolSet,
+    nv: usize,
+) -> picola_constraints::CodeCube {
+    let mut it = members.iter();
+    let Some(first) = it.next() else {
+        // Active constraints are non-trivial, hence non-empty; a full cube
+        // is the safe identity if that ever changes.
+        return picola_constraints::CodeCube {
+            fixed: 0,
+            values: 0,
+            nv,
+        };
+    };
+    let mut and = codes[first];
+    let mut or = codes[first];
+    for i in it {
+        and &= codes[i];
+        or |= codes[i];
+    }
+    let full = ((1u64 << nv) - 1) as u32;
+    let fixed = full & !(and ^ or);
+    picola_constraints::CodeCube {
+        fixed,
+        values: and & fixed,
+        nv,
+    }
+}
+
+/// Evaluates one candidate **read-only** against the current state:
+/// returns the cost delta and the per-constraint new costs for every
+/// affected constraint. Pure, so a chunk of candidates can be evaluated
+/// on worker threads with results identical to a sequential sweep.
+///
+/// A constraint is affected only when a moved symbol is one of its members
+/// (its supercube changes) or a moved code enters/leaves its cached
+/// supercube (its intrusion changes); everything else keeps its cached
+/// cost.
+fn eval_refine_candidate(
+    cand: RefineCand,
+    codes: &[u32],
+    membership: &[picola_logic::WordSet],
+    supers: &[picola_constraints::CodeCube],
+    cost: &[usize],
+    active: &[&GroupConstraint],
+) -> (i64, Vec<(usize, usize)>) {
+    use crate::eval::greedy_codes_cubes;
+
+    let moved: [(usize, u32, u32); 2] = match cand {
+        RefineCand::Swap(i, j) => [(i, codes[i], codes[j]), (j, codes[j], codes[i])],
+        RefineCand::Move(i, w) => [(i, codes[i], w), (i, codes[i], w)],
+    };
+    let moved = match cand {
+        RefineCand::Swap(..) => &moved[..],
+        RefineCand::Move(..) => &moved[..1],
+    };
+
+    let mut touched = picola_logic::WordSet::new(active.len());
+    for &(s, old, new) in moved {
+        touched.union_with(&membership[s]);
+        for (k, sc) in supers.iter().enumerate() {
+            if sc.contains(old) != sc.contains(new) {
+                touched.insert(k);
+            }
+        }
+    }
+    if touched.is_empty() {
+        return (0, Vec::new());
+    }
+
+    let mut new_codes = codes.to_vec();
+    match cand {
+        RefineCand::Swap(i, j) => new_codes.swap(i, j),
+        RefineCand::Move(i, w) => new_codes[i] = w,
+    }
+    let mut delta: i64 = 0;
+    let mut updates = Vec::with_capacity(touched.count());
+    for k in touched.iter_ones() {
+        let c = greedy_codes_cubes(&new_codes, active[k].members());
+        delta += c as i64 - cost[k] as i64;
+        updates.push((k, c));
+    }
+    (delta, updates)
+}
+
 /// Refinement: first-improvement hill climbing over code swaps and moves to
 /// free code words, driven by the combinatorial greedy cube-cover estimate
 /// (never by logic minimization).
 ///
-/// Evaluation is incremental: a candidate move can change a constraint's
-/// cost only when a moved symbol is one of its members (the supercube
-/// changes) or its code enters/leaves the cached supercube (intrusion
-/// changes); all other constraints keep their cached cost.
+/// Candidates are enumerated in a fixed order — all swaps `(i, j)` with
+/// `i < j`, then all moves `(i, w)` — and evaluated read-only in chunks of
+/// [`REFINE_CHUNK`]; the first improving candidate in order is applied and
+/// enumeration resumes right after it against the new state. Chunk
+/// evaluation runs on `threads` workers when `threads > 1`, with
+/// **bit-identical** results for any thread count: the evaluation is pure
+/// and the applied candidate is chosen by enumeration order, never by
+/// completion order.
 ///
-/// Budget-aware: each candidate move ticks `"picola.refine"`; on exhaustion
-/// the current (always valid) encoding is returned as-is.
-fn refine(enc: Encoding, constraints: &[GroupConstraint], budget: &Budget) -> Encoding {
-    use crate::eval::greedy_constraint_cubes;
+/// Budget-aware: each chunk ticks `"picola.refine"` by the number of
+/// candidates it holds; on exhaustion the current (always valid) encoding
+/// is returned as-is.
+fn refine(
+    enc: Encoding,
+    constraints: &[GroupConstraint],
+    budget: &Budget,
+    threads: usize,
+) -> Encoding {
+    use crate::eval::greedy_codes_cubes;
 
     let active: Vec<&GroupConstraint> =
         constraints.iter().filter(|c| !c.is_trivial()).collect();
@@ -240,108 +356,127 @@ fn refine(enc: Encoding, constraints: &[GroupConstraint], budget: &Budget) -> En
     let nv = enc.nv();
     let size = 1usize << nv;
 
-    // Per symbol: constraints it belongs to.
-    let mut membership: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // Per symbol: bitset of active constraints it belongs to (u64 words —
+    // `affected` unions them instead of walking index lists).
+    let mut membership: Vec<picola_logic::WordSet> =
+        vec![picola_logic::WordSet::new(active.len()); n];
     for (k, c) in active.iter().enumerate() {
         for s in c.members().iter() {
-            membership[s].push(k);
+            membership[s].insert(k);
         }
     }
 
-    let mut enc = enc;
+    // The full candidate order of one pass. Move targets are filtered for
+    // freeness at chunk-build time (occupancy changes as moves apply).
+    let mut cand_order: Vec<RefineCand> =
+        Vec::with_capacity(n * (n - 1) / 2 + n * size);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            cand_order.push(RefineCand::Swap(i, j));
+        }
+    }
+    for i in 0..n {
+        for w in 0..size as u32 {
+            cand_order.push(RefineCand::Move(i, w));
+        }
+    }
+
+    let mut codes: Vec<u32> = enc.codes().to_vec();
     let mut cost: Vec<usize> = active
         .iter()
-        .map(|c| greedy_constraint_cubes(&enc, c.members()))
+        .map(|c| greedy_codes_cubes(&codes, c.members()))
         .collect();
-    let mut supers: Vec<picola_constraints::CodeCube> =
-        active.iter().map(|c| enc.supercube(c.members())).collect();
+    let mut supers: Vec<picola_constraints::CodeCube> = active
+        .iter()
+        .map(|c| codes_supercube(&codes, c.members(), nv))
+        .collect();
 
-    // Constraints whose cost may change when symbols in `moved` change
-    // codes as described by (old, new) pairs.
-    let affected = |membership: &[Vec<usize>],
-                    supers: &[picola_constraints::CodeCube],
-                    moved: &[(usize, u32, u32)]| {
-        let mut out: Vec<usize> = Vec::new();
-        for &(s, old, new) in moved {
-            for &k in &membership[s] {
-                if !out.contains(&k) {
-                    out.push(k);
-                }
-            }
-            for (k, sc) in supers.iter().enumerate() {
-                if sc.contains(old) != sc.contains(new) && !out.contains(&k) {
-                    out.push(k);
-                }
-            }
-        }
-        out
-    };
-
-    for _ in 0..4 {
+    'passes: for _ in 0..4 {
         let mut improved = false;
-        let try_move = |enc: &mut Encoding,
-                            cost: &mut Vec<usize>,
-                            supers: &mut Vec<picola_constraints::CodeCube>,
-                            codes: Vec<u32>,
-                            moved: &[(usize, u32, u32)]|
-         -> bool {
-            if !budget.tick("picola.refine", 1) {
-                return false;
-            }
-            let touched = affected(&membership, supers, moved);
-            if touched.is_empty() {
-                return false;
-            }
-            // Swaps and moves-to-free-words keep codes distinct by
-            // construction; skip the candidate rather than panic if not.
-            let Ok(cand) = Encoding::new(nv, codes) else {
-                return false;
-            };
-            let mut delta: i64 = 0;
-            let mut new_costs = Vec::with_capacity(touched.len());
-            for &k in &touched {
-                let c = greedy_constraint_cubes(&cand, active[k].members());
-                delta += c as i64 - cost[k] as i64;
-                new_costs.push(c);
-            }
-            if delta < 0 {
-                *enc = cand;
-                for (&k, &c) in touched.iter().zip(&new_costs) {
-                    cost[k] = c;
-                    supers[k] = enc.supercube(active[k].members());
+        let mut cursor = 0usize;
+        'pass: while cursor < cand_order.len() {
+            // Collect the next chunk of *valid* candidates (swaps always;
+            // moves only to words free under the current codes), each with
+            // the cursor to resume from if it is the one applied.
+            let mut chunk: Vec<(usize, RefineCand)> = Vec::with_capacity(REFINE_CHUNK);
+            while chunk.len() < REFINE_CHUNK && cursor < cand_order.len() {
+                let cand = cand_order[cursor];
+                cursor += 1;
+                if let RefineCand::Move(_, w) = cand {
+                    if codes.contains(&w) {
+                        continue;
+                    }
                 }
-                true
-            } else {
-                false
+                chunk.push((cursor, cand));
             }
-        };
+            if chunk.is_empty() {
+                break;
+            }
+            if !budget.tick("picola.refine", chunk.len() as u64) {
+                break 'passes;
+            }
 
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let (ci, cj) = (enc.code(i), enc.code(j));
-                let mut codes = enc.codes().to_vec();
-                codes.swap(i, j);
-                if try_move(
-                    &mut enc,
-                    &mut cost,
-                    &mut supers,
-                    codes,
-                    &[(i, ci, cj), (j, cj, ci)],
-                ) {
-                    improved = true;
+            let mut results: Vec<(i64, Vec<(usize, usize)>)> =
+                vec![(0, Vec::new()); chunk.len()];
+            let workers = threads.min(chunk.len());
+            if workers > 1 {
+                let per = chunk.len().div_ceil(workers);
+                let (chunk, codes) = (&chunk, &codes);
+                let (membership, supers) = (&membership, &supers);
+                let (cost, active) = (&cost, &active);
+                rayon::scope(|s| {
+                    let mut rest: &mut [(i64, Vec<(usize, usize)>)] = &mut results;
+                    let mut offset = 0usize;
+                    while !rest.is_empty() {
+                        let take = per.min(rest.len());
+                        let (slots, tail) = rest.split_at_mut(take);
+                        rest = tail;
+                        let start = offset;
+                        offset += take;
+                        s.spawn(move |_| {
+                            for (t, out) in slots.iter_mut().enumerate() {
+                                *out = eval_refine_candidate(
+                                    chunk[start + t].1,
+                                    codes,
+                                    membership,
+                                    supers,
+                                    cost,
+                                    active,
+                                );
+                            }
+                        });
+                    }
+                });
+            } else {
+                for (t, out) in results.iter_mut().enumerate() {
+                    *out = eval_refine_candidate(
+                        chunk[t].1,
+                        &codes,
+                        &membership,
+                        &supers,
+                        &cost,
+                        &active,
+                    );
                 }
             }
-        }
-        for i in 0..n {
-            for w in 0..size as u32 {
-                if enc.codes().contains(&w) {
-                    continue;
-                }
-                let old = enc.code(i);
-                let mut codes = enc.codes().to_vec();
-                codes[i] = w;
-                if try_move(&mut enc, &mut cost, &mut supers, codes, &[(i, old, w)]) {
+
+            // Apply the first improving candidate in enumeration order and
+            // resume right after it; later results in the chunk are stale
+            // against the new state and are discarded.
+            for (t, &(resume, cand)) in chunk.iter().enumerate() {
+                let (delta, ref updates) = results[t];
+                if delta < 0 {
+                    match cand {
+                        RefineCand::Swap(i, j) => codes.swap(i, j),
+                        RefineCand::Move(i, w) => codes[i] = w,
+                    }
+                    for &(k, c) in updates {
+                        cost[k] = c;
+                        supers[k] = codes_supercube(&codes, active[k].members(), nv);
+                    }
+                    cursor = resume;
                     improved = true;
+                    continue 'pass;
                 }
             }
         }
@@ -349,7 +484,9 @@ fn refine(enc: Encoding, constraints: &[GroupConstraint], budget: &Budget) -> En
             break;
         }
     }
-    enc
+    // Swaps and moves-to-free-words keep codes distinct by construction;
+    // fall back to the input encoding rather than panic if not.
+    Encoding::new(nv, codes).unwrap_or(enc)
 }
 
 /// Runs PICOLA once per cost model and keeps the result whose encoding has

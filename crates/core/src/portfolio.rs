@@ -1,0 +1,375 @@
+//! A parallel portfolio of encoders racing on one instance.
+//!
+//! The paper's evaluation compares PICOLA against NOVA-, ENC- and
+//! annealing-style encoders on every benchmark; at corpus scale the
+//! comparison only stays cheap if the members run concurrently. The
+//! portfolio spawns each member on its own worker, all drawing work from
+//! one shared [`Budget`] pool ([`Budget::worker`]), and keeps the best
+//! result by the combinatorial cube estimate.
+//!
+//! Degradation contract: a real budget limit (deadline or work cap) stops
+//! *every* member — each returns its best-so-far result and the outcome is
+//! tagged [`Completion::Degraded`]. An **injected** chaos fault or a panic
+//! inside one member degrades that member alone; the join never poisons or
+//! hangs, and the other members' results stand.
+//!
+//! Determinism: members are themselves deterministic (seeded RNGs, fixed
+//! iteration orders), the winner is chosen by `(cost, member index)`, and
+//! worker threads only change *when* members run, never what they compute —
+//! so under an unlimited budget the outcome is bit-identical for any
+//! thread count. Under a *finite* budget, thread interleaving on the shared
+//! work pool shifts where each member degrades; results remain valid but
+//! may differ run to run (the same caveat a wall-clock deadline always
+//! carries).
+
+use crate::eval::estimate_cubes;
+use crate::picola::Encoder;
+use picola_constraints::{Encoding, GroupConstraint};
+use picola_logic::{Budget, Completion, ExhaustReason};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One portfolio member's result.
+#[derive(Debug, Clone)]
+pub struct MemberOutcome {
+    /// The member's [`Encoder::name`].
+    pub name: String,
+    /// The encoding it produced (always valid; a panicking member is
+    /// substituted by the natural encoding).
+    pub encoding: Encoding,
+    /// How the member's run ended.
+    pub completion: Completion,
+    /// Combinatorial cube estimate of `encoding`
+    /// ([`crate::eval::estimate_cubes`]) — the ranking key.
+    pub cost: usize,
+    /// Non-trivial constraints the encoding face-embeds.
+    pub satisfied: usize,
+    /// Wall time of this member's run.
+    pub wall: Duration,
+}
+
+/// The result of an [`EncoderPortfolio`] run.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// Per-member outcomes, in member order (not completion order).
+    pub members: Vec<MemberOutcome>,
+    /// Index into `members` of the winner: lowest `cost`, ties broken by
+    /// completeness (a complete run beats a degraded one), then member
+    /// order.
+    pub winner: usize,
+    /// Fold of all members' completions (degraded wins).
+    pub completion: Completion,
+}
+
+impl PortfolioOutcome {
+    /// The winning member.
+    pub fn best(&self) -> &MemberOutcome {
+        &self.members[self.winner]
+    }
+}
+
+/// A set of encoders raced in parallel over one instance.
+pub struct EncoderPortfolio {
+    members: Vec<Box<dyn Encoder + Send + Sync>>,
+    /// Worker threads; `0` means one worker per member (capped by the
+    /// member count either way).
+    pub threads: usize,
+}
+
+impl EncoderPortfolio {
+    /// A portfolio over the given members.
+    pub fn new(members: Vec<Box<dyn Encoder + Send + Sync>>) -> Self {
+        EncoderPortfolio {
+            members,
+            threads: 0,
+        }
+    }
+
+    /// Sets the worker-thread count (builder style).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the portfolio has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member names, in member order.
+    pub fn names(&self) -> Vec<&str> {
+        self.members.iter().map(|m| m.name()).collect()
+    }
+
+    /// Races every member on the instance and returns all outcomes plus
+    /// the winner. Returns `None` for an empty portfolio.
+    ///
+    /// Each member runs on a worker view of `budget`
+    /// ([`Budget::worker`]): work accounting is global across members,
+    /// while injected faults stay local to the member that hit them. Real
+    /// exhaustion reasons (deadline, work cap) are propagated back to
+    /// `budget`'s own latch.
+    pub fn run(
+        &self,
+        n: usize,
+        constraints: &[GroupConstraint],
+        budget: &Budget,
+    ) -> Option<PortfolioOutcome> {
+        let k = self.members.len();
+        if k == 0 {
+            return None;
+        }
+        let workers = match self.threads {
+            0 => k,
+            t => t.min(k),
+        };
+
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, MemberOutcome)>> = Mutex::new(Vec::with_capacity(k));
+        rayon::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|_| {
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= k {
+                            break;
+                        }
+                        let outcome =
+                            run_member(self.members[idx].as_ref(), n, constraints, budget);
+                        if let Ok(mut out) = collected.lock() {
+                            out.push((idx, outcome));
+                        }
+                    }
+                });
+            }
+        });
+
+        let mut members: Vec<(usize, MemberOutcome)> = match collected.into_inner() {
+            Ok(v) => v,
+            // The mutex cannot be poisoned (pushes don't panic), but fail
+            // soft rather than unwrap on the theoretical path.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        members.sort_by_key(|&(idx, _)| idx);
+        let members: Vec<MemberOutcome> = members.into_iter().map(|(_, m)| m).collect();
+        if members.len() != k {
+            // A worker died without reporting — should be impossible with
+            // catch_unwind in place; refuse to fabricate a partial result.
+            return None;
+        }
+
+        let mut completion = Completion::Complete;
+        for m in &members {
+            completion = completion.and(m.completion);
+            if let Completion::Degraded { reason, .. } = m.completion {
+                if reason != ExhaustReason::Injected {
+                    budget.exhaust(reason);
+                }
+            }
+        }
+        let winner = members
+            .iter()
+            .enumerate()
+            .min_by_key(|(idx, m)| (m.cost, !m.completion.is_complete(), *idx))
+            .map(|(idx, _)| idx)?;
+        Some(PortfolioOutcome {
+            members,
+            winner,
+            completion,
+        })
+    }
+}
+
+impl std::fmt::Debug for EncoderPortfolio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EncoderPortfolio")
+            .field("members", &self.names())
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+/// Runs one member on its own budget view, absorbing panics so a broken
+/// member cannot poison the portfolio join.
+fn run_member(
+    member: &dyn Encoder,
+    n: usize,
+    constraints: &[GroupConstraint],
+    budget: &Budget,
+) -> MemberOutcome {
+    let worker_budget = budget.worker();
+    let start = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        member.encode_bounded(n, constraints, &worker_budget)
+    }));
+    let wall = start.elapsed();
+    let (encoding, completion) = match result {
+        Ok(r) => r,
+        Err(_) => (
+            // A panicked member degrades alone: substitute the weakest
+            // valid encoding, tagged as an injected-style failure.
+            Encoding::natural(n),
+            Completion::Degraded {
+                reason: ExhaustReason::Injected,
+                work_done: worker_budget.work_done(),
+            },
+        ),
+    };
+    let satisfied = constraints
+        .iter()
+        .filter(|c| !c.is_trivial() && encoding.satisfies(c.members()))
+        .count();
+    MemberOutcome {
+        name: member.name().to_string(),
+        cost: estimate_cubes(&encoding, constraints),
+        satisfied,
+        encoding,
+        completion,
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::picola::PicolaEncoder;
+    use picola_constraints::SymbolSet;
+
+    fn groups(n: usize, gs: &[&[usize]]) -> Vec<GroupConstraint> {
+        gs.iter()
+            .map(|g| GroupConstraint::new(SymbolSet::from_members(n, g.iter().copied())))
+            .collect()
+    }
+
+    struct FixedEncoder {
+        name: &'static str,
+        codes: Vec<u32>,
+        nv: usize,
+    }
+
+    impl Encoder for FixedEncoder {
+        fn name(&self) -> &str {
+            self.name
+        }
+        #[allow(clippy::expect_used)] // test helper with hand-picked codes
+        fn encode(&self, _n: usize, _constraints: &[GroupConstraint]) -> Encoding {
+            Encoding::new(self.nv, self.codes.clone()).expect("test codes are valid")
+        }
+    }
+
+    struct PanickingEncoder;
+
+    impl Encoder for PanickingEncoder {
+        fn name(&self) -> &str {
+            "panics"
+        }
+        #[allow(clippy::panic)] // the point of this test double
+        fn encode(&self, _n: usize, _constraints: &[GroupConstraint]) -> Encoding {
+            panic!("deliberately broken member")
+        }
+    }
+
+    #[test]
+    fn empty_portfolio_returns_none() {
+        let p = EncoderPortfolio::new(Vec::new());
+        assert!(p.run(4, &[], &Budget::unlimited()).is_none());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn winner_has_lowest_cost_ties_to_first() {
+        // natural codes satisfy {0,1} (face 0-); the rigged encoder does not.
+        let cs = groups(4, &[&[0, 3]]);
+        let p = EncoderPortfolio::new(vec![
+            Box::new(FixedEncoder {
+                name: "bad",
+                codes: vec![0, 1, 2, 3],
+                nv: 2,
+            }),
+            Box::new(FixedEncoder {
+                name: "good",
+                codes: vec![0, 2, 3, 1], // {0,3}: codes 00,01 -> face 0-
+                nv: 2,
+            }),
+        ]);
+        let out = p.run(4, &cs, &Budget::unlimited()).into_iter().next();
+        let out = out.unwrap_or_else(|| panic!("portfolio produced no outcome"));
+        assert_eq!(out.best().name, "good");
+        assert_eq!(out.best().cost, 1);
+        assert_eq!(out.best().satisfied, 1);
+        assert!(out.completion.is_complete());
+        assert_eq!(out.members.len(), 2);
+        assert_eq!(out.members[0].name, "bad");
+    }
+
+    #[test]
+    fn panicking_member_degrades_alone() {
+        let cs = groups(8, &[&[0, 1], &[2, 3]]);
+        let p = EncoderPortfolio::new(vec![
+            Box::new(PanickingEncoder),
+            Box::<PicolaEncoder>::default(),
+        ]);
+        let out = p.run(8, &cs, &Budget::unlimited());
+        let out = out.unwrap_or_else(|| panic!("join must survive a panic"));
+        assert!(matches!(
+            out.members[0].completion,
+            Completion::Degraded {
+                reason: ExhaustReason::Injected,
+                ..
+            }
+        ));
+        assert!(out.members[1].completion.is_complete());
+        assert_eq!(out.best().name, "picola");
+        assert!(!out.completion.is_complete(), "fold reports the degradation");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_outcome() {
+        let cs = groups(8, &[&[0, 1], &[2, 3], &[4, 5, 6]]);
+        let build = || {
+            EncoderPortfolio::new(vec![
+                Box::<PicolaEncoder>::default() as Box<dyn Encoder + Send + Sync>,
+                Box::new(FixedEncoder {
+                    name: "natural",
+                    codes: (0..8).collect(),
+                    nv: 3,
+                }),
+            ])
+        };
+        let seq = build().with_threads(1).run(8, &cs, &Budget::unlimited());
+        let par = build().with_threads(4).run(8, &cs, &Budget::unlimited());
+        let (seq, par) = match (seq, par) {
+            (Some(a), Some(b)) => (a, b),
+            _ => panic!("both runs must produce outcomes"),
+        };
+        assert_eq!(seq.winner, par.winner);
+        assert_eq!(seq.best().cost, par.best().cost);
+        assert_eq!(seq.best().encoding, par.best().encoding);
+    }
+
+    #[test]
+    fn work_cap_degrades_every_member_but_join_returns() {
+        let cs = groups(8, &[&[0, 1], &[2, 3]]);
+        let p = EncoderPortfolio::new(vec![
+            Box::<PicolaEncoder>::default() as Box<dyn Encoder + Send + Sync>,
+            Box::<PicolaEncoder>::default(),
+        ]);
+        let budget = Budget::with_work_limit(1);
+        let out = p.run(8, &cs, &budget);
+        let out = out.unwrap_or_else(|| panic!("degraded, not dead"));
+        assert!(!out.completion.is_complete());
+        for m in &out.members {
+            assert_eq!(m.encoding.num_symbols(), 8);
+        }
+        // The real reason propagates to the parent budget's latch.
+        assert_eq!(budget.exhaustion(), Some(ExhaustReason::WorkLimit));
+    }
+}

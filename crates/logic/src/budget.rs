@@ -13,12 +13,20 @@
 //! every [`CLOCK_PERIOD`] work units, so ticking costs an increment and a
 //! compare on the hot path.
 //!
+//! Budgets are thread-safe: the work counter is an atomic behind an `Arc`,
+//! so a parallel portfolio can draw every worker's ticks from one shared
+//! pool. [`Budget::worker`] derives a worker view that shares the pool but
+//! keeps a private exhaustion latch, so an injected fault inside one worker
+//! degrades that worker alone while a real deadline or work cap stops all
+//! of them.
+//!
 //! Budgets also host the fault-injection hook: every tick names its
 //! trigger point, and an armed [`crate::chaos`] plan can force exhaustion
 //! at that point deterministically (see the chaos module docs).
 
 use crate::chaos;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How often (in work units) the deadline is checked against the clock.
@@ -33,6 +41,28 @@ pub enum ExhaustReason {
     WorkLimit,
     /// A [`crate::chaos`] plan forced exhaustion at a trigger point.
     Injected,
+}
+
+/// Latch encoding: 0 = not exhausted, otherwise `ExhaustReason` + 1.
+const LATCH_CLEAR: u8 = 0;
+
+impl ExhaustReason {
+    fn to_latch(self) -> u8 {
+        match self {
+            ExhaustReason::Deadline => 1,
+            ExhaustReason::WorkLimit => 2,
+            ExhaustReason::Injected => 3,
+        }
+    }
+
+    fn from_latch(code: u8) -> Option<ExhaustReason> {
+        match code {
+            1 => Some(ExhaustReason::Deadline),
+            2 => Some(ExhaustReason::WorkLimit),
+            3 => Some(ExhaustReason::Injected),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ExhaustReason {
@@ -90,10 +120,15 @@ impl std::fmt::Display for Completion {
 /// A shared execution budget: an optional wall-clock deadline plus an
 /// optional cap on abstract work units.
 ///
-/// A `Budget` is passed by shared reference and uses interior mutability,
-/// so one budget can be threaded through a whole pipeline (extraction →
-/// encoding → minimization) and enforce a single global limit. Exhaustion
-/// latches: once a tick fails, every later tick fails too.
+/// A `Budget` is passed by shared reference and uses atomic interior
+/// mutability, so one budget can be threaded through a whole pipeline
+/// (extraction → encoding → minimization) — across threads — and enforce
+/// a single global limit. Exhaustion latches: once a tick fails, every
+/// later tick on the same latch fails too.
+///
+/// `Clone` produces an **independent snapshot** (its own work counter);
+/// [`Budget::worker`] produces a **pool-sharing worker view** for parallel
+/// portfolio members.
 ///
 /// ```
 /// use picola_logic::budget::Budget;
@@ -105,18 +140,36 @@ impl std::fmt::Display for Completion {
 /// assert!(!budget.tick("example.step", 1));
 /// assert!(budget.is_exhausted());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Budget {
     deadline: Option<Instant>,
     work_limit: Option<u64>,
-    work: Cell<u64>,
-    next_clock_check: Cell<u64>,
-    exhausted: Cell<Option<ExhaustReason>>,
+    /// Shared across `worker()` views; snapshotted by `clone()`.
+    work: Arc<AtomicU64>,
+    next_clock_check: AtomicU64,
+    /// 0 = live; otherwise the latched `ExhaustReason` (+1). Private per
+    /// view, so worker faults stay local.
+    exhausted: AtomicU8,
 }
 
 impl Default for Budget {
     fn default() -> Self {
         Budget::unlimited()
+    }
+}
+
+impl Clone for Budget {
+    /// An independent snapshot: same limits, current work count, but its
+    /// own counter and latch — ticks on the clone do not drain the
+    /// original's pool. Use [`Budget::worker`] to share the pool.
+    fn clone(&self) -> Self {
+        Budget {
+            deadline: self.deadline,
+            work_limit: self.work_limit,
+            work: Arc::new(AtomicU64::new(self.work.load(Ordering::Relaxed))),
+            next_clock_check: AtomicU64::new(self.next_clock_check.load(Ordering::Relaxed)),
+            exhausted: AtomicU8::new(self.exhausted.load(Ordering::Relaxed)),
+        }
     }
 }
 
@@ -126,9 +179,9 @@ impl Budget {
         Budget {
             deadline: None,
             work_limit: None,
-            work: Cell::new(0),
-            next_clock_check: Cell::new(CLOCK_PERIOD),
-            exhausted: Cell::new(None),
+            work: Arc::new(AtomicU64::new(0)),
+            next_clock_check: AtomicU64::new(CLOCK_PERIOD),
+            exhausted: AtomicU8::new(LATCH_CLEAR),
         }
     }
 
@@ -156,37 +209,56 @@ impl Budget {
         self
     }
 
-    /// Work units consumed so far.
+    /// A worker view for one member of a parallel portfolio: shares this
+    /// budget's work pool (every worker's ticks drain the same counter, so
+    /// the cap stays global), but owns a private exhaustion latch. A real
+    /// limit — deadline or work cap — trips every worker's latch as each
+    /// next polls the shared state; an **injected** chaos fault latches only
+    /// the worker that hit it.
+    pub fn worker(&self) -> Budget {
+        Budget {
+            deadline: self.deadline,
+            work_limit: self.work_limit,
+            work: Arc::clone(&self.work),
+            next_clock_check: AtomicU64::new(self.next_clock_check.load(Ordering::Relaxed)),
+            exhausted: AtomicU8::new(self.exhausted.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Work units consumed so far (across all pool-sharing workers).
     pub fn work_done(&self) -> u64 {
-        self.work.get()
+        self.work.load(Ordering::Relaxed)
     }
 
     /// `true` once any tick has failed (or [`Budget::exhaust`] was called).
     pub fn is_exhausted(&self) -> bool {
-        self.exhausted.get().is_some()
+        self.exhausted.load(Ordering::Relaxed) != LATCH_CLEAR
     }
 
     /// The reason the budget ran out, if it has.
     pub fn exhaustion(&self) -> Option<ExhaustReason> {
-        self.exhausted.get()
+        ExhaustReason::from_latch(self.exhausted.load(Ordering::Relaxed))
     }
 
     /// The [`Completion`] describing this budget's current state.
     pub fn completion(&self) -> Completion {
-        match self.exhausted.get() {
+        match self.exhaustion() {
             None => Completion::Complete,
             Some(reason) => Completion::Degraded {
                 reason,
-                work_done: self.work.get(),
+                work_done: self.work_done(),
             },
         }
     }
 
-    /// Marks the budget exhausted for `reason` (latches).
+    /// Marks the budget exhausted for `reason` (latches; first reason wins).
     pub fn exhaust(&self, reason: ExhaustReason) {
-        if self.exhausted.get().is_none() {
-            self.exhausted.set(Some(reason));
-        }
+        let _ = self.exhausted.compare_exchange(
+            LATCH_CLEAR,
+            reason.to_latch(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
     }
 
     /// Records `amount` work units at the named trigger point and reports
@@ -198,26 +270,44 @@ impl Budget {
     /// tagged with [`Budget::completion`].
     #[must_use]
     pub fn tick(&self, point: &'static str, amount: u64) -> bool {
-        if self.exhausted.get().is_some() {
+        if self.is_exhausted() {
             return false;
         }
         if chaos::should_fire(point) {
-            self.exhausted.set(Some(ExhaustReason::Injected));
+            self.exhaust(ExhaustReason::Injected);
             return false;
         }
-        let work = self.work.get().saturating_add(amount);
-        self.work.set(work);
+        let prev = self
+            .work
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |w| {
+                Some(w.saturating_add(amount))
+            })
+            // The closure always returns Some, so Err is unreachable; the
+            // fallback keeps the saturating contract without panicking.
+            .unwrap_or(u64::MAX);
+        let work = prev.saturating_add(amount);
         if let Some(limit) = self.work_limit {
             if work > limit {
-                self.exhausted.set(Some(ExhaustReason::WorkLimit));
+                self.exhaust(ExhaustReason::WorkLimit);
                 return false;
             }
         }
         if let Some(deadline) = self.deadline {
-            if work >= self.next_clock_check.get() {
-                self.next_clock_check.set(work + CLOCK_PERIOD);
-                if Instant::now() >= deadline {
-                    self.exhausted.set(Some(ExhaustReason::Deadline));
+            let next = self.next_clock_check.load(Ordering::Relaxed);
+            if work >= next {
+                // One view reads the clock per period; racing views simply
+                // retry at the next period boundary.
+                let claimed = self
+                    .next_clock_check
+                    .compare_exchange(
+                        next,
+                        work.saturating_add(CLOCK_PERIOD),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok();
+                if claimed && Instant::now() >= deadline {
+                    self.exhaust(ExhaustReason::Deadline);
                     return false;
                 }
             }
@@ -298,5 +388,66 @@ mod tests {
         b.exhaust(ExhaustReason::Deadline);
         b.exhaust(ExhaustReason::WorkLimit);
         assert_eq!(b.exhaustion(), Some(ExhaustReason::Deadline));
+    }
+
+    #[test]
+    fn workers_drain_one_pool() {
+        let parent = Budget::with_work_limit(10);
+        let w1 = parent.worker();
+        let w2 = parent.worker();
+        assert!(w1.tick("test.step", 6));
+        assert!(!w2.tick("test.step", 6), "pool is shared, 12 > 10");
+        assert_eq!(w2.exhaustion(), Some(ExhaustReason::WorkLimit));
+        // The parent's own latch trips as soon as it next polls the pool.
+        assert!(!parent.tick("test.step", 1));
+        assert_eq!(parent.exhaustion(), Some(ExhaustReason::WorkLimit));
+        assert_eq!(parent.work_done(), w1.work_done());
+    }
+
+    #[test]
+    fn worker_injected_fault_is_private() {
+        let parent = Budget::unlimited();
+        let worker = parent.worker();
+        {
+            let _guard = crate::chaos::arm("espresso.iter", 0);
+            assert!(!worker.tick("espresso.iter", 1));
+        }
+        assert_eq!(worker.exhaustion(), Some(ExhaustReason::Injected));
+        assert!(!worker.tick("espresso.iter", 1), "worker latch holds");
+        assert!(!parent.is_exhausted(), "parent latch is untouched");
+        assert!(parent.tick("espresso.iter", 1));
+    }
+
+    #[test]
+    fn clone_is_an_independent_snapshot() {
+        let original = Budget::with_work_limit(10);
+        assert!(original.tick("test.step", 4));
+        let snap = original.clone();
+        assert!(snap.tick("test.step", 6));
+        assert!(!snap.tick("test.step", 1), "snapshot carries prior work");
+        assert!(!original.is_exhausted(), "original unaffected by clone");
+        assert_eq!(original.work_done(), 4);
+        assert!(original.tick("test.step", 6));
+    }
+
+    #[test]
+    fn shared_budget_is_thread_safe() {
+        let parent = Budget::with_work_limit(100_000);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let worker = parent.worker();
+                s.spawn(move || {
+                    while worker.tick("test.step", 1) {}
+                });
+            }
+        });
+        // Latches are per-view: the parent trips on its own next poll.
+        assert!(!parent.tick("test.step", 1));
+        assert_eq!(parent.exhaustion(), Some(ExhaustReason::WorkLimit));
+        // Every worker stops within one tick of the cap; the pool may
+        // overshoot by at most one in-flight amount per worker (plus the
+        // parent's failing poll above).
+        assert!(parent.work_done() >= 100_000);
+        assert!(parent.work_done() <= 100_005);
     }
 }

@@ -9,9 +9,14 @@
 //! hoping a tiny real budget happens to run out in the right place.
 //!
 //! The harness is compiled in unconditionally but designed for tests: the
-//! disarmed fast path is a single thread-local flag read, and plans are
-//! thread-local so parallel test threads cannot interfere. Production
-//! callers simply never arm a plan.
+//! disarmed fast path is a single thread-local flag read plus one relaxed
+//! atomic load, and plans are thread-local so parallel test threads cannot
+//! interfere. Production callers simply never arm a plan.
+//!
+//! Parallel-portfolio tests need faults that fire **inside worker
+//! threads** the test did not create; [`arm_global`] installs a
+//! process-wide plan for that. Global plans are a shared resource — tests
+//! that arm one must serialize among themselves.
 //!
 //! ```
 //! use picola_logic::budget::Budget;
@@ -24,6 +29,8 @@
 //! ```
 
 use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// Every trigger point registered across the workspace.
 ///
@@ -63,14 +70,34 @@ thread_local! {
     static PLAN: RefCell<Option<Plan>> = const { RefCell::new(None) };
 }
 
+/// Process-wide plan for faults that must fire in worker threads the
+/// arming test never sees (parallel portfolio members). Countdown and
+/// fire count live under the mutex; the flag keeps the disarmed fast
+/// path lock-free.
+struct GlobalPlan {
+    point: &'static str,
+    countdown: u64,
+    fired: u64,
+}
+
+static GLOBAL_ARMED: AtomicBool = AtomicBool::new(false);
+static GLOBAL_PLAN: Mutex<Option<GlobalPlan>> = Mutex::new(None);
+
 /// Disarms the active plan when dropped, so a panicking test cannot leak
-/// chaos into the next test on the same thread.
+/// chaos into the next test on the same thread (or, for global plans,
+/// into other tests in the process).
 #[must_use]
-pub struct ChaosGuard(());
+pub struct ChaosGuard {
+    global: bool,
+}
 
 impl Drop for ChaosGuard {
     fn drop(&mut self) {
-        disarm();
+        if self.global {
+            disarm_global();
+        } else {
+            disarm();
+        }
     }
 }
 
@@ -82,10 +109,7 @@ impl Drop for ChaosGuard {
 /// is a test-only API).
 #[allow(clippy::panic)] // documented contract: test-only API, fails loudly
 pub fn arm(point: &str, after: u64) -> ChaosGuard {
-    let point = TRIGGER_POINTS
-        .iter()
-        .find(|&&p| p == point)
-        .unwrap_or_else(|| panic!("chaos::arm: unknown trigger point {point:?}"));
+    let point = lookup_point(point);
     PLAN.with(|p| {
         *p.borrow_mut() = Some(Plan {
             point,
@@ -94,7 +118,35 @@ pub fn arm(point: &str, after: u64) -> ChaosGuard {
         });
     });
     ARMED.with(|a| a.set(true));
-    ChaosGuard(())
+    ChaosGuard { global: false }
+}
+
+/// Arms a **process-wide** plan: after `after` further hits of `point` on
+/// *any* thread, every subsequent hit fires the fault. Use this to inject
+/// faults into parallel portfolio workers the test thread never touches.
+///
+/// Only one global plan exists per process; tests arming one must
+/// serialize among themselves (a shared `Mutex` in the test module is the
+/// usual pattern). Unknown points panic, as with [`arm`].
+pub fn arm_global(point: &str, after: u64) -> ChaosGuard {
+    let point = lookup_point(point);
+    if let Ok(mut plan) = GLOBAL_PLAN.lock() {
+        *plan = Some(GlobalPlan {
+            point,
+            countdown: after,
+            fired: 0,
+        });
+    }
+    GLOBAL_ARMED.store(true, Ordering::Relaxed);
+    ChaosGuard { global: true }
+}
+
+#[allow(clippy::panic)] // documented contract: test-only API, fails loudly
+fn lookup_point(point: &str) -> &'static str {
+    TRIGGER_POINTS
+        .iter()
+        .find(|&&p| p == point)
+        .unwrap_or_else(|| panic!("chaos::arm: unknown trigger point {point:?}"))
 }
 
 /// Disarms any active plan on this thread.
@@ -103,18 +155,40 @@ pub fn disarm() {
     PLAN.with(|p| *p.borrow_mut() = None);
 }
 
-/// Times the armed plan has fired (0 when disarmed).
+/// Disarms the process-wide plan, if any.
+pub fn disarm_global() {
+    GLOBAL_ARMED.store(false, Ordering::Relaxed);
+    if let Ok(mut plan) = GLOBAL_PLAN.lock() {
+        *plan = None;
+    }
+}
+
+/// Times the thread-local armed plan has fired (0 when disarmed).
 pub fn times_fired() -> u64 {
     PLAN.with(|p| p.borrow().as_ref().map_or(0, |plan| plan.fired.get()))
+}
+
+/// Times the process-wide plan has fired, summed over all threads
+/// (0 when disarmed).
+pub fn global_times_fired() -> u64 {
+    GLOBAL_PLAN
+        .lock()
+        .ok()
+        .and_then(|plan| plan.as_ref().map(|p| p.fired))
+        .unwrap_or(0)
 }
 
 /// Reports reaching `point`; returns `true` when the armed plan says the
 /// fault fires here. Called by [`crate::budget::Budget::tick`] and by the
 /// parser fail points; the disarmed fast path is one flag read.
 pub fn should_fire(point: &str) -> bool {
-    if !ARMED.with(|a| a.get()) {
-        return false;
+    if ARMED.with(|a| a.get()) && local_should_fire(point) {
+        return true;
     }
+    GLOBAL_ARMED.load(Ordering::Relaxed) && global_should_fire(point)
+}
+
+fn local_should_fire(point: &str) -> bool {
     PLAN.with(|p| {
         let plan = p.borrow();
         let Some(plan) = plan.as_ref() else {
@@ -132,6 +206,27 @@ pub fn should_fire(point: &str) -> bool {
             true
         }
     })
+}
+
+fn global_should_fire(point: &str) -> bool {
+    let Ok(mut guard) = GLOBAL_PLAN.lock() else {
+        // A poisoned plan mutex means a test thread panicked mid-update;
+        // fail safe by never firing rather than propagating the panic.
+        return false;
+    };
+    let Some(plan) = guard.as_mut() else {
+        return false;
+    };
+    if plan.point != point {
+        return false;
+    }
+    if plan.countdown > 0 {
+        plan.countdown -= 1;
+        false
+    } else {
+        plan.fired += 1;
+        true
+    }
 }
 
 /// Parser-side fail point: `Some(message)` when an armed plan fires at
@@ -186,5 +281,27 @@ mod tests {
     #[should_panic(expected = "unknown trigger point")]
     fn unknown_points_are_rejected() {
         let _ = arm("no.such.point", 0);
+    }
+
+    #[test]
+    fn global_plans_fire_on_other_threads() {
+        // Uses a trigger point no other test in this crate reaches, so
+        // running in parallel with the thread-local tests is safe.
+        {
+            let _guard = arm_global("anneal.move", 1);
+            let fired_elsewhere = std::thread::spawn(|| {
+                let first = should_fire("anneal.move"); // consumes countdown
+                let second = should_fire("anneal.move");
+                (first, second)
+            })
+            .join()
+            .unwrap_or((true, false));
+            assert_eq!(fired_elsewhere, (false, true));
+            assert!(should_fire("anneal.move"), "keeps firing on any thread");
+            assert_eq!(global_times_fired(), 2);
+            assert_eq!(times_fired(), 0, "thread-local plan stays empty");
+        }
+        assert!(!should_fire("anneal.move"), "guard disarms the global plan");
+        assert_eq!(global_times_fired(), 0);
     }
 }

@@ -160,14 +160,22 @@ impl Cover {
         // Sort by descending part count so containers precede containees.
         self.cubes
             .sort_by_key(|c| std::cmp::Reverse(c.part_count()));
+        // Word-fold signature prefilter: per-word containment implies
+        // containment of the OR-fold of the words, so any containee bit
+        // outside a candidate container's fold rejects that pair without
+        // the full word sweep. Exact for single-word domains (≤ 64 parts).
+        let fold = |c: &Cube| c.words().iter().fold(0u64, |acc, &w| acc | w);
         let mut kept: Vec<Cube> = Vec::with_capacity(self.cubes.len());
+        let mut kept_sigs: Vec<u64> = Vec::with_capacity(self.cubes.len());
         'outer: for c in self.cubes.drain(..) {
-            for k in &kept {
-                if k.covers(&c) {
+            let sig = fold(&c);
+            for (k, &ksig) in kept.iter().zip(&kept_sigs) {
+                if sig & !ksig == 0 && k.covers(&c) {
                     continue 'outer;
                 }
             }
             kept.push(c);
+            kept_sigs.push(sig);
         }
         self.cubes = kept;
     }

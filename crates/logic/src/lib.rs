@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod budget;
 pub mod chaos;
 pub mod cover;
@@ -58,6 +59,7 @@ pub mod sharp;
 pub mod urp;
 pub mod verify;
 
+pub use bitset::WordSet;
 pub use budget::{Budget, Completion, ExhaustReason};
 pub use cover::Cover;
 pub use cube::Cube;

@@ -15,4 +15,13 @@ cargo test -q --offline --workspace
 echo "== cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== differential suite"
+cargo test -q --offline --test differential_encoders --test chaos_parallel \
+    --test determinism
+
+echo "== bench_json --smoke"
+cargo run -q --offline --release -p picola-bench --bin bench_json -- \
+    --smoke --out /tmp/bench_smoke.json
+rm -f /tmp/bench_smoke.json
+
 echo "verify: OK"

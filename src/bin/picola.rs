@@ -4,6 +4,7 @@
 //! picola encode <machine.kiss2>     face constraints + PICOLA codes
 //! picola assign <machine.kiss2>     full state assignment, emits the
 //!                                   minimized encoded PLA on stdout
+//! picola portfolio <machine.kiss2>  race every encoder, print the table
 //! picola minimize <file.pla>        two-level minimization of a PLA
 //! picola bench <name>               synthesize a suite benchmark as KISS2
 //! ```
@@ -13,6 +14,7 @@
 //! ```text
 //! --budget-ms <n>     wall-clock budget in milliseconds
 //! --budget-work <n>   work-unit budget (loop iterations, search nodes)
+//! --threads <n>       worker threads (never changes results, only speed)
 //! ```
 //!
 //! An exhausted budget never fails the run: the tool emits its best-so-far
@@ -43,10 +45,11 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "\
-usage: picola [--budget-ms N] [--budget-work N] <command> <file|name>
+usage: picola [--budget-ms N] [--budget-work N] [--threads N] <command> <file|name>
 
 encode    <machine.kiss2>  extract face constraints, print PICOLA codes
 assign    <machine.kiss2>  full state assignment, print minimized PLA
+portfolio <machine.kiss2>  race every encoder, print the comparison table
 minimize  <file.pla>       two-level minimization (ESPRESSO)
 export-mv <machine.kiss2>  print the symbolic cover as a .mv PLA
 reduce    <machine.kiss2>  merge equivalent states, print KISS2
@@ -54,7 +57,9 @@ bench     <name>           print a synthetic suite benchmark as KISS2
 
 --budget-ms N    stop refining after N milliseconds (graceful: the best
                  result so far is still emitted, exit code stays 0)
---budget-work N  stop refining after N abstract work units";
+--budget-work N  stop refining after N abstract work units
+--threads N      worker threads for `encode` refinement and the `portfolio`
+                 race (results are identical for any value; default 1)";
 
 /// Everything that can go wrong in the CLI, mapped to distinct exit codes.
 #[derive(Debug)]
@@ -139,31 +144,34 @@ impl From<PicolaError> for AppError {
     }
 }
 
-/// The parsed command line: subcommand, its target, and the run budget.
+/// The parsed command line: subcommand, its target, the run budget, and
+/// the worker-thread count.
 struct Cli {
     command: String,
     target: String,
     budget: Budget,
+    threads: usize,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, AppError> {
     let mut positional: Vec<&String> = Vec::new();
     let mut budget = Budget::unlimited();
+    let mut threads = 1usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--budget-ms" | "--budget-work" => {
+            "--budget-ms" | "--budget-work" | "--threads" => {
                 let value = it
                     .next()
                     .ok_or_else(|| AppError::Usage(format!("{arg} needs a value")))?;
                 let n: u64 = value
                     .parse()
                     .map_err(|_| AppError::Usage(format!("{arg} needs an integer, got {value:?}")))?;
-                budget = if arg == "--budget-ms" {
-                    budget.deadline_in(Duration::from_millis(n))
-                } else {
-                    budget.work_limit(n)
-                };
+                match arg.as_str() {
+                    "--budget-ms" => budget = budget.deadline_in(Duration::from_millis(n)),
+                    "--budget-work" => budget = budget.work_limit(n),
+                    _ => threads = usize::try_from(n).unwrap_or(usize::MAX).max(1),
+                }
             }
             flag if flag.starts_with("--") => {
                 return Err(AppError::Usage(format!("unknown flag {flag}")));
@@ -178,6 +186,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, AppError> {
         command: (*command).clone(),
         target: (*target).clone(),
         budget,
+        threads,
     })
 }
 
@@ -212,7 +221,11 @@ fn cmd_encode(cli: &Cli) -> Result<(), AppError> {
     for c in &constraints {
         outln(&format!("# constraint {c} (weight {})", c.weight()))?;
     }
-    let result = try_picola_encode_with(n, &constraints, &PicolaOptions::default(), &cli.budget)?;
+    let opts = PicolaOptions {
+        threads: cli.threads,
+        ..PicolaOptions::default()
+    };
+    let result = try_picola_encode_with(n, &constraints, &opts, &cli.budget)?;
     let eval = evaluate_encoding(&result.encoding, &constraints);
     outln(&format!(
         "# {} of {} constraints satisfied, {} cubes total",
@@ -266,6 +279,48 @@ fn cmd_assign(cli: &Cli) -> Result<(), AppError> {
     }
     print_status(r.completion.and(min_completion))?;
     outln(&write_pla(&pla))?;
+    Ok(())
+}
+
+fn cmd_portfolio(cli: &Cli) -> Result<(), AppError> {
+    let fsm = read_fsm(&cli.target)?;
+    let n = fsm.num_states();
+    let constraints = extract_constraints(&symbolic_cover(&fsm));
+    let portfolio = picola::baselines::standard_portfolio(0).with_threads(cli.threads);
+    let Some(outcome) = portfolio.run(n, &constraints, &cli.budget) else {
+        return Err(AppError::Internal("portfolio produced no outcome".into()));
+    };
+    outln(&format!("# {fsm}"))?;
+    outln(&format!(
+        "# {} constraints ({} non-trivial), {} worker threads",
+        constraints.len(),
+        constraints.iter().filter(|c| !c.is_trivial()).count(),
+        cli.threads
+    ))?;
+    outln(&format!(
+        "{:<10} {:>6} {:>10} {:>10} {:>9}",
+        "encoder", "cubes", "satisfied", "wall-ms", "status"
+    ))?;
+    for m in &outcome.members {
+        outln(&format!(
+            "{:<10} {:>6} {:>10} {:>10.3} {:>9}",
+            m.name,
+            m.cost,
+            m.satisfied,
+            m.wall.as_secs_f64() * 1000.0,
+            if m.completion.is_complete() {
+                "ok"
+            } else {
+                "degraded"
+            }
+        ))?;
+    }
+    outln(&format!(
+        "# winner: {} ({} cubes)",
+        outcome.best().name,
+        outcome.best().cost
+    ))?;
+    print_status(outcome.completion)?;
     Ok(())
 }
 
@@ -323,6 +378,7 @@ fn run(args: &[String]) -> Result<(), AppError> {
     match cli.command.as_str() {
         "encode" => cmd_encode(&cli),
         "assign" => cmd_assign(&cli),
+        "portfolio" => cmd_portfolio(&cli),
         "minimize" => cmd_minimize(&cli),
         "export-mv" => cmd_export_mv(&cli),
         "reduce" => cmd_reduce(&cli),

@@ -1,0 +1,152 @@
+//! Chaos sweep over the parallel portfolio: a fault inside one worker must
+//! degrade that worker only — the join never poisons, never hangs, and the
+//! other members' results stand. Real budget limits, by contrast, stop
+//! every member.
+//!
+//! Global chaos plans are process-wide, so every test here serializes on
+//! one mutex (the other tests in this binary don't arm chaos at all).
+
+// Tests are exempt from the panic-freedom policy; clippy's in-tests
+// exemption misses integration-test helpers, so waive it explicitly.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use picola::baselines::standard_portfolio;
+use picola::constraints::{GroupConstraint, SymbolSet};
+use picola::core::{chaos, Budget, Completion, ExhaustReason};
+use std::sync::Mutex;
+use std::time::Duration;
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn instance() -> (usize, Vec<GroupConstraint>) {
+    let n = 10;
+    let groups: &[&[usize]] = &[&[0, 1, 2], &[3, 4], &[5, 6, 7], &[8, 9], &[1, 5]];
+    let cs = groups
+        .iter()
+        .map(|g| GroupConstraint::new(SymbolSet::from_members(n, g.iter().copied())))
+        .collect();
+    (n, cs)
+}
+
+#[test]
+fn injected_fault_degrades_the_owning_member_only() {
+    let _lock = lock();
+    let (n, cs) = instance();
+    // Each trigger point belongs to exactly one portfolio member; firing
+    // it must degrade that member and no other.
+    for (point, owner) in [
+        ("picola.refine", "picola"),
+        ("nova.place", "nova-ih"),
+        ("anneal.move", "anneal"),
+    ] {
+        let guard = chaos::arm_global(point, 0);
+        let budget = Budget::unlimited();
+        let out = standard_portfolio(7)
+            .with_threads(4)
+            .run(n, &cs, &budget)
+            .unwrap_or_else(|| panic!("{point}: join must return an outcome"));
+        for m in &out.members {
+            if m.name == owner {
+                assert!(
+                    matches!(
+                        m.completion,
+                        Completion::Degraded {
+                            reason: ExhaustReason::Injected,
+                            ..
+                        }
+                    ),
+                    "{point}: member {} should be injected-degraded, got {:?}",
+                    m.name,
+                    m.completion
+                );
+            } else {
+                assert!(
+                    m.completion.is_complete(),
+                    "{point}: fault leaked into member {}",
+                    m.name
+                );
+            }
+            assert_eq!(m.encoding.num_symbols(), n, "{point}: invalid fallback");
+        }
+        assert!(!out.completion.is_complete(), "{point}: fold hides the fault");
+        assert_eq!(
+            budget.exhaustion(),
+            None,
+            "{point}: injected faults must not poison the parent budget"
+        );
+        drop(guard);
+    }
+}
+
+#[test]
+fn a_panicking_worker_does_not_hang_the_join_under_chaos() {
+    let _lock = lock();
+    // Chaos armed on one member *and* a finite work pool: the injected
+    // member degrades privately while the cap degrades the rest; the join
+    // still returns one outcome per member.
+    let (n, cs) = instance();
+    let _guard = chaos::arm_global("anneal.move", 0);
+    let budget = Budget::with_work_limit(500);
+    let out = standard_portfolio(7)
+        .with_threads(4)
+        .run(n, &cs, &budget)
+        .unwrap_or_else(|| panic!("join must return"));
+    assert_eq!(out.members.len(), 5);
+    for m in &out.members {
+        assert_eq!(m.encoding.num_symbols(), n);
+    }
+    let anneal = out
+        .members
+        .iter()
+        .find(|m| m.name == "anneal")
+        .unwrap_or_else(|| panic!("anneal member missing"));
+    assert!(
+        matches!(
+            anneal.completion,
+            Completion::Degraded {
+                reason: ExhaustReason::Injected,
+                ..
+            }
+        ),
+        "anneal: {:?}",
+        anneal.completion
+    );
+}
+
+#[test]
+fn zero_deadline_degrades_every_working_member_but_join_returns() {
+    let _lock = lock();
+    let (n, cs) = instance();
+    let budget = Budget::unlimited().deadline_in(Duration::ZERO);
+    let out = standard_portfolio(7)
+        .with_threads(4)
+        .run(n, &cs, &budget)
+        .unwrap_or_else(|| panic!("degraded, not dead"));
+    assert!(!out.completion.is_complete());
+    for m in &out.members {
+        assert_eq!(m.encoding.num_symbols(), n, "{}: invalid result", m.name);
+    }
+    assert_eq!(budget.exhaustion(), Some(ExhaustReason::Deadline));
+}
+
+#[test]
+fn tiny_work_cap_propagates_to_the_parent_latch() {
+    let _lock = lock();
+    let (n, cs) = instance();
+    let budget = Budget::with_work_limit(1);
+    let out = standard_portfolio(7)
+        .with_threads(2)
+        .run(n, &cs, &budget)
+        .unwrap_or_else(|| panic!("degraded, not dead"));
+    assert!(!out.completion.is_complete());
+    for m in &out.members {
+        assert_eq!(m.encoding.num_symbols(), n);
+    }
+    assert_eq!(budget.exhaustion(), Some(ExhaustReason::WorkLimit));
+}

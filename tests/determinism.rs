@@ -5,8 +5,8 @@
 // exemption misses integration-test helpers, so waive it explicitly.
 #![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
 
-use picola::baselines::{AnnealingEncoder, EncLikeEncoder, NovaEncoder};
-use picola::core::{Encoder, PicolaEncoder};
+use picola::baselines::{standard_portfolio, AnnealingEncoder, EncLikeEncoder, NovaEncoder};
+use picola::core::{picola_encode_with, Budget, Encoder, PicolaEncoder, PicolaOptions};
 use picola::fsm::{benchmark_fsm, write_kiss};
 use picola::stassign::{assign_states, fsm_constraints, FlowOptions, PicolaStateEncoder};
 
@@ -46,6 +46,58 @@ fn every_encoder_is_deterministic() {
         let b = e.encode(n, &cs);
         assert_eq!(a, b, "{} not deterministic", e.name());
     }
+}
+
+#[test]
+fn refine_is_identical_for_any_thread_count() {
+    // The parallel refine loop evaluates candidates in fixed-size chunks
+    // and applies the first improvement in enumeration order, so the
+    // encoding must be bit-identical whether one thread or many do the
+    // evaluating.
+    for name in ["ex3", "donfile", "keyb"] {
+        let fsm = benchmark_fsm(name).unwrap();
+        let n = fsm.num_states();
+        let cs = fsm_constraints(&fsm, picola::constraints::ExtractMethod::Quick);
+        let with_threads = |threads: usize| {
+            let opts = PicolaOptions {
+                threads,
+                ..PicolaOptions::default()
+            };
+            picola_encode_with(n, &cs, &opts).encoding
+        };
+        let sequential = with_threads(1);
+        for threads in [2, 4, 7] {
+            assert_eq!(
+                sequential,
+                with_threads(threads),
+                "{name}: --threads {threads} diverged from --threads 1"
+            );
+        }
+    }
+}
+
+#[test]
+fn portfolio_is_identical_for_any_thread_count() {
+    let fsm = benchmark_fsm("bbara").unwrap();
+    let n = fsm.num_states();
+    let cs = fsm_constraints(&fsm, picola::constraints::ExtractMethod::Quick);
+    let run = |threads: usize| {
+        let out = standard_portfolio(11)
+            .with_threads(threads)
+            .run(n, &cs, &Budget::unlimited())
+            .unwrap();
+        (
+            out.winner,
+            out.best().encoding.clone(),
+            out.members
+                .iter()
+                .map(|m| (m.name.clone(), m.cost, m.satisfied))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let sequential = run(1);
+    assert_eq!(sequential, run(4));
+    assert_eq!(sequential, run(5));
 }
 
 #[test]

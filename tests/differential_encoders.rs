@@ -1,0 +1,152 @@
+//! Differential-oracle layer: every encoder, many generated instances, one
+//! independent validity oracle.
+//!
+//! The oracle re-derives everything from raw codes with its own arithmetic —
+//! no `Encoding::satisfies`, no supercube helpers — so a shared bug in the
+//! library's face machinery cannot vouch for itself. Checked per encoder and
+//! instance:
+//!
+//! 1. the encoding is valid: `n` codes, all distinct, all within `nv` =
+//!    `ceil(log2 n)` bits;
+//! 2. the library's satisfied/violated verdict for every non-trivial
+//!    constraint matches the oracle's face-embedding check;
+//! 3. the parallel portfolio returns the same winner, winning cost, and
+//!    winning encoding as a sequential run.
+
+// Tests are exempt from the panic-freedom policy; clippy's in-tests
+// exemption misses integration-test helpers, so waive it explicitly.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use picola::baselines::{standard_members, standard_portfolio};
+use picola::constraints::{min_code_length, Encoding, GroupConstraint};
+use picola::core::Budget;
+use picola_bench::corpus::{corpus, Instance};
+use std::collections::HashSet;
+
+const CORPUS_SEED: u64 = 0xD1FF;
+
+/// Independent face-embedding oracle.
+///
+/// The minimal face spanned by the members fixes every bit position where
+/// all member codes agree. The constraint is face-embedded iff every symbol
+/// whose code agrees on all those positions is a member.
+fn oracle_face_embedded(enc: &Encoding, c: &GroupConstraint) -> bool {
+    let members: Vec<usize> = c.members().iter().collect();
+    let Some(&first) = members.first() else {
+        return true;
+    };
+    let anchor = enc.code(first);
+    // Positions where some pair of members disagrees are free; the rest
+    // are fixed at the anchor's value.
+    let mut fixed = (1u32 << enc.nv()) - 1;
+    for &m in &members {
+        fixed &= !(enc.code(m) ^ anchor);
+    }
+    (0..enc.num_symbols())
+        .filter(|&s| (enc.code(s) ^ anchor) & fixed == 0)
+        .all(|s| c.members().contains(s))
+}
+
+fn oracle_check_valid(enc: &Encoding, inst: &Instance, encoder: &str) {
+    let nv = min_code_length(inst.n);
+    assert_eq!(
+        enc.codes().len(),
+        inst.n,
+        "{}/{encoder}: wrong number of codes",
+        inst.name
+    );
+    assert_eq!(enc.nv(), nv, "{}/{encoder}: not minimum length", inst.name);
+    let distinct: HashSet<u32> = enc.codes().iter().copied().collect();
+    assert_eq!(
+        distinct.len(),
+        inst.n,
+        "{}/{encoder}: duplicate codes",
+        inst.name
+    );
+    for &code in enc.codes() {
+        assert!(
+            (code as u64) < (1u64 << nv),
+            "{}/{encoder}: code {code} exceeds {nv} bits",
+            inst.name
+        );
+    }
+}
+
+#[test]
+fn every_encoder_is_valid_and_honest_on_the_corpus() {
+    for inst in corpus(50, CORPUS_SEED) {
+        for member in standard_members(CORPUS_SEED) {
+            let (enc, completion) =
+                member.encode_bounded(inst.n, &inst.constraints, &Budget::unlimited());
+            assert!(
+                completion.is_complete(),
+                "{}/{}: unlimited budget must complete",
+                inst.name,
+                member.name()
+            );
+            oracle_check_valid(&enc, &inst, member.name());
+            for c in inst.constraints.iter().filter(|c| !c.is_trivial()) {
+                assert_eq!(
+                    enc.satisfies(c.members()),
+                    oracle_face_embedded(&enc, c),
+                    "{}/{}: satisfies() disagrees with the oracle on {c}",
+                    inst.name,
+                    member.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_portfolio_matches_sequential_on_the_corpus() {
+    // A smaller slice: each check runs the full five-member portfolio
+    // twice. Unlimited budget — the determinism contract only covers runs
+    // that are not cut short by a shared work pool.
+    for inst in corpus(12, CORPUS_SEED) {
+        let run = |threads: usize| {
+            standard_portfolio(CORPUS_SEED)
+                .with_threads(threads)
+                .run(inst.n, &inst.constraints, &Budget::unlimited())
+        };
+        let (seq, par) = match (run(1), run(4)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => panic!("{}: portfolio produced no outcome", inst.name),
+        };
+        assert_eq!(seq.winner, par.winner, "{}: winner index", inst.name);
+        assert_eq!(
+            seq.best().cost,
+            par.best().cost,
+            "{}: winning cost",
+            inst.name
+        );
+        assert_eq!(
+            seq.best().encoding,
+            par.best().encoding,
+            "{}: winning encoding",
+            inst.name
+        );
+        let costs = |o: &picola::core::PortfolioOutcome| {
+            o.members.iter().map(|m| m.cost).collect::<Vec<_>>()
+        };
+        assert_eq!(costs(&seq), costs(&par), "{}: member costs", inst.name);
+    }
+}
+
+#[test]
+fn portfolio_winner_is_never_beaten_by_a_member() {
+    for inst in corpus(20, CORPUS_SEED) {
+        let out = standard_portfolio(CORPUS_SEED)
+            .run(inst.n, &inst.constraints, &Budget::unlimited())
+            .unwrap_or_else(|| panic!("{}: no outcome", inst.name));
+        let best = out.best().cost;
+        for m in &out.members {
+            assert!(
+                m.cost >= best,
+                "{}: member {} beat the declared winner",
+                inst.name,
+                m.name
+            );
+        }
+    }
+}

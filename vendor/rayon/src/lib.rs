@@ -1,0 +1,126 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access and no crates.io cache, so
+//! this vendored crate provides the scoped fork-join subset of the rayon
+//! API the workspace actually uses: [`join`], [`scope`] with
+//! [`Scope::spawn`], and [`current_num_threads`].
+//!
+//! Instead of a work-stealing pool it maps every spawn onto
+//! [`std::thread::scope`] — one OS thread per spawned closure. The
+//! workspace only ever spawns a handful of coarse tasks at a time (one per
+//! portfolio member, one per refine chunk slice), so thread-spawn overhead
+//! is immaterial next to the work each task carries, and the semantics
+//! callers rely on are preserved exactly:
+//!
+//! * `join(a, b)` runs both closures to completion before returning,
+//!   propagating panics after both have finished;
+//! * `scope(f)` joins every `Scope::spawn` before returning — no task
+//!   outlives the scope;
+//! * borrowed data with lifetime `'scope` may be captured by spawned
+//!   closures, as with real rayon scopes.
+//!
+//! Swapping in the real crate is a one-line `Cargo.toml` change; no call
+//! site needs to know the difference.
+
+use std::num::NonZeroUsize;
+
+/// Number of threads the pool would use: the machine's available
+/// parallelism (1 when it cannot be queried).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+/// Panics in either closure propagate after both have completed.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            // Re-raise the panic payload from `b` on the caller's thread,
+            // matching rayon's join semantics.
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+/// A scope for spawning borrowed tasks; created by [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `body` onto the scope. The task may borrow from the
+    /// environment; the scope joins it before [`scope`] returns.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || body(&Scope { inner }));
+    }
+}
+
+/// Creates a fork-join scope: every task spawned via [`Scope::spawn`]
+/// completes before `scope` returns. A panic in any task propagates once
+/// all tasks have finished (via `std::thread::scope`'s join-all).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn scope_joins_all_spawns() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawns_are_joined() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn at_least_one_thread_is_reported() {
+        assert!(current_num_threads() >= 1);
+    }
+}
