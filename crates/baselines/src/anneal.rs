@@ -10,6 +10,7 @@
 use crate::objective::satisfied_weight;
 use picola_constraints::{Encoding, GroupConstraint};
 use picola_core::{Budget, Completion, Encoder};
+use picola_logic::obs;
 use picola_constraints::min_code_length;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -83,6 +84,8 @@ impl Encoder for AnnealingEncoder {
         // incrementally: swaps leave it unchanged, accepted moves flip two
         // bits. (The old per-proposal `Vec<bool>` rebuild was the hot
         // path's main allocation.) The natural start occupies 0..n.
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
         let mut used: Vec<u64> = vec![0; size.div_ceil(64)];
         for c in 0..n {
             used[c / 64] |= 1u64 << (c % 64);
@@ -121,6 +124,7 @@ impl Encoder for AnnealingEncoder {
                 let accept = cand_obj >= obj
                     || rng.random_range(0.0..1.0) < ((cand_obj - obj) / temp.max(1e-9)).exp();
                 if accept {
+                    accepted += 1;
                     if let Some((old, new)) = moved {
                         used[old as usize / 64] &= !(1u64 << (old % 64));
                         used[new as usize / 64] |= 1u64 << (new % 64);
@@ -131,10 +135,14 @@ impl Encoder for AnnealingEncoder {
                         best = enc.clone();
                         best_obj = obj;
                     }
+                } else {
+                    rejected += 1;
                 }
             }
             temp *= self.cooling;
         }
+        obs::count(obs::Counter::AnnealAccepts, accepted);
+        obs::count(obs::Counter::AnnealRejects, rejected);
         (best, budget.completion())
     }
 }

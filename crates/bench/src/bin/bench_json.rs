@@ -3,7 +3,9 @@
 //! Races every member of the standard portfolio on each corpus instance —
 //! individually on private budgets (attributing wall time and work units
 //! per encoder), then as a portfolio sequentially and in parallel — and
-//! writes one machine-readable JSON report (`BENCH_pr2.json` by default).
+//! writes one machine-readable JSON report (`BENCH_pr3.json` by default),
+//! including a deterministic per-instance `metrics` block (the obs span /
+//! counter tree of the sequential portfolio run).
 //! See README.md ("Reading the bench JSON") for the schema.
 //!
 //! ```text
@@ -14,6 +16,7 @@
 use picola_baselines::{standard_members, standard_portfolio};
 use picola_bench::corpus::{corpus, Instance};
 use picola_core::{estimate_cubes, Budget};
+use picola_logic::{SpanSnapshot, Trace};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -29,7 +32,7 @@ impl Options {
     fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
         let mut opts = Options {
             smoke: false,
-            out: "BENCH_pr2.json".to_owned(),
+            out: "BENCH_pr3.json".to_owned(),
             threads: 4,
             seed: 0x0001_C01A,
             instances: 0,
@@ -81,6 +84,10 @@ struct InstanceReport {
     parallel_matches: bool,
     seq_wall: Duration,
     par_wall: Duration,
+    /// Span/counter tree of the sequential portfolio run (deterministic:
+    /// created without a wall clock, so re-runs produce identical blocks).
+    metrics: SpanSnapshot,
+    metrics_work: u64,
 }
 
 fn run_instance(inst: Instance, opts: &Options) -> Result<InstanceReport, String> {
@@ -110,14 +117,16 @@ fn run_instance(inst: Instance, opts: &Options) -> Result<InstanceReport, String
         })
         .collect();
 
-    let timed_portfolio = |threads: usize| {
+    let timed_portfolio = |threads: usize, budget: &Budget| {
         let p = standard_portfolio(opts.seed).with_threads(threads);
         let t = Instant::now();
-        let out = p.run(inst.n, &inst.constraints, &Budget::unlimited());
+        let out = p.run(inst.n, &inst.constraints, budget);
         (out, t.elapsed())
     };
-    let (seq, seq_wall) = timed_portfolio(1);
-    let (par, par_wall) = timed_portfolio(opts.threads);
+    let trace = Trace::new();
+    let seq_budget = Budget::unlimited().with_recorder(trace.recorder());
+    let (seq, seq_wall) = timed_portfolio(1, &seq_budget);
+    let (par, par_wall) = timed_portfolio(opts.threads, &Budget::unlimited());
     let (seq, par) = match (seq, par) {
         (Some(a), Some(b)) => (a, b),
         _ => return Err(format!("{}: portfolio produced no outcome", inst.name)),
@@ -126,6 +135,8 @@ fn run_instance(inst: Instance, opts: &Options) -> Result<InstanceReport, String
     Ok(InstanceReport {
         nontrivial,
         encoders,
+        metrics: trace.snapshot(),
+        metrics_work: trace.total_work(),
         winner: seq.best().name.clone(),
         winning_cost: seq.best().cost,
         parallel_matches: seq.best().cost == par.best().cost
@@ -143,7 +154,7 @@ fn ms(d: Duration) -> String {
 fn emit(reports: &[InstanceReport], opts: &Options) -> String {
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"picola-bench/bench_json/v1\",");
+    let _ = writeln!(j, "  \"schema\": \"picola-bench/bench_json/v2\",");
     let _ = writeln!(j, "  \"seed\": {},", opts.seed);
     let _ = writeln!(j, "  \"threads\": {},", opts.threads);
     let _ = writeln!(j, "  \"smoke\": {},", opts.smoke);
@@ -176,7 +187,13 @@ fn emit(reports: &[InstanceReport], opts: &Options) -> String {
         let _ = writeln!(j, "        \"parallel_matches_sequential\": {},", r.parallel_matches);
         let _ = writeln!(j, "        \"sequential_wall_ms\": {},", ms(r.seq_wall));
         let _ = writeln!(j, "        \"parallel_wall_ms\": {}", ms(r.par_wall));
-        let _ = writeln!(j, "      }}");
+        let _ = writeln!(j, "      }},");
+        let _ = writeln!(
+            j,
+            "      \"metrics\": {{\"total_work\": {}, \"spans\": {}}}",
+            r.metrics_work,
+            r.metrics.to_json()
+        );
         let _ = write!(j, "    }}");
         let _ = writeln!(j, "{}", if ri + 1 < reports.len() { "," } else { "" });
     }

@@ -9,6 +9,7 @@
 
 use crate::constraint::GroupConstraint;
 use crate::symbols::SymbolSet;
+use picola_logic::obs;
 use std::fmt;
 
 /// Life-cycle of a constraint during column-based encoding.
@@ -113,9 +114,11 @@ impl TrackedConstraint {
         let all_true = mwords.iter().zip(col_words).all(|(m, c)| m & !c == 0);
         let all_false = mwords.iter().zip(col_words).all(|(m, c)| m & c == 0);
         if !(all_true || all_false) {
+            obs::count(obs::Counter::WordOps, 2 * col_words.len() as u64);
             self.disagreeing.push(col_index);
             return;
         }
+        obs::count(obs::Counter::WordOps, 3 * col_words.len() as u64);
         self.participating.push(col_index);
         // Bits where the column differs from the members' shared value `v`,
         // excluding the members themselves: exactly the outsiders whose
@@ -143,13 +146,18 @@ impl TrackedConstraint {
 }
 
 /// Packs a bool column into `u64` words (bit `j` set when `column[j]`).
-fn pack_column(column: &[bool]) -> Vec<u64> {
+///
+/// Public so the property suite can check the packing against a per-bit
+/// reference; production callers are [`ConstraintMatrix::apply_column`]
+/// and the guide replay.
+pub fn pack_column(column: &[bool]) -> Vec<u64> {
     let mut words = vec![0u64; column.len().div_ceil(64).max(1)];
     for (j, &b) in column.iter().enumerate() {
         if b {
             words[j / 64] |= 1u64 << (j % 64);
         }
     }
+    obs::count(obs::Counter::WordOps, words.len() as u64);
     words
 }
 

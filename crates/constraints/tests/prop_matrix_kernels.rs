@@ -1,0 +1,167 @@
+//! Property tests of the word-parallel matrix kernels against naive
+//! per-bit references: [`pack_column`] versus direct bit addressing, and
+//! the `absorb_column` bookkeeping behind [`ConstraintMatrix::apply_column`]
+//! versus a symbol-at-a-time model of the paper's matrix update.
+
+// Tests are exempt from the panic-freedom policy; clippy's in-tests
+// exemption misses integration-test helpers, so waive it explicitly.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use picola_constraints::{
+    pack_column, ConstraintMatrix, ConstraintStatus, GroupConstraint, SymbolSet,
+};
+use proptest::prelude::*;
+
+/// Raw width of the generated bool vectors; instances truncate them to a
+/// drawn `n` so symbol counts vary without dependent strategies.
+const RAW: usize = 40;
+
+/// Strategy: symbol count, constraint member masks, and code columns (all
+/// masks generated at width [`RAW`] and truncated to `n` by the test).
+fn matrix_instance() -> impl Strategy<Value = (usize, Vec<Vec<bool>>, Vec<Vec<bool>>)> {
+    let n = 1usize..=RAW;
+    let groups = proptest::collection::vec(proptest::collection::vec(any::<bool>(), RAW), 1..6);
+    let columns = proptest::collection::vec(proptest::collection::vec(any::<bool>(), RAW), 0..8);
+    (n, groups, columns)
+}
+
+/// Naive per-symbol model of one tracked constraint: what `absorb_column`
+/// computes word-parallel, restated one symbol at a time.
+struct RefTracked {
+    group: GroupConstraint,
+    members: Vec<bool>,
+    /// 1-based satisfying column per symbol, 0 while unsatisfied.
+    sat_col: Vec<usize>,
+    participating: Vec<usize>,
+    disagreeing: Vec<usize>,
+}
+
+impl RefTracked {
+    fn new(group: GroupConstraint, n: usize) -> Self {
+        let members = (0..n).map(|j| group.members().contains(j)).collect();
+        RefTracked {
+            group,
+            members,
+            sat_col: vec![0; n],
+            participating: Vec::new(),
+            disagreeing: Vec::new(),
+        }
+    }
+
+    fn absorb(&mut self, col_index: usize, column: &[bool]) {
+        // The matrix skips trivial and empty-membered constraints entirely.
+        if self.group.is_trivial() || self.group.members().is_empty() {
+            return;
+        }
+        let on_true = column
+            .iter()
+            .zip(&self.members)
+            .filter(|&(_, &m)| m)
+            .filter(|&(&c, _)| c)
+            .count();
+        let member_count = self.members.iter().filter(|&&m| m).count();
+        let all_true = on_true == member_count;
+        let all_false = on_true == 0;
+        if !(all_true || all_false) {
+            self.disagreeing.push(col_index);
+            return;
+        }
+        self.participating.push(col_index);
+        for (j, (&c, &m)) in column.iter().zip(&self.members).enumerate() {
+            if !m && c != all_true && self.sat_col[j] == 0 {
+                self.sat_col[j] = col_index + 1;
+            }
+        }
+    }
+
+    fn entry(&self, j: usize) -> usize {
+        if self.members[j] {
+            1
+        } else {
+            self.sat_col[j]
+        }
+    }
+
+    fn unsatisfied(&self) -> usize {
+        self.sat_col
+            .iter()
+            .zip(&self.members)
+            .filter(|&(&s, &m)| !m && s == 0)
+            .count()
+    }
+
+    fn status(&self) -> ConstraintStatus {
+        if self.group.is_trivial() || self.unsatisfied() == 0 {
+            ConstraintStatus::Satisfied
+        } else {
+            ConstraintStatus::Active
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn pack_column_matches_per_bit_reference(
+        column in proptest::collection::vec(any::<bool>(), 0..300)
+    ) {
+        let words = pack_column(&column);
+        prop_assert_eq!(words.len(), column.len().div_ceil(64).max(1));
+        for (j, &b) in column.iter().enumerate() {
+            let bit = (words[j / 64] >> (j % 64)) & 1 == 1;
+            prop_assert_eq!(bit, b, "bit {j} mispacked");
+        }
+        // Padding above the column length stays zero.
+        for j in column.len()..words.len() * 64 {
+            prop_assert_eq!((words[j / 64] >> (j % 64)) & 1, 0, "padding bit {j} set");
+        }
+    }
+
+    #[test]
+    fn absorb_column_matches_per_symbol_reference(
+        (n, groups, columns) in matrix_instance()
+    ) {
+        let nv = columns.len().max(1);
+        let constraints: Vec<GroupConstraint> = groups
+            .iter()
+            .map(|g| {
+                GroupConstraint::new(SymbolSet::from_members(
+                    n,
+                    g.iter().take(n).enumerate().filter(|&(_, &b)| b).map(|(j, _)| j),
+                ))
+            })
+            .collect();
+        let mut matrix = ConstraintMatrix::new(n, nv, constraints.clone());
+        let mut reference: Vec<RefTracked> = constraints
+            .into_iter()
+            .map(|c| RefTracked::new(c, n))
+            .collect();
+
+        for (col_index, raw) in columns.iter().enumerate() {
+            let column: Vec<bool> = raw.iter().copied().take(n).collect();
+            matrix.apply_column(&column);
+            for r in &mut reference {
+                r.absorb(col_index, &column);
+            }
+            prop_assert_eq!(matrix.columns_done(), col_index + 1);
+            for (k, r) in reference.iter().enumerate() {
+                let tc = matrix.constraint(k);
+                for j in 0..n {
+                    prop_assert_eq!(
+                        tc.entry(j), r.entry(j),
+                        "constraint {k}, symbol {j}, after column {col_index}"
+                    );
+                }
+                prop_assert_eq!(tc.participating(), r.participating.as_slice());
+                prop_assert_eq!(tc.disagreeing(), r.disagreeing.as_slice());
+                prop_assert_eq!(tc.unsatisfied_dichotomies(), r.unsatisfied());
+                prop_assert_eq!(tc.status(), r.status(), "constraint {k} status");
+                let intruders: Vec<usize> = (0..n)
+                    .filter(|&j| !r.members[j] && r.sat_col[j] == 0)
+                    .collect();
+                prop_assert_eq!(tc.pending_intruders().to_vec(), intruders);
+            }
+        }
+    }
+}

@@ -9,7 +9,7 @@ use crate::validity::ValidityTracker;
 use picola_constraints::{
     min_code_length, ConstraintMatrix, ConstraintStatus, Encoding, GroupConstraint,
 };
-use picola_logic::{Budget, Completion};
+use picola_logic::{obs, Budget, Completion};
 
 /// Options for [`picola_encode_with`].
 #[derive(Debug, Clone, Default)]
@@ -170,25 +170,32 @@ pub fn try_picola_encode_with(
         }
     }
 
+    let span = obs::current_or(budget.recorder()).span("picola");
+    let _cur = obs::enter(span.recorder());
+
     let mut matrix = ConstraintMatrix::new(n, nv, constraints.to_vec());
     let mut validity = ValidityTracker::new(n, nv);
     let mut rounds = Vec::with_capacity(nv);
     let mut constructive_complete = true;
 
-    for _ in 0..nv {
+    for col in 0..nv {
         if !budget.tick("picola.column", 1) {
             constructive_complete = false;
             break;
         }
+        let col_span = span.recorder().span(&format!("column.{col}"));
+        let _col_cur = obs::enter(col_span.recorder());
         let outcome = if opts.disable_classify {
             ClassifyOutcome::default()
         } else {
             update_constraints(&mut matrix, !opts.disable_guides)
         };
+        obs::count(obs::Counter::GuidesAdded, outcome.guides_added.len() as u64);
         rounds.push(outcome);
         let column = solve_column(&matrix, &validity, opts.cost);
         matrix.apply_column(&column);
         validity.commit(&column);
+        obs::count(obs::Counter::ColumnsSolved, 1);
     }
     // Final classification pass so the matrix reports end-of-run statuses.
     if constructive_complete && !opts.disable_classify {
@@ -347,6 +354,9 @@ fn refine(
 ) -> Encoding {
     use crate::eval::greedy_codes_cubes;
 
+    let span = obs::current_or(budget.recorder()).span("refine");
+    let _cur = obs::enter(span.recorder());
+
     let active: Vec<&GroupConstraint> =
         constraints.iter().filter(|c| !c.is_trivial()).collect();
     if active.is_empty() {
@@ -463,9 +473,12 @@ fn refine(
             // Apply the first improving candidate in enumeration order and
             // resume right after it; later results in the chunk are stale
             // against the new state and are discarded.
+            obs::count(obs::Counter::RefineEvals, chunk.len() as u64);
             for (t, &(resume, cand)) in chunk.iter().enumerate() {
                 let (delta, ref updates) = results[t];
                 if delta < 0 {
+                    obs::count(obs::Counter::RefineAccepts, 1);
+                    obs::count(obs::Counter::RefineRejects, t as u64);
                     match cand {
                         RefineCand::Swap(i, j) => codes.swap(i, j),
                         RefineCand::Move(i, w) => codes[i] = w,
@@ -479,6 +492,7 @@ fn refine(
                     continue 'pass;
                 }
             }
+            obs::count(obs::Counter::RefineRejects, chunk.len() as u64);
         }
         if !improved || budget.is_exhausted() {
             break;

@@ -25,7 +25,7 @@
 use crate::eval::estimate_cubes;
 use crate::picola::Encoder;
 use picola_constraints::{Encoding, GroupConstraint};
-use picola_logic::{Budget, Completion, ExhaustReason};
+use picola_logic::{obs, Budget, Completion, ExhaustReason};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -132,6 +132,17 @@ impl EncoderPortfolio {
             t => t.min(k),
         };
 
+        // Per-member spans are created here, in member order on the calling
+        // thread, so the trace's child order never depends on worker
+        // scheduling; each worker installs its member's recorder while it
+        // runs, which attributes every tick and counter to that member.
+        let pspan = obs::current_or(budget.recorder()).span("portfolio");
+        let member_spans: Vec<obs::SpanGuard> = self
+            .members
+            .iter()
+            .map(|m| pspan.recorder().span(&format!("member.{}", m.name())))
+            .collect();
+
         let next = AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, MemberOutcome)>> = Mutex::new(Vec::with_capacity(k));
         rayon::scope(|s| {
@@ -142,8 +153,13 @@ impl EncoderPortfolio {
                         if idx >= k {
                             break;
                         }
-                        let outcome =
-                            run_member(self.members[idx].as_ref(), n, constraints, budget);
+                        let outcome = run_member(
+                            self.members[idx].as_ref(),
+                            n,
+                            constraints,
+                            budget,
+                            &member_spans[idx],
+                        );
                         if let Ok(mut out) = collected.lock() {
                             out.push((idx, outcome));
                         }
@@ -204,13 +220,18 @@ fn run_member(
     n: usize,
     constraints: &[GroupConstraint],
     budget: &Budget,
+    span: &obs::SpanGuard,
 ) -> MemberOutcome {
+    let _cur = obs::enter(span.recorder());
     let worker_budget = budget.worker();
     let start = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
         member.encode_bounded(n, constraints, &worker_budget)
     }));
     let wall = start.elapsed();
+    if result.is_err() {
+        obs::count(obs::Counter::PanicsCaught, 1);
+    }
     let (encoding, completion) = match result {
         Ok(r) => r,
         Err(_) => (

@@ -159,6 +159,7 @@ pub fn solve_column(
     let limit = validity.next_class_limit();
     let mut column = vec![true; n];
     let mut scorer = ColumnScorer::new(matrix, cost);
+    let mut evals = 0u64;
 
     loop {
         let splits = validity.split_sizes(&column);
@@ -180,6 +181,7 @@ pub fn solve_column(
             if splits[class].1 >= limit {
                 continue;
             }
+            evals += 1;
             let g = scorer.gain(i);
             let better = match best {
                 None => true,
@@ -199,6 +201,7 @@ pub fn solve_column(
         }
     }
 
+    picola_logic::obs::count(picola_logic::obs::Counter::DichotomyEvals, evals);
     debug_assert!(validity.column_is_valid(&column));
     column
 }

@@ -25,6 +25,7 @@
 //! at that point deterministically (see the chaos module docs).
 
 use crate::chaos;
+use crate::obs;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -150,6 +151,9 @@ pub struct Budget {
     /// 0 = live; otherwise the latched `ExhaustReason` (+1). Private per
     /// view, so worker faults stay local.
     exhausted: AtomicU8,
+    /// Where ticks report their work when no thread-local recorder is
+    /// installed (see [`crate::obs`]); disabled by default.
+    recorder: obs::Recorder,
 }
 
 impl Default for Budget {
@@ -169,6 +173,7 @@ impl Clone for Budget {
             work: Arc::new(AtomicU64::new(self.work.load(Ordering::Relaxed))),
             next_clock_check: AtomicU64::new(self.next_clock_check.load(Ordering::Relaxed)),
             exhausted: AtomicU8::new(self.exhausted.load(Ordering::Relaxed)),
+            recorder: self.recorder.clone(),
         }
     }
 }
@@ -182,6 +187,7 @@ impl Budget {
             work: Arc::new(AtomicU64::new(0)),
             next_clock_check: AtomicU64::new(CLOCK_PERIOD),
             exhausted: AtomicU8::new(LATCH_CLEAR),
+            recorder: obs::Recorder::disabled(),
         }
     }
 
@@ -209,6 +215,22 @@ impl Budget {
         self
     }
 
+    /// Attaches an [`obs`] recorder: every tick reports its work units to
+    /// the thread's current recorder if one is installed, else to this
+    /// one. Shared by [`Budget::worker`] views and `clone()` snapshots, so
+    /// one trace observes the whole pool.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: obs::Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached recorder (disabled unless [`Budget::with_recorder`]
+    /// was used).
+    pub fn recorder(&self) -> &obs::Recorder {
+        &self.recorder
+    }
+
     /// A worker view for one member of a parallel portfolio: shares this
     /// budget's work pool (every worker's ticks drain the same counter, so
     /// the cap stays global), but owns a private exhaustion latch. A real
@@ -222,6 +244,7 @@ impl Budget {
             work: Arc::clone(&self.work),
             next_clock_check: AtomicU64::new(self.next_clock_check.load(Ordering::Relaxed)),
             exhausted: AtomicU8::new(self.exhausted.load(Ordering::Relaxed)),
+            recorder: self.recorder.clone(),
         }
     }
 
@@ -274,6 +297,7 @@ impl Budget {
             return false;
         }
         if chaos::should_fire(point) {
+            obs::count_scoped(&self.recorder, obs::Counter::FaultsInjected, 1);
             self.exhaust(ExhaustReason::Injected);
             return false;
         }
@@ -286,6 +310,10 @@ impl Budget {
             // fallback keeps the saturating contract without panicking.
             .unwrap_or(u64::MAX);
         let work = prev.saturating_add(amount);
+        // Exactly one span receives each pool addition (recorded before the
+        // limit checks so even the failing tick is accounted), which keeps
+        // trace work totals equal to the drained pool by construction.
+        obs::record_work_scoped(&self.recorder, point, amount);
         if let Some(limit) = self.work_limit {
             if work > limit {
                 self.exhaust(ExhaustReason::WorkLimit);

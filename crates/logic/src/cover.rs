@@ -167,10 +167,17 @@ impl Cover {
         let fold = |c: &Cube| c.words().iter().fold(0u64, |acc, &w| acc | w);
         let mut kept: Vec<Cube> = Vec::with_capacity(self.cubes.len());
         let mut kept_sigs: Vec<u64> = Vec::with_capacity(self.cubes.len());
+        let mut pairs = 0u64;
+        let mut prefilter_rejects = 0u64;
         'outer: for c in self.cubes.drain(..) {
             let sig = fold(&c);
             for (k, &ksig) in kept.iter().zip(&kept_sigs) {
-                if sig & !ksig == 0 && k.covers(&c) {
+                pairs += 1;
+                if sig & !ksig != 0 {
+                    prefilter_rejects += 1;
+                    continue;
+                }
+                if k.covers(&c) {
                     continue 'outer;
                 }
             }
@@ -178,6 +185,8 @@ impl Cover {
             kept_sigs.push(sig);
         }
         self.cubes = kept;
+        crate::obs::count(crate::obs::Counter::SccPairs, pairs);
+        crate::obs::count(crate::obs::Counter::SccPrefilterRejects, prefilter_rejects);
     }
 
     /// The cofactor of the cover with respect to cube `p`: cubes disjoint

@@ -2,6 +2,7 @@
 
 use crate::budget::{Budget, Completion};
 use crate::cover::Cover;
+use crate::obs;
 use crate::equiv::implements;
 use crate::essential::essentials;
 use crate::expand::expand;
@@ -86,6 +87,8 @@ pub fn espresso_bounded(
 ) -> (Cover, Completion) {
     let dom = on.domain();
     assert_eq!(dom, dc.domain(), "espresso: domain mismatch");
+    let span = obs::current_or(budget.recorder()).span("espresso");
+    let _cur = obs::enter(span.recorder());
     if on.is_empty() {
         return (Cover::empty(dom), budget.completion());
     }
@@ -103,7 +106,9 @@ pub fn espresso_bounded(
 
     let mut f = on.clone();
     f.scc();
+    obs::count(obs::Counter::ExpandCalls, 1);
     f = expand(&f, &off);
+    obs::count(obs::Counter::IrredundantCalls, 1);
     f = irredundant(&f, dc);
     if opts.check_invariants {
         debug_assert!(implements(&f, on, dc), "espresso: invariant lost after first pass");
@@ -134,11 +139,15 @@ pub fn espresso_bounded(
                 break 'outer;
             }
             iterations += 1;
+            obs::count(obs::Counter::EspressoIters, 1);
             if f.is_empty() {
                 break 'outer;
             }
+            obs::count(obs::Counter::ReduceCalls, 1);
             let reduced = reduce(&f, &dc_aug);
+            obs::count(obs::Counter::ExpandCalls, 1);
             let expanded = expand(&reduced, &off);
+            obs::count(obs::Counter::IrredundantCalls, 1);
             let candidate = irredundant(&expanded, &dc_aug);
             let c = cost(&candidate);
             if c < best {

@@ -14,6 +14,7 @@
 
 use crate::budget::Budget;
 use crate::cover::Cover;
+use crate::obs;
 use crate::primes::all_primes_bounded;
 
 /// Point-enumeration guard: domains with more total points than this are
@@ -68,6 +69,8 @@ pub fn exact_minimize(on: &Cover, dc: &Cover, max_nodes: usize) -> ExactOutcome 
 pub fn exact_minimize_bounded(on: &Cover, dc: &Cover, budget: &Budget) -> ExactOutcome {
     let dom = on.domain();
     assert_eq!(dom, dc.domain(), "exact_minimize: domain mismatch");
+    let span = obs::current_or(budget.recorder()).span("exact");
+    let _cur = obs::enter(span.recorder());
     if on.is_empty() {
         return ExactOutcome::Minimum(Cover::empty(dom));
     }

@@ -33,6 +33,8 @@
 //! - [`pla`]: Berkeley PLA text format.
 //! - [`budget`] / [`chaos`]: execution budgets with graceful degradation and
 //!   the deterministic fault-injection harness that tests them.
+//! - [`obs`]: deterministic spans + counters (compiled out without the
+//!   `obs` cargo feature).
 
 #![warn(missing_docs)]
 
@@ -52,6 +54,7 @@ pub mod gasp;
 pub mod irredundant;
 pub mod measure;
 pub mod mv_pla;
+pub mod obs;
 pub mod pla;
 pub mod primes;
 pub mod reduce;
@@ -76,6 +79,7 @@ pub use gasp::last_gasp;
 pub use irredundant::irredundant;
 pub use measure::{cover_density, cover_minterms, cube_minterms};
 pub use mv_pla::{parse_mv_pla, parse_mv_pla_with, write_mv_pla};
+pub use obs::{Counter, Recorder, SpanSnapshot, Trace};
 pub use pla::{parse_pla, parse_pla_with, write_pla, Pla, PlaType};
 pub use primes::{all_primes, all_primes_bounded};
 pub use reduce::reduce;

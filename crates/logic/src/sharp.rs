@@ -3,6 +3,7 @@
 use crate::cover::Cover;
 use crate::cube::Cube;
 use crate::domain::Domain;
+use crate::obs;
 
 /// Computes `a # b`: a cover of exactly the minterms of `a` not in `b`,
 /// using the disjoint sharp expansion (the result cubes are pairwise
@@ -12,6 +13,7 @@ use crate::domain::Domain;
 /// variable to the part set `a ∖ b` while earlier variables stay restricted
 /// to the intersection — the classic recursive decomposition.
 pub fn cube_sharp(dom: &Domain, a: &Cube, b: &Cube) -> Vec<Cube> {
+    obs::count(obs::Counter::CubeSharps, 1);
     if !a.intersects(b, dom) {
         return vec![a.clone()];
     }

@@ -1,0 +1,203 @@
+//! Property-based tests of the bitset kernels against naive per-bit
+//! references: [`WordSet`] operations versus a `BTreeSet` model, and the
+//! fold-OR signature prefilter inside [`Cover::scc`] versus a
+//! prefilter-free reference implementation.
+
+// Tests are exempt from the panic-freedom policy; clippy's in-tests
+// exemption misses integration-test helpers, so waive it explicitly.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use picola_logic::{Cover, Cube, Domain, DomainBuilder, WordSet};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Strategy: a universe size plus a sequence of (op, raw index) pairs.
+/// Indices are reduced modulo the universe so every op stays in range.
+fn op_sequence() -> impl Strategy<Value = (usize, Vec<(u8, usize)>)> {
+    let len = 1usize..200;
+    let ops = proptest::collection::vec((0u8..2, 0usize..10_000), 0..80);
+    (len, ops)
+}
+
+/// Strategy: a member list for a universe of `len` bits (raw values are
+/// reduced modulo `len`, duplicates intentionally allowed).
+fn member_list() -> impl Strategy<Value = (usize, Vec<usize>, Vec<usize>)> {
+    let len = 1usize..200;
+    let xs = proptest::collection::vec(0usize..10_000, 0..80);
+    let ys = proptest::collection::vec(0usize..10_000, 0..80);
+    (len, xs, ys)
+}
+
+/// Strategy: a random cover over `nvars` binary variables with up to
+/// `max_cubes` cubes, each literal drawn from {0, 1, -}.
+fn binary_cover(nvars: usize, max_cubes: usize) -> impl Strategy<Value = Cover> {
+    let cube = proptest::collection::vec(0u8..3, nvars);
+    proptest::collection::vec(cube, 0..=max_cubes).prop_map(move |cubes| {
+        let dom = Domain::binary(nvars);
+        let text: Vec<String> = cubes
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .map(|&l| match l {
+                        0 => '0',
+                        1 => '1',
+                        _ => '-',
+                    })
+                    .collect()
+            })
+            .collect();
+        Cover::parse(&dom, &text.join(" "))
+    })
+}
+
+/// Strategy: a random cover over a wide multi-valued variable plus one
+/// binary variable. With `parts > 62` the cube spans several words, so the
+/// fold-OR signature is a lossy summary and the prefilter must fall back to
+/// the exact per-word sweep — the interesting regime for `scc`.
+fn wide_mv_cover(parts: usize, max_cubes: usize) -> impl Strategy<Value = Cover> {
+    let lit = proptest::collection::vec(any::<bool>(), parts);
+    let cube = (lit, 0u8..3);
+    proptest::collection::vec(cube, 0..=max_cubes).prop_map(move |cubes| {
+        let dom = DomainBuilder::new().multi("s", parts).binary("a").build();
+        let built = cubes.into_iter().filter_map(|(mv, a)| {
+            if mv.iter().all(|&x| !x) {
+                return None;
+            }
+            let mut c = Cube::full(&dom);
+            for (p, keep) in mv.iter().enumerate() {
+                if !keep {
+                    c.clear_part(p);
+                }
+            }
+            if a < 2 {
+                c.restrict_binary(&dom, 1, a == 1);
+            }
+            Some(c)
+        });
+        Cover::from_cubes(&dom, built)
+    })
+}
+
+/// Prefilter-free reference for [`Cover::scc`]: the same stable sort by
+/// descending part count, then a plain quadratic keep loop that calls
+/// [`Cube::covers`] on every (kept, candidate) pair.
+fn reference_scc(cover: &Cover) -> Vec<Cube> {
+    let mut cubes = cover.cubes().to_vec();
+    cubes.sort_by_key(|c| std::cmp::Reverse(c.part_count()));
+    let mut kept: Vec<Cube> = Vec::with_capacity(cubes.len());
+    'outer: for c in cubes {
+        for k in &kept {
+            if k.covers(&c) {
+                continue 'outer;
+            }
+        }
+        kept.push(c);
+    }
+    kept
+}
+
+fn assert_scc_matches_reference(mut f: Cover) -> Result<(), TestCaseError> {
+    let expected = reference_scc(&f);
+    f.scc();
+    prop_assert_eq!(f.cubes(), expected.as_slice());
+    // The kept cubes form an antichain under containment.
+    for (i, a) in f.cubes().iter().enumerate() {
+        for (j, b) in f.cubes().iter().enumerate() {
+            if i != j {
+                prop_assert!(!a.covers(b), "kept cube {i} covers kept cube {j}");
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wordset_matches_btreeset_under_op_sequences((len, ops) in op_sequence()) {
+        let mut ws = WordSet::new(len);
+        let mut model = BTreeSet::new();
+        for (op, raw) in ops {
+            let i = raw % len;
+            match op {
+                0 => {
+                    ws.insert(i);
+                    model.insert(i);
+                }
+                _ => {
+                    ws.remove(i);
+                    model.remove(&i);
+                }
+            }
+            prop_assert_eq!(ws.contains(i), model.contains(&i));
+            prop_assert_eq!(ws.count(), model.len());
+            prop_assert_eq!(ws.is_empty(), model.is_empty());
+        }
+        let got: Vec<usize> = ws.iter_ones().collect();
+        let want: Vec<usize> = model.iter().copied().collect();
+        prop_assert_eq!(got, want, "iter_ones must yield ascending members");
+    }
+
+    #[test]
+    fn from_members_matches_incremental_inserts((len, members, _) in member_list()) {
+        let reduced: Vec<usize> = members.iter().map(|&m| m % len).collect();
+        let bulk = WordSet::from_members(len, reduced.iter().copied());
+        let mut incremental = WordSet::new(len);
+        for &m in &reduced {
+            incremental.insert(m);
+        }
+        prop_assert_eq!(&bulk, &incremental);
+        let model: BTreeSet<usize> = reduced.into_iter().collect();
+        prop_assert_eq!(bulk.count(), model.len());
+        for i in 0..len {
+            prop_assert_eq!(bulk.contains(i), model.contains(&i));
+        }
+    }
+
+    #[test]
+    fn union_and_intersection_match_set_ops((len, xs, ys) in member_list()) {
+        let a_model: BTreeSet<usize> = xs.iter().map(|&m| m % len).collect();
+        let b_model: BTreeSet<usize> = ys.iter().map(|&m| (m / 7) % len).collect();
+        let a = WordSet::from_members(len, a_model.iter().copied());
+        let b = WordSet::from_members(len, b_model.iter().copied());
+
+        let mut union = a.clone();
+        union.union_with(&b);
+        let union_model: Vec<usize> = a_model.union(&b_model).copied().collect();
+        prop_assert_eq!(union.iter_ones().collect::<Vec<_>>(), union_model);
+
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        let inter_model: Vec<usize> = a_model.intersection(&b_model).copied().collect();
+        prop_assert_eq!(inter.iter_ones().collect::<Vec<_>>(), inter_model);
+
+        prop_assert_eq!(a.intersects(&b), !inter_model.is_empty());
+    }
+
+    // The fold-OR signature prefilter may only skip pairs the exact sweep
+    // would reject anyway: with it on, `scc` must keep exactly the cubes
+    // the prefilter-free reference keeps, in the same order.
+    #[test]
+    fn scc_matches_prefilter_free_reference(f in binary_cover(6, 10)) {
+        assert_scc_matches_reference(f)?;
+    }
+
+    // Wide multi-valued cubes span several words, so the folded signature
+    // is lossy (distinct multi-word patterns can fold to the same u64) and
+    // the prefilter can pass pairs the exact sweep then rejects.
+    #[test]
+    fn scc_matches_reference_on_multi_word_cubes(f in wide_mv_cover(70, 8)) {
+        assert_scc_matches_reference(f)?;
+    }
+
+    #[test]
+    fn scc_preserves_the_function(f in binary_cover(4, 8)) {
+        let mut g = f.clone();
+        g.scc();
+        prop_assert!(g.cubes().len() <= f.cubes().len());
+        for pt in Cover::enumerate_points(f.domain()) {
+            prop_assert_eq!(f.covers_point(&pt), g.covers_point(&pt));
+        }
+    }
+}

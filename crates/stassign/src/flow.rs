@@ -11,7 +11,7 @@ use picola_constraints::{
 };
 use picola_core::{Budget, Completion, Encoder};
 use picola_fsm::{symbolic_cover, Fsm};
-use picola_logic::{espresso_bounded, MinimizeOptions};
+use picola_logic::{espresso_bounded, obs, MinimizeOptions};
 use std::time::{Duration, Instant};
 
 /// Options for [`assign_states`].
@@ -106,18 +106,35 @@ pub fn assign_states_bounded(
     } else {
         fsm
     };
+    // One span per flow stage; the stage recorder is installed as the
+    // thread-local current one so everything beneath (PICOLA's own spans,
+    // the final ESPRESSO span, deep counters) nests under its stage.
+    let flow_span = obs::current_or(budget.recorder()).span("flow");
+    let _flow_cur = obs::enter(flow_span.recorder());
+
     let t0 = Instant::now();
-    let constraints = fsm_constraints(fsm, opts.extract);
+    let constraints = {
+        let span = flow_span.recorder().span("extract");
+        let _cur = obs::enter(span.recorder());
+        fsm_constraints(fsm, opts.extract)
+    };
     let extract_time = t0.elapsed();
 
     let t1 = Instant::now();
-    let (encoding, encode_completion) =
-        encoder.encode_bounded(fsm.num_states(), &constraints, budget);
+    let (encoding, encode_completion) = {
+        let span = flow_span.recorder().span("encode");
+        let _cur = obs::enter(span.recorder());
+        encoder.encode_bounded(fsm.num_states(), &constraints, budget)
+    };
     let encode_time = t1.elapsed();
 
     let t2 = Instant::now();
-    let em = encode_machine(fsm, &encoding);
-    let (minimized, minimize_completion) = espresso_bounded(&em.on, &em.dc, &opts.minimize, budget);
+    let (minimized, minimize_completion) = {
+        let span = flow_span.recorder().span("minimize");
+        let _cur = obs::enter(span.recorder());
+        let em = encode_machine(fsm, &encoding);
+        espresso_bounded(&em.on, &em.dc, &opts.minimize, budget)
+    };
     let minimize_time = t2.elapsed();
 
     StateAssignment {

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Validates a bench_json report's obs metrics.
+
+Usage: check_bench_metrics.py REPORT.json
+
+Fails (exit 1) unless the report parses as JSON and every instance carries
+a non-empty `metrics` block: positive `total_work` and a span tree with at
+least one child under the root.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: check_bench_metrics.py REPORT.json", file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as fh:
+        report = json.load(fh)
+
+    instances = report.get("instances", [])
+    if not instances:
+        print("check_bench_metrics: no instances in report", file=sys.stderr)
+        return 1
+
+    for inst in instances:
+        name = inst.get("name", "?")
+        metrics = inst.get("metrics")
+        if not isinstance(metrics, dict):
+            print(f"check_bench_metrics: {name}: missing metrics block", file=sys.stderr)
+            return 1
+        if metrics.get("total_work", 0) <= 0:
+            print(f"check_bench_metrics: {name}: total_work is zero", file=sys.stderr)
+            return 1
+        spans = metrics.get("spans", {})
+        if not spans.get("children"):
+            print(f"check_bench_metrics: {name}: empty span tree", file=sys.stderr)
+            return 1
+
+    print(f"check_bench_metrics: OK ({len(instances)} instances, "
+          f"work {[i['metrics']['total_work'] for i in instances]})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

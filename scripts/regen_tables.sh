@@ -1,0 +1,51 @@
+#!/bin/sh
+# Golden-table fixture hook.
+#
+#   scripts/regen_tables.sh          rewrite results_table1.txt / results_table2.txt
+#   scripts/regen_tables.sh --check  re-derive both tables and diff the cost
+#                                    columns against the checked-in fixtures
+#
+# The timing columns are machine-dependent by nature, so --check strips
+# them before diffing; any cost drift fails loudly with the full diff.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MODE=regen
+[ "${1:-}" = "--check" ] && MODE=check
+
+gen() {
+    cargo run -q --offline --release -p picola-bench --bin "$1"
+}
+
+# Strips the machine-dependent timing columns: Table I rows (8 fields) keep
+# name + 4 cost columns, Table II rows (9 fields, '|' separators) keep name
+# + 3 sizes; every other line passes through verbatim.
+normalize() {
+    awk '
+        NF == 8 { print $1, $2, $3, $4, $5; next }
+        NF == 9 && $4 == "|" && $7 == "|" { print $1, $2, $5, $8; next }
+        { print }
+    ' "$1"
+}
+
+if [ "$MODE" = regen ]; then
+    gen table1 > results_table1.txt
+    gen table2 > results_table2.txt
+    echo "regen_tables: fixtures rewritten"
+else
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    gen table1 > "$tmp/table1.txt"
+    gen table2 > "$tmp/table2.txt"
+    for t in 1 2; do
+        normalize "results_table$t.txt" > "$tmp/want$t"
+        normalize "$tmp/table$t.txt" > "$tmp/got$t"
+        if ! diff -u "$tmp/want$t" "$tmp/got$t"; then
+            echo "regen_tables: results_table$t.txt drifted (cost columns above)" >&2
+            echo "regen_tables: run scripts/regen_tables.sh to accept the new values" >&2
+            exit 1
+        fi
+    done
+    echo "regen_tables: fixtures match"
+fi

@@ -12,6 +12,9 @@ cargo build --release --offline
 echo "== cargo test (workspace)"
 cargo test -q --offline --workspace
 
+echo "== cargo test (workspace, no default features — obs stubbed out)"
+cargo test -q --offline --workspace --no-default-features
+
 echo "== cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
@@ -19,9 +22,20 @@ echo "== differential suite"
 cargo test -q --offline --test differential_encoders --test chaos_parallel \
     --test determinism
 
-echo "== bench_json --smoke"
+echo "== golden table fixtures"
+sh scripts/regen_tables.sh --check
+
+echo "== bench_json --smoke (with obs metrics check)"
 cargo run -q --offline --release -p picola-bench --bin bench_json -- \
     --smoke --out /tmp/bench_smoke.json
+if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/check_bench_metrics.py /tmp/bench_smoke.json
+else
+    # Fallback without python: the metrics block must at least be present
+    # and non-trivially populated in every instance.
+    grep -q '"metrics"' /tmp/bench_smoke.json
+    grep -q '"total_work"' /tmp/bench_smoke.json
+fi
 rm -f /tmp/bench_smoke.json
 
 echo "verify: OK"

@@ -15,6 +15,8 @@
 //! --budget-ms <n>     wall-clock budget in milliseconds
 //! --budget-work <n>   work-unit budget (loop iterations, search nodes)
 //! --threads <n>       worker threads (never changes results, only speed)
+//! --trace-json <path> write the observability trace (spans, counters,
+//!                     per-phase work and wall time) as JSON to <path>
 //! ```
 //!
 //! An exhausted budget never fails the run: the tool emits its best-so-far
@@ -45,7 +47,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "\
-usage: picola [--budget-ms N] [--budget-work N] [--threads N] <command> <file|name>
+usage: picola [--budget-ms N] [--budget-work N] [--threads N]
+              [--trace-json PATH] <command> <file|name>
 
 encode    <machine.kiss2>  extract face constraints, print PICOLA codes
 assign    <machine.kiss2>  full state assignment, print minimized PLA
@@ -59,7 +62,10 @@ bench     <name>           print a synthetic suite benchmark as KISS2
                  result so far is still emitted, exit code stays 0)
 --budget-work N  stop refining after N abstract work units
 --threads N      worker threads for `encode` refinement and the `portfolio`
-                 race (results are identical for any value; default 1)";
+                 race (results are identical for any value; default 1)
+--trace-json P   write the run's observability trace (hierarchical spans,
+                 monotonic counters, per-phase work units and wall time)
+                 as JSON to P; results are bit-identical with or without";
 
 /// Everything that can go wrong in the CLI, mapped to distinct exit codes.
 #[derive(Debug)]
@@ -151,15 +157,23 @@ struct Cli {
     target: String,
     budget: Budget,
     threads: usize,
+    trace_json: Option<String>,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, AppError> {
     let mut positional: Vec<&String> = Vec::new();
     let mut budget = Budget::unlimited();
     let mut threads = 1usize;
+    let mut trace_json: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--trace-json" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| AppError::Usage(format!("{arg} needs a path")))?;
+                trace_json = Some(value.clone());
+            }
             "--budget-ms" | "--budget-work" | "--threads" => {
                 let value = it
                     .next()
@@ -187,6 +201,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, AppError> {
         target: (*target).clone(),
         budget,
         threads,
+        trace_json,
     })
 }
 
@@ -374,8 +389,17 @@ fn cmd_bench(cli: &Cli) -> Result<(), AppError> {
 }
 
 fn run(args: &[String]) -> Result<(), AppError> {
-    let cli = parse_cli(args)?;
-    match cli.command.as_str() {
+    let mut cli = parse_cli(args)?;
+    // Recording is strictly observational (no feedback into any algorithm),
+    // so results are bit-identical with or without --trace-json.
+    let trace = cli
+        .trace_json
+        .is_some()
+        .then(picola::logic::Trace::with_wall_clock);
+    if let Some(t) = &trace {
+        cli.budget = std::mem::take(&mut cli.budget).with_recorder(t.recorder());
+    }
+    let result = match cli.command.as_str() {
         "encode" => cmd_encode(&cli),
         "assign" => cmd_assign(&cli),
         "portfolio" => cmd_portfolio(&cli),
@@ -384,7 +408,19 @@ fn run(args: &[String]) -> Result<(), AppError> {
         "reduce" => cmd_reduce(&cli),
         "bench" => cmd_bench(&cli),
         other => Err(AppError::Usage(format!("unknown command {other:?}"))),
+    };
+    if let (Ok(()), Some(path), Some(t)) = (&result, &cli.trace_json, &trace) {
+        let json = format!(
+            "{{\"schema\":\"picola/trace/v1\",\"total_work\":{},\"trace\":{}}}\n",
+            t.total_work(),
+            t.to_json()
+        );
+        std::fs::write(path, json).map_err(|e| AppError::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
     }
+    result
 }
 
 fn main() -> ExitCode {

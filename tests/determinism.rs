@@ -101,6 +101,41 @@ fn portfolio_is_identical_for_any_thread_count() {
 }
 
 #[test]
+fn tracing_does_not_perturb_encodings() {
+    // The obs layer only observes: attaching a recorder to the budget must
+    // leave every encoder's output (and the portfolio's winner) bit-
+    // identical to an untraced run. Holds in both feature modes — with
+    // `obs` disabled the recorder is the no-op stub.
+    use picola::baselines::standard_members;
+    use picola::logic::Trace;
+
+    let fsm = benchmark_fsm("ex3").unwrap();
+    let n = fsm.num_states();
+    let cs = fsm_constraints(&fsm, picola::constraints::ExtractMethod::Quick);
+
+    for e in standard_members(123) {
+        let (plain, _) = e.encode_bounded(n, &cs, &Budget::unlimited());
+        let trace = Trace::new();
+        let traced_budget = Budget::unlimited().with_recorder(trace.recorder());
+        let (traced, _) = e.encode_bounded(n, &cs, &traced_budget);
+        assert_eq!(plain, traced, "{}: tracing changed the encoding", e.name());
+    }
+
+    let plain = standard_portfolio(11)
+        .with_threads(4)
+        .run(n, &cs, &Budget::unlimited())
+        .unwrap();
+    let trace = Trace::new();
+    let traced_budget = Budget::unlimited().with_recorder(trace.recorder());
+    let traced = standard_portfolio(11)
+        .with_threads(4)
+        .run(n, &cs, &traced_budget)
+        .unwrap();
+    assert_eq!(plain.winner, traced.winner);
+    assert_eq!(plain.best().encoding, traced.best().encoding);
+}
+
+#[test]
 fn flow_sizes_are_stable() {
     let fsm = benchmark_fsm("s27").unwrap();
     let opts = FlowOptions::default();
