@@ -7,7 +7,7 @@
 //! placement on tangled instances, still blind to the cost of violated
 //! constraints.
 
-use crate::objective::satisfied_weight;
+use crate::objective::satisfied_weight_codes;
 use picola_constraints::{Encoding, GroupConstraint};
 use picola_core::{Budget, Completion, Encoder};
 use picola_logic::obs;
@@ -75,15 +75,21 @@ impl Encoder for AnnealingEncoder {
         let nv = min_code_length(n);
         let size = 1usize << nv;
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut enc = Encoding::natural(n);
-        let mut obj = satisfied_weight(&enc, constraints);
-        let mut best = enc.clone();
+        // The whole anneal runs on raw code buffers: `codes` is the current
+        // state, `cand` the reusable proposal buffer, `best_codes` the
+        // incumbent. Swaps permute codes and moves target free words, so
+        // distinctness holds by construction and no per-proposal
+        // `Encoding::new` validation (an `O(2^nv)` scan plus allocation) is
+        // needed — an `Encoding` is built once, at the end.
+        let mut codes: Vec<u32> = (0..n as u32).collect();
+        let mut obj = satisfied_weight_codes(&codes, nv, constraints);
+        let mut best_codes = codes.clone();
         let mut best_obj = obj;
+        let mut cand: Vec<u32> = Vec::with_capacity(n);
         let mut temp = self.initial_temp;
         // Occupied code words as a u64-word bitset, maintained
         // incrementally: swaps leave it unchanged, accepted moves flip two
-        // bits. (The old per-proposal `Vec<bool>` rebuild was the hot
-        // path's main allocation.) The natural start occupies 0..n.
+        // bits. The natural start occupies 0..n.
         let mut accepted = 0u64;
         let mut rejected = 0u64;
         let mut used: Vec<u64> = vec![0; size.div_ceil(64)];
@@ -96,7 +102,8 @@ impl Encoder for AnnealingEncoder {
                 if !budget.tick("anneal.move", 1) {
                     break 'cool;
                 }
-                let mut codes = enc.codes().to_vec();
+                cand.clear();
+                cand.extend_from_slice(&codes);
                 // (old, new) word of a move proposal, to update `used` on
                 // acceptance; swaps don't change occupancy.
                 let mut moved: Option<(u32, u32)> = None;
@@ -105,22 +112,17 @@ impl Encoder for AnnealingEncoder {
                     // `size - n` words are free at all times
                     let i = rng.random_range(0..n);
                     let w = nth_free_word(&used, size, rng.random_range(0..size - n));
-                    moved = Some((codes[i], w));
-                    codes[i] = w;
+                    moved = Some((cand[i], w));
+                    cand[i] = w;
                 } else {
                     let i = rng.random_range(0..n);
                     let mut j = rng.random_range(0..n);
                     while j == i {
                         j = rng.random_range(0..n);
                     }
-                    codes.swap(i, j);
+                    cand.swap(i, j);
                 }
-                // Swaps permute codes and moves target free words, so the
-                // candidate is distinct by construction; skip defensively.
-                let Ok(cand) = Encoding::new(nv, codes) else {
-                    continue;
-                };
-                let cand_obj = satisfied_weight(&cand, constraints);
+                let cand_obj = satisfied_weight_codes(&cand, nv, constraints);
                 let accept = cand_obj >= obj
                     || rng.random_range(0.0..1.0) < ((cand_obj - obj) / temp.max(1e-9)).exp();
                 if accept {
@@ -129,10 +131,11 @@ impl Encoder for AnnealingEncoder {
                         used[old as usize / 64] &= !(1u64 << (old % 64));
                         used[new as usize / 64] |= 1u64 << (new % 64);
                     }
-                    enc = cand;
+                    std::mem::swap(&mut codes, &mut cand);
                     obj = cand_obj;
                     if obj > best_obj {
-                        best = enc.clone();
+                        best_codes.clear();
+                        best_codes.extend_from_slice(&codes);
                         best_obj = obj;
                     }
                 } else {
@@ -143,6 +146,9 @@ impl Encoder for AnnealingEncoder {
         }
         obs::count(obs::Counter::AnnealAccepts, accepted);
         obs::count(obs::Counter::AnnealRejects, rejected);
+        // Proposals keep codes distinct by construction; fall back to the
+        // natural encoding rather than panic if that invariant ever breaks.
+        let best = Encoding::new(nv, best_codes).unwrap_or_else(|_| Encoding::natural(n));
         (best, budget.completion())
     }
 }

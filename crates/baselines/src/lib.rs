@@ -30,6 +30,9 @@ pub use anneal::AnnealingEncoder;
 pub use dicho::DichotomyEncoder;
 pub use enc::{EncLikeEncoder, EncRunInfo};
 pub use nova::{NovaEncoder, NovaMode};
-pub use objective::{adjacency_bonus, satisfied_dichotomies, satisfied_weight};
+pub use objective::{
+    adjacency_bonus, adjacency_bonus_codes, codes_satisfy, satisfied_dichotomies,
+    satisfied_weight, satisfied_weight_codes,
+};
 pub use portfolio::{splitmix64, standard_members, standard_portfolio};
 pub use simple::{NaturalEncoder, RandomEncoder};

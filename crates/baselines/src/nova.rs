@@ -10,7 +10,7 @@
 //! `i_hybrid` uses input (face) constraints only; `io_hybrid` adds a
 //! code-adjacency bonus derived from the machine's next-state structure.
 
-use crate::objective::{adjacency_bonus, satisfied_weight};
+use crate::objective::{adjacency_bonus_codes, satisfied_weight_codes};
 use picola_constraints::{Encoding, GroupConstraint};
 use picola_core::{Budget, Completion, Encoder};
 use picola_constraints::min_code_length;
@@ -56,11 +56,15 @@ impl NovaEncoder {
         }
     }
 
-    fn objective(&self, enc: &Encoding, constraints: &[GroupConstraint]) -> f64 {
-        let base = satisfied_weight(enc, constraints);
+    /// The objective over a raw codes slice — the improvement loop's
+    /// zero-allocation evaluation (no `Encoding::new` per candidate).
+    fn objective_codes(&self, codes: &[u32], nv: usize, constraints: &[GroupConstraint]) -> f64 {
+        let base = satisfied_weight_codes(codes, nv, constraints);
         match self.mode {
             NovaMode::IHybrid => base,
-            NovaMode::IoHybrid => base + 0.5 * adjacency_bonus(enc, &self.adjacency),
+            NovaMode::IoHybrid => {
+                base + 0.5 * adjacency_bonus_codes(codes, nv, &self.adjacency)
+            }
         }
     }
 }
@@ -214,19 +218,29 @@ impl Encoder for NovaEncoder {
         budget: &Budget,
     ) -> (Encoding, Completion) {
         let nv = min_code_length(n);
-        let codes = greedy_place(n, nv, constraints, budget);
+        let placed = greedy_place(n, nv, constraints, budget);
         // Greedy placement yields distinct codes; fall back to the natural
-        // encoding if that invariant ever breaks rather than panicking.
-        let mut enc = match Encoding::new(nv, codes) {
-            Ok(e) => e,
-            Err(_) => Encoding::natural(n),
+        // codes if that invariant ever breaks rather than panicking. The
+        // improvement loop then runs entirely on raw code buffers — a
+        // reusable candidate vector and an incrementally maintained
+        // occupancy bitset — so no per-candidate allocation or `O(2^nv)`
+        // `Encoding::new` validation happens; the `Encoding` is built once
+        // at the end.
+        let mut codes = match Encoding::new(nv, placed) {
+            Ok(e) => e.into_codes(),
+            Err(_) => (0..n as u32).collect(),
         };
         let size = 1usize << nv;
+        let mut used: Vec<u64> = vec![0; size.div_ceil(64)];
+        for &c in &codes {
+            used[c as usize / 64] |= 1u64 << (c % 64);
+        }
+        let mut cand: Vec<u32> = Vec::with_capacity(n);
 
         // Iterative improvement: symbol-symbol code swaps and moves onto
         // free code words, steepest ascent per pass. One `nova.improve`
         // tick per candidate; exhaustion keeps the current (valid) best.
-        let mut best_obj = self.objective(&enc, constraints);
+        let mut best_obj = self.objective_codes(&codes, nv, constraints);
         'improve: for _ in 0..self.max_passes.max(1) {
             let mut improved = false;
             // swaps
@@ -235,37 +249,36 @@ impl Encoder for NovaEncoder {
                     if !budget.tick("nova.improve", 1) {
                         break 'improve;
                     }
-                    let mut codes = enc.codes().to_vec();
-                    codes.swap(i, j);
-                    let Ok(cand) = Encoding::new(nv, codes) else {
-                        continue; // swaps permute codes: unreachable defensively
-                    };
-                    let obj = self.objective(&cand, constraints);
+                    cand.clear();
+                    cand.extend_from_slice(&codes);
+                    cand.swap(i, j);
+                    let obj = self.objective_codes(&cand, nv, constraints);
                     if obj > best_obj + 1e-9 {
-                        enc = cand;
+                        std::mem::swap(&mut codes, &mut cand);
                         best_obj = obj;
                         improved = true;
                     }
                 }
             }
             // moves to free codes (recheck freeness against the current
-            // encoding — earlier accepted moves change it)
+            // codes — earlier accepted moves change them)
             for i in 0..n {
                 for w in 0..size {
-                    if enc.codes().contains(&(w as u32)) {
+                    if used[w / 64] >> (w % 64) & 1 == 1 {
                         continue;
                     }
                     if !budget.tick("nova.improve", 1) {
                         break 'improve;
                     }
-                    let mut codes = enc.codes().to_vec();
-                    codes[i] = w as u32;
-                    let Ok(cand) = Encoding::new(nv, codes) else {
-                        continue; // target checked free: unreachable defensively
-                    };
-                    let obj = self.objective(&cand, constraints);
+                    cand.clear();
+                    cand.extend_from_slice(&codes);
+                    let old = cand[i];
+                    cand[i] = w as u32;
+                    let obj = self.objective_codes(&cand, nv, constraints);
                     if obj > best_obj + 1e-9 {
-                        enc = cand;
+                        std::mem::swap(&mut codes, &mut cand);
+                        used[old as usize / 64] &= !(1u64 << (old % 64));
+                        used[w / 64] |= 1u64 << (w % 64);
                         best_obj = obj;
                     }
                 }
@@ -274,6 +287,9 @@ impl Encoder for NovaEncoder {
                 break;
             }
         }
+        // Swaps and moves-to-free-words keep codes distinct; fall back to
+        // the natural encoding rather than panic if that ever breaks.
+        let enc = Encoding::new(nv, codes).unwrap_or_else(|_| Encoding::natural(n));
         (enc, budget.completion())
     }
 }

@@ -1,16 +1,57 @@
 //! Shared objective functions for the baseline encoders.
+//!
+//! Each objective exists in two forms: over an [`Encoding`] (the
+//! convenient entry point) and directly over a raw codes slice (the
+//! zero-allocation entry point the anneal/nova proposal loops use — no
+//! `Encoding::new` validation, no intruder-set allocation per candidate).
+//! The codes forms iterate constraints in the same order and sum the same
+//! terms, so they return bit-identical `f64` values.
 
-use picola_constraints::{Encoding, GroupConstraint};
+use picola_constraints::{Encoding, GroupConstraint, SymbolSet};
 
 /// The conventional objective NOVA-style tools maximize: total weight of the
 /// *satisfied* face constraints (violated ones contribute nothing — exactly
 /// the blindness the paper criticizes).
 pub fn satisfied_weight(enc: &Encoding, constraints: &[GroupConstraint]) -> f64 {
+    satisfied_weight_codes(enc.codes(), enc.nv(), constraints)
+}
+
+/// [`satisfied_weight`] computed directly over a codes slice. The caller
+/// guarantees distinct in-range codes (proposal loops preserve that by
+/// construction).
+pub fn satisfied_weight_codes(
+    codes: &[u32],
+    nv: usize,
+    constraints: &[GroupConstraint],
+) -> f64 {
     constraints
         .iter()
-        .filter(|c| !c.is_trivial() && enc.satisfies(c.members()))
+        .filter(|c| !c.is_trivial() && codes_satisfy(codes, nv, c.members()))
         .map(|c| c.weight() as f64 * (c.len() as f64 - 1.0))
         .sum()
+}
+
+/// Whether the face constraint `members` is satisfied under `codes`: its
+/// members' supercube contains no non-member code. Equals
+/// `Encoding::satisfies` without building the intruder set.
+pub fn codes_satisfy(codes: &[u32], nv: usize, members: &SymbolSet) -> bool {
+    let mut it = members.iter();
+    let Some(first) = it.next() else {
+        return true; // empty faces are trivially embedded
+    };
+    let mut and = codes[first];
+    let mut or = codes[first];
+    for s in it {
+        and &= codes[s];
+        or |= codes[s];
+    }
+    let full = ((1u64 << nv) - 1) as u32;
+    let fixed = full & !(and ^ or);
+    let values = and & fixed;
+    codes
+        .iter()
+        .enumerate()
+        .all(|(s, &c)| members.contains(s) || (c ^ values) & fixed != 0)
 }
 
 /// Number of satisfied seed dichotomies over all non-trivial constraints —
@@ -33,11 +74,20 @@ pub fn satisfied_dichotomies(enc: &Encoding, constraints: &[GroupConstraint]) ->
 /// rewarding short distances between states that the output (next-state)
 /// structure wants close.
 pub fn adjacency_bonus(enc: &Encoding, adjacency: &[(usize, usize, f64)]) -> f64 {
-    let nv = enc.nv() as f64;
+    adjacency_bonus_codes(enc.codes(), enc.nv(), adjacency)
+}
+
+/// [`adjacency_bonus`] computed directly over a codes slice.
+pub fn adjacency_bonus_codes(
+    codes: &[u32],
+    nv: usize,
+    adjacency: &[(usize, usize, f64)],
+) -> f64 {
+    let nv = nv as f64;
     adjacency
         .iter()
         .map(|&(i, j, w)| {
-            let d = (enc.code(i) ^ enc.code(j)).count_ones() as f64;
+            let d = (codes[i] ^ codes[j]).count_ones() as f64;
             w * (nv - d) / nv
         })
         .sum()
@@ -70,6 +120,28 @@ mod tests {
         assert_eq!(satisfied_dichotomies(&enc, &cs), 0);
         let cs2 = groups(4, &[&[0, 1]]);
         assert_eq!(satisfied_dichotomies(&enc, &cs2), 2);
+    }
+
+    #[test]
+    fn codes_forms_are_bit_identical_to_encoding_forms() {
+        let enc = Encoding::new(3, vec![0, 1, 2, 3, 4, 6, 7]).unwrap();
+        let cs = groups(7, &[&[0, 1], &[0, 6], &[2, 3, 4], &[1, 5]]);
+        assert_eq!(
+            satisfied_weight(&enc, &cs),
+            satisfied_weight_codes(enc.codes(), enc.nv(), &cs)
+        );
+        for c in &cs {
+            assert_eq!(
+                enc.satisfies(c.members()),
+                codes_satisfy(enc.codes(), enc.nv(), c.members()),
+                "{c}"
+            );
+        }
+        let adj = vec![(0usize, 5usize, 2.5f64), (1, 2, 0.5)];
+        assert_eq!(
+            adjacency_bonus(&enc, &adj),
+            adjacency_bonus_codes(enc.codes(), enc.nv(), &adj)
+        );
     }
 
     #[test]

@@ -2,26 +2,32 @@
 //!
 //! Races every member of the standard portfolio on each corpus instance —
 //! individually on private budgets (attributing wall time and work units
-//! per encoder), then as a portfolio sequentially and in parallel — and
-//! writes one machine-readable JSON report (`BENCH_pr3.json` by default),
-//! including a deterministic per-instance `metrics` block (the obs span /
-//! counter tree of the sequential portfolio run).
+//! per encoder), then as a portfolio sequentially and in parallel — plus an
+//! incremental-vs-naive refine engine A/B (threads 1 and N, encodings
+//! cross-checked bit-identical), and writes one machine-readable JSON
+//! report (`BENCH_pr4.json` by default), including a deterministic
+//! per-instance `metrics` block (the obs span / counter tree of the
+//! sequential portfolio run).
 //! See README.md ("Reading the bench JSON") for the schema.
 //!
 //! ```text
 //! cargo run -p picola-bench --release --bin bench_json [-- --smoke]
-//!     [--out PATH] [--threads N] [--seed N] [--instances N]
+//!     [--tier standard|large] [--out PATH] [--threads N] [--seed N]
+//!     [--instances N]
 //! ```
 
 use picola_baselines::{standard_members, standard_portfolio};
-use picola_bench::corpus::{corpus, Instance};
-use picola_core::{estimate_cubes, Budget};
+use picola_bench::corpus::{corpus_tier, Instance, Tier};
+use picola_core::{
+    estimate_cubes, try_picola_encode_with, Budget, PicolaOptions, RefineEngine,
+};
 use picola_logic::{SpanSnapshot, Trace};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 struct Options {
     smoke: bool,
+    tier: Tier,
     out: String,
     threads: usize,
     seed: u64,
@@ -32,7 +38,8 @@ impl Options {
     fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
         let mut opts = Options {
             smoke: false,
-            out: "BENCH_pr3.json".to_owned(),
+            tier: Tier::Standard,
+            out: "BENCH_pr4.json".to_owned(),
             threads: 4,
             seed: 0x0001_C01A,
             instances: 0,
@@ -41,6 +48,13 @@ impl Options {
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--smoke" => opts.smoke = true,
+                "--tier" => {
+                    opts.tier = match it.next().ok_or("--tier needs a name")?.as_str() {
+                        "standard" => Tier::Standard,
+                        "large" => Tier::Large,
+                        other => return Err(format!("unknown tier {other:?}")),
+                    };
+                }
                 "--out" => opts.out = it.next().ok_or("--out needs a path")?,
                 "--threads" => {
                     opts.threads = parse_num(&it.next().ok_or("--threads needs a count")?)?;
@@ -56,7 +70,13 @@ impl Options {
             }
         }
         if opts.instances == 0 {
-            opts.instances = if opts.smoke { 3 } else { 12 };
+            opts.instances = if opts.smoke {
+                3
+            } else if opts.tier == Tier::Large {
+                8
+            } else {
+                12
+            };
         }
         Ok(opts)
     }
@@ -88,6 +108,108 @@ struct InstanceReport {
     /// created without a wall clock, so re-runs produce identical blocks).
     metrics: SpanSnapshot,
     metrics_work: u64,
+    refine: RefineReport,
+}
+
+/// One refine engine A/B leg: a full PICOLA run with the given engine and
+/// thread count, attributing the refine span's wall time and work.
+struct RefineRun {
+    engine: &'static str,
+    threads: usize,
+    total_wall: Duration,
+    refine_wall_ns: u64,
+    refine_work: u64,
+}
+
+struct RefineReport {
+    runs: Vec<RefineRun>,
+    /// Incremental and naive engines produced bit-identical encodings (at
+    /// every thread count).
+    engines_match: bool,
+    /// Each engine produced bit-identical encodings at 1 and N threads.
+    parallel_matches: bool,
+    /// Naive wall-per-work divided by incremental wall-per-work on the
+    /// single-thread legs — the kernel speedup, ≥ 1 when incremental wins.
+    speedup_per_work: f64,
+}
+
+/// Sum `(wall_ns, work)` over all `refine` spans in the snapshot tree.
+fn refine_span_totals(snap: &SpanSnapshot) -> (u64, u64) {
+    if snap.name == "refine" {
+        return (snap.wall_ns.unwrap_or(0), snap.total_work());
+    }
+    snap.children.iter().fold((0, 0), |(wall, work), c| {
+        let (w, k) = refine_span_totals(c);
+        (wall + w, work + k)
+    })
+}
+
+fn run_refine_ab(inst: &Instance, opts: &Options) -> Result<RefineReport, String> {
+    let engines = [
+        (RefineEngine::Incremental, "incremental"),
+        (RefineEngine::Naive, "naive"),
+    ];
+    let thread_counts = [1usize, opts.threads.max(2)];
+    // Best-of-`REFINE_REPS` wall time per leg: the minimum is the standard
+    // noise-robust estimator, and the deterministic work counter is
+    // asserted identical across repetitions.
+    const REFINE_REPS: usize = 3;
+    let mut runs = Vec::new();
+    let mut encodings = Vec::new();
+    for (engine, engine_name) in engines {
+        for threads in thread_counts {
+            let mut best: Option<RefineRun> = None;
+            let mut encoding = None;
+            for _ in 0..REFINE_REPS {
+                let trace = Trace::with_wall_clock();
+                let budget = Budget::unlimited().with_recorder(trace.recorder());
+                let popts = PicolaOptions {
+                    nv_override: inst.nv_override,
+                    threads,
+                    engine,
+                    ..PicolaOptions::default()
+                };
+                let t = Instant::now();
+                let result =
+                    try_picola_encode_with(inst.n, &inst.constraints, &popts, &budget)
+                        .map_err(|e| format!("{}: {engine_name}/t{threads}: {e}", inst.name))?;
+                let total_wall = t.elapsed();
+                let (refine_wall_ns, refine_work) = refine_span_totals(&trace.snapshot());
+                if let Some(prev) = &best {
+                    if prev.refine_work != refine_work {
+                        return Err(format!(
+                            "{}: {engine_name}/t{threads}: nondeterministic refine work \
+                             ({} vs {})",
+                            inst.name, prev.refine_work, refine_work
+                        ));
+                    }
+                }
+                if best.as_ref().is_none_or(|p| refine_wall_ns < p.refine_wall_ns) {
+                    best = Some(RefineRun {
+                        engine: engine_name,
+                        threads,
+                        total_wall,
+                        refine_wall_ns,
+                        refine_work,
+                    });
+                }
+                encoding.get_or_insert(result.encoding);
+            }
+            runs.push(best.ok_or("refine A/B: no repetitions ran")?);
+            encodings.push(encoding.ok_or("refine A/B: no encoding produced")?);
+        }
+    }
+    // Index layout: [inc/t1, inc/tN, naive/t1, naive/tN].
+    let engines_match = encodings[0] == encodings[2] && encodings[1] == encodings[3];
+    let parallel_matches = encodings[0] == encodings[1] && encodings[2] == encodings[3];
+    let per_work = |r: &RefineRun| r.refine_wall_ns as f64 / r.refine_work.max(1) as f64;
+    let speedup_per_work = per_work(&runs[2]) / per_work(&runs[0]).max(1e-9);
+    Ok(RefineReport {
+        runs,
+        engines_match,
+        parallel_matches,
+        speedup_per_work,
+    })
 }
 
 fn run_instance(inst: Instance, opts: &Options) -> Result<InstanceReport, String> {
@@ -132,9 +254,12 @@ fn run_instance(inst: Instance, opts: &Options) -> Result<InstanceReport, String
         _ => return Err(format!("{}: portfolio produced no outcome", inst.name)),
     };
 
+    let refine = run_refine_ab(&inst, opts)?;
+
     Ok(InstanceReport {
         nontrivial,
         encoders,
+        refine,
         metrics: trace.snapshot(),
         metrics_work: trace.total_work(),
         winner: seq.best().name.clone(),
@@ -154,15 +279,20 @@ fn ms(d: Duration) -> String {
 fn emit(reports: &[InstanceReport], opts: &Options) -> String {
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"picola-bench/bench_json/v2\",");
+    let _ = writeln!(j, "  \"schema\": \"picola-bench/bench_json/v3\",");
     let _ = writeln!(j, "  \"seed\": {},", opts.seed);
     let _ = writeln!(j, "  \"threads\": {},", opts.threads);
     let _ = writeln!(j, "  \"smoke\": {},", opts.smoke);
+    let _ = writeln!(j, "  \"tier\": \"{}\",", opts.tier.name());
     let _ = writeln!(j, "  \"instances\": [");
     for (ri, r) in reports.iter().enumerate() {
         let _ = writeln!(j, "    {{");
         let _ = writeln!(j, "      \"name\": \"{}\",", r.inst.name);
         let _ = writeln!(j, "      \"n\": {},", r.inst.n);
+        let _ = match r.inst.nv_override {
+            Some(nv) => writeln!(j, "      \"nv_override\": {nv},"),
+            None => writeln!(j, "      \"nv_override\": null,"),
+        };
         let _ = writeln!(j, "      \"constraints\": {},", r.inst.constraints.len());
         let _ = writeln!(j, "      \"nontrivial\": {},", r.nontrivial);
         let _ = writeln!(j, "      \"encoders\": [");
@@ -187,6 +317,35 @@ fn emit(reports: &[InstanceReport], opts: &Options) -> String {
         let _ = writeln!(j, "        \"parallel_matches_sequential\": {},", r.parallel_matches);
         let _ = writeln!(j, "        \"sequential_wall_ms\": {},", ms(r.seq_wall));
         let _ = writeln!(j, "        \"parallel_wall_ms\": {}", ms(r.par_wall));
+        let _ = writeln!(j, "      }},");
+        let _ = writeln!(j, "      \"refine\": {{");
+        let _ = writeln!(j, "        \"runs\": [");
+        for (ki, run) in r.refine.runs.iter().enumerate() {
+            let _ = write!(
+                j,
+                "          {{\"engine\": \"{}\", \"threads\": {}, \
+                 \"total_wall_ms\": {}, \"refine_wall_ms\": {:.3}, \
+                 \"refine_work\": {}}}",
+                run.engine,
+                run.threads,
+                ms(run.total_wall),
+                run.refine_wall_ns as f64 / 1e6,
+                run.refine_work
+            );
+            let _ = writeln!(j, "{}", if ki + 1 < r.refine.runs.len() { "," } else { "" });
+        }
+        let _ = writeln!(j, "        ],");
+        let _ = writeln!(j, "        \"engines_match\": {},", r.refine.engines_match);
+        let _ = writeln!(
+            j,
+            "        \"parallel_matches_sequential\": {},",
+            r.refine.parallel_matches
+        );
+        let _ = writeln!(
+            j,
+            "        \"speedup_per_work\": {:.3}",
+            r.refine.speedup_per_work
+        );
         let _ = writeln!(j, "      }},");
         let _ = writeln!(
             j,
@@ -229,7 +388,44 @@ fn emit(reports: &[InstanceReport], opts: &Options) -> String {
         seq.as_secs_f64() / par.as_secs_f64().max(1e-9)
     );
     let mismatches = reports.iter().filter(|r| !r.parallel_matches).count();
-    let _ = writeln!(j, "    \"parallel_mismatches\": {mismatches}");
+    let _ = writeln!(j, "    \"parallel_mismatches\": {mismatches},");
+    // Refine engine A/B over the whole corpus: single-thread legs only, so
+    // the ratio compares the evaluation kernels rather than scheduling.
+    let leg = |engine: &str| {
+        let mut wall_ns = 0u64;
+        let mut work = 0u64;
+        for r in reports {
+            for run in &r.refine.runs {
+                if run.engine == engine && run.threads == 1 {
+                    wall_ns += run.refine_wall_ns;
+                    work += run.refine_work;
+                }
+            }
+        }
+        (wall_ns as f64 / 1e6, work)
+    };
+    let (inc_ms, inc_work) = leg("incremental");
+    let (naive_ms, naive_work) = leg("naive");
+    let inc_per = inc_ms / inc_work.max(1) as f64;
+    let naive_per = naive_ms / naive_work.max(1) as f64;
+    let _ = writeln!(j, "    \"refine\": {{");
+    let _ = writeln!(j, "      \"incremental_wall_ms\": {inc_ms:.3},");
+    let _ = writeln!(j, "      \"incremental_work\": {inc_work},");
+    let _ = writeln!(j, "      \"naive_wall_ms\": {naive_ms:.3},");
+    let _ = writeln!(j, "      \"naive_work\": {naive_work},");
+    let _ = writeln!(
+        j,
+        "      \"speedup_per_work\": {:.3},",
+        naive_per / inc_per.max(1e-12)
+    );
+    let engine_mismatches = reports.iter().filter(|r| !r.refine.engines_match).count();
+    let thread_mismatches = reports
+        .iter()
+        .filter(|r| !r.refine.parallel_matches)
+        .count();
+    let _ = writeln!(j, "      \"engine_mismatches\": {engine_mismatches},");
+    let _ = writeln!(j, "      \"thread_mismatches\": {thread_mismatches}");
+    let _ = writeln!(j, "    }}");
     let _ = writeln!(j, "  }}");
     let _ = writeln!(j, "}}");
     j
@@ -245,16 +441,18 @@ fn main() {
     };
 
     let mut reports = Vec::new();
-    for inst in corpus(opts.instances, opts.seed) {
+    for inst in corpus_tier(opts.instances, opts.seed, opts.tier) {
         let name = inst.name.clone();
         match run_instance(inst, &opts) {
             Ok(r) => {
                 eprintln!(
-                    "{name}: winner {} (cost {}), seq {} ms / par {} ms",
+                    "{name}: winner {} (cost {}), seq {} ms / par {} ms, \
+                     refine speedup {:.2}x",
                     r.winner,
                     r.winning_cost,
                     ms(r.seq_wall),
-                    ms(r.par_wall)
+                    ms(r.par_wall),
+                    r.refine.speedup_per_work
                 );
                 reports.push(r);
             }

@@ -6,14 +6,39 @@
 //! a test failure always refer to the same constraint set.
 
 use picola_baselines::splitmix64;
-use picola_constraints::{GroupConstraint, SymbolSet};
+use picola_constraints::{min_code_length, GroupConstraint, SymbolSet};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+
+/// Which instance generator a corpus draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tier {
+    /// 5–20 symbols, a handful of small constraints — cheap enough for the
+    /// differential test layer and the smoke bench.
+    #[default]
+    Standard,
+    /// 24–128 symbols, dense rival constraints (biased toward a shared hot
+    /// pool so faces fight over the same subcubes), and an occasional spare
+    /// code bit via `nv_override` — sized so refine throughput dominates.
+    Large,
+}
+
+impl Tier {
+    /// The tier's name as used by `bench_json --tier`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Standard => "standard",
+            Tier::Large => "large",
+        }
+    }
+}
 
 /// One synthetic face-constrained encoding instance.
 #[derive(Debug, Clone)]
 pub struct Instance {
-    /// Stable name (`gen-NN`), used in bench output and test messages.
+    /// Stable name (`gen-NN` / `large-NN`), used in bench output and test
+    /// messages.
     pub name: String,
     /// Number of symbols to encode.
     pub n: usize,
@@ -22,16 +47,35 @@ pub struct Instance {
     /// The per-instance seed the generator used (for reproducing one
     /// instance in isolation).
     pub seed: u64,
+    /// Encode with this many bits instead of `ceil(log2 n)` (large-tier
+    /// instances occasionally grant one spare bit; `None` elsewhere).
+    pub nv_override: Option<usize>,
 }
 
-/// Generate `count` instances from `master_seed`.
+/// Generate `count` standard-tier instances from `master_seed`.
 ///
 /// Instance `i` depends only on `(master_seed, i)` — extending the corpus
 /// never changes existing instances.
 #[must_use]
 pub fn corpus(count: usize, master_seed: u64) -> Vec<Instance> {
+    corpus_tier(count, master_seed, Tier::Standard)
+}
+
+/// Generate `count` instances of the given [`Tier`] from `master_seed`.
+///
+/// Prefix-stability holds per tier: instance `i` of a tier depends only on
+/// `(master_seed, i)`, and the standard tier is byte-identical to what
+/// [`corpus`] always produced.
+#[must_use]
+pub fn corpus_tier(count: usize, master_seed: u64, tier: Tier) -> Vec<Instance> {
     (0..count)
-        .map(|i| generate(i, splitmix64(master_seed.wrapping_add(i as u64 + 1))))
+        .map(|i| {
+            let seed = splitmix64(master_seed.wrapping_add(i as u64 + 1));
+            match tier {
+                Tier::Standard => generate(i, seed),
+                Tier::Large => generate_large(i, seed),
+            }
+        })
         .collect()
 }
 
@@ -59,6 +103,56 @@ fn generate(index: usize, seed: u64) -> Instance {
         n,
         constraints,
         seed,
+        nv_override: None,
+    }
+}
+
+fn generate_large(index: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Mostly 24..=64 symbols (nv = 5..6), with a quarter of the instances
+    // stretching to 128 (nv = 7) — the regime where the refine pass's
+    // candidate count, not setup cost, dominates wall time.
+    let n = if rng.random_bool(0.25) {
+        rng.random_range(65..=128usize)
+    } else {
+        rng.random_range(24..=64usize)
+    };
+    // A hot pool of symbols that most constraints dip into: rival faces
+    // that overlap fight over the same subcubes, so candidate moves touch
+    // many constraints at once.
+    let pool = n / 4;
+    let num_constraints = rng.random_range(n / 4..=n / 2);
+    let constraints = (0..num_constraints)
+        .map(|_| {
+            let size = rng.random_range(2..=6usize.min(n - 1));
+            let mut members: Vec<usize> = Vec::with_capacity(size);
+            while members.len() < size {
+                let s = if rng.random_bool(0.5) {
+                    rng.random_range(0..pool)
+                } else {
+                    rng.random_range(0..n)
+                };
+                if !members.contains(&s) {
+                    members.push(s);
+                }
+            }
+            GroupConstraint::new(SymbolSet::from_members(n, members))
+        })
+        .collect();
+    // Half the instances get one spare code bit: free code words turn the
+    // move arm of the refine enumeration on, which is exactly the path the
+    // incremental engine accelerates hardest.
+    let nv_override = if rng.random_bool(0.5) {
+        Some(min_code_length(n) + 1)
+    } else {
+        None
+    };
+    Instance {
+        name: format!("large-{index:02}"),
+        n,
+        constraints,
+        seed,
+        nv_override,
     }
 }
 
@@ -100,5 +194,42 @@ mod tests {
         let a = corpus(5, 1);
         let b = corpus(5, 2);
         assert!(a.iter().zip(&b).any(|(x, y)| x.seed != y.seed));
+    }
+
+    #[test]
+    fn standard_tier_is_the_plain_corpus() {
+        let a = corpus(6, 42);
+        let b = corpus_tier(6, 42, Tier::Standard);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.n, y.n);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.nv_override, None);
+            assert_eq!(y.nv_override, None);
+        }
+    }
+
+    #[test]
+    fn large_tier_is_well_formed_and_prefix_stable() {
+        let a = corpus_tier(8, 7, Tier::Large);
+        let b = corpus_tier(10, 7, Tier::Large);
+        for (i, inst) in a.iter().enumerate() {
+            assert_eq!(inst.name, format!("large-{i:02}"));
+            assert!((24..=128).contains(&inst.n), "{}: n = {}", inst.name, inst.n);
+            assert!(inst.constraints.len() >= inst.n / 4);
+            for c in &inst.constraints {
+                assert!((2..=6).contains(&c.len()));
+                assert!(c.members().iter().all(|s| s < inst.n));
+            }
+            if let Some(nv) = inst.nv_override {
+                assert_eq!(nv, min_code_length(inst.n) + 1, "{}", inst.name);
+            }
+            assert_eq!(inst.seed, b[i].seed);
+            assert_eq!(inst.n, b[i].n);
+        }
+        // Both nv flavours appear over a small sample.
+        let c = corpus_tier(16, 3, Tier::Large);
+        assert!(c.iter().any(|i| i.nv_override.is_some()));
+        assert!(c.iter().any(|i| i.nv_override.is_none()));
     }
 }

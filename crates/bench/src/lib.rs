@@ -16,7 +16,7 @@
 
 pub mod corpus;
 
-pub use corpus::{corpus, Instance};
+pub use corpus::{corpus, corpus_tier, Instance, Tier};
 
 use picola_baselines::{EncLikeEncoder, NovaEncoder};
 use picola_constraints::{ExtractMethod, GroupConstraint};

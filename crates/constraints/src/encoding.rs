@@ -146,6 +146,12 @@ impl Encoding {
         &self.codes
     }
 
+    /// Consumes the encoding, returning the codes in symbol order without
+    /// copying — for hot loops that continue on raw code buffers.
+    pub fn into_codes(self) -> Vec<u32> {
+        self.codes
+    }
+
     /// Column `j` of the code matrix as a boolean vector over symbols.
     pub fn column(&self, j: usize) -> Vec<bool> {
         self.codes.iter().map(|&c| c >> j & 1 == 1).collect()

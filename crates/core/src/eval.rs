@@ -62,10 +62,34 @@ pub struct EncodingEvaluation {
 /// close to ESPRESSO on the irregular cases, at microseconds per
 /// constraint.
 pub fn estimate_cubes(enc: &Encoding, constraints: &[GroupConstraint]) -> usize {
+    estimate_cubes_with(enc, constraints, &mut CubesScratch::default())
+}
+
+/// [`estimate_cubes`] with caller-provided scratch buffers.
+///
+/// Hot loops that estimate many encodings (the cost-model portfolio, the
+/// state-assignment polish pass) call this with one long-lived
+/// [`CubesScratch`] so no per-evaluation heap allocation happens.
+pub fn estimate_cubes_with(
+    enc: &Encoding,
+    constraints: &[GroupConstraint],
+    scratch: &mut CubesScratch,
+) -> usize {
+    estimate_codes_cubes_with(enc.codes(), constraints, scratch)
+}
+
+/// [`estimate_cubes_with`] directly over a raw codes slice, for proposal
+/// loops that avoid per-candidate `Encoding` construction. The caller
+/// guarantees distinct in-range codes.
+pub fn estimate_codes_cubes_with(
+    codes: &[u32],
+    constraints: &[GroupConstraint],
+    scratch: &mut CubesScratch,
+) -> usize {
     constraints
         .iter()
         .filter(|c| !c.is_trivial())
-        .map(|c| greedy_constraint_cubes(enc, c.members()))
+        .map(|c| greedy_codes_cubes_into(codes, c.members(), scratch))
         .sum()
 }
 
@@ -78,6 +102,24 @@ pub fn greedy_constraint_cubes(
     greedy_codes_cubes(enc.codes(), members)
 }
 
+/// Reusable buffers for [`greedy_codes_cubes_into`]: the uncovered member
+/// codes and the forbidden (non-member) codes of the constraint under
+/// evaluation. One instance serves any number of calls — the vectors are
+/// cleared, never shrunk, so steady-state evaluation allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct CubesScratch {
+    pub(crate) uncovered: Vec<u32>,
+    pub(crate) forbidden: Vec<u32>,
+}
+
+impl CubesScratch {
+    /// Fresh, empty scratch. Buffers grow on first use and are then reused.
+    #[must_use]
+    pub fn new() -> CubesScratch {
+        CubesScratch::default()
+    }
+}
+
 /// [`greedy_constraint_cubes`] computed directly over a codes slice.
 ///
 /// The refine hot path evaluates thousands of candidate code vectors; this
@@ -85,12 +127,36 @@ pub fn greedy_constraint_cubes(
 /// the caller guarantees the slice holds distinct in-range codes (swaps and
 /// moves to free words preserve that by construction).
 pub fn greedy_codes_cubes(codes: &[u32], members: &picola_constraints::SymbolSet) -> usize {
-    let mut uncovered: Vec<u32> = members.iter().map(|s| codes[s]).collect();
-    let forbidden: Vec<u32> = (0..codes.len())
-        .filter(|&s| !members.contains(s))
-        .map(|s| codes[s])
-        .collect();
+    greedy_codes_cubes_into(codes, members, &mut CubesScratch::default())
+}
 
+/// [`greedy_codes_cubes`] with caller-provided scratch buffers — the
+/// zero-allocation entry point the refine engine and the baselines' hot
+/// loops thread their per-worker scratch through. Returns exactly the same
+/// count as [`greedy_codes_cubes`] for the same inputs.
+pub fn greedy_codes_cubes_into(
+    codes: &[u32],
+    members: &picola_constraints::SymbolSet,
+    scratch: &mut CubesScratch,
+) -> usize {
+    scratch.uncovered.clear();
+    scratch.uncovered.extend(members.iter().map(|s| codes[s]));
+    scratch.forbidden.clear();
+    scratch.forbidden.extend(
+        (0..codes.len())
+            .filter(|&s| !members.contains(s))
+            .map(|s| codes[s]),
+    );
+    greedy_cover_count(&mut scratch.uncovered, &scratch.forbidden)
+}
+
+/// The greedy cover loop proper, over prepared code lists. `uncovered` is
+/// consumed (drained as cubes cover it); `forbidden` is read-only. The
+/// incremental refine engine calls this directly on its cached,
+/// incrementally-patched lists — the order of `uncovered` determines the
+/// seed sequence, so callers must present member codes in ascending symbol
+/// order to match [`greedy_codes_cubes`].
+pub(crate) fn greedy_cover_count(uncovered: &mut Vec<u32>, forbidden: &[u32]) -> usize {
     let mut count = 0usize;
     while let Some(&seed) = uncovered.first() {
         // Grow a cube by merging member codes: take the supercube with each
@@ -102,7 +168,7 @@ pub fn greedy_codes_cubes(codes: &[u32], members: &picola_constraints::SymbolSet
         let mut fixed = u32::MAX;
         loop {
             let mut changed = false;
-            for &c in &uncovered {
+            for &c in uncovered.iter() {
                 let cand = fixed & !(c ^ seed);
                 if cand == fixed {
                     continue;
@@ -231,6 +297,37 @@ mod tests {
         assert!(b.total_cubes <= a.total_cubes);
         // espresso should be optimal on functions this small
         assert_eq!(a.total_cubes, b.total_cubes);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_allocation() {
+        // One scratch across many (codes, members) pairs — including pairs
+        // smaller than earlier ones, so stale buffer contents would show.
+        let mut scratch = CubesScratch::new();
+        let cases: &[(usize, Vec<u32>, Vec<usize>)] = &[
+            (3, vec![0, 1, 2, 3, 4, 5, 6], vec![0, 2, 5]),
+            (3, vec![6, 5, 4, 3, 2, 1, 0], vec![1, 3]),
+            (2, vec![0, 3, 1], vec![0, 1]),
+            (4, vec![0, 15, 7, 8, 3], vec![0, 1, 2, 3, 4]),
+        ];
+        for (_, codes, members) in cases {
+            let ms = SymbolSet::from_members(codes.len(), members.iter().copied());
+            assert_eq!(
+                greedy_codes_cubes_into(codes, &ms, &mut scratch),
+                greedy_codes_cubes(codes, &ms),
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_cubes_with_shares_one_scratch() {
+        let enc = Encoding::natural(6);
+        let cs = groups(6, &[&[0, 1], &[0, 3], &[2, 3, 4]]);
+        let mut scratch = CubesScratch::new();
+        let a = estimate_cubes_with(&enc, &cs, &mut scratch);
+        let b = estimate_cubes_with(&enc, &cs, &mut scratch);
+        assert_eq!(a, estimate_cubes(&enc, &cs));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod error;
 pub mod eval;
 pub mod picola;
 pub mod portfolio;
+pub mod refine;
 pub mod report;
 pub mod solve;
 pub mod validity;
@@ -54,14 +55,17 @@ pub use classify::{geometry, update_constraints, ClassifyOutcome};
 pub use cost::CostModel;
 pub use error::PicolaError;
 pub use eval::{
-    estimate_cubes, evaluate_encoding, evaluate_encoding_with, greedy_constraint_cubes,
-    ConstraintCost, EncodingEvaluation, EvalMinimizer,
+    estimate_codes_cubes_with, estimate_cubes, estimate_cubes_with, evaluate_encoding,
+    evaluate_encoding_with,
+    greedy_codes_cubes, greedy_codes_cubes_into, greedy_constraint_cubes, ConstraintCost,
+    CubesScratch, EncodingEvaluation, EvalMinimizer,
 };
 pub use picola::{
     picola_encode, picola_encode_portfolio, picola_encode_with, try_picola_encode_portfolio,
     try_picola_encode_with, Encoder, PicolaEncoder, PicolaOptions, PicolaResult,
 };
 pub use portfolio::{EncoderPortfolio, MemberOutcome, PortfolioOutcome};
+pub use refine::{CandCursor, CodeTable, RefineCand, RefineEngine, RefineScratch};
 pub use report::RunReport;
 pub use solve::solve_column;
 pub use validity::ValidityTracker;

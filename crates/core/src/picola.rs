@@ -4,6 +4,7 @@
 use crate::classify::{update_constraints, ClassifyOutcome};
 use crate::cost::CostModel;
 use crate::error::PicolaError;
+use crate::refine::{CandCursor, CodeTable, RefineCand, RefineEngine, RefineScratch};
 use crate::solve::solve_column;
 use crate::validity::ValidityTracker;
 use picola_constraints::{
@@ -37,6 +38,11 @@ pub struct PicolaOptions {
     /// and the first improvement in enumeration order is applied, so the
     /// thread count changes only wall time.
     pub threads: usize,
+    /// Which refine evaluation kernel to run (see [`RefineEngine`]).
+    /// Both produce bit-identical encodings; the default incremental
+    /// engine is faster, the naive one is the differential/bench
+    /// reference.
+    pub engine: RefineEngine,
 }
 
 /// Result of a PICOLA run.
@@ -219,7 +225,7 @@ pub fn try_picola_encode_with(
     };
 
     if !opts.disable_refine {
-        encoding = refine(encoding, constraints, budget, opts.threads);
+        encoding = refine(encoding, constraints, budget, opts.threads, opts.engine);
     }
 
     Ok(PicolaResult {
@@ -230,118 +236,23 @@ pub fn try_picola_encode_with(
     })
 }
 
-/// A refinement candidate: swap two symbols' codes, or move one symbol to
-/// a (currently free) code word.
-#[derive(Debug, Clone, Copy)]
-enum RefineCand {
-    Swap(usize, usize),
-    Move(usize, u32),
-}
-
 /// How many valid candidates are evaluated per batch. Fixed — it shapes
 /// the search trajectory, so it must not depend on the thread count.
 const REFINE_CHUNK: usize = 64;
-
-/// The supercube of `members`' codes, computed straight off the codes
-/// slice (the refine loop has no `Encoding` on its hot path).
-fn codes_supercube(
-    codes: &[u32],
-    members: &picola_constraints::SymbolSet,
-    nv: usize,
-) -> picola_constraints::CodeCube {
-    let mut it = members.iter();
-    let Some(first) = it.next() else {
-        // Active constraints are non-trivial, hence non-empty; a full cube
-        // is the safe identity if that ever changes.
-        return picola_constraints::CodeCube {
-            fixed: 0,
-            values: 0,
-            nv,
-        };
-    };
-    let mut and = codes[first];
-    let mut or = codes[first];
-    for i in it {
-        and &= codes[i];
-        or |= codes[i];
-    }
-    let full = ((1u64 << nv) - 1) as u32;
-    let fixed = full & !(and ^ or);
-    picola_constraints::CodeCube {
-        fixed,
-        values: and & fixed,
-        nv,
-    }
-}
-
-/// Evaluates one candidate **read-only** against the current state:
-/// returns the cost delta and the per-constraint new costs for every
-/// affected constraint. Pure, so a chunk of candidates can be evaluated
-/// on worker threads with results identical to a sequential sweep.
-///
-/// A constraint is affected only when a moved symbol is one of its members
-/// (its supercube changes) or a moved code enters/leaves its cached
-/// supercube (its intrusion changes); everything else keeps its cached
-/// cost.
-fn eval_refine_candidate(
-    cand: RefineCand,
-    codes: &[u32],
-    membership: &[picola_logic::WordSet],
-    supers: &[picola_constraints::CodeCube],
-    cost: &[usize],
-    active: &[&GroupConstraint],
-) -> (i64, Vec<(usize, usize)>) {
-    use crate::eval::greedy_codes_cubes;
-
-    let moved: [(usize, u32, u32); 2] = match cand {
-        RefineCand::Swap(i, j) => [(i, codes[i], codes[j]), (j, codes[j], codes[i])],
-        RefineCand::Move(i, w) => [(i, codes[i], w), (i, codes[i], w)],
-    };
-    let moved = match cand {
-        RefineCand::Swap(..) => &moved[..],
-        RefineCand::Move(..) => &moved[..1],
-    };
-
-    let mut touched = picola_logic::WordSet::new(active.len());
-    for &(s, old, new) in moved {
-        touched.union_with(&membership[s]);
-        for (k, sc) in supers.iter().enumerate() {
-            if sc.contains(old) != sc.contains(new) {
-                touched.insert(k);
-            }
-        }
-    }
-    if touched.is_empty() {
-        return (0, Vec::new());
-    }
-
-    let mut new_codes = codes.to_vec();
-    match cand {
-        RefineCand::Swap(i, j) => new_codes.swap(i, j),
-        RefineCand::Move(i, w) => new_codes[i] = w,
-    }
-    let mut delta: i64 = 0;
-    let mut updates = Vec::with_capacity(touched.count());
-    for k in touched.iter_ones() {
-        let c = greedy_codes_cubes(&new_codes, active[k].members());
-        delta += c as i64 - cost[k] as i64;
-        updates.push((k, c));
-    }
-    (delta, updates)
-}
 
 /// Refinement: first-improvement hill climbing over code swaps and moves to
 /// free code words, driven by the combinatorial greedy cube-cover estimate
 /// (never by logic minimization).
 ///
-/// Candidates are enumerated in a fixed order — all swaps `(i, j)` with
-/// `i < j`, then all moves `(i, w)` — and evaluated read-only in chunks of
-/// [`REFINE_CHUNK`]; the first improving candidate in order is applied and
-/// enumeration resumes right after it against the new state. Chunk
-/// evaluation runs on `threads` workers when `threads > 1`, with
-/// **bit-identical** results for any thread count: the evaluation is pure
-/// and the applied candidate is chosen by enumeration order, never by
-/// completion order.
+/// Candidates are enumerated lazily ([`CandCursor`]) in a fixed order — all
+/// swaps `(i, j)` with `i < j`, then all moves `(i, w)` — and evaluated
+/// read-only against a [`CodeTable`] in chunks of [`REFINE_CHUNK`]; the
+/// first improving candidate in order is applied and enumeration resumes
+/// right after it against the new state. Chunk evaluation runs on
+/// `threads` workers when `threads > 1`, each with its own long-lived
+/// [`RefineScratch`], with **bit-identical** results for any thread count
+/// and either [`RefineEngine`]: the evaluation is pure and the applied
+/// candidate is chosen by enumeration order, never by completion order.
 ///
 /// Budget-aware: each chunk ticks `"picola.refine"` by the number of
 /// candidates it holds; on exhaustion the current (always valid) encoding
@@ -351,9 +262,8 @@ fn refine(
     constraints: &[GroupConstraint],
     budget: &Budget,
     threads: usize,
+    engine: RefineEngine,
 ) -> Encoding {
-    use crate::eval::greedy_codes_cubes;
-
     let span = obs::current_or(budget.recorder()).span("refine");
     let _cur = obs::enter(span.recorder());
 
@@ -366,58 +276,31 @@ fn refine(
     let nv = enc.nv();
     let size = 1usize << nv;
 
-    // Per symbol: bitset of active constraints it belongs to (u64 words —
-    // `affected` unions them instead of walking index lists).
-    let mut membership: Vec<picola_logic::WordSet> =
-        vec![picola_logic::WordSet::new(active.len()); n];
-    for (k, c) in active.iter().enumerate() {
-        for s in c.members().iter() {
-            membership[s].insert(k);
-        }
-    }
+    // One scratch per worker, alive for the whole run: chunk evaluation
+    // allocates nothing after the first few candidates warm the buffers.
+    let mut scratches: Vec<RefineScratch> =
+        (0..threads.max(1)).map(|_| RefineScratch::new()).collect();
+    let mut table = CodeTable::build(nv, enc.codes().to_vec(), &active, &mut scratches[0]);
 
-    // The full candidate order of one pass. Move targets are filtered for
-    // freeness at chunk-build time (occupancy changes as moves apply).
-    let mut cand_order: Vec<RefineCand> =
-        Vec::with_capacity(n * (n - 1) / 2 + n * size);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            cand_order.push(RefineCand::Swap(i, j));
-        }
-    }
-    for i in 0..n {
-        for w in 0..size as u32 {
-            cand_order.push(RefineCand::Move(i, w));
-        }
-    }
-
-    let mut codes: Vec<u32> = enc.codes().to_vec();
-    let mut cost: Vec<usize> = active
-        .iter()
-        .map(|c| greedy_codes_cubes(&codes, c.members()))
-        .collect();
-    let mut supers: Vec<picola_constraints::CodeCube> = active
-        .iter()
-        .map(|c| codes_supercube(&codes, c.members(), nv))
-        .collect();
+    let mut chunk: Vec<(CandCursor, RefineCand)> = Vec::with_capacity(REFINE_CHUNK);
+    let mut results: Vec<i64> = vec![0; REFINE_CHUNK];
 
     'passes: for _ in 0..4 {
         let mut improved = false;
-        let mut cursor = 0usize;
-        'pass: while cursor < cand_order.len() {
+        let mut gen = CandCursor::start(n, size);
+        'pass: loop {
             // Collect the next chunk of *valid* candidates (swaps always;
             // moves only to words free under the current codes), each with
             // the cursor to resume from if it is the one applied.
-            let mut chunk: Vec<(usize, RefineCand)> = Vec::with_capacity(REFINE_CHUNK);
-            while chunk.len() < REFINE_CHUNK && cursor < cand_order.len() {
-                let cand = cand_order[cursor];
-                cursor += 1;
+            chunk.clear();
+            while chunk.len() < REFINE_CHUNK {
+                let Some(cand) = gen.next() else { break };
                 if let RefineCand::Move(_, w) = cand {
-                    if codes.contains(&w) {
+                    if !table.is_free(w) {
                         continue;
                     }
                 }
-                chunk.push((cursor, cand));
+                chunk.push((gen, cand));
             }
             if chunk.is_empty() {
                 break;
@@ -426,47 +309,43 @@ fn refine(
                 break 'passes;
             }
 
-            let mut results: Vec<(i64, Vec<(usize, usize)>)> =
-                vec![(0, Vec::new()); chunk.len()];
             let workers = threads.min(chunk.len());
             if workers > 1 {
                 let per = chunk.len().div_ceil(workers);
-                let (chunk, codes) = (&chunk, &codes);
-                let (membership, supers) = (&membership, &supers);
-                let (cost, active) = (&cost, &active);
+                let (chunk, table) = (&chunk, &table);
+                let active = &active;
                 rayon::scope(|s| {
-                    let mut rest: &mut [(i64, Vec<(usize, usize)>)] = &mut results;
+                    let mut rest: &mut [i64] = &mut results[..chunk.len()];
+                    let mut free_scratch: &mut [RefineScratch] = &mut scratches;
                     let mut offset = 0usize;
                     while !rest.is_empty() {
                         let take = per.min(rest.len());
                         let (slots, tail) = rest.split_at_mut(take);
                         rest = tail;
+                        let (mine, others) = free_scratch.split_at_mut(1);
+                        free_scratch = others;
+                        let scratch = &mut mine[0];
                         let start = offset;
                         offset += take;
                         s.spawn(move |_| {
                             for (t, out) in slots.iter_mut().enumerate() {
-                                *out = eval_refine_candidate(
-                                    chunk[start + t].1,
-                                    codes,
-                                    membership,
-                                    supers,
-                                    cost,
-                                    active,
-                                );
+                                let cand = chunk[start + t].1;
+                                *out = match engine {
+                                    RefineEngine::Incremental => table.eval(cand, scratch),
+                                    RefineEngine::Naive => table.eval_naive(cand, active),
+                                };
                             }
                         });
                     }
                 });
             } else {
-                for (t, out) in results.iter_mut().enumerate() {
-                    *out = eval_refine_candidate(
-                        chunk[t].1,
-                        &codes,
-                        &membership,
-                        &supers,
-                        &cost,
-                        &active,
-                    );
+                let scratch = &mut scratches[0];
+                for (t, out) in results[..chunk.len()].iter_mut().enumerate() {
+                    let cand = chunk[t].1;
+                    *out = match engine {
+                        RefineEngine::Incremental => table.eval(cand, scratch),
+                        RefineEngine::Naive => table.eval_naive(cand, &active),
+                    };
                 }
             }
 
@@ -474,23 +353,23 @@ fn refine(
             // resume right after it; later results in the chunk are stale
             // against the new state and are discarded.
             obs::count(obs::Counter::RefineEvals, chunk.len() as u64);
+            if engine == RefineEngine::Incremental {
+                obs::count(obs::Counter::RefineScratchReuse, chunk.len() as u64);
+            }
+            let mut applied = None;
             for (t, &(resume, cand)) in chunk.iter().enumerate() {
-                let (delta, ref updates) = results[t];
-                if delta < 0 {
+                if results[t] < 0 {
                     obs::count(obs::Counter::RefineAccepts, 1);
                     obs::count(obs::Counter::RefineRejects, t as u64);
-                    match cand {
-                        RefineCand::Swap(i, j) => codes.swap(i, j),
-                        RefineCand::Move(i, w) => codes[i] = w,
-                    }
-                    for &(k, c) in updates {
-                        cost[k] = c;
-                        supers[k] = codes_supercube(&codes, active[k].members(), nv);
-                    }
-                    cursor = resume;
-                    improved = true;
-                    continue 'pass;
+                    applied = Some((resume, cand));
+                    break;
                 }
+            }
+            if let Some((resume, cand)) = applied {
+                table.apply(cand, &mut scratches[0]);
+                gen = resume;
+                improved = true;
+                continue 'pass;
             }
             obs::count(obs::Counter::RefineRejects, chunk.len() as u64);
         }
@@ -500,7 +379,7 @@ fn refine(
     }
     // Swaps and moves-to-free-words keep codes distinct by construction;
     // fall back to the input encoding rather than panic if not.
-    Encoding::new(nv, codes).unwrap_or(enc)
+    Encoding::new(nv, table.into_codes()).unwrap_or(enc)
 }
 
 /// Runs PICOLA once per cost model and keeps the result whose encoding has
@@ -537,18 +416,21 @@ pub fn try_picola_encode_portfolio(
     models: &[crate::cost::CostModel],
     budget: &Budget,
 ) -> Result<PicolaResult, PicolaError> {
-    use crate::eval::estimate_cubes;
+    use crate::eval::estimate_cubes_with;
     if models.is_empty() {
         return Err(PicolaError::invalid("portfolio needs at least one cost model"));
     }
     let mut best: Option<(usize, PicolaResult)> = None;
+    // One scratch across all model evaluations — the winner selection
+    // allocates nothing per model.
+    let mut scratch = crate::eval::CubesScratch::new();
     for &cost in models {
         let opts = PicolaOptions {
             cost,
             ..base.clone()
         };
         let r = try_picola_encode_with(n, constraints, &opts, budget)?;
-        let est = estimate_cubes(&r.encoding, constraints);
+        let est = estimate_cubes_with(&r.encoding, constraints, &mut scratch);
         if best.as_ref().is_none_or(|&(b, _)| est < b) {
             best = Some((est, r));
         }

@@ -20,6 +20,14 @@ pub struct WordSet {
     words: Vec<u64>,
 }
 
+impl Default for WordSet {
+    /// The empty set over the empty universe — a placeholder that scratch
+    /// holders lazily replace with a correctly sized set.
+    fn default() -> Self {
+        WordSet::new(0)
+    }
+}
+
 impl WordSet {
     /// The empty set over the universe `0..len`.
     pub fn new(len: usize) -> Self {
@@ -73,6 +81,23 @@ impl WordSet {
         self.words.iter().all(|&w| w == 0)
     }
 
+    /// Removes every member, keeping the universe and the allocation — the
+    /// reset primitive of the reusable refine scratch buffers.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Makes `self` a copy of `other`'s members without reallocating
+    /// (universes must match in word count; the shorter operand bounds the
+    /// sweep).
+    pub fn copy_from(&mut self, other: &WordSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a = *b;
+        }
+    }
+
     /// In-place union with `other` (universes must match in word count;
     /// the shorter operand bounds the sweep).
     pub fn union_with(&mut self, other: &WordSet) {
@@ -85,6 +110,13 @@ impl WordSet {
     pub fn intersect_with(&mut self, other: &WordSet) {
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= b;
+        }
+    }
+
+    /// In-place difference: removes every member of `other`.
+    pub fn difference_with(&mut self, other: &WordSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
         }
     }
 
@@ -165,6 +197,29 @@ mod tests {
         assert_eq!(i.iter_ones().collect::<Vec<_>>(), vec![65]);
         let disjoint = WordSet::from_members(200, [3, 64]);
         assert!(!a.intersects(&disjoint));
+    }
+
+    #[test]
+    fn clear_and_copy_from_reuse_the_allocation() {
+        let mut s = WordSet::from_members(130, [0, 64, 129]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.universe(), 130);
+        let src = WordSet::from_members(130, [3, 65, 128]);
+        s.copy_from(&src);
+        assert_eq!(s, src);
+        // copying a sparser set overwrites every word, not just set ones
+        let sparse = WordSet::from_members(130, [65]);
+        s.copy_from(&sparse);
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![65]);
+    }
+
+    #[test]
+    fn difference_removes_the_other_set() {
+        let mut s = WordSet::from_members(130, [0, 64, 65, 129]);
+        let other = WordSet::from_members(130, [64, 129, 7]);
+        s.difference_with(&other);
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![0, 65]);
     }
 
     #[test]

@@ -15,7 +15,9 @@
 
 use crate::adjacency::next_state_adjacency;
 use picola_constraints::{Encoding, GroupConstraint, SymbolSet};
-use picola_core::{estimate_cubes, Budget, Completion, Encoder, PicolaEncoder};
+use picola_core::{
+    estimate_codes_cubes_with, Budget, Completion, CubesScratch, Encoder, PicolaEncoder,
+};
 use picola_fsm::Fsm;
 
 /// PICOLA with next-state-structure augmentation — the “NEW” column of
@@ -55,76 +57,89 @@ impl PicolaStateEncoder {
         }
     }
 
-    fn output_plane_score(&self, enc: &Encoding) -> f64 {
+    fn output_plane_score_codes(&self, codes: &[u32]) -> f64 {
+        let n = codes.len();
         let mut score = 0.0;
         for (s, &w) in self.fanin.iter().enumerate() {
-            if s < enc.num_symbols() {
-                score += w * f64::from(enc.code(s).count_ones());
+            if s < n {
+                score += w * f64::from(codes[s].count_ones());
             }
         }
         for &(a, b, w) in &self.adjacency {
-            if a < enc.num_symbols() && b < enc.num_symbols() {
-                score += 0.5 * w * f64::from((enc.code(a) ^ enc.code(b)).count_ones());
+            if a < n && b < n {
+                score += 0.5 * w * f64::from((codes[a] ^ codes[b]).count_ones());
             }
         }
         score
     }
 
-    fn polish(
-        &self,
-        mut enc: Encoding,
-        constraints: &[GroupConstraint],
-        budget: &Budget,
-    ) -> Encoding {
+    fn polish(&self, enc: Encoding, constraints: &[GroupConstraint], budget: &Budget) -> Encoding {
         let n = enc.num_symbols();
         let nv = enc.nv();
         let size = 1usize << nv;
+        let mut scratch = CubesScratch::new();
+        let mut codes = enc.into_codes();
         let mut best = (
-            estimate_cubes(&enc, constraints),
-            self.output_plane_score(&enc),
+            estimate_codes_cubes_with(&codes, constraints, &mut scratch),
+            self.output_plane_score_codes(&codes),
         );
+        // Every candidate of a pass derives from the pass-start codes
+        // (`base`), exactly as the old up-front materialized list did: an
+        // accepted improvement updates `codes` while later candidates of the
+        // same pass still patch `base`. Only the `O(n·2^nv)` list of owned
+        // code vectors is gone — `cand` is one reusable buffer.
+        let mut base: Vec<u32> = Vec::with_capacity(n);
+        let mut cand: Vec<u32> = Vec::with_capacity(n);
         'passes: for _ in 0..self.polish_passes {
             let mut improved = false;
-            let candidates = |enc: &Encoding| -> Vec<Vec<u32>> {
-                let mut out = Vec::new();
-                for i in 0..n {
-                    for j in (i + 1)..n {
-                        let mut codes = enc.codes().to_vec();
-                        codes.swap(i, j);
-                        out.push(codes);
+            base.clear();
+            base.extend_from_slice(&codes);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if !budget.tick("picola.refine", 1) {
+                        break 'passes;
                     }
-                    for w in 0..size as u32 {
-                        if !enc.codes().contains(&w) {
-                            let mut codes = enc.codes().to_vec();
-                            codes[i] = w;
-                            out.push(codes);
-                        }
+                    cand.clear();
+                    cand.extend_from_slice(&base);
+                    cand.swap(i, j);
+                    let score = (
+                        estimate_codes_cubes_with(&cand, constraints, &mut scratch),
+                        self.output_plane_score_codes(&cand),
+                    );
+                    if score.0 < best.0 || (score.0 == best.0 && score.1 + 1e-9 < best.1) {
+                        std::mem::swap(&mut codes, &mut cand);
+                        best = score;
+                        improved = true;
                     }
                 }
-                out
-            };
-            for codes in candidates(&enc) {
-                if !budget.tick("picola.refine", 1) {
-                    break 'passes;
-                }
-                let Ok(cand) = Encoding::new(nv, codes) else {
-                    continue; // polish moves keep codes distinct; skip defensively
-                };
-                let score = (
-                    estimate_cubes(&cand, constraints),
-                    self.output_plane_score(&cand),
-                );
-                if score.0 < best.0 || (score.0 == best.0 && score.1 + 1e-9 < best.1) {
-                    enc = cand;
-                    best = score;
-                    improved = true;
+                for w in 0..size as u32 {
+                    if base.contains(&w) {
+                        continue;
+                    }
+                    if !budget.tick("picola.refine", 1) {
+                        break 'passes;
+                    }
+                    cand.clear();
+                    cand.extend_from_slice(&base);
+                    cand[i] = w;
+                    let score = (
+                        estimate_codes_cubes_with(&cand, constraints, &mut scratch),
+                        self.output_plane_score_codes(&cand),
+                    );
+                    if score.0 < best.0 || (score.0 == best.0 && score.1 + 1e-9 < best.1) {
+                        std::mem::swap(&mut codes, &mut cand);
+                        best = score;
+                        improved = true;
+                    }
                 }
             }
             if !improved {
                 break;
             }
         }
-        enc
+        // Swap/move candidates keep codes distinct by construction; fall back
+        // to the natural encoding rather than panic if that ever breaks.
+        Encoding::new(nv, codes).unwrap_or_else(|_| Encoding::natural(n))
     }
 }
 
@@ -165,6 +180,7 @@ impl Encoder for PicolaStateEncoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use picola_core::estimate_cubes;
     use picola_fsm::parse_kiss;
 
     const SIBS: &str = "\

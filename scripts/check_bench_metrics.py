@@ -1,22 +1,120 @@
 #!/usr/bin/env python3
-"""Validates a bench_json report's obs metrics.
+"""Validates a bench_json report's obs metrics, with optional regression
+gating against a previous report.
 
-Usage: check_bench_metrics.py REPORT.json
+Usage: check_bench_metrics.py REPORT.json [--baseline PREV.json]
+                                          [--max-regress FRACTION]
 
 Fails (exit 1) unless the report parses as JSON and every instance carries
 a non-empty `metrics` block: positive `total_work` and a span tree with at
 least one child under the root.
+
+When an instance carries a `refine` A/B block (schema v3+), its invariant
+flags must hold: `engines_match` (incremental and naive engines produced
+identical encodings) and `parallel_matches_sequential` (thread count does
+not change results).
+
+With `--baseline`, every (instance, encoder) pair present in both reports
+is compared on `work` — the deterministic obs counter total, immune to
+machine noise unlike wall time. The check fails if any pair's work grew by
+more than `--max-regress` (default 0.20, i.e. +20%). Zero overlapping
+pairs is a warning, not a failure (e.g. comparing different tiers).
 """
 
 import json
 import sys
 
 
+def parse_args(argv):
+    report = None
+    baseline = None
+    max_regress = 0.20
+    it = iter(argv)
+    for arg in it:
+        if arg == "--baseline":
+            baseline = next(it, None)
+            if baseline is None:
+                raise ValueError("--baseline needs a file")
+        elif arg == "--max-regress":
+            val = next(it, None)
+            if val is None:
+                raise ValueError("--max-regress needs a fraction")
+            max_regress = float(val)
+        elif report is None:
+            report = arg
+        else:
+            raise ValueError(f"unexpected argument {arg!r}")
+    if report is None:
+        raise ValueError("missing REPORT.json")
+    return report, baseline, max_regress
+
+
+def check_metrics(instances):
+    for inst in instances:
+        name = inst.get("name", "?")
+        metrics = inst.get("metrics")
+        if not isinstance(metrics, dict):
+            return f"{name}: missing metrics block"
+        if metrics.get("total_work", 0) <= 0:
+            return f"{name}: total_work is zero"
+        spans = metrics.get("spans", {})
+        if not spans.get("children"):
+            return f"{name}: empty span tree"
+    return None
+
+
+def check_refine(instances):
+    for inst in instances:
+        name = inst.get("name", "?")
+        refine = inst.get("refine")
+        if refine is None:
+            continue
+        if not refine.get("engines_match"):
+            return f"{name}: refine engines disagree (incremental vs naive)"
+        if not refine.get("parallel_matches_sequential"):
+            return f"{name}: refine results depend on thread count"
+        if not refine.get("runs"):
+            return f"{name}: refine block has no runs"
+    return None
+
+
+def work_map(report):
+    out = {}
+    for inst in report.get("instances", []):
+        for enc in inst.get("encoders", []):
+            out[(inst.get("name", "?"), enc.get("name", "?"))] = enc.get("work", 0)
+    return out
+
+
+def check_baseline(report, baseline_path, max_regress):
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    old = work_map(baseline)
+    new = work_map(report)
+    matched = 0
+    for key, old_work in sorted(old.items()):
+        if key not in new or old_work <= 0:
+            continue
+        matched += 1
+        limit = old_work * (1.0 + max_regress)
+        if new[key] > limit:
+            inst, enc = key
+            return (
+                f"{inst}/{enc}: work regressed {old_work} -> {new[key]} "
+                f"(limit {limit:.0f}, +{max_regress:.0%})",
+                matched,
+            )
+    return None, matched
+
+
 def main() -> int:
-    if len(sys.argv) != 2:
-        print("usage: check_bench_metrics.py REPORT.json", file=sys.stderr)
+    try:
+        report_path, baseline_path, max_regress = parse_args(sys.argv[1:])
+    except ValueError as e:
+        print(f"usage: check_bench_metrics.py REPORT.json [--baseline PREV.json]"
+              f" [--max-regress FRACTION] ({e})", file=sys.stderr)
         return 2
-    with open(sys.argv[1], encoding="utf-8") as fh:
+    with open(report_path, encoding="utf-8") as fh:
         report = json.load(fh)
 
     instances = report.get("instances", [])
@@ -24,22 +122,29 @@ def main() -> int:
         print("check_bench_metrics: no instances in report", file=sys.stderr)
         return 1
 
-    for inst in instances:
-        name = inst.get("name", "?")
-        metrics = inst.get("metrics")
-        if not isinstance(metrics, dict):
-            print(f"check_bench_metrics: {name}: missing metrics block", file=sys.stderr)
-            return 1
-        if metrics.get("total_work", 0) <= 0:
-            print(f"check_bench_metrics: {name}: total_work is zero", file=sys.stderr)
-            return 1
-        spans = metrics.get("spans", {})
-        if not spans.get("children"):
-            print(f"check_bench_metrics: {name}: empty span tree", file=sys.stderr)
+    for check in (check_metrics, check_refine):
+        err = check(instances)
+        if err:
+            print(f"check_bench_metrics: {err}", file=sys.stderr)
             return 1
 
-    print(f"check_bench_metrics: OK ({len(instances)} instances, "
-          f"work {[i['metrics']['total_work'] for i in instances]})")
+    matched = None
+    if baseline_path is not None:
+        err, matched = check_baseline(report, baseline_path, max_regress)
+        if err:
+            print(f"check_bench_metrics: {err}", file=sys.stderr)
+            return 1
+        if matched == 0:
+            print("check_bench_metrics: warning: no overlapping "
+                  "(instance, encoder) pairs with the baseline", file=sys.stderr)
+
+    refined = sum(1 for i in instances if i.get("refine"))
+    msg = (f"check_bench_metrics: OK ({len(instances)} instances, "
+           f"{refined} with refine A/B, "
+           f"work {[i['metrics']['total_work'] for i in instances]}")
+    if matched is not None:
+        msg += f", {matched} baseline pairs within +{max_regress:.0%}"
+    print(msg + ")")
     return 0
 
 

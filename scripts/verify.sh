@@ -25,11 +25,16 @@ cargo test -q --offline --test differential_encoders --test chaos_parallel \
 echo "== golden table fixtures"
 sh scripts/regen_tables.sh --check
 
-echo "== bench_json --smoke (with obs metrics check)"
+echo "== bench_json --smoke (obs metrics + work regression vs BENCH_pr3.json)"
 cargo run -q --offline --release -p picola-bench --bin bench_json -- \
     --smoke --out /tmp/bench_smoke.json
 if command -v python3 >/dev/null 2>&1; then
-    python3 scripts/check_bench_metrics.py /tmp/bench_smoke.json
+    # The smoke instances are a prefix of the standard corpus, so their
+    # deterministic work counters must stay within +20% of the checked-in
+    # baseline; the refine A/B invariants are validated as part of this.
+    python3 scripts/check_bench_metrics.py /tmp/bench_smoke.json \
+        --baseline BENCH_pr3.json
+    python3 scripts/check_bench_metrics.py BENCH_pr4.json
 else
     # Fallback without python: the metrics block must at least be present
     # and non-trivially populated in every instance.

@@ -88,6 +88,12 @@ fn picola_trace_has_the_expected_shape() {
         snap.counter_total(Counter::RefineAccepts) + snap.counter_total(Counter::RefineRejects) > 0,
         "refine must record its accept/reject tallies"
     );
+    assert_eq!(
+        snap.counter_total(Counter::RefineScratchReuse),
+        snap.counter_total(Counter::RefineEvals),
+        "the default (incremental) engine must serve every refine \
+         evaluation from reused scratch"
+    );
 }
 
 #[test]
