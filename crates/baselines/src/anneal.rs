@@ -6,6 +6,12 @@
 //! second conventional baseline for the benches — stronger than greedy
 //! placement on tangled instances, still blind to the cost of violated
 //! constraints.
+//!
+//! The anneal loop itself never minimizes (the objective is pure bit
+//! arithmetic over the codes); only the final encoding is priced through
+//! the cached evaluation pipeline
+//! ([`crate::objective::minimized_cubes`]), which returns bit-identical
+//! costs with the memo on or off (see the cache-parity test below).
 
 use crate::objective::satisfied_weight_codes;
 use picola_constraints::{Encoding, GroupConstraint};
@@ -186,6 +192,25 @@ mod tests {
         gs.iter()
             .map(|g| GroupConstraint::new(SymbolSet::from_members(n, g.iter().copied())))
             .collect()
+    }
+
+    #[test]
+    fn anneal_output_prices_identically_with_and_without_cache() {
+        use crate::objective::minimized_cubes;
+        use picola_core::{EvalContext, EvalOptions};
+        let cs = groups(8, &[&[0, 4], &[1, 5], &[2, 3, 6]]);
+        let enc = AnnealingEncoder::default().encode(8, &cs);
+        let cached = EvalOptions::default();
+        let uncached = EvalOptions {
+            cache: false,
+            ..EvalOptions::default()
+        };
+        let mut ctx = EvalContext::new();
+        let a = minimized_cubes(&enc, &cs, &cached, &mut ctx);
+        let b = minimized_cubes(&enc, &cs, &cached, &mut ctx); // repeat: memo hit
+        let c = minimized_cubes(&enc, &cs, &uncached, &mut ctx);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
     }
 
     #[test]

@@ -9,21 +9,26 @@
 //! for medium and large examples" and fails on `scf`. The evaluation budget
 //! below makes that behaviour explicit and measurable.
 
-use picola_constraints::{Encoding, GroupConstraint};
-use picola_core::{evaluate_encoding, Budget, Completion, Encoder};
+use crate::objective::minimized_cubes;
 use picola_constraints::min_code_length;
+use picola_constraints::{Encoding, GroupConstraint};
+use picola_core::{Budget, Completion, Encoder, EvalContext, EvalOptions};
 
 /// Outcome details of an ENC-style run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EncRunInfo {
-    /// Full-cost evaluations performed (each runs ESPRESSO once per
-    /// constraint).
+    /// Full-cost evaluations performed (each prices every constraint
+    /// through the minimization cache).
     pub evaluations: usize,
     /// Whether the run stopped because the budget was exhausted rather than
     /// because a local optimum was reached.
     pub budget_exhausted: bool,
     /// Final total cube count.
     pub total_cubes: usize,
+    /// Minimization-cache hits across the run (0 when caching is off).
+    pub cache_hits: u64,
+    /// Minimization-cache misses (actual ESPRESSO runs) across the run.
+    pub cache_misses: u64,
 }
 
 /// The ENC-style encoder.
@@ -33,12 +38,18 @@ pub struct EncLikeEncoder {
     /// calls). When exceeded the current best encoding is returned and the
     /// run is flagged as budget-exhausted.
     pub max_evaluations: usize,
+    /// Evaluation pipeline knobs: minimizer, cover engine, and whether the
+    /// per-run minimization cache is consulted. One [`EvalContext`] lives
+    /// for the whole run, so probes that revisit a constraint function pay
+    /// a hash lookup instead of an ESPRESSO pass.
+    pub eval: EvalOptions,
 }
 
 impl Default for EncLikeEncoder {
     fn default() -> Self {
         EncLikeEncoder {
             max_evaluations: 4000,
+            eval: EvalOptions::default(),
         }
     }
 }
@@ -67,16 +78,17 @@ impl EncLikeEncoder {
         let mut enc = Encoding::natural(n);
         let mut evals = 0usize;
         let mut exhausted = false;
+        let mut ctx = EvalContext::new();
 
-        let cost = |e: &Encoding, evals: &mut usize| -> usize {
+        let cost = |e: &Encoding, evals: &mut usize, ctx: &mut EvalContext| -> usize {
             *evals += 1;
-            evaluate_encoding(e, constraints).total_cubes
+            minimized_cubes(e, constraints, &self.eval, ctx)
         };
         // The baseline evaluation always runs (a best-so-far cost must
         // exist), but it pays its tick so exhaustion latches before the
         // search loop starts.
         let start_exhausted = !budget.tick("enc.eval", 1);
-        let mut best_cost = cost(&enc, &mut evals);
+        let mut best_cost = cost(&enc, &mut evals, &mut ctx);
         if start_exhausted {
             exhausted = true;
         }
@@ -97,7 +109,7 @@ impl EncLikeEncoder {
                     let Ok(cand) = Encoding::new(nv, codes) else {
                         continue; // swaps permute codes: unreachable defensively
                     };
-                    let c = cost(&cand, &mut evals);
+                    let c = cost(&cand, &mut evals, &mut ctx);
                     if c < best_cost {
                         enc = cand;
                         best_cost = c;
@@ -121,7 +133,7 @@ impl EncLikeEncoder {
                     let Ok(cand) = Encoding::new(nv, codes) else {
                         continue; // target checked free: unreachable defensively
                     };
-                    let c = cost(&cand, &mut evals);
+                    let c = cost(&cand, &mut evals, &mut ctx);
                     if c < best_cost {
                         enc = cand;
                         best_cost = c;
@@ -140,6 +152,8 @@ impl EncLikeEncoder {
                 evaluations: evals,
                 budget_exhausted: exhausted,
                 total_cubes: best_cost,
+                cache_hits: ctx.cache.hits(),
+                cache_misses: ctx.cache.misses(),
             },
         )
     }
@@ -189,7 +203,10 @@ mod tests {
     #[test]
     fn budget_exhaustion_is_reported() {
         let cs = groups(8, &[&[0, 5], &[1, 6], &[2, 7], &[0, 1, 2, 3, 7]]);
-        let tiny = EncLikeEncoder { max_evaluations: 5 };
+        let tiny = EncLikeEncoder {
+            max_evaluations: 5,
+            ..EncLikeEncoder::default()
+        };
         let (_, info) = tiny.encode_detailed(8, &cs);
         assert!(info.budget_exhausted);
         assert!(info.evaluations <= 5 + 1);

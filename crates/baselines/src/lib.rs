@@ -31,8 +31,8 @@ pub use dicho::DichotomyEncoder;
 pub use enc::{EncLikeEncoder, EncRunInfo};
 pub use nova::{NovaEncoder, NovaMode};
 pub use objective::{
-    adjacency_bonus, adjacency_bonus_codes, codes_satisfy, satisfied_dichotomies,
-    satisfied_weight, satisfied_weight_codes,
+    adjacency_bonus, adjacency_bonus_codes, codes_satisfy, minimized_cubes,
+    satisfied_dichotomies, satisfied_weight, satisfied_weight_codes,
 };
 pub use portfolio::{splitmix64, standard_members, standard_portfolio};
 pub use simple::{NaturalEncoder, RandomEncoder};

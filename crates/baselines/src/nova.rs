@@ -9,6 +9,13 @@
 //!
 //! `i_hybrid` uses input (face) constraints only; `io_hybrid` adds a
 //! code-adjacency bonus derived from the machine's next-state structure.
+//!
+//! Unlike the ENC-style baseline, NOVA never minimizes inside its loop —
+//! the objective is pure bit arithmetic over the codes. Its *output* is
+//! priced through the cached evaluation pipeline
+//! ([`crate::objective::minimized_cubes`]) like every other encoder's, and
+//! that price is bit-identical whether the minimization memo is consulted
+//! or not (see the cache-parity test below).
 
 use crate::objective::{adjacency_bonus_codes, satisfied_weight_codes};
 use picola_constraints::{Encoding, GroupConstraint};
@@ -303,6 +310,25 @@ mod tests {
         gs.iter()
             .map(|g| GroupConstraint::new(SymbolSet::from_members(n, g.iter().copied())))
             .collect()
+    }
+
+    #[test]
+    fn nova_output_prices_identically_with_and_without_cache() {
+        use crate::objective::minimized_cubes;
+        use picola_core::{EvalContext, EvalOptions};
+        let cs = groups(8, &[&[0, 1], &[2, 3, 4, 5], &[0, 6], &[1, 7]]);
+        let enc = NovaEncoder::i_hybrid().encode(8, &cs);
+        let cached = EvalOptions::default();
+        let uncached = EvalOptions {
+            cache: false,
+            ..EvalOptions::default()
+        };
+        let mut ctx = EvalContext::new();
+        let a = minimized_cubes(&enc, &cs, &cached, &mut ctx);
+        let b = minimized_cubes(&enc, &cs, &cached, &mut ctx); // repeat: memo hit
+        let c = minimized_cubes(&enc, &cs, &uncached, &mut ctx);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
     }
 
     #[test]

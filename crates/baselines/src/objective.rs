@@ -8,6 +8,23 @@
 //! terms, so they return bit-identical `f64` values.
 
 use picola_constraints::{Encoding, GroupConstraint, SymbolSet};
+use picola_core::{evaluate_encoding_cached, EvalContext, EvalOptions};
+
+/// The paper's evaluation objective: total minimized cube count of the
+/// encoded constraint functions, priced through the cached evaluation
+/// pipeline. Callers that probe many encodings (the ENC-style loop) thread
+/// one long-lived [`EvalContext`] through so repeat constraint functions
+/// hit the memo instead of re-running ESPRESSO; a swap of two symbols
+/// leaves every constraint containing neither untouched, so hit rates grow
+/// with the constraint count.
+pub fn minimized_cubes(
+    enc: &Encoding,
+    constraints: &[GroupConstraint],
+    opts: &EvalOptions,
+    ctx: &mut EvalContext,
+) -> usize {
+    evaluate_encoding_cached(enc, constraints, opts, ctx).total_cubes
+}
 
 /// The conventional objective NOVA-style tools maximize: total weight of the
 /// *satisfied* face constraints (violated ones contribute nothing — exactly

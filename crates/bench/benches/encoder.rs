@@ -34,6 +34,7 @@ fn bench_encoders_on_suite(c: &mut Criterion) {
         // ENC with a tiny budget — even then it dwarfs the others.
         let enc = EncLikeEncoder {
             max_evaluations: 30,
+            ..EncLikeEncoder::default()
         };
         group.bench_with_input(BenchmarkId::new("enc-30evals", name), &cs, |b, cs| {
             b.iter(|| enc.encode(black_box(n), black_box(cs)))

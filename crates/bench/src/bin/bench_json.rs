@@ -2,12 +2,18 @@
 //!
 //! Races every member of the standard portfolio on each corpus instance —
 //! individually on private budgets (attributing wall time and work units
-//! per encoder), then as a portfolio sequentially and in parallel — plus an
-//! incremental-vs-naive refine engine A/B (threads 1 and N, encodings
-//! cross-checked bit-identical), and writes one machine-readable JSON
-//! report (`BENCH_pr4.json` by default), including a deterministic
-//! per-instance `metrics` block (the obs span / counter tree of the
-//! sequential portfolio run).
+//! per encoder), then as a portfolio sequentially and in parallel — plus
+//! three A/B comparisons, encodings cross-checked bit-identical:
+//!
+//! * refine engines (incremental vs naive, threads 1 and N);
+//! * the evaluation pipeline (flat+memo vs flat-uncached vs
+//!   legacy-uncached), pricing every member encoding repeatedly;
+//! * the ENC-style baseline (minimization-in-the-loop) on the cached flat
+//!   pipeline vs the legacy uncached one.
+//!
+//! Writes one machine-readable JSON report (`BENCH_pr5.json` by default),
+//! including a deterministic per-instance `metrics` block (the obs span /
+//! counter tree of the sequential portfolio run).
 //! See README.md ("Reading the bench JSON") for the schema.
 //!
 //! ```text
@@ -16,12 +22,14 @@
 //!     [--instances N]
 //! ```
 
-use picola_baselines::{standard_members, standard_portfolio};
+use picola_baselines::{standard_members, standard_portfolio, EncLikeEncoder};
 use picola_bench::corpus::{corpus_tier, Instance, Tier};
+use picola_constraints::Encoding;
 use picola_core::{
-    estimate_cubes, try_picola_encode_with, Budget, PicolaOptions, RefineEngine,
+    estimate_cubes, evaluate_encoding_cached, try_picola_encode_with, Budget, CoverEngine,
+    EvalContext, EvalOptions, PicolaOptions, RefineEngine,
 };
-use picola_logic::{SpanSnapshot, Trace};
+use picola_logic::{obs, Counter, SpanSnapshot, Trace};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -39,7 +47,7 @@ impl Options {
         let mut opts = Options {
             smoke: false,
             tier: Tier::Standard,
-            out: "BENCH_pr4.json".to_owned(),
+            out: "BENCH_pr5.json".to_owned(),
             threads: 4,
             seed: 0x0001_C01A,
             instances: 0,
@@ -109,6 +117,179 @@ struct InstanceReport {
     metrics: SpanSnapshot,
     metrics_work: u64,
     refine: RefineReport,
+    eval_ab: AbReport,
+    enc_ab: AbReport,
+}
+
+/// One leg of an evaluation-pipeline or ENC A/B comparison.
+struct AbLeg {
+    engine: &'static str,
+    cache: bool,
+    wall_ns: u64,
+    /// Deterministic work units: minimize calls (eval leg) or full-cost
+    /// evaluations (ENC leg). Identical across repetitions and across legs.
+    work: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cost: usize,
+}
+
+struct AbReport {
+    legs: Vec<AbLeg>,
+    /// Every leg produced bit-identical results (costs, and for ENC the
+    /// final encoding too).
+    matches: bool,
+    /// Baseline (last leg: legacy engine, cache off) wall-per-work divided
+    /// by the cached flat leg's wall-per-work — ≥ 1 when the new pipeline
+    /// wins.
+    speedup_per_work: f64,
+}
+
+fn per_work_speedup(legs: &[AbLeg]) -> f64 {
+    let per = |l: &AbLeg| l.wall_ns as f64 / l.work.max(1) as f64;
+    let fast = legs.first().map(per).unwrap_or(1.0);
+    let slow = legs.last().map(per).unwrap_or(1.0);
+    slow / fast.max(1e-9)
+}
+
+/// The (engine, cache) legs of the evaluation A/B: the new default first,
+/// the cache's contribution in the middle, the pre-PR-5 pipeline (legacy
+/// engine, no memo) last as the baseline.
+const EVAL_LEGS: [(CoverEngine, bool, &str); 3] = [
+    (CoverEngine::Flat, true, "flat"),
+    (CoverEngine::Flat, false, "flat"),
+    (CoverEngine::Legacy, false, "legacy"),
+];
+
+/// Evaluation-pipeline A/B: prices every member encoding `EVAL_PASSES`
+/// times per leg (repeat passes are what search loops do, and what the memo
+/// accelerates), best-of-`AB_REPS` wall per leg, work = minimize calls
+/// (asserted identical across repetitions *and* legs).
+fn run_eval_ab(inst: &Instance, encodings: &[Encoding]) -> Result<AbReport, String> {
+    const EVAL_PASSES: usize = 3;
+    const AB_REPS: usize = 3;
+    let mut legs = Vec::new();
+    for (engine, cache, engine_name) in EVAL_LEGS {
+        let opts = EvalOptions {
+            engine,
+            cache,
+            ..EvalOptions::default()
+        };
+        let mut best: Option<AbLeg> = None;
+        for _ in 0..AB_REPS {
+            let trace = Trace::new();
+            let mut ctx = EvalContext::new();
+            let mut cost = 0usize;
+            let t = Instant::now();
+            {
+                let span = trace.recorder().span("eval-ab");
+                let _cur = obs::enter(span.recorder());
+                for _ in 0..EVAL_PASSES {
+                    for enc in encodings {
+                        cost += evaluate_encoding_cached(enc, &inst.constraints, &opts, &mut ctx)
+                            .total_cubes;
+                    }
+                }
+            }
+            let wall_ns = t.elapsed().as_nanos() as u64;
+            let work = trace.counter_total(Counter::MinimizeCalls);
+            let leg = AbLeg {
+                engine: engine_name,
+                cache,
+                wall_ns,
+                work,
+                cache_hits: ctx.cache.hits(),
+                cache_misses: ctx.cache.misses(),
+                cost,
+            };
+            if let Some(prev) = &best {
+                if (prev.work, prev.cost) != (leg.work, leg.cost) {
+                    return Err(format!(
+                        "{}: eval {engine_name}/cache={cache}: nondeterministic leg \
+                         (work {} vs {}, cost {} vs {})",
+                        inst.name, prev.work, leg.work, prev.cost, leg.cost
+                    ));
+                }
+            }
+            if best.as_ref().is_none_or(|p| leg.wall_ns < p.wall_ns) {
+                best = Some(leg);
+            }
+        }
+        legs.push(best.ok_or("eval A/B: no repetitions ran")?);
+    }
+    let matches = legs.iter().all(|l| l.cost == legs[0].cost && l.work == legs[0].work);
+    let speedup_per_work = per_work_speedup(&legs);
+    Ok(AbReport {
+        legs,
+        matches,
+        speedup_per_work,
+    })
+}
+
+/// ENC-baseline A/B: the full minimization-in-the-loop local search on the
+/// cached flat pipeline vs the pre-PR-5 one (legacy engine, no memo). Work
+/// = full-cost evaluations — bit-identical costs mean bit-identical search
+/// trajectories, so both legs must report the same count and encoding.
+fn run_enc_ab(inst: &Instance) -> Result<AbReport, String> {
+    const ENC_AB_EVALS: usize = 120;
+    const AB_REPS: usize = 3;
+    let enc_legs: [(CoverEngine, bool, &str); 2] = [
+        (CoverEngine::Flat, true, "flat"),
+        (CoverEngine::Legacy, false, "legacy"),
+    ];
+    let mut legs = Vec::new();
+    let mut encodings: Vec<Encoding> = Vec::new();
+    for (engine, cache, engine_name) in enc_legs {
+        let encoder = EncLikeEncoder {
+            max_evaluations: ENC_AB_EVALS,
+            eval: EvalOptions {
+                engine,
+                cache,
+                ..EvalOptions::default()
+            },
+        };
+        let mut best: Option<AbLeg> = None;
+        let mut encoding = None;
+        for _ in 0..AB_REPS {
+            let t = Instant::now();
+            let (enc, info) = encoder.encode_detailed(inst.n, &inst.constraints);
+            let wall_ns = t.elapsed().as_nanos() as u64;
+            let leg = AbLeg {
+                engine: engine_name,
+                cache,
+                wall_ns,
+                work: info.evaluations as u64,
+                cache_hits: info.cache_hits,
+                cache_misses: info.cache_misses,
+                cost: info.total_cubes,
+            };
+            if let Some(prev) = &best {
+                if (prev.work, prev.cost) != (leg.work, leg.cost) {
+                    return Err(format!(
+                        "{}: enc {engine_name}/cache={cache}: nondeterministic leg \
+                         (work {} vs {}, cost {} vs {})",
+                        inst.name, prev.work, leg.work, prev.cost, leg.cost
+                    ));
+                }
+            }
+            if best.as_ref().is_none_or(|p| leg.wall_ns < p.wall_ns) {
+                best = Some(leg);
+            }
+            encoding.get_or_insert(enc);
+        }
+        legs.push(best.ok_or("enc A/B: no repetitions ran")?);
+        encodings.push(encoding.ok_or("enc A/B: no encoding produced")?);
+    }
+    let matches = encodings.iter().all(|e| *e == encodings[0])
+        && legs
+            .iter()
+            .all(|l| l.cost == legs[0].cost && l.work == legs[0].work);
+    let speedup_per_work = per_work_speedup(&legs);
+    Ok(AbReport {
+        legs,
+        matches,
+        speedup_per_work,
+    })
 }
 
 /// One refine engine A/B leg: a full PICOLA run with the given engine and
@@ -215,6 +396,7 @@ fn run_refine_ab(inst: &Instance, opts: &Options) -> Result<RefineReport, String
 fn run_instance(inst: Instance, opts: &Options) -> Result<InstanceReport, String> {
     let nontrivial = inst.constraints.iter().filter(|c| !c.is_trivial()).count();
 
+    let mut member_encodings = Vec::new();
     let encoders = standard_members(opts.seed)
         .iter()
         .map(|member| {
@@ -228,14 +410,16 @@ fn run_instance(inst: Instance, opts: &Options) -> Result<InstanceReport, String
                 .iter()
                 .filter(|c| !c.is_trivial() && enc.satisfies(c.members()))
                 .count();
-            EncoderRow {
+            let row = EncoderRow {
                 name: member.name().to_owned(),
                 wall,
                 work: budget.work_done(),
                 cost: estimate_cubes(&enc, &inst.constraints),
                 satisfied,
                 complete: completion.is_complete(),
-            }
+            };
+            member_encodings.push(enc);
+            row
         })
         .collect();
 
@@ -255,11 +439,15 @@ fn run_instance(inst: Instance, opts: &Options) -> Result<InstanceReport, String
     };
 
     let refine = run_refine_ab(&inst, opts)?;
+    let eval_ab = run_eval_ab(&inst, &member_encodings)?;
+    let enc_ab = run_enc_ab(&inst)?;
 
     Ok(InstanceReport {
         nontrivial,
         encoders,
         refine,
+        eval_ab,
+        enc_ab,
         metrics: trace.snapshot(),
         metrics_work: trace.total_work(),
         winner: seq.best().name.clone(),
@@ -279,7 +467,7 @@ fn ms(d: Duration) -> String {
 fn emit(reports: &[InstanceReport], opts: &Options) -> String {
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"picola-bench/bench_json/v3\",");
+    let _ = writeln!(j, "  \"schema\": \"picola-bench/bench_json/v4\",");
     let _ = writeln!(j, "  \"seed\": {},", opts.seed);
     let _ = writeln!(j, "  \"threads\": {},", opts.threads);
     let _ = writeln!(j, "  \"smoke\": {},", opts.smoke);
@@ -347,6 +535,30 @@ fn emit(reports: &[InstanceReport], opts: &Options) -> String {
             r.refine.speedup_per_work
         );
         let _ = writeln!(j, "      }},");
+        for (label, ab) in [("eval_ab", &r.eval_ab), ("enc_ab", &r.enc_ab)] {
+            let _ = writeln!(j, "      \"{label}\": {{");
+            let _ = writeln!(j, "        \"legs\": [");
+            for (li, leg) in ab.legs.iter().enumerate() {
+                let _ = write!(
+                    j,
+                    "          {{\"engine\": \"{}\", \"cache\": {}, \
+                     \"wall_ms\": {:.3}, \"work\": {}, \"cache_hits\": {}, \
+                     \"cache_misses\": {}, \"cost\": {}}}",
+                    leg.engine,
+                    leg.cache,
+                    leg.wall_ns as f64 / 1e6,
+                    leg.work,
+                    leg.cache_hits,
+                    leg.cache_misses,
+                    leg.cost
+                );
+                let _ = writeln!(j, "{}", if li + 1 < ab.legs.len() { "," } else { "" });
+            }
+            let _ = writeln!(j, "        ],");
+            let _ = writeln!(j, "        \"matches\": {},", ab.matches);
+            let _ = writeln!(j, "        \"speedup_per_work\": {:.3}", ab.speedup_per_work);
+            let _ = writeln!(j, "      }},");
+        }
         let _ = writeln!(
             j,
             "      \"metrics\": {{\"total_work\": {}, \"spans\": {}}}",
@@ -425,7 +637,79 @@ fn emit(reports: &[InstanceReport], opts: &Options) -> String {
         .count();
     let _ = writeln!(j, "      \"engine_mismatches\": {engine_mismatches},");
     let _ = writeln!(j, "      \"thread_mismatches\": {thread_mismatches}");
-    let _ = writeln!(j, "    }}");
+    let _ = writeln!(j, "    }},");
+    // Evaluation-pipeline and ENC A/B over the whole corpus: each named leg
+    // aggregated, headline speedup = baseline (legacy, uncached)
+    // wall-per-work over the cached flat leg.
+    for (label, pick) in [
+        ("eval", (|r: &InstanceReport| &r.eval_ab) as fn(&InstanceReport) -> &AbReport),
+        ("enc", |r: &InstanceReport| &r.enc_ab),
+    ] {
+        let n_legs = reports.first().map_or(0, |r| pick(r).legs.len());
+        let mut sums: Vec<AbLeg> = Vec::new();
+        for li in 0..n_legs {
+            let mut wall_ns = 0u64;
+            let mut work = 0u64;
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            let mut engine = "";
+            let mut cache = false;
+            for r in reports {
+                let leg = &pick(r).legs[li];
+                wall_ns += leg.wall_ns;
+                work += leg.work;
+                hits += leg.cache_hits;
+                misses += leg.cache_misses;
+                engine = leg.engine;
+                cache = leg.cache;
+            }
+            sums.push(AbLeg {
+                engine,
+                cache,
+                wall_ns,
+                work,
+                cache_hits: hits,
+                cache_misses: misses,
+                cost: 0,
+            });
+        }
+        let mismatches = reports.iter().filter(|r| !pick(r).matches).count();
+        let _ = writeln!(j, "    \"{label}\": {{");
+        for leg in &sums {
+            let name = format!(
+                "{}_{}",
+                leg.engine,
+                if leg.cache { "cached" } else { "uncached" }
+            );
+            let _ = writeln!(
+                j,
+                "      \"{name}_wall_ms\": {:.3},",
+                leg.wall_ns as f64 / 1e6
+            );
+            let _ = writeln!(j, "      \"{name}_work\": {},", leg.work);
+        }
+        let _ = writeln!(
+            j,
+            "      \"cache_hits\": {},",
+            sums.first().map_or(0, |l| l.cache_hits)
+        );
+        let _ = writeln!(
+            j,
+            "      \"cache_misses\": {},",
+            sums.first().map_or(0, |l| l.cache_misses)
+        );
+        let _ = writeln!(
+            j,
+            "      \"speedup_per_work\": {:.3},",
+            per_work_speedup(&sums)
+        );
+        let _ = writeln!(j, "      \"mismatches\": {mismatches}");
+        let _ = writeln!(
+            j,
+            "    }}{}",
+            if label == "eval" { "," } else { "" }
+        );
+    }
     let _ = writeln!(j, "  }}");
     let _ = writeln!(j, "}}");
     j
@@ -447,12 +731,14 @@ fn main() {
             Ok(r) => {
                 eprintln!(
                     "{name}: winner {} (cost {}), seq {} ms / par {} ms, \
-                     refine speedup {:.2}x",
+                     refine speedup {:.2}x, eval {:.2}x, enc {:.2}x",
                     r.winner,
                     r.winning_cost,
                     ms(r.seq_wall),
                     ms(r.par_wall),
-                    r.refine.speedup_per_work
+                    r.refine.speedup_per_work,
+                    r.eval_ab.speedup_per_work,
+                    r.enc_ab.speedup_per_work
                 );
                 reports.push(r);
             }

@@ -33,6 +33,7 @@ fn main() {
         Box::new(NovaEncoder::i_hybrid()),
         Box::new(EncLikeEncoder {
             max_evaluations: 600,
+            ..EncLikeEncoder::default()
         }),
         Box::<PicolaEncoder>::default(),
     ];

@@ -155,6 +155,7 @@ pub fn table1_row(fsm: &Fsm, opts: &HarnessOptions) -> Table1Row {
     };
     let enc = EncLikeEncoder {
         max_evaluations: budget,
+        ..EncLikeEncoder::default()
     };
     let t = Instant::now();
     let (enc_encoding, info) = enc.encode_detailed(n, &constraints);

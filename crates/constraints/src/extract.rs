@@ -112,7 +112,7 @@ pub fn extract_constraints_with(
 
     let mut by_members: BTreeMap<Vec<usize>, usize> = BTreeMap::new();
     for cube in minimized.iter() {
-        let parts = cube.var_parts(dom, sv);
+        let parts: Vec<usize> = cube.var_parts(dom, sv).collect();
         if parts.len() >= 2 && parts.len() < n {
             *by_members.entry(parts).or_insert(0) += 1;
         }

@@ -10,7 +10,7 @@
 //! satisfactions.
 
 use picola_constraints::{Encoding, GroupConstraint};
-use picola_logic::{espresso, exact_minimize, Domain, ExactOutcome};
+use picola_logic::{exact_minimize, CoverEngine, Domain, ExactOutcome, MinimizeCache};
 
 /// How constraint functions are minimized during evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -24,6 +24,48 @@ pub enum EvalMinimizer {
         /// Branch-and-bound node budget per constraint.
         max_nodes: usize,
     },
+}
+
+/// Knobs of the evaluation pipeline beyond the minimizer choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Which minimizer prices each constraint function.
+    pub minimizer: EvalMinimizer,
+    /// Which cover engine ESPRESSO runs on (flat by default; legacy stays
+    /// selectable as the differential reference and A/B bench leg).
+    pub engine: CoverEngine,
+    /// Whether repeat constraint functions are answered from the
+    /// [`EvalContext`]'s memo. Off = honest recomputation on every call
+    /// (bit-identical results either way).
+    pub cache: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            minimizer: EvalMinimizer::default(),
+            engine: CoverEngine::default(),
+            cache: true,
+        }
+    }
+}
+
+/// Long-lived state threaded through repeated evaluations: the minimization
+/// memo plus its scratch pool. Search loops (ENC probes, portfolio sweeps)
+/// keep one context per run so repeat covers cost a hash lookup and the
+/// steady state allocates nothing. Deliberately per-run, never global:
+/// traces stay independent of thread count and interleaving.
+#[derive(Debug, Default)]
+pub struct EvalContext {
+    /// The memoized minimization cache.
+    pub cache: MinimizeCache,
+}
+
+impl EvalContext {
+    /// A fresh (cold) context.
+    pub fn new() -> EvalContext {
+        EvalContext::default()
+    }
 }
 
 /// Cost of one constraint under an encoding.
@@ -194,11 +236,29 @@ pub fn evaluate_encoding(enc: &Encoding, constraints: &[GroupConstraint]) -> Enc
     evaluate_encoding_with(enc, constraints, EvalMinimizer::Espresso)
 }
 
-/// Evaluates `enc` against `constraints` with an explicit minimizer choice.
+/// Evaluates `enc` against `constraints` with an explicit minimizer choice
+/// and a one-shot [`EvalContext`].
 pub fn evaluate_encoding_with(
     enc: &Encoding,
     constraints: &[GroupConstraint],
     minimizer: EvalMinimizer,
+) -> EncodingEvaluation {
+    let opts = EvalOptions {
+        minimizer,
+        ..EvalOptions::default()
+    };
+    evaluate_encoding_cached(enc, constraints, &opts, &mut EvalContext::new())
+}
+
+/// The full evaluation entry point: explicit [`EvalOptions`] and a
+/// caller-owned [`EvalContext`] whose memo and scratch survive across
+/// calls. Returns bit-identical results for every (engine, cache) choice;
+/// only the work performed differs.
+pub fn evaluate_encoding_cached(
+    enc: &Encoding,
+    constraints: &[GroupConstraint],
+    opts: &EvalOptions,
+    ctx: &mut EvalContext,
 ) -> EncodingEvaluation {
     let dom = Domain::binary(enc.nv());
     let mut per_constraint = Vec::new();
@@ -210,8 +270,14 @@ pub fn evaluate_encoding_with(
             continue;
         }
         let (on, dc) = enc.constraint_function(&dom, c.members());
-        let cubes = match minimizer {
-            EvalMinimizer::Espresso => espresso(&on, &dc).len(),
+        let cubes = match opts.minimizer {
+            EvalMinimizer::Espresso => {
+                if opts.cache {
+                    ctx.cache.minimized_cube_count(&on, &dc, opts.engine)
+                } else {
+                    ctx.cache.minimized_cube_count_uncached(&on, &dc, opts.engine)
+                }
+            }
             EvalMinimizer::Exact { max_nodes } => match exact_minimize(&on, &dc, max_nodes) {
                 ExactOutcome::Minimum(cv) | ExactOutcome::Truncated(cv) => cv.len(),
             },

@@ -56,9 +56,9 @@ pub use cost::CostModel;
 pub use error::PicolaError;
 pub use eval::{
     estimate_codes_cubes_with, estimate_cubes, estimate_cubes_with, evaluate_encoding,
-    evaluate_encoding_with,
+    evaluate_encoding_cached, evaluate_encoding_with,
     greedy_codes_cubes, greedy_codes_cubes_into, greedy_constraint_cubes, ConstraintCost,
-    CubesScratch, EncodingEvaluation, EvalMinimizer,
+    CubesScratch, EncodingEvaluation, EvalContext, EvalMinimizer, EvalOptions,
 };
 pub use picola::{
     picola_encode, picola_encode_portfolio, picola_encode_with, try_picola_encode_portfolio,
@@ -71,5 +71,7 @@ pub use solve::solve_column;
 pub use validity::ValidityTracker;
 
 // Budgeting and fault injection live in picola-logic (the dependency root);
-// re-export them here so encoder-level callers need only picola-core.
-pub use picola_logic::{chaos, Budget, Completion, ExhaustReason};
+// re-export them here so encoder-level callers need only picola-core. The
+// cover-engine selector and minimization cache ride along for the same
+// reason.
+pub use picola_logic::{chaos, Budget, Completion, CoverEngine, ExhaustReason, MinimizeCache};

@@ -42,7 +42,10 @@ pub struct MemberOutcome {
     /// How the member's run ended.
     pub completion: Completion,
     /// Combinatorial cube estimate of `encoding`
-    /// ([`crate::eval::estimate_cubes`]) — the ranking key.
+    /// ([`crate::eval::estimate_cubes`]) — the ranking key. The estimate is
+    /// deliberately memo-free (microseconds per member, computed once);
+    /// callers that want the exact Table I price re-evaluate winners through
+    /// the cached pipeline ([`crate::eval::evaluate_encoding_cached`]).
     pub cost: usize,
     /// Non-trivial constraints the encoding face-embeds.
     pub satisfied: usize,

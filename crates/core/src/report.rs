@@ -1,4 +1,9 @@
 //! Human-readable reports of encoding runs.
+//!
+//! The [`EncodingEvaluation`] a report renders comes from the evaluation
+//! pipeline (`evaluate_encoding` and friends), which since PR 5 runs on the
+//! flat cover engine with the minimization memo by default — same numbers,
+//! produced faster; reports are engine- and cache-agnostic.
 
 use crate::eval::EncodingEvaluation;
 use crate::picola::PicolaResult;

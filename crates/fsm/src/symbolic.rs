@@ -165,7 +165,7 @@ mod tests {
         let found = sc.on.iter().any(|c| {
             c.has_part(sc.next_state_part(2))
                 && c.has_part(sc.output_part(0))
-                && c.var_parts(&sc.domain, sc.state_var()) == vec![1]
+                && c.var_parts(&sc.domain, sc.state_var()).eq([1])
         });
         assert!(found);
     }
@@ -179,7 +179,7 @@ mod tests {
             .dc
             .iter()
             .any(|c| c.has_part(sc.output_part(0))
-                && c.var_parts(&sc.domain, sc.state_var()) == vec![0]));
+                && c.var_parts(&sc.domain, sc.state_var()).eq([0])));
         // Row 4 has next state '*': dc over all next-state parts.
         assert!(sc
             .dc

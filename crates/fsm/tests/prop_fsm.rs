@@ -92,7 +92,7 @@ proptest! {
         prop_assert!(sc.on.len() >= rows_with_next.min(1));
         // every on-cube's state literal is a single state
         for c in sc.on.iter() {
-            prop_assert_eq!(c.var_parts(&sc.domain, sc.state_var()).len(), 1);
+            prop_assert_eq!(c.var_parts(&sc.domain, sc.state_var()).count(), 1);
         }
     }
 }

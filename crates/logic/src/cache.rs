@@ -1,0 +1,379 @@
+//! Memoized minimization: [`MinimizeCache`] and the [`CoverEngine`]
+//! selector.
+//!
+//! The evaluation pipeline prices an encoding by minimizing the encoded
+//! constraint functions, and search loops (ENC-style probes, portfolio
+//! sweeps) re-price covers they have already seen: a swap of two symbols
+//! leaves every constraint containing neither of them untouched. The cache
+//! memoizes *minimized cube counts* keyed by a canonical cover signature,
+//! so repeat functions cost one hash lookup instead of a full ESPRESSO run.
+//!
+//! Determinism: the key is a pure function of the cover (domain shape plus
+//! the sorted cube words of the on/dc sets) and the engine tag; the cached
+//! value is the minimizer's output for that function. Because ESPRESSO is
+//! deterministic, every process — regardless of thread count or call
+//! order — computes the same value for a given key, so cache hits can never
+//! change a result, only skip recomputation. The capacity bound only stops
+//! *inserting* (deterministically, by call order), never evicts, so a warm
+//! entry stays warm. With the `minimize-cache` feature disabled the map is
+//! compiled out and every call is an honest miss; results are bit-identical
+//! either way, which the differential tests assert.
+//!
+//! Observability: every call bumps [`obs::Counter::MinimizeCalls`] and
+//! exactly one of [`obs::Counter::MinimizeCacheHit`] /
+//! [`obs::Counter::MinimizeCacheMiss`], so traces conserve
+//! `hits + misses == calls`. A cache hit performs **zero** budget work —
+//! the minimizer is never entered, so no `espresso.iter` ticks fire and
+//! traced work totals stay conserved.
+
+use crate::budget::Budget;
+use crate::cover::Cover;
+use crate::espresso::{espresso_bounded, MinimizeOptions};
+use crate::flat::{cover_to_words, espresso_words, flat_eligible, BinCtx, MinimizeScratch};
+use crate::obs;
+#[cfg(feature = "minimize-cache")]
+use std::collections::HashMap;
+
+/// Which cover engine a minimization request should run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoverEngine {
+    /// The flat single-word engine ([`crate::flat_espresso_bounded`]) with
+    /// automatic fallback to the legacy driver on ineligible domains.
+    /// Bit-identical to `Legacy`; this is the fast default.
+    #[default]
+    Flat,
+    /// The legacy `Vec<Cube>` driver ([`crate::espresso_bounded`]) — kept
+    /// selectable as the differential reference and the honest A/B bench
+    /// leg.
+    Legacy,
+}
+
+impl CoverEngine {
+    /// Stable short name (bench/report labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            CoverEngine::Flat => "flat",
+            CoverEngine::Legacy => "legacy",
+        }
+    }
+}
+
+/// Default maximum number of memoized entries.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 16;
+
+/// A deterministic memo of minimized cube counts (see the module docs for
+/// the determinism argument).
+///
+/// The cache owns its [`MinimizeScratch`], so a long-lived cache makes the
+/// whole evaluate path allocation-free after warm-up. It is intentionally
+/// *not* shared globally or thread-locally: every run owns its cache so
+/// traces stay independent of thread count and scheduling.
+#[derive(Debug)]
+pub struct MinimizeCache {
+    #[cfg(feature = "minimize-cache")]
+    map: HashMap<Vec<u64>, usize>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    key: Vec<u64>,
+    scratch: MinimizeScratch,
+}
+
+impl Default for MinimizeCache {
+    fn default() -> Self {
+        MinimizeCache::new()
+    }
+}
+
+impl MinimizeCache {
+    /// A fresh cache with [`DEFAULT_CACHE_CAPACITY`].
+    pub fn new() -> MinimizeCache {
+        MinimizeCache::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// A fresh cache that stops inserting once `capacity` entries are
+    /// memoized (it never evicts, so results stay deterministic).
+    pub fn with_capacity(capacity: usize) -> MinimizeCache {
+        MinimizeCache {
+            #[cfg(feature = "minimize-cache")]
+            map: HashMap::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+            key: Vec::new(),
+            scratch: MinimizeScratch::new(),
+        }
+    }
+
+    /// Lookups answered from the memo so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that ran the minimizer.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of memoized entries (always 0 with the `minimize-cache`
+    /// feature disabled).
+    pub fn len(&self) -> usize {
+        #[cfg(feature = "minimize-cache")]
+        {
+            self.map.len()
+        }
+        #[cfg(not(feature = "minimize-cache"))]
+        {
+            0
+        }
+    }
+
+    /// Whether no entries are memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Minimized cube count of `(on, dc)` under `engine`, memoized.
+    ///
+    /// Bumps `MinimizeCalls` plus exactly one of `MinimizeCacheHit` /
+    /// `MinimizeCacheMiss`. A hit performs no budget work at all.
+    pub fn minimized_cube_count(&mut self, on: &Cover, dc: &Cover, engine: CoverEngine) -> usize {
+        obs::count(obs::Counter::MinimizeCalls, 1);
+        self.build_key(on, dc, engine);
+        #[cfg(feature = "minimize-cache")]
+        if let Some(&n) = self.map.get(self.key.as_slice()) {
+            self.hits += 1;
+            obs::count(obs::Counter::MinimizeCacheHit, 1);
+            return n;
+        }
+        self.misses += 1;
+        obs::count(obs::Counter::MinimizeCacheMiss, 1);
+        let n = self.run(on, dc, engine);
+        #[cfg(feature = "minimize-cache")]
+        if self.map.len() < self.capacity {
+            self.map.insert(self.key.clone(), n);
+        }
+        n
+    }
+
+    /// [`MinimizeCache::minimized_cube_count`] without consulting or
+    /// populating the memo — the cache-off leg of A/B comparisons, with the
+    /// same counter discipline (every call is a miss).
+    pub fn minimized_cube_count_uncached(
+        &mut self,
+        on: &Cover,
+        dc: &Cover,
+        engine: CoverEngine,
+    ) -> usize {
+        obs::count(obs::Counter::MinimizeCalls, 1);
+        self.misses += 1;
+        obs::count(obs::Counter::MinimizeCacheMiss, 1);
+        self.run(on, dc, engine)
+    }
+
+    fn run(&mut self, on: &Cover, dc: &Cover, engine: CoverEngine) -> usize {
+        match engine {
+            CoverEngine::Flat if flat_eligible(on.domain()) => {
+                let ctx = BinCtx::new(on.domain());
+                let mut on_w = self.scratch.take();
+                cover_to_words(on, &mut on_w);
+                let mut dc_w = self.scratch.take();
+                cover_to_words(dc, &mut dc_w);
+                let (f, _) = espresso_words(
+                    ctx,
+                    &on_w,
+                    &dc_w,
+                    &MinimizeOptions::default(),
+                    &Budget::unlimited(),
+                    &mut self.scratch,
+                );
+                let n = f.len();
+                self.scratch.give(f);
+                self.scratch.give(dc_w);
+                self.scratch.give(on_w);
+                n
+            }
+            _ => {
+                espresso_bounded(on, dc, &MinimizeOptions::default(), &Budget::unlimited())
+                    .0
+                    .len()
+            }
+        }
+    }
+
+    /// Canonical signature of `(engine, domain shape, on, dc)` into
+    /// `self.key`: engine tag, variable count, per-variable part counts,
+    /// on-set length, then the on and dc cube words each sorted
+    /// lexicographically (cube order never affects the *function*, so keys
+    /// of reordered covers unify; the minimizer itself still sees the
+    /// caller's order).
+    fn build_key(&mut self, on: &Cover, dc: &Cover, engine: CoverEngine) {
+        let dom = on.domain();
+        let stride = dom.words();
+        let key = &mut self.key;
+        key.clear();
+        key.push(match engine {
+            CoverEngine::Flat => 0,
+            CoverEngine::Legacy => 1,
+        });
+        key.push(dom.num_vars() as u64);
+        for v in 0..dom.num_vars() {
+            key.push(dom.var(v).parts() as u64);
+        }
+        key.push(on.len() as u64);
+        let on_start = key.len();
+        for c in on.iter() {
+            key.extend_from_slice(c.words());
+        }
+        sort_cube_block(&mut key[on_start..], stride);
+        let dc_start = key.len();
+        for c in dc.iter() {
+            key.extend_from_slice(c.words());
+        }
+        sort_cube_block(&mut key[dc_start..], stride);
+    }
+}
+
+/// Sorts a flat block of `stride`-word cubes lexicographically, in place,
+/// without allocating (insertion sort by chunk swaps; equal chunks are
+/// interchangeable so stability is irrelevant).
+fn sort_cube_block(block: &mut [u64], stride: usize) {
+    if stride == 0 {
+        return;
+    }
+    let n = block.len() / stride;
+    for i in 1..n {
+        let mut j = i;
+        while j > 0 && chunk_less(block, stride, j, j - 1) {
+            for k in 0..stride {
+                block.swap(j * stride + k, (j - 1) * stride + k);
+            }
+            j -= 1;
+        }
+    }
+}
+
+fn chunk_less(block: &[u64], stride: usize, a: usize, b: usize) -> bool {
+    block[a * stride..(a + 1) * stride] < block[b * stride..(b + 1) * stride]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::Cover;
+    use crate::cube::Cube;
+    use crate::domain::Domain;
+    use crate::espresso::espresso;
+
+    fn cover_from_codes(dom: &Domain, nv: usize, codes: &[u32]) -> Cover {
+        let mut c = Cover::empty(dom);
+        for &code in codes {
+            let mut cube = Cube::full(dom);
+            for v in 0..nv {
+                cube.restrict_binary(dom, v, code >> v & 1 != 0);
+            }
+            c.push(cube);
+        }
+        c
+    }
+
+    #[test]
+    fn cache_returns_minimizer_result() {
+        let dom = Domain::binary(3);
+        let on = cover_from_codes(&dom, 3, &[0, 1, 2, 3]);
+        let dc = Cover::empty(&dom);
+        let expected = espresso(&on, &dc).len();
+        let mut cache = MinimizeCache::new();
+        for engine in [CoverEngine::Flat, CoverEngine::Legacy] {
+            assert_eq!(cache.minimized_cube_count(&on, &dc, engine), expected);
+        }
+    }
+
+    #[test]
+    fn repeat_queries_hit() {
+        let dom = Domain::binary(3);
+        let on = cover_from_codes(&dom, 3, &[0, 5, 7]);
+        let dc = cover_from_codes(&dom, 3, &[1]);
+        let mut cache = MinimizeCache::new();
+        let a = cache.minimized_cube_count(&on, &dc, CoverEngine::Flat);
+        let b = cache.minimized_cube_count(&on, &dc, CoverEngine::Flat);
+        assert_eq!(a, b);
+        #[cfg(feature = "minimize-cache")]
+        {
+            assert_eq!(cache.misses(), 1);
+            assert_eq!(cache.hits(), 1);
+            assert_eq!(cache.len(), 1);
+        }
+        #[cfg(not(feature = "minimize-cache"))]
+        {
+            assert_eq!(cache.hits(), 0);
+            assert_eq!(cache.misses(), 2);
+        }
+    }
+
+    #[test]
+    fn reordered_covers_share_a_key() {
+        let dom = Domain::binary(3);
+        let on_a = cover_from_codes(&dom, 3, &[0, 5, 7]);
+        let on_b = cover_from_codes(&dom, 3, &[7, 0, 5]);
+        let dc = Cover::empty(&dom);
+        let mut cache = MinimizeCache::new();
+        let a = cache.minimized_cube_count(&on_a, &dc, CoverEngine::Flat);
+        let b = cache.minimized_cube_count(&on_b, &dc, CoverEngine::Flat);
+        assert_eq!(a, b);
+        #[cfg(feature = "minimize-cache")]
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_insertions_without_evicting() {
+        let dom = Domain::binary(3);
+        let dc = Cover::empty(&dom);
+        let mut cache = MinimizeCache::with_capacity(1);
+        let on_a = cover_from_codes(&dom, 3, &[0]);
+        let on_b = cover_from_codes(&dom, 3, &[1]);
+        let _ = cache.minimized_cube_count(&on_a, &dc, CoverEngine::Flat);
+        let _ = cache.minimized_cube_count(&on_b, &dc, CoverEngine::Flat);
+        let _ = cache.minimized_cube_count(&on_a, &dc, CoverEngine::Flat);
+        assert!(cache.len() <= 1);
+        #[cfg(feature = "minimize-cache")]
+        {
+            // the first cover stays warm; the second never inserts
+            assert_eq!(cache.hits(), 1);
+            assert_eq!(cache.misses(), 2);
+        }
+    }
+
+    #[test]
+    fn uncached_path_counts_misses() {
+        let dom = Domain::binary(2);
+        let on = cover_from_codes(&dom, 2, &[0, 1]);
+        let dc = Cover::empty(&dom);
+        let mut cache = MinimizeCache::new();
+        let a = cache.minimized_cube_count_uncached(&on, &dc, CoverEngine::Flat);
+        let b = cache.minimized_cube_count_uncached(&on, &dc, CoverEngine::Flat);
+        assert_eq!(a, b);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 2);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn engines_agree_on_mixed_domains_via_fallback() {
+        // 33 binary vars: two words, flat falls back to legacy internally.
+        let dom = Domain::binary(33);
+        let mut on = Cover::empty(&dom);
+        let mut c0 = Cube::full(&dom);
+        c0.restrict_binary(&dom, 0, false);
+        let mut c1 = Cube::full(&dom);
+        c1.restrict_binary(&dom, 0, true);
+        on.push(c0);
+        on.push(c1);
+        let dc = Cover::empty(&dom);
+        let mut cache = MinimizeCache::new();
+        let f = cache.minimized_cube_count(&on, &dc, CoverEngine::Flat);
+        let l = cache.minimized_cube_count(&on, &dc, CoverEngine::Legacy);
+        assert_eq!(f, l);
+        assert_eq!(f, 1);
+    }
+}

@@ -36,6 +36,13 @@ impl Cube {
         }
     }
 
+    /// Wraps raw bit-set words as a cube. The caller guarantees bits above
+    /// the domain's `total_parts` are zero (the flat kernels maintain that
+    /// invariant by masking every operation with the domain's full words).
+    pub(crate) fn from_raw_words(words: Vec<u64>) -> Self {
+        Cube { words }
+    }
+
     /// Raw words of the bit-set.
     pub fn words(&self) -> &[u64] {
         &self.words
@@ -143,13 +150,19 @@ impl Cube {
             .count()
     }
 
-    /// Parts admitted in variable `var`, as offsets within the variable.
-    pub fn var_parts(&self, dom: &Domain, var: usize) -> Vec<usize> {
+    /// Parts admitted in variable `var`, as offsets within the variable, in
+    /// ascending order. Allocation-free: the returned iterator walks the
+    /// variable's part range directly instead of collecting a `Vec`.
+    pub fn var_parts<'c>(
+        &'c self,
+        dom: &Domain,
+        var: usize,
+    ) -> impl Iterator<Item = usize> + 'c {
         let v = dom.var(var);
+        let offset = v.offset();
         v.part_range()
-            .filter(|&p| self.has_part(p))
-            .map(|p| p - v.offset())
-            .collect()
+            .filter(move |&p| self.has_part(p))
+            .map(move |p| p - offset)
     }
 
     /// Whether the cube is the universal cube.
@@ -374,8 +387,8 @@ mod tests {
         b.restrict(&dom, 0, 2);
         b.restrict_binary(&dom, 1, true);
         let c = a.consensus(&b, &dom).unwrap();
-        assert_eq!(c.var_parts(&dom, 0), vec![0, 2]);
-        assert_eq!(c.var_parts(&dom, 1), vec![1]);
+        assert!(c.var_parts(&dom, 0).eq([0, 2]));
+        assert!(c.var_parts(&dom, 1).eq([1]));
     }
 
     #[test]
@@ -383,7 +396,7 @@ mod tests {
         let dom = DomainBuilder::new().multi("s", 130).build();
         let mut c = Cube::full(&dom);
         c.restrict(&dom, 0, 127);
-        assert_eq!(c.var_parts(&dom, 0), vec![127]);
+        assert!(c.var_parts(&dom, 0).eq([127]));
         assert_eq!(c.part_count(), 1);
         c.raise_var(&dom, 0);
         assert!(c.var_is_full(&dom, 0));

@@ -154,6 +154,7 @@ pub fn exact_minimize_bounded(on: &Cover, dc: &Cover, budget: &Budget) -> ExactO
         npts: usize,
         covered: &mut Vec<bool>,
         chosen: &mut Vec<usize>,
+        newly: &mut Vec<usize>,
         best: &mut Option<Vec<usize>>,
         budget: &Budget,
     ) {
@@ -173,20 +174,28 @@ pub fn exact_minimize_bounded(on: &Cover, dc: &Cover, budget: &Budget) -> ExactO
                 return;
             }
         }
-        // Branch over every prime covering point j.
+        // Branch over every prime covering point j. `newly` is one flat
+        // stack shared by the whole recursion: each frame remembers where
+        // its span starts and unwinds back to that mark, so branching
+        // allocates nothing.
         for (i, row) in cov.iter().enumerate() {
             if !row[j] {
                 continue;
             }
-            let newly: Vec<usize> = (0..npts).filter(|&k| !covered[k] && row[k]).collect();
-            for &k in &newly {
-                covered[k] = true;
+            let mark = newly.len();
+            for k in 0..npts {
+                if !covered[k] && row[k] {
+                    covered[k] = true;
+                    newly.push(k);
+                }
             }
             chosen.push(i);
-            search(cov, npts, covered, chosen, best, budget);
+            search(cov, npts, covered, chosen, newly, best, budget);
             chosen.pop();
-            for &k in &newly {
-                covered[k] = false;
+            while newly.len() > mark {
+                if let Some(k) = newly.pop() {
+                    covered[k] = false;
+                }
             }
             if budget.is_exhausted() {
                 return;
@@ -196,7 +205,10 @@ pub fn exact_minimize_bounded(on: &Cover, dc: &Cover, budget: &Budget) -> ExactO
 
     let mut covered = vec![false; npts];
     let mut chosen = Vec::new();
-    search(&cov, npts, &mut covered, &mut chosen, &mut best, budget);
+    let mut newly = Vec::new();
+    search(
+        &cov, npts, &mut covered, &mut chosen, &mut newly, &mut best, budget,
+    );
 
     let Some(chosen) = best else {
         return fallback();

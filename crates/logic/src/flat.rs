@@ -1,0 +1,1144 @@
+//! Flat, allocation-free cover kernels.
+//!
+//! The legacy pipeline represents a cover as `Vec<Cube>` with every cube
+//! owning its own `Vec<u64>`; each ESPRESSO pass then clones, sorts, and
+//! rebuilds those vectors, so steady-state minimization is dominated by
+//! allocator traffic. This module provides a flat alternative:
+//!
+//! * [`FlatCover`] — one contiguous `Vec<u64>` with a fixed word stride per
+//!   cube, plus word-parallel kernels ([`cube_and_into`], [`cube_contains`],
+//!   [`cube_distance`], [`cube_consensus_into`], [`cube_cofactor_into`])
+//!   that write into caller-owned scratch. These work for any domain.
+//! * An inline single-word fast path for the common all-binary case
+//!   (`2 · num_vars ≤ 64`): each cube is one `u64`, and the full ESPRESSO
+//!   loop (expand / reduce / irredundant / essentials / last-gasp, with the
+//!   unate-recursive tautology and complement underneath) runs over plain
+//!   `u64` slices drawn from a [`MinimizeScratch`] pool. After warm-up the
+//!   steady state performs **zero** heap allocation.
+//!
+//! The single-word engine is an exact mirror of the legacy code: same cube
+//! orderings (stable sorts on the same keys), same branch variables, same
+//! budget ticks and [`crate::obs`] counters. [`flat_espresso_bounded`] is
+//! therefore bit-identical to [`crate::espresso_bounded`] on eligible
+//! domains — the differential property tests in `tests/prop_flat_cover.rs`
+//! enforce exactly that — and falls back to the legacy driver otherwise.
+
+use crate::budget::{Budget, Completion};
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::domain::Domain;
+use crate::espresso::{espresso_bounded, MinimizeOptions};
+use crate::obs;
+
+// ---------------------------------------------------------------------------
+// Generic flat layer: FlatDomain, FlatCover, word-parallel kernels
+// ---------------------------------------------------------------------------
+
+/// Precomputed per-variable word/mask layout of a [`Domain`], flattened so
+/// the word-parallel kernels never consult the `Domain` object (or allocate)
+/// per operation.
+#[derive(Debug, Clone)]
+pub struct FlatDomain {
+    words: usize,
+    num_vars: usize,
+    full: Vec<u64>,
+    /// Per variable: (first word index, start offset into `masks`, number of
+    /// words the variable's parts span).
+    var_spans: Vec<(usize, usize, usize)>,
+    /// Concatenated per-word bit masks for each variable's parts.
+    masks: Vec<u64>,
+}
+
+impl FlatDomain {
+    /// Flattens `dom` into word/mask form.
+    pub fn new(dom: &Domain) -> FlatDomain {
+        let words = dom.words();
+        let full = dom.full_words().to_vec();
+        let mut var_spans = Vec::with_capacity(dom.num_vars());
+        let mut masks = Vec::new();
+        for v in 0..dom.num_vars() {
+            let var = dom.var(v);
+            let offset = var.offset();
+            let last = offset + var.parts() - 1;
+            let first_word = offset / 64;
+            let last_word = last / 64;
+            let start = masks.len();
+            for w in first_word..=last_word {
+                let mut m = 0u64;
+                for p in var.part_range() {
+                    if p / 64 == w {
+                        m |= 1u64 << (p % 64);
+                    }
+                }
+                masks.push(m);
+            }
+            var_spans.push((first_word, start, last_word - first_word + 1));
+        }
+        FlatDomain {
+            words,
+            num_vars: dom.num_vars(),
+            full,
+            var_spans,
+            masks,
+        }
+    }
+
+    /// Word stride of a cube in this domain.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The full (universe) cube as a word slice.
+    pub fn full(&self) -> &[u64] {
+        &self.full
+    }
+
+    /// Whether variable `v`'s literal is empty in the *meet* of `a` and `b`
+    /// (both given as word slices).
+    fn meet_var_empty(&self, a: &[u64], b: &[u64], v: usize) -> bool {
+        let (first, start, span) = self.var_spans[v];
+        for k in 0..span {
+            if a[first + k] & b[first + k] & self.masks[start + k] != 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Whether the word-slice cube `c` is valid in `fd` (every variable literal
+/// non-empty).
+pub fn cube_is_valid(fd: &FlatDomain, c: &[u64]) -> bool {
+    (0..fd.num_vars).all(|v| {
+        let (first, start, span) = fd.var_spans[v];
+        (0..span).any(|k| c[first + k] & fd.masks[start + k] != 0)
+    })
+}
+
+/// Word-parallel meet: `out = a ∧ b`. All slices must share the domain's
+/// stride.
+pub fn cube_and_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x & y;
+    }
+}
+
+/// Whether cube `a` contains (covers) cube `b`: every part of `b` is a part
+/// of `a`.
+pub fn cube_contains(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(&x, &y)| y & !x == 0)
+}
+
+/// Number of variables whose literal is empty in the meet of `a` and `b` —
+/// the classic cube distance.
+pub fn cube_distance(fd: &FlatDomain, a: &[u64], b: &[u64]) -> usize {
+    (0..fd.num_vars)
+        .filter(|&v| fd.meet_var_empty(a, b, v))
+        .count()
+}
+
+/// Consensus of `a` and `b` into `out`. Returns `false` (leaving `out`
+/// unspecified) when the distance is not exactly 1.
+pub fn cube_consensus_into(fd: &FlatDomain, a: &[u64], b: &[u64], out: &mut [u64]) -> bool {
+    let mut conflict = None;
+    for v in 0..fd.num_vars {
+        if fd.meet_var_empty(a, b, v) {
+            if conflict.is_some() {
+                return false;
+            }
+            conflict = Some(v);
+        }
+    }
+    let Some(v) = conflict else {
+        return false;
+    };
+    cube_and_into(a, b, out);
+    let (first, start, span) = fd.var_spans[v];
+    for k in 0..span {
+        out[first + k] |= (a[first + k] | b[first + k]) & fd.masks[start + k];
+    }
+    true
+}
+
+/// Cofactor of `a` with respect to `p` into `out`. Returns `false` (leaving
+/// `out` unspecified) when `a` and `p` do not intersect.
+pub fn cube_cofactor_into(fd: &FlatDomain, a: &[u64], p: &[u64], out: &mut [u64]) -> bool {
+    for v in 0..fd.num_vars {
+        if fd.meet_var_empty(a, p, v) {
+            return false;
+        }
+    }
+    for (k, o) in out.iter_mut().enumerate() {
+        *o = (a[k] | !p[k]) & fd.full[k];
+    }
+    true
+}
+
+/// A cover stored as one contiguous word buffer with a fixed stride per
+/// cube. Pushing reuses the tail of the single allocation; iteration yields
+/// word slices with no per-cube indirection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatCover {
+    stride: usize,
+    words: Vec<u64>,
+}
+
+impl FlatCover {
+    /// An empty flat cover with the given word stride (`stride ≥ 1`).
+    pub fn new(stride: usize) -> FlatCover {
+        FlatCover {
+            stride: stride.max(1),
+            words: Vec::new(),
+        }
+    }
+
+    /// Flattens an existing [`Cover`].
+    pub fn from_cover(cover: &Cover) -> FlatCover {
+        let stride = cover.domain().words();
+        let mut fc = FlatCover::new(stride);
+        for c in cover.iter() {
+            fc.words.extend_from_slice(c.words());
+        }
+        fc
+    }
+
+    /// Rebuilds a [`Cover`] over `dom` (which must have this stride).
+    /// Invalid cubes are dropped, mirroring [`Cover::from_cubes`].
+    pub fn to_cover(&self, dom: &Domain) -> Cover {
+        Cover::from_cubes(
+            dom,
+            self.iter().map(|w| Cube::from_raw_words(w.to_vec())),
+        )
+    }
+
+    /// Word stride per cube.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of cubes.
+    pub fn len(&self) -> usize {
+        self.words.len() / self.stride
+    }
+
+    /// Whether the cover has no cubes.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The `i`-th cube as a word slice.
+    pub fn cube(&self, i: usize) -> &[u64] {
+        &self.words[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Mutable view of the `i`-th cube.
+    pub fn cube_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.words[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Appends a cube (a word slice of exactly `stride` words; bits above
+    /// the domain's total parts must be zero).
+    pub fn push(&mut self, cube: &[u64]) {
+        debug_assert_eq!(cube.len(), self.stride);
+        self.words.extend_from_slice(cube);
+    }
+
+    /// Removes all cubes, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+
+    /// Iterates cubes as word slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[u64]> {
+        self.words.chunks_exact(self.stride)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scratch pool
+// ---------------------------------------------------------------------------
+
+/// Reusable scratch for the flat minimization engine.
+///
+/// Holds a pool of word buffers plus the flag/order buffers the expand and
+/// irredundant passes need. After the first minimization warms the pool,
+/// subsequent calls perform no heap allocation. One scratch must not be
+/// shared across threads; every long-lived consumer (the evaluation cache,
+/// the ENC baseline) owns its own.
+#[derive(Debug, Default)]
+pub struct MinimizeScratch {
+    free: Vec<Vec<u64>>,
+    pairs: Vec<(usize, usize)>,
+    flags: Vec<bool>,
+}
+
+impl MinimizeScratch {
+    /// A fresh (cold) scratch pool.
+    pub fn new() -> MinimizeScratch {
+        MinimizeScratch::default()
+    }
+
+    /// Takes a cleared word buffer from the pool (allocating only when the
+    /// pool is empty).
+    pub(crate) fn take(&mut self) -> Vec<u64> {
+        match self.free.pop() {
+            Some(mut v) => {
+                v.clear();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub(crate) fn give(&mut self, v: Vec<u64>) {
+        self.free.push(v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-word binary engine
+// ---------------------------------------------------------------------------
+
+const EVENS: u64 = 0x5555_5555_5555_5555;
+
+/// Context for the single-word all-binary fast path: `nv` binary variables,
+/// variable `v` occupying bits `2v` (value 0) and `2v + 1` (value 1).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BinCtx {
+    nv: usize,
+    full: u64,
+    evens: u64,
+}
+
+impl BinCtx {
+    /// Builds the context for an eligible domain (see [`flat_eligible`]).
+    pub(crate) fn new(dom: &Domain) -> BinCtx {
+        debug_assert!(flat_eligible(dom));
+        let full = dom.full_words()[0];
+        BinCtx {
+            nv: dom.num_vars(),
+            full,
+            evens: EVENS & full,
+        }
+    }
+}
+
+/// Whether `dom` is handled by the single-word binary engine: at least one
+/// variable, every variable two-valued, and all parts within one word.
+pub fn flat_eligible(dom: &Domain) -> bool {
+    dom.num_vars() >= 1
+        && dom.words() == 1
+        && (0..dom.num_vars()).all(|v| dom.var(v).parts() == 2)
+}
+
+#[inline]
+fn valid_w(ctx: BinCtx, c: u64) -> bool {
+    (c | c >> 1) & ctx.evens == ctx.evens
+}
+
+#[inline]
+fn covers_w(a: u64, b: u64) -> bool {
+    b & !a == 0
+}
+
+#[inline]
+fn dist_w(ctx: BinCtx, a: u64, b: u64) -> u32 {
+    let m = a & b;
+    (ctx.evens & !(m | m >> 1)).count_ones()
+}
+
+/// Consensus at distance exactly 1 (checked by the caller via [`dist_w`]).
+#[inline]
+fn consensus_w(ctx: BinCtx, a: u64, b: u64) -> u64 {
+    let m = a & b;
+    let cm = ctx.evens & !(m | m >> 1);
+    debug_assert_eq!(cm.count_ones(), 1);
+    let vbit = cm.trailing_zeros();
+    m | ((a | b) & (3u64 << vbit))
+}
+
+/// The cube asserting part `p` (0 or 1) of variable `v` and nothing else:
+/// full everywhere except the opposite part of `v` is cleared.
+#[inline]
+fn part_cube_w(ctx: BinCtx, v: usize, p: usize) -> u64 {
+    ctx.full & !(1u64 << (2 * v + (1 - p)))
+}
+
+#[inline]
+fn cofactor_w(ctx: BinCtx, a: u64, p: u64) -> Option<u64> {
+    if !valid_w(ctx, a & p) {
+        return None;
+    }
+    Some((a | !p) & ctx.full)
+}
+
+#[inline]
+fn literal_cost_one_w(ctx: BinCtx, c: u64) -> usize {
+    ctx.nv - (c & (c >> 1) & ctx.evens).count_ones() as usize
+}
+
+fn cost_w(ctx: BinCtx, f: &[u64]) -> (usize, usize) {
+    (
+        f.len(),
+        f.iter().map(|&c| literal_cost_one_w(ctx, c)).sum(),
+    )
+}
+
+// --- stable sorts ---------------------------------------------------------
+//
+// `slice::sort_by_key` is stable but allocates for slices longer than 20.
+// These insertion sorts produce the identical permutation for the same key
+// (stable: an element only moves past strictly-"greater" predecessors) with
+// no allocation. Cover sizes in this pipeline are small enough that the
+// quadratic worst case never dominates the kernels themselves.
+
+fn insertion_sort_by(v: &mut [u64], mut before: impl FnMut(u64, u64) -> bool) {
+    for i in 1..v.len() {
+        let x = v[i];
+        let mut j = i;
+        while j > 0 && before(x, v[j - 1]) {
+            v[j] = v[j - 1];
+            j -= 1;
+        }
+        v[j] = x;
+    }
+}
+
+/// Descending part count (mirrors `sort_by_key(Reverse(part_count))`).
+fn sort_desc_parts(v: &mut [u64]) {
+    insertion_sort_by(v, |a, b| a.count_ones() > b.count_ones());
+}
+
+/// Ascending part count.
+fn sort_asc_parts(v: &mut [u64]) {
+    insertion_sort_by(v, |a, b| a.count_ones() < b.count_ones());
+}
+
+/// Expand's part order: descending weight, ties by ascending part index —
+/// a strict total order, so any sort gives the identical sequence.
+fn sort_expand_order(v: &mut [(usize, usize)]) {
+    for i in 1..v.len() {
+        let x = v[i];
+        let mut j = i;
+        while j > 0 && (x.1 > v[j - 1].1 || (x.1 == v[j - 1].1 && x.0 < v[j - 1].0)) {
+            v[j] = v[j - 1];
+            j -= 1;
+        }
+        v[j] = x;
+    }
+}
+
+// --- single-cube-containment / scc ---------------------------------------
+
+/// In-place single-cube containment, mirroring [`Cover::scc`]: stable sort
+/// by descending part count, then drop any cube covered by an earlier kept
+/// cube. For single-word cubes the fold-OR signature *is* the cube, so the
+/// legacy prefilter (`sig & !ksig != 0`) is exact and the subsequent
+/// `covers` check always succeeds when reached — the counters still mirror
+/// the legacy accounting.
+fn scc_w(cubes: &mut Vec<u64>) {
+    sort_desc_parts(cubes);
+    let mut pairs = 0u64;
+    let mut prefilter_rejects = 0u64;
+    let mut kept = 0usize;
+    'outer: for i in 0..cubes.len() {
+        let c = cubes[i];
+        for &k in &cubes[..kept] {
+            pairs += 1;
+            if c & !k != 0 {
+                prefilter_rejects += 1;
+                continue;
+            }
+            // signature == cube here, so the kept cube covers c
+            continue 'outer;
+        }
+        cubes[kept] = c;
+        kept += 1;
+    }
+    cubes.truncate(kept);
+    obs::count(obs::Counter::SccPairs, pairs);
+    obs::count(obs::Counter::SccPrefilterRejects, prefilter_rejects);
+}
+
+// --- unate-recursive paradigm: tautology and complement -------------------
+
+/// Most binate variable, mirroring the legacy selection: highest count of
+/// cubes with a non-full literal; on ties the legacy `parts < best_parts`
+/// tie-break never fires for all-binary domains, so first-wins on equal
+/// counts.
+fn most_binate_w(ctx: BinCtx, cubes: &[u64]) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None;
+    for v in 0..ctx.nv {
+        let mask = 3u64 << (2 * v);
+        let count = cubes.iter().filter(|&&c| c & mask != mask).count();
+        if count == 0 {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((bc, _)) => count > bc,
+        };
+        if better {
+            best = Some((count, v));
+        }
+    }
+    best.map(|(_, v)| v)
+}
+
+fn taut_rec_w(ctx: BinCtx, cubes: &[u64], scratch: &mut MinimizeScratch) -> bool {
+    if cubes.contains(&ctx.full) {
+        return true;
+    }
+    if cubes.is_empty() {
+        return false;
+    }
+    let mut acc = 0u64;
+    let mut covers_all_parts = false;
+    for &c in cubes {
+        acc |= c;
+        if acc == ctx.full {
+            covers_all_parts = true;
+            break;
+        }
+    }
+    if !covers_all_parts {
+        return false;
+    }
+    let Some(v) = most_binate_w(ctx, cubes) else {
+        return false;
+    };
+    let mut branch = scratch.take();
+    let mut taut = true;
+    for p in 0..2 {
+        let pc = part_cube_w(ctx, v, p);
+        branch.clear();
+        for &c in cubes {
+            if let Some(cf) = cofactor_w(ctx, c, pc) {
+                branch.push(cf);
+            }
+        }
+        if !taut_rec_w(ctx, &branch, scratch) {
+            taut = false;
+            break;
+        }
+    }
+    scratch.give(branch);
+    taut
+}
+
+/// Complement of a single cube: one cube per non-full variable, in variable
+/// order (mirrors the legacy `cube_complement`; for binary domains the
+/// result cubes are always valid).
+fn cube_complement_w(ctx: BinCtx, c: u64, out: &mut Vec<u64>) {
+    for v in 0..ctx.nv {
+        let mask = 3u64 << (2 * v);
+        if c & mask == mask {
+            continue;
+        }
+        out.push(ctx.full & !(c & mask));
+    }
+}
+
+/// Recursive complement, mirroring the legacy `compl_rec`: branch on the
+/// most binate variable, lift cubes common to both branch complements, and
+/// finish with an scc pass (counters fire, as in the legacy
+/// `Cover::from_cubes` + `scc` epilogue).
+fn compl_rec_w(ctx: BinCtx, cubes: &[u64], out: &mut Vec<u64>, scratch: &mut MinimizeScratch) {
+    debug_assert!(out.is_empty());
+    if cubes.is_empty() {
+        out.push(ctx.full);
+        return;
+    }
+    if cubes.contains(&ctx.full) {
+        return;
+    }
+    if cubes.len() == 1 {
+        cube_complement_w(ctx, cubes[0], out);
+        return;
+    }
+    let Some(v) = most_binate_w(ctx, cubes) else {
+        return;
+    };
+    let mut branch = scratch.take();
+    let mut r0 = scratch.take();
+    let mut r1 = scratch.take();
+    for p in 0..2 {
+        let pc = part_cube_w(ctx, v, p);
+        branch.clear();
+        for &c in cubes {
+            if let Some(cf) = cofactor_w(ctx, c, pc) {
+                branch.push(cf);
+            }
+        }
+        let target = if p == 0 { &mut r0 } else { &mut r1 };
+        compl_rec_w(ctx, &branch, target, scratch);
+    }
+    scratch.give(branch);
+    let mut lifted = scratch.take();
+    for &c in r0.iter() {
+        if r1.contains(&c) {
+            lifted.push(c);
+        }
+    }
+    for (p, branch_out) in [(0usize, &r0), (1usize, &r1)] {
+        let pc = part_cube_w(ctx, v, p);
+        for &c in branch_out.iter() {
+            if lifted.contains(&c) {
+                continue;
+            }
+            let r = c & pc;
+            if valid_w(ctx, r) {
+                out.push(r);
+            }
+        }
+    }
+    out.extend_from_slice(&lifted);
+    scc_w(out);
+    scratch.give(lifted);
+    scratch.give(r1);
+    scratch.give(r0);
+}
+
+/// Whether the cover `f` covers the single cube `c` (tautology of the
+/// cofactor), mirroring the legacy `cover_covers_cube`.
+fn cover_covers_cube_w(ctx: BinCtx, f: &[u64], c: u64, scratch: &mut MinimizeScratch) -> bool {
+    let mut g = scratch.take();
+    for &x in f {
+        if let Some(cf) = cofactor_w(ctx, x, c) {
+            g.push(cf);
+        }
+    }
+    let taut = taut_rec_w(ctx, &g, scratch);
+    scratch.give(g);
+    taut
+}
+
+// --- espresso passes ------------------------------------------------------
+
+fn expand_w(ctx: BinCtx, f: &mut Vec<u64>, off: &[u64], scratch: &mut MinimizeScratch) {
+    sort_asc_parts(f);
+    let n = f.len();
+    let mut covered = std::mem::take(&mut scratch.flags);
+    covered.clear();
+    covered.resize(n, false);
+    let mut order = std::mem::take(&mut scratch.pairs);
+    let mut result = scratch.take();
+    for i in 0..n {
+        if covered[i] {
+            continue;
+        }
+        let mut c = f[i];
+        order.clear();
+        for p in 0..2 * ctx.nv {
+            if c >> p & 1 != 0 {
+                continue;
+            }
+            let bit = 1u64 << p;
+            let w = (0..n)
+                .filter(|&j| j != i && !covered[j] && f[j] & bit != 0)
+                .count();
+            order.push((p, w));
+        }
+        sort_expand_order(&mut order);
+        for &(p, _) in order.iter() {
+            let candidate = c | (1u64 << p);
+            if off.iter().all(|&o| !valid_w(ctx, candidate & o)) {
+                c = candidate;
+            }
+        }
+        for j in 0..n {
+            if j != i && !covered[j] && covers_w(c, f[j]) {
+                covered[j] = true;
+            }
+        }
+        result.push(c);
+    }
+    std::mem::swap(f, &mut result);
+    scratch.give(result);
+    scratch.pairs = order;
+    scratch.flags = covered;
+}
+
+fn reduce_w(ctx: BinCtx, f: &mut Vec<u64>, dc: &[u64], scratch: &mut MinimizeScratch) {
+    sort_desc_parts(f);
+    let mut rest = scratch.take();
+    let mut g = scratch.take();
+    let mut h = scratch.take();
+    for i in 0..f.len() {
+        let c = f[i];
+        if c == 0 {
+            // legacy: the complement of the (empty) cofactored rest is the
+            // universe with no scc pass, and the re-reduced cube stays
+            // invalid — counter-identical shortcut.
+            continue;
+        }
+        rest.clear();
+        for (j, &x) in f.iter().enumerate() {
+            if j != i && x != 0 {
+                rest.push(x);
+            }
+        }
+        rest.extend_from_slice(dc);
+        g.clear();
+        for &x in rest.iter() {
+            if let Some(cf) = cofactor_w(ctx, x, c) {
+                g.push(cf);
+            }
+        }
+        h.clear();
+        compl_rec_w(ctx, &g, &mut h, scratch);
+        if h.is_empty() {
+            f[i] = 0;
+        } else {
+            let sc = h.iter().fold(0u64, |acc, &x| acc | x);
+            let r = c & sc;
+            f[i] = if valid_w(ctx, r) { r } else { 0 };
+        }
+    }
+    f.retain(|&c| c != 0);
+    scratch.give(h);
+    scratch.give(g);
+    scratch.give(rest);
+}
+
+fn irredundant_w(ctx: BinCtx, f: &mut Vec<u64>, dc: &[u64], scratch: &mut MinimizeScratch) {
+    sort_desc_parts(f);
+    let n = f.len();
+    let mut keep = std::mem::take(&mut scratch.flags);
+    keep.clear();
+    keep.resize(n, true);
+    let mut rest = scratch.take();
+    for i in (0..n).rev() {
+        rest.clear();
+        for j in 0..n {
+            if j != i && keep[j] {
+                rest.push(f[j]);
+            }
+        }
+        rest.extend_from_slice(dc);
+        if cover_covers_cube_w(ctx, &rest, f[i], scratch) {
+            keep[i] = false;
+        }
+    }
+    let mut w = 0usize;
+    for i in 0..n {
+        if keep[i] {
+            f[w] = f[i];
+            w += 1;
+        }
+    }
+    f.truncate(w);
+    scratch.give(rest);
+    scratch.flags = keep;
+}
+
+fn essentials_w(
+    ctx: BinCtx,
+    f: &[u64],
+    dc: &[u64],
+    out: &mut Vec<u64>,
+    scratch: &mut MinimizeScratch,
+) {
+    let mut h = scratch.take();
+    let mut hc = scratch.take();
+    for i in 0..f.len() {
+        let c = f[i];
+        h.clear();
+        for (j, &g) in f.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            match dist_w(ctx, g, c) {
+                0 => h.push(g),
+                1 => h.push(consensus_w(ctx, g, c)),
+                _ => {}
+            }
+        }
+        for &g in dc {
+            match dist_w(ctx, g, c) {
+                0 => h.push(g),
+                1 => h.push(consensus_w(ctx, g, c)),
+                _ => {}
+            }
+        }
+        hc.clear();
+        for &x in h.iter() {
+            if let Some(cf) = cofactor_w(ctx, x, c) {
+                hc.push(cf);
+            }
+        }
+        if !taut_rec_w(ctx, &hc, scratch) {
+            out.push(c);
+        }
+    }
+    scratch.give(hc);
+    scratch.give(h);
+}
+
+/// Last-gasp pass; replaces `f` and returns `true` when it found a strictly
+/// cheaper cover (mirrors the legacy `last_gasp`).
+fn gasp_w(
+    ctx: BinCtx,
+    f: &mut Vec<u64>,
+    dc: &[u64],
+    off: &[u64],
+    scratch: &mut MinimizeScratch,
+) -> bool {
+    if f.len() < 2 {
+        return false;
+    }
+    let mut reduced = scratch.take();
+    let mut rest = scratch.take();
+    let mut g = scratch.take();
+    let mut h = scratch.take();
+    for i in 0..f.len() {
+        let c = f[i];
+        rest.clear();
+        for (j, &x) in f.iter().enumerate() {
+            if j != i {
+                rest.push(x);
+            }
+        }
+        rest.extend_from_slice(dc);
+        g.clear();
+        for &x in rest.iter() {
+            if let Some(cf) = cofactor_w(ctx, x, c) {
+                g.push(cf);
+            }
+        }
+        h.clear();
+        compl_rec_w(ctx, &g, &mut h, scratch);
+        if h.is_empty() {
+            continue; // fully redundant: maximally reduced away
+        }
+        let sc = h.iter().fold(0u64, |acc, &x| acc | x);
+        let r = c & sc;
+        if valid_w(ctx, r) {
+            reduced.push(r);
+        }
+    }
+    scratch.give(h);
+    scratch.give(g);
+    scratch.give(rest);
+    if reduced.is_empty() {
+        scratch.give(reduced);
+        return false;
+    }
+    let mut expanded = scratch.take();
+    expanded.extend_from_slice(&reduced);
+    expand_w(ctx, &mut expanded, off, scratch);
+    let mut useful = scratch.take();
+    for &p in expanded.iter() {
+        if reduced.iter().filter(|&&r| covers_w(p, r)).count() >= 2 {
+            useful.push(p);
+        }
+    }
+    scratch.give(expanded);
+    if useful.is_empty() {
+        scratch.give(useful);
+        scratch.give(reduced);
+        return false;
+    }
+    let mut candidate = scratch.take();
+    candidate.extend_from_slice(f);
+    candidate.extend_from_slice(&useful);
+    irredundant_w(ctx, &mut candidate, dc, scratch);
+    let better = cost_w(ctx, &candidate) < cost_w(ctx, f);
+    if better {
+        std::mem::swap(f, &mut candidate);
+    }
+    scratch.give(candidate);
+    scratch.give(useful);
+    scratch.give(reduced);
+    better
+}
+
+/// Whether `f` covers every cube of `g`.
+fn contains_all_w(ctx: BinCtx, f: &[u64], g: &[u64], scratch: &mut MinimizeScratch) -> bool {
+    g.iter()
+        .all(|&c| cover_covers_cube_w(ctx, f, c, scratch))
+}
+
+/// Debug helper mirroring the legacy `implements` invariant: `on ⊆ f ⊆
+/// on ∪ dc`.
+fn implements_w(
+    ctx: BinCtx,
+    f: &[u64],
+    on: &[u64],
+    dc: &[u64],
+    scratch: &mut MinimizeScratch,
+) -> bool {
+    let mut upper = scratch.take();
+    upper.extend_from_slice(on);
+    upper.extend_from_slice(dc);
+    let ok = contains_all_w(ctx, f, on, scratch) && contains_all_w(ctx, &upper, f, scratch);
+    scratch.give(upper);
+    ok
+}
+
+// --- driver ---------------------------------------------------------------
+
+/// The full ESPRESSO loop over single-word cube slices. Mirrors
+/// [`crate::espresso_bounded`] pass for pass: same span (`"espresso"`),
+/// same `espresso.iter` budget ticks, same counter increments, same cube
+/// orderings. Returns the minimized cover as a pool buffer (the caller
+/// should [`MinimizeScratch::give`] it back) plus the budget completion.
+pub(crate) fn espresso_words(
+    ctx: BinCtx,
+    on: &[u64],
+    dc: &[u64],
+    opts: &MinimizeOptions,
+    budget: &Budget,
+    scratch: &mut MinimizeScratch,
+) -> (Vec<u64>, Completion) {
+    let span = obs::current_or(budget.recorder()).span("espresso");
+    let _cur = obs::enter(span.recorder());
+
+    if on.is_empty() {
+        return (scratch.take(), budget.completion());
+    }
+    if !budget.tick("espresso.iter", 1) {
+        let mut f = scratch.take();
+        f.extend_from_slice(on);
+        return (f, budget.completion());
+    }
+
+    let mut on_dc = scratch.take();
+    on_dc.extend_from_slice(on);
+    on_dc.extend_from_slice(dc);
+    let mut off = scratch.take();
+    compl_rec_w(ctx, &on_dc, &mut off, scratch);
+    scratch.give(on_dc);
+    if off.is_empty() {
+        scratch.give(off);
+        let mut f = scratch.take();
+        f.push(ctx.full);
+        return (f, budget.completion());
+    }
+
+    let mut f = scratch.take();
+    f.extend_from_slice(on);
+    scc_w(&mut f);
+    obs::count(obs::Counter::ExpandCalls, 1);
+    expand_w(ctx, &mut f, &off, scratch);
+    obs::count(obs::Counter::IrredundantCalls, 1);
+    irredundant_w(ctx, &mut f, dc, scratch);
+    if opts.check_invariants {
+        debug_assert!(
+            implements_w(ctx, &f, on, dc, scratch),
+            "flat espresso: invariant lost after initial expand/irredundant"
+        );
+    }
+
+    let mut ess = scratch.take();
+    let mut dc_aug = scratch.take();
+    if opts.use_essentials {
+        essentials_w(ctx, &f, dc, &mut ess, scratch);
+        f.retain(|c| !ess.contains(c));
+        dc_aug.extend_from_slice(dc);
+        dc_aug.extend_from_slice(&ess);
+    } else {
+        dc_aug.extend_from_slice(dc);
+    }
+    scc_w(&mut dc_aug);
+
+    let mut best = cost_w(ctx, &f);
+    let mut iterations = 0usize;
+    let mut candidate = scratch.take();
+    'outer: loop {
+        while iterations < opts.max_iterations {
+            if !budget.tick("espresso.iter", 1) {
+                break 'outer;
+            }
+            iterations += 1;
+            obs::count(obs::Counter::EspressoIters, 1);
+            if f.is_empty() {
+                break 'outer;
+            }
+            candidate.clear();
+            candidate.extend_from_slice(&f);
+            obs::count(obs::Counter::ReduceCalls, 1);
+            reduce_w(ctx, &mut candidate, &dc_aug, scratch);
+            obs::count(obs::Counter::ExpandCalls, 1);
+            expand_w(ctx, &mut candidate, &off, scratch);
+            obs::count(obs::Counter::IrredundantCalls, 1);
+            irredundant_w(ctx, &mut candidate, &dc_aug, scratch);
+            let c = cost_w(ctx, &candidate);
+            if c < best {
+                best = c;
+                std::mem::swap(&mut f, &mut candidate);
+            } else {
+                break;
+            }
+        }
+        if !opts.use_last_gasp || iterations >= opts.max_iterations || budget.is_exhausted() {
+            break;
+        }
+        if !gasp_w(ctx, &mut f, &dc_aug, &off, scratch) {
+            break;
+        }
+        best = cost_w(ctx, &f);
+    }
+    let _ = best;
+
+    f.extend_from_slice(&ess);
+    scc_w(&mut f);
+    if opts.check_invariants {
+        debug_assert!(
+            implements_w(ctx, &f, on, dc, scratch),
+            "flat espresso: result does not implement the function"
+        );
+    }
+    scratch.give(candidate);
+    scratch.give(dc_aug);
+    scratch.give(ess);
+    scratch.give(off);
+    (f, budget.completion())
+}
+
+/// Copies a cover's cubes into a single-word buffer (caller guarantees the
+/// domain is eligible).
+pub(crate) fn cover_to_words(cover: &Cover, out: &mut Vec<u64>) {
+    debug_assert!(out.is_empty());
+    for c in cover.iter() {
+        out.push(c.words()[0]);
+    }
+}
+
+fn words_to_cover(dom: &Domain, words: &[u64]) -> Cover {
+    Cover::from_cubes(dom, words.iter().map(|&w| Cube::from_raw_words(vec![w])))
+}
+
+/// Allocation-free ESPRESSO under a budget. On eligible domains (see
+/// [`flat_eligible`]) runs the single-word engine with buffers from
+/// `scratch`; otherwise falls back to the legacy [`espresso_bounded`].
+/// Bit-identical to the legacy driver in both cases.
+pub fn flat_espresso_bounded(
+    on: &Cover,
+    dc: &Cover,
+    opts: &MinimizeOptions,
+    budget: &Budget,
+    scratch: &mut MinimizeScratch,
+) -> (Cover, Completion) {
+    let dom = on.domain();
+    assert_eq!(dom, dc.domain(), "espresso: domain mismatch");
+    if !flat_eligible(dom) {
+        return espresso_bounded(on, dc, opts, budget);
+    }
+    let ctx = BinCtx::new(dom);
+    let mut on_w = scratch.take();
+    cover_to_words(on, &mut on_w);
+    let mut dc_w = scratch.take();
+    cover_to_words(dc, &mut dc_w);
+    let (fw, completion) = espresso_words(ctx, &on_w, &dc_w, opts, budget, scratch);
+    let cover = words_to_cover(dom, &fw);
+    scratch.give(fw);
+    scratch.give(dc_w);
+    scratch.give(on_w);
+    (cover, completion)
+}
+
+/// [`flat_espresso_bounded`] with default options, an unlimited budget, and
+/// a one-shot scratch — the flat counterpart of [`crate::espresso`].
+pub fn flat_espresso(on: &Cover, dc: &Cover) -> Cover {
+    let mut scratch = MinimizeScratch::new();
+    flat_espresso_bounded(
+        on,
+        dc,
+        &MinimizeOptions::default(),
+        &Budget::unlimited(),
+        &mut scratch,
+    )
+    .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::Cover;
+    use crate::cube::Cube;
+    use crate::domain::Domain;
+    use crate::espresso::espresso;
+
+    fn cover_from_codes(dom: &Domain, nv: usize, codes: &[u32]) -> Cover {
+        let mut c = Cover::empty(dom);
+        for &code in codes {
+            let mut cube = Cube::full(dom);
+            for v in 0..nv {
+                cube.restrict_binary(dom, v, code >> v & 1 != 0);
+            }
+            c.push(cube);
+        }
+        c
+    }
+
+    #[test]
+    fn eligibility_requires_all_binary_single_word() {
+        assert!(flat_eligible(&Domain::binary(1)));
+        assert!(flat_eligible(&Domain::binary(32)));
+        assert!(!flat_eligible(&Domain::binary(33)));
+    }
+
+    #[test]
+    fn flat_matches_legacy_on_minterm_covers() {
+        let dom = Domain::binary(4);
+        let on = cover_from_codes(&dom, 4, &[0, 1, 2, 3, 8, 9]);
+        let dc = cover_from_codes(&dom, 4, &[10, 11]);
+        let legacy = espresso(&on, &dc);
+        let flat = flat_espresso(&on, &dc);
+        assert_eq!(legacy, flat);
+    }
+
+    #[test]
+    fn flat_cover_roundtrips() {
+        let dom = Domain::binary(3);
+        let on = cover_from_codes(&dom, 3, &[0, 3, 5]);
+        let fc = FlatCover::from_cover(&on);
+        assert_eq!(fc.len(), 3);
+        assert_eq!(fc.stride(), 1);
+        assert_eq!(fc.to_cover(&dom), on);
+    }
+
+    #[test]
+    fn generic_kernels_match_cube_ops() {
+        let dom = Domain::binary(3);
+        let fd = FlatDomain::new(&dom);
+        let mut a = Cube::full(&dom);
+        a.restrict_binary(&dom, 0, true);
+        let mut b = Cube::full(&dom);
+        b.restrict_binary(&dom, 0, false);
+        assert!(cube_is_valid(&fd, a.words()));
+        assert_eq!(
+            cube_distance(&fd, a.words(), b.words()),
+            a.distance(&b, &dom)
+        );
+        let mut out = vec![0u64; fd.words()];
+        assert!(cube_consensus_into(&fd, a.words(), b.words(), &mut out));
+        let cons = a.consensus(&b, &dom).expect("distance 1");
+        assert_eq!(out.as_slice(), cons.words());
+    }
+
+    #[test]
+    fn empty_on_set_minimizes_to_empty() {
+        let dom = Domain::binary(2);
+        let on = Cover::empty(&dom);
+        let dc = Cover::empty(&dom);
+        assert!(flat_espresso(&on, &dc).is_empty());
+    }
+
+    #[test]
+    fn universe_collapses_to_single_full_cube() {
+        let dom = Domain::binary(2);
+        let on = cover_from_codes(&dom, 2, &[0, 1, 2, 3]);
+        let dc = Cover::empty(&dom);
+        let flat = flat_espresso(&on, &dc);
+        assert_eq!(flat.len(), 1);
+        assert_eq!(flat, espresso(&on, &dc));
+    }
+}

@@ -35,11 +35,17 @@
 //!   the deterministic fault-injection harness that tests them.
 //! - [`obs`]: deterministic spans + counters (compiled out without the
 //!   `obs` cargo feature).
+//! - [`flat`]: allocation-free flat cover kernels and the single-word
+//!   ESPRESSO fast path ([`flat_espresso_bounded`]).
+//! - [`cache`]: the memoized minimization cache ([`MinimizeCache`]; memo
+//!   compiled out without the `minimize-cache` cargo feature) and the
+//!   [`CoverEngine`] selector.
 
 #![warn(missing_docs)]
 
 pub mod bitset;
 pub mod budget;
+pub mod cache;
 pub mod chaos;
 pub mod cover;
 pub mod cube;
@@ -50,6 +56,7 @@ pub mod espresso;
 pub mod essential;
 pub mod exact;
 pub mod expand;
+pub mod flat;
 pub mod gasp;
 pub mod irredundant;
 pub mod measure;
@@ -64,6 +71,7 @@ pub mod verify;
 
 pub use bitset::WordSet;
 pub use budget::{Budget, Completion, ExhaustReason};
+pub use cache::{CoverEngine, MinimizeCache, DEFAULT_CACHE_CAPACITY};
 pub use cover::Cover;
 pub use cube::Cube;
 pub use domain::{Domain, DomainBuilder, Var, VarKind};
@@ -75,6 +83,11 @@ pub use espresso::{
 pub use essential::essentials;
 pub use exact::{exact_minimize, exact_minimize_bounded, ExactOutcome};
 pub use expand::expand;
+pub use flat::{
+    cube_and_into, cube_cofactor_into, cube_consensus_into, cube_contains, cube_distance,
+    cube_is_valid, flat_eligible, flat_espresso, flat_espresso_bounded, FlatCover, FlatDomain,
+    MinimizeScratch,
+};
 pub use gasp::last_gasp;
 pub use irredundant::irredundant;
 pub use measure::{cover_density, cover_minterms, cube_minterms};

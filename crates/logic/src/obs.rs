@@ -100,6 +100,17 @@ pub enum Counter {
     FaultsInjected,
     /// Worker panics caught and isolated by the encoder portfolio.
     PanicsCaught,
+    /// Minimized-cube-count requests routed through the memo layer
+    /// ([`crate::cache::MinimizeCache`]). Always equals
+    /// [`Counter::MinimizeCacheHit`] + [`Counter::MinimizeCacheMiss`] —
+    /// the conservation rule the golden-trace suite enforces.
+    MinimizeCalls,
+    /// Minimization requests answered from the memo without running the
+    /// minimizer (and without charging any budget work).
+    MinimizeCacheHit,
+    /// Minimization requests that ran the minimizer (cache disabled, cold
+    /// entry, or capacity reached).
+    MinimizeCacheMiss,
 }
 
 impl Counter {
@@ -124,6 +135,9 @@ impl Counter {
         Counter::AnnealRejects,
         Counter::FaultsInjected,
         Counter::PanicsCaught,
+        Counter::MinimizeCalls,
+        Counter::MinimizeCacheHit,
+        Counter::MinimizeCacheMiss,
     ];
 
     /// The stable snake_case name used in renders and JSON.
@@ -148,6 +162,9 @@ impl Counter {
             Counter::AnnealRejects => "anneal_rejects",
             Counter::FaultsInjected => "faults_injected",
             Counter::PanicsCaught => "panics_caught",
+            Counter::MinimizeCalls => "minimize_calls",
+            Counter::MinimizeCacheHit => "minimize_cache_hit",
+            Counter::MinimizeCacheMiss => "minimize_cache_miss",
         }
     }
 }

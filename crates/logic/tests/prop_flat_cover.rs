@@ -1,0 +1,226 @@
+//! Differential property tests: the flat cover engine against the legacy
+//! `Vec<Cube>` reference.
+//!
+//! Three layers are pinned down here:
+//! 1. the generic word-parallel kernels (`cube_*_into`) against the legacy
+//!    [`Cube`] operations, on mixed binary/multi-valued and multi-word
+//!    domains;
+//! 2. [`flat_espresso_bounded`] against [`espresso_bounded`] — bit-identical
+//!    covers, completions, and (with `obs` on) byte-identical traces, on
+//!    unlimited and tightly bounded budgets alike;
+//! 3. the [`MinimizeCache`] — cache-on, cache-off, flat, and legacy lookups
+//!    must all agree.
+
+// Tests are exempt from the panic-freedom policy; clippy's in-tests
+// exemption misses integration-test helpers, so waive it explicitly.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use picola_logic::{
+    cube_and_into, cube_cofactor_into, cube_consensus_into, cube_contains, cube_distance,
+    cube_is_valid, espresso_bounded, flat_eligible, flat_espresso_bounded, Budget, Cover,
+    CoverEngine, Cube, Domain, DomainBuilder, FlatCover, FlatDomain, MinimizeCache,
+    MinimizeOptions, MinimizeScratch, Trace,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random cover over `nvars` binary variables with up to
+/// `max_cubes` cubes, each literal drawn from {0, 1, -}.
+fn binary_cover(nvars: usize, max_cubes: usize) -> impl Strategy<Value = Cover> {
+    let cube = proptest::collection::vec(0u8..3, nvars);
+    proptest::collection::vec(cube, 0..=max_cubes).prop_map(move |cubes| {
+        let dom = Domain::binary(nvars);
+        let text: Vec<String> = cubes
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .map(|&l| match l {
+                        0 => '0',
+                        1 => '1',
+                        _ => '-',
+                    })
+                    .collect()
+            })
+            .collect();
+        Cover::parse(&dom, &text.join(" "))
+    })
+}
+
+/// A mixed binary/multi-valued, multi-word domain (one 70-part variable
+/// pushes the stride to two words) plus random cubes over it.
+fn mv_domain() -> Domain {
+    DomainBuilder::new()
+        .multi("s", 70)
+        .binary("a")
+        .binary("b")
+        .multi("t", 5)
+        .build()
+}
+
+fn mv_cube(dom: &Domain) -> impl Strategy<Value = Cube> {
+    let dom = dom.clone();
+    let lits = (
+        proptest::collection::vec(any::<bool>(), 70),
+        0u8..3,
+        0u8..3,
+        proptest::collection::vec(any::<bool>(), 5),
+    );
+    lits.prop_map(move |(s, a, b, t)| {
+        let mut c = Cube::full(&dom);
+        // keep every literal non-empty so the cube stays valid
+        if s.iter().any(|&x| x) {
+            for (p, keep) in s.iter().enumerate() {
+                if !keep {
+                    c.clear_part(p);
+                }
+            }
+        }
+        if a < 2 {
+            c.restrict_binary(&dom, 1, a == 1);
+        }
+        if b < 2 {
+            c.restrict_binary(&dom, 2, b == 1);
+        }
+        if t.iter().any(|&x| x) {
+            let off = dom.var(3).offset();
+            for (p, keep) in t.iter().enumerate() {
+                if !keep {
+                    c.clear_part(off + p);
+                }
+            }
+        }
+        c
+    })
+}
+
+/// Whether any minterm lies in both covers. Like the legacy espresso
+/// property tests, the differential corpus keeps `on` and `dc` point
+/// disjoint — overlapping sets are outside the minimizer's contract.
+fn overlaps(on: &Cover, dc: &Cover) -> bool {
+    Cover::enumerate_points(on.domain())
+        .iter()
+        .any(|pt| on.covers_point(pt) && dc.covers_point(pt))
+}
+
+/// Runs both engines on the same inputs under equal budgets and asserts
+/// covers, completions, and traces agree byte for byte.
+fn assert_engines_agree(on: &Cover, dc: &Cover, limit: Option<u64>) -> Result<(), TestCaseError> {
+    let base = || match limit {
+        Some(l) => Budget::with_work_limit(l),
+        None => Budget::unlimited(),
+    };
+    let legacy_trace = Trace::new();
+    let legacy_budget = base().with_recorder(legacy_trace.recorder());
+    let (lf, lc) = espresso_bounded(on, dc, &MinimizeOptions::default(), &legacy_budget);
+
+    let flat_trace = Trace::new();
+    let flat_budget = base().with_recorder(flat_trace.recorder());
+    let mut scratch = MinimizeScratch::new();
+    let (ff, fc) = flat_espresso_bounded(
+        on,
+        dc,
+        &MinimizeOptions::default(),
+        &flat_budget,
+        &mut scratch,
+    );
+
+    prop_assert_eq!(&lf, &ff, "covers diverge (limit {:?})", limit);
+    prop_assert_eq!(lc, fc, "completions diverge (limit {:?})", limit);
+    prop_assert_eq!(
+        legacy_trace.render(),
+        flat_trace.render(),
+        "traces diverge (limit {:?})",
+        limit
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn flat_espresso_is_bit_identical_to_legacy(
+        on in binary_cover(5, 8),
+        dc in binary_cover(5, 3),
+    ) {
+        prop_assume!(!overlaps(&on, &dc));
+        prop_assert!(flat_eligible(on.domain()));
+        assert_engines_agree(&on, &dc, None)?;
+    }
+
+    #[test]
+    fn flat_espresso_matches_legacy_under_tight_budgets(
+        on in binary_cover(4, 6),
+        dc in binary_cover(4, 2),
+        limit in 0u64..12,
+    ) {
+        prop_assume!(!overlaps(&on, &dc));
+        assert_engines_agree(&on, &dc, Some(limit))?;
+    }
+
+    #[test]
+    fn flat_cover_roundtrips_any_cover(f in binary_cover(4, 6)) {
+        let fc = FlatCover::from_cover(&f);
+        prop_assert_eq!(fc.len(), f.len());
+        prop_assert_eq!(fc.to_cover(f.domain()), f);
+    }
+
+    #[test]
+    fn generic_kernels_mirror_cube_ops_on_mixed_domains(
+        (a, b) in {
+            let dom = mv_domain();
+            (mv_cube(&dom), mv_cube(&dom))
+        }
+    ) {
+        let dom = mv_domain();
+        let fd = FlatDomain::new(&dom);
+        prop_assert!(!flat_eligible(&dom), "this corpus must exercise the generic path");
+        prop_assert_eq!(fd.words(), dom.words());
+
+        prop_assert_eq!(cube_is_valid(&fd, a.words()), a.is_valid(&dom));
+        prop_assert_eq!(cube_contains(a.words(), b.words()), a.covers(&b));
+        prop_assert_eq!(cube_distance(&fd, a.words(), b.words()), a.distance(&b, &dom));
+
+        let mut out = vec![0u64; fd.words()];
+        cube_and_into(a.words(), b.words(), &mut out);
+        let meet = a.and(&b);
+        prop_assert_eq!(out.as_slice(), meet.words());
+
+        let legacy_cons = a.consensus(&b, &dom);
+        let got = cube_consensus_into(&fd, a.words(), b.words(), &mut out);
+        prop_assert_eq!(got, legacy_cons.is_some());
+        if let Some(k) = legacy_cons {
+            prop_assert_eq!(out.as_slice(), k.words());
+        }
+
+        let legacy_cof = a.cofactor(&b, &dom);
+        let got = cube_cofactor_into(&fd, a.words(), b.words(), &mut out);
+        prop_assert_eq!(got, legacy_cof.is_some());
+        if let Some(k) = legacy_cof {
+            prop_assert_eq!(out.as_slice(), k.words());
+        }
+    }
+
+    #[test]
+    fn cache_on_off_and_both_engines_agree(
+        on in binary_cover(4, 6),
+        dc in binary_cover(4, 2),
+    ) {
+        prop_assume!(!overlaps(&on, &dc));
+        let mut cached = MinimizeCache::new();
+        let mut uncached = MinimizeCache::new();
+        let reference = cached.minimized_cube_count(&on, &dc, CoverEngine::Flat);
+        // repeat lookup (a hit when the feature is on) must agree
+        prop_assert_eq!(
+            cached.minimized_cube_count(&on, &dc, CoverEngine::Flat),
+            reference
+        );
+        prop_assert_eq!(
+            uncached.minimized_cube_count_uncached(&on, &dc, CoverEngine::Flat),
+            reference
+        );
+        prop_assert_eq!(
+            cached.minimized_cube_count(&on, &dc, CoverEngine::Legacy),
+            reference
+        );
+    }
+}

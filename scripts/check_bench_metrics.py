@@ -14,6 +14,11 @@ flags must hold: `engines_match` (incremental and naive engines produced
 identical encodings) and `parallel_matches_sequential` (thread count does
 not change results).
 
+When an instance carries `eval_ab` / `enc_ab` blocks (schema v4+), their
+`matches` flag must hold (flat/legacy engines and cache-on/off runs are
+bit-identical) and every leg must report a positive `work` alongside its
+`wall_ms` — the wall-per-work fields the PR 5 acceptance criteria gate on.
+
 With `--baseline`, every (instance, encoder) pair present in both reports
 is compared on `work` — the deterministic obs counter total, immune to
 machine noise unlike wall time. The check fails if any pair's work grew by
@@ -78,6 +83,30 @@ def check_refine(instances):
     return None
 
 
+def check_ab(instances):
+    for inst in instances:
+        name = inst.get("name", "?")
+        for label in ("eval_ab", "enc_ab"):
+            ab = inst.get(label)
+            if ab is None:
+                continue
+            if not ab.get("matches"):
+                return f"{name}: {label} legs disagree (engine/cache mismatch)"
+            legs = ab.get("legs")
+            if not legs:
+                return f"{name}: {label} block has no legs"
+            for leg in legs:
+                if leg.get("work", 0) <= 0:
+                    return f"{name}: {label} leg {leg.get('engine')} has no work"
+                if "wall_ms" not in leg:
+                    return f"{name}: {label} leg {leg.get('engine')} missing wall_ms"
+            hits = sum(leg.get("cache_hits", 0) for leg in legs)
+            misses = sum(leg.get("cache_misses", 0) for leg in legs)
+            if hits + misses <= 0:
+                return f"{name}: {label} records no minimize calls"
+    return None
+
+
 def work_map(report):
     out = {}
     for inst in report.get("instances", []):
@@ -122,7 +151,7 @@ def main() -> int:
         print("check_bench_metrics: no instances in report", file=sys.stderr)
         return 1
 
-    for check in (check_metrics, check_refine):
+    for check in (check_metrics, check_refine, check_ab):
         err = check(instances)
         if err:
             print(f"check_bench_metrics: {err}", file=sys.stderr)

@@ -37,6 +37,7 @@ fn every_encoder_is_deterministic() {
         Box::new(NovaEncoder::i_hybrid()),
         Box::new(EncLikeEncoder {
             max_evaluations: 200,
+            ..EncLikeEncoder::default()
         }),
         Box::<AnnealingEncoder>::default(),
         Box::new(PicolaStateEncoder::for_fsm(&fsm)),

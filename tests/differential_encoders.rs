@@ -11,7 +11,10 @@
 //! 2. the library's satisfied/violated verdict for every non-trivial
 //!    constraint matches the oracle's face-embedding check;
 //! 3. the parallel portfolio returns the same winner, winning cost, and
-//!    winning encoding as a sequential run.
+//!    winning encoding as a sequential run;
+//! 4. the evaluation pipeline returns bit-identical results for every
+//!    (cover engine, cache) combination — the flat engine and the
+//!    minimization memo are performance levers, never semantic ones.
 
 // Tests are exempt from the panic-freedom policy; clippy's in-tests
 // exemption misses integration-test helpers, so waive it explicitly.
@@ -19,7 +22,9 @@
 
 use picola::baselines::{standard_members, standard_portfolio};
 use picola::constraints::{min_code_length, Encoding, GroupConstraint};
-use picola::core::Budget;
+use picola::core::{
+    evaluate_encoding_cached, Budget, CoverEngine, EvalContext, EvalOptions,
+};
 use picola_bench::corpus::{corpus, Instance};
 use std::collections::HashSet;
 
@@ -131,6 +136,50 @@ fn parallel_portfolio_matches_sequential_on_the_corpus() {
         };
         assert_eq!(costs(&seq), costs(&par), "{}: member costs", inst.name);
     }
+}
+
+#[test]
+fn evaluation_is_identical_across_engines_and_cache_modes() {
+    // Every (engine, cache) combination of the evaluation pipeline must
+    // price every encoder's encoding identically — per-constraint cube
+    // counts included, not just the total. Contexts are long-lived across
+    // the whole corpus so the cached legs exercise genuine memo hits.
+    let legs = [
+        (CoverEngine::Flat, true),
+        (CoverEngine::Flat, false),
+        (CoverEngine::Legacy, true),
+        (CoverEngine::Legacy, false),
+    ];
+    let mut ctxs: Vec<EvalContext> = legs.iter().map(|_| EvalContext::new()).collect();
+    for inst in corpus(20, CORPUS_SEED) {
+        for member in standard_members(CORPUS_SEED) {
+            let (enc, _) =
+                member.encode_bounded(inst.n, &inst.constraints, &Budget::unlimited());
+            let mut evals = legs.iter().zip(ctxs.iter_mut()).map(|(&(engine, cache), ctx)| {
+                let opts = EvalOptions {
+                    engine,
+                    cache,
+                    ..EvalOptions::default()
+                };
+                evaluate_encoding_cached(&enc, &inst.constraints, &opts, ctx)
+            });
+            let reference = evals.next().expect("at least one leg");
+            for (ev, &(engine, cache)) in evals.zip(&legs[1..]) {
+                assert_eq!(
+                    ev,
+                    reference,
+                    "{}/{}: {engine:?}/cache={cache} diverges from Flat/cache=true",
+                    inst.name,
+                    member.name()
+                );
+            }
+        }
+    }
+    // The cached flat leg must have actually hit the memo: repeat constraint
+    // functions recur across encodings and instances.
+    #[cfg(feature = "minimize-cache")]
+    assert!(ctxs[0].cache.hits() > 0, "corpus must produce memo hits");
+    assert_eq!(ctxs[1].cache.hits(), 0, "uncached leg must never hit");
 }
 
 #[test]

@@ -57,6 +57,15 @@ fn check(trace: &Trace, budget: &Budget, ctx: &str) {
         "trace work != budget work: {ctx}"
     );
     assert_eq!(trace.open_spans(), 0, "unclosed spans: {ctx}");
+    // Every minimization lookup is answered exactly once: from the memo or
+    // by running the minimizer. Hits and misses must partition the calls.
+    let snap = trace.snapshot();
+    assert_eq!(
+        snap.counter_total(Counter::MinimizeCacheHit)
+            + snap.counter_total(Counter::MinimizeCacheMiss),
+        snap.counter_total(Counter::MinimizeCalls),
+        "cache hits + misses != minimize calls: {ctx}"
+    );
 }
 
 /// Drives the full flow plus every baseline encoder under one traced

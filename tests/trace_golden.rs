@@ -112,6 +112,47 @@ fn portfolio_trace_is_identical_across_thread_counts() {
 }
 
 #[test]
+fn minimize_cache_counters_conserve_and_hit() {
+    use picola::baselines::EncLikeEncoder;
+    use picola::logic::obs;
+
+    let fsm = benchmark_fsm("bbara").expect("bbara is in the suite");
+    let cs = fsm_constraints(&fsm, ExtractMethod::Quick);
+    let trace = Trace::new();
+    {
+        // ENC prices probes through Budget::unlimited() internally, so the
+        // counters flow through the thread-local current recorder.
+        let span = trace.recorder().span("enc-run");
+        let _cur = obs::enter(span.recorder());
+        let enc = EncLikeEncoder {
+            max_evaluations: 60,
+            ..EncLikeEncoder::default()
+        };
+        let (e, info) = enc.encode_detailed(fsm.num_states(), &cs);
+        assert_eq!(e.num_symbols(), fsm.num_states());
+        assert_eq!(
+            trace.counter_total(Counter::MinimizeCacheHit),
+            info.cache_hits,
+            "run info must agree with the trace"
+        );
+        assert_eq!(
+            trace.counter_total(Counter::MinimizeCacheMiss),
+            info.cache_misses,
+        );
+    }
+    assert_eq!(trace.open_spans(), 0);
+    let calls = trace.counter_total(Counter::MinimizeCalls);
+    let hits = trace.counter_total(Counter::MinimizeCacheHit);
+    let misses = trace.counter_total(Counter::MinimizeCacheMiss);
+    assert!(calls > 0, "ENC must price probes through the minimizer");
+    assert_eq!(hits + misses, calls, "hits + misses must equal calls");
+    #[cfg(feature = "minimize-cache")]
+    assert!(hits > 0, "repeat constraint functions must hit the memo");
+    #[cfg(not(feature = "minimize-cache"))]
+    assert_eq!(hits, 0, "without the feature every call is a miss");
+}
+
+#[test]
 fn portfolio_trace_nests_every_member() {
     let (rendered, _) = portfolio_trace(4);
     assert!(rendered.contains("portfolio"), "missing portfolio span");
