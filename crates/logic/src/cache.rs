@@ -4,14 +4,17 @@
 //! The evaluation pipeline prices an encoding by minimizing the encoded
 //! constraint functions, and search loops (ENC-style probes, portfolio
 //! sweeps) re-price covers they have already seen: a swap of two symbols
-//! leaves every constraint containing neither of them untouched. The cache
-//! memoizes *minimized cube counts* keyed by a canonical cover signature,
-//! so repeat functions cost one hash lookup instead of a full ESPRESSO run.
+//! leaves every constraint containing neither of them untouched — a
+//! byte-identical cover sequence. The cache memoizes *minimized cube
+//! counts* keyed by that exact sequence, so repeat functions cost one hash
+//! lookup instead of a full ESPRESSO run.
 //!
-//! Determinism: the key is a pure function of the cover (domain shape plus
-//! the sorted cube words of the on/dc sets) and the engine tag; the cached
-//! value is the minimizer's output for that function. Because ESPRESSO is
-//! deterministic, every process — regardless of thread count or call
+//! Determinism: the key is the exact call — engine tag, domain shape, and
+//! the on/dc cube sequences verbatim. ESPRESSO's result is order-sensitive
+//! (stable sorts, first-cube-wins expansion), so reordered covers are
+//! deliberately keyed apart: aliasing them would let a hit return a count
+//! an uncached run would not. Because ESPRESSO is deterministic on a given
+//! input sequence, every process — regardless of thread count or call
 //! order — computes the same value for a given key, so cache hits can never
 //! change a result, only skip recomputation. The capacity bound only stops
 //! *inserting* (deterministically, by call order), never evicts, so a warm
@@ -172,44 +175,17 @@ impl MinimizeCache {
     }
 
     fn run(&mut self, on: &Cover, dc: &Cover, engine: CoverEngine) -> usize {
-        match engine {
-            CoverEngine::Flat if flat_eligible(on.domain()) => {
-                let ctx = BinCtx::new(on.domain());
-                let mut on_w = self.scratch.take();
-                cover_to_words(on, &mut on_w);
-                let mut dc_w = self.scratch.take();
-                cover_to_words(dc, &mut dc_w);
-                let (f, _) = espresso_words(
-                    ctx,
-                    &on_w,
-                    &dc_w,
-                    &MinimizeOptions::default(),
-                    &Budget::unlimited(),
-                    &mut self.scratch,
-                );
-                let n = f.len();
-                self.scratch.give(f);
-                self.scratch.give(dc_w);
-                self.scratch.give(on_w);
-                n
-            }
-            _ => {
-                espresso_bounded(on, dc, &MinimizeOptions::default(), &Budget::unlimited())
-                    .0
-                    .len()
-            }
-        }
+        minimize_count(on, dc, engine, &mut self.scratch)
     }
 
-    /// Canonical signature of `(engine, domain shape, on, dc)` into
-    /// `self.key`: engine tag, variable count, per-variable part counts,
-    /// on-set length, then the on and dc cube words each sorted
-    /// lexicographically (cube order never affects the *function*, so keys
-    /// of reordered covers unify; the minimizer itself still sees the
-    /// caller's order).
+    /// Exact signature of `(engine, domain shape, on, dc)` into `self.key`:
+    /// engine tag, variable count, per-variable part counts, on-set length,
+    /// then the on and dc cube words in the caller's order. The minimizer's
+    /// result depends on cube order (stable sorts, first-cube-wins
+    /// expansion), so reordered covers must *not* share a key — a hit would
+    /// otherwise return a count the uncached run disagrees with.
     fn build_key(&mut self, on: &Cover, dc: &Cover, engine: CoverEngine) {
         let dom = on.domain();
-        let stride = dom.words();
         let key = &mut self.key;
         key.clear();
         key.push(match engine {
@@ -221,40 +197,51 @@ impl MinimizeCache {
             key.push(dom.var(v).parts() as u64);
         }
         key.push(on.len() as u64);
-        let on_start = key.len();
         for c in on.iter() {
             key.extend_from_slice(c.words());
         }
-        sort_cube_block(&mut key[on_start..], stride);
-        let dc_start = key.len();
         for c in dc.iter() {
             key.extend_from_slice(c.words());
         }
-        sort_cube_block(&mut key[dc_start..], stride);
     }
 }
 
-/// Sorts a flat block of `stride`-word cubes lexicographically, in place,
-/// without allocating (insertion sort by chunk swaps; equal chunks are
-/// interchangeable so stability is irrelevant).
-fn sort_cube_block(block: &mut [u64], stride: usize) {
-    if stride == 0 {
-        return;
-    }
-    let n = block.len() / stride;
-    for i in 1..n {
-        let mut j = i;
-        while j > 0 && chunk_less(block, stride, j, j - 1) {
-            for k in 0..stride {
-                block.swap(j * stride + k, (j - 1) * stride + k);
-            }
-            j -= 1;
+/// One uncached, uncounted minimization of `(on, dc)` under `engine`,
+/// drawing buffers from `scratch` — the shared kernel behind the memo's
+/// miss path and the one-shot [`crate::minimized_cube_count`] wrapper.
+pub(crate) fn minimize_count(
+    on: &Cover,
+    dc: &Cover,
+    engine: CoverEngine,
+    scratch: &mut MinimizeScratch,
+) -> usize {
+    match engine {
+        CoverEngine::Flat if flat_eligible(on.domain()) => {
+            let ctx = BinCtx::new(on.domain());
+            let mut on_w = scratch.take();
+            cover_to_words(on, &mut on_w);
+            let mut dc_w = scratch.take();
+            cover_to_words(dc, &mut dc_w);
+            let (f, _) = espresso_words(
+                ctx,
+                &on_w,
+                &dc_w,
+                &MinimizeOptions::default(),
+                &Budget::unlimited(),
+                scratch,
+            );
+            let n = f.len();
+            scratch.give(f);
+            scratch.give(dc_w);
+            scratch.give(on_w);
+            n
+        }
+        _ => {
+            espresso_bounded(on, dc, &MinimizeOptions::default(), &Budget::unlimited())
+                .0
+                .len()
         }
     }
-}
-
-fn chunk_less(block: &[u64], stride: usize, a: usize, b: usize) -> bool {
-    block[a * stride..(a + 1) * stride] < block[b * stride..(b + 1) * stride]
 }
 
 #[cfg(test)]
@@ -312,7 +299,7 @@ mod tests {
     }
 
     #[test]
-    fn reordered_covers_share_a_key() {
+    fn reordered_covers_are_keyed_apart() {
         let dom = Domain::binary(3);
         let on_a = cover_from_codes(&dom, 3, &[0, 5, 7]);
         let on_b = cover_from_codes(&dom, 3, &[7, 0, 5]);
@@ -320,9 +307,41 @@ mod tests {
         let mut cache = MinimizeCache::new();
         let a = cache.minimized_cube_count(&on_a, &dc, CoverEngine::Flat);
         let b = cache.minimized_cube_count(&on_b, &dc, CoverEngine::Flat);
-        assert_eq!(a, b);
+        // each order computes its own entry; repeating either order hits it
+        assert_eq!(cache.minimized_cube_count(&on_a, &dc, CoverEngine::Flat), a);
+        assert_eq!(cache.minimized_cube_count(&on_b, &dc, CoverEngine::Flat), b);
         #[cfg(feature = "minimize-cache")]
-        assert_eq!(cache.len(), 1);
+        {
+            assert_eq!(cache.len(), 2);
+            assert_eq!(cache.misses(), 2);
+            assert_eq!(cache.hits(), 2);
+        }
+    }
+
+    /// Regression for the order-sensitivity bug: ESPRESSO can minimize a
+    /// cover and its reversal to *different* cube counts (stable sorts,
+    /// first-cube-wins expansion), so a key that unified reorderings let a
+    /// hit return a count an uncached run would not. Every cached answer
+    /// must equal an uncached run on the same cube sequence.
+    #[test]
+    fn cached_result_always_matches_uncached_for_any_order() {
+        let dom = Domain::binary(3);
+        let codes = [0u32, 3, 4, 6, 7];
+        let mut reversed = codes;
+        reversed.reverse();
+        let dc = cover_from_codes(&dom, 3, &[1]);
+        let mut cache = MinimizeCache::new();
+        for order in [&codes[..], &reversed[..]] {
+            let on = cover_from_codes(&dom, 3, order);
+            for engine in [CoverEngine::Flat, CoverEngine::Legacy] {
+                let fresh =
+                    MinimizeCache::new().minimized_cube_count_uncached(&on, &dc, engine);
+                // first lookup (a miss) and second lookup (a hit with the
+                // feature on) must both agree with the uncached run
+                assert_eq!(cache.minimized_cube_count(&on, &dc, engine), fresh);
+                assert_eq!(cache.minimized_cube_count(&on, &dc, engine), fresh);
+            }
+        }
     }
 
     #[test]

@@ -94,10 +94,12 @@ pub fn espresso_bounded(
     }
     // The off-set complement below can itself be expensive, so honor a
     // budget that is already exhausted (or exhausts at entry) before it.
-    // The degraded result is the on-set as-is: an scc pass here would pay
-    // sorting and containment work on a path chosen for being out of budget.
+    // The degraded result keeps the scc pass (cheap, and callers' cube
+    // counts under exhaustion stay comparable across releases).
     if !budget.tick("espresso.iter", 1) {
-        return (on.clone(), budget.completion());
+        let mut f = on.clone();
+        f.scc();
+        return (f, budget.completion());
     }
     let off = complement(&on.union(dc));
     if off.is_empty() {
@@ -178,15 +180,13 @@ pub fn espresso_bounded(
 }
 
 /// Convenience wrapper returning only the minimized cube count — the cost
-/// measure used throughout the PICOLA evaluation. Runs on the default
-/// (flat) engine via a one-shot [`crate::cache::MinimizeCache`]; long-lived
-/// callers should hold their own cache so repeat covers hit the memo.
+/// measure used throughout the PICOLA evaluation. Runs the default (flat)
+/// engine once with a one-shot scratch, bypassing the memo and its
+/// counters; long-lived callers should hold a
+/// [`crate::cache::MinimizeCache`] so repeat covers hit the memo.
 pub fn minimized_cube_count(on: &Cover, dc: &Cover) -> usize {
-    crate::cache::MinimizeCache::new().minimized_cube_count(
-        on,
-        dc,
-        crate::cache::CoverEngine::default(),
-    )
+    let mut scratch = crate::flat::MinimizeScratch::new();
+    crate::cache::minimize_count(on, dc, crate::cache::CoverEngine::default(), &mut scratch)
 }
 
 #[cfg(test)]

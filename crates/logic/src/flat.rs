@@ -904,8 +904,10 @@ pub(crate) fn espresso_words(
         return (scratch.take(), budget.completion());
     }
     if !budget.tick("espresso.iter", 1) {
+        // mirror the legacy degraded path: the on-set scc'd, nothing more
         let mut f = scratch.take();
         f.extend_from_slice(on);
+        scc_w(&mut f);
         return (f, budget.completion());
     }
 
