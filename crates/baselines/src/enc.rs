@@ -74,11 +74,26 @@ impl EncLikeEncoder {
         constraints: &[GroupConstraint],
         budget: &Budget,
     ) -> (Encoding, EncRunInfo) {
+        let mut ctx = EvalContext::new();
+        self.encode_detailed_in_context(n, constraints, budget, &mut ctx)
+    }
+
+    /// [`EncLikeEncoder::encode_detailed_bounded`] pricing through a
+    /// caller-supplied [`EvalContext`]. A context wired to a shared
+    /// [`picola_core::GlobalMinimizeCache`] lets one run warm the next —
+    /// the basis of the daemon's cross-request warmth and the `serve_ab`
+    /// bench leg — without changing any result (caching is bit-invisible).
+    pub fn encode_detailed_in_context(
+        &self,
+        n: usize,
+        constraints: &[GroupConstraint],
+        budget: &Budget,
+        ctx: &mut EvalContext,
+    ) -> (Encoding, EncRunInfo) {
         let nv = min_code_length(n);
         let mut enc = Encoding::natural(n);
         let mut evals = 0usize;
         let mut exhausted = false;
-        let mut ctx = EvalContext::new();
 
         let cost = |e: &Encoding, evals: &mut usize, ctx: &mut EvalContext| -> usize {
             *evals += 1;
@@ -88,7 +103,7 @@ impl EncLikeEncoder {
         // exist), but it pays its tick so exhaustion latches before the
         // search loop starts.
         let start_exhausted = !budget.tick("enc.eval", 1);
-        let mut best_cost = cost(&enc, &mut evals, &mut ctx);
+        let mut best_cost = cost(&enc, &mut evals, ctx);
         if start_exhausted {
             exhausted = true;
         }
@@ -109,7 +124,7 @@ impl EncLikeEncoder {
                     let Ok(cand) = Encoding::new(nv, codes) else {
                         continue; // swaps permute codes: unreachable defensively
                     };
-                    let c = cost(&cand, &mut evals, &mut ctx);
+                    let c = cost(&cand, &mut evals, ctx);
                     if c < best_cost {
                         enc = cand;
                         best_cost = c;
@@ -133,7 +148,7 @@ impl EncLikeEncoder {
                     let Ok(cand) = Encoding::new(nv, codes) else {
                         continue; // target checked free: unreachable defensively
                     };
-                    let c = cost(&cand, &mut evals, &mut ctx);
+                    let c = cost(&cand, &mut evals, ctx);
                     if c < best_cost {
                         enc = cand;
                         best_cost = c;

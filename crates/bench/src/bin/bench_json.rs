@@ -27,10 +27,11 @@ use picola_bench::corpus::{corpus_tier, Instance, Tier};
 use picola_constraints::Encoding;
 use picola_core::{
     estimate_cubes, evaluate_encoding_cached, try_picola_encode_with, Budget, CoverEngine,
-    EvalContext, EvalOptions, PicolaOptions, RefineEngine,
+    EvalContext, EvalOptions, GlobalMinimizeCache, PicolaOptions, RefineEngine,
 };
 use picola_logic::{obs, Counter, SpanSnapshot, Trace};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct Options {
@@ -47,7 +48,7 @@ impl Options {
         let mut opts = Options {
             smoke: false,
             tier: Tier::Standard,
-            out: "BENCH_pr5.json".to_owned(),
+            out: "BENCH_pr6.json".to_owned(),
             threads: 4,
             seed: 0x0001_C01A,
             instances: 0,
@@ -119,6 +120,97 @@ struct InstanceReport {
     refine: RefineReport,
     eval_ab: AbReport,
     enc_ab: AbReport,
+    serve_ab: ServeAbReport,
+}
+
+/// Cold-vs-warm shared-cache ENC throughput: the daemon's cross-request
+/// warmth measured without sockets. Cold runs against a fresh
+/// [`GlobalMinimizeCache`]; warm re-runs the identical job through the
+/// same global with a fresh per-run context — exactly what a second
+/// `encode` request sees on a running `picola serve`.
+struct ServeAbReport {
+    cold_wall_ns: u64,
+    warm_wall_ns: u64,
+    /// Full-cost evaluations per leg (identical by determinism).
+    work: u64,
+    warm_hits: u64,
+    warm_misses: u64,
+    /// `warm_hits / (warm_hits + warm_misses)` — the fraction of warm-leg
+    /// minimizations answered by entries the cold leg left behind.
+    warm_hit_rate: f64,
+    /// Cold and warm legs produced bit-identical encodings and costs.
+    matches: bool,
+    /// Cold wall over warm wall — ≥ 1 when warmth pays.
+    speedup: f64,
+}
+
+/// Runs the cold/warm shared-cache A/B. Best-of-`AB_REPS` wall per leg;
+/// each repetition uses its own fresh global so every cold leg is honestly
+/// cold. Work and cost are asserted identical across repetitions.
+fn run_serve_ab(inst: &Instance) -> Result<ServeAbReport, String> {
+    const SERVE_AB_EVALS: usize = 120;
+    const AB_REPS: usize = 3;
+    let encoder = EncLikeEncoder {
+        max_evaluations: SERVE_AB_EVALS,
+        eval: EvalOptions::default(),
+    };
+    let mut best: Option<ServeAbReport> = None;
+    for _ in 0..AB_REPS {
+        let global = Arc::new(GlobalMinimizeCache::new());
+        let budget = Budget::unlimited();
+
+        let mut cold_ctx = EvalContext::with_global(Arc::clone(&global));
+        let t = Instant::now();
+        let (cold_enc, cold_info) =
+            encoder.encode_detailed_in_context(inst.n, &inst.constraints, &budget, &mut cold_ctx);
+        let cold_wall_ns = t.elapsed().as_nanos() as u64;
+
+        let mut warm_ctx = EvalContext::with_global(Arc::clone(&global));
+        let t = Instant::now();
+        let (warm_enc, warm_info) =
+            encoder.encode_detailed_in_context(inst.n, &inst.constraints, &budget, &mut warm_ctx);
+        let warm_wall_ns = t.elapsed().as_nanos() as u64;
+
+        let matches = cold_enc == warm_enc
+            && cold_info.total_cubes == warm_info.total_cubes
+            && cold_info.evaluations == warm_info.evaluations;
+        let denom = (warm_info.cache_hits + warm_info.cache_misses).max(1);
+        let rep = ServeAbReport {
+            cold_wall_ns,
+            warm_wall_ns,
+            work: cold_info.evaluations as u64,
+            warm_hits: warm_info.cache_hits,
+            warm_misses: warm_info.cache_misses,
+            warm_hit_rate: warm_info.cache_hits as f64 / denom as f64,
+            matches,
+            speedup: cold_wall_ns as f64 / warm_wall_ns.max(1) as f64,
+        };
+        if let Some(prev) = &best {
+            if (prev.work, prev.warm_hits, prev.warm_misses)
+                != (rep.work, rep.warm_hits, rep.warm_misses)
+            {
+                return Err(format!(
+                    "{}: serve A/B: nondeterministic repetition (work {} vs {}, \
+                     hits {} vs {})",
+                    inst.name, prev.work, rep.work, prev.warm_hits, rep.warm_hits
+                ));
+            }
+        }
+        if !rep.matches {
+            return Err(format!(
+                "{}: serve A/B: warm leg diverged from cold — the shared cache \
+                 changed a result",
+                inst.name
+            ));
+        }
+        if best
+            .as_ref()
+            .is_none_or(|p| rep.cold_wall_ns + rep.warm_wall_ns < p.cold_wall_ns + p.warm_wall_ns)
+        {
+            best = Some(rep);
+        }
+    }
+    best.ok_or_else(|| "serve A/B: no repetitions ran".to_owned())
 }
 
 /// One leg of an evaluation-pipeline or ENC A/B comparison.
@@ -441,6 +533,7 @@ fn run_instance(inst: Instance, opts: &Options) -> Result<InstanceReport, String
     let refine = run_refine_ab(&inst, opts)?;
     let eval_ab = run_eval_ab(&inst, &member_encodings)?;
     let enc_ab = run_enc_ab(&inst)?;
+    let serve_ab = run_serve_ab(&inst)?;
 
     Ok(InstanceReport {
         nontrivial,
@@ -448,6 +541,7 @@ fn run_instance(inst: Instance, opts: &Options) -> Result<InstanceReport, String
         refine,
         eval_ab,
         enc_ab,
+        serve_ab,
         metrics: trace.snapshot(),
         metrics_work: trace.total_work(),
         winner: seq.best().name.clone(),
@@ -467,7 +561,7 @@ fn ms(d: Duration) -> String {
 fn emit(reports: &[InstanceReport], opts: &Options) -> String {
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"picola-bench/bench_json/v4\",");
+    let _ = writeln!(j, "  \"schema\": \"picola-bench/bench_json/v5\",");
     let _ = writeln!(j, "  \"seed\": {},", opts.seed);
     let _ = writeln!(j, "  \"threads\": {},", opts.threads);
     let _ = writeln!(j, "  \"smoke\": {},", opts.smoke);
@@ -559,6 +653,17 @@ fn emit(reports: &[InstanceReport], opts: &Options) -> String {
             let _ = writeln!(j, "        \"speedup_per_work\": {:.3}", ab.speedup_per_work);
             let _ = writeln!(j, "      }},");
         }
+        let s = &r.serve_ab;
+        let _ = writeln!(j, "      \"serve_ab\": {{");
+        let _ = writeln!(j, "        \"cold_wall_ms\": {:.3},", s.cold_wall_ns as f64 / 1e6);
+        let _ = writeln!(j, "        \"warm_wall_ms\": {:.3},", s.warm_wall_ns as f64 / 1e6);
+        let _ = writeln!(j, "        \"work\": {},", s.work);
+        let _ = writeln!(j, "        \"warm_hits\": {},", s.warm_hits);
+        let _ = writeln!(j, "        \"warm_misses\": {},", s.warm_misses);
+        let _ = writeln!(j, "        \"warm_hit_rate\": {:.4},", s.warm_hit_rate);
+        let _ = writeln!(j, "        \"matches\": {},", s.matches);
+        let _ = writeln!(j, "        \"speedup\": {:.3}", s.speedup);
+        let _ = writeln!(j, "      }},");
         let _ = writeln!(
             j,
             "      \"metrics\": {{\"total_work\": {}, \"spans\": {}}}",
@@ -704,12 +809,32 @@ fn emit(reports: &[InstanceReport], opts: &Options) -> String {
             per_work_speedup(&sums)
         );
         let _ = writeln!(j, "      \"mismatches\": {mismatches}");
-        let _ = writeln!(
-            j,
-            "    }}{}",
-            if label == "eval" { "," } else { "" }
-        );
+        let _ = writeln!(j, "    }},");
     }
+    // Cold-vs-warm shared-cache totals: the headline warmth numbers the
+    // hit-rate gate in scripts/check_bench_metrics.py enforces.
+    let cold_ms: f64 = reports.iter().map(|r| r.serve_ab.cold_wall_ns as f64 / 1e6).sum();
+    let warm_ms: f64 = reports.iter().map(|r| r.serve_ab.warm_wall_ns as f64 / 1e6).sum();
+    let warm_hits: u64 = reports.iter().map(|r| r.serve_ab.warm_hits).sum();
+    let warm_misses: u64 = reports.iter().map(|r| r.serve_ab.warm_misses).sum();
+    let serve_mismatches = reports.iter().filter(|r| !r.serve_ab.matches).count();
+    let _ = writeln!(j, "    \"serve\": {{");
+    let _ = writeln!(j, "      \"cold_wall_ms\": {cold_ms:.3},");
+    let _ = writeln!(j, "      \"warm_wall_ms\": {warm_ms:.3},");
+    let _ = writeln!(j, "      \"warm_hits\": {warm_hits},");
+    let _ = writeln!(j, "      \"warm_misses\": {warm_misses},");
+    let _ = writeln!(
+        j,
+        "      \"warm_hit_rate\": {:.4},",
+        warm_hits as f64 / (warm_hits + warm_misses).max(1) as f64
+    );
+    let _ = writeln!(
+        j,
+        "      \"speedup\": {:.3},",
+        cold_ms / warm_ms.max(1e-9)
+    );
+    let _ = writeln!(j, "      \"mismatches\": {serve_mismatches}");
+    let _ = writeln!(j, "    }}");
     let _ = writeln!(j, "  }}");
     let _ = writeln!(j, "}}");
     j
@@ -731,14 +856,17 @@ fn main() {
             Ok(r) => {
                 eprintln!(
                     "{name}: winner {} (cost {}), seq {} ms / par {} ms, \
-                     refine speedup {:.2}x, eval {:.2}x, enc {:.2}x",
+                     refine speedup {:.2}x, eval {:.2}x, enc {:.2}x, \
+                     serve warm {:.2}x @ {:.0}% hits",
                     r.winner,
                     r.winning_cost,
                     ms(r.seq_wall),
                     ms(r.par_wall),
                     r.refine.speedup_per_work,
                     r.eval_ab.speedup_per_work,
-                    r.enc_ab.speedup_per_work
+                    r.enc_ab.speedup_per_work,
+                    r.serve_ab.speedup,
+                    r.serve_ab.warm_hit_rate * 100.0
                 );
                 reports.push(r);
             }

@@ -10,7 +10,10 @@
 //! satisfactions.
 
 use picola_constraints::{Encoding, GroupConstraint};
-use picola_logic::{exact_minimize, CoverEngine, Domain, ExactOutcome, MinimizeCache};
+use picola_logic::{
+    exact_minimize, CoverEngine, Domain, ExactOutcome, GlobalMinimizeCache, MinimizeCache,
+};
+use std::sync::Arc;
 
 /// How constraint functions are minimized during evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,18 +56,49 @@ impl Default for EvalOptions {
 /// Long-lived state threaded through repeated evaluations: the minimization
 /// memo plus its scratch pool. Search loops (ENC probes, portfolio sweeps)
 /// keep one context per run so repeat covers cost a hash lookup and the
-/// steady state allocates nothing. Deliberately per-run, never global:
-/// traces stay independent of thread count and interleaving.
+/// steady state allocates nothing.
+///
+/// By default the memo is per-run, never shared: traces stay independent of
+/// thread count and interleaving. A long-running server instead attaches a
+/// shared [`GlobalMinimizeCache`] via [`EvalContext::with_global`] so repeat
+/// covers hit *across* requests; results stay bit-identical (the global
+/// cache preserves the exact order-sensitive keying), only the work differs.
 #[derive(Debug, Default)]
 pub struct EvalContext {
-    /// The memoized minimization cache.
+    /// The memoized minimization cache (also the scratch/key buffer pool
+    /// when a global cache is attached).
     pub cache: MinimizeCache,
+    /// Cross-request shared memo; `None` keeps the per-run memo authoritative.
+    global: Option<Arc<GlobalMinimizeCache>>,
 }
 
 impl EvalContext {
     /// A fresh (cold) context.
     pub fn new() -> EvalContext {
         EvalContext::default()
+    }
+
+    /// A fresh context whose per-run memo stops inserting at `capacity`
+    /// entries (the deployment knob behind `--cache-capacity`).
+    pub fn with_cache_capacity(capacity: usize) -> EvalContext {
+        EvalContext {
+            cache: MinimizeCache::with_capacity(capacity),
+            global: None,
+        }
+    }
+
+    /// A fresh context that answers cached minimizations from `global`
+    /// instead of its private memo, sharing warm entries across requests.
+    pub fn with_global(global: Arc<GlobalMinimizeCache>) -> EvalContext {
+        EvalContext {
+            cache: MinimizeCache::new(),
+            global: Some(global),
+        }
+    }
+
+    /// The attached shared cache, if any.
+    pub fn global(&self) -> Option<&Arc<GlobalMinimizeCache>> {
+        self.global.as_ref()
     }
 }
 
@@ -272,10 +306,13 @@ pub fn evaluate_encoding_cached(
         let (on, dc) = enc.constraint_function(&dom, c.members());
         let cubes = match opts.minimizer {
             EvalMinimizer::Espresso => {
-                if opts.cache {
-                    ctx.cache.minimized_cube_count(&on, &dc, opts.engine)
-                } else {
+                if !opts.cache {
                     ctx.cache.minimized_cube_count_uncached(&on, &dc, opts.engine)
+                } else if let Some(global) = &ctx.global {
+                    ctx.cache
+                        .minimized_cube_count_shared(global, &on, &dc, opts.engine)
+                } else {
+                    ctx.cache.minimized_cube_count(&on, &dc, opts.engine)
                 }
             }
             EvalMinimizer::Exact { max_nodes } => match exact_minimize(&on, &dc, max_nodes) {

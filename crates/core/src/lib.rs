@@ -42,6 +42,7 @@
 
 pub mod classify;
 pub mod cost;
+pub mod engine;
 pub mod error;
 pub mod eval;
 pub mod picola;
@@ -53,6 +54,7 @@ pub mod validity;
 
 pub use classify::{geometry, update_constraints, ClassifyOutcome};
 pub use cost::CostModel;
+pub use engine::{EngineConfig, EngineHandle, Job, JobOutput};
 pub use error::PicolaError;
 pub use eval::{
     estimate_codes_cubes_with, estimate_cubes, estimate_cubes_with, evaluate_encoding,
@@ -74,4 +76,7 @@ pub use validity::ValidityTracker;
 // re-export them here so encoder-level callers need only picola-core. The
 // cover-engine selector and minimization cache ride along for the same
 // reason.
-pub use picola_logic::{chaos, Budget, Completion, CoverEngine, ExhaustReason, MinimizeCache};
+pub use picola_logic::{
+    chaos, Budget, CacheStats, Completion, CoverEngine, ExhaustReason, GlobalMinimizeCache,
+    MinimizeCache,
+};

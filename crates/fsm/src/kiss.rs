@@ -79,11 +79,23 @@ pub fn parse_kiss_with(
     if let Some(msg) = chaos::fail_point("kiss.parse") {
         return Err(ParseKissError::new(0, msg));
     }
+    if text
+        .lines()
+        .all(|l| l.split('#').next().unwrap_or("").trim().is_empty())
+    {
+        // A zero-length frame is what a dropped socket delivers; name it
+        // instead of the misleading "missing .i directive".
+        return Err(ParseKissError::new(
+            0,
+            "empty input: zero-length or whitespace-only KISS2",
+        ));
+    }
     let mut ni: Option<usize> = None;
     let mut no: Option<usize> = None;
     let mut declared_states: Option<usize> = None;
     let mut reset_name: Option<(String, usize)> = None;
     let mut rows: Vec<RawRow> = Vec::new();
+    let mut terminated = false;
 
     for (lineno, raw) in text.lines().enumerate() {
         let lineno = lineno + 1;
@@ -146,7 +158,10 @@ pub fn parse_kiss_with(
                 }
                 "p" => { /* informational */ }
                 "r" => reset_name = it.next().map(|s| (s.to_owned(), lineno)),
-                "e" | "end" => break,
+                "e" | "end" => {
+                    terminated = true;
+                    break;
+                }
                 _ => {
                     return Err(ParseKissError::new(
                         lineno,
@@ -178,6 +193,14 @@ pub fn parse_kiss_with(
         }
     }
 
+    if !terminated && !text.ends_with('\n') {
+        // No `.e` terminator and the final line is cut short: the frame
+        // was truncated in transit (dropped socket, partial read).
+        return Err(ParseKissError::new(
+            text.lines().count(),
+            "truncated input: final line is unterminated and no .e terminator was seen",
+        ));
+    }
     let ni = ni.ok_or_else(|| ParseKissError::new(0, "missing .i directive"))?;
     let no = no.ok_or_else(|| ParseKissError::new(0, "missing .o directive"))?;
 
@@ -421,5 +444,27 @@ mod tests {
         let _guard = chaos::arm("kiss.parse", 0);
         let err = parse_kiss("lionish", LION_LIKE).unwrap_err();
         assert!(err.to_string().contains("injected"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_named_explicitly() {
+        for text in ["", "  \n\n", "# comment only\n"] {
+            let err = parse_kiss("x", text).unwrap_err();
+            assert!(err.to_string().contains("empty input"), "{text:?}: {err}");
+            assert_eq!(err.line(), 0);
+        }
+    }
+
+    #[test]
+    fn truncated_frame_rejected_with_line_number() {
+        // as if the socket dropped mid-field: no trailing newline, no .e
+        let text = ".i 2\n.o 2\n-0 st0 st0 00\n01 st0 st1 0";
+        let err = parse_kiss("x", text).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        assert_eq!(err.line(), 4);
+        // the same bytes with the frame completed parse fine
+        assert!(parse_kiss("x", ".i 2\n.o 2\n-0 st0 st0 00\n01 st0 st1 01\n").is_ok());
+        // an unterminated line is fine when .e closed the frame first
+        assert!(parse_kiss("x", ".i 2\n.o 2\n-0 st0 st0 00\n.e").is_ok());
     }
 }

@@ -68,6 +68,27 @@ proptest! {
     }
 
     #[test]
+    fn mid_line_truncation_is_always_rejected(rows in 1usize..20, cut in 1usize..300) {
+        // A frame cut strictly mid-line (as a dropped socket delivers it)
+        // must never parse as a silently shorter machine. Cuts landing on a
+        // newline or right after `.e` are legitimate shorter documents.
+        let full = valid_kiss(rows);
+        let cut = cut.min(full.len() - 1);
+        let text = &full[..cut];
+        if !text.ends_with('\n') && !text.ends_with(".e") {
+            let err = parse_kiss("fuzz", text).unwrap_err();
+            prop_assert!(err.line() <= line_count(text) + 1);
+        }
+    }
+
+    #[test]
+    fn empty_and_blank_inputs_are_rejected(pad in 0usize..8) {
+        let text = "\n".repeat(pad);
+        let err = parse_kiss("fuzz", &text).unwrap_err();
+        prop_assert_eq!(err.line(), 0);
+    }
+
+    #[test]
     fn corrupted_kiss_never_panics(rows in 1usize..20, pos in 0usize..300, byte in 0u8..128) {
         let mut full = valid_kiss(rows).into_bytes();
         let pos = pos % full.len();

@@ -30,12 +30,15 @@
 //! traced work totals stay conserved.
 
 use crate::budget::Budget;
+use crate::chaos;
 use crate::cover::Cover;
 use crate::espresso::{espresso_bounded, MinimizeOptions};
 use crate::flat::{cover_to_words, espresso_words, flat_eligible, BinCtx, MinimizeScratch};
 use crate::obs;
 #[cfg(feature = "minimize-cache")]
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Which cover engine a minimization request should run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -136,6 +139,51 @@ impl MinimizeCache {
         self.len() == 0
     }
 
+    /// Minimized cube count of `(on, dc)` under `engine`, answered through
+    /// a **shared** [`GlobalMinimizeCache`] instead of this cache's private
+    /// memo. This cache contributes only its key/scratch buffers (so the
+    /// steady state still allocates nothing) and its hit/miss tallies, which
+    /// keep per-run statistics meaningful in a server that shares one global
+    /// cache across requests.
+    ///
+    /// Counter discipline is identical to [`MinimizeCache::minimized_cube_count`]:
+    /// one `MinimizeCalls` bump plus exactly one of hit/miss, and a hit
+    /// performs zero budget work. Chaos point `cache.shard` simulates a
+    /// poisoned shard: the global map is bypassed and the call degrades to
+    /// an honest miss (computed locally, never inserted) — bit-identical
+    /// results, just slower.
+    pub fn minimized_cube_count_shared(
+        &mut self,
+        global: &GlobalMinimizeCache,
+        on: &Cover,
+        dc: &Cover,
+        engine: CoverEngine,
+    ) -> usize {
+        obs::count(obs::Counter::MinimizeCalls, 1);
+        global.calls.fetch_add(1, Ordering::Relaxed);
+        self.build_key(on, dc, engine);
+        if chaos::should_fire("cache.shard") {
+            // Shard poisoned: degrade to a miss without touching the map.
+            global.poison_bypasses.fetch_add(1, Ordering::Relaxed);
+            self.misses += 1;
+            global.misses.fetch_add(1, Ordering::Relaxed);
+            obs::count(obs::Counter::MinimizeCacheMiss, 1);
+            return self.run(on, dc, engine);
+        }
+        if let Some(n) = global.lookup(&self.key) {
+            self.hits += 1;
+            global.hits.fetch_add(1, Ordering::Relaxed);
+            obs::count(obs::Counter::MinimizeCacheHit, 1);
+            return n;
+        }
+        self.misses += 1;
+        global.misses.fetch_add(1, Ordering::Relaxed);
+        obs::count(obs::Counter::MinimizeCacheMiss, 1);
+        let n = self.run(on, dc, engine);
+        global.insert(&self.key, n);
+        n
+    }
+
     /// Minimized cube count of `(on, dc)` under `engine`, memoized.
     ///
     /// Bumps `MinimizeCalls` plus exactly one of `MinimizeCacheHit` /
@@ -202,6 +250,246 @@ impl MinimizeCache {
         }
         for c in dc.iter() {
             key.extend_from_slice(c.words());
+        }
+    }
+}
+
+/// Point-in-time statistics of a [`GlobalMinimizeCache`].
+///
+/// `hits + misses == calls` is the cross-shard conservation law the server
+/// soak test asserts: `calls` is bumped once on entry, independently of
+/// the hit/miss classification, so a code path that forgot to tally (or
+/// double-tallied) an outcome shows up as a broken sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups routed through the cache (bumped on entry, before any
+    /// hit/miss/poison classification).
+    pub calls: u64,
+    /// Lookups answered from a shard without running the minimizer.
+    pub hits: u64,
+    /// Lookups that ran the minimizer (cold entry, evicted entry, feature
+    /// disabled, or a poisoned/chaos-bypassed shard).
+    pub misses: u64,
+    /// Lookups that bypassed the map because a shard was poisoned (real
+    /// lock poisoning or the `cache.shard` chaos point). Always ≤ `misses`.
+    pub poison_bypasses: u64,
+    /// Memoized entries over all shards (both generations). May briefly
+    /// exceed `capacity` by up to 50% — promote-on-hit parks an extra entry
+    /// in a live generation until the next insert rebalances.
+    pub entries: usize,
+    /// Sum of every shard's eviction epoch (each epoch advance retired one
+    /// generation of that shard).
+    pub epoch_advances: u64,
+    /// Number of shards.
+    pub shards: usize,
+    /// Total entry capacity over all shards.
+    pub capacity: usize,
+}
+
+/// One shard of the global memo: two generations of entries under a mutex.
+///
+/// Eviction is *epoch-based*: when the live generation fills its per-shard
+/// budget, the shard advances its epoch — the previous generation is
+/// dropped wholesale and the live one becomes previous. A hit in the
+/// previous generation promotes the entry back into the live one, so hot
+/// covers survive any number of epochs while cold ones age out after two.
+/// All reads and writes happen under the shard mutex and entries are moved
+/// whole, so readers can never observe a torn entry; racing inserts of the
+/// same key write the same value (the minimizer is deterministic on a given
+/// cube sequence), so the cache can change only *work*, never results.
+#[derive(Debug, Default)]
+struct Shard {
+    #[cfg(feature = "minimize-cache")]
+    live: HashMap<Vec<u64>, usize>,
+    #[cfg(feature = "minimize-cache")]
+    prev: HashMap<Vec<u64>, usize>,
+    epoch: u64,
+}
+
+/// A concurrent, sharded, capacity-bounded memo of minimized cube counts,
+/// shared across requests by a long-running server.
+///
+/// Same keying and determinism contract as [`MinimizeCache`] (exact
+/// engine + domain + cube-sequence signature; see the module docs), but:
+///
+/// * **Sharded** — keys are distributed over lock-striped shards by a
+///   64-bit FNV-1a hash of the signature words, so concurrent workers
+///   rarely contend. The minimizer never runs under a shard lock; a miss
+///   computes outside and inserts afterwards (duplicate concurrent
+///   computes of one key are benign: same value).
+/// * **Epoch-evicting** — unlike the per-run cache's insert-only bound,
+///   shards retire their oldest generation when full (see [`Shard`]), so a
+///   server that sees millions of distinct covers keeps a bounded, hot
+///   working set instead of freezing on the first `capacity` entries.
+/// * **Poison-safe** — a worker that panics while holding a shard lock (or
+///   the `cache.shard` chaos point) degrades lookups to honest misses; the
+///   poisoned shard's entries are discarded and the shard keeps serving.
+///
+/// With the `minimize-cache` feature disabled the maps compile out and
+/// every lookup is an honest miss, exactly like the per-run cache.
+#[derive(Debug)]
+pub struct GlobalMinimizeCache {
+    shards: Box<[Mutex<Shard>]>,
+    /// Per-shard live-generation capacity; total capacity is
+    /// `shards.len() * 2 * shard_capacity` (two generations).
+    shard_capacity: usize,
+    calls: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    poison_bypasses: AtomicU64,
+}
+
+impl Default for GlobalMinimizeCache {
+    fn default() -> Self {
+        GlobalMinimizeCache::new()
+    }
+}
+
+/// Default shard count of a [`GlobalMinimizeCache`].
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
+
+impl GlobalMinimizeCache {
+    /// A fresh global cache with [`DEFAULT_CACHE_CAPACITY`] total entries
+    /// over [`DEFAULT_CACHE_SHARDS`] shards.
+    pub fn new() -> GlobalMinimizeCache {
+        GlobalMinimizeCache::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// A fresh global cache bounded to roughly `capacity` total entries
+    /// (over [`DEFAULT_CACHE_SHARDS`] shards).
+    pub fn with_capacity(capacity: usize) -> GlobalMinimizeCache {
+        GlobalMinimizeCache::with_capacity_and_shards(capacity, DEFAULT_CACHE_SHARDS)
+    }
+
+    /// A fresh global cache bounded to roughly `capacity` total entries
+    /// distributed over `shards` lock-striped shards (both clamped to at
+    /// least 1; capacities below `2 * shards` round up so every shard can
+    /// hold at least one entry per generation).
+    pub fn with_capacity_and_shards(capacity: usize, shards: usize) -> GlobalMinimizeCache {
+        let shards = shards.max(1);
+        // Two generations per shard share the budget.
+        let shard_capacity = capacity.div_ceil(shards * 2).max(1);
+        GlobalMinimizeCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity,
+            calls: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            poison_bypasses: AtomicU64::new(0),
+        }
+    }
+
+    /// Point-in-time statistics over all shards. `hits + misses == calls`
+    /// by construction (`calls` is tallied on entry, the outcome after
+    /// classification) — the conservation law the soak test asserts.
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0usize;
+        let mut epoch_advances = 0u64;
+        for shard in self.shards.iter() {
+            if let Ok(s) = shard.lock() {
+                epoch_advances += s.epoch;
+                #[cfg(feature = "minimize-cache")]
+                {
+                    entries += s.live.len() + s.prev.len();
+                }
+                #[cfg(not(feature = "minimize-cache"))]
+                let _ = &s;
+            }
+        }
+        CacheStats {
+            calls: self.calls.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            poison_bypasses: self.poison_bypasses.load(Ordering::Relaxed),
+            entries,
+            epoch_advances,
+            shards: self.shards.len(),
+            capacity: self.shards.len() * 2 * self.shard_capacity,
+        }
+    }
+
+    /// Total memoized entries (0 with the `minimize-cache` feature off).
+    pub fn len(&self) -> usize {
+        self.stats().entries
+    }
+
+    /// Whether no entries are memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// FNV-1a over the signature words picks the shard, so the full hash
+    /// map (with its own hasher) never sees systematically colliding keys.
+    fn shard_index(&self, key: &[u64]) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &w in key {
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+
+    /// Recovers a shard guard from a poisoned mutex: the panicking holder
+    /// cannot have left a *logically* torn entry (entries move whole), but
+    /// fail safe anyway by discarding the shard's contents — correctness
+    /// never depends on what the cache remembers.
+    fn shard(&self, index: usize) -> std::sync::MutexGuard<'_, Shard> {
+        match self.shards[index].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.poison_bypasses.fetch_add(1, Ordering::Relaxed);
+                let mut guard = poisoned.into_inner();
+                *guard = Shard {
+                    epoch: guard.epoch.saturating_add(1),
+                    ..Shard::default()
+                };
+                self.shards[index].clear_poison();
+                guard
+            }
+        }
+    }
+
+    /// Looks `key` up; a hit in the previous generation is promoted into
+    /// the live one. Does not touch the hit/miss tallies — the calling
+    /// [`MinimizeCache::minimized_cube_count_shared`] owns the counter
+    /// discipline.
+    #[cfg_attr(not(feature = "minimize-cache"), allow(unused_variables))]
+    fn lookup(&self, key: &[u64]) -> Option<usize> {
+        #[cfg(feature = "minimize-cache")]
+        {
+            let index = self.shard_index(key);
+            let mut shard = self.shard(index);
+            if let Some(&n) = shard.live.get(key) {
+                return Some(n);
+            }
+            if let Some(n) = shard.prev.remove(key) {
+                // Promote: hot entries survive any number of epochs. The
+                // live generation may momentarily exceed its budget here;
+                // the next insert rebalances.
+                shard.live.insert(key.to_vec(), n);
+                return Some(n);
+            }
+            None
+        }
+        #[cfg(not(feature = "minimize-cache"))]
+        {
+            None
+        }
+    }
+
+    /// Inserts `key → value`, advancing the shard's epoch (retiring the
+    /// previous generation) when the live one is full.
+    #[cfg_attr(not(feature = "minimize-cache"), allow(unused_variables))]
+    fn insert(&self, key: &[u64], value: usize) {
+        #[cfg(feature = "minimize-cache")]
+        {
+            let index = self.shard_index(key);
+            let mut shard = self.shard(index);
+            if shard.live.len() >= self.shard_capacity {
+                shard.epoch = shard.epoch.saturating_add(1);
+                shard.prev = std::mem::take(&mut shard.live);
+            }
+            shard.live.insert(key.to_vec(), value);
         }
     }
 }
@@ -361,6 +649,170 @@ mod tests {
             assert_eq!(cache.hits(), 1);
             assert_eq!(cache.misses(), 2);
         }
+    }
+
+    /// Regression for the capacity *boundary*: the bound is `len() <
+    /// capacity`, so the insert that lands exactly at capacity must still
+    /// be memoized (off-by-one here silently wasted the last slot), and
+    /// the first insert past capacity must be the one refused.
+    #[test]
+    fn insert_at_exactly_capacity_is_memoized() {
+        let dom = Domain::binary(3);
+        let dc = Cover::empty(&dom);
+        let mut cache = MinimizeCache::with_capacity(2);
+        let covers: Vec<Cover> =
+            (0..3).map(|i| cover_from_codes(&dom, 3, &[i])).collect();
+        for on in &covers {
+            let _ = cache.minimized_cube_count(on, &dc, CoverEngine::Flat);
+        }
+        #[cfg(feature = "minimize-cache")]
+        {
+            assert_eq!(cache.len(), 2, "slot at exactly capacity is used");
+            // repeats: the two memoized covers hit, the refused third misses
+            for on in &covers {
+                let _ = cache.minimized_cube_count(on, &dc, CoverEngine::Flat);
+            }
+            assert_eq!(cache.hits(), 2);
+            assert_eq!(cache.misses(), 4);
+        }
+    }
+
+    #[test]
+    fn global_cache_shares_hits_across_runs() {
+        let dom = Domain::binary(3);
+        let on = cover_from_codes(&dom, 3, &[0, 5, 7]);
+        let dc = cover_from_codes(&dom, 3, &[1]);
+        let global = GlobalMinimizeCache::new();
+        let mut run_a = MinimizeCache::new();
+        let mut run_b = MinimizeCache::new();
+        let a = run_a.minimized_cube_count_shared(&global, &on, &dc, CoverEngine::Flat);
+        // a *different* per-run cache sees the global entry
+        let b = run_b.minimized_cube_count_shared(&global, &on, &dc, CoverEngine::Flat);
+        assert_eq!(a, b);
+        let uncached = MinimizeCache::new().minimized_cube_count_uncached(
+            &on,
+            &dc,
+            CoverEngine::Flat,
+        );
+        assert_eq!(a, uncached, "shared hits stay bit-identical to uncached");
+        let stats = global.stats();
+        assert_eq!(stats.hits + stats.misses, 2, "conservation across shards");
+        #[cfg(feature = "minimize-cache")]
+        {
+            assert_eq!(stats.hits, 1);
+            assert_eq!(stats.misses, 1);
+            assert_eq!(run_b.hits(), 1, "per-run tallies still meaningful");
+            assert_eq!(global.len(), 1);
+        }
+        #[cfg(not(feature = "minimize-cache"))]
+        {
+            assert_eq!(stats.hits, 0);
+            assert_eq!(stats.misses, 2);
+            assert!(global.is_empty());
+        }
+    }
+
+    #[cfg(feature = "minimize-cache")]
+    #[test]
+    fn global_cache_epoch_eviction_keeps_hot_entries() {
+        let dom = Domain::binary(4);
+        let dc = Cover::empty(&dom);
+        // One shard, one entry per generation: every insert past the first
+        // advances the epoch, yet a promoted (hot) entry keeps hitting.
+        let global = GlobalMinimizeCache::with_capacity_and_shards(2, 1);
+        let mut cache = MinimizeCache::new();
+        let hot = cover_from_codes(&dom, 4, &[0, 3]);
+        let _ = cache.minimized_cube_count_shared(&global, &hot, &dc, CoverEngine::Flat);
+        for i in 1..8u32 {
+            let cold = cover_from_codes(&dom, 4, &[i]);
+            let _ = cache.minimized_cube_count_shared(&global, &cold, &dc, CoverEngine::Flat);
+            // touching the hot cover promotes it out of the retiring generation
+            let _ = cache.minimized_cube_count_shared(&global, &hot, &dc, CoverEngine::Flat);
+        }
+        let stats = global.stats();
+        assert!(stats.epoch_advances > 0, "evictions actually happened");
+        // promote-on-hit may briefly push a live generation over its budget
+        // (rebalanced at the next insert), so the hard bound is 1.5x nominal
+        assert!(
+            stats.entries <= stats.capacity + stats.capacity / 2,
+            "bounded despite churn: {} entries vs capacity {}",
+            stats.entries,
+            stats.capacity
+        );
+        assert_eq!(stats.hits, 7, "hot cover survived every epoch");
+        assert_eq!(stats.hits + stats.misses, 15, "conservation holds");
+    }
+
+    #[test]
+    fn global_cache_chaos_shard_poison_degrades_to_miss() {
+        let dom = Domain::binary(3);
+        let on = cover_from_codes(&dom, 3, &[0, 5, 7]);
+        let dc = Cover::empty(&dom);
+        let global = GlobalMinimizeCache::new();
+        let mut cache = MinimizeCache::new();
+        let clean = cache.minimized_cube_count_shared(&global, &on, &dc, CoverEngine::Flat);
+        let poisoned = {
+            let _guard = chaos::arm("cache.shard", 0);
+            cache.minimized_cube_count_shared(&global, &on, &dc, CoverEngine::Flat)
+        };
+        assert_eq!(poisoned, clean, "poisoned shard changes work, not results");
+        let stats = global.stats();
+        assert_eq!(stats.poison_bypasses, 1);
+        assert_eq!(stats.hits + stats.misses, 2, "bypass still counted as a miss");
+        // disarmed again: the entry (inserted by the clean miss) hits
+        let after = cache.minimized_cube_count_shared(&global, &on, &dc, CoverEngine::Flat);
+        assert_eq!(after, clean);
+        #[cfg(feature = "minimize-cache")]
+        assert_eq!(global.stats().hits, 1);
+    }
+
+    #[cfg(feature = "minimize-cache")]
+    #[test]
+    fn global_cache_is_usable_concurrently() {
+        use std::sync::Arc;
+        let dom = Domain::binary(4);
+        let global = Arc::new(GlobalMinimizeCache::with_capacity_and_shards(64, 4));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let global = Arc::clone(&global);
+                let dom = dom.clone();
+                std::thread::spawn(move || {
+                    let dc = Cover::empty(&dom);
+                    let mut cache = MinimizeCache::new();
+                    let mut counts = Vec::new();
+                    for i in 0..8u32 {
+                        // every thread prices the same 8 covers
+                        let on = cover_from_codes(&dom, 4, &[i, (i + t) % 8]);
+                        counts.push(cache.minimized_cube_count_shared(
+                            &global,
+                            &on,
+                            &dc,
+                            CoverEngine::Flat,
+                        ));
+                    }
+                    counts
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            all.push(h.join().expect("worker thread panicked"));
+        }
+        // every thread's answers agree with a fresh uncached run
+        for (t, counts) in all.iter().enumerate() {
+            let dc = Cover::empty(&dom);
+            for (i, &n) in counts.iter().enumerate() {
+                let on = cover_from_codes(&dom, 4, &[i as u32, (i as u32 + t as u32) % 8]);
+                let fresh = MinimizeCache::new().minimized_cube_count_uncached(
+                    &on,
+                    &dc,
+                    CoverEngine::Flat,
+                );
+                assert_eq!(n, fresh);
+            }
+        }
+        let stats = global.stats();
+        assert_eq!(stats.hits + stats.misses, 32, "conservation across threads");
     }
 
     #[test]

@@ -55,6 +55,16 @@ pub const TRIGGER_POINTS: &[&str] = &[
     "nova.place",
     "nova.improve",
     "enc.eval",
+    // picola-logic: shared global cache (shard treated as poisoned — the
+    // lookup/insert is bypassed and the call degrades to an honest miss)
+    "cache.shard",
+    // picola-server: job lifecycle faults (worker panic mid-job, socket
+    // dropped mid-response, admission control reporting a full queue).
+    // These fire through `fail_point`/`should_fire` in the server crate,
+    // not through Budget::tick; tests/server_lifecycle.rs sweeps them.
+    "server.worker",
+    "server.socket",
+    "server.queue",
 ];
 
 struct Plan {

@@ -71,7 +71,10 @@ pub mod verify;
 
 pub use bitset::WordSet;
 pub use budget::{Budget, Completion, ExhaustReason};
-pub use cache::{CoverEngine, MinimizeCache, DEFAULT_CACHE_CAPACITY};
+pub use cache::{
+    CacheStats, CoverEngine, GlobalMinimizeCache, MinimizeCache, DEFAULT_CACHE_CAPACITY,
+    DEFAULT_CACHE_SHARDS,
+};
 pub use cover::Cover;
 pub use cube::Cube;
 pub use domain::{Domain, DomainBuilder, Var, VarKind};

@@ -44,9 +44,21 @@ pub fn parse_mv_pla_with(
     if let Some(msg) = chaos::fail_point("mvpla.parse") {
         return Err(ParsePlaError::new(0, &msg));
     }
+    if text
+        .lines()
+        .all(|l| l.split('#').next().unwrap_or("").trim().is_empty())
+    {
+        // A zero-length frame is what a dropped socket delivers; name it
+        // instead of the misleading "missing .mv header".
+        return Err(ParsePlaError::new(
+            0,
+            "empty input: zero-length or whitespace-only multi-valued PLA",
+        ));
+    }
     let mut sizes: Option<Vec<usize>> = None;
     let mut num_binary = 0usize;
     let mut cube_lines: Vec<(usize, String)> = Vec::new();
+    let mut terminated = false;
 
     for (lineno, raw) in text.lines().enumerate() {
         let lineno = lineno + 1;
@@ -131,7 +143,10 @@ pub fn parse_mv_pla_with(
                     sizes = Some(mv_sizes.to_vec());
                 }
                 "p" | "ilb" | "ob" | "type" => { /* informational */ }
-                "e" | "end" => break,
+                "e" | "end" => {
+                    terminated = true;
+                    break;
+                }
                 other => {
                     return Err(ParsePlaError::new(
                         lineno,
@@ -150,6 +165,14 @@ pub fn parse_mv_pla_with(
         }
     }
 
+    if !terminated && !text.ends_with('\n') {
+        // No `.e` terminator and the final line is cut short: the frame
+        // was truncated in transit (dropped socket, partial read).
+        return Err(ParsePlaError::new(
+            text.lines().count(),
+            "truncated input: final line is unterminated and no .e terminator was seen",
+        ));
+    }
     let mv_sizes = sizes.ok_or_else(|| ParsePlaError::new(0, "missing .mv header"))?;
     if mv_sizes.is_empty() {
         return Err(ParsePlaError::new(0, "need at least one multi-valued variable (the output)"));
@@ -403,5 +426,27 @@ mod tests {
         let _guard = chaos::arm("mvpla.parse", 0);
         let err = parse_mv_pla(SAMPLE).unwrap_err();
         assert!(err.to_string().contains("injected"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_named_explicitly() {
+        for text in ["", " \n", "# nothing here\n"] {
+            let err = parse_mv_pla(text).unwrap_err();
+            assert!(err.to_string().contains("empty input"), "{text:?}: {err}");
+            assert_eq!(err.line(), 0);
+        }
+    }
+
+    #[test]
+    fn truncated_frame_rejected_with_line_number() {
+        // as if the socket dropped mid-line: no trailing newline, no .e
+        let text = ".mv 4 2 4 3\n1- | 1100 | 100\n-0 | 00";
+        let err = parse_mv_pla(text).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        assert_eq!(err.line(), 3);
+        // the same bytes with the frame completed parse fine
+        assert!(parse_mv_pla(".mv 4 2 4 3\n1- | 1100 | 100\n-0 | 0011 | 010\n").is_ok());
+        // an unterminated line is fine when .e closed the frame first
+        assert!(parse_mv_pla(".mv 4 2 4 3\n1- | 1100 | 100\n.e").is_ok());
     }
 }

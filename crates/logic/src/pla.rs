@@ -102,12 +102,21 @@ pub fn parse_pla_with(text: &str, limits: &ParseLimits) -> Result<Pla, ParsePlaE
     if let Some(msg) = chaos::fail_point("pla.parse") {
         return Err(ParsePlaError::new(0, &msg));
     }
+    if text
+        .lines()
+        .all(|l| l.split('#').next().unwrap_or("").trim().is_empty())
+    {
+        // A zero-length frame is what a dropped socket delivers; name it
+        // instead of the misleading "missing .i directive".
+        return Err(ParsePlaError::new(0, "empty input: zero-length or whitespace-only PLA"));
+    }
     let mut ni: Option<usize> = None;
     let mut no: Option<usize> = None;
     let mut ty = PlaType::Fd;
     let mut input_labels = Vec::new();
     let mut output_labels = Vec::new();
     let mut cube_lines: Vec<(usize, String)> = Vec::new();
+    let mut terminated = false;
 
     for (lineno, raw) in text.lines().enumerate() {
         let err = |msg: &str| ParsePlaError::new(lineno + 1, msg);
@@ -170,7 +179,10 @@ pub fn parse_pla_with(text: &str, limits: &ParseLimits) -> Result<Pla, ParsePlaE
                         }
                     }
                 }
-                "e" | "end" => break,
+                "e" | "end" => {
+                    terminated = true;
+                    break;
+                }
                 _ => return Err(err(&format!("unknown directive .{key}"))),
             }
         } else {
@@ -184,6 +196,14 @@ pub fn parse_pla_with(text: &str, limits: &ParseLimits) -> Result<Pla, ParsePlaE
         }
     }
 
+    if !terminated && !text.ends_with('\n') {
+        // No `.e` terminator and the final line is cut short: the frame
+        // was truncated in transit (dropped socket, partial read).
+        return Err(ParsePlaError::new(
+            text.lines().count(),
+            "truncated input: final line is unterminated and no .e terminator was seen",
+        ));
+    }
     let ni = ni.ok_or_else(|| ParsePlaError::new(0, "missing .i directive"))?;
     let no = no.ok_or_else(|| ParsePlaError::new(0, "missing .o directive"))?;
     let total_parts = 2 * ni + no.max(1);
@@ -423,5 +443,27 @@ mod tests {
         let _guard = chaos::arm("pla.parse", 0);
         let err = parse_pla(SAMPLE).unwrap_err();
         assert!(err.to_string().contains("injected"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_named_explicitly() {
+        for text in ["", "   \n\t\n", "# only a comment\n"] {
+            let err = parse_pla(text).unwrap_err();
+            assert!(err.to_string().contains("empty input"), "{text:?}: {err}");
+            assert_eq!(err.line(), 0);
+        }
+    }
+
+    #[test]
+    fn truncated_frame_rejected_with_line_number() {
+        // as if the socket dropped mid-line: no trailing newline, no .e
+        let text = ".i 3\n.o 2\n110 01\n101 0";
+        let err = parse_pla(text).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        assert_eq!(err.line(), 4);
+        // the same bytes with the frame completed parse fine
+        assert!(parse_pla(".i 3\n.o 2\n110 01\n101 01\n").is_ok());
+        // an unterminated line is fine when .e closed the frame first
+        assert!(parse_pla(".i 3\n.o 2\n110 01\n.e").is_ok());
     }
 }

@@ -85,6 +85,40 @@ proptest! {
     }
 
     #[test]
+    fn mid_line_truncation_is_always_rejected(terms in 1usize..20, cut in 1usize..200) {
+        // A frame cut strictly mid-line (as a dropped socket delivers it)
+        // must never parse as a silently shorter PLA. Cuts landing on a
+        // newline or right after `.e` are legitimate shorter documents.
+        let full = valid_pla(terms);
+        let cut = cut.min(full.len() - 1);
+        let text = &full[..cut];
+        if !text.ends_with('\n') && !text.ends_with(".e") {
+            let err = parse_pla(text).unwrap_err();
+            prop_assert!(err.line() <= line_count(text) + 1);
+        }
+    }
+
+    #[test]
+    fn mid_line_truncated_mv_pla_is_always_rejected(terms in 1usize..20, cut in 1usize..200) {
+        let full = valid_mv_pla(terms);
+        let cut = cut.min(full.len() - 1);
+        let text = &full[..cut];
+        if !text.ends_with('\n') && !text.ends_with(".e") {
+            let err = parse_mv_pla(text).unwrap_err();
+            prop_assert!(err.line() <= line_count(text) + 1);
+        }
+    }
+
+    #[test]
+    fn empty_and_blank_inputs_are_rejected(pad in 0usize..8) {
+        let text = "\n".repeat(pad);
+        let err = parse_pla(&text).unwrap_err();
+        prop_assert_eq!(err.line(), 0);
+        let err = parse_mv_pla(&text).unwrap_err();
+        prop_assert_eq!(err.line(), 0);
+    }
+
+    #[test]
     fn corrupted_pla_never_panics(terms in 1usize..20, pos in 0usize..200, byte in 0u8..128) {
         let mut full = valid_pla(terms).into_bytes();
         if !full.is_empty() {

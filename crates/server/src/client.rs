@@ -1,0 +1,309 @@
+//! A retrying client for the picola-server wire protocol.
+//!
+//! The client owns the retry classification on its side of the wire:
+//! transport failures (connect/read/write errors, garbled frames, a
+//! connection dropped mid-response) and `rejected`+`retryable` terminal
+//! responses are **transient** — retried with deterministic exponential
+//! backoff, honoring the server's `retry_after_ms` hint when present.
+//! `error` terminal responses (parse, invalid input, internal) are
+//! **permanent** — returned immediately; resending identical bytes cannot
+//! succeed.
+
+use crate::protocol::{JobRequest, JobResponse, Status};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Why a submit failed at the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// A transport-level failure (connect, read, write, or a response
+    /// deadline missed). Transient: a retry may succeed.
+    Io(String),
+    /// The server sent a frame the client cannot parse. Treated as
+    /// transient — a garbled frame says nothing about the job itself.
+    Protocol(String),
+    /// Every attempt was load-shed or lost; carries the last transient
+    /// failure observed for diagnosis.
+    RetriesExhausted(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(m) => write!(f, "i/o error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::RetriesExhausted(m) => write!(f, "retries exhausted: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One submitted job's full answer: streamed trace lines plus the
+/// terminal response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitOutcome {
+    /// Streamed `trace` lines, in arrival order.
+    pub traces: Vec<JobResponse>,
+    /// The terminal line (`ok`, `degraded`, `error`, or `rejected`).
+    pub response: JobResponse,
+}
+
+impl SubmitOutcome {
+    /// Whether the job produced a usable result (`ok` or `degraded`).
+    pub fn is_answered(&self) -> bool {
+        matches!(self.response.status, Some(Status::Ok | Status::Degraded))
+    }
+}
+
+/// Deterministic exponential-backoff schedule for transient failures.
+/// No jitter: retries must be reproducible in tests and chaos sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 = no retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    /// The server's `retry_after_ms` hint overrides the computed delay
+    /// when larger.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `retry` (0-based), before applying
+    /// any server hint.
+    fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.min(16);
+        (self.base_backoff * factor).min(self.max_backoff)
+    }
+}
+
+/// A client connection. Reconnects lazily after transport failures, so a
+/// single [`Client`] survives the server dropping sockets under chaos.
+pub struct Client {
+    addr: String,
+    stream: Option<BufReader<TcpStream>>,
+    /// Ceiling on the wait for one job's terminal response.
+    response_timeout: Duration,
+}
+
+impl Client {
+    /// Creates a client for `addr` (e.g. `"127.0.0.1:4815"`). Connection
+    /// is lazy: the first submit dials.
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            stream: None,
+            response_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Adjusts how long [`Client::submit`] waits for a terminal response
+    /// before declaring the attempt lost.
+    #[must_use]
+    pub fn response_timeout(mut self, timeout: Duration) -> Client {
+        self.response_timeout = timeout;
+        self
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut BufReader<TcpStream>, ClientError> {
+        if self.stream.is_none() {
+            let stream =
+                TcpStream::connect(&self.addr).map_err(|e| ClientError::Io(e.to_string()))?;
+            stream
+                .set_read_timeout(Some(Duration::from_millis(50)))
+                .map_err(|e| ClientError::Io(e.to_string()))?;
+            let _ = stream.set_nodelay(true);
+            self.stream = Some(BufReader::new(stream));
+        }
+        // The branch above guarantees presence; avoid unwrap under the
+        // workspace lint by re-matching.
+        match self.stream.as_mut() {
+            Some(s) => Ok(s),
+            None => Err(ClientError::Io("connection vanished".to_owned())),
+        }
+    }
+
+    /// Drops the connection so the next submit re-dials.
+    fn disconnect(&mut self) {
+        self.stream = None;
+    }
+
+    /// Submits one request and reads until its terminal response. Any
+    /// transport failure tears down the connection (the next call
+    /// re-dials) and comes back as a transient [`ClientError`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on connect/read/write failures or a missed
+    /// response deadline; [`ClientError::Protocol`] on unparseable frames.
+    pub fn submit(&mut self, request: &JobRequest) -> Result<SubmitOutcome, ClientError> {
+        let deadline = Instant::now() + self.response_timeout;
+        let result = self.submit_once(request, deadline);
+        if result.is_err() {
+            self.disconnect();
+        }
+        result
+    }
+
+    fn submit_once(
+        &mut self,
+        request: &JobRequest,
+        deadline: Instant,
+    ) -> Result<SubmitOutcome, ClientError> {
+        let want_id = request.id.clone();
+        let mut frame = request.to_frame();
+        frame.push('\n');
+        let stream = self.ensure_connected()?;
+        stream
+            .get_mut()
+            .write_all(frame.as_bytes())
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        let mut traces = Vec::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match stream.read_line(&mut line) {
+                Ok(0) => {
+                    return Err(ClientError::Io(
+                        "connection closed before a terminal response".to_owned(),
+                    ))
+                }
+                Ok(_) => {
+                    let text = line.trim_end_matches(['\r', '\n']);
+                    if text.is_empty() {
+                        continue;
+                    }
+                    let resp =
+                        JobResponse::from_frame(text).map_err(ClientError::Protocol)?;
+                    if resp.id != want_id {
+                        // Not ours (shouldn't happen on a private
+                        // connection); skip rather than fail the job.
+                        continue;
+                    }
+                    if resp.is_terminal() {
+                        return Ok(SubmitOutcome {
+                            traces,
+                            response: resp,
+                        });
+                    }
+                    traces.push(resp);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if Instant::now() >= deadline {
+                        return Err(ClientError::Io(
+                            "timed out waiting for a terminal response".to_owned(),
+                        ));
+                    }
+                }
+                Err(e) => return Err(ClientError::Io(e.to_string())),
+            }
+        }
+    }
+
+    /// Submits with retry: transient failures (transport errors, garbled
+    /// frames, retryable rejections) back off exponentially — honoring the
+    /// server's `retry_after_ms` hint — and try again; permanent failures
+    /// (`error` responses) return on the first occurrence.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::RetriesExhausted`] when every attempt failed
+    /// transiently; the message names the last failure.
+    pub fn submit_with_retry(
+        &mut self,
+        request: &JobRequest,
+        policy: &RetryPolicy,
+    ) -> Result<SubmitOutcome, ClientError> {
+        let attempts = policy.max_attempts.max(1);
+        let mut last_failure = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(policy.backoff(attempt - 1));
+            }
+            match self.submit(request) {
+                Ok(outcome) => {
+                    let transient_rejection = outcome.response.status == Some(Status::Rejected)
+                        && outcome.response.retryable;
+                    if !transient_rejection {
+                        return Ok(outcome);
+                    }
+                    // Prefer the server's back-off hint when it is longer
+                    // than our schedule — it knows its own queue.
+                    if let Some(hint) = outcome.response.retry_after_ms {
+                        let hint = Duration::from_millis(hint.min(5_000));
+                        if attempt + 1 < attempts && hint > policy.backoff(attempt) {
+                            std::thread::sleep(hint.saturating_sub(policy.backoff(attempt)));
+                        }
+                    }
+                    last_failure = outcome
+                        .response
+                        .body
+                        .get_str("error")
+                        .unwrap_or("rejected")
+                        .to_owned();
+                }
+                Err(ClientError::Io(m) | ClientError::Protocol(m)) => {
+                    last_failure = m;
+                }
+                Err(e @ ClientError::RetriesExhausted(_)) => return Err(e),
+            }
+        }
+        Err(ClientError::RetriesExhausted(last_failure))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(60),
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1), Duration::from_millis(20));
+        assert_eq!(p.backoff(2), Duration::from_millis(40));
+        assert_eq!(p.backoff(3), Duration::from_millis(60));
+        assert_eq!(p.backoff(10), Duration::from_millis(60));
+    }
+
+    #[test]
+    fn connect_failure_is_transient_io() {
+        // Port 1 on localhost: nothing listens there.
+        let mut c = Client::new("127.0.0.1:1").response_timeout(Duration::from_millis(200));
+        let req = JobRequest::new("x", crate::protocol::JobKind::Ping, "");
+        match c.submit(&req) {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+        };
+        match c.submit_with_retry(&req, &policy) {
+            Err(ClientError::RetriesExhausted(_)) => {}
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+}

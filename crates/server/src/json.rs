@@ -1,0 +1,355 @@
+//! A minimal, dependency-free JSON layer for the wire protocol.
+//!
+//! The protocol only ever exchanges **flat objects** with string, unsigned
+//! integer, and boolean values — one object per newline-terminated frame —
+//! so a full JSON tree is deliberately out of scope. The parser is strict
+//! about what it accepts (a single flat object, nothing trailing) and the
+//! writer escapes everything it must, so any payload byte sequence —
+//! including the newlines inside a KISS2 file — survives the newline
+//! framing.
+
+use std::fmt::Write as _;
+
+/// A value of a flat protocol object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A JSON string.
+    Str(String),
+    /// A non-negative JSON integer (the protocol has no fractions and no
+    /// negative quantities).
+    UInt(u64),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer content, if this is an integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// A flat JSON object in field order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Object {
+    fields: Vec<(String, Value)>,
+}
+
+impl Object {
+    /// An empty object.
+    pub fn new() -> Object {
+        Object::default()
+    }
+
+    /// Appends a string field.
+    pub fn str(mut self, key: &str, value: impl Into<String>) -> Object {
+        self.fields.push((key.to_owned(), Value::Str(value.into())));
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn uint(mut self, key: &str, value: u64) -> Object {
+        self.fields.push((key.to_owned(), Value::UInt(value)));
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Object {
+        self.fields.push((key.to_owned(), Value::Bool(value)));
+        self
+    }
+
+    /// Iterates fields in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// First value under `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// String field accessor.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Value::as_str)
+    }
+
+    /// Integer field accessor.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        self.get(key).and_then(Value::as_u64)
+    }
+
+    /// Boolean field accessor.
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        self.get(key).and_then(Value::as_bool)
+    }
+
+    /// Serializes to a single-line JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push('{');
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, k);
+            out.push(':');
+            match v {
+                Value::Str(s) => push_json_string(&mut out, s),
+                Value::UInt(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one flat JSON object from `text` (surrounding whitespace allowed,
+/// nothing else trailing).
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax problem; the server
+/// maps it to a permanent protocol error (retrying identical bytes cannot
+/// succeed).
+pub fn parse_object(text: &str) -> Result<Object, String> {
+    let mut p = Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some('}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(':')?;
+            p.skip_ws();
+            let value = p.parse_value()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' after a field, found {other:?}"
+                    ))
+                }
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err("trailing bytes after the object".to_owned());
+    }
+    Ok(Object { fields })
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!("expected {want:?}, found {other:?}")),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some('"') => self.parse_string().map(Value::Str),
+            Some('t') => self.parse_literal("true").map(|()| Value::Bool(true)),
+            Some('f') => self.parse_literal("false").map(|()| Value::Bool(false)),
+            Some(c) if c.is_ascii_digit() => self.parse_uint().map(Value::UInt),
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str) -> Result<(), String> {
+        for want in lit.chars() {
+            if self.next() != Some(want) {
+                return Err(format!("malformed literal, expected {lit:?}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_uint(&mut self) -> Result<u64, String> {
+        let mut n: u64 = 0;
+        let mut any = false;
+        while let Some(c) = self.peek() {
+            let Some(d) = c.to_digit(10) else { break };
+            self.pos += 1;
+            any = true;
+            n = n
+                .checked_mul(10)
+                .and_then(|n| n.checked_add(u64::from(d)))
+                .ok_or_else(|| "integer overflows u64".to_owned())?;
+        }
+        if !any {
+            return Err("expected digits".to_owned());
+        }
+        Ok(n)
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".to_owned()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or_else(|| "bad \\u escape".to_owned())?;
+                            code = code * 16 + d;
+                        }
+                        // Surrogate pairs are not needed by the protocol;
+                        // map unpaired surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+    use super::*;
+
+    #[test]
+    fn roundtrips_payloads_with_newlines_and_quotes() {
+        let payload = ".i 2\n.o 1\n# \"quoted\" \\ backslash\n\t tab\n.e\n";
+        let obj = Object::new()
+            .str("id", "job-1")
+            .str("payload", payload)
+            .uint("budget_ms", 250)
+            .bool("want_trace", true);
+        let line = obj.to_json();
+        assert!(!line.contains('\n'), "frames must stay single-line");
+        let back = parse_object(&line).unwrap();
+        assert_eq!(back.get_str("payload"), Some(payload));
+        assert_eq!(back.get_u64("budget_ms"), Some(250));
+        assert_eq!(back.get_bool("want_trace"), Some(true));
+        assert_eq!(back, obj);
+    }
+
+    #[test]
+    fn rejects_malformed_frames() {
+        for bad in [
+            "",
+            "{",
+            "{}x",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":\"unterminated}",
+            "{\"a\":-1}",
+            "{\"a\":1.5}",
+            "{\"a\":99999999999999999999999}",
+            "[1,2]",
+        ] {
+            assert!(parse_object(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn accepts_whitespace_and_empty_objects() {
+        assert_eq!(parse_object(" {} ").unwrap(), Object::new());
+        let o = parse_object("{ \"k\" : \"v\" , \"n\" : 7 }").unwrap();
+        assert_eq!(o.get_str("k"), Some("v"));
+        assert_eq!(o.get_u64("n"), Some(7));
+    }
+
+    #[test]
+    fn control_chars_escape_as_unicode() {
+        let obj = Object::new().str("s", "\u{1}\u{1f}");
+        let line = obj.to_json();
+        assert!(line.contains("\\u0001") && line.contains("\\u001f"), "{line}");
+        assert_eq!(parse_object(&line).unwrap().get_str("s"), Some("\u{1}\u{1f}"));
+    }
+}

@@ -1,0 +1,373 @@
+//! The wire protocol: newline-framed JSON job requests and streamed
+//! responses.
+//!
+//! One request is one line; the server answers with zero or more `trace`
+//! lines followed by exactly one terminal line (`ok`, `degraded`, `error`,
+//! or `rejected`), so a client reads until it sees a terminal status for
+//! its job id. Response `code`s reuse the CLI exit-code contract (0
+//! success/degraded, 3 I/O, 4 parse, 5 invalid input, 70 internal), with
+//! one addition: [`CODE_TRANSIENT`] (75, mirroring BSD `EX_TEMPFAIL`) for
+//! load-shed rejections that a client should retry after a delay.
+//!
+//! Retry classification is part of the protocol, not client guesswork:
+//! every terminal failure carries `retryable`, and retryable responses may
+//! carry `retry_after_ms`. Parse and validity errors are permanent —
+//! resending identical bytes cannot succeed; queue-full and drain
+//! rejections are transient.
+
+use crate::json::Object;
+
+/// Response/exit code: success (also used for degraded results — a
+/// degraded answer is an answer).
+pub const CODE_OK: u64 = 0;
+/// Response/exit code: I/O failure.
+pub const CODE_IO: u64 = 3;
+/// Response/exit code: parse failure (permanent).
+pub const CODE_PARSE: u64 = 4;
+/// Response/exit code: invalid input (permanent).
+pub const CODE_INVALID: u64 = 5;
+/// Response/exit code: internal error / worker panic.
+pub const CODE_INTERNAL: u64 = 70;
+/// Response/exit code: transient rejection — retry after a delay
+/// (admission control, drain).
+pub const CODE_TRANSIENT: u64 = 75;
+
+/// What kind of work a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Encode the states of a KISS2 machine (payload = KISS2 text).
+    EncodeKiss,
+    /// Encode symbols of a multi-valued PLA input-encoding problem
+    /// (payload = `.mv` PLA text).
+    EncodeMvPla,
+    /// Liveness probe; answered inline, never queued.
+    Ping,
+    /// Server + cache statistics; answered inline, never queued.
+    Stats,
+    /// Ask the server to drain and shut down.
+    Shutdown,
+}
+
+impl JobKind {
+    /// Wire name of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::EncodeKiss => "encode_kiss",
+            JobKind::EncodeMvPla => "encode_mvpla",
+            JobKind::Ping => "ping",
+            JobKind::Stats => "stats",
+            JobKind::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(name: &str) -> Option<JobKind> {
+        match name {
+            "encode_kiss" => Some(JobKind::EncodeKiss),
+            "encode_mvpla" => Some(JobKind::EncodeMvPla),
+            "ping" => Some(JobKind::Ping),
+            "stats" => Some(JobKind::Stats),
+            "shutdown" => Some(JobKind::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed job request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRequest {
+    /// Client-chosen id echoed on every response line.
+    pub id: String,
+    /// What to do.
+    pub kind: JobKind,
+    /// The input text (KISS2 / MV-PLA) for encode kinds; empty otherwise.
+    pub payload: String,
+    /// Per-job wall-clock budget in milliseconds (`None` = server default).
+    pub budget_ms: Option<u64>,
+    /// Per-job work-unit budget (`None` = unlimited).
+    pub budget_work: Option<u64>,
+    /// Whether to stream a `trace` line (work/span summary) before the
+    /// result.
+    pub want_trace: bool,
+}
+
+impl JobRequest {
+    /// A minimal request of the given kind.
+    pub fn new(id: impl Into<String>, kind: JobKind, payload: impl Into<String>) -> JobRequest {
+        JobRequest {
+            id: id.into(),
+            kind,
+            payload: payload.into(),
+            budget_ms: None,
+            budget_work: None,
+            want_trace: false,
+        }
+    }
+
+    /// Serializes to one JSON frame (no trailing newline).
+    pub fn to_frame(&self) -> String {
+        let mut o = Object::new()
+            .str("id", self.id.as_str())
+            .str("kind", self.kind.name());
+        if !self.payload.is_empty() {
+            o = o.str("payload", self.payload.as_str());
+        }
+        if let Some(ms) = self.budget_ms {
+            o = o.uint("budget_ms", ms);
+        }
+        if let Some(w) = self.budget_work {
+            o = o.uint("budget_work", w);
+        }
+        if self.want_trace {
+            o = o.bool("want_trace", true);
+        }
+        o.to_json()
+    }
+
+    /// Parses a request frame.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first problem (malformed JSON, missing id,
+    /// unknown kind). All such errors are permanent.
+    pub fn from_frame(line: &str) -> Result<JobRequest, String> {
+        let o = crate::json::parse_object(line)?;
+        let id = o
+            .get_str("id")
+            .filter(|s| !s.is_empty())
+            .ok_or("missing id")?
+            .to_owned();
+        let kind = o
+            .get_str("kind")
+            .ok_or("missing kind")
+            .and_then(|k| JobKind::from_name(k).ok_or("unknown kind"))?;
+        Ok(JobRequest {
+            id,
+            kind,
+            payload: o.get_str("payload").unwrap_or("").to_owned(),
+            budget_ms: o.get_u64("budget_ms"),
+            budget_work: o.get_u64("budget_work"),
+            want_trace: o.get_bool("want_trace").unwrap_or(false),
+        })
+    }
+}
+
+/// Terminal status of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Completed within budget.
+    Ok,
+    /// Budget ran out; the response carries the best-so-far result.
+    Degraded,
+    /// The job failed permanently (or internally).
+    Error,
+    /// The job was load-shed before running; retry after the hinted delay.
+    Rejected,
+}
+
+impl Status {
+    /// Wire name of the status.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Degraded => "degraded",
+            Status::Error => "error",
+            Status::Rejected => "rejected",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(name: &str) -> Option<Status> {
+        match name {
+            "ok" => Some(Status::Ok),
+            "degraded" => Some(Status::Degraded),
+            "error" => Some(Status::Error),
+            "rejected" => Some(Status::Rejected),
+            _ => None,
+        }
+    }
+}
+
+/// One response line, either a streamed `trace` record or the terminal
+/// answer for a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobResponse {
+    /// The request id this line answers.
+    pub id: String,
+    /// `None` for streamed trace lines; `Some` on the terminal line.
+    pub status: Option<Status>,
+    /// Exit-code-contract code (terminal lines only).
+    pub code: u64,
+    /// Whether resubmitting the same request may succeed.
+    pub retryable: bool,
+    /// Suggested client back-off before a retry, when `retryable`.
+    pub retry_after_ms: Option<u64>,
+    /// Everything else (result fields, error text, trace numbers) as the
+    /// raw object for forward compatibility.
+    pub body: Object,
+}
+
+impl JobResponse {
+    /// Builds a terminal response.
+    pub fn terminal(id: impl Into<String>, status: Status, code: u64) -> JobResponse {
+        JobResponse {
+            id: id.into(),
+            status: Some(status),
+            code,
+            retryable: false,
+            retry_after_ms: None,
+            body: Object::new(),
+        }
+    }
+
+    /// Builds a streamed (non-terminal) trace line.
+    pub fn trace(id: impl Into<String>, body: Object) -> JobResponse {
+        JobResponse {
+            id: id.into(),
+            status: None,
+            code: CODE_OK,
+            retryable: false,
+            retry_after_ms: None,
+            body,
+        }
+    }
+
+    /// Marks the response retryable with a back-off hint.
+    #[must_use]
+    pub fn retry_after(mut self, ms: u64) -> JobResponse {
+        self.retryable = true;
+        self.retry_after_ms = Some(ms);
+        self
+    }
+
+    /// Attaches body fields.
+    #[must_use]
+    pub fn with_body(mut self, body: Object) -> JobResponse {
+        self.body = body;
+        self
+    }
+
+    /// Whether this line terminates its job.
+    pub fn is_terminal(&self) -> bool {
+        self.status.is_some()
+    }
+
+    /// Serializes to one JSON frame (no trailing newline).
+    pub fn to_frame(&self) -> String {
+        let mut o = Object::new().str("id", self.id.as_str());
+        match self.status {
+            Some(s) => {
+                o = o.str("status", s.name()).uint("code", self.code);
+                if self.retryable {
+                    o = o.bool("retryable", true);
+                }
+                if let Some(ms) = self.retry_after_ms {
+                    o = o.uint("retry_after_ms", ms);
+                }
+            }
+            None => o = o.str("stream", "trace"),
+        }
+        for (k, v) in self.body.iter() {
+            o = match v {
+                crate::json::Value::Str(s) => o.str(k, s.as_str()),
+                crate::json::Value::UInt(n) => o.uint(k, *n),
+                crate::json::Value::Bool(b) => o.bool(k, *b),
+            };
+        }
+        o.to_json()
+    }
+
+    /// Parses a response frame.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first problem; the client treats it as a
+    /// transient I/O-level failure (a garbled frame says nothing about the
+    /// job itself).
+    pub fn from_frame(line: &str) -> Result<JobResponse, String> {
+        let o = crate::json::parse_object(line)?;
+        let id = o.get_str("id").ok_or("missing id")?.to_owned();
+        let status = match o.get_str("status") {
+            Some(s) => Some(Status::from_name(s).ok_or("unknown status")?),
+            None => {
+                if o.get_str("stream") != Some("trace") {
+                    return Err("frame is neither terminal nor a trace stream".to_owned());
+                }
+                None
+            }
+        };
+        let mut body = Object::new();
+        for (k, v) in o.iter() {
+            if matches!(
+                k,
+                "id" | "status" | "code" | "retryable" | "retry_after_ms" | "stream"
+            ) {
+                continue;
+            }
+            body = match v {
+                crate::json::Value::Str(s) => body.str(k, s.as_str()),
+                crate::json::Value::UInt(n) => body.uint(k, *n),
+                crate::json::Value::Bool(b) => body.bool(k, *b),
+            };
+        }
+        Ok(JobResponse {
+            id,
+            status,
+            code: o.get_u64("code").unwrap_or(CODE_OK),
+            retryable: o.get_bool("retryable").unwrap_or(false),
+            retry_after_ms: o.get_u64("retry_after_ms"),
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let mut req = JobRequest::new("a1", JobKind::EncodeKiss, ".i 1\n.o 1\n0 a b 0\n.e\n");
+        req.budget_ms = Some(250);
+        req.want_trace = true;
+        let frame = req.to_frame();
+        assert!(!frame.contains('\n'));
+        assert_eq!(JobRequest::from_frame(&frame).unwrap(), req);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resp = JobResponse::terminal("a1", Status::Rejected, CODE_TRANSIENT)
+            .retry_after(40)
+            .with_body(Object::new().str("error", "queue full"));
+        let frame = resp.to_frame();
+        let back = JobResponse::from_frame(&frame).unwrap();
+        assert_eq!(back, resp);
+        assert!(back.retryable);
+        assert_eq!(back.retry_after_ms, Some(40));
+        assert_eq!(back.body.get_str("error"), Some("queue full"));
+    }
+
+    #[test]
+    fn trace_lines_are_not_terminal() {
+        let t = JobResponse::trace("a1", Object::new().uint("work", 123));
+        let back = JobResponse::from_frame(&t.to_frame()).unwrap();
+        assert!(!back.is_terminal());
+        assert_eq!(back.body.get_u64("work"), Some(123));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            "",
+            "{}",
+            "{\"id\":\"\"}",
+            "{\"id\":\"x\"}",
+            "{\"id\":\"x\",\"kind\":\"nope\"}",
+            "not json",
+        ] {
+            assert!(JobRequest::from_frame(bad).is_err(), "{bad:?}");
+        }
+    }
+}

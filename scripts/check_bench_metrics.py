@@ -19,6 +19,13 @@ When an instance carries `eval_ab` / `enc_ab` blocks (schema v4+), their
 bit-identical) and every leg must report a positive `work` alongside its
 `wall_ms` — the wall-per-work fields the PR 5 acceptance criteria gate on.
 
+When the report carries a `serve_ab` block per instance and a `serve`
+totals block (schema v5+), the warm leg must be bit-identical to the cold
+leg (`matches` per instance, `mismatches == 0` in totals) and the shared
+global cache must actually serve the warm run: `totals.serve.warm_hit_rate`
+must be at least 0.9. A daemon whose cache warmth does not carry across
+requests fails here, not in production.
+
 With `--baseline`, every (instance, encoder) pair present in both reports
 is compared on `work` — the deterministic obs counter total, immune to
 machine noise unlike wall time. The check fails if any pair's work grew by
@@ -107,6 +114,35 @@ def check_ab(instances):
     return None
 
 
+def check_serve(report):
+    """Schema v5 gate: the warm (shared global cache) leg must be
+    bit-identical to the cold leg and must actually hit the cache."""
+    instances = report.get("instances", [])
+    seen = False
+    for inst in instances:
+        name = inst.get("name", "?")
+        ab = inst.get("serve_ab")
+        if ab is None:
+            continue
+        seen = True
+        if not ab.get("matches"):
+            return f"{name}: serve_ab warm leg diverged from cold leg"
+        if ab.get("warm_hits", 0) + ab.get("warm_misses", 0) <= 0:
+            return f"{name}: serve_ab warm leg recorded no minimize calls"
+    if not seen:
+        return None
+    totals = report.get("totals", {}).get("serve")
+    if not isinstance(totals, dict):
+        return "serve_ab instances present but no totals.serve block"
+    if totals.get("mismatches", 1) != 0:
+        return f"totals.serve reports {totals.get('mismatches')} mismatches"
+    rate = totals.get("warm_hit_rate", 0.0)
+    if rate < 0.9:
+        return (f"totals.serve.warm_hit_rate {rate:.3f} < 0.90 — the global "
+                f"cache is not warming across runs")
+    return None
+
+
 def work_map(report):
     out = {}
     for inst in report.get("instances", []):
@@ -156,6 +192,10 @@ def main() -> int:
         if err:
             print(f"check_bench_metrics: {err}", file=sys.stderr)
             return 1
+    err = check_serve(report)
+    if err:
+        print(f"check_bench_metrics: {err}", file=sys.stderr)
+        return 1
 
     matched = None
     if baseline_path is not None:
@@ -171,6 +211,10 @@ def main() -> int:
     msg = (f"check_bench_metrics: OK ({len(instances)} instances, "
            f"{refined} with refine A/B, "
            f"work {[i['metrics']['total_work'] for i in instances]}")
+    serve = report.get("totals", {}).get("serve")
+    if serve:
+        msg += (f", serve warm hit rate {serve.get('warm_hit_rate', 0):.0%}"
+                f" @ {serve.get('speedup', 0):.2f}x")
     if matched is not None:
         msg += f", {matched} baseline pairs within +{max_regress:.0%}"
     print(msg + ")")

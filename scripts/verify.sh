@@ -2,9 +2,25 @@
 # Full verification: release build, the complete test suite, and the
 # panic-freedom lint gate (clippy::unwrap_used / expect_used / panic are
 # denied workspace-wide; see [workspace.lints.clippy] in Cargo.toml).
+#
+# With --soak, additionally runs the 60-second daemon soak test: four
+# clients hammer a picola-server under rotating chaos (worker panics,
+# dropped sockets, shed queues, poisoned cache shards) and the run fails
+# on any hang, lost job, or cache-conservation violation. Override the
+# duration with PICOLA_SOAK_SECS (e.g. PICOLA_SOAK_SECS=10 for a quick
+# local pass).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+SOAK=0
+for arg in "$@"; do
+    case "$arg" in
+        --soak) SOAK=1 ;;
+        *) echo "verify.sh: unknown argument '$arg' (supported: --soak)" >&2
+           exit 2 ;;
+    esac
+done
 
 echo "== cargo build --release"
 cargo build --release --offline
@@ -35,6 +51,10 @@ if command -v python3 >/dev/null 2>&1; then
     python3 scripts/check_bench_metrics.py /tmp/bench_smoke.json \
         --baseline BENCH_pr3.json
     python3 scripts/check_bench_metrics.py BENCH_pr4.json
+    # The checked-in large-tier report carries the serve_ab A/B (schema
+    # v5): warm global-cache runs must be bit-identical to cold runs and
+    # must actually hit the shared cache (warm_hit_rate >= 0.9).
+    python3 scripts/check_bench_metrics.py BENCH_pr6.json
 else
     # Fallback without python: the metrics block must at least be present
     # and non-trivially populated in every instance.
@@ -42,5 +62,10 @@ else
     grep -q '"total_work"' /tmp/bench_smoke.json
 fi
 rm -f /tmp/bench_smoke.json
+
+if [ "$SOAK" = 1 ]; then
+    echo "== server soak (${PICOLA_SOAK_SECS:-60}s under rotating chaos)"
+    cargo test -q --offline --release --test server_soak -- --ignored
+fi
 
 echo "verify: OK"

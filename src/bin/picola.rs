@@ -7,6 +7,8 @@
 //! picola portfolio <machine.kiss2>  race every encoder, print the table
 //! picola minimize <file.pla>        two-level minimization of a PLA
 //! picola bench <name>               synthesize a suite benchmark as KISS2
+//! picola serve <addr>               run the encoding daemon on <addr>
+//! picola submit <addr> <file>       send a file to a daemon, print result
 //! ```
 //!
 //! Global flags (accepted anywhere on the command line):
@@ -34,6 +36,8 @@
 //! | 4    | parse error (KISS2 / PLA)                 |
 //! | 5    | invalid input (semantically unusable)     |
 //! | 70   | internal error or caught panic            |
+//! | 75   | transient failure (daemon load-shed every |
+//! |      | retry; resubmitting later may succeed)    |
 
 use picola::constraints::{extract_constraints, min_code_length};
 use picola::core::{
@@ -41,10 +45,48 @@ use picola::core::{
 };
 use picola::fsm::{benchmark_fsm, parse_kiss, symbolic_cover, write_kiss};
 use picola::logic::{espresso_bounded, parse_pla, write_pla, MinimizeOptions};
+use picola::server::{Client, ClientError, JobKind, JobRequest, RetryPolicy, Status};
+use picola::server::{Server, ServerConfig};
 use picola::stassign::{assign_states_bounded, FlowOptions, PicolaStateEncoder};
 use std::fmt;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
+
+/// Set by SIGTERM/SIGINT; `serve` polls it to begin a graceful drain.
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sig {
+    use super::SHUTDOWN_REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    // The handler only performs an atomic store — async-signal-safe.
+    extern "C" fn handle(_signum: i32) {
+        SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let h = handle as extern "C" fn(i32) as usize;
+        // SAFETY: registering an async-signal-safe handler via the libc
+        // `signal` entry point; both arguments are valid by construction.
+        unsafe {
+            signal(SIGINT, h);
+            signal(SIGTERM, h);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+}
 
 const USAGE: &str = "\
 usage: picola [--budget-ms N] [--budget-work N] [--threads N]
@@ -57,6 +99,11 @@ minimize  <file.pla>       two-level minimization (ESPRESSO)
 export-mv <machine.kiss2>  print the symbolic cover as a .mv PLA
 reduce    <machine.kiss2>  merge equivalent states, print KISS2
 bench     <name>           print a synthetic suite benchmark as KISS2
+serve     <addr>           run the encoding daemon (e.g. 127.0.0.1:4815);
+                           SIGTERM/SIGINT or a `shutdown` request drains
+submit    <addr> <file>    submit a .kiss2 / .mv PLA file to a daemon and
+                           print the terminal response frame (exit 75 when
+                           every retry was load-shed)
 
 --budget-ms N    stop refining after N milliseconds (graceful: the best
                  result so far is still emitted, exit code stays 0)
@@ -65,7 +112,10 @@ bench     <name>           print a synthetic suite benchmark as KISS2
                  race (results are identical for any value; default 1)
 --trace-json P   write the run's observability trace (hierarchical spans,
                  monotonic counters, per-phase work units and wall time)
-                 as JSON to P; results are bit-identical with or without";
+                 as JSON to P; results are bit-identical with or without
+--workers N        serve: worker threads in the job pool (default 2)
+--queue-depth N    serve: admission-control queue bound (default 16)
+--cache-capacity N serve: shared minimization-cache entry bound";
 
 /// Everything that can go wrong in the CLI, mapped to distinct exit codes.
 #[derive(Debug)]
@@ -80,6 +130,9 @@ enum AppError {
     Invalid(String),
     /// A should-not-happen failure surfaced as an error (exit 70).
     Internal(String),
+    /// A daemon load-shed every retry; resubmitting later may succeed
+    /// (exit 75, mirroring BSD `EX_TEMPFAIL`).
+    Transient(String),
     /// Stdout's reader went away (`picola ... | head`). Not a failure:
     /// the run stops early and exits 0, per the POSIX convention.
     PipeClosed,
@@ -93,6 +146,7 @@ impl AppError {
             AppError::Parse(_) => 4,
             AppError::Invalid(_) => 5,
             AppError::Internal(_) => 70,
+            AppError::Transient(_) => 75,
             AppError::PipeClosed => 0,
         }
     }
@@ -106,6 +160,7 @@ impl fmt::Display for AppError {
             AppError::Parse(m) => write!(f, "{m}"),
             AppError::Invalid(m) => write!(f, "{m}"),
             AppError::Internal(m) => write!(f, "{m}"),
+            AppError::Transient(m) => write!(f, "{m}"),
             AppError::PipeClosed => write!(f, "output pipe closed"),
         }
     }
@@ -155,16 +210,28 @@ impl From<PicolaError> for AppError {
 struct Cli {
     command: String,
     target: String,
+    /// Second operand for commands that take one (`submit <addr> <file>`).
+    extra: Option<String>,
     budget: Budget,
+    budget_ms: Option<u64>,
+    budget_work: Option<u64>,
     threads: usize,
     trace_json: Option<String>,
+    workers: Option<usize>,
+    queue_depth: Option<usize>,
+    cache_capacity: Option<usize>,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, AppError> {
     let mut positional: Vec<&String> = Vec::new();
     let mut budget = Budget::unlimited();
+    let mut budget_ms: Option<u64> = None;
+    let mut budget_work: Option<u64> = None;
     let mut threads = 1usize;
     let mut trace_json: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let mut queue_depth: Option<usize> = None;
+    let mut cache_capacity: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -174,17 +241,28 @@ fn parse_cli(args: &[String]) -> Result<Cli, AppError> {
                     .ok_or_else(|| AppError::Usage(format!("{arg} needs a path")))?;
                 trace_json = Some(value.clone());
             }
-            "--budget-ms" | "--budget-work" | "--threads" => {
+            "--budget-ms" | "--budget-work" | "--threads" | "--workers" | "--queue-depth"
+            | "--cache-capacity" => {
                 let value = it
                     .next()
                     .ok_or_else(|| AppError::Usage(format!("{arg} needs a value")))?;
                 let n: u64 = value
                     .parse()
                     .map_err(|_| AppError::Usage(format!("{arg} needs an integer, got {value:?}")))?;
+                let as_usize = usize::try_from(n).unwrap_or(usize::MAX);
                 match arg.as_str() {
-                    "--budget-ms" => budget = budget.deadline_in(Duration::from_millis(n)),
-                    "--budget-work" => budget = budget.work_limit(n),
-                    _ => threads = usize::try_from(n).unwrap_or(usize::MAX).max(1),
+                    "--budget-ms" => {
+                        budget = budget.deadline_in(Duration::from_millis(n));
+                        budget_ms = Some(n);
+                    }
+                    "--budget-work" => {
+                        budget = budget.work_limit(n);
+                        budget_work = Some(n);
+                    }
+                    "--workers" => workers = Some(as_usize.max(1)),
+                    "--queue-depth" => queue_depth = Some(as_usize.max(1)),
+                    "--cache-capacity" => cache_capacity = Some(as_usize.max(1)),
+                    _ => threads = as_usize.max(1),
                 }
             }
             flag if flag.starts_with("--") => {
@@ -193,15 +271,25 @@ fn parse_cli(args: &[String]) -> Result<Cli, AppError> {
             _ => positional.push(arg),
         }
     }
-    let [command, target] = positional.as_slice() else {
-        return Err(AppError::Usage("expected <command> <file|name>".into()));
+    let (command, target, extra) = match positional.as_slice() {
+        [command, target] => ((*command).clone(), (*target).clone(), None),
+        [command, target, extra] => {
+            ((*command).clone(), (*target).clone(), Some((*extra).clone()))
+        }
+        _ => return Err(AppError::Usage("expected <command> <file|name>".into())),
     };
     Ok(Cli {
-        command: (*command).clone(),
-        target: (*target).clone(),
+        command,
+        target,
+        extra,
         budget,
+        budget_ms,
+        budget_work,
         threads,
         trace_json,
+        workers,
+        queue_depth,
+        cache_capacity,
     })
 }
 
@@ -388,6 +476,92 @@ fn cmd_bench(cli: &Cli) -> Result<(), AppError> {
     }
 }
 
+fn cmd_serve(cli: &Cli) -> Result<(), AppError> {
+    let mut config = ServerConfig {
+        addr: cli.target.clone(),
+        ..ServerConfig::default()
+    };
+    if let Some(w) = cli.workers {
+        config.workers = w;
+    }
+    if let Some(q) = cli.queue_depth {
+        config.queue_depth = q;
+    }
+    if let Some(ms) = cli.budget_ms {
+        config.default_budget_ms = ms;
+        config.max_budget_ms = config.max_budget_ms.max(ms);
+    }
+    config.engine.cache_capacity = cli.cache_capacity;
+    config.engine.picola.threads = cli.threads;
+    let handle = Server::start(config).map_err(|e| AppError::Io {
+        path: cli.target.clone(),
+        message: e.to_string(),
+    })?;
+    errln(&format!("# picola-server listening on {}", handle.addr()));
+    sig::install();
+    // Wait for a drain trigger: a wire `shutdown` request or a signal.
+    while !handle.is_draining() && !SHUTDOWN_REQUESTED.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let stats = handle.shutdown();
+    errln(&format!(
+        "# drained: {} completed, {} degraded, {} rejected, {} failed, {} panics contained",
+        stats.completed, stats.degraded, stats.rejected, stats.failed, stats.worker_panics
+    ));
+    Ok(())
+}
+
+fn cmd_submit(cli: &Cli) -> Result<(), AppError> {
+    let Some(file) = &cli.extra else {
+        return Err(AppError::Usage("submit needs <addr> <file>".into()));
+    };
+    let text = read(file)?;
+    // `.mv` headers mark a multi-valued PLA; everything else is KISS2.
+    let kind = if text.lines().any(|l| l.trim_start().starts_with(".mv")) {
+        JobKind::EncodeMvPla
+    } else {
+        JobKind::EncodeKiss
+    };
+    let mut req = JobRequest::new("cli-1", kind, text);
+    req.budget_ms = cli.budget_ms;
+    req.budget_work = cli.budget_work;
+    let mut client = Client::new(cli.target.clone());
+    let outcome = client
+        .submit_with_retry(&req, &RetryPolicy::default())
+        .map_err(|e| match e {
+            ClientError::RetriesExhausted(m) => AppError::Transient(m),
+            other => AppError::Io {
+                path: cli.target.clone(),
+                message: other.to_string(),
+            },
+        })?;
+    outln(&outcome.response.to_frame())?;
+    match outcome.response.status {
+        Some(Status::Ok | Status::Degraded) => Ok(()),
+        Some(Status::Rejected) => Err(AppError::Transient(
+            outcome
+                .response
+                .body
+                .get_str("error")
+                .unwrap_or("daemon rejected the job")
+                .to_owned(),
+        )),
+        Some(Status::Error) | None => {
+            let msg = outcome
+                .response
+                .body
+                .get_str("error")
+                .unwrap_or("daemon error")
+                .to_owned();
+            match outcome.response.code {
+                4 => Err(AppError::Parse(msg)),
+                5 => Err(AppError::Invalid(msg)),
+                _ => Err(AppError::Internal(msg)),
+            }
+        }
+    }
+}
+
 fn run(args: &[String]) -> Result<(), AppError> {
     let mut cli = parse_cli(args)?;
     // Recording is strictly observational (no feedback into any algorithm),
@@ -407,6 +581,8 @@ fn run(args: &[String]) -> Result<(), AppError> {
         "export-mv" => cmd_export_mv(&cli),
         "reduce" => cmd_reduce(&cli),
         "bench" => cmd_bench(&cli),
+        "serve" => cmd_serve(&cli),
+        "submit" => cmd_submit(&cli),
         other => Err(AppError::Usage(format!("unknown command {other:?}"))),
     };
     if let (Ok(()), Some(path), Some(t)) = (&result, &cli.trace_json, &trace) {

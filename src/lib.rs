@@ -40,6 +40,7 @@
 //! | [`core`] | the PICOLA algorithm and encoding evaluation |
 //! | [`baselines`] | NOVA-like, ENC-like, annealing, trivial encoders |
 //! | [`stassign`] | the state-assignment tool (paper Table II) |
+//! | [`server`] | the fault-tolerant encoding daemon (`picola serve`) |
 //!
 //! The experiment harness lives in the `picola-bench` crate
 //! (`cargo run -p picola-bench --release --bin table1` / `table2` /
@@ -52,6 +53,7 @@ pub use picola_constraints as constraints;
 pub use picola_core as core;
 pub use picola_fsm as fsm;
 pub use picola_logic as logic;
+pub use picola_server as server;
 pub use picola_stassign as stassign;
 
 /// Convenient glob-import surface with the most used items.
