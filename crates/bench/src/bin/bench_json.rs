@@ -9,7 +9,10 @@
 //! * the evaluation pipeline (flat+memo vs flat-uncached vs
 //!   legacy-uncached), pricing every member encoding repeatedly;
 //! * the ENC-style baseline (minimization-in-the-loop) on the cached flat
-//!   pipeline vs the legacy uncached one.
+//!   pipeline vs the legacy uncached one;
+//! * multi-valued covers (`mv_ab`): the instance's constraints rendered as
+//!   a symbol×tag MV cover and minimized flat vs legacy — the domains the
+//!   flat engine used to silently fall back on, now first-class.
 //!
 //! Writes one machine-readable JSON report (`BENCH_pr5.json` by default),
 //! including a deterministic per-instance `metrics` block (the obs span /
@@ -29,7 +32,7 @@ use picola_core::{
     estimate_cubes, evaluate_encoding_cached, try_picola_encode_with, Budget, CoverEngine,
     EvalContext, EvalOptions, GlobalMinimizeCache, PicolaOptions, RefineEngine,
 };
-use picola_logic::{obs, Counter, SpanSnapshot, Trace};
+use picola_logic::{obs, Counter, Cover, Cube, DomainBuilder, MinimizeCache, SpanSnapshot, Trace};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -48,7 +51,7 @@ impl Options {
         let mut opts = Options {
             smoke: false,
             tier: Tier::Standard,
-            out: "BENCH_pr6.json".to_owned(),
+            out: "BENCH_pr7.json".to_owned(),
             threads: 4,
             seed: 0x0001_C01A,
             instances: 0,
@@ -120,6 +123,7 @@ struct InstanceReport {
     refine: RefineReport,
     eval_ab: AbReport,
     enc_ab: AbReport,
+    mv_ab: AbReport,
     serve_ab: ServeAbReport,
 }
 
@@ -384,6 +388,99 @@ fn run_enc_ab(inst: &Instance) -> Result<AbReport, String> {
     })
 }
 
+/// Renders the instance's constraint set as a genuinely multi-valued cover:
+/// one MV variable over the `n` symbols, one over the constraint tags, and
+/// one cube per constraint whose symbol literal is the member set and whose
+/// tag literal is that constraint's index. On the large tier this spans
+/// several cube words (128 symbol parts alone is two words), so minimizing
+/// it exercises the flat engine's multi-word specialization rungs — the
+/// domains that used to fall back to the legacy engine silently.
+fn mv_cover(inst: &Instance) -> (Cover, Cover) {
+    let tags = inst.constraints.len().max(2);
+    let dom = DomainBuilder::new()
+        .multi("s", inst.n.max(2))
+        .multi("t", tags)
+        .build();
+    let sym_off = dom.var(0).offset();
+    let mut on = Cover::empty(&dom);
+    for (i, c) in inst.constraints.iter().enumerate() {
+        let mut cube = Cube::full(&dom);
+        for p in 0..inst.n.max(2) {
+            if !c.members().contains(p) {
+                cube.clear_part(sym_off + p);
+            }
+        }
+        cube.restrict(&dom, 1, i);
+        on.push(cube);
+    }
+    (on, Cover::empty(&dom))
+}
+
+/// Multi-valued cover A/B: minimizes the instance's symbol×tag constraint
+/// cover `MV_PASSES` times per leg through a [`MinimizeCache`] — cached
+/// flat, uncached flat, then uncached legacy as the baseline. Work =
+/// minimize calls (identical across legs by the counter discipline); costs
+/// must be bit-identical across all three legs, which is exactly the
+/// flat-vs-legacy MV identity the property suite proves on random covers,
+/// re-proven here on the bench corpus.
+fn run_mv_ab(inst: &Instance) -> Result<AbReport, String> {
+    const MV_PASSES: usize = 4;
+    const AB_REPS: usize = 3;
+    let (on, dc) = mv_cover(inst);
+    let mut legs = Vec::new();
+    for (engine, cache_on, engine_name) in EVAL_LEGS {
+        let mut best: Option<AbLeg> = None;
+        for _ in 0..AB_REPS {
+            let trace = Trace::new();
+            let mut cache = MinimizeCache::new();
+            let mut cost = 0usize;
+            let t = Instant::now();
+            {
+                let span = trace.recorder().span("mv-ab");
+                let _cur = obs::enter(span.recorder());
+                for _ in 0..MV_PASSES {
+                    cost += if cache_on {
+                        cache.minimized_cube_count(&on, &dc, engine)
+                    } else {
+                        cache.minimized_cube_count_uncached(&on, &dc, engine)
+                    };
+                }
+            }
+            let wall_ns = t.elapsed().as_nanos() as u64;
+            let work = trace.counter_total(Counter::MinimizeCalls);
+            let leg = AbLeg {
+                engine: engine_name,
+                cache: cache_on,
+                wall_ns,
+                work,
+                cache_hits: cache.hits(),
+                cache_misses: cache.misses(),
+                cost,
+            };
+            if let Some(prev) = &best {
+                if (prev.work, prev.cost) != (leg.work, leg.cost) {
+                    return Err(format!(
+                        "{}: mv {engine_name}/cache={cache_on}: nondeterministic leg \
+                         (work {} vs {}, cost {} vs {})",
+                        inst.name, prev.work, leg.work, prev.cost, leg.cost
+                    ));
+                }
+            }
+            if best.as_ref().is_none_or(|p| leg.wall_ns < p.wall_ns) {
+                best = Some(leg);
+            }
+        }
+        legs.push(best.ok_or("mv A/B: no repetitions ran")?);
+    }
+    let matches = legs.iter().all(|l| l.cost == legs[0].cost && l.work == legs[0].work);
+    let speedup_per_work = per_work_speedup(&legs);
+    Ok(AbReport {
+        legs,
+        matches,
+        speedup_per_work,
+    })
+}
+
 /// One refine engine A/B leg: a full PICOLA run with the given engine and
 /// thread count, attributing the refine span's wall time and work.
 struct RefineRun {
@@ -533,6 +630,7 @@ fn run_instance(inst: Instance, opts: &Options) -> Result<InstanceReport, String
     let refine = run_refine_ab(&inst, opts)?;
     let eval_ab = run_eval_ab(&inst, &member_encodings)?;
     let enc_ab = run_enc_ab(&inst)?;
+    let mv_ab = run_mv_ab(&inst)?;
     let serve_ab = run_serve_ab(&inst)?;
 
     Ok(InstanceReport {
@@ -541,6 +639,7 @@ fn run_instance(inst: Instance, opts: &Options) -> Result<InstanceReport, String
         refine,
         eval_ab,
         enc_ab,
+        mv_ab,
         serve_ab,
         metrics: trace.snapshot(),
         metrics_work: trace.total_work(),
@@ -561,7 +660,7 @@ fn ms(d: Duration) -> String {
 fn emit(reports: &[InstanceReport], opts: &Options) -> String {
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"picola-bench/bench_json/v5\",");
+    let _ = writeln!(j, "  \"schema\": \"picola-bench/bench_json/v6\",");
     let _ = writeln!(j, "  \"seed\": {},", opts.seed);
     let _ = writeln!(j, "  \"threads\": {},", opts.threads);
     let _ = writeln!(j, "  \"smoke\": {},", opts.smoke);
@@ -629,7 +728,11 @@ fn emit(reports: &[InstanceReport], opts: &Options) -> String {
             r.refine.speedup_per_work
         );
         let _ = writeln!(j, "      }},");
-        for (label, ab) in [("eval_ab", &r.eval_ab), ("enc_ab", &r.enc_ab)] {
+        for (label, ab) in [
+            ("eval_ab", &r.eval_ab),
+            ("enc_ab", &r.enc_ab),
+            ("mv_ab", &r.mv_ab),
+        ] {
             let _ = writeln!(j, "      \"{label}\": {{");
             let _ = writeln!(j, "        \"legs\": [");
             for (li, leg) in ab.legs.iter().enumerate() {
@@ -749,6 +852,7 @@ fn emit(reports: &[InstanceReport], opts: &Options) -> String {
     for (label, pick) in [
         ("eval", (|r: &InstanceReport| &r.eval_ab) as fn(&InstanceReport) -> &AbReport),
         ("enc", |r: &InstanceReport| &r.enc_ab),
+        ("mv", |r: &InstanceReport| &r.mv_ab),
     ] {
         let n_legs = reports.first().map_or(0, |r| pick(r).legs.len());
         let mut sums: Vec<AbLeg> = Vec::new();
@@ -857,7 +961,7 @@ fn main() {
                 eprintln!(
                     "{name}: winner {} (cost {}), seq {} ms / par {} ms, \
                      refine speedup {:.2}x, eval {:.2}x, enc {:.2}x, \
-                     serve warm {:.2}x @ {:.0}% hits",
+                     mv {:.2}x, serve warm {:.2}x @ {:.0}% hits",
                     r.winner,
                     r.winning_cost,
                     ms(r.seq_wall),
@@ -865,6 +969,7 @@ fn main() {
                     r.refine.speedup_per_work,
                     r.eval_ab.speedup_per_work,
                     r.enc_ab.speedup_per_work,
+                    r.mv_ab.speedup_per_work,
                     r.serve_ab.speedup,
                     r.serve_ab.warm_hit_rate * 100.0
                 );

@@ -15,7 +15,7 @@
 use picola_bench::HarnessOptions;
 use picola_core::{evaluate_encoding, picola_encode_with, PicolaOptions};
 use picola_fsm::min_code_length;
-use picola_logic::espresso_with;
+use picola_logic::flat_espresso_with;
 use picola_stassign::{encode_machine, fsm_constraints};
 
 fn main() {
@@ -51,7 +51,7 @@ fn main() {
                 check_invariants: false,
                 ..Default::default()
             };
-            let size = espresso_with(&em.on, &em.dc, &minimize).len();
+            let size = flat_espresso_with(&em.on, &em.dc, &minimize).len();
             println!(
                 "{:<10} {:>4} {:>8} {:>7}/{:<2} {:>10}",
                 fsm.name(),

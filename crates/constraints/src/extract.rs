@@ -9,7 +9,7 @@
 use crate::constraint::GroupConstraint;
 use crate::symbols::SymbolSet;
 use picola_fsm::SymbolicCover;
-use picola_logic::{espresso_with, Cover, MinimizeOptions};
+use picola_logic::{flat_espresso_with, Cover, MinimizeOptions};
 use std::collections::BTreeMap;
 
 /// How the symbolic cover is minimized before constraints are read off.
@@ -60,7 +60,7 @@ pub fn extract_constraints_with(
     let minimized: Cover = match opts.method {
         ExtractMethod::Espresso => {
             let o = MinimizeOptions::default();
-            espresso_with(&sc.on, &sc.dc, &o)
+            flat_espresso_with(&sc.on, &sc.dc, &o)
         }
         ExtractMethod::Quick => {
             let o = MinimizeOptions {
@@ -68,7 +68,7 @@ pub fn extract_constraints_with(
                 use_essentials: false,
                 ..MinimizeOptions::default()
             };
-            espresso_with(&sc.on, &sc.dc, &o)
+            flat_espresso_with(&sc.on, &sc.dc, &o)
         }
         ExtractMethod::Merge => {
             // Group by all non-state variables: union the state literals.

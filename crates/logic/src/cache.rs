@@ -33,7 +33,7 @@ use crate::budget::Budget;
 use crate::chaos;
 use crate::cover::Cover;
 use crate::espresso::{espresso_bounded, MinimizeOptions};
-use crate::flat::{cover_to_words, espresso_words, flat_eligible, BinCtx, MinimizeScratch};
+use crate::flat::{flat_minimized_len, MinimizeScratch};
 use crate::obs;
 #[cfg(feature = "minimize-cache")]
 use std::collections::HashMap;
@@ -43,14 +43,16 @@ use std::sync::Mutex;
 /// Which cover engine a minimization request should run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CoverEngine {
-    /// The flat single-word engine ([`crate::flat_espresso_bounded`]) with
-    /// automatic fallback to the legacy driver on ineligible domains.
-    /// Bit-identical to `Legacy`; this is the fast default.
+    /// The flat engine ([`crate::flat_espresso_bounded`]), which handles
+    /// **every** domain — single- and multi-word, binary and multi-valued —
+    /// with no fallback. Bit-identical to `Legacy`; this is the only
+    /// production engine.
     #[default]
     Flat,
     /// The legacy `Vec<Cube>` driver ([`crate::espresso_bounded`]) — kept
-    /// selectable as the differential reference and the honest A/B bench
-    /// leg.
+    /// selectable purely as the independent test oracle for the
+    /// differential/property suites and the honest A/B bench legs. Release
+    /// paths never choose it.
     Legacy,
 }
 
@@ -504,27 +506,8 @@ pub(crate) fn minimize_count(
     scratch: &mut MinimizeScratch,
 ) -> usize {
     match engine {
-        CoverEngine::Flat if flat_eligible(on.domain()) => {
-            let ctx = BinCtx::new(on.domain());
-            let mut on_w = scratch.take();
-            cover_to_words(on, &mut on_w);
-            let mut dc_w = scratch.take();
-            cover_to_words(dc, &mut dc_w);
-            let (f, _) = espresso_words(
-                ctx,
-                &on_w,
-                &dc_w,
-                &MinimizeOptions::default(),
-                &Budget::unlimited(),
-                scratch,
-            );
-            let n = f.len();
-            scratch.give(f);
-            scratch.give(dc_w);
-            scratch.give(on_w);
-            n
-        }
-        _ => {
+        CoverEngine::Flat => flat_minimized_len(on, dc, scratch),
+        CoverEngine::Legacy => {
             espresso_bounded(on, dc, &MinimizeOptions::default(), &Budget::unlimited())
                 .0
                 .len()
@@ -829,9 +812,111 @@ mod tests {
         assert!(cache.is_empty());
     }
 
+    /// Re-interprets a cover's exact raw cube words in another domain of
+    /// the same word stride — the adversarial input for key-collision tests.
+    fn reinterpret(cover: &Cover, dom: &Domain) -> Cover {
+        assert_eq!(cover.domain().words(), dom.words());
+        Cover::from_cubes(
+            dom,
+            cover.iter().map(|c| Cube::from_raw_words(c.words().to_vec())),
+        )
+    }
+
     #[test]
-    fn engines_agree_on_mixed_domains_via_fallback() {
-        // 33 binary vars: two words, flat falls back to legacy internally.
+    fn equal_bit_width_different_part_strides_never_share_an_entry() {
+        // binary(2) (parts 2+2) and multi(4) (parts 4) pack to the same
+        // single word, and the on-set {00, 11} has byte-identical cube
+        // words in both — but the functions differ: the binary cover stays
+        // two cubes while the 4-valued literals {0,2} and {1,3} merge to
+        // the universe. A key that ignored part strides would hand the
+        // second domain the first domain's count.
+        let d1 = Domain::binary(2);
+        let on1 = cover_from_codes(&d1, 2, &[0, 3]);
+        let dc1 = Cover::empty(&d1);
+        let d2 = crate::domain::DomainBuilder::new().multi("s", 4).build();
+        let on2 = reinterpret(&on1, &d2);
+        let dc2 = Cover::empty(&d2);
+        assert_eq!(on1.iter().next().unwrap().words(), on2.iter().next().unwrap().words());
+
+        let mut cache = MinimizeCache::new();
+        let c1 = cache.minimized_cube_count(&on1, &dc1, CoverEngine::Flat);
+        let c2 = cache.minimized_cube_count(&on2, &dc2, CoverEngine::Flat);
+        assert_eq!(c1, 2, "binary cover: 00 and 11 cannot merge");
+        assert_eq!(c2, 1, "4-valued cover: {{0,2}} ∪ {{1,3}} is the universe");
+        assert_eq!(cache.hits(), 0, "cross-domain lookup must not hit");
+        assert_eq!(cache.misses(), 2);
+        // repeat lookups now hit, each within its own domain's entry
+        assert_eq!(cache.minimized_cube_count(&on1, &dc1, CoverEngine::Flat), 2);
+        assert_eq!(cache.minimized_cube_count(&on2, &dc2, CoverEngine::Flat), 1);
+    }
+
+    #[test]
+    fn same_var_count_swapped_part_strides_are_keyed_apart() {
+        // multi(3)+multi(5) vs multi(5)+multi(3): same word count, same
+        // number of variables, same total parts — only the per-variable
+        // stride differs, which is exactly what the key's parts section
+        // must capture.
+        let d1 = crate::domain::DomainBuilder::new()
+            .multi("a", 3)
+            .multi("b", 5)
+            .build();
+        let d2 = crate::domain::DomainBuilder::new()
+            .multi("a", 5)
+            .multi("b", 3)
+            .build();
+        let mut on1 = Cover::empty(&d1);
+        for part in [0usize, 1] {
+            let mut c = Cube::full(&d1);
+            c.restrict(&d1, 0, part);
+            on1.push(c);
+        }
+        let dc1 = Cover::empty(&d1);
+        let on2 = reinterpret(&on1, &d2);
+        let dc2 = Cover::empty(&d2);
+
+        let mut cache = MinimizeCache::new();
+        let c1 = cache.minimized_cube_count(&on1, &dc1, CoverEngine::Flat);
+        let c2 = cache.minimized_cube_count(&on2, &dc2, CoverEngine::Flat);
+        assert_eq!(cache.hits(), 0, "swapped strides must not share an entry");
+        assert_eq!(cache.misses(), 2);
+        let f1 = MinimizeCache::new().minimized_cube_count_uncached(&on1, &dc1, CoverEngine::Flat);
+        let f2 = MinimizeCache::new().minimized_cube_count_uncached(&on2, &dc2, CoverEngine::Flat);
+        assert_eq!(c1, f1);
+        assert_eq!(c2, f2);
+    }
+
+    #[test]
+    fn global_cache_keys_equal_bit_width_domains_apart() {
+        let d1 = Domain::binary(2);
+        let on1 = cover_from_codes(&d1, 2, &[0, 3]);
+        let dc1 = Cover::empty(&d1);
+        let d2 = crate::domain::DomainBuilder::new().multi("s", 4).build();
+        let on2 = reinterpret(&on1, &d2);
+        let dc2 = Cover::empty(&d2);
+
+        let global = GlobalMinimizeCache::new();
+        let mut cache = MinimizeCache::new();
+        let c1 = cache.minimized_cube_count_shared(&global, &on1, &dc1, CoverEngine::Flat);
+        let c2 = cache.minimized_cube_count_shared(&global, &on2, &dc2, CoverEngine::Flat);
+        assert_eq!((c1, c2), (2, 1));
+        let stats = global.stats();
+        assert_eq!(stats.hits, 0, "cross-domain lookup must not hit a shard");
+        assert_eq!(stats.misses, 2);
+        // warm repeats hit each domain's own entry and keep the values
+        assert_eq!(
+            cache.minimized_cube_count_shared(&global, &on1, &dc1, CoverEngine::Flat),
+            2
+        );
+        assert_eq!(
+            cache.minimized_cube_count_shared(&global, &on2, &dc2, CoverEngine::Flat),
+            1
+        );
+    }
+
+    #[test]
+    fn engines_agree_on_multi_word_domains() {
+        // 33 binary vars: two words, handled by the flat multi-word engine
+        // (no fallback — the legacy leg below is the independent oracle).
         let dom = Domain::binary(33);
         let mut on = Cover::empty(&dom);
         let mut c0 = Cube::full(&dom);

@@ -9,25 +9,39 @@
 //!   cube, plus word-parallel kernels ([`cube_and_into`], [`cube_contains`],
 //!   [`cube_distance`], [`cube_consensus_into`], [`cube_cofactor_into`])
 //!   that write into caller-owned scratch. These work for any domain.
-//! * An inline single-word fast path for the common all-binary case
-//!   (`2 · num_vars ≤ 64`): each cube is one `u64`, and the full ESPRESSO
-//!   loop (expand / reduce / irredundant / essentials / last-gasp, with the
-//!   unate-recursive tautology and complement underneath) runs over plain
-//!   `u64` slices drawn from a [`MinimizeScratch`] pool. After warm-up the
-//!   steady state performs **zero** heap allocation.
+//! * A flat ESPRESSO engine covering **every** domain, as a ladder of
+//!   specializations over the cube's fixed word stride:
+//!   - an inline single-word fast path for the common all-binary case
+//!     (`2 · num_vars ≤ 64`): each cube is one `u64` and every kernel is a
+//!     handful of bit tricks;
+//!   - a generic multi-word engine for everything else (multi-valued
+//!     variables, > 64 total parts), where each cube is a `&[u64]` chunk of
+//!     stride `words()`. The stride is threaded through a zero-sized
+//!     `Stride` type parameter, so the 1/2/4-word instantiations compile
+//!     to register-blocked straight-line kernels and only wider domains pay
+//!     a counted loop.
 //!
-//! The single-word engine is an exact mirror of the legacy code: same cube
-//! orderings (stable sorts on the same keys), same branch variables, same
-//! budget ticks and [`crate::obs`] counters. [`flat_espresso_bounded`] is
-//! therefore bit-identical to [`crate::espresso_bounded`] on eligible
-//! domains — the differential property tests in `tests/prop_flat_cover.rs`
-//! enforce exactly that — and falls back to the legacy driver otherwise.
+//!   Both run the full ESPRESSO loop (expand / reduce / irredundant /
+//!   essentials / last-gasp, with the unate-recursive tautology and
+//!   complement underneath) over plain word slices drawn from a
+//!   [`MinimizeScratch`] pool; after warm-up the steady state performs no
+//!   per-cube heap allocation.
+//!
+//! Every engine rung is an exact mirror of the legacy `Vec<Cube>` code:
+//! same cube orderings (stable sorts on the same keys), same branch
+//! variables, same budget ticks and [`crate::obs`] counters.
+//! [`flat_espresso_bounded`] is therefore bit-identical to
+//! [`crate::espresso_bounded`] on *all* domains — the differential property
+//! tests in `tests/prop_flat_cover.rs` enforce exactly that. There is no
+//! silent fallback: the legacy driver survives only as the independent
+//! oracle those suites compare against ([`obs::Counter::LegacyFallback`] is
+//! the tripwire proving nothing re-routes to it).
 
 use crate::budget::{Budget, Completion};
 use crate::cover::Cover;
 use crate::cube::Cube;
 use crate::domain::Domain;
-use crate::espresso::{espresso_bounded, MinimizeOptions};
+use crate::espresso::MinimizeOptions;
 use crate::obs;
 
 // ---------------------------------------------------------------------------
@@ -41,12 +55,17 @@ use crate::obs;
 pub struct FlatDomain {
     words: usize,
     num_vars: usize,
+    total_parts: usize,
     full: Vec<u64>,
     /// Per variable: (first word index, start offset into `masks`, number of
     /// words the variable's parts span).
     var_spans: Vec<(usize, usize, usize)>,
     /// Concatenated per-word bit masks for each variable's parts.
     masks: Vec<u64>,
+    /// Per variable: global index of its first part.
+    offsets: Vec<usize>,
+    /// Per variable: number of parts.
+    parts: Vec<usize>,
 }
 
 impl FlatDomain {
@@ -56,6 +75,8 @@ impl FlatDomain {
         let full = dom.full_words().to_vec();
         let mut var_spans = Vec::with_capacity(dom.num_vars());
         let mut masks = Vec::new();
+        let mut offsets = Vec::with_capacity(dom.num_vars());
+        let mut parts = Vec::with_capacity(dom.num_vars());
         for v in 0..dom.num_vars() {
             let var = dom.var(v);
             let offset = var.offset();
@@ -73,13 +94,18 @@ impl FlatDomain {
                 masks.push(m);
             }
             var_spans.push((first_word, start, last_word - first_word + 1));
+            offsets.push(offset);
+            parts.push(var.parts());
         }
         FlatDomain {
             words,
             num_vars: dom.num_vars(),
+            total_parts: dom.total_parts(),
             full,
             var_spans,
             masks,
+            offsets,
+            parts,
         }
     }
 
@@ -91,6 +117,11 @@ impl FlatDomain {
     /// Number of variables.
     pub fn num_vars(&self) -> usize {
         self.num_vars
+    }
+
+    /// Total number of parts across all variables.
+    pub fn total_parts(&self) -> usize {
+        self.total_parts
     }
 
     /// The full (universe) cube as a word slice.
@@ -275,6 +306,11 @@ pub struct MinimizeScratch {
     free: Vec<Vec<u64>>,
     pairs: Vec<(usize, usize)>,
     flags: Vec<bool>,
+    /// The last multi-word domain layout, cached so back-to-back
+    /// minimizations over one domain (the common shape: a search loop
+    /// re-pricing covers) rebuild nothing. Keyed by the `Domain` handle;
+    /// the comparison is an `Arc` pointer check in the hot case.
+    layout: Option<(Domain, FlatDomain)>,
 }
 
 impl MinimizeScratch {
@@ -298,6 +334,20 @@ impl MinimizeScratch {
     /// Returns a buffer to the pool for reuse.
     pub(crate) fn give(&mut self, v: Vec<u64>) {
         self.free.push(v);
+    }
+
+    /// Takes the cached [`FlatDomain`] for `dom` (building it on a cold or
+    /// mismatched cache). Pair with [`MinimizeScratch::put_layout`].
+    fn take_layout(&mut self, dom: &Domain) -> FlatDomain {
+        match self.layout.take() {
+            Some((d, fd)) if d == *dom => fd,
+            _ => FlatDomain::new(dom),
+        }
+    }
+
+    /// Stores the layout back for the next minimization over `dom`.
+    fn put_layout(&mut self, dom: &Domain, fd: FlatDomain) {
+        self.layout = Some((dom.clone(), fd));
     }
 }
 
@@ -1004,23 +1054,934 @@ pub(crate) fn espresso_words(
     (f, budget.completion())
 }
 
-/// Copies a cover's cubes into a single-word buffer (caller guarantees the
-/// domain is eligible).
+// ---------------------------------------------------------------------------
+// Generic multi-word engine
+// ---------------------------------------------------------------------------
+//
+// The same ESPRESSO loop for every domain the single-word binary engine does
+// not cover: multi-valued variables and/or more than 64 total parts. A cube
+// is a `&[u64]` chunk of fixed stride `words()` inside pooled buffers; the
+// stride is carried by the zero-sized `Stride` parameter below so the
+// monomorphized 1/2/4-word engines see a compile-time constant (the word
+// loops unroll into register-blocked straight-line code) while wider domains
+// share one dynamic-stride instantiation. Every kernel mirrors its legacy
+// `Vec<Cube>` counterpart exactly — orderings, branch variables, counters —
+// so `flat_espresso_bounded` stays bit-identical to `espresso_bounded`.
+
+/// Compile-time-or-dynamic word stride of a cube.
+trait Stride: Copy {
+    /// Words per cube. `FixedW` implementations return a constant the
+    /// optimizer propagates into every kernel loop.
+    fn w(self) -> usize;
+}
+
+/// A stride known at compile time (the register-blocked specializations).
+#[derive(Clone, Copy)]
+struct FixedW<const W: usize>;
+
+impl<const W: usize> Stride for FixedW<W> {
+    #[inline(always)]
+    fn w(self) -> usize {
+        W
+    }
+}
+
+/// A stride known only at run time (the generic fallback loop).
+#[derive(Clone, Copy)]
+struct DynW(usize);
+
+impl Stride for DynW {
+    #[inline(always)]
+    fn w(self) -> usize {
+        self.0
+    }
+}
+
+/// Total parts admitted by a cube chunk (no bits exist above the domain's
+/// parts, so the raw popcount is the part count).
+#[inline]
+fn chunk_parts(c: &[u64]) -> usize {
+    c.iter().map(|&x| x.count_ones() as usize).sum()
+}
+
+/// Whether `c` appears verbatim in `list` (the chunk analogue of
+/// `Vec::<Cube>::contains`, i.e. exact equality, as the legacy lift and
+/// essential-removal steps use).
+#[inline]
+fn chunk_member(list: &[u64], c: &[u64], w: usize) -> bool {
+    list.chunks_exact(w).any(|x| x == c)
+}
+
+/// Stable insertion sort over `w`-word chunks; `before(x, y)` must be a
+/// strict "x sorts before y" so the permutation matches the legacy stable
+/// `sort_by_key` on the same key. `tmp` holds the chunk in flight.
+fn insertion_sort_chunks(
+    v: &mut [u64],
+    w: usize,
+    tmp: &mut Vec<u64>,
+    mut before: impl FnMut(&[u64], &[u64]) -> bool,
+) {
+    let n = v.len() / w;
+    tmp.clear();
+    tmp.resize(w, 0);
+    for i in 1..n {
+        tmp.copy_from_slice(&v[i * w..(i + 1) * w]);
+        let mut j = i;
+        while j > 0 && before(tmp, &v[(j - 1) * w..j * w]) {
+            v.copy_within((j - 1) * w..j * w, j * w);
+            j -= 1;
+        }
+        v[j * w..(j + 1) * w].copy_from_slice(tmp);
+    }
+}
+
+/// Drops every chunk of `v` that appears verbatim in `list`, preserving
+/// order (the chunk analogue of `f.retain(|c| !list.contains(c))`).
+fn retain_chunks_not_in(v: &mut Vec<u64>, list: &[u64], w: usize) {
+    let n = v.len() / w;
+    let mut write = 0usize;
+    for i in 0..n {
+        if chunk_member(list, &v[i * w..(i + 1) * w], w) {
+            continue;
+        }
+        v.copy_within(i * w..(i + 1) * w, write * w);
+        write += 1;
+    }
+    v.truncate(write * w);
+}
+
+/// Context of the generic engine: the flattened domain plus the stride
+/// carrier. Copy-cheap (two words), threaded by value through the passes.
+#[derive(Clone, Copy)]
+struct MvCtx<'d, S: Stride> {
+    fd: &'d FlatDomain,
+    s: S,
+}
+
+impl<S: Stride> MvCtx<'_, S> {
+    #[inline(always)]
+    fn w(&self) -> usize {
+        self.s.w()
+    }
+
+    #[inline(always)]
+    fn full(&self) -> &[u64] {
+        &self.fd.full
+    }
+
+    #[inline]
+    fn is_full(&self, c: &[u64]) -> bool {
+        c == self.fd.full.as_slice()
+    }
+
+    #[inline]
+    fn covers(&self, a: &[u64], b: &[u64]) -> bool {
+        (0..self.w()).all(|k| b[k] & !a[k] == 0)
+    }
+
+    /// Whether the meet `a ∧ b` is a valid cube — the legacy
+    /// `Cube::intersects` (distance 0) without materializing the meet.
+    #[inline]
+    fn meet_valid(&self, a: &[u64], b: &[u64]) -> bool {
+        (0..self.fd.num_vars).all(|v| !self.fd.meet_var_empty(a, b, v))
+    }
+
+    #[inline]
+    fn var_is_full(&self, c: &[u64], v: usize) -> bool {
+        let (first, start, span) = self.fd.var_spans[v];
+        (0..span).all(|k| {
+            c[first + k] & self.fd.masks[start + k] == self.fd.masks[start + k]
+        })
+    }
+
+    #[inline]
+    fn literal_cost_one(&self, c: &[u64]) -> usize {
+        (0..self.fd.num_vars)
+            .filter(|&v| !self.var_is_full(c, v))
+            .count()
+    }
+
+    fn cost(&self, f: &[u64]) -> (usize, usize) {
+        let w = self.w();
+        (
+            f.len() / w,
+            f.chunks_exact(w).map(|c| self.literal_cost_one(c)).sum(),
+        )
+    }
+
+    /// Appends the general cofactor of every cube of `cubes` with respect to
+    /// cube `p` (dropping non-intersecting cubes) — the legacy
+    /// `cofactor_list` / `Cover::cofactor`.
+    fn cofactor_all(&self, cubes: &[u64], p: &[u64], out: &mut Vec<u64>) {
+        let w = self.w();
+        for x in cubes.chunks_exact(w) {
+            if !self.meet_valid(x, p) {
+                continue;
+            }
+            let base = out.len();
+            out.resize(base + w, 0);
+            for k in 0..w {
+                out[base + k] = (x[k] | !p[k]) & self.fd.full[k];
+            }
+        }
+    }
+
+    /// Appends the cofactor of every cube with respect to the part cube
+    /// `(v, p)`. For a *valid* cube `c` the general cofactor by a part cube
+    /// collapses: it exists iff `c` admits part `p` (every other variable's
+    /// meet is `c`'s own non-empty literal), and the result is `c` with
+    /// variable `v` raised to full (`c ∨ ¬pc` leaves other variables
+    /// untouched because `¬pc` is empty there). All tautology/complement
+    /// recursion inputs are valid — covers hold only valid cubes and
+    /// cofactors of valid cubes are valid — so this is exact.
+    fn cofactor_all_by_part(&self, cubes: &[u64], v: usize, p: usize, out: &mut Vec<u64>) {
+        let w = self.w();
+        let q = self.fd.offsets[v] + p;
+        let (qw, qb) = (q / 64, 1u64 << (q % 64));
+        let (first, start, span) = self.fd.var_spans[v];
+        for c in cubes.chunks_exact(w) {
+            debug_assert!(
+                cube_is_valid(self.fd, c),
+                "cofactor-by-part requires valid cubes"
+            );
+            if c[qw] & qb == 0 {
+                continue;
+            }
+            let base = out.len();
+            out.extend_from_slice(c);
+            for k in 0..span {
+                out[base + first + k] |= self.fd.masks[start + k];
+            }
+        }
+    }
+
+    /// Appends the consensus of `a` and `b` (caller guarantees distance
+    /// exactly 1): the meet everywhere, the union in the one conflicting
+    /// variable — the legacy `Cube::consensus`.
+    fn push_consensus(&self, a: &[u64], b: &[u64], out: &mut Vec<u64>) {
+        let w = self.w();
+        let base = out.len();
+        out.resize(base + w, 0);
+        for k in 0..w {
+            out[base + k] = a[k] & b[k];
+        }
+        for v in 0..self.fd.num_vars {
+            if !self.fd.meet_var_empty(a, b, v) {
+                continue;
+            }
+            let (first, start, span) = self.fd.var_spans[v];
+            for k in 0..span {
+                out[base + first + k] |=
+                    (a[first + k] | b[first + k]) & self.fd.masks[start + k];
+            }
+            break;
+        }
+    }
+
+    /// In-place single-cube containment, mirroring [`Cover::scc`]: stable
+    /// sort by descending part count, fold-OR word signature prefilter, then
+    /// the full per-word containment sweep — counter for counter the legacy
+    /// accounting.
+    fn scc(&self, cubes: &mut Vec<u64>, scratch: &mut MinimizeScratch) {
+        let w = self.w();
+        let mut tmp = scratch.take();
+        insertion_sort_chunks(cubes, w, &mut tmp, |a, b| chunk_parts(a) > chunk_parts(b));
+        scratch.give(tmp);
+        let mut sigs = scratch.take();
+        let n = cubes.len() / w;
+        let mut pairs = 0u64;
+        let mut prefilter_rejects = 0u64;
+        let mut kept = 0usize;
+        'outer: for i in 0..n {
+            let sig = cubes[i * w..(i + 1) * w]
+                .iter()
+                .fold(0u64, |acc, &x| acc | x);
+            for k in 0..kept {
+                pairs += 1;
+                if sig & !sigs[k] != 0 {
+                    prefilter_rejects += 1;
+                    continue;
+                }
+                if (0..w).all(|t| cubes[i * w + t] & !cubes[k * w + t] == 0) {
+                    continue 'outer; // an earlier kept cube covers this one
+                }
+            }
+            cubes.copy_within(i * w..(i + 1) * w, kept * w);
+            sigs.push(sig);
+            kept += 1;
+        }
+        cubes.truncate(kept * w);
+        scratch.give(sigs);
+        obs::count(obs::Counter::SccPairs, pairs);
+        obs::count(obs::Counter::SccPrefilterRejects, prefilter_rejects);
+    }
+
+    /// Most binate variable, with the legacy tie-break: highest non-full
+    /// count, then the *fewest* parts, then first wins.
+    fn most_binate(&self, cubes: &[u64]) -> Option<usize> {
+        let w = self.w();
+        let mut best: Option<(usize, usize, usize)> = None; // (count, parts, var)
+        for v in 0..self.fd.num_vars {
+            let count = cubes
+                .chunks_exact(w)
+                .filter(|c| !self.var_is_full(c, v))
+                .count();
+            if count == 0 {
+                continue;
+            }
+            let parts = self.fd.parts[v];
+            let better = match best {
+                None => true,
+                Some((bc, bp, _)) => count > bc || (count == bc && parts < bp),
+            };
+            if better {
+                best = Some((count, parts, v));
+            }
+        }
+        best.map(|(_, _, v)| v)
+    }
+
+    fn taut_rec(&self, cubes: &[u64], scratch: &mut MinimizeScratch) -> bool {
+        let w = self.w();
+        if cubes.chunks_exact(w).any(|c| self.is_full(c)) {
+            return true;
+        }
+        if cubes.is_empty() {
+            return false;
+        }
+        let mut acc = scratch.take();
+        acc.resize(w, 0);
+        let mut union_full = false;
+        for c in cubes.chunks_exact(w) {
+            for k in 0..w {
+                acc[k] |= c[k];
+            }
+            if acc.as_slice() == self.fd.full.as_slice() {
+                union_full = true;
+                break;
+            }
+        }
+        scratch.give(acc);
+        if !union_full {
+            return false;
+        }
+        let Some(v) = self.most_binate(cubes) else {
+            return false;
+        };
+        let mut branch = scratch.take();
+        let mut taut = true;
+        for p in 0..self.fd.parts[v] {
+            branch.clear();
+            self.cofactor_all_by_part(cubes, v, p, &mut branch);
+            if !self.taut_rec(&branch, scratch) {
+                taut = false;
+                break;
+            }
+        }
+        scratch.give(branch);
+        taut
+    }
+
+    /// Complement of a single cube: one cube per non-full variable in
+    /// variable order (full everywhere, the variable's admitted parts
+    /// cleared). Always valid for a non-full variable, matching the legacy
+    /// `is_valid` filter that never fires.
+    fn cube_complement(&self, c: &[u64], out: &mut Vec<u64>) {
+        let w = self.w();
+        for v in 0..self.fd.num_vars {
+            if self.var_is_full(c, v) {
+                continue;
+            }
+            let base = out.len();
+            out.extend_from_slice(&self.fd.full);
+            let (first, start, span) = self.fd.var_spans[v];
+            for k in 0..span {
+                out[base + first + k] &= !(c[first + k] & self.fd.masks[start + k]);
+            }
+            debug_assert!(cube_is_valid(self.fd, &out[base..base + w]));
+        }
+    }
+
+    /// Recursive complement, mirroring the legacy `compl_rec`: branch on the
+    /// most binate variable, lift cubes common (verbatim) to every branch
+    /// complement, narrow the rest back to their branch part, and finish
+    /// with an scc pass (base cases return before scc, as in the legacy
+    /// code, so no counters fire for them).
+    fn compl_rec(&self, cubes: &[u64], out: &mut Vec<u64>, scratch: &mut MinimizeScratch) {
+        debug_assert!(out.is_empty());
+        let w = self.w();
+        if cubes.is_empty() {
+            out.extend_from_slice(&self.fd.full);
+            return;
+        }
+        if cubes.chunks_exact(w).any(|c| self.is_full(c)) {
+            return;
+        }
+        if cubes.len() == w {
+            self.cube_complement(cubes, out);
+            return;
+        }
+        let Some(v) = self.most_binate(cubes) else {
+            return; // every cube full everywhere: complement is empty
+        };
+        let parts = self.fd.parts[v];
+        let mut branch = scratch.take();
+        let mut results: Vec<Vec<u64>> = Vec::with_capacity(parts);
+        for p in 0..parts {
+            branch.clear();
+            self.cofactor_all_by_part(cubes, v, p, &mut branch);
+            let mut r = scratch.take();
+            self.compl_rec(&branch, &mut r, scratch);
+            results.push(r);
+        }
+        scratch.give(branch);
+        let mut lifted = scratch.take();
+        if let [first, rest @ ..] = results.as_slice() {
+            for c in first.chunks_exact(w) {
+                if rest.iter().all(|b| chunk_member(b, c, w)) {
+                    lifted.extend_from_slice(c);
+                }
+            }
+        }
+        let (qfirst, qstart, qspan) = self.fd.var_spans[v];
+        for (p, branch_out) in results.iter().enumerate() {
+            let q = self.fd.offsets[v] + p;
+            let (qw, qb) = (q / 64, 1u64 << (q % 64));
+            for c in branch_out.chunks_exact(w) {
+                if chunk_member(&lifted, c, w) {
+                    continue;
+                }
+                // r = c ∧ part_cube(v, p): variable v narrowed to {p}, every
+                // other variable untouched. Branch complements hold only
+                // valid cubes, so r is valid exactly when c admits part p
+                // (the legacy validity filter).
+                if c[qw] & qb == 0 {
+                    continue;
+                }
+                let base = out.len();
+                out.extend_from_slice(c);
+                for k in 0..qspan {
+                    out[base + qfirst + k] &= !self.fd.masks[qstart + k];
+                }
+                out[base + qw] |= qb;
+            }
+        }
+        out.extend_from_slice(&lifted);
+        self.scc(out, scratch);
+        scratch.give(lifted);
+        for r in results {
+            scratch.give(r);
+        }
+    }
+
+    /// Whether the cover `f` covers the single cube `c` (tautology of the
+    /// cofactor), mirroring the legacy `cover_covers_cube`.
+    fn cover_covers_cube(&self, f: &[u64], c: &[u64], scratch: &mut MinimizeScratch) -> bool {
+        let mut g = scratch.take();
+        self.cofactor_all(f, c, &mut g);
+        let taut = self.taut_rec(&g, scratch);
+        scratch.give(g);
+        taut
+    }
+
+    fn expand(&self, f: &mut Vec<u64>, off: &[u64], scratch: &mut MinimizeScratch) {
+        let w = self.w();
+        let mut tmp = scratch.take();
+        insertion_sort_chunks(f, w, &mut tmp, |a, b| chunk_parts(a) < chunk_parts(b));
+        let n = f.len() / w;
+        let mut covered = std::mem::take(&mut scratch.flags);
+        covered.clear();
+        covered.resize(n, false);
+        let mut order = std::mem::take(&mut scratch.pairs);
+        let mut result = scratch.take();
+        let mut cand = tmp; // reuse the sort buffer for the growing cube
+        for i in 0..n {
+            if covered[i] {
+                continue;
+            }
+            cand.clear();
+            cand.extend_from_slice(&f[i * w..(i + 1) * w]);
+            order.clear();
+            for p in 0..self.fd.total_parts {
+                let (pw, pb) = (p / 64, 1u64 << (p % 64));
+                if cand[pw] & pb != 0 {
+                    continue;
+                }
+                let weight = (0..n)
+                    .filter(|&j| j != i && !covered[j] && f[j * w + pw] & pb != 0)
+                    .count();
+                order.push((p, weight));
+            }
+            sort_expand_order(&mut order);
+            for &(p, _) in order.iter() {
+                let (pw, pb) = (p / 64, 1u64 << (p % 64));
+                cand[pw] |= pb;
+                let legal = off.chunks_exact(w).all(|o| !self.meet_valid(&cand, o));
+                if !legal {
+                    cand[pw] &= !pb;
+                }
+            }
+            for j in 0..n {
+                if j != i && !covered[j] && self.covers(&cand, &f[j * w..(j + 1) * w]) {
+                    covered[j] = true;
+                }
+            }
+            result.extend_from_slice(&cand);
+        }
+        std::mem::swap(f, &mut result);
+        scratch.give(result);
+        scratch.give(cand);
+        scratch.pairs = order;
+        scratch.flags = covered;
+    }
+
+    fn reduce(&self, f: &mut Vec<u64>, dc: &[u64], scratch: &mut MinimizeScratch) {
+        let w = self.w();
+        let mut tmp = scratch.take();
+        insertion_sort_chunks(f, w, &mut tmp, |a, b| chunk_parts(a) > chunk_parts(b));
+        let n = f.len() / w;
+        let mut c = tmp; // reuse: copy of the cube under reduction
+        let mut rest = scratch.take();
+        let mut g = scratch.take();
+        let mut h = scratch.take();
+        for i in 0..n {
+            c.clear();
+            c.extend_from_slice(&f[i * w..(i + 1) * w]);
+            if c.iter().all(|&x| x == 0) {
+                // legacy: the complement of the (empty) cofactored rest is
+                // the universe with no scc pass, and the re-reduced cube
+                // stays invalid — counter-identical shortcut.
+                continue;
+            }
+            rest.clear();
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let chunk = &f[j * w..(j + 1) * w];
+                if chunk.iter().any(|&x| x != 0) {
+                    rest.extend_from_slice(chunk);
+                }
+            }
+            rest.extend_from_slice(dc);
+            g.clear();
+            self.cofactor_all(&rest, &c, &mut g);
+            h.clear();
+            self.compl_rec(&g, &mut h, scratch);
+            let fi = &mut f[i * w..(i + 1) * w];
+            fi.fill(0);
+            for chunk in h.chunks_exact(w) {
+                for k in 0..w {
+                    fi[k] |= chunk[k];
+                }
+            }
+            for k in 0..w {
+                fi[k] &= c[k];
+            }
+            // h empty (fully redundant cube) or an invalid shrink both mark
+            // the slot empty, as in the legacy supercube/is_valid match.
+            if !cube_is_valid(self.fd, fi) {
+                fi.fill(0);
+            }
+        }
+        let mut write = 0usize;
+        for i in 0..n {
+            if f[i * w..(i + 1) * w].iter().any(|&x| x != 0) {
+                f.copy_within(i * w..(i + 1) * w, write * w);
+                write += 1;
+            }
+        }
+        f.truncate(write * w);
+        scratch.give(h);
+        scratch.give(g);
+        scratch.give(rest);
+        scratch.give(c);
+    }
+
+    fn irredundant(&self, f: &mut Vec<u64>, dc: &[u64], scratch: &mut MinimizeScratch) {
+        let w = self.w();
+        let mut tmp = scratch.take();
+        insertion_sort_chunks(f, w, &mut tmp, |a, b| chunk_parts(a) > chunk_parts(b));
+        scratch.give(tmp);
+        let n = f.len() / w;
+        let mut keep = std::mem::take(&mut scratch.flags);
+        keep.clear();
+        keep.resize(n, true);
+        let mut rest = scratch.take();
+        for i in (0..n).rev() {
+            rest.clear();
+            for j in 0..n {
+                if j != i && keep[j] {
+                    rest.extend_from_slice(&f[j * w..(j + 1) * w]);
+                }
+            }
+            rest.extend_from_slice(dc);
+            if self.cover_covers_cube(&rest, &f[i * w..(i + 1) * w], scratch) {
+                keep[i] = false;
+            }
+        }
+        let mut write = 0usize;
+        for (i, &kept) in keep.iter().enumerate() {
+            if kept {
+                f.copy_within(i * w..(i + 1) * w, write * w);
+                write += 1;
+            }
+        }
+        f.truncate(write * w);
+        scratch.give(rest);
+        scratch.flags = keep;
+    }
+
+    fn essentials(
+        &self,
+        f: &[u64],
+        dc: &[u64],
+        out: &mut Vec<u64>,
+        scratch: &mut MinimizeScratch,
+    ) {
+        let w = self.w();
+        let mut h = scratch.take();
+        let mut hc = scratch.take();
+        let n = f.len() / w;
+        for i in 0..n {
+            let c = &f[i * w..(i + 1) * w];
+            h.clear();
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let g = &f[j * w..(j + 1) * w];
+                match cube_distance(self.fd, g, c) {
+                    0 => h.extend_from_slice(g),
+                    1 => self.push_consensus(g, c, &mut h),
+                    _ => {}
+                }
+            }
+            for g in dc.chunks_exact(w) {
+                match cube_distance(self.fd, g, c) {
+                    0 => h.extend_from_slice(g),
+                    1 => self.push_consensus(g, c, &mut h),
+                    _ => {}
+                }
+            }
+            hc.clear();
+            self.cofactor_all(&h, c, &mut hc);
+            if !self.taut_rec(&hc, scratch) {
+                out.extend_from_slice(c);
+            }
+        }
+        scratch.give(hc);
+        scratch.give(h);
+    }
+
+    /// Last-gasp pass; replaces `f` and returns `true` when it found a
+    /// strictly cheaper cover (mirrors the legacy `last_gasp`).
+    fn gasp(
+        &self,
+        f: &mut Vec<u64>,
+        dc: &[u64],
+        off: &[u64],
+        scratch: &mut MinimizeScratch,
+    ) -> bool {
+        let w = self.w();
+        let n = f.len() / w;
+        if n < 2 {
+            return false;
+        }
+        let mut reduced = scratch.take();
+        let mut rest = scratch.take();
+        let mut g = scratch.take();
+        let mut h = scratch.take();
+        for i in 0..n {
+            let c = &f[i * w..(i + 1) * w];
+            rest.clear();
+            for j in 0..n {
+                if j != i {
+                    rest.extend_from_slice(&f[j * w..(j + 1) * w]);
+                }
+            }
+            rest.extend_from_slice(dc);
+            g.clear();
+            self.cofactor_all(&rest, c, &mut g);
+            h.clear();
+            self.compl_rec(&g, &mut h, scratch);
+            if h.is_empty() {
+                continue; // fully redundant: maximally reduced away
+            }
+            let base = reduced.len();
+            reduced.resize(base + w, 0);
+            for chunk in h.chunks_exact(w) {
+                for k in 0..w {
+                    reduced[base + k] |= chunk[k];
+                }
+            }
+            for k in 0..w {
+                reduced[base + k] &= c[k];
+            }
+            if !cube_is_valid(self.fd, &reduced[base..base + w]) {
+                reduced.truncate(base);
+            }
+        }
+        scratch.give(h);
+        scratch.give(g);
+        scratch.give(rest);
+        if reduced.is_empty() {
+            scratch.give(reduced);
+            return false;
+        }
+        let mut expanded = scratch.take();
+        expanded.extend_from_slice(&reduced);
+        self.expand(&mut expanded, off, scratch);
+        let mut useful = scratch.take();
+        for p in expanded.chunks_exact(w) {
+            if reduced
+                .chunks_exact(w)
+                .filter(|r| self.covers(p, r))
+                .count()
+                >= 2
+            {
+                useful.extend_from_slice(p);
+            }
+        }
+        scratch.give(expanded);
+        if useful.is_empty() {
+            scratch.give(useful);
+            scratch.give(reduced);
+            return false;
+        }
+        let mut candidate = scratch.take();
+        candidate.extend_from_slice(f);
+        candidate.extend_from_slice(&useful);
+        self.irredundant(&mut candidate, dc, scratch);
+        let better = self.cost(&candidate) < self.cost(f);
+        if better {
+            std::mem::swap(f, &mut candidate);
+        }
+        scratch.give(candidate);
+        scratch.give(useful);
+        scratch.give(reduced);
+        better
+    }
+
+    /// Whether `f` covers every cube of `g`.
+    fn contains_all(&self, f: &[u64], g: &[u64], scratch: &mut MinimizeScratch) -> bool {
+        g.chunks_exact(self.w())
+            .all(|c| self.cover_covers_cube(f, c, scratch))
+    }
+
+    /// Debug helper mirroring the legacy `implements` invariant:
+    /// `on ⊆ f ⊆ on ∪ dc`.
+    fn implements(
+        &self,
+        f: &[u64],
+        on: &[u64],
+        dc: &[u64],
+        scratch: &mut MinimizeScratch,
+    ) -> bool {
+        let mut upper = scratch.take();
+        upper.extend_from_slice(on);
+        upper.extend_from_slice(dc);
+        let ok =
+            self.contains_all(f, on, scratch) && self.contains_all(&upper, f, scratch);
+        scratch.give(upper);
+        ok
+    }
+}
+
+/// The full ESPRESSO loop over fixed-stride multi-word cube chunks — the
+/// generic-rung counterpart of [`espresso_words`], mirroring
+/// [`crate::espresso_bounded`] pass for pass: same span (`"espresso"`),
+/// same `espresso.iter` budget ticks, same counter increments, same cube
+/// orderings. Returns the minimized cover as a pool buffer (the caller
+/// should [`MinimizeScratch::give`] it back) plus the budget completion.
+fn espresso_chunks<S: Stride>(
+    ctx: MvCtx<'_, S>,
+    on: &[u64],
+    dc: &[u64],
+    opts: &MinimizeOptions,
+    budget: &Budget,
+    scratch: &mut MinimizeScratch,
+) -> (Vec<u64>, Completion) {
+    let span = obs::current_or(budget.recorder()).span("espresso");
+    let _cur = obs::enter(span.recorder());
+
+    if on.is_empty() {
+        return (scratch.take(), budget.completion());
+    }
+    if !budget.tick("espresso.iter", 1) {
+        // mirror the legacy degraded path: the on-set scc'd, nothing more
+        let mut f = scratch.take();
+        f.extend_from_slice(on);
+        ctx.scc(&mut f, scratch);
+        return (f, budget.completion());
+    }
+
+    let mut on_dc = scratch.take();
+    on_dc.extend_from_slice(on);
+    on_dc.extend_from_slice(dc);
+    let mut off = scratch.take();
+    ctx.compl_rec(&on_dc, &mut off, scratch);
+    scratch.give(on_dc);
+    if off.is_empty() {
+        scratch.give(off);
+        let mut f = scratch.take();
+        f.extend_from_slice(ctx.full());
+        return (f, budget.completion());
+    }
+
+    let mut f = scratch.take();
+    f.extend_from_slice(on);
+    ctx.scc(&mut f, scratch);
+    obs::count(obs::Counter::ExpandCalls, 1);
+    ctx.expand(&mut f, &off, scratch);
+    obs::count(obs::Counter::IrredundantCalls, 1);
+    ctx.irredundant(&mut f, dc, scratch);
+    if opts.check_invariants {
+        debug_assert!(
+            ctx.implements(&f, on, dc, scratch),
+            "flat espresso: invariant lost after initial expand/irredundant"
+        );
+    }
+
+    let mut ess = scratch.take();
+    let mut dc_aug = scratch.take();
+    if opts.use_essentials {
+        ctx.essentials(&f, dc, &mut ess, scratch);
+        retain_chunks_not_in(&mut f, &ess, ctx.w());
+        dc_aug.extend_from_slice(dc);
+        dc_aug.extend_from_slice(&ess);
+    } else {
+        dc_aug.extend_from_slice(dc);
+    }
+    ctx.scc(&mut dc_aug, scratch);
+
+    let mut best = ctx.cost(&f);
+    let mut iterations = 0usize;
+    let mut candidate = scratch.take();
+    'outer: loop {
+        while iterations < opts.max_iterations {
+            if !budget.tick("espresso.iter", 1) {
+                break 'outer;
+            }
+            iterations += 1;
+            obs::count(obs::Counter::EspressoIters, 1);
+            if f.is_empty() {
+                break 'outer;
+            }
+            candidate.clear();
+            candidate.extend_from_slice(&f);
+            obs::count(obs::Counter::ReduceCalls, 1);
+            ctx.reduce(&mut candidate, &dc_aug, scratch);
+            obs::count(obs::Counter::ExpandCalls, 1);
+            ctx.expand(&mut candidate, &off, scratch);
+            obs::count(obs::Counter::IrredundantCalls, 1);
+            ctx.irredundant(&mut candidate, &dc_aug, scratch);
+            let c = ctx.cost(&candidate);
+            if c < best {
+                best = c;
+                std::mem::swap(&mut f, &mut candidate);
+            } else {
+                break;
+            }
+        }
+        if !opts.use_last_gasp || iterations >= opts.max_iterations || budget.is_exhausted() {
+            break;
+        }
+        if !ctx.gasp(&mut f, &dc_aug, &off, scratch) {
+            break;
+        }
+        best = ctx.cost(&f);
+    }
+    let _ = best;
+
+    f.extend_from_slice(&ess);
+    ctx.scc(&mut f, scratch);
+    if opts.check_invariants {
+        debug_assert!(
+            ctx.implements(&f, on, dc, scratch),
+            "flat espresso: result does not implement the function"
+        );
+    }
+    scratch.give(candidate);
+    scratch.give(dc_aug);
+    scratch.give(ess);
+    scratch.give(off);
+    (f, budget.completion())
+}
+
+/// Routes a word-form minimization to the right engine rung: the inline
+/// single-word binary engine where it applies, otherwise the generic engine
+/// monomorphized for 1/2/4-word strides with a dynamic-stride fallback.
+/// Total — every domain is handled; nothing routes back to the legacy
+/// driver (the [`obs::Counter::LegacyFallback`] tripwire stays at zero).
+fn run_words(
+    dom: &Domain,
+    on_w: &[u64],
+    dc_w: &[u64],
+    opts: &MinimizeOptions,
+    budget: &Budget,
+    scratch: &mut MinimizeScratch,
+) -> (Vec<u64>, Completion) {
+    if flat_eligible(dom) {
+        return espresso_words(BinCtx::new(dom), on_w, dc_w, opts, budget, scratch);
+    }
+    let fd = scratch.take_layout(dom);
+    let out = match fd.words() {
+        1 => espresso_chunks(MvCtx { fd: &fd, s: FixedW::<1> }, on_w, dc_w, opts, budget, scratch),
+        2 => espresso_chunks(MvCtx { fd: &fd, s: FixedW::<2> }, on_w, dc_w, opts, budget, scratch),
+        4 => espresso_chunks(MvCtx { fd: &fd, s: FixedW::<4> }, on_w, dc_w, opts, budget, scratch),
+        w => espresso_chunks(MvCtx { fd: &fd, s: DynW(w) }, on_w, dc_w, opts, budget, scratch),
+    };
+    scratch.put_layout(dom, fd);
+    out
+}
+
+/// Minimized cube count of `(on, dc)` on the flat engine — the word-form
+/// fast path behind [`crate::cache::MinimizeCache`], skipping the `Cover`
+/// rebuild of [`flat_espresso_bounded`] since only the length is needed.
+pub(crate) fn flat_minimized_len(on: &Cover, dc: &Cover, scratch: &mut MinimizeScratch) -> usize {
+    let dom = on.domain();
+    let mut on_w = scratch.take();
+    cover_to_words(on, &mut on_w);
+    let mut dc_w = scratch.take();
+    cover_to_words(dc, &mut dc_w);
+    let (f, _) = run_words(
+        dom,
+        &on_w,
+        &dc_w,
+        &MinimizeOptions::default(),
+        &Budget::unlimited(),
+        scratch,
+    );
+    let n = f.len() / dom.words();
+    scratch.give(f);
+    scratch.give(dc_w);
+    scratch.give(on_w);
+    n
+}
+
+/// Copies a cover's cubes into a flat word buffer of the domain's stride.
 pub(crate) fn cover_to_words(cover: &Cover, out: &mut Vec<u64>) {
     debug_assert!(out.is_empty());
     for c in cover.iter() {
-        out.push(c.words()[0]);
+        out.extend_from_slice(c.words());
     }
 }
 
 fn words_to_cover(dom: &Domain, words: &[u64]) -> Cover {
-    Cover::from_cubes(dom, words.iter().map(|&w| Cube::from_raw_words(vec![w])))
+    Cover::from_cubes(
+        dom,
+        words
+            .chunks_exact(dom.words())
+            .map(|c| Cube::from_raw_words(c.to_vec())),
+    )
 }
 
-/// Allocation-free ESPRESSO under a budget. On eligible domains (see
-/// [`flat_eligible`]) runs the single-word engine with buffers from
-/// `scratch`; otherwise falls back to the legacy [`espresso_bounded`].
-/// Bit-identical to the legacy driver in both cases.
+/// Allocation-free ESPRESSO under a budget, on **every** domain. Eligible
+/// all-binary domains (see [`flat_eligible`]) take the inline single-word
+/// engine; everything else takes the generic multi-word engine at its
+/// stride's specialization rung. Bit-identical to the legacy
+/// [`crate::espresso_bounded`] in all cases — and never calls it.
 pub fn flat_espresso_bounded(
     on: &Cover,
     dc: &Cover,
@@ -1030,15 +1991,11 @@ pub fn flat_espresso_bounded(
 ) -> (Cover, Completion) {
     let dom = on.domain();
     assert_eq!(dom, dc.domain(), "espresso: domain mismatch");
-    if !flat_eligible(dom) {
-        return espresso_bounded(on, dc, opts, budget);
-    }
-    let ctx = BinCtx::new(dom);
     let mut on_w = scratch.take();
     cover_to_words(on, &mut on_w);
     let mut dc_w = scratch.take();
     cover_to_words(dc, &mut dc_w);
-    let (fw, completion) = espresso_words(ctx, &on_w, &dc_w, opts, budget, scratch);
+    let (fw, completion) = run_words(dom, &on_w, &dc_w, opts, budget, scratch);
     let cover = words_to_cover(dom, &fw);
     scratch.give(fw);
     scratch.give(dc_w);
@@ -1049,15 +2006,14 @@ pub fn flat_espresso_bounded(
 /// [`flat_espresso_bounded`] with default options, an unlimited budget, and
 /// a one-shot scratch — the flat counterpart of [`crate::espresso`].
 pub fn flat_espresso(on: &Cover, dc: &Cover) -> Cover {
+    flat_espresso_with(on, dc, &MinimizeOptions::default())
+}
+
+/// [`flat_espresso_bounded`] with an unlimited budget and a one-shot
+/// scratch — the flat counterpart of [`crate::espresso_with`].
+pub fn flat_espresso_with(on: &Cover, dc: &Cover, opts: &MinimizeOptions) -> Cover {
     let mut scratch = MinimizeScratch::new();
-    flat_espresso_bounded(
-        on,
-        dc,
-        &MinimizeOptions::default(),
-        &Budget::unlimited(),
-        &mut scratch,
-    )
-    .0
+    flat_espresso_bounded(on, dc, opts, &Budget::unlimited(), &mut scratch).0
 }
 
 #[cfg(test)]
@@ -1142,5 +2098,97 @@ mod tests {
         let flat = flat_espresso(&on, &dc);
         assert_eq!(flat.len(), 1);
         assert_eq!(flat, espresso(&on, &dc));
+    }
+
+    #[test]
+    fn flat_matches_legacy_on_multi_valued_domain() {
+        // 5 + 3 + 2 parts in one word, but multi-valued: generic 1-word rung.
+        let dom = crate::domain::DomainBuilder::new()
+            .multi("a", 5)
+            .multi("b", 3)
+            .binary("c")
+            .build();
+        assert!(!flat_eligible(&dom));
+        let mut on = Cover::empty(&dom);
+        for (a, b, c) in [(0, 0, false), (1, 0, false), (0, 1, false), (2, 2, true), (3, 2, true)]
+        {
+            let mut cube = Cube::full(&dom);
+            cube.restrict(&dom, 0, a);
+            cube.restrict(&dom, 1, b);
+            cube.restrict_binary(&dom, 2, c);
+            on.push(cube);
+        }
+        let mut dc = Cover::empty(&dom);
+        let mut d0 = Cube::full(&dom);
+        d0.restrict(&dom, 0, 4);
+        dc.push(d0);
+        assert_eq!(espresso(&on, &dc), flat_espresso(&on, &dc));
+    }
+
+    fn sparse_binary_cover(dom: &Domain, nv: usize, extra: usize) -> (Cover, Cover) {
+        let mut on = Cover::empty(dom);
+        for code in 0..6u32 {
+            let mut cube = Cube::full(dom);
+            for v in 0..3.min(nv) {
+                cube.restrict_binary(dom, v, code >> v & 1 != 0);
+            }
+            cube.restrict_binary(dom, extra, code % 2 == 0);
+            on.push(cube);
+        }
+        let mut dc = Cover::empty(dom);
+        let mut d = Cube::full(dom);
+        d.restrict_binary(dom, extra, true);
+        d.restrict_binary(dom, 0, true);
+        dc.push(d);
+        (on, dc)
+    }
+
+    #[test]
+    fn flat_matches_legacy_on_two_word_domain() {
+        let dom = Domain::binary(33);
+        assert_eq!(dom.words(), 2);
+        let (on, dc) = sparse_binary_cover(&dom, 33, 32);
+        assert_eq!(espresso(&on, &dc), flat_espresso(&on, &dc));
+    }
+
+    #[test]
+    fn flat_matches_legacy_on_four_word_domain() {
+        let dom = Domain::binary(100);
+        assert_eq!(dom.words(), 4);
+        let (on, dc) = sparse_binary_cover(&dom, 100, 99);
+        assert_eq!(espresso(&on, &dc), flat_espresso(&on, &dc));
+    }
+
+    #[test]
+    fn flat_matches_legacy_on_dynamic_stride_domain() {
+        // 140 binary vars → 280 parts → 5 words: the DynW fallback rung.
+        let dom = Domain::binary(140);
+        assert_eq!(dom.words(), 5);
+        let (on, dc) = sparse_binary_cover(&dom, 140, 139);
+        assert_eq!(espresso(&on, &dc), flat_espresso(&on, &dc));
+    }
+
+    #[test]
+    fn flat_matches_legacy_on_multi_word_multi_valued_domain() {
+        // A 9-part state variable plus 60 binary vars: 129 parts, 3 words,
+        // mixed part widths — the shape face-constraint extraction produces.
+        let dom = crate::domain::DomainBuilder::new()
+            .multi("s", 9)
+            .binaries("x", 60)
+            .build();
+        assert_eq!(dom.words(), 3);
+        let mut on = Cover::empty(&dom);
+        for (s, x0) in [(0, false), (1, false), (2, true), (5, true), (8, false)] {
+            let mut cube = Cube::full(&dom);
+            cube.restrict(&dom, 0, s);
+            cube.restrict_binary(&dom, 1, x0);
+            cube.restrict_binary(&dom, 60, !x0);
+            on.push(cube);
+        }
+        let mut dc = Cover::empty(&dom);
+        let mut d = Cube::full(&dom);
+        d.restrict(&dom, 0, 7);
+        dc.push(d);
+        assert_eq!(espresso(&on, &dc), flat_espresso(&on, &dc));
     }
 }

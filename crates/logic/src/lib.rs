@@ -35,8 +35,9 @@
 //!   the deterministic fault-injection harness that tests them.
 //! - [`obs`]: deterministic spans + counters (compiled out without the
 //!   `obs` cargo feature).
-//! - [`flat`]: allocation-free flat cover kernels and the single-word
-//!   ESPRESSO fast path ([`flat_espresso_bounded`]).
+//! - [`flat`]: allocation-free flat cover kernels and the flat ESPRESSO
+//!   engine ([`flat_espresso_bounded`]) covering every domain via a
+//!   1/2/4-word specialization ladder over the cube stride.
 //! - [`cache`]: the memoized minimization cache ([`MinimizeCache`]; memo
 //!   compiled out without the `minimize-cache` cargo feature) and the
 //!   [`CoverEngine`] selector.
@@ -88,8 +89,8 @@ pub use exact::{exact_minimize, exact_minimize_bounded, ExactOutcome};
 pub use expand::expand;
 pub use flat::{
     cube_and_into, cube_cofactor_into, cube_consensus_into, cube_contains, cube_distance,
-    cube_is_valid, flat_eligible, flat_espresso, flat_espresso_bounded, FlatCover, FlatDomain,
-    MinimizeScratch,
+    cube_is_valid, flat_eligible, flat_espresso, flat_espresso_bounded, flat_espresso_with,
+    FlatCover, FlatDomain, MinimizeScratch,
 };
 pub use gasp::last_gasp;
 pub use irredundant::irredundant;

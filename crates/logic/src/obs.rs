@@ -111,6 +111,15 @@ pub enum Counter {
     /// Minimization requests that ran the minimizer (cache disabled, cold
     /// entry, or capacity reached).
     MinimizeCacheMiss,
+    /// Minimizations that silently fell back from the flat engine to the
+    /// legacy `Vec<Cube>` driver. Since the flat engine covers every domain
+    /// (single- and multi-word, binary and multi-valued), **nothing bumps
+    /// this counter**: it exists as a tripwire so any future eligibility
+    /// regression fails the zero-fallback bench-tier test loudly instead of
+    /// silently losing the flat engine's speedup. Explicitly *selecting*
+    /// [`crate::CoverEngine::Legacy`] (differential oracle runs, A/B bench
+    /// legs) is not a fallback and must not bump it either.
+    LegacyFallback,
 }
 
 impl Counter {
@@ -138,6 +147,7 @@ impl Counter {
         Counter::MinimizeCalls,
         Counter::MinimizeCacheHit,
         Counter::MinimizeCacheMiss,
+        Counter::LegacyFallback,
     ];
 
     /// The stable snake_case name used in renders and JSON.
@@ -165,6 +175,7 @@ impl Counter {
             Counter::MinimizeCalls => "minimize_calls",
             Counter::MinimizeCacheHit => "minimize_cache_hit",
             Counter::MinimizeCacheMiss => "minimize_cache_miss",
+            Counter::LegacyFallback => "legacy_fallback",
         }
     }
 }

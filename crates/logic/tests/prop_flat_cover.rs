@@ -7,7 +7,12 @@
 //!    domains;
 //! 2. [`flat_espresso_bounded`] against [`espresso_bounded`] — bit-identical
 //!    covers, completions, and (with `obs` on) byte-identical traces, on
-//!    unlimited and tightly bounded budgets alike;
+//!    unlimited and tightly bounded budgets alike. The corpus spans every
+//!    rung of the flat engine's specialization ladder: the single-word
+//!    binary fast path plus multi-valued domains at 1-, 2-, 4-, and 8-word
+//!    strides (mixed part counts up to 70 parts per variable), so the
+//!    legacy engine's only remaining role — independent oracle — is
+//!    exercised on exactly the domains the flat engine now owns;
 //! 3. the [`MinimizeCache`] — cache-on, cache-off, flat, and legacy lookups
 //!    must all agree.
 
@@ -92,6 +97,99 @@ fn mv_cube(dom: &Domain) -> impl Strategy<Value = Cube> {
     })
 }
 
+/// A one-word multi-valued domain (10 parts): the generic engine's
+/// `FixedW<1>` rung — same stride as the binary fast path, different
+/// kernels.
+fn one_word_mv_domain() -> Domain {
+    DomainBuilder::new()
+        .multi("s", 5)
+        .binary("a")
+        .multi("t", 3)
+        .build()
+}
+
+/// A four-word mixed domain (210 parts): the `FixedW<4>` rung.
+fn four_word_mv_domain() -> Domain {
+    DomainBuilder::new()
+        .multi("s", 70)
+        .multi("t", 60)
+        .binaries("x", 40)
+        .build()
+}
+
+/// An eight-word mixed domain (504 parts): past the register-blocked
+/// specializations, exercising the dynamic-stride fallback loop.
+fn eight_word_mv_domain() -> Domain {
+    DomainBuilder::new()
+        .multi("s", 70)
+        .multi("t", 64)
+        .multi("u", 70)
+        .binaries("x", 150)
+        .build()
+}
+
+/// Restricts variable `v` of `c` to exactly the parts listed in `keep`
+/// (which must be non-empty so the cube stays valid).
+fn restrict_to_parts(dom: &Domain, c: &mut Cube, v: usize, keep: &[usize]) {
+    let var = dom.var(v);
+    for p in 0..var.parts() {
+        if !keep.contains(&p) {
+            c.clear_part(var.offset() + p);
+        }
+    }
+}
+
+/// Strategy: a disjoint `(on, dc)` cover pair over an arbitrary MV domain.
+///
+/// Point enumeration is infeasible on the wide tiers (up to 504 parts), so
+/// disjointness is structural instead: every on-cube restricts variable 0
+/// to a subset of its low half and every dc-cube to a subset of its high
+/// half, which no minterm can satisfy both of. Each cube additionally
+/// restricts up to two other variables to 1–2 parts, keeping the unate
+/// recursions shallow enough for the legacy oracle to keep up.
+/// One generated cube: the var-0 parts to keep, plus up to two extra
+/// `(variable, kept parts)` restrictions.
+type CubePick = (Vec<usize>, Vec<(usize, Vec<usize>)>);
+
+fn mv_engine_corpus(
+    dom: Domain,
+    max_on: usize,
+    max_dc: usize,
+) -> impl Strategy<Value = (Cover, Cover)> {
+    let parts0 = dom.var(0).parts();
+    let half = parts0 / 2;
+    let nv = dom.num_vars();
+    let extras =
+        || proptest::collection::vec((1..nv, proptest::collection::vec(0usize..512, 1..=2)), 0..=2);
+    let on_cube = (proptest::collection::vec(0usize..half, 1..=2), extras());
+    let dc_cube = (proptest::collection::vec(half..parts0, 1..=2), extras());
+    let on = proptest::collection::vec(on_cube, 1..=max_on);
+    let dc = proptest::collection::vec(dc_cube, 0..=max_dc);
+    (on, dc).prop_map(move |(on_picks, dc_picks)| {
+        let build = |picks: Vec<CubePick>| {
+            Cover::from_cubes(
+                &dom,
+                picks.into_iter().map(|(var0_keep, extra)| {
+                    let mut c = Cube::full(&dom);
+                    restrict_to_parts(&dom, &mut c, 0, &var0_keep);
+                    // later picks of the same variable win outright, so a
+                    // literal can never be narrowed twice into emptiness
+                    let by_var: std::collections::BTreeMap<usize, Vec<usize>> =
+                        extra.into_iter().collect();
+                    for (v, keep) in by_var {
+                        let parts = dom.var(v).parts();
+                        let keep: Vec<usize> = keep.iter().map(|&p| p % parts).collect();
+                        c.raise_var(&dom, v);
+                        restrict_to_parts(&dom, &mut c, v, &keep);
+                    }
+                    c
+                }),
+            )
+        };
+        (build(on_picks), build(dc_picks))
+    })
+}
+
 /// Whether any minterm lies in both covers. Like the legacy espresso
 /// property tests, the differential corpus keeps `on` and `dc` point
 /// disjoint — overlapping sets are outside the minimizer's contract.
@@ -103,25 +201,37 @@ fn overlaps(on: &Cover, dc: &Cover) -> bool {
 
 /// Runs both engines on the same inputs under equal budgets and asserts
 /// covers, completions, and traces agree byte for byte.
+///
+/// `PICOLA_ORACLE_ORDER=flat-first` runs the flat engine before the legacy
+/// oracle (the default is legacy first); CI runs the suite once per order,
+/// proving neither engine leaks state the other could depend on.
 fn assert_engines_agree(on: &Cover, dc: &Cover, limit: Option<u64>) -> Result<(), TestCaseError> {
     let base = || match limit {
         Some(l) => Budget::with_work_limit(l),
         None => Budget::unlimited(),
     };
-    let legacy_trace = Trace::new();
-    let legacy_budget = base().with_recorder(legacy_trace.recorder());
-    let (lf, lc) = espresso_bounded(on, dc, &MinimizeOptions::default(), &legacy_budget);
-
-    let flat_trace = Trace::new();
-    let flat_budget = base().with_recorder(flat_trace.recorder());
-    let mut scratch = MinimizeScratch::new();
-    let (ff, fc) = flat_espresso_bounded(
-        on,
-        dc,
-        &MinimizeOptions::default(),
-        &flat_budget,
-        &mut scratch,
-    );
+    let run_legacy = || {
+        let trace = Trace::new();
+        let budget = base().with_recorder(trace.recorder());
+        let (f, c) = espresso_bounded(on, dc, &MinimizeOptions::default(), &budget);
+        (f, c, trace)
+    };
+    let run_flat = || {
+        let trace = Trace::new();
+        let budget = base().with_recorder(trace.recorder());
+        let mut scratch = MinimizeScratch::new();
+        let (f, c) =
+            flat_espresso_bounded(on, dc, &MinimizeOptions::default(), &budget, &mut scratch);
+        (f, c, trace)
+    };
+    let flat_first =
+        std::env::var("PICOLA_ORACLE_ORDER").is_ok_and(|v| v == "flat-first");
+    let ((lf, lc, legacy_trace), (ff, fc, flat_trace)) = if flat_first {
+        let flat = run_flat();
+        (run_legacy(), flat)
+    } else {
+        (run_legacy(), run_flat())
+    };
 
     prop_assert_eq!(&lf, &ff, "covers diverge (limit {:?})", limit);
     prop_assert_eq!(lc, fc, "completions diverge (limit {:?})", limit);
@@ -222,5 +332,55 @@ proptest! {
             cached.minimized_cube_count(&on, &dc, CoverEngine::Legacy),
             reference
         );
+    }
+
+    #[test]
+    fn flat_mv_engine_matches_legacy_one_word(
+        (on, dc) in mv_engine_corpus(one_word_mv_domain(), 5, 2),
+    ) {
+        prop_assert!(!flat_eligible(on.domain()), "must take the generic rung");
+        prop_assert_eq!(on.domain().words(), 1);
+        assert_engines_agree(&on, &dc, None)?;
+    }
+
+    #[test]
+    fn flat_mv_engine_matches_legacy_two_word(
+        (on, dc) in mv_engine_corpus(mv_domain(), 5, 2),
+    ) {
+        prop_assert_eq!(on.domain().words(), 2);
+        assert_engines_agree(&on, &dc, None)?;
+    }
+
+    #[test]
+    fn flat_mv_engine_matches_legacy_under_tight_budgets(
+        (on, dc) in mv_engine_corpus(mv_domain(), 4, 2),
+        limit in 0u64..12,
+    ) {
+        // budget-degraded prefixes must agree too: same covers, same
+        // completions, same trace — including limit 0 (scc'd on-set only)
+        assert_engines_agree(&on, &dc, Some(limit))?;
+    }
+}
+
+proptest! {
+    // The wide tiers run the same differential check with a smaller case
+    // count: the legacy oracle allocates per cube per pass, and 504-part
+    // domains make that the dominant cost of the whole suite.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn flat_mv_engine_matches_legacy_four_word(
+        (on, dc) in mv_engine_corpus(four_word_mv_domain(), 4, 2),
+    ) {
+        prop_assert_eq!(on.domain().words(), 4);
+        assert_engines_agree(&on, &dc, None)?;
+    }
+
+    #[test]
+    fn flat_mv_engine_matches_legacy_eight_word(
+        (on, dc) in mv_engine_corpus(eight_word_mv_domain(), 3, 1),
+    ) {
+        prop_assert_eq!(on.domain().words(), 8);
+        assert_engines_agree(&on, &dc, None)?;
     }
 }

@@ -11,7 +11,7 @@ use picola_constraints::{
 };
 use picola_core::{Budget, Completion, Encoder};
 use picola_fsm::{symbolic_cover, Fsm};
-use picola_logic::{espresso_bounded, obs, MinimizeOptions};
+use picola_logic::{flat_espresso_bounded, obs, MinimizeOptions, MinimizeScratch};
 use std::time::{Duration, Instant};
 
 /// Options for [`assign_states`].
@@ -133,7 +133,8 @@ pub fn assign_states_bounded(
         let span = flow_span.recorder().span("minimize");
         let _cur = obs::enter(span.recorder());
         let em = encode_machine(fsm, &encoding);
-        espresso_bounded(&em.on, &em.dc, &opts.minimize, budget)
+        let mut scratch = MinimizeScratch::new();
+        flat_espresso_bounded(&em.on, &em.dc, &opts.minimize, budget, &mut scratch)
     };
     let minimize_time = t2.elapsed();
 

@@ -93,7 +93,7 @@ def check_refine(instances):
 def check_ab(instances):
     for inst in instances:
         name = inst.get("name", "?")
-        for label in ("eval_ab", "enc_ab"):
+        for label in ("eval_ab", "enc_ab", "mv_ab"):
             ab = inst.get(label)
             if ab is None:
                 continue

@@ -7,6 +7,10 @@
 #
 # The timing columns are machine-dependent by nature, so --check strips
 # them before diffing; any cost drift fails loudly with the full diff.
+#
+# Both tables run entirely on the flat engine (it covers every domain,
+# binary and multi-valued; legacy survives only as a test oracle), so the
+# fixtures double as a golden record of the flat specialization rungs.
 set -eu
 
 cd "$(dirname "$0")/.."

@@ -55,6 +55,11 @@ if command -v python3 >/dev/null 2>&1; then
     # v5): warm global-cache runs must be bit-identical to cold runs and
     # must actually hit the shared cache (warm_hit_rate >= 0.9).
     python3 scripts/check_bench_metrics.py BENCH_pr6.json
+    # Schema v6 adds the mv_ab leg (flat vs legacy on multi-valued covers,
+    # bit-identical costs required); the deterministic work counters are
+    # additionally gated against the pr6 report (+20%).
+    python3 scripts/check_bench_metrics.py BENCH_pr7.json \
+        --baseline BENCH_pr6.json
 else
     # Fallback without python: the metrics block must at least be present
     # and non-trivially populated in every instance.
