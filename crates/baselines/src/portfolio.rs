@@ -2,13 +2,15 @@
 //!
 //! [`standard_portfolio`] is the canonical line-up the CLI, the benches, and
 //! the differential tests all race: `picola`, `nova` (i-hybrid), `anneal`,
-//! `dicho`, and `natural`. Stochastic members get explicit per-member seeds
-//! derived from one master seed by SplitMix64, so the portfolio outcome is a
-//! pure function of `(instance, seed)` — independent of thread count,
-//! scheduling, or any global RNG state.
+//! `dicho`, `natural`, and `sat` (the CNF-backed exact searcher, behind its
+//! `nv <= 5` size guard and a fixed conflict cap). Stochastic members get
+//! explicit per-member seeds derived from one master seed by SplitMix64, so
+//! the portfolio outcome is a pure function of `(instance, seed)` —
+//! independent of thread count, scheduling, or any global RNG state.
 
 use crate::{AnnealingEncoder, DichotomyEncoder, NaturalEncoder, NovaEncoder};
 use picola_core::{Encoder, EncoderPortfolio, PicolaEncoder};
+use picola_sat::SatEncoder;
 
 /// One step of the SplitMix64 sequence: the per-member seed stream.
 ///
@@ -22,13 +24,15 @@ pub fn splitmix64(state: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Build the standard five-member portfolio.
+/// Build the standard six-member portfolio.
 ///
-/// Member order is fixed (`picola`, `nova`, `anneal`, `dicho`, `natural`);
-/// ties in the winning cost resolve to the earliest member, so PICOLA wins
-/// ties by construction. `seed` feeds the stochastic members through
-/// [`splitmix64`]; equal seeds give bit-identical outcomes at any thread
-/// count.
+/// Member order is fixed (`picola`, `nova`, `anneal`, `dicho`, `natural`,
+/// `sat`); ties in the winning cost resolve to the earliest member, so
+/// PICOLA wins ties by construction — the SAT member, though often exactly
+/// optimal on small instances, only wins when it strictly beats every
+/// heuristic. `seed` feeds the stochastic members through [`splitmix64`];
+/// equal seeds give bit-identical outcomes at any thread count (the SAT
+/// member is deterministic and needs no seed).
 #[must_use]
 pub fn standard_portfolio(seed: u64) -> EncoderPortfolio {
     EncoderPortfolio::new(standard_members(seed))
@@ -46,6 +50,7 @@ pub fn standard_members(seed: u64) -> Vec<Box<dyn Encoder + Send + Sync>> {
         Box::new(AnnealingEncoder::with_seed(anneal_seed)),
         Box::new(DichotomyEncoder),
         Box::new(NaturalEncoder),
+        Box::new(SatEncoder::default()),
     ]
 }
 
@@ -64,7 +69,10 @@ mod tests {
     #[test]
     fn standard_lineup_is_fixed() {
         let p = standard_portfolio(0);
-        assert_eq!(p.names(), ["picola", "nova-ih", "anneal", "dicho", "natural"]);
+        assert_eq!(
+            p.names(),
+            ["picola", "nova-ih", "anneal", "dicho", "natural", "sat"]
+        );
     }
 
     #[test]

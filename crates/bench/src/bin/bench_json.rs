@@ -12,9 +12,13 @@
 //!   pipeline vs the legacy uncached one;
 //! * multi-valued covers (`mv_ab`): the instance's constraints rendered as
 //!   a symbol×tag MV cover and minimized flat vs legacy — the domains the
-//!   flat engine used to silently fall back on, now first-class.
+//!   flat engine used to silently fall back on, now first-class;
+//! * the optimality gap (`sat_ab`): on instances inside the SAT oracle's
+//!   size guard (`nv <= 4`), the proven optimum vs every heuristic
+//!   member's exact cost — the oracle's witness must re-cost bit-for-bit
+//!   under the exact evaluator and no heuristic may beat it.
 //!
-//! Writes one machine-readable JSON report (`BENCH_pr5.json` by default),
+//! Writes one machine-readable JSON report (`BENCH_pr8.json` by default),
 //! including a deterministic per-instance `metrics` block (the obs span /
 //! counter tree of the sequential portfolio run).
 //! See README.md ("Reading the bench JSON") for the schema.
@@ -27,12 +31,13 @@
 
 use picola_baselines::{standard_members, standard_portfolio, EncLikeEncoder};
 use picola_bench::corpus::{corpus_tier, Instance, Tier};
-use picola_constraints::Encoding;
+use picola_constraints::{min_code_length, Encoding};
 use picola_core::{
     estimate_cubes, evaluate_encoding_cached, try_picola_encode_with, Budget, CoverEngine,
     EvalContext, EvalOptions, GlobalMinimizeCache, PicolaOptions, RefineEngine,
 };
 use picola_logic::{obs, Counter, Cover, Cube, DomainBuilder, MinimizeCache, SpanSnapshot, Trace};
+use picola_sat::{exact_cost, ExactOracle};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -51,7 +56,7 @@ impl Options {
         let mut opts = Options {
             smoke: false,
             tier: Tier::Standard,
-            out: "BENCH_pr7.json".to_owned(),
+            out: "BENCH_pr8.json".to_owned(),
             threads: 4,
             seed: 0x0001_C01A,
             instances: 0,
@@ -125,6 +130,121 @@ struct InstanceReport {
     enc_ab: AbReport,
     mv_ab: AbReport,
     serve_ab: ServeAbReport,
+    sat_ab: SatAbReport,
+}
+
+/// One heuristic member in the optimality-gap comparison.
+struct SatGapRow {
+    name: String,
+    /// Exact Table I cost of the member's encoding (branch-and-bound
+    /// minimizer, not the heuristic estimate in `EncoderRow::cost`).
+    exact_cost: usize,
+    /// `exact_cost - optimum`; always `>= 0` when the oracle is sound.
+    gap: usize,
+}
+
+/// Optimality-gap report: the SAT oracle's proven optimum against every
+/// portfolio member's exact cost. Instances outside the guard (`nv > 4`,
+/// a forced non-minimum code length, or a probe that hits the
+/// deterministic conflict cap before the final UNSAT proof) are emitted
+/// as skipped — the bench never reports an unproven "optimum".
+struct SatAbReport {
+    skipped: bool,
+    optimum: usize,
+    /// UNSAT at `optimum - 1` was proven.
+    proved: bool,
+    /// The oracle's witness re-costs to exactly `optimum` under the
+    /// independent exact evaluator.
+    oracle_matches_exact: bool,
+    /// `proved`, the cross-check, and `gap >= 0` for every member all hold.
+    matches: bool,
+    rounds: usize,
+    conflicts: u64,
+    wall_ns: u64,
+    rows: Vec<SatGapRow>,
+}
+
+/// The `sat_ab` size guard: `nv <= 4` bounds the CNF size so most
+/// standard-tier probes prove in milliseconds to seconds.
+const SAT_AB_MAX_NV: usize = 4;
+
+/// Deterministic per-probe conflict cap. Final UNSAT proofs grow
+/// exponentially with symbol count on the hardest instances; conflicts
+/// are machine-independent (the solver has no randomness or clock), so
+/// the cap deterministically partitions the corpus into proved and
+/// skipped instances — identical on every machine, unlike a timeout.
+/// The hardest instance this cap admits needs ~45k conflicts in its
+/// UNSAT step; the cap also bounds each pre-proof improvement probe, so
+/// the whole leg stays within tens of seconds per instance.
+const SAT_AB_CONFLICT_CAP: u64 = 50_000;
+
+/// Runs the optimality-gap leg. The oracle is warm-started from the best
+/// member encoding (fewest SAT rounds) on an unlimited budget under the
+/// deterministic conflict cap; a capped, unproven run reports as skipped.
+fn run_sat_ab(
+    inst: &Instance,
+    rows: &[EncoderRow],
+    encodings: &[Encoding],
+) -> Result<SatAbReport, String> {
+    let skipped = SatAbReport {
+        skipped: true,
+        optimum: 0,
+        proved: false,
+        oracle_matches_exact: false,
+        matches: true,
+        rounds: 0,
+        conflicts: 0,
+        wall_ns: 0,
+        rows: Vec::new(),
+    };
+    if inst.nv_override.is_some() || min_code_length(inst.n) > SAT_AB_MAX_NV {
+        return Ok(skipped);
+    }
+    let costs: Vec<usize> = encodings
+        .iter()
+        .map(|e| exact_cost(e, &inst.constraints))
+        .collect();
+    let warm = costs
+        .iter()
+        .zip(encodings)
+        .min_by_key(|(c, _)| **c)
+        .map(|(_, e)| e);
+    let oracle = ExactOracle {
+        conflict_limit: Some(SAT_AB_CONFLICT_CAP),
+        ..ExactOracle::default()
+    };
+    let t = Instant::now();
+    let out = oracle
+        .prove_from(inst.n, &inst.constraints, warm, &Budget::unlimited())
+        .map_err(|e| format!("{}: sat A/B: {e}", inst.name))?;
+    let wall_ns = t.elapsed().as_nanos() as u64;
+    if !out.optimal {
+        // The cap ended the loop before the UNSAT step: an honest skip,
+        // not an "optimum" the report cannot back.
+        return Ok(skipped);
+    }
+    let oracle_matches_exact = exact_cost(&out.encoding, &inst.constraints) == out.cost;
+    let sound = costs.iter().all(|&c| c >= out.cost);
+    let gap_rows: Vec<SatGapRow> = rows
+        .iter()
+        .zip(&costs)
+        .map(|(r, &c)| SatGapRow {
+            name: r.name.clone(),
+            exact_cost: c,
+            gap: c.saturating_sub(out.cost),
+        })
+        .collect();
+    Ok(SatAbReport {
+        skipped: false,
+        optimum: out.cost,
+        proved: out.optimal,
+        oracle_matches_exact,
+        matches: out.optimal && oracle_matches_exact && sound,
+        rounds: out.rounds,
+        conflicts: out.stats.conflicts,
+        wall_ns,
+        rows: gap_rows,
+    })
 }
 
 /// Cold-vs-warm shared-cache ENC throughput: the daemon's cross-request
@@ -586,7 +706,7 @@ fn run_instance(inst: Instance, opts: &Options) -> Result<InstanceReport, String
     let nontrivial = inst.constraints.iter().filter(|c| !c.is_trivial()).count();
 
     let mut member_encodings = Vec::new();
-    let encoders = standard_members(opts.seed)
+    let encoders: Vec<EncoderRow> = standard_members(opts.seed)
         .iter()
         .map(|member| {
             let budget = Budget::unlimited();
@@ -632,6 +752,7 @@ fn run_instance(inst: Instance, opts: &Options) -> Result<InstanceReport, String
     let enc_ab = run_enc_ab(&inst)?;
     let mv_ab = run_mv_ab(&inst)?;
     let serve_ab = run_serve_ab(&inst)?;
+    let sat_ab = run_sat_ab(&inst, &encoders, &member_encodings)?;
 
     Ok(InstanceReport {
         nontrivial,
@@ -641,6 +762,7 @@ fn run_instance(inst: Instance, opts: &Options) -> Result<InstanceReport, String
         enc_ab,
         mv_ab,
         serve_ab,
+        sat_ab,
         metrics: trace.snapshot(),
         metrics_work: trace.total_work(),
         winner: seq.best().name.clone(),
@@ -660,7 +782,7 @@ fn ms(d: Duration) -> String {
 fn emit(reports: &[InstanceReport], opts: &Options) -> String {
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"picola-bench/bench_json/v6\",");
+    let _ = writeln!(j, "  \"schema\": \"picola-bench/bench_json/v7\",");
     let _ = writeln!(j, "  \"seed\": {},", opts.seed);
     let _ = writeln!(j, "  \"threads\": {},", opts.threads);
     let _ = writeln!(j, "  \"smoke\": {},", opts.smoke);
@@ -766,6 +888,33 @@ fn emit(reports: &[InstanceReport], opts: &Options) -> String {
         let _ = writeln!(j, "        \"warm_hit_rate\": {:.4},", s.warm_hit_rate);
         let _ = writeln!(j, "        \"matches\": {},", s.matches);
         let _ = writeln!(j, "        \"speedup\": {:.3}", s.speedup);
+        let _ = writeln!(j, "      }},");
+        let sa = &r.sat_ab;
+        let _ = writeln!(j, "      \"sat_ab\": {{");
+        let _ = writeln!(j, "        \"skipped\": {},", sa.skipped);
+        if !sa.skipped {
+            let _ = writeln!(j, "        \"optimum\": {},", sa.optimum);
+            let _ = writeln!(j, "        \"proved\": {},", sa.proved);
+            let _ = writeln!(
+                j,
+                "        \"oracle_matches_exact\": {},",
+                sa.oracle_matches_exact
+            );
+            let _ = writeln!(j, "        \"rounds\": {},", sa.rounds);
+            let _ = writeln!(j, "        \"conflicts\": {},", sa.conflicts);
+            let _ = writeln!(j, "        \"wall_ms\": {:.3},", sa.wall_ns as f64 / 1e6);
+            let _ = writeln!(j, "        \"gaps\": [");
+            for (gi, g) in sa.rows.iter().enumerate() {
+                let _ = write!(
+                    j,
+                    "          {{\"name\": \"{}\", \"exact_cost\": {}, \"gap\": {}}}",
+                    g.name, g.exact_cost, g.gap
+                );
+                let _ = writeln!(j, "{}", if gi + 1 < sa.rows.len() { "," } else { "" });
+            }
+            let _ = writeln!(j, "        ],");
+        }
+        let _ = writeln!(j, "        \"matches\": {}", sa.matches);
         let _ = writeln!(j, "      }},");
         let _ = writeln!(
             j,
@@ -938,6 +1087,52 @@ fn emit(reports: &[InstanceReport], opts: &Options) -> String {
         cold_ms / warm_ms.max(1e-9)
     );
     let _ = writeln!(j, "      \"mismatches\": {serve_mismatches}");
+    let _ = writeln!(j, "    }},");
+    // Optimality-gap totals over the instances the SAT oracle checked:
+    // per-encoder aggregate gap to the proven optimum, and the headline
+    // mismatch count scripts/check_bench_metrics.py gates on.
+    let checked: Vec<&SatAbReport> = reports
+        .iter()
+        .map(|r| &r.sat_ab)
+        .filter(|s| !s.skipped)
+        .collect();
+    let sat_mismatches = reports.iter().filter(|r| !r.sat_ab.matches).count();
+    let proved_count = checked.iter().filter(|s| s.proved).count();
+    let _ = writeln!(j, "    \"sat\": {{");
+    let _ = writeln!(j, "      \"checked\": {},", checked.len());
+    let _ = writeln!(j, "      \"skipped\": {},", reports.len() - checked.len());
+    let _ = writeln!(j, "      \"proved\": {proved_count},");
+    let _ = writeln!(
+        j,
+        "      \"total_optimum\": {},",
+        checked.iter().map(|s| s.optimum).sum::<usize>()
+    );
+    let _ = writeln!(
+        j,
+        "      \"total_conflicts\": {},",
+        checked.iter().map(|s| s.conflicts).sum::<u64>()
+    );
+    let _ = writeln!(j, "      \"gaps\": [");
+    for (i, name) in names.iter().enumerate() {
+        let total_gap: usize = checked
+            .iter()
+            .filter_map(|s| s.rows.iter().find(|g| g.name == *name))
+            .map(|g| g.gap)
+            .sum();
+        let total_cost: usize = checked
+            .iter()
+            .filter_map(|s| s.rows.iter().find(|g| g.name == *name))
+            .map(|g| g.exact_cost)
+            .sum();
+        let _ = write!(
+            j,
+            "        {{\"name\": \"{name}\", \"total_exact_cost\": {total_cost}, \
+             \"total_gap\": {total_gap}}}"
+        );
+        let _ = writeln!(j, "{}", if i + 1 < names.len() { "," } else { "" });
+    }
+    let _ = writeln!(j, "      ],");
+    let _ = writeln!(j, "      \"mismatches\": {sat_mismatches}");
     let _ = writeln!(j, "    }}");
     let _ = writeln!(j, "  }}");
     let _ = writeln!(j, "}}");
@@ -961,7 +1156,7 @@ fn main() {
                 eprintln!(
                     "{name}: winner {} (cost {}), seq {} ms / par {} ms, \
                      refine speedup {:.2}x, eval {:.2}x, enc {:.2}x, \
-                     mv {:.2}x, serve warm {:.2}x @ {:.0}% hits",
+                     mv {:.2}x, serve warm {:.2}x @ {:.0}% hits{}",
                     r.winner,
                     r.winning_cost,
                     ms(r.seq_wall),
@@ -971,7 +1166,17 @@ fn main() {
                     r.enc_ab.speedup_per_work,
                     r.mv_ab.speedup_per_work,
                     r.serve_ab.speedup,
-                    r.serve_ab.warm_hit_rate * 100.0
+                    r.serve_ab.warm_hit_rate * 100.0,
+                    if r.sat_ab.skipped {
+                        ", sat skipped".to_owned()
+                    } else {
+                        format!(
+                            ", sat optimum {} ({} rounds{})",
+                            r.sat_ab.optimum,
+                            r.sat_ab.rounds,
+                            if r.sat_ab.matches { "" } else { ", MISMATCH" }
+                        )
+                    }
                 );
                 reports.push(r);
             }

@@ -45,6 +45,10 @@ pub const TRIGGER_POINTS: &[&str] = &[
     "exact.node",
     "pla.parse",
     "mvpla.parse",
+    // picola-logic: CDCL SAT core (ticked on every decision and every
+    // conflict, so both satisfiable and unsatisfiable searches are
+    // budget-responsive and chaos-reachable)
+    "sat.conflict",
     // picola-fsm
     "kiss.parse",
     // picola-core

@@ -41,6 +41,8 @@
 //! - [`cache`]: the memoized minimization cache ([`MinimizeCache`]; memo
 //!   compiled out without the `minimize-cache` cargo feature) and the
 //!   [`CoverEngine`] selector.
+//! - [`sat`]: CNF formulas, DIMACS I/O, a self-contained CDCL solver, and
+//!   the face-problem compiler behind the `picola-sat` exact oracle.
 
 #![warn(missing_docs)]
 
@@ -66,6 +68,7 @@ pub mod obs;
 pub mod pla;
 pub mod primes;
 pub mod reduce;
+pub mod sat;
 pub mod sharp;
 pub mod urp;
 pub mod verify;
@@ -100,6 +103,7 @@ pub use obs::{Counter, Recorder, SpanSnapshot, Trace};
 pub use pla::{parse_pla, parse_pla_with, write_pla, Pla, PlaType};
 pub use primes::{all_primes, all_primes_bounded};
 pub use reduce::reduce;
+pub use sat::{Cnf, FaceCnf, FaceProblem, Lit, SatOutcome, SatParseError, SatStats, Solver};
 pub use sharp::{cover_sharp, cube_sharp};
 pub use urp::{complement, cube_complement, tautology};
 pub use verify::{

@@ -120,6 +120,16 @@ pub enum Counter {
     /// [`crate::CoverEngine::Legacy`] (differential oracle runs, A/B bench
     /// legs) is not a fallback and must not bump it either.
     LegacyFallback,
+    /// Branching decisions made by the CDCL SAT core
+    /// ([`crate::sat::Solver`]). Together with [`Counter::SatConflicts`]
+    /// this equals the work the solver charges to its budget at the
+    /// `sat.conflict` trigger point — the conservation rule for SAT runs.
+    SatDecisions,
+    /// Implied assignments produced by unit propagation in the SAT core.
+    SatPropagations,
+    /// Conflicts analyzed (and, when the clause is non-trivial, learned
+    /// from) by the SAT core.
+    SatConflicts,
 }
 
 impl Counter {
@@ -148,6 +158,9 @@ impl Counter {
         Counter::MinimizeCacheHit,
         Counter::MinimizeCacheMiss,
         Counter::LegacyFallback,
+        Counter::SatDecisions,
+        Counter::SatPropagations,
+        Counter::SatConflicts,
     ];
 
     /// The stable snake_case name used in renders and JSON.
@@ -176,6 +189,9 @@ impl Counter {
             Counter::MinimizeCacheHit => "minimize_cache_hit",
             Counter::MinimizeCacheMiss => "minimize_cache_miss",
             Counter::LegacyFallback => "legacy_fallback",
+            Counter::SatDecisions => "sat_decisions",
+            Counter::SatPropagations => "sat_propagations",
+            Counter::SatConflicts => "sat_conflicts",
         }
     }
 }

@@ -1,0 +1,295 @@
+//! Property tests for the SAT layer: the CDCL core, the DIMACS codec, and
+//! the face-constraint CNF compiler — each checked against an oracle that
+//! shares *no* code with the thing under test.
+//!
+//! 1. the solver against exhaustive truth-table enumeration on small random
+//!    formulas (verdict and, when SAT, the model itself);
+//! 2. `to_dimacs` / `parse_dimacs` as an exact round trip;
+//! 3. compiled face CNFs: every SAT model decodes to an injective encoding
+//!    whose covers are verified with raw integer arithmetic;
+//! 4. UNSAT certificates: at `optimum - 1` the formula must be unsatisfiable
+//!    and at `optimum` satisfiable, where the optimum comes from brute-force
+//!    enumeration of all injective encodings and exact set-cover search.
+
+// Tests are exempt from the panic-freedom policy; clippy's in-tests
+// exemption misses integration-test helpers, so waive it explicitly.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use picola_logic::sat::{Cnf, FaceProblem, Lit, SatOutcome, Solver};
+use picola_logic::Budget;
+use proptest::prelude::*;
+
+fn solve(cnf: &Cnf) -> SatOutcome {
+    Solver::from_cnf(cnf).solve(&Budget::unlimited())
+}
+
+/// Strategy: a random CNF over `nvars` variables — clause literals drawn
+/// with replacement, so duplicates and tautologies exercise the
+/// `add_clause` normalizer too.
+fn random_cnf(nvars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    let lit = (0..nvars, any::<bool>());
+    let clause = proptest::collection::vec(lit, 1..=4);
+    proptest::collection::vec(clause, 0..=max_clauses).prop_map(move |clauses| {
+        let mut cnf = Cnf::new();
+        // Pin the variable count so formulas with unused high variables
+        // round-trip exactly.
+        for _ in 0..nvars {
+            cnf.new_var();
+        }
+        for c in clauses {
+            let lits: Vec<Lit> = c
+                .into_iter()
+                .map(|(v, pos)| if pos { Lit::pos(v) } else { Lit::neg(v) })
+                .collect();
+            cnf.add_clause(&lits);
+        }
+        cnf
+    })
+}
+
+/// Exhaustive truth-table verdict for a small CNF: the satisfying
+/// assignment with the lowest bit pattern, or `None`.
+fn enumerate(cnf: &Cnf) -> Option<u64> {
+    let nv = cnf.num_vars();
+    assert!(nv <= 16, "enumeration oracle is exponential");
+    (0u64..(1u64 << nv)).find(|&bits| {
+        cnf.clauses().iter().all(|clause| {
+            clause.iter().any(|l| {
+                let assigned = bits >> l.var() & 1 == 1;
+                assigned == l.is_pos()
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn solver_agrees_with_truth_table_enumeration(cnf in random_cnf(9, 24)) {
+        let expected_sat = enumerate(&cnf).is_some();
+        match solve(&cnf) {
+            SatOutcome::Sat(model) => {
+                prop_assert!(expected_sat, "solver claims SAT on an UNSAT formula");
+                // The model must actually satisfy every clause — checked
+                // directly, not via the enumerator.
+                for clause in cnf.clauses() {
+                    prop_assert!(
+                        clause.iter().any(|l| model[l.var()] == l.is_pos()),
+                        "model violates clause {clause:?}"
+                    );
+                }
+            }
+            SatOutcome::Unsat => prop_assert!(!expected_sat, "solver claims UNSAT on a SAT formula"),
+            SatOutcome::Unknown => prop_assert!(false, "unlimited budget must decide"),
+        }
+    }
+
+    #[test]
+    fn dimacs_round_trips_exactly(cnf in random_cnf(12, 30)) {
+        let text = cnf.to_dimacs();
+        let parsed = Cnf::parse_dimacs(&text).expect("own output must parse");
+        prop_assert_eq!(&parsed, &cnf, "parse(print(cnf)) != cnf");
+        // And printing is a fixed point after one round.
+        prop_assert_eq!(parsed.to_dimacs(), text);
+    }
+}
+
+/// Minimum code length for `n` symbols, derived independently of the
+/// constraints crate (`>= 1`, and `2^nv >= n`).
+fn nv_for(n: usize) -> usize {
+    let mut nv = 1;
+    while (1usize << nv) < n {
+        nv += 1;
+    }
+    nv
+}
+
+/// Strategy: a small face problem — `n` symbols at minimum code length with
+/// 1–3 random member groups of size >= 2. (The vendored proptest has no
+/// flat-map, so raw picks are drawn wide and folded into range by `% n`.)
+fn face_problem(max_n: usize) -> impl Strategy<Value = FaceProblem> {
+    let picks = proptest::collection::vec(proptest::collection::vec(0usize..64, 4), 3);
+    (3..=max_n, 1..=3usize, picks).prop_map(move |(n, count, raw)| {
+        let groups = raw
+            .into_iter()
+            .take(count)
+            .map(|p| {
+                let mut g: Vec<usize> = p.into_iter().map(|x| x % n).collect();
+                g.sort_unstable();
+                g.dedup();
+                if g.len() < 2 {
+                    g.push((g[0] + 1) % n);
+                    g.sort_unstable();
+                }
+                g
+            })
+            .collect();
+        FaceProblem {
+            n,
+            nv: nv_for(n),
+            groups,
+        }
+    })
+}
+
+/// Raw-arithmetic model check: codes injective and in range, every member
+/// covered by a selected cube, no cube touching a non-member, total cube
+/// count within the bound.
+fn check_model(p: &FaceProblem, compiled: &picola_logic::sat::FaceCnf, model: &[bool]) {
+    let codes = compiled.decode_codes(model);
+    assert_eq!(codes.len(), p.n);
+    for (s, &c) in codes.iter().enumerate() {
+        assert!((c as u64) < (1u64 << p.nv), "code {c} of symbol {s} out of range");
+        for (t, &d) in codes.iter().enumerate().skip(s + 1) {
+            assert_ne!(c, d, "symbols {s} and {t} share code {c}");
+        }
+    }
+    let covers = compiled.decode_covers(model);
+    assert_eq!(covers.len(), p.groups.len());
+    let total: usize = covers.iter().map(Vec::len).sum();
+    assert!(total <= compiled.bound, "{total} cubes exceed bound {}", compiled.bound);
+    for (g, cover) in p.groups.iter().zip(&covers) {
+        for &m in g {
+            assert!(
+                cover.iter().any(|&(mask, val)| codes[m] & mask == val),
+                "member {m} not covered"
+            );
+        }
+        for &(mask, val) in cover {
+            for t in (0..p.n).filter(|t| !g.contains(t)) {
+                assert_ne!(codes[t] & mask, val, "cube ({mask:#b},{val:#b}) covers non-member {t}");
+            }
+        }
+    }
+}
+
+/// Exact minimum SOP cover size for on-set `on` against off-set `off` over
+/// the `nv`-cube (vertex sets as bitmasks over `2^nv` points): enumerate
+/// every off-free cube, then branch-and-bound set cover on the lowest
+/// uncovered vertex.
+fn min_cover(nv: usize, on: u32, off: u32) -> usize {
+    if on == 0 {
+        return 0;
+    }
+    let mut cands: Vec<u32> = Vec::new();
+    for mask in 0u32..(1 << nv) {
+        for val in 0u32..(1 << nv) {
+            if val & !mask != 0 {
+                continue;
+            }
+            let mut verts = 0u32;
+            for v in 0..(1u32 << nv) {
+                if v & mask == val {
+                    verts |= 1 << v;
+                }
+            }
+            if verts & off == 0 {
+                cands.push(verts & on);
+            }
+        }
+    }
+    fn rec(on: u32, covered: u32, cands: &[u32], depth: usize, best: &mut usize) {
+        if depth >= *best {
+            return;
+        }
+        let rem = on & !covered;
+        if rem == 0 {
+            *best = depth;
+            return;
+        }
+        let lowest = rem & rem.wrapping_neg();
+        for &c in cands {
+            if c & lowest != 0 {
+                rec(on, covered | c, cands, depth + 1, best);
+            }
+        }
+    }
+    let mut best = on.count_ones() as usize; // singleton cubes always work
+    rec(on, 0, &cands, 0, &mut best);
+    best
+}
+
+/// True optimum by brute force: every injective placement of the `n`
+/// symbols on the `2^nv` vertices, costed with [`min_cover`] per group.
+fn brute_optimum(p: &FaceProblem) -> usize {
+    let verts = 1usize << p.nv;
+    assert!(p.n <= verts && verts <= 8, "oracle is factorial");
+    fn rec(p: &FaceProblem, codes: &mut Vec<u32>, used: &mut [bool], best: &mut usize) {
+        if codes.len() == p.n {
+            let mut cost = 0usize;
+            for g in &p.groups {
+                let mut on = 0u32;
+                let mut off = 0u32;
+                for (s, &c) in codes.iter().enumerate() {
+                    if g.contains(&s) {
+                        on |= 1 << c;
+                    } else {
+                        off |= 1 << c;
+                    }
+                }
+                cost += min_cover(p.nv, on, off);
+                if cost >= *best {
+                    return;
+                }
+            }
+            *best = cost;
+            return;
+        }
+        for v in 0..used.len() {
+            if !used[v] {
+                used[v] = true;
+                codes.push(v as u32);
+                rec(p, codes, used, best);
+                codes.pop();
+                used[v] = false;
+            }
+        }
+    }
+    let mut best = p.groups.iter().map(|g| g.len()).sum::<usize>().max(1);
+    rec(p, &mut Vec::new(), &mut vec![false; verts], &mut best);
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn face_models_decode_to_valid_encodings(p in face_problem(8)) {
+        // A generous bound (singleton cubes for every member) is always
+        // satisfiable; the decoded model must survive the raw arithmetic
+        // checks.
+        let bound = p.groups.iter().map(Vec::len).sum();
+        let compiled = p.compile(bound);
+        match solve(&compiled.cnf) {
+            SatOutcome::Sat(model) => check_model(&p, &compiled, &model),
+            other => prop_assert!(false, "generous bound must be SAT, got {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn unsat_certificates_match_exhaustive_enumeration(p in face_problem(5)) {
+        // nv <= 3 here, so the factorial oracle is cheap. The compiled
+        // formula must flip from SAT to UNSAT exactly at the true optimum.
+        let opt = brute_optimum(&p);
+        let at_opt = p.compile(opt);
+        match solve(&at_opt.cnf) {
+            SatOutcome::Sat(model) => check_model(&p, &at_opt, &model),
+            other => prop_assert!(false, "bound {opt} must be SAT, got {other:?}"),
+        }
+        if opt > 0 {
+            let below = p.compile(opt - 1);
+            prop_assert_eq!(
+                solve(&below.cnf),
+                SatOutcome::Unsat,
+                "bound {} must be UNSAT — brute-force optimum is {}",
+                opt - 1,
+                opt
+            );
+        }
+    }
+}

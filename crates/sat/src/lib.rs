@@ -1,0 +1,391 @@
+//! # picola-sat — SAT-backed exact face-constraint encoding
+//!
+//! An *independent* exact path for the encoding problem: where the rest of
+//! the workspace shares cube algebra (ESPRESSO, Quine–McCluskey, the flat
+//! engine), this crate reduces "does an injective encoding with total
+//! Table I cost ≤ K exist?" to CNF (see [`picola_logic::sat`]) and decides
+//! it with the self-contained CDCL core. Two consumers:
+//!
+//! - [`ExactOracle`] proves optima by iterating the cube bound downward to
+//!   UNSAT, re-costing every SAT witness with the exact per-constraint
+//!   minimizer — so the proven optimum and the legacy exact evaluation
+//!   cross-check each other bit for bit.
+//! - [`SatEncoder`] wraps the oracle as a portfolio [`Encoder`] behind a
+//!   size guard (`nv <= 5`) and a deterministic internal conflict cap, so
+//!   the `sat` member always terminates quickly and reports `Complete`
+//!   unless the *external* budget ran out.
+//!
+//! ## The bound-tightening loop
+//!
+//! Let `upper` be the exact cost of the best known encoding (seeded with
+//! the natural encoding or a caller-provided warm start) and `lower` the
+//! number of non-trivial constraints (each needs at least one cube).
+//! Repeatedly solve the CNF at bound `upper - 1`:
+//!
+//! - **SAT** — decode the witness, re-cost it exactly, and jump `upper`
+//!   down to that cost (always `<= upper - 1`, usually much less);
+//! - **UNSAT** — `upper` is optimal: no encoding beats it, and the best
+//!   witness achieves it;
+//! - **Unknown** — the budget ran out (or the conflict cap hit): return
+//!   the best witness so far with `optimal = false`, never hang.
+//!
+//! Soundness of the cross-check: if the loop ends with UNSAT at
+//! `upper - 1`, any encoding of cost `< upper` would make that formula
+//! satisfiable — so the exact evaluator must agree that the witness costs
+//! exactly `upper`, and every heuristic encoder's cost is `>= upper`.
+
+#![warn(missing_docs)]
+
+use picola_constraints::{min_code_length, Encoding, GroupConstraint};
+use picola_core::{
+    evaluate_encoding_with, Budget, Completion, Encoder, EvalMinimizer,
+};
+use picola_logic::sat::{FaceProblem, SatOutcome, SatStats, Solver};
+use std::fmt;
+
+pub use picola_logic::sat::{Cnf, FaceCnf, Lit};
+
+/// Node cap handed to the exact per-constraint minimizer when re-costing
+/// witnesses. Functions here have at most `2^5` points, far below any
+/// realistic branch-and-bound blow-up, so this never truncates in practice.
+const EXACT_EVAL_NODES: usize = 1 << 20;
+
+/// Errors from [`ExactOracle::prove`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleError {
+    /// The instance needs more code bits than the oracle's size guard
+    /// allows; CNF size would explode.
+    TooLarge {
+        /// Required code length for the instance.
+        nv: usize,
+        /// The oracle's configured ceiling.
+        max_nv: usize,
+    },
+    /// No valid encoding exists (more symbols than vertices — cannot
+    /// happen with `nv = min_code_length(n)`, but the API allows overrides).
+    Infeasible,
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::TooLarge { nv, max_nv } => {
+                write!(f, "instance needs nv={nv} bits, above the SAT oracle guard of {max_nv}")
+            }
+            OracleError::Infeasible => write!(f, "no injective encoding exists"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// What the oracle proved (or got to before the budget ran out).
+#[derive(Debug, Clone)]
+pub struct OracleOutcome {
+    /// The best encoding found.
+    pub encoding: Encoding,
+    /// Its exact Table I cost (total minimized cubes over non-trivial
+    /// constraints), computed by the independent exact evaluator.
+    pub cost: usize,
+    /// The proven lower bound: equals `cost` when `optimal`, otherwise
+    /// the trivial one-cube-per-constraint floor.
+    pub lower_bound: usize,
+    /// `true` when UNSAT at `cost - 1` was proven (or `cost` already sits
+    /// on the trivial floor): `cost` is the exact optimum.
+    pub optimal: bool,
+    /// How the run ended with respect to the *external* budget. An
+    /// internal conflict-cap stop leaves this `Complete` (with
+    /// `optimal = false`).
+    pub completion: Completion,
+    /// SAT solver calls made by the bound-tightening loop.
+    pub rounds: usize,
+    /// Aggregate solver counters across all rounds.
+    pub stats: SatStats,
+}
+
+/// Proves exact face-constraint encoding optima via SAT.
+///
+/// See the crate docs for the loop; construction is plain-struct so tests
+/// can tighten or loosen the guards.
+#[derive(Debug, Clone)]
+pub struct ExactOracle {
+    /// Size guard: instances needing more bits than this are rejected
+    /// ([`OracleError::TooLarge`]). CNF size grows as `O(n^2 nv + n K nv)`;
+    /// 5 bits (32 symbols) is the practical ceiling for the small solver.
+    pub max_nv: usize,
+    /// Optional deterministic cap on conflicts *per solver call*; reaching
+    /// it ends the loop with `optimal = false` but does not touch the
+    /// external budget. `None` (the default) lets each probe run to an
+    /// answer or budget exhaustion.
+    pub conflict_limit: Option<u64>,
+}
+
+impl Default for ExactOracle {
+    fn default() -> Self {
+        ExactOracle {
+            max_nv: 5,
+            conflict_limit: None,
+        }
+    }
+}
+
+/// Exact Table I cost of `enc`: per-constraint minimum SOP covers via the
+/// Quine–McCluskey branch-and-bound, summed over non-trivial constraints.
+#[must_use]
+pub fn exact_cost(enc: &Encoding, constraints: &[GroupConstraint]) -> usize {
+    evaluate_encoding_with(
+        enc,
+        constraints,
+        EvalMinimizer::Exact {
+            max_nodes: EXACT_EVAL_NODES,
+        },
+    )
+    .total_cubes
+}
+
+impl ExactOracle {
+    /// Proves the optimum for `n` symbols under `constraints`, seeding the
+    /// upper bound with the natural encoding.
+    pub fn prove(
+        &self,
+        n: usize,
+        constraints: &[GroupConstraint],
+        budget: &Budget,
+    ) -> Result<OracleOutcome, OracleError> {
+        self.prove_from(n, constraints, None, budget)
+    }
+
+    /// [`ExactOracle::prove`] with a warm-start encoding: a good heuristic
+    /// seed tightens the initial upper bound and saves SAT rounds. The
+    /// warm start must encode exactly `n` symbols in `min_code_length(n)`
+    /// bits; anything else is ignored.
+    pub fn prove_from(
+        &self,
+        n: usize,
+        constraints: &[GroupConstraint],
+        warm_start: Option<&Encoding>,
+        budget: &Budget,
+    ) -> Result<OracleOutcome, OracleError> {
+        let nv = min_code_length(n);
+        if nv > self.max_nv {
+            return Err(OracleError::TooLarge {
+                nv,
+                max_nv: self.max_nv,
+            });
+        }
+        if nv >= usize::BITS as usize || n > (1usize << nv) {
+            return Err(OracleError::Infeasible);
+        }
+        let groups: Vec<Vec<usize>> = constraints
+            .iter()
+            .filter(|c| !c.is_trivial())
+            .map(|c| c.members().iter().collect())
+            .collect();
+        let mut best = match warm_start {
+            Some(w) if w.num_symbols() == n && w.nv() == nv => w.clone(),
+            _ => Encoding::natural(n),
+        };
+        let mut upper = exact_cost(&best, constraints);
+        let lower_floor = groups.len();
+        let problem = FaceProblem { n, nv, groups };
+        let mut rounds = 0usize;
+        let mut stats = SatStats::default();
+        let mut optimal = upper <= lower_floor;
+        let mut lower = lower_floor;
+        while upper > lower {
+            let k = upper - 1;
+            let compiled = problem.compile(k);
+            let mut solver = Solver::from_cnf(&compiled.cnf);
+            solver.set_conflict_limit(self.conflict_limit);
+            rounds += 1;
+            let outcome = solver.solve(budget);
+            stats.absorb(solver.stats());
+            match outcome {
+                SatOutcome::Sat(model) => {
+                    let Ok(enc) = Encoding::new(nv, compiled.decode_codes(&model)) else {
+                        // A model that decodes to duplicate codes would be
+                        // a compiler bug; degrade rather than loop forever.
+                        break;
+                    };
+                    let cost = exact_cost(&enc, constraints);
+                    if cost >= upper {
+                        // Ditto: the witness must beat the bound it
+                        // satisfied. Degrade on inconsistency.
+                        break;
+                    }
+                    best = enc;
+                    upper = cost;
+                    optimal = upper <= lower_floor;
+                }
+                SatOutcome::Unsat => {
+                    lower = upper;
+                    optimal = true;
+                }
+                SatOutcome::Unknown => break,
+            }
+        }
+        Ok(OracleOutcome {
+            encoding: best,
+            cost: upper,
+            lower_bound: if optimal { upper } else { lower_floor },
+            optimal,
+            completion: budget.completion(),
+            rounds,
+            stats,
+        })
+    }
+}
+
+/// Default per-probe conflict cap for the portfolio member: deep enough to
+/// reach (and usually prove) optima on easy small-tier instances, shallow
+/// enough that the member never dominates a portfolio race — the full
+/// proofs belong to the [`ExactOracle`] used by tests and the bench, which
+/// runs uncapped.
+const ENCODER_CONFLICT_CAP: u64 = 2_000;
+
+/// The SAT oracle as a portfolio [`Encoder`] (`"sat"`).
+///
+/// Behind the `nv <= max_nv` size guard it runs the bound-tightening loop
+/// with a deterministic internal conflict cap and returns the best witness
+/// found. Oversized instances fall back to the natural encoding rather
+/// than failing — the rest of the portfolio carries them. Completion
+/// reflects only the external budget, so the differential suite's
+/// "complete on an unlimited budget" invariant holds like for any other
+/// self-capped member (anneal's fixed schedule, for example).
+#[derive(Debug, Clone)]
+pub struct SatEncoder {
+    /// The underlying oracle configuration.
+    pub oracle: ExactOracle,
+}
+
+impl Default for SatEncoder {
+    fn default() -> Self {
+        SatEncoder {
+            oracle: ExactOracle {
+                max_nv: 5,
+                conflict_limit: Some(ENCODER_CONFLICT_CAP),
+            },
+        }
+    }
+}
+
+impl Encoder for SatEncoder {
+    fn name(&self) -> &str {
+        "sat"
+    }
+
+    fn encode(&self, n: usize, constraints: &[GroupConstraint]) -> Encoding {
+        self.encode_bounded(n, constraints, &Budget::unlimited()).0
+    }
+
+    fn encode_bounded(
+        &self,
+        n: usize,
+        constraints: &[GroupConstraint],
+        budget: &Budget,
+    ) -> (Encoding, Completion) {
+        match self.oracle.prove(n, constraints, budget) {
+            Ok(outcome) => (outcome.encoding, outcome.completion),
+            Err(_) => (Encoding::natural(n), budget.completion()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picola_constraints::SymbolSet;
+
+    fn groups(n: usize, gs: &[&[usize]]) -> Vec<GroupConstraint> {
+        gs.iter()
+            .map(|g| GroupConstraint::new(SymbolSet::from_members(n, g.iter().copied())))
+            .collect()
+    }
+
+    #[test]
+    fn proves_the_embeddable_case_at_the_floor() {
+        // 8 symbols, two disjoint small groups: both embed as faces, so
+        // the optimum is one cube each.
+        let cs = groups(8, &[&[0, 1, 2, 3], &[4, 5]]);
+        let out = ExactOracle::default()
+            .prove(8, &cs, &Budget::unlimited())
+            .expect("within guard");
+        assert!(out.optimal);
+        assert_eq!(out.cost, 2);
+        assert_eq!(out.lower_bound, 2);
+        assert_eq!(exact_cost(&out.encoding, &cs), 2);
+    }
+
+    #[test]
+    fn no_constraints_cost_zero() {
+        let out = ExactOracle::default()
+            .prove(6, &[], &Budget::unlimited())
+            .expect("within guard");
+        assert!(out.optimal);
+        assert_eq!(out.cost, 0);
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn overlapping_groups_get_a_proven_optimum() {
+        let cs = groups(8, &[&[0, 1, 2], &[2, 3, 4], &[5, 6]]);
+        let out = ExactOracle::default()
+            .prove(8, &cs, &Budget::unlimited())
+            .expect("within guard");
+        assert!(out.optimal, "small instance must be proven");
+        assert_eq!(out.cost, out.lower_bound);
+        assert_eq!(exact_cost(&out.encoding, &cs), out.cost);
+        // Optimality against the trivial floor: >= one cube per group.
+        assert!(out.cost >= 3);
+    }
+
+    #[test]
+    fn size_guard_rejects_big_instances() {
+        let err = ExactOracle::default().prove(64, &[], &Budget::unlimited());
+        assert!(matches!(err, Err(OracleError::TooLarge { nv: 6, max_nv: 5 })));
+    }
+
+    #[test]
+    fn warm_start_never_worsens_the_answer() {
+        let cs = groups(8, &[&[0, 3, 5], &[1, 2]]);
+        let oracle = ExactOracle::default();
+        let cold = oracle.prove(8, &cs, &Budget::unlimited()).expect("cold");
+        let warm = oracle
+            .prove_from(8, &cs, Some(&cold.encoding), &Budget::unlimited())
+            .expect("warm");
+        assert_eq!(warm.cost, cold.cost);
+        assert!(warm.rounds <= cold.rounds);
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_not_hangs() {
+        let cs = groups(10, &[&[0, 1, 2], &[3, 4, 5], &[6, 7, 8, 9]]);
+        let budget = Budget::with_work_limit(3);
+        let out = ExactOracle::default()
+            .prove(10, &cs, &budget)
+            .expect("within guard");
+        assert!(!out.completion.is_complete());
+        assert_eq!(out.encoding.num_symbols(), 10);
+    }
+
+    #[test]
+    fn encoder_member_is_honest_and_deterministic() {
+        let cs = groups(10, &[&[0, 1, 2, 3], &[5, 6], &[8, 9]]);
+        let enc = SatEncoder::default();
+        assert_eq!(enc.name(), "sat");
+        let (a, ca) = enc.encode_bounded(10, &cs, &Budget::unlimited());
+        let (b, cb) = enc.encode_bounded(10, &cs, &Budget::unlimited());
+        assert_eq!(a, b, "unlimited-budget runs are bit-identical");
+        assert!(ca.is_complete());
+        assert!(cb.is_complete());
+        assert_eq!(a.num_symbols(), 10);
+    }
+
+    #[test]
+    fn encoder_guard_falls_back_to_natural() {
+        let enc = SatEncoder::default();
+        let (e, c) = enc.encode_bounded(64, &[], &Budget::unlimited());
+        assert_eq!(e, Encoding::natural(64));
+        assert!(c.is_complete());
+    }
+}

@@ -26,11 +26,20 @@ global cache must actually serve the warm run: `totals.serve.warm_hit_rate`
 must be at least 0.9. A daemon whose cache warmth does not carry across
 requests fails here, not in production.
 
+When the report carries a `sat_ab` block per instance and a `totals.sat`
+block (schema v7+), every non-skipped instance must hold a proven optimum
+that cross-checks against the independent exact evaluator, with no
+heuristic reporting a cost below it; the totals must show zero mismatches
+and `proved == checked`.
+
 With `--baseline`, every (instance, encoder) pair present in both reports
 is compared on `work` — the deterministic obs counter total, immune to
 machine noise unlike wall time. The check fails if any pair's work grew by
 more than `--max-regress` (default 0.20, i.e. +20%). Zero overlapping
-pairs is a warning, not a failure (e.g. comparing different tiers).
+pairs is a warning, not a failure (e.g. comparing different tiers). When
+both reports carry a `totals.sat` block, each encoder's `total_gap` to the
+proven optima must additionally not grow at all — the corpus and the
+optima are deterministic, so any growth is a real heuristic regression.
 """
 
 import json
@@ -143,6 +152,53 @@ def check_serve(report):
     return None
 
 
+def check_sat(report):
+    """Schema v7 gate: inside the oracle's size guard the optimum must be
+    proved and cross-checked, and every heuristic must sit at or above it."""
+    instances = report.get("instances", [])
+    seen = False
+    for inst in instances:
+        name = inst.get("name", "?")
+        ab = inst.get("sat_ab")
+        if ab is None:
+            continue
+        seen = True
+        if ab.get("skipped"):
+            continue
+        if not ab.get("proved"):
+            return f"{name}: sat_ab optimum was not proved (UNSAT step missing)"
+        if not ab.get("oracle_matches_exact"):
+            return (f"{name}: sat witness cost disagrees with the exact "
+                    f"evaluator — the CNF compiler and Table I diverge")
+        optimum = ab.get("optimum", 0)
+        for g in ab.get("gaps", []):
+            if g.get("gap", -1) < 0 or g.get("exact_cost", 0) < optimum:
+                return (f"{name}: encoder {g.get('name')} reports cost "
+                        f"{g.get('exact_cost')} below the proven optimum "
+                        f"{optimum}")
+        if not ab.get("matches"):
+            return f"{name}: sat_ab mismatch"
+    if not seen:
+        return None
+    totals = report.get("totals", {}).get("sat")
+    if not isinstance(totals, dict):
+        return "sat_ab instances present but no totals.sat block"
+    if totals.get("mismatches", 1) != 0:
+        return f"totals.sat reports {totals.get('mismatches')} mismatches"
+    if totals.get("proved") != totals.get("checked"):
+        return (f"totals.sat proved {totals.get('proved')} != checked "
+                f"{totals.get('checked')} — some optimum is unproven")
+    return None
+
+
+def sat_gap_map(report):
+    totals = report.get("totals", {}).get("sat")
+    if not isinstance(totals, dict):
+        return {}
+    return {g.get("name", "?"): g.get("total_gap", 0)
+            for g in totals.get("gaps", [])}
+
+
 def work_map(report):
     out = {}
     for inst in report.get("instances", []):
@@ -169,6 +225,17 @@ def check_baseline(report, baseline_path, max_regress):
                 f"(limit {limit:.0f}, +{max_regress:.0%})",
                 matched,
             )
+    # Optimality gaps are deterministic (fixed corpus, proven optima), so
+    # any growth at all is a genuine heuristic regression — no tolerance.
+    old_gaps = sat_gap_map(baseline)
+    new_gaps = sat_gap_map(report)
+    for enc, old_gap in sorted(old_gaps.items()):
+        if enc in new_gaps and new_gaps[enc] > old_gap:
+            return (
+                f"{enc}: optimality gap regressed {old_gap} -> "
+                f"{new_gaps[enc]} vs baseline's proven optima",
+                matched,
+            )
     return None, matched
 
 
@@ -192,10 +259,11 @@ def main() -> int:
         if err:
             print(f"check_bench_metrics: {err}", file=sys.stderr)
             return 1
-    err = check_serve(report)
-    if err:
-        print(f"check_bench_metrics: {err}", file=sys.stderr)
-        return 1
+    for check in (check_serve, check_sat):
+        err = check(report)
+        if err:
+            print(f"check_bench_metrics: {err}", file=sys.stderr)
+            return 1
 
     matched = None
     if baseline_path is not None:
@@ -215,6 +283,10 @@ def main() -> int:
     if serve:
         msg += (f", serve warm hit rate {serve.get('warm_hit_rate', 0):.0%}"
                 f" @ {serve.get('speedup', 0):.2f}x")
+    sat = report.get("totals", {}).get("sat")
+    if sat:
+        msg += (f", sat proved {sat.get('proved', 0)}/{sat.get('checked', 0)}"
+                f" optima (total {sat.get('total_optimum', 0)})")
     if matched is not None:
         msg += f", {matched} baseline pairs within +{max_regress:.0%}"
     print(msg + ")")

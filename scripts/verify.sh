@@ -38,6 +38,14 @@ echo "== differential suite"
 cargo test -q --offline --test differential_encoders --test chaos_parallel \
     --test determinism
 
+echo "== SAT oracle property suite"
+# The vendored proptest derives its input stream from each test's name
+# and never reads *.proptest-regressions files; shrunk failures worth
+# pinning are converted to deterministic tests instead (see
+# tests/paper_properties.rs::historical_shrunk_instances_stay_fixed) —
+# do not check regression files in.
+cargo test -q --offline -p picola-logic --test prop_sat
+
 echo "== golden table fixtures"
 sh scripts/regen_tables.sh --check
 
@@ -60,6 +68,12 @@ if command -v python3 >/dev/null 2>&1; then
     # additionally gated against the pr6 report (+20%).
     python3 scripts/check_bench_metrics.py BENCH_pr7.json \
         --baseline BENCH_pr6.json
+    # Schema v7 adds the sat_ab optimality-gap leg: every in-guard
+    # instance must carry a proven optimum, cross-checked against the
+    # exact evaluator, zero mismatches, and no heuristic below the floor;
+    # per-encoder total gaps must not grow vs the pr7 report.
+    python3 scripts/check_bench_metrics.py BENCH_pr8.json \
+        --baseline BENCH_pr7.json
 else
     # Fallback without python: the metrics block must at least be present
     # and non-trivially populated in every instance.

@@ -5,6 +5,8 @@
 //! picola assign <machine.kiss2>     full state assignment, emits the
 //!                                   minimized encoded PLA on stdout
 //! picola portfolio <machine.kiss2>  race every encoder, print the table
+//! picola sat <machine.kiss2>        prove the exact optimum via the SAT
+//!                                   oracle (small machines; see --dimacs)
 //! picola minimize <file.pla>        two-level minimization of a PLA
 //! picola bench <name>               synthesize a suite benchmark as KISS2
 //! picola serve <addr>               run the encoding daemon on <addr>
@@ -44,7 +46,9 @@ use picola::core::{
     evaluate_encoding, try_picola_encode_with, Budget, Completion, PicolaError, PicolaOptions,
 };
 use picola::fsm::{benchmark_fsm, parse_kiss, symbolic_cover, write_kiss};
+use picola::logic::sat::FaceProblem;
 use picola::logic::{espresso_bounded, parse_pla, write_pla, MinimizeOptions};
+use picola::sat::{ExactOracle, OracleError};
 use picola::server::{Client, ClientError, JobKind, JobRequest, RetryPolicy, Status};
 use picola::server::{Server, ServerConfig};
 use picola::stassign::{assign_states_bounded, FlowOptions, PicolaStateEncoder};
@@ -95,6 +99,11 @@ usage: picola [--budget-ms N] [--budget-work N] [--threads N]
 encode    <machine.kiss2>  extract face constraints, print PICOLA codes
 assign    <machine.kiss2>  full state assignment, print minimized PLA
 portfolio <machine.kiss2>  race every encoder, print the comparison table
+sat       <machine.kiss2>  prove the exact minimum-cube encoding with the
+                           CNF oracle (machines up to 32 states); an
+                           exhausted budget or the built-in 100k-conflict
+                           probe cap degrades to the best witness, which
+                           is then reported as not proven
 minimize  <file.pla>       two-level minimization (ESPRESSO)
 export-mv <machine.kiss2>  print the symbolic cover as a .mv PLA
 reduce    <machine.kiss2>  merge equivalent states, print KISS2
@@ -115,7 +124,9 @@ submit    <addr> <file>    submit a .kiss2 / .mv PLA file to a daemon and
                  as JSON to P; results are bit-identical with or without
 --workers N        serve: worker threads in the job pool (default 2)
 --queue-depth N    serve: admission-control queue bound (default 16)
---cache-capacity N serve: shared minimization-cache entry bound";
+--cache-capacity N serve: shared minimization-cache entry bound
+--dimacs P         sat: also write the CNF compiled at the final cost bound
+                   (satisfiable exactly by the optimal encodings) to P";
 
 /// Everything that can go wrong in the CLI, mapped to distinct exit codes.
 #[derive(Debug)]
@@ -220,6 +231,7 @@ struct Cli {
     workers: Option<usize>,
     queue_depth: Option<usize>,
     cache_capacity: Option<usize>,
+    dimacs: Option<String>,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, AppError> {
@@ -232,6 +244,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, AppError> {
     let mut workers: Option<usize> = None;
     let mut queue_depth: Option<usize> = None;
     let mut cache_capacity: Option<usize> = None;
+    let mut dimacs: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -240,6 +253,12 @@ fn parse_cli(args: &[String]) -> Result<Cli, AppError> {
                     .next()
                     .ok_or_else(|| AppError::Usage(format!("{arg} needs a path")))?;
                 trace_json = Some(value.clone());
+            }
+            "--dimacs" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| AppError::Usage(format!("{arg} needs a path")))?;
+                dimacs = Some(value.clone());
             }
             "--budget-ms" | "--budget-work" | "--threads" | "--workers" | "--queue-depth"
             | "--cache-capacity" => {
@@ -290,6 +309,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, AppError> {
         workers,
         queue_depth,
         cache_capacity,
+        dimacs,
     })
 }
 
@@ -340,6 +360,80 @@ fn cmd_encode(cli: &Cli) -> Result<(), AppError> {
             "{name} {code:0width$b}",
             code = result.encoding.code(i),
             width = result.encoding.nv()
+        ))?;
+    }
+    Ok(())
+}
+
+fn cmd_sat(cli: &Cli) -> Result<(), AppError> {
+    let fsm = read_fsm(&cli.target)?;
+    let n = fsm.num_states();
+    outln(&format!("# {fsm}"))?;
+    outln(&format!("# minimum code length: {} bits", min_code_length(n)))?;
+    let constraints = extract_constraints(&symbolic_cover(&fsm));
+    for c in &constraints {
+        outln(&format!("# constraint {c} (weight {})", c.weight()))?;
+    }
+    // Seed the upper bound with the heuristic flow so the oracle starts
+    // from a tight witness instead of the natural encoding.
+    let opts = PicolaOptions {
+        threads: cli.threads,
+        ..PicolaOptions::default()
+    };
+    let warm = try_picola_encode_with(n, &constraints, &opts, &cli.budget)?;
+    // Hard instances blow up in the final UNSAT proof; the deterministic
+    // per-probe cap keeps the command terminating even on an unlimited
+    // default budget — a capped run reports its witness as unproven.
+    let oracle = ExactOracle {
+        conflict_limit: Some(100_000),
+        ..ExactOracle::default()
+    };
+    let out = oracle
+        .prove_from(n, &constraints, Some(&warm.encoding), &cli.budget)
+        .map_err(|e| match e {
+            OracleError::TooLarge { .. } | OracleError::Infeasible => {
+                AppError::Invalid(e.to_string())
+            }
+        })?;
+    outln(&format!(
+        "# sat: {} cubes ({}), lower bound {}, {} rounds, {} conflicts",
+        out.cost,
+        if out.optimal {
+            "proven optimum"
+        } else {
+            "best witness, not proven"
+        },
+        out.lower_bound,
+        out.rounds,
+        out.stats.conflicts
+    ))?;
+    print_status(warm.completion.and(out.completion))?;
+    if let Some(path) = &cli.dimacs {
+        // The CNF at bound = cost is satisfiable exactly by the encodings
+        // matching the reported cost — a checkable certificate for any
+        // external DIMACS solver.
+        let groups: Vec<Vec<usize>> = constraints
+            .iter()
+            .filter(|c| !c.is_trivial())
+            .map(|c| c.members().iter().collect())
+            .collect();
+        let problem = FaceProblem {
+            n,
+            nv: min_code_length(n),
+            groups,
+        };
+        let compiled = problem.compile(out.cost);
+        std::fs::write(path, compiled.cnf.to_dimacs()).map_err(|e| AppError::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+        errln(&format!("# wrote CNF (bound {}) to {path}", out.cost));
+    }
+    for (i, name) in fsm.states().iter().enumerate() {
+        outln(&format!(
+            "{name} {code:0width$b}",
+            code = out.encoding.code(i),
+            width = out.encoding.nv()
         ))?;
     }
     Ok(())
@@ -575,6 +669,7 @@ fn run(args: &[String]) -> Result<(), AppError> {
     }
     let result = match cli.command.as_str() {
         "encode" => cmd_encode(&cli),
+        "sat" => cmd_sat(&cli),
         "assign" => cmd_assign(&cli),
         "portfolio" => cmd_portfolio(&cli),
         "minimize" => cmd_minimize(&cli),

@@ -53,6 +53,7 @@ pub use picola_constraints as constraints;
 pub use picola_core as core;
 pub use picola_fsm as fsm;
 pub use picola_logic as logic;
+pub use picola_sat as sat;
 pub use picola_server as server;
 pub use picola_stassign as stassign;
 
@@ -71,5 +72,6 @@ pub mod prelude {
     };
     pub use picola_fsm::{benchmark_fsm, parse_kiss, symbolic_cover, Fsm};
     pub use picola_logic::{espresso, Cover, Cube, Domain, DomainBuilder};
+    pub use picola_sat::{ExactOracle, SatEncoder};
     pub use picola_stassign::{assign_states, FlowOptions, PicolaStateEncoder};
 }

@@ -44,6 +44,7 @@ fn injected_fault_degrades_the_owning_member_only() {
         ("picola.refine", "picola"),
         ("nova.place", "nova-ih"),
         ("anneal.move", "anneal"),
+        ("sat.conflict", "sat"),
     ] {
         let guard = chaos::arm_global(point, 0);
         let budget = Budget::unlimited();
@@ -97,7 +98,7 @@ fn a_panicking_worker_does_not_hang_the_join_under_chaos() {
         .with_threads(4)
         .run(n, &cs, &budget)
         .unwrap_or_else(|| panic!("join must return"));
-    assert_eq!(out.members.len(), 5);
+    assert_eq!(out.members.len(), 6);
     for m in &out.members {
         assert_eq!(m.encoding.num_symbols(), n);
     }

@@ -14,6 +14,7 @@
 use picola::baselines::{AnnealingEncoder, EncLikeEncoder, NovaEncoder};
 use picola::constraints::{GroupConstraint, SymbolSet};
 use picola::core::{chaos, Budget, Encoder, PicolaEncoder};
+use picola::sat::SatEncoder;
 use picola::fsm::parse_kiss;
 use picola::logic::{
     espresso_bounded, exact_minimize_bounded, parse_mv_pla, parse_pla, Cover, Domain,
@@ -84,6 +85,19 @@ fn drive_everything() {
         let (enc, _) = encoder.encode_bounded(8, &cs, &budget);
         assert_eq!(enc.num_symbols(), 8, "{} lost symbols", encoder.name());
     }
+
+    // the SAT member (sat.conflict ticks once per decision and per
+    // conflict). The groups are chosen so the natural seed is suboptimal —
+    // the bound-tightening loop must actually probe, guaranteeing the
+    // trigger point is reached; an injected fault mid-solve degrades to
+    // the best-so-far witness, never a panic.
+    let sat_cs: Vec<GroupConstraint> = [&[0usize, 3, 5][..], &[1, 2], &[6, 7]]
+        .iter()
+        .map(|g| GroupConstraint::new(SymbolSet::from_members(8, g.iter().copied())))
+        .collect();
+    let budget = Budget::unlimited();
+    let (enc, _) = SatEncoder::default().encode_bounded(8, &sat_cs, &budget);
+    assert_eq!(enc.num_symbols(), 8, "sat lost symbols");
 
     // standalone minimizers
     let dom = Domain::binary(4);

@@ -14,6 +14,7 @@ use picola::constraints::{Encoding, GroupConstraint, SymbolSet};
 use picola::core::{chaos, Budget, Completion, Encoder, EncoderPortfolio, PicolaEncoder};
 use picola::fsm::parse_kiss;
 use picola::logic::{Counter, Trace};
+use picola::sat::{ExactOracle, SatEncoder};
 use picola::stassign::{assign_states_bounded, FlowOptions};
 use std::sync::Mutex;
 
@@ -44,6 +45,16 @@ const MACHINE: &str = "\
 
 fn small_constraints() -> Vec<GroupConstraint> {
     [[0usize, 1], [2, 3], [4, 5]]
+        .iter()
+        .map(|g| GroupConstraint::new(SymbolSet::from_members(8, g.iter().copied())))
+        .collect()
+}
+
+/// An instance whose natural seed is suboptimal, so the SAT member's
+/// bound-tightening loop always issues real solver probes (and therefore
+/// real `sat.conflict` ticks).
+fn sat_constraints() -> Vec<GroupConstraint> {
+    [&[0usize, 3, 5][..], &[1, 2], &[6, 7]]
         .iter()
         .map(|g| GroupConstraint::new(SymbolSet::from_members(8, g.iter().copied())))
         .collect()
@@ -93,6 +104,9 @@ fn drive_traced(base: Budget, ctx: &str) -> Trace {
         let (enc, _) = encoder.encode_bounded(8, &cs, &budget);
         assert_eq!(enc.num_symbols(), 8, "{}: {ctx}", encoder.name());
     }
+    // The SAT member, on an instance that forces real solver probes.
+    let (enc, _) = SatEncoder::default().encode_bounded(8, &sat_constraints(), &budget);
+    assert_eq!(enc.num_symbols(), 8, "sat: {ctx}");
 
     check(&trace, &budget, ctx);
     trace
@@ -153,6 +167,43 @@ fn portfolio_chaos_sweep_conserves_work() {
         assert_eq!(out.best().encoding.num_symbols(), 8);
         drop(guard);
         check(&trace, &budget, &format!("portfolio chaos {point}"));
+    }
+}
+
+#[test]
+fn sat_oracle_conserves_work_even_when_exhausted() {
+    let _serial = lock();
+    // Only the SAT layer runs under this trace, so every budget work unit
+    // must come from a decision or a conflict — the counters and the
+    // drained pool reconcile exactly, complete and degraded alike.
+    for limit in [1u64, 5, 50, u64::MAX] {
+        let trace = Trace::new();
+        let base = if limit == u64::MAX {
+            Budget::unlimited()
+        } else {
+            Budget::with_work_limit(limit)
+        };
+        let budget = base.with_recorder(trace.recorder());
+        let out = ExactOracle::default()
+            .prove(8, &sat_constraints(), &budget)
+            .expect("within the size guard");
+        assert_eq!(out.encoding.num_symbols(), 8, "limit={limit}");
+        if limit == u64::MAX {
+            assert!(out.optimal, "unlimited budget must prove the optimum");
+            assert!(out.completion.is_complete());
+        }
+        check(&trace, &budget, &format!("sat oracle limit={limit}"));
+        let snap = trace.snapshot();
+        assert_eq!(
+            snap.counter_total(Counter::SatDecisions)
+                + snap.counter_total(Counter::SatConflicts),
+            budget.work_done(),
+            "limit={limit}: sat ticks must account for all budget work"
+        );
+        assert!(
+            snap.counter_total(Counter::SatDecisions) > 0,
+            "limit={limit}: the loop must have probed"
+        );
     }
 }
 

@@ -1,6 +1,7 @@
 //! Property tests of the paper's theory on randomized instances: Theorem I,
 //! supercube/intruder relationships, estimate bounds, and guide-constraint
-//! behaviour.
+//! behaviour — plus the historical shrunk failures as pinned deterministic
+//! cases (see [`historical_shrunk_instances_stay_fixed`]).
 
 // Tests are exempt from the panic-freedom policy; clippy's in-tests
 // exemption misses integration-test helpers, so waive it explicitly.
@@ -30,6 +31,73 @@ fn instance(n: usize, nv: usize) -> impl Strategy<Value = (Encoding, SymbolSet)>
         }
         (enc, set)
     })
+}
+
+/// The Theorem I contract on one instance, plain-assert form — shared by
+/// the property below and the pinned historical cases.
+fn assert_theorem_i_correct(enc: &Encoding, members: &SymbolSet) {
+    match theorem_i(enc, members) {
+        FaceImplementation::SingleCube(c) => {
+            assert!(implements_constraint(enc, members, &[c]));
+        }
+        FaceImplementation::TheoremCubes(cubes) => {
+            assert!(implements_constraint(enc, members, &cubes));
+            let sl = enc.supercube(members);
+            let si = enc.supercube(&enc.intruders(members));
+            assert_eq!(cubes.len(), sl.dim() - si.dim());
+        }
+        FaceImplementation::NotApplicable => {
+            let intr = enc.intruders(members);
+            assert!(!intr.is_empty());
+            let si = enc.supercube(&intr);
+            assert!(members.iter().any(|m| si.contains(enc.code(m))));
+        }
+    }
+}
+
+/// The greedy-vs-exact bound on one instance, plain-assert form.
+fn assert_greedy_bounds_exact(enc: &Encoding, members: &SymbolSet) {
+    let constraint = GroupConstraint::new(members.clone());
+    let est = greedy_constraint_cubes(enc, members);
+    let exact = evaluate_encoding_with(
+        enc,
+        std::slice::from_ref(&constraint),
+        EvalMinimizer::Exact { max_nodes: 200_000 },
+    )
+    .total_cubes;
+    assert!(est >= exact, "estimate {est} < exact minimum {exact}");
+    if enc.satisfies(members) {
+        assert_eq!(est, 1);
+        assert_eq!(exact, 1);
+    }
+}
+
+/// Shrunk failure cases that once lived in
+/// `paper_properties.proptest-regressions`. The vendored proptest derives
+/// its input stream from the test *name* and never reads regression files,
+/// so that file was dead weight — the cases are pinned here instead, run
+/// through every `(encoding, members)` property deterministically. If a
+/// property fails again, copy the shrunk instance from the panic message
+/// into this list.
+#[test]
+fn historical_shrunk_instances_stay_fixed() {
+    let cases: &[(&[u32], &[usize])] = &[
+        // cc 1acd21bd…: members {0..5, 9} of a scattered 4-bit encoding
+        (&[5, 9, 2, 6, 7, 10, 4, 12, 11, 13], &[0, 1, 2, 3, 4, 5, 9]),
+        // cc e6aefab3…: the pair {2, 9} straddling the cube diagonal
+        (&[0, 1, 3, 4, 5, 8, 10, 12, 13, 15], &[2, 9]),
+    ];
+    for (codes, members) in cases {
+        let n = codes.len();
+        let enc = Encoding::new(4, codes.to_vec()).expect("distinct by construction");
+        let mut set = SymbolSet::empty(n);
+        for &m in *members {
+            set.insert(m);
+        }
+        assert_theorem_i_correct(&enc, &set);
+        assert_eq!(enc.satisfies(&set), enc.intruders(&set).is_empty());
+        assert_greedy_bounds_exact(&enc, &set);
+    }
 }
 
 proptest! {
