@@ -31,6 +31,7 @@
 
 use crate::eval::{greedy_cover_count, CubesScratch};
 use picola_constraints::{CodeCube, GroupConstraint};
+use picola_logic::simd::{self, Mask1, Mask2, MaskKernel, MaskN};
 use picola_logic::WordSet;
 
 /// Which evaluation kernel the refinement pass uses. Both kernels return
@@ -298,10 +299,10 @@ fn cube_hits(forbidden: &[u64], seed: u32, cand: u32, nv: usize, mask: &mut Vec<
     mask[base / 64] |= 1u64 << (base % 64);
     for b in 0..nv {
         if fixed >> b & 1 == 0 {
-            expand_mask(mask, 1usize << b, false);
+            simd::expand_mask(mask, 1usize << b, false);
         }
     }
-    mask.iter().zip(forbidden).any(|(&m, &f)| m & f != 0)
+    !simd::disjoint(mask, forbidden)
 }
 
 /// [`greedy_cover_count`] with the forbidden codes given as a code-space
@@ -311,122 +312,43 @@ fn cube_hits(forbidden: &[u64], seed: u32, cand: u32, nv: usize, mask: &mut Vec<
 /// merge only expands it by the bits the merge frees (usually one shift-OR)
 /// instead of rebuilding it — so each check costs `O(freed bits · words)`
 /// instead of `O(forbidden)`.
+///
+/// The mask arithmetic lives in the shared [`MaskKernel`] implementations
+/// (`picola_logic::simd`): one-word and two-word code spaces stay in
+/// registers, wider spaces use the caller's scratch slices and the
+/// dispatched wide disjointness kernel. All three widths walk the *same*
+/// greedy loop below, so merge decisions — and hence counts — are
+/// bit-identical across widths and backends.
 fn greedy_cover_count_masked(
     uncovered: &mut Vec<u32>,
     forbidden: &[u64],
     mask: &mut Vec<u64>,
     trial: &mut Vec<u64>,
 ) -> usize {
-    if let [fw] = forbidden {
+    match forbidden.len() {
         // Single-word code space (`nv ≤ 6`): the cube mask is one `u64`.
-        let fw = *fw;
-        let mut count = 0usize;
-        while let Some(&seed) = uncovered.first() {
-            let mut fixed = u32::MAX;
-            let mut cur = 1u64 << seed;
-            loop {
-                let mut changed = false;
-                for &c in uncovered.iter() {
-                    let cand = fixed & !(c ^ seed);
-                    if cand == fixed {
-                        continue;
-                    }
-                    let mut tm = cur;
-                    // `fixed ^ cand` is the set of newly freed bit
-                    // positions, all below `nv` (it is a subset of
-                    // `c ^ seed`). Every code in the current cube carries
-                    // the seed's value at a freed bit, so the flipped half
-                    // lies above (seed bit 0) or below (seed bit 1).
-                    let mut freed = fixed ^ cand;
-                    while freed != 0 {
-                        let b = freed.trailing_zeros();
-                        if seed >> b & 1 == 1 {
-                            tm |= tm >> (1u64 << b);
-                        } else {
-                            tm |= tm << (1u64 << b);
-                        }
-                        freed &= freed - 1;
-                    }
-                    if tm & fw == 0 {
-                        fixed = cand;
-                        cur = tm;
-                        changed = true;
-                    }
-                }
-                if !changed {
-                    break;
-                }
-            }
-            uncovered.retain(|&c| (c ^ seed) & fixed != 0);
-            count += 1;
-        }
-        return count;
+        1 => greedy_masked(uncovered, forbidden, &mut Mask1::new()),
+        // Two-word code space (`nv == 7`): the mask is a register pair.
+        2 => greedy_masked(uncovered, forbidden, &mut Mask2::new()),
+        words => greedy_masked(uncovered, forbidden, &mut MaskN::new(mask, trial, words)),
     }
+}
 
-    if let [f0, f1] = *forbidden {
-        // Two-word code space (`nv == 7`): the cube mask is a register
-        // pair. Shift-down folds high-word bits into the low word, shift-up
-        // the reverse; each uses the *pre-expansion* partner word, exactly
-        // like the slice form.
-        let mut count = 0usize;
-        while let Some(&seed) = uncovered.first() {
-            let mut fixed = u32::MAX;
-            let (mut lo, mut hi) = if seed < 64 {
-                (1u64 << seed, 0u64)
-            } else {
-                (0u64, 1u64 << (seed - 64))
-            };
-            loop {
-                let mut changed = false;
-                for &c in uncovered.iter() {
-                    let cand = fixed & !(c ^ seed);
-                    if cand == fixed {
-                        continue;
-                    }
-                    let (mut tlo, mut thi) = (lo, hi);
-                    let mut freed = fixed ^ cand;
-                    while freed != 0 {
-                        let b = freed.trailing_zeros();
-                        let k = 1usize << b;
-                        if seed >> b & 1 == 1 {
-                            if k >= 64 {
-                                tlo |= thi;
-                            } else {
-                                tlo |= (tlo >> k) | (thi << (64 - k));
-                                thi |= thi >> k;
-                            }
-                        } else if k >= 64 {
-                            thi |= tlo;
-                        } else {
-                            thi |= (thi << k) | (tlo >> (64 - k));
-                            tlo |= tlo << k;
-                        }
-                        freed &= freed - 1;
-                    }
-                    if tlo & f0 == 0 && thi & f1 == 0 {
-                        fixed = cand;
-                        lo = tlo;
-                        hi = thi;
-                        changed = true;
-                    }
-                }
-                if !changed {
-                    break;
-                }
-            }
-            uncovered.retain(|&c| (c ^ seed) & fixed != 0);
-            count += 1;
-        }
-        return count;
-    }
-
-    let words = forbidden.len();
+/// The width-independent greedy merge loop over a [`MaskKernel`]. Each
+/// candidate grows a trial cube by the freed bits only — `fixed ^ cand` is
+/// the set of newly freed bit positions, all below `nv` (a subset of
+/// `c ^ seed`); every code in the current cube carries the seed's value at
+/// a freed bit, so the flipped half lies above (seed bit 0) or below (seed
+/// bit 1) — then keeps the trial iff it avoids every forbidden code.
+fn greedy_masked<M: MaskKernel>(
+    uncovered: &mut Vec<u32>,
+    forbidden: &[u64],
+    kernel: &mut M,
+) -> usize {
     let mut count = 0usize;
     while let Some(&seed) = uncovered.first() {
         let mut fixed = u32::MAX;
-        mask.clear();
-        mask.resize(words, 0);
-        mask[seed as usize / 64] |= 1u64 << (seed % 64);
+        kernel.seed(seed);
         loop {
             let mut changed = false;
             for &c in uncovered.iter() {
@@ -434,17 +356,16 @@ fn greedy_cover_count_masked(
                 if cand == fixed {
                     continue;
                 }
-                trial.clear();
-                trial.extend_from_slice(mask);
+                kernel.begin();
                 let mut freed = fixed ^ cand;
                 while freed != 0 {
                     let b = freed.trailing_zeros();
-                    expand_mask(trial, 1usize << b, seed >> b & 1 == 1);
+                    kernel.grow(b, seed >> b & 1 == 1);
                     freed &= freed - 1;
                 }
-                if trial.iter().zip(forbidden).all(|(&m, &f)| m & f == 0) {
+                if kernel.disjoint(forbidden) {
                     fixed = cand;
-                    std::mem::swap(mask, trial);
+                    kernel.commit();
                     changed = true;
                 }
             }
@@ -456,36 +377,6 @@ fn greedy_cover_count_masked(
         count += 1;
     }
     count
-}
-
-/// ORs into `mask` its own copy shifted by `k` bit positions (`k` a power
-/// of two below the mask width) — frees one cube dimension. `down` selects
-/// the shift direction: downward when the cube's codes carry a 1 at the
-/// freed bit, upward when they carry a 0.
-fn expand_mask(mask: &mut [u64], k: usize, down: bool) {
-    if down {
-        if k >= 64 {
-            let wk = k / 64;
-            for i in 0..mask.len() - wk {
-                mask[i] |= mask[i + wk];
-            }
-        } else {
-            for i in 0..mask.len() {
-                let hi = if i + 1 < mask.len() { mask[i + 1] << (64 - k) } else { 0 };
-                mask[i] |= (mask[i] >> k) | hi;
-            }
-        }
-    } else if k >= 64 {
-        let wk = k / 64;
-        for i in (wk..mask.len()).rev() {
-            mask[i] |= mask[i - wk];
-        }
-    } else {
-        for i in (0..mask.len()).rev() {
-            let lo = if i > 0 { mask[i - 1] >> (64 - k) } else { 0 };
-            mask[i] |= (mask[i] << k) | lo;
-        }
-    }
 }
 
 impl CodeTable {

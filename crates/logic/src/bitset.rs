@@ -11,6 +11,11 @@
 //! construction, no growth, no iterator adapters beyond what the hot
 //! paths need. Higher-level types (`SymbolSet`, `Cube`) keep their own
 //! packed words and interoperate through raw `&[u64]` slices.
+//!
+//! The bulk word sweeps (union, intersection, difference, disjointness)
+//! route through the dispatched kernels in [`crate::simd`], so they pick
+//! up the AVX2 backend on capable hosts while staying bit-identical to
+//! the plain loops everywhere else.
 
 /// A fixed-universe set of `usize` indices packed into `u64` words.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -101,29 +106,23 @@ impl WordSet {
     /// In-place union with `other` (universes must match in word count;
     /// the shorter operand bounds the sweep).
     pub fn union_with(&mut self, other: &WordSet) {
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        crate::simd::union_into(&mut self.words, &other.words);
     }
 
     /// In-place intersection with `other`.
     pub fn intersect_with(&mut self, other: &WordSet) {
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-        }
+        crate::simd::intersect_into(&mut self.words, &other.words);
     }
 
     /// In-place difference: removes every member of `other`.
     pub fn difference_with(&mut self, other: &WordSet) {
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !b;
-        }
+        crate::simd::difference_into(&mut self.words, &other.words);
     }
 
     /// `true` when the sets share at least one member — the word-parallel
     /// replacement for nested membership loops.
     pub fn intersects(&self, other: &WordSet) -> bool {
-        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+        !crate::simd::disjoint(&self.words, &other.words)
     }
 
     /// The packed words, little-endian in bit position.

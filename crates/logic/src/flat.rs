@@ -43,6 +43,7 @@ use crate::cube::Cube;
 use crate::domain::Domain;
 use crate::espresso::MinimizeOptions;
 use crate::obs;
+use crate::simd::{self, AlignedWords, Kern, KernelBackend, ScalarKern};
 
 // ---------------------------------------------------------------------------
 // Generic flat layer: FlatDomain, FlatCover, word-parallel kernels
@@ -66,6 +67,12 @@ pub struct FlatDomain {
     offsets: Vec<usize>,
     /// Per variable: number of parts.
     parts: Vec<usize>,
+    /// Per variable: a full-stride mask (zero outside the variable's span,
+    /// the span masks inside it), `num_vars * words` words total — lets
+    /// sweep kernels test literal emptiness without the span indirection.
+    /// Only the wide backend reads it, so it is dead weight without `simd`.
+    #[cfg_attr(not(feature = "simd"), allow(dead_code))]
+    var_masks: Vec<u64>,
 }
 
 impl FlatDomain {
@@ -97,6 +104,12 @@ impl FlatDomain {
             offsets.push(offset);
             parts.push(var.parts());
         }
+        let mut var_masks = vec![0u64; dom.num_vars() * words];
+        for (v, &(first_word, start, span)) in var_spans.iter().enumerate() {
+            for k in 0..span {
+                var_masks[v * words + first_word + k] = masks[start + k];
+            }
+        }
         FlatDomain {
             words,
             num_vars: dom.num_vars(),
@@ -106,6 +119,7 @@ impl FlatDomain {
             masks,
             offsets,
             parts,
+            var_masks,
         }
     }
 
@@ -131,7 +145,7 @@ impl FlatDomain {
 
     /// Whether variable `v`'s literal is empty in the *meet* of `a` and `b`
     /// (both given as word slices).
-    fn meet_var_empty(&self, a: &[u64], b: &[u64], v: usize) -> bool {
+    pub(crate) fn meet_var_empty(&self, a: &[u64], b: &[u64], v: usize) -> bool {
         let (first, start, span) = self.var_spans[v];
         for k in 0..span {
             if a[first + k] & b[first + k] & self.masks[start + k] != 0 {
@@ -139,6 +153,58 @@ impl FlatDomain {
             }
         }
         true
+    }
+
+    /// Whether every variable's literal is non-empty in the *materialized*
+    /// meet `m` — the wide kernels compute `a ∧ b` once with a vector AND
+    /// and then run this single-operand walk instead of the double-indexed
+    /// [`FlatDomain::meet_var_empty`] sweep.
+    #[cfg(feature = "simd")]
+    pub(crate) fn meet_all_vars_nonempty(&self, m: &[u64]) -> bool {
+        (0..self.num_vars).all(|v| {
+            let (first, start, span) = self.var_spans[v];
+            (0..span).any(|k| m[first + k] & self.masks[start + k] != 0)
+        })
+    }
+
+    /// Number of variables whose literal is empty in the materialized meet
+    /// `m` — the wide-kernel counterpart of [`cube_distance`].
+    #[cfg(feature = "simd")]
+    pub(crate) fn meet_empty_vars(&self, m: &[u64]) -> usize {
+        (0..self.num_vars)
+            .filter(|&v| {
+                let (first, start, span) = self.var_spans[v];
+                (0..span).all(|k| m[first + k] & self.masks[start + k] == 0)
+            })
+            .count()
+    }
+
+    /// A copy of this layout with the cube stride padded up to `words`
+    /// trailing zero words. The variable spans and masks are untouched, so
+    /// every masked operation ignores the padding, and the padded words of
+    /// `full` are zero, so the cofactor body `(x | !p) & full` keeps them
+    /// zero too — cubes that start zero-padded stay zero-padded through the
+    /// whole engine. Used by the Wide backend to lift awkward strides onto
+    /// a monomorphized power-of-two rung.
+    #[cfg(feature = "simd")]
+    pub(crate) fn padded_to(&self, words: usize) -> FlatDomain {
+        debug_assert!(words >= self.words);
+        let mut fd = self.clone();
+        fd.full.resize(words, 0);
+        fd.var_masks.clear();
+        for chunk in self.var_masks.chunks_exact(self.words) {
+            fd.var_masks.extend_from_slice(chunk);
+            fd.var_masks.resize(fd.var_masks.len() + (words - self.words), 0);
+        }
+        fd.words = words;
+        fd
+    }
+
+    /// The per-variable full-stride literal masks, `num_vars * words` words
+    /// (see the field doc) — the sweep kernels' view of the layout.
+    #[cfg_attr(not(feature = "simd"), allow(dead_code))]
+    pub(crate) fn var_masks(&self) -> &[u64] {
+        &self.var_masks
     }
 }
 
@@ -216,7 +282,9 @@ pub fn cube_cofactor_into(fd: &FlatDomain, a: &[u64], p: &[u64], out: &mut [u64]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlatCover {
     stride: usize,
-    words: Vec<u64>,
+    /// 64-byte-aligned backing store (see [`AlignedWords`]): wide loads
+    /// from the buffer head never straddle a cache line.
+    words: AlignedWords,
 }
 
 impl FlatCover {
@@ -224,7 +292,7 @@ impl FlatCover {
     pub fn new(stride: usize) -> FlatCover {
         FlatCover {
             stride: stride.max(1),
-            words: Vec::new(),
+            words: AlignedWords::new(),
         }
     }
 
@@ -303,7 +371,7 @@ impl FlatCover {
 /// the ENC baseline) owns its own.
 #[derive(Debug, Default)]
 pub struct MinimizeScratch {
-    free: Vec<Vec<u64>>,
+    free: Vec<AlignedWords>,
     pairs: Vec<(usize, usize)>,
     flags: Vec<bool>,
     /// The last multi-word domain layout, cached so back-to-back
@@ -320,19 +388,20 @@ impl MinimizeScratch {
     }
 
     /// Takes a cleared word buffer from the pool (allocating only when the
-    /// pool is empty).
-    pub(crate) fn take(&mut self) -> Vec<u64> {
+    /// pool is empty). Buffers are [`AlignedWords`], so every pooled
+    /// allocation honors the 64-byte alignment contract.
+    pub(crate) fn take(&mut self) -> AlignedWords {
         match self.free.pop() {
             Some(mut v) => {
                 v.clear();
                 v
             }
-            None => Vec::new(),
+            None => AlignedWords::new(),
         }
     }
 
     /// Returns a buffer to the pool for reuse.
-    pub(crate) fn give(&mut self, v: Vec<u64>) {
+    pub(crate) fn give(&mut self, v: AlignedWords) {
         self.free.push(v);
     }
 
@@ -492,7 +561,7 @@ fn sort_expand_order(v: &mut [(usize, usize)]) {
 /// legacy prefilter (`sig & !ksig != 0`) is exact and the subsequent
 /// `covers` check always succeeds when reached — the counters still mirror
 /// the legacy accounting.
-fn scc_w(cubes: &mut Vec<u64>) {
+fn scc_w(cubes: &mut AlignedWords) {
     sort_desc_parts(cubes);
     let mut pairs = 0u64;
     let mut prefilter_rejects = 0u64;
@@ -585,7 +654,7 @@ fn taut_rec_w(ctx: BinCtx, cubes: &[u64], scratch: &mut MinimizeScratch) -> bool
 /// Complement of a single cube: one cube per non-full variable, in variable
 /// order (mirrors the legacy `cube_complement`; for binary domains the
 /// result cubes are always valid).
-fn cube_complement_w(ctx: BinCtx, c: u64, out: &mut Vec<u64>) {
+fn cube_complement_w(ctx: BinCtx, c: u64, out: &mut AlignedWords) {
     for v in 0..ctx.nv {
         let mask = 3u64 << (2 * v);
         if c & mask == mask {
@@ -599,7 +668,7 @@ fn cube_complement_w(ctx: BinCtx, c: u64, out: &mut Vec<u64>) {
 /// most binate variable, lift cubes common to both branch complements, and
 /// finish with an scc pass (counters fire, as in the legacy
 /// `Cover::from_cubes` + `scc` epilogue).
-fn compl_rec_w(ctx: BinCtx, cubes: &[u64], out: &mut Vec<u64>, scratch: &mut MinimizeScratch) {
+fn compl_rec_w(ctx: BinCtx, cubes: &[u64], out: &mut AlignedWords, scratch: &mut MinimizeScratch) {
     debug_assert!(out.is_empty());
     if cubes.is_empty() {
         out.push(ctx.full);
@@ -671,7 +740,7 @@ fn cover_covers_cube_w(ctx: BinCtx, f: &[u64], c: u64, scratch: &mut MinimizeScr
 
 // --- espresso passes ------------------------------------------------------
 
-fn expand_w(ctx: BinCtx, f: &mut Vec<u64>, off: &[u64], scratch: &mut MinimizeScratch) {
+fn expand_w(ctx: BinCtx, f: &mut AlignedWords, off: &[u64], scratch: &mut MinimizeScratch) {
     sort_asc_parts(f);
     let n = f.len();
     let mut covered = std::mem::take(&mut scratch.flags);
@@ -715,7 +784,7 @@ fn expand_w(ctx: BinCtx, f: &mut Vec<u64>, off: &[u64], scratch: &mut MinimizeSc
     scratch.flags = covered;
 }
 
-fn reduce_w(ctx: BinCtx, f: &mut Vec<u64>, dc: &[u64], scratch: &mut MinimizeScratch) {
+fn reduce_w(ctx: BinCtx, f: &mut AlignedWords, dc: &[u64], scratch: &mut MinimizeScratch) {
     sort_desc_parts(f);
     let mut rest = scratch.take();
     let mut g = scratch.take();
@@ -757,7 +826,7 @@ fn reduce_w(ctx: BinCtx, f: &mut Vec<u64>, dc: &[u64], scratch: &mut MinimizeScr
     scratch.give(rest);
 }
 
-fn irredundant_w(ctx: BinCtx, f: &mut Vec<u64>, dc: &[u64], scratch: &mut MinimizeScratch) {
+fn irredundant_w(ctx: BinCtx, f: &mut AlignedWords, dc: &[u64], scratch: &mut MinimizeScratch) {
     sort_desc_parts(f);
     let n = f.len();
     let mut keep = std::mem::take(&mut scratch.flags);
@@ -792,7 +861,7 @@ fn essentials_w(
     ctx: BinCtx,
     f: &[u64],
     dc: &[u64],
-    out: &mut Vec<u64>,
+    out: &mut AlignedWords,
     scratch: &mut MinimizeScratch,
 ) {
     let mut h = scratch.take();
@@ -835,7 +904,7 @@ fn essentials_w(
 /// cheaper cover (mirrors the legacy `last_gasp`).
 fn gasp_w(
     ctx: BinCtx,
-    f: &mut Vec<u64>,
+    f: &mut AlignedWords,
     dc: &[u64],
     off: &[u64],
     scratch: &mut MinimizeScratch,
@@ -946,7 +1015,7 @@ pub(crate) fn espresso_words(
     opts: &MinimizeOptions,
     budget: &Budget,
     scratch: &mut MinimizeScratch,
-) -> (Vec<u64>, Completion) {
+) -> (AlignedWords, Completion) {
     let span = obs::current_or(budget.recorder()).span("espresso");
     let _cur = obs::enter(span.recorder());
 
@@ -1118,7 +1187,7 @@ fn chunk_member(list: &[u64], c: &[u64], w: usize) -> bool {
 fn insertion_sort_chunks(
     v: &mut [u64],
     w: usize,
-    tmp: &mut Vec<u64>,
+    tmp: &mut AlignedWords,
     mut before: impl FnMut(&[u64], &[u64]) -> bool,
 ) {
     let n = v.len() / w;
@@ -1137,7 +1206,7 @@ fn insertion_sort_chunks(
 
 /// Drops every chunk of `v` that appears verbatim in `list`, preserving
 /// order (the chunk analogue of `f.retain(|c| !list.contains(c))`).
-fn retain_chunks_not_in(v: &mut Vec<u64>, list: &[u64], w: usize) {
+fn retain_chunks_not_in(v: &mut AlignedWords, list: &[u64], w: usize) {
     let n = v.len() / w;
     let mut write = 0usize;
     for i in 0..n {
@@ -1150,15 +1219,18 @@ fn retain_chunks_not_in(v: &mut Vec<u64>, list: &[u64], w: usize) {
     v.truncate(write * w);
 }
 
-/// Context of the generic engine: the flattened domain plus the stride
-/// carrier. Copy-cheap (two words), threaded by value through the passes.
+/// Context of the generic engine: the flattened domain, the stride carrier,
+/// and the kernel backend carrier ([`Kern`]). Copy-cheap (two words plus two
+/// zero-sized carriers), threaded by value through the passes; each
+/// `Stride × Kern` pair monomorphizes its own straight-line engine.
 #[derive(Clone, Copy)]
-struct MvCtx<'d, S: Stride> {
+struct MvCtx<'d, S: Stride, K: Kern> {
     fd: &'d FlatDomain,
     s: S,
+    k: K,
 }
 
-impl<S: Stride> MvCtx<'_, S> {
+impl<S: Stride, K: Kern> MvCtx<'_, S, K> {
     #[inline(always)]
     fn w(&self) -> usize {
         self.s.w()
@@ -1171,19 +1243,21 @@ impl<S: Stride> MvCtx<'_, S> {
 
     #[inline]
     fn is_full(&self, c: &[u64]) -> bool {
-        c == self.fd.full.as_slice()
+        self.k.slices_eq(c, &self.fd.full)
     }
 
     #[inline]
     fn covers(&self, a: &[u64], b: &[u64]) -> bool {
-        (0..self.w()).all(|k| b[k] & !a[k] == 0)
+        self.k.covers(&a[..self.w()], &b[..self.w()])
     }
 
     /// Whether the meet `a ∧ b` is a valid cube — the legacy
-    /// `Cube::intersects` (distance 0) without materializing the meet.
+    /// `Cube::intersects` (distance 0). The scalar kernel never
+    /// materializes the meet; the wide kernels AND once and run a
+    /// single-operand emptiness walk — same boolean either way.
     #[inline]
     fn meet_valid(&self, a: &[u64], b: &[u64]) -> bool {
-        (0..self.fd.num_vars).all(|v| !self.fd.meet_var_empty(a, b, v))
+        self.k.meet_valid(self.fd, a, b)
     }
 
     #[inline]
@@ -1212,7 +1286,7 @@ impl<S: Stride> MvCtx<'_, S> {
     /// Appends the general cofactor of every cube of `cubes` with respect to
     /// cube `p` (dropping non-intersecting cubes) — the legacy
     /// `cofactor_list` / `Cover::cofactor`.
-    fn cofactor_all(&self, cubes: &[u64], p: &[u64], out: &mut Vec<u64>) {
+    fn cofactor_all(&self, cubes: &[u64], p: &[u64], out: &mut AlignedWords) {
         let w = self.w();
         for x in cubes.chunks_exact(w) {
             if !self.meet_valid(x, p) {
@@ -1220,9 +1294,8 @@ impl<S: Stride> MvCtx<'_, S> {
             }
             let base = out.len();
             out.resize(base + w, 0);
-            for k in 0..w {
-                out[base + k] = (x[k] | !p[k]) & self.fd.full[k];
-            }
+            self.k
+                .cofactor_into(&mut out[base..base + w], x, p, &self.fd.full);
         }
     }
 
@@ -1234,7 +1307,7 @@ impl<S: Stride> MvCtx<'_, S> {
     /// untouched because `¬pc` is empty there). All tautology/complement
     /// recursion inputs are valid — covers hold only valid cubes and
     /// cofactors of valid cubes are valid — so this is exact.
-    fn cofactor_all_by_part(&self, cubes: &[u64], v: usize, p: usize, out: &mut Vec<u64>) {
+    fn cofactor_all_by_part(&self, cubes: &[u64], v: usize, p: usize, out: &mut AlignedWords) {
         let w = self.w();
         let q = self.fd.offsets[v] + p;
         let (qw, qb) = (q / 64, 1u64 << (q % 64));
@@ -1258,13 +1331,12 @@ impl<S: Stride> MvCtx<'_, S> {
     /// Appends the consensus of `a` and `b` (caller guarantees distance
     /// exactly 1): the meet everywhere, the union in the one conflicting
     /// variable — the legacy `Cube::consensus`.
-    fn push_consensus(&self, a: &[u64], b: &[u64], out: &mut Vec<u64>) {
+    fn push_consensus(&self, a: &[u64], b: &[u64], out: &mut AlignedWords) {
         let w = self.w();
         let base = out.len();
         out.resize(base + w, 0);
-        for k in 0..w {
-            out[base + k] = a[k] & b[k];
-        }
+        self.k
+            .and_into(&mut out[base..base + w], &a[..w], &b[..w]);
         for v in 0..self.fd.num_vars {
             if !self.fd.meet_var_empty(a, b, v) {
                 continue;
@@ -1282,7 +1354,7 @@ impl<S: Stride> MvCtx<'_, S> {
     /// sort by descending part count, fold-OR word signature prefilter, then
     /// the full per-word containment sweep — counter for counter the legacy
     /// accounting.
-    fn scc(&self, cubes: &mut Vec<u64>, scratch: &mut MinimizeScratch) {
+    fn scc(&self, cubes: &mut AlignedWords, scratch: &mut MinimizeScratch) {
         let w = self.w();
         let mut tmp = scratch.take();
         insertion_sort_chunks(cubes, w, &mut tmp, |a, b| chunk_parts(a) > chunk_parts(b));
@@ -1293,16 +1365,17 @@ impl<S: Stride> MvCtx<'_, S> {
         let mut prefilter_rejects = 0u64;
         let mut kept = 0usize;
         'outer: for i in 0..n {
-            let sig = cubes[i * w..(i + 1) * w]
-                .iter()
-                .fold(0u64, |acc, &x| acc | x);
+            let sig = self.k.fold_or(&cubes[i * w..(i + 1) * w]);
+            // kept ≤ i, so the kept prefix and cube i are disjoint slices
+            let (head, cur) = cubes.split_at(i * w);
+            let cur = &cur[..w];
             for k in 0..kept {
                 pairs += 1;
                 if sig & !sigs[k] != 0 {
                     prefilter_rejects += 1;
                     continue;
                 }
-                if (0..w).all(|t| cubes[i * w + t] & !cubes[k * w + t] == 0) {
+                if self.k.covers(&head[k * w..(k + 1) * w], cur) {
                     continue 'outer; // an earlier kept cube covers this one
                 }
             }
@@ -1353,10 +1426,8 @@ impl<S: Stride> MvCtx<'_, S> {
         acc.resize(w, 0);
         let mut union_full = false;
         for c in cubes.chunks_exact(w) {
-            for k in 0..w {
-                acc[k] |= c[k];
-            }
-            if acc.as_slice() == self.fd.full.as_slice() {
+            self.k.or_acc(&mut acc, c);
+            if self.k.slices_eq(&acc, &self.fd.full) {
                 union_full = true;
                 break;
             }
@@ -1386,7 +1457,7 @@ impl<S: Stride> MvCtx<'_, S> {
     /// variable order (full everywhere, the variable's admitted parts
     /// cleared). Always valid for a non-full variable, matching the legacy
     /// `is_valid` filter that never fires.
-    fn cube_complement(&self, c: &[u64], out: &mut Vec<u64>) {
+    fn cube_complement(&self, c: &[u64], out: &mut AlignedWords) {
         let w = self.w();
         for v in 0..self.fd.num_vars {
             if self.var_is_full(c, v) {
@@ -1407,7 +1478,7 @@ impl<S: Stride> MvCtx<'_, S> {
     /// complement, narrow the rest back to their branch part, and finish
     /// with an scc pass (base cases return before scc, as in the legacy
     /// code, so no counters fire for them).
-    fn compl_rec(&self, cubes: &[u64], out: &mut Vec<u64>, scratch: &mut MinimizeScratch) {
+    fn compl_rec(&self, cubes: &[u64], out: &mut AlignedWords, scratch: &mut MinimizeScratch) {
         debug_assert!(out.is_empty());
         let w = self.w();
         if cubes.is_empty() {
@@ -1426,7 +1497,7 @@ impl<S: Stride> MvCtx<'_, S> {
         };
         let parts = self.fd.parts[v];
         let mut branch = scratch.take();
-        let mut results: Vec<Vec<u64>> = Vec::with_capacity(parts);
+        let mut results: Vec<AlignedWords> = Vec::with_capacity(parts);
         for p in 0..parts {
             branch.clear();
             self.cofactor_all_by_part(cubes, v, p, &mut branch);
@@ -1484,7 +1555,7 @@ impl<S: Stride> MvCtx<'_, S> {
         taut
     }
 
-    fn expand(&self, f: &mut Vec<u64>, off: &[u64], scratch: &mut MinimizeScratch) {
+    fn expand(&self, f: &mut AlignedWords, off: &[u64], scratch: &mut MinimizeScratch) {
         let w = self.w();
         let mut tmp = scratch.take();
         insertion_sort_chunks(f, w, &mut tmp, |a, b| chunk_parts(a) < chunk_parts(b));
@@ -1516,7 +1587,7 @@ impl<S: Stride> MvCtx<'_, S> {
             for &(p, _) in order.iter() {
                 let (pw, pb) = (p / 64, 1u64 << (p % 64));
                 cand[pw] |= pb;
-                let legal = off.chunks_exact(w).all(|o| !self.meet_valid(&cand, o));
+                let legal = self.k.sweep_meets_all_invalid(self.fd, off, w, &cand);
                 if !legal {
                     cand[pw] &= !pb;
                 }
@@ -1535,7 +1606,7 @@ impl<S: Stride> MvCtx<'_, S> {
         scratch.flags = covered;
     }
 
-    fn reduce(&self, f: &mut Vec<u64>, dc: &[u64], scratch: &mut MinimizeScratch) {
+    fn reduce(&self, f: &mut AlignedWords, dc: &[u64], scratch: &mut MinimizeScratch) {
         let w = self.w();
         let mut tmp = scratch.take();
         insertion_sort_chunks(f, w, &mut tmp, |a, b| chunk_parts(a) > chunk_parts(b));
@@ -1547,7 +1618,7 @@ impl<S: Stride> MvCtx<'_, S> {
         for i in 0..n {
             c.clear();
             c.extend_from_slice(&f[i * w..(i + 1) * w]);
-            if c.iter().all(|&x| x == 0) {
+            if self.k.is_zero(&c) {
                 // legacy: the complement of the (empty) cofactored rest is
                 // the universe with no scc pass, and the re-reduced cube
                 // stays invalid — counter-identical shortcut.
@@ -1571,9 +1642,7 @@ impl<S: Stride> MvCtx<'_, S> {
             let fi = &mut f[i * w..(i + 1) * w];
             fi.fill(0);
             for chunk in h.chunks_exact(w) {
-                for k in 0..w {
-                    fi[k] |= chunk[k];
-                }
+                self.k.or_acc(fi, chunk);
             }
             for k in 0..w {
                 fi[k] &= c[k];
@@ -1598,7 +1667,7 @@ impl<S: Stride> MvCtx<'_, S> {
         scratch.give(c);
     }
 
-    fn irredundant(&self, f: &mut Vec<u64>, dc: &[u64], scratch: &mut MinimizeScratch) {
+    fn irredundant(&self, f: &mut AlignedWords, dc: &[u64], scratch: &mut MinimizeScratch) {
         let w = self.w();
         let mut tmp = scratch.take();
         insertion_sort_chunks(f, w, &mut tmp, |a, b| chunk_parts(a) > chunk_parts(b));
@@ -1636,7 +1705,7 @@ impl<S: Stride> MvCtx<'_, S> {
         &self,
         f: &[u64],
         dc: &[u64],
-        out: &mut Vec<u64>,
+        out: &mut AlignedWords,
         scratch: &mut MinimizeScratch,
     ) {
         let w = self.w();
@@ -1651,14 +1720,14 @@ impl<S: Stride> MvCtx<'_, S> {
                     continue;
                 }
                 let g = &f[j * w..(j + 1) * w];
-                match cube_distance(self.fd, g, c) {
+                match self.k.distance(self.fd, g, c) {
                     0 => h.extend_from_slice(g),
                     1 => self.push_consensus(g, c, &mut h),
                     _ => {}
                 }
             }
             for g in dc.chunks_exact(w) {
-                match cube_distance(self.fd, g, c) {
+                match self.k.distance(self.fd, g, c) {
                     0 => h.extend_from_slice(g),
                     1 => self.push_consensus(g, c, &mut h),
                     _ => {}
@@ -1678,7 +1747,7 @@ impl<S: Stride> MvCtx<'_, S> {
     /// strictly cheaper cover (mirrors the legacy `last_gasp`).
     fn gasp(
         &self,
-        f: &mut Vec<u64>,
+        f: &mut AlignedWords,
         dc: &[u64],
         off: &[u64],
         scratch: &mut MinimizeScratch,
@@ -1711,9 +1780,7 @@ impl<S: Stride> MvCtx<'_, S> {
             let base = reduced.len();
             reduced.resize(base + w, 0);
             for chunk in h.chunks_exact(w) {
-                for k in 0..w {
-                    reduced[base + k] |= chunk[k];
-                }
+                self.k.or_acc(&mut reduced[base..base + w], chunk);
             }
             for k in 0..w {
                 reduced[base + k] &= c[k];
@@ -1794,14 +1861,14 @@ impl<S: Stride> MvCtx<'_, S> {
 /// same `espresso.iter` budget ticks, same counter increments, same cube
 /// orderings. Returns the minimized cover as a pool buffer (the caller
 /// should [`MinimizeScratch::give`] it back) plus the budget completion.
-fn espresso_chunks<S: Stride>(
-    ctx: MvCtx<'_, S>,
+fn espresso_chunks<S: Stride, K: Kern>(
+    ctx: MvCtx<'_, S, K>,
     on: &[u64],
     dc: &[u64],
     opts: &MinimizeOptions,
     budget: &Budget,
     scratch: &mut MinimizeScratch,
-) -> (Vec<u64>, Completion) {
+) -> (AlignedWords, Completion) {
     let span = obs::current_or(budget.recorder()).span("espresso");
     let _cur = obs::enter(span.recorder());
 
@@ -1909,11 +1976,131 @@ fn espresso_chunks<S: Stride>(
     (f, budget.completion())
 }
 
+/// Runs the generic engine at the right stride rung for a fixed kernel
+/// backend `k`: the 2/4-word register-blocked specializations, the
+/// dynamic-stride fallback for wider domains. (The 1-word rung and the
+/// inline binary engine never reach here — see [`run_words`].)
+fn run_stride<K: Kern>(
+    fd: &FlatDomain,
+    k: K,
+    on_w: &[u64],
+    dc_w: &[u64],
+    opts: &MinimizeOptions,
+    budget: &Budget,
+    scratch: &mut MinimizeScratch,
+) -> (AlignedWords, Completion) {
+    match fd.words() {
+        2 => espresso_chunks(MvCtx { fd, s: FixedW::<2>, k }, on_w, dc_w, opts, budget, scratch),
+        4 => espresso_chunks(MvCtx { fd, s: FixedW::<4>, k }, on_w, dc_w, opts, budget, scratch),
+        w => espresso_chunks(MvCtx { fd, s: DynW(w), k }, on_w, dc_w, opts, budget, scratch),
+    }
+}
+
+/// [`run_stride`] with the Wide backend's kernels: AVX2 when the CPU has
+/// it, the portable 4-lane fallback otherwise — bit-identical either way.
+#[cfg(feature = "simd")]
+fn run_stride_wide(
+    fd: &FlatDomain,
+    on_w: &[u64],
+    dc_w: &[u64],
+    opts: &MinimizeOptions,
+    budget: &Budget,
+    scratch: &mut MinimizeScratch,
+) -> (AlignedWords, Completion) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::avx2_active() {
+        return run_wide_kern(fd, simd::Avx2Kern, on_w, dc_w, opts, budget, scratch);
+    }
+    run_wide_kern(fd, simd::PortableKern, on_w, dc_w, opts, budget, scratch)
+}
+
+/// The Wide backend's rung selection for a concrete kernel. Three-word
+/// domains are lifted to the monomorphized 4-word rung with a zero padding
+/// word per cube — every kernel op becomes one straight-line 256-bit lane
+/// instead of a runtime-length loop, and [`FlatDomain::padded_to`]
+/// guarantees the padding never influences a result. The padding is
+/// stripped again before returning, so callers only ever see the domain's
+/// true stride.
+#[cfg(feature = "simd")]
+fn run_wide_kern<K: Kern>(
+    fd: &FlatDomain,
+    k: K,
+    on_w: &[u64],
+    dc_w: &[u64],
+    opts: &MinimizeOptions,
+    budget: &Budget,
+    scratch: &mut MinimizeScratch,
+) -> (AlignedWords, Completion) {
+    if fd.words() == 3 {
+        let pfd = fd.padded_to(4);
+        let mut on_p = scratch.take();
+        pad_stride(on_w, 3, 4, &mut on_p);
+        let mut dc_p = scratch.take();
+        pad_stride(dc_w, 3, 4, &mut dc_p);
+        let (fp, completion) = run_stride(&pfd, k, &on_p, &dc_p, opts, budget, scratch);
+        let mut f = scratch.take();
+        unpad_stride(&fp, 4, 3, &mut f);
+        scratch.give(fp);
+        scratch.give(dc_p);
+        scratch.give(on_p);
+        return (f, completion);
+    }
+    run_stride(fd, k, on_w, dc_w, opts, budget, scratch)
+}
+
+/// Re-strides `src` (cubes of `from` words) into `out` at `to` words per
+/// cube, zero-filling the new trailing words.
+#[cfg(feature = "simd")]
+fn pad_stride(src: &[u64], from: usize, to: usize, out: &mut AlignedWords) {
+    debug_assert!(out.is_empty() && from <= to);
+    let cubes = src.len() / from;
+    out.resize(cubes * to, 0);
+    let dst = out.as_mut_slice();
+    for (i, c) in src.chunks_exact(from).enumerate() {
+        dst[i * to..i * to + from].copy_from_slice(c);
+    }
+}
+
+/// Inverse of [`pad_stride`]: drops each cube's trailing padding words
+/// (which the engine provably kept zero).
+#[cfg(feature = "simd")]
+fn unpad_stride(src: &[u64], from: usize, to: usize, out: &mut AlignedWords) {
+    debug_assert!(out.is_empty() && to <= from);
+    for c in src.chunks_exact(from) {
+        debug_assert!(c[to..].iter().all(|&x| x == 0), "padding word disturbed");
+        out.extend_from_slice(&c[..to]);
+    }
+}
+
+/// Without the `simd` feature [`simd::selected_backend`] never resolves to
+/// `Wide`, so this arm is unreachable; it routes to the scalar kernels to
+/// stay total without a panic path.
+#[cfg(not(feature = "simd"))]
+fn run_stride_wide(
+    fd: &FlatDomain,
+    on_w: &[u64],
+    dc_w: &[u64],
+    opts: &MinimizeOptions,
+    budget: &Budget,
+    scratch: &mut MinimizeScratch,
+) -> (AlignedWords, Completion) {
+    run_stride(fd, ScalarKern, on_w, dc_w, opts, budget, scratch)
+}
+
 /// Routes a word-form minimization to the right engine rung: the inline
 /// single-word binary engine where it applies, otherwise the generic engine
 /// monomorphized for 1/2/4-word strides with a dynamic-stride fallback.
 /// Total — every domain is handled; nothing routes back to the legacy
 /// driver (the [`obs::Counter::LegacyFallback`] tripwire stays at zero).
+///
+/// Multi-word rungs (stride ≥ 2) additionally dispatch on the selected
+/// [`KernelBackend`]; the single-word rungs are pure register code with
+/// nothing to vectorize and always run the scalar kernels. Each dispatched
+/// run bumps [`obs::Counter::KernelDispatches`] plus exactly one of
+/// [`obs::Counter::KernelWideCalls`] / [`obs::Counter::KernelScalarCalls`]
+/// — the conservation the kernel counter tests pin down. Backend choice is
+/// invisible to results: covers, counters, budget ticks, and traces are
+/// bit-identical (`tests/prop_simd_kernels.rs`).
 fn run_words(
     dom: &Domain,
     on_w: &[u64],
@@ -1921,16 +2108,30 @@ fn run_words(
     opts: &MinimizeOptions,
     budget: &Budget,
     scratch: &mut MinimizeScratch,
-) -> (Vec<u64>, Completion) {
+) -> (AlignedWords, Completion) {
     if flat_eligible(dom) {
         return espresso_words(BinCtx::new(dom), on_w, dc_w, opts, budget, scratch);
     }
     let fd = scratch.take_layout(dom);
-    let out = match fd.words() {
-        1 => espresso_chunks(MvCtx { fd: &fd, s: FixedW::<1> }, on_w, dc_w, opts, budget, scratch),
-        2 => espresso_chunks(MvCtx { fd: &fd, s: FixedW::<2> }, on_w, dc_w, opts, budget, scratch),
-        4 => espresso_chunks(MvCtx { fd: &fd, s: FixedW::<4> }, on_w, dc_w, opts, budget, scratch),
-        w => espresso_chunks(MvCtx { fd: &fd, s: DynW(w) }, on_w, dc_w, opts, budget, scratch),
+    let out = if fd.words() == 1 {
+        let ctx = MvCtx { fd: &fd, s: FixedW::<1>, k: ScalarKern };
+        espresso_chunks(ctx, on_w, dc_w, opts, budget, scratch)
+    } else {
+        // `count_scoped`, not `count`: the dispatch happens before the
+        // engine opens its "espresso" span, so with no caller-entered span
+        // the bump must fall back to the budget-attached recorder.
+        let rec = budget.recorder();
+        obs::count_scoped(rec, obs::Counter::KernelDispatches, 1);
+        match simd::selected_backend() {
+            KernelBackend::Wide => {
+                obs::count_scoped(rec, obs::Counter::KernelWideCalls, 1);
+                run_stride_wide(&fd, on_w, dc_w, opts, budget, scratch)
+            }
+            KernelBackend::Scalar => {
+                obs::count_scoped(rec, obs::Counter::KernelScalarCalls, 1);
+                run_stride(&fd, ScalarKern, on_w, dc_w, opts, budget, scratch)
+            }
+        }
     };
     scratch.put_layout(dom, fd);
     out
@@ -1961,7 +2162,7 @@ pub(crate) fn flat_minimized_len(on: &Cover, dc: &Cover, scratch: &mut MinimizeS
 }
 
 /// Copies a cover's cubes into a flat word buffer of the domain's stride.
-pub(crate) fn cover_to_words(cover: &Cover, out: &mut Vec<u64>) {
+pub(crate) fn cover_to_words(cover: &Cover, out: &mut AlignedWords) {
     debug_assert!(out.is_empty());
     for c in cover.iter() {
         out.extend_from_slice(c.words());

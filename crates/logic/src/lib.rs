@@ -38,6 +38,10 @@
 //! - [`flat`]: allocation-free flat cover kernels and the flat ESPRESSO
 //!   engine ([`flat_espresso_bounded`]) covering every domain via a
 //!   1/2/4-word specialization ladder over the cube stride.
+//! - [`simd`]: the runtime-dispatched kernel backend beneath the flat
+//!   engine — AVX2 / portable-wide / scalar word kernels selected by
+//!   [`KernelBackend`] (`PICOLA_SIMD`, `simd` cargo feature), bit-identical
+//!   across backends, plus the 64-byte-aligned [`AlignedWords`] buffers.
 //! - [`cache`]: the memoized minimization cache ([`MinimizeCache`]; memo
 //!   compiled out without the `minimize-cache` cargo feature) and the
 //!   [`CoverEngine`] selector.
@@ -70,6 +74,7 @@ pub mod primes;
 pub mod reduce;
 pub mod sat;
 pub mod sharp;
+pub mod simd;
 pub mod urp;
 pub mod verify;
 
@@ -105,6 +110,9 @@ pub use primes::{all_primes, all_primes_bounded};
 pub use reduce::reduce;
 pub use sat::{Cnf, FaceCnf, FaceProblem, Lit, SatOutcome, SatParseError, SatStats, Solver};
 pub use sharp::{cover_sharp, cube_sharp};
+pub use simd::{
+    avx2_active, selected_backend, set_backend_override, AlignedWords, KernelBackend,
+};
 pub use urp::{complement, cube_complement, tautology};
 pub use verify::{
     find_point_in_difference, first_point_of, verify_equivalent, verify_implements, Point,

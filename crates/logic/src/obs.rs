@@ -120,6 +120,17 @@ pub enum Counter {
     /// [`crate::CoverEngine::Legacy`] (differential oracle runs, A/B bench
     /// legs) is not a fallback and must not bump it either.
     LegacyFallback,
+    /// Multi-word flat-engine minimizations routed through the kernel
+    /// backend dispatcher (`picola_logic::simd`). Bumped once per
+    /// dispatched run; single-word rungs and the binary fast path are
+    /// pinned scalar and never dispatch. Always equals
+    /// [`Counter::KernelWideCalls`] + [`Counter::KernelScalarCalls`] —
+    /// the conservation rule the kernel suite enforces.
+    KernelDispatches,
+    /// Dispatched runs resolved to the wide (AVX2 or portable) backend.
+    KernelWideCalls,
+    /// Dispatched runs resolved to the scalar backend.
+    KernelScalarCalls,
     /// Branching decisions made by the CDCL SAT core
     /// ([`crate::sat::Solver`]). Together with [`Counter::SatConflicts`]
     /// this equals the work the solver charges to its budget at the
@@ -158,10 +169,25 @@ impl Counter {
         Counter::MinimizeCacheHit,
         Counter::MinimizeCacheMiss,
         Counter::LegacyFallback,
+        Counter::KernelDispatches,
+        Counter::KernelWideCalls,
+        Counter::KernelScalarCalls,
         Counter::SatDecisions,
         Counter::SatPropagations,
         Counter::SatConflicts,
     ];
+
+    /// `true` for counters whose totals depend on which kernel backend a
+    /// run resolved to. These are excluded from span snapshots (and hence
+    /// from [`Trace::render`] / [`Trace::to_json`] and golden traces) so
+    /// traces stay byte-identical across `PICOLA_SIMD=scalar|wide`; read
+    /// them through [`Trace::counter_total`], which bypasses snapshots.
+    pub fn backend_scoped(self) -> bool {
+        matches!(
+            self,
+            Counter::KernelDispatches | Counter::KernelWideCalls | Counter::KernelScalarCalls
+        )
+    }
 
     /// The stable snake_case name used in renders and JSON.
     pub fn name(self) -> &'static str {
@@ -189,6 +215,9 @@ impl Counter {
             Counter::MinimizeCacheHit => "minimize_cache_hit",
             Counter::MinimizeCacheMiss => "minimize_cache_miss",
             Counter::LegacyFallback => "legacy_fallback",
+            Counter::KernelDispatches => "kernel_dispatches",
+            Counter::KernelWideCalls => "kernel_wide_calls",
+            Counter::KernelScalarCalls => "kernel_scalar_calls",
             Counter::SatDecisions => "sat_decisions",
             Counter::SatPropagations => "sat_propagations",
             Counter::SatConflicts => "sat_conflicts",
@@ -416,6 +445,7 @@ mod imp {
                 .collect();
             let counters = Counter::ALL
                 .iter()
+                .filter(|c| !c.backend_scoped())
                 .filter_map(|&c| {
                     let v = self.counters[c as usize].load(Ordering::Relaxed);
                     (v != 0).then(|| (c.name(), v))
@@ -432,6 +462,20 @@ mod imp {
                 counters,
                 children,
             }
+        }
+
+        /// Total of one counter over this cell and every descendant, read
+        /// straight from the atomics. Unlike going through [`snapshot`],
+        /// this also sees backend-scoped counters, which snapshots omit.
+        ///
+        /// [`snapshot`]: SpanCell::snapshot
+        fn counter_total(&self, counter: Counter) -> u64 {
+            let own = self.counters[counter as usize].load(Ordering::Relaxed);
+            let kids: u64 = match self.children.lock() {
+                Ok(kids) => kids.iter().map(|k| k.counter_total(counter)).sum(),
+                Err(_) => 0,
+            };
+            own + kids
         }
 
         fn open_spans(&self) -> usize {
@@ -514,9 +558,11 @@ mod imp {
             self.snapshot().total_work()
         }
 
-        /// Total of one counter across every span.
+        /// Total of one counter across every span. Reads the span cells
+        /// directly, so — unlike [`Trace::snapshot`] — it also observes
+        /// backend-scoped counters ([`Counter::backend_scoped`]).
         pub fn counter_total(&self, counter: Counter) -> u64 {
-            self.snapshot().counter_total(counter)
+            self.root.counter_total(counter)
         }
 
         /// Number of spans currently open (guards not yet dropped). Zero
@@ -983,6 +1029,29 @@ mod tests {
              {\"name\":\"phase\",\"work\":{\"picola.refine\":5},\
              \"counters\":{\"refine_accepts\":1},\"children\":[]}]}"
         );
+    }
+
+    #[test]
+    fn backend_scoped_counters_bypass_snapshots() {
+        let trace = Trace::new();
+        {
+            let span = trace.recorder().span("minimize");
+            span.recorder().add(Counter::KernelDispatches, 3);
+            span.recorder().add(Counter::KernelWideCalls, 2);
+            span.recorder().add(Counter::KernelScalarCalls, 1);
+            span.recorder().add(Counter::MinimizeCalls, 3);
+        }
+        // Totals are visible through the cell-walking reader …
+        assert_eq!(trace.counter_total(Counter::KernelDispatches), 3);
+        assert_eq!(trace.counter_total(Counter::KernelWideCalls), 2);
+        assert_eq!(trace.counter_total(Counter::KernelScalarCalls), 1);
+        // … but never leak into snapshots, renders, or JSON, which must
+        // stay byte-identical across kernel backends.
+        let render = trace.render();
+        assert!(!render.contains("kernel_"));
+        assert!(render.contains("minimize_calls=3"));
+        assert!(!trace.to_json().contains("kernel_"));
+        assert_eq!(trace.snapshot().counter_total(Counter::KernelDispatches), 0);
     }
 
     #[test]

@@ -74,6 +74,12 @@ if command -v python3 >/dev/null 2>&1; then
     # per-encoder total gaps must not grow vs the pr7 report.
     python3 scripts/check_bench_metrics.py BENCH_pr8.json \
         --baseline BENCH_pr7.json
+    # Schema v8 adds the kernel_ab leg (Wide vs Scalar kernel backends on
+    # the flat engine): both legs must be bit-identical and the aggregate
+    # wide wall-per-work must not regress below scalar; the deterministic
+    # work counters are additionally gated against the pr8 report (+20%).
+    python3 scripts/check_bench_metrics.py BENCH_pr9.json \
+        --baseline BENCH_pr8.json
 else
     # Fallback without python: the metrics block must at least be present
     # and non-trivially populated in every instance.
