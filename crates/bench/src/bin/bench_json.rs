@@ -20,25 +20,41 @@
 //! * the optimality gap (`sat_ab`): on instances inside the SAT oracle's
 //!   size guard (`nv <= 4`), the proven optimum vs every heuristic
 //!   member's exact cost — the oracle's witness must re-cost bit-for-bit
-//!   under the exact evaluator and no heuristic may beat it.
+//!   under the exact evaluator and no heuristic may beat it;
+//! * the streaming store (`stream_ab`): the huge tier drawn lazily through
+//!   the bounded pipeline three times — memoryless (no store), cold
+//!   (fresh content-addressed store), warm (the store the cold leg left
+//!   behind) — records asserted identical across all three legs, warm
+//!   hit rate and cold-over-warm speedup reported, peak-live instances
+//!   bounded (the pipeline fails itself on a lifetime leak).
 //!
-//! Writes one machine-readable JSON report (`BENCH_pr9.json` by default),
+//! Writes one machine-readable JSON report (`BENCH_pr10.json` by default),
 //! including a deterministic per-instance `metrics` block (the obs span /
-//! counter tree of the sequential portfolio run).
+//! counter tree of the sequential portfolio run), plus the warm leg's
+//! stream records as a compact binary artifact (`--format bin`, the
+//! default) or its JSON debug export (`--format json`) next to the report.
 //! See README.md ("Reading the bench JSON") for the schema.
+//!
+//! `--tier huge` is stream-only: the per-instance suite is skipped
+//! (`instances` is empty) and the report carries just the `stream` block —
+//! thousands of generated instances, never materialized as a `Vec`.
 //!
 //! ```text
 //! cargo run -p picola-bench --release --bin bench_json [-- --smoke]
-//!     [--tier standard|large] [--out PATH] [--threads N] [--seed N]
-//!     [--instances N]
+//!     [--tier standard|large|huge] [--out PATH] [--threads N] [--seed N]
+//!     [--instances N] [--stream-instances N] [--store DIR]
+//!     [--format json|bin]
 //! ```
 
 use picola_baselines::{standard_members, standard_portfolio, EncLikeEncoder};
-use picola_bench::corpus::{corpus_tier, Instance, Tier};
+use picola_bench::artifact::{decode_records, encode_records, records_json, StreamRecord};
+use picola_bench::corpus::{generate_iter, Instance, Tier};
+use picola_bench::stream::{run_stream, StreamConfig, StreamReport};
 use picola_constraints::{min_code_length, Encoding};
 use picola_core::{
     estimate_cubes, evaluate_encoding_cached, try_picola_encode_with, Budget, CoverEngine,
-    EvalContext, EvalOptions, GlobalMinimizeCache, PicolaOptions, RefineEngine,
+    EngineConfig, EngineHandle, EvalContext, EvalOptions, GlobalMinimizeCache, PicolaOptions,
+    RefineEngine,
 };
 use picola_logic::{
     obs, set_backend_override, Counter, Cover, Cube, DomainBuilder, KernelBackend, MinimizeCache,
@@ -49,6 +65,15 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// On-disk format of the stream-record artifact written next to the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArtifactFormat {
+    /// Compact `picola_logic::binio` artifact — the hot-path default.
+    Bin,
+    /// The deterministic JSON debug export.
+    Json,
+}
+
 struct Options {
     smoke: bool,
     tier: Tier,
@@ -56,6 +81,12 @@ struct Options {
     threads: usize,
     seed: u64,
     instances: usize,
+    /// Instances the `stream_ab` leg draws through the pipeline.
+    stream_instances: usize,
+    /// Result-store directory for the stream leg (a temp dir when unset;
+    /// either way the leg's subdirectory is cleared so cold is cold).
+    store: Option<String>,
+    format: ArtifactFormat,
 }
 
 impl Options {
@@ -63,10 +94,13 @@ impl Options {
         let mut opts = Options {
             smoke: false,
             tier: Tier::Standard,
-            out: "BENCH_pr9.json".to_owned(),
+            out: "BENCH_pr10.json".to_owned(),
             threads: 4,
             seed: 0x0001_C01A,
             instances: 0,
+            stream_instances: 0,
+            store: None,
+            format: ArtifactFormat::Bin,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -76,6 +110,7 @@ impl Options {
                     opts.tier = match it.next().ok_or("--tier needs a name")?.as_str() {
                         "standard" => Tier::Standard,
                         "large" => Tier::Large,
+                        "huge" => Tier::Huge,
                         other => return Err(format!("unknown tier {other:?}")),
                     };
                 }
@@ -90,6 +125,18 @@ impl Options {
                     opts.instances =
                         parse_num(&it.next().ok_or("--instances needs a count")?)?;
                 }
+                "--stream-instances" => {
+                    opts.stream_instances =
+                        parse_num(&it.next().ok_or("--stream-instances needs a count")?)?;
+                }
+                "--store" => opts.store = Some(it.next().ok_or("--store needs a directory")?),
+                "--format" => {
+                    opts.format = match it.next().ok_or("--format needs a name")?.as_str() {
+                        "bin" => ArtifactFormat::Bin,
+                        "json" => ArtifactFormat::Json,
+                        other => return Err(format!("unknown format {other:?}")),
+                    };
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -101,6 +148,9 @@ impl Options {
             } else {
                 12
             };
+        }
+        if opts.stream_instances == 0 {
+            opts.stream_instances = if opts.smoke { 96 } else { 600 };
         }
         Ok(opts)
     }
@@ -695,6 +745,159 @@ fn run_kernel_ab(inst: &Instance) -> Result<AbReport, String> {
     })
 }
 
+/// One leg of the streaming-store A/B.
+struct StreamLeg {
+    name: &'static str,
+    wall_ms: f64,
+    /// Engine work units spent (near zero on a fully warm leg).
+    work: u64,
+    peak_live: usize,
+    store_hits: u64,
+    store_misses: u64,
+    hit_rate: f64,
+}
+
+/// The `stream_ab` leg: the huge tier drawn lazily through the bounded
+/// pipeline, memoryless vs store-cold vs store-warm.
+struct StreamAb {
+    count: usize,
+    threads: usize,
+    depth: usize,
+    live_bound: usize,
+    /// Highest peak-live over the three legs (each already ≤ the bound —
+    /// `run_stream` fails the run otherwise).
+    peak_live: usize,
+    legs: Vec<StreamLeg>,
+    /// Records that differ (provenance flag aside) between any pair of
+    /// legs — the store must never change a result.
+    mismatches: usize,
+    /// Warm-leg store hit rate.
+    hit_rate: f64,
+    /// Cold wall over warm wall — the store's payoff on a repeat run.
+    speedup: f64,
+    /// Warm-leg records, for the on-disk artifact.
+    records: Vec<StreamRecord>,
+}
+
+fn stream_leg(name: &'static str, report: &StreamReport) -> StreamLeg {
+    StreamLeg {
+        name,
+        wall_ms: report.wall.as_secs_f64() * 1000.0,
+        work: report.work,
+        peak_live: report.peak_live,
+        store_hits: report.store.hits,
+        store_misses: report.store.misses,
+        hit_rate: report.hit_rate(),
+    }
+}
+
+/// Everything about a record except where the answer came from.
+fn stream_result_fields(r: &StreamRecord) -> (u64, u64, u64, u64, u64, u64, u64, u64) {
+    (
+        r.index,
+        r.key,
+        r.n,
+        r.nv,
+        r.codes_digest,
+        r.total_cubes,
+        r.satisfied,
+        r.evaluated,
+    )
+}
+
+/// Runs the stream A/B. Each leg gets a fresh engine (so warm measures
+/// the *store*, not leftover memo warmth); the cold and warm legs share
+/// one store directory that is cleared up front so cold is honestly cold.
+fn run_stream_ab(opts: &Options) -> Result<StreamAb, String> {
+    const STREAM_DEPTH: usize = 16;
+    let store_root = match &opts.store {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("picola-bench-{}", std::process::id())),
+    };
+    let ab_dir = store_root.join("stream-ab");
+    let _ = std::fs::remove_dir_all(&ab_dir);
+    let config = |store_dir| StreamConfig {
+        count: opts.stream_instances,
+        master_seed: opts.seed,
+        tier: Tier::Huge,
+        threads: opts.threads.max(1),
+        depth: STREAM_DEPTH,
+        store_dir,
+        work_limit: None,
+    };
+    let run = |store_dir| run_stream(&EngineHandle::new(EngineConfig::default()), &config(store_dir));
+    let memoryless = run(None)?;
+    let cold = run(Some(ab_dir.clone()))?;
+    let warm = run(Some(ab_dir.clone()))?;
+    if opts.store.is_none() {
+        let _ = std::fs::remove_dir_all(&store_root);
+    }
+
+    let mut mismatches = 0usize;
+    for ((m, c), w) in memoryless
+        .records
+        .iter()
+        .zip(&cold.records)
+        .zip(&warm.records)
+    {
+        let reference = stream_result_fields(m);
+        if stream_result_fields(c) != reference || stream_result_fields(w) != reference {
+            mismatches += 1;
+        }
+    }
+    let hit_rate = warm.hit_rate();
+    let speedup =
+        cold.wall.as_secs_f64() / warm.wall.as_secs_f64().max(1e-9);
+    let peak_live = memoryless
+        .peak_live
+        .max(cold.peak_live)
+        .max(warm.peak_live);
+    let live_bound = warm.live_bound;
+    let records = warm.records.clone();
+    Ok(StreamAb {
+        count: opts.stream_instances,
+        threads: opts.threads.max(1),
+        depth: STREAM_DEPTH,
+        live_bound,
+        peak_live,
+        legs: vec![
+            stream_leg("memoryless", &memoryless),
+            stream_leg("cold", &cold),
+            stream_leg("warm", &warm),
+        ],
+        mismatches,
+        hit_rate,
+        speedup,
+        records,
+    })
+}
+
+/// Writes the warm leg's records next to the report — compact binary by
+/// default (round-trip verified in-process before the write), JSON debug
+/// export with `--format json`.
+fn write_records_artifact(ab: &StreamAb, opts: &Options) -> Result<String, String> {
+    let stem = opts.out.strip_suffix(".json").unwrap_or(&opts.out);
+    let path = match opts.format {
+        ArtifactFormat::Bin => format!("{stem}.records.bin"),
+        ArtifactFormat::Json => format!("{stem}.records.json"),
+    };
+    match opts.format {
+        ArtifactFormat::Bin => {
+            let bytes = encode_records(&ab.records);
+            let back = decode_records(&bytes).map_err(|e| format!("artifact self-check: {e}"))?;
+            if back != ab.records {
+                return Err("artifact self-check: round-trip diverged".to_owned());
+            }
+            std::fs::write(&path, &bytes).map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        ArtifactFormat::Json => {
+            std::fs::write(&path, records_json(&ab.records))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+    }
+    Ok(path)
+}
+
 /// One refine engine A/B leg: a full PICOLA run with the given engine and
 /// thread count, attributing the refine span's wall time and work.
 struct RefineRun {
@@ -875,14 +1078,22 @@ fn ms(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1000.0)
 }
 
-fn emit(reports: &[InstanceReport], opts: &Options) -> String {
+fn emit(reports: &[InstanceReport], stream: &StreamAb, opts: &Options) -> String {
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"picola-bench/bench_json/v8\",");
+    let _ = writeln!(j, "  \"schema\": \"picola-bench/bench_json/v9\",");
     let _ = writeln!(j, "  \"seed\": {},", opts.seed);
     let _ = writeln!(j, "  \"threads\": {},", opts.threads);
     let _ = writeln!(j, "  \"smoke\": {},", opts.smoke);
     let _ = writeln!(j, "  \"tier\": \"{}\",", opts.tier.name());
+    let _ = writeln!(
+        j,
+        "  \"format\": \"{}\",",
+        match opts.format {
+            ArtifactFormat::Bin => "bin",
+            ArtifactFormat::Json => "json",
+        }
+    );
     let _ = writeln!(j, "  \"instances\": [");
     for (ri, r) in reports.iter().enumerate() {
         let _ = writeln!(j, "    {{");
@@ -1023,6 +1234,37 @@ fn emit(reports: &[InstanceReport], opts: &Options) -> String {
         let _ = writeln!(j, "{}", if ri + 1 < reports.len() { "," } else { "" });
     }
     let _ = writeln!(j, "  ],");
+
+    // The streaming-store A/B: huge tier, bounded pipeline, three legs.
+    let _ = writeln!(j, "  \"stream\": {{");
+    let _ = writeln!(j, "    \"tier\": \"huge\",");
+    let _ = writeln!(j, "    \"count\": {},", stream.count);
+    let _ = writeln!(j, "    \"threads\": {},", stream.threads);
+    let _ = writeln!(j, "    \"depth\": {},", stream.depth);
+    let _ = writeln!(j, "    \"live_bound\": {},", stream.live_bound);
+    let _ = writeln!(j, "    \"peak_live\": {},", stream.peak_live);
+    let _ = writeln!(j, "    \"legs\": [");
+    for (li, leg) in stream.legs.iter().enumerate() {
+        let _ = write!(
+            j,
+            "      {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"work\": {}, \
+             \"peak_live\": {}, \"store_hits\": {}, \"store_misses\": {}, \
+             \"hit_rate\": {:.4}}}",
+            leg.name,
+            leg.wall_ms,
+            leg.work,
+            leg.peak_live,
+            leg.store_hits,
+            leg.store_misses,
+            leg.hit_rate
+        );
+        let _ = writeln!(j, "{}", if li + 1 < stream.legs.len() { "," } else { "" });
+    }
+    let _ = writeln!(j, "    ],");
+    let _ = writeln!(j, "    \"mismatches\": {},", stream.mismatches);
+    let _ = writeln!(j, "    \"hit_rate\": {:.4},", stream.hit_rate);
+    let _ = writeln!(j, "    \"speedup\": {:.3}", stream.speedup);
+    let _ = writeln!(j, "  }},");
 
     let names: Vec<&str> = reports
         .first()
@@ -1247,7 +1489,10 @@ fn main() {
     };
 
     let mut reports = Vec::new();
-    for inst in corpus_tier(opts.instances, opts.seed, opts.tier) {
+    // `--tier huge` is stream-only: the per-instance suite prices a dozen
+    // instances in depth, the huge tier measures thousands in throughput.
+    let instance_count = if opts.tier == Tier::Huge { 0 } else { opts.instances };
+    for inst in generate_iter(instance_count, opts.seed, opts.tier) {
         let name = inst.name.clone();
         match run_instance(inst, &opts) {
             Ok(r) => {
@@ -1286,10 +1531,40 @@ fn main() {
         }
     }
 
-    let json = emit(&reports, &opts);
+    let stream = match run_stream_ab(&opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: stream A/B: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "stream_ab: {} instances, warm {:.2}x cold @ {:.0}% hits, \
+         peak live {} / bound {}, {} mismatches",
+        stream.count,
+        stream.speedup,
+        stream.hit_rate * 100.0,
+        stream.peak_live,
+        stream.live_bound,
+        stream.mismatches
+    );
+    let artifact = match write_records_artifact(&stream, &opts) {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let json = emit(&reports, &stream, &opts);
     if let Err(e) = std::fs::write(&opts.out, &json) {
         eprintln!("error: cannot write {}: {e}", opts.out);
         std::process::exit(1);
     }
-    eprintln!("wrote {} ({} instances)", opts.out, reports.len());
+    eprintln!(
+        "wrote {} ({} instances) and {artifact} ({} records)",
+        opts.out,
+        reports.len(),
+        stream.records.len()
+    );
 }

@@ -21,6 +21,11 @@ pub enum Tier {
     /// pool so faces fight over the same subcubes), and an occasional spare
     /// code bit via `nv_override` — sized so refine throughput dominates.
     Large,
+    /// 6–16 symbols, a few small constraints — individually tiny, but
+    /// drawn by the thousands through [`generate_iter`] and processed as a
+    /// stream (never materialized as a `Vec`). The scale tier behind the
+    /// `stream_ab` bench leg and the content-addressed result store.
+    Huge,
 }
 
 impl Tier {
@@ -30,6 +35,7 @@ impl Tier {
         match self {
             Tier::Standard => "standard",
             Tier::Large => "large",
+            Tier::Huge => "huge",
         }
     }
 }
@@ -68,15 +74,31 @@ pub fn corpus(count: usize, master_seed: u64) -> Vec<Instance> {
 /// [`corpus`] always produced.
 #[must_use]
 pub fn corpus_tier(count: usize, master_seed: u64, tier: Tier) -> Vec<Instance> {
-    (0..count)
-        .map(|i| {
-            let seed = splitmix64(master_seed.wrapping_add(i as u64 + 1));
-            match tier {
-                Tier::Standard => generate(i, seed),
-                Tier::Large => generate_large(i, seed),
-            }
-        })
-        .collect()
+    generate_iter(count, master_seed, tier).collect()
+}
+
+/// Generate `count` instances of `tier` lazily — instance `i` is built
+/// only when the iterator reaches it, so a million-instance corpus costs
+/// one instance of memory at a time. This is the generator every tier
+/// (and the streaming pipeline) draws from; [`corpus_tier`] is just
+/// `generate_iter(..).collect()`, so the small tiers stay byte-identical
+/// to what they always were.
+///
+/// Prefix-stability holds per tier: instance `i` depends only on
+/// `(master_seed, i)`.
+pub fn generate_iter(
+    count: usize,
+    master_seed: u64,
+    tier: Tier,
+) -> impl Iterator<Item = Instance> {
+    (0..count).map(move |i| {
+        let seed = splitmix64(master_seed.wrapping_add(i as u64 + 1));
+        match tier {
+            Tier::Standard => generate(i, seed),
+            Tier::Large => generate_large(i, seed),
+            Tier::Huge => generate_huge(i, seed),
+        }
+    })
 }
 
 fn generate(index: usize, seed: u64) -> Instance {
@@ -156,6 +178,37 @@ fn generate_large(index: usize, seed: u64) -> Instance {
     }
 }
 
+fn generate_huge(index: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // 6..=16 symbols, 2–5 small constraints: each instance minimizes in
+    // well under a millisecond, so throughput — channel backpressure, the
+    // store, the shared memo — is what the huge tier measures, not any
+    // single solve. The n range deliberately overlaps the standard tier's
+    // so the store and memo see genuine cross-instance collisions.
+    let n = rng.random_range(6..=16usize);
+    let num_constraints = rng.random_range(2..=5usize);
+    let constraints = (0..num_constraints)
+        .map(|_| {
+            let size = rng.random_range(2..=4usize.min(n - 1));
+            let mut members: Vec<usize> = Vec::with_capacity(size);
+            while members.len() < size {
+                let s = rng.random_range(0..n);
+                if !members.contains(&s) {
+                    members.push(s);
+                }
+            }
+            GroupConstraint::new(SymbolSet::from_members(n, members))
+        })
+        .collect();
+    Instance {
+        name: format!("huge-{index:04}"),
+        n,
+        constraints,
+        seed,
+        nv_override: None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,5 +284,44 @@ mod tests {
         let c = corpus_tier(16, 3, Tier::Large);
         assert!(c.iter().any(|i| i.nv_override.is_some()));
         assert!(c.iter().any(|i| i.nv_override.is_none()));
+    }
+
+    #[test]
+    fn generate_iter_matches_collected_corpus_on_every_tier() {
+        for tier in [Tier::Standard, Tier::Large, Tier::Huge] {
+            let eager = corpus_tier(8, 0x5eed, tier);
+            let lazy: Vec<Instance> = generate_iter(8, 0x5eed, tier).collect();
+            assert_eq!(eager.len(), lazy.len());
+            for (a, b) in eager.iter().zip(&lazy) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.n, b.n);
+                assert_eq!(a.seed, b.seed);
+                assert_eq!(a.nv_override, b.nv_override);
+                assert_eq!(a.constraints.len(), b.constraints.len());
+                for (ca, cb) in a.constraints.iter().zip(&b.constraints) {
+                    let ma: Vec<usize> = ca.members().iter().collect();
+                    let mb: Vec<usize> = cb.members().iter().collect();
+                    assert_eq!(ma, mb);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn huge_tier_is_well_formed_and_prefix_stable() {
+        let a: Vec<Instance> = generate_iter(64, 9, Tier::Huge).collect();
+        let b: Vec<Instance> = generate_iter(80, 9, Tier::Huge).collect();
+        for (i, inst) in a.iter().enumerate() {
+            assert_eq!(inst.name, format!("huge-{i:04}"));
+            assert!((6..=16).contains(&inst.n), "{}: n = {}", inst.name, inst.n);
+            assert!((2..=5).contains(&inst.constraints.len()));
+            for c in &inst.constraints {
+                assert!((2..=4).contains(&c.len()));
+                assert!(c.members().iter().all(|s| s < inst.n));
+            }
+            assert_eq!(inst.nv_override, None);
+            assert_eq!(inst.seed, b[i].seed);
+            assert_eq!(inst.n, b[i].n);
+        }
     }
 }

@@ -14,9 +14,16 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod corpus;
+pub mod stream;
 
-pub use corpus::{corpus, corpus_tier, Instance, Tier};
+pub use artifact::{
+    decode_instance, decode_records, encode_instance, encode_records, instance_json,
+    records_json, StreamRecord,
+};
+pub use corpus::{corpus, corpus_tier, generate_iter, Instance, Tier};
+pub use stream::{codes_digest, run_stream, StreamConfig, StreamReport};
 
 use picola_baselines::{EncLikeEncoder, NovaEncoder};
 use picola_constraints::{ExtractMethod, GroupConstraint};

@@ -1,0 +1,390 @@
+//! The bounded-memory streaming pipeline over the huge tier.
+//!
+//! generate → encode → minimize → record, as a producer/consumer pipeline
+//! with real backpressure: one producer thread draws instances lazily from
+//! [`crate::corpus::generate_iter`] (never materializing the corpus) and
+//! feeds a `sync_channel` of configured depth; worker threads pull from
+//! the shared receiver, answer each instance from the content-addressed
+//! [`ResultStore`] when warm or from the [`EngineHandle`] (shared
+//! `GlobalMinimizeCache`, one [`Budget::worker`] view per thread) when
+//! cold, and emit a compact [`StreamRecord`].
+//!
+//! **Bounded memory is proved, not hoped for.** Every in-flight instance
+//! holds a [`LiveGuard`]; the guard counter's high-water mark is reported
+//! as [`StreamReport::peak_live`] and must stay ≤ [`StreamReport::live_bound`]
+//! = `depth + threads + 1` (channel slots + one per worker + the one in
+//! the producer's hand). The pipeline asserts this itself — a leak of
+//! instance lifetimes fails the run, not just a metric.
+//!
+//! Determinism: records are collected unordered and sorted by corpus
+//! index, and only `Complete` results enter the store, so a warm run is
+//! record-for-record identical to a cold one (the `stream_ab` bench leg
+//! and `tests/stream_store.rs` both assert exactly that).
+
+use crate::artifact::StreamRecord;
+use crate::corpus::{generate_iter, Instance, Tier};
+use picola_core::store::{job_key, ResultStore, StoreStats, StoredResult};
+use picola_core::{Budget, EngineHandle, Job, JobOutput};
+use picola_logic::binio::Fnv64;
+use picola_logic::CacheStats;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of one streaming run.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Instances to draw from the generator.
+    pub count: usize,
+    /// Master seed of the corpus.
+    pub master_seed: u64,
+    /// Corpus tier to stream (the huge tier in production; tests stream
+    /// the small tiers too).
+    pub tier: Tier,
+    /// Worker threads consuming the channel.
+    pub threads: usize,
+    /// Bounded-channel depth — the backpressure knob and the dominant
+    /// term of the peak-live bound.
+    pub depth: usize,
+    /// Content-addressed result store directory (`None` = no store; every
+    /// instance is computed).
+    pub store_dir: Option<PathBuf>,
+    /// Work limit shared by all workers (`None` = unlimited).
+    pub work_limit: Option<u64>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            count: 1000,
+            master_seed: 0x0001_C01A,
+            tier: Tier::Huge,
+            threads: 4,
+            depth: 16,
+            store_dir: None,
+            work_limit: None,
+        }
+    }
+}
+
+/// What one streaming run produced and proved.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// One record per instance, sorted by corpus index.
+    pub records: Vec<StreamRecord>,
+    /// High-water mark of simultaneously live instances.
+    pub peak_live: usize,
+    /// The bound `peak_live` is asserted against (`depth + threads + 1`).
+    pub live_bound: usize,
+    /// Wall time of the whole pipeline.
+    pub wall: Duration,
+    /// Work units spent (shared pool across workers).
+    pub work: u64,
+    /// Store counters for the run (zeros when no store was configured).
+    pub store: StoreStats,
+    /// Shared minimize-memo counters for the run.
+    pub cache: CacheStats,
+}
+
+impl StreamReport {
+    /// Store hit rate over lookups (0.0 with no store).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.store.hits + self.store.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)] // bench reporting
+            {
+                self.store.hits as f64 / lookups as f64
+            }
+        }
+    }
+}
+
+/// Live-instance accounting: incremented when the producer materializes
+/// an instance, decremented when a worker finishes with it; the peak is
+/// maintained with a CAS loop so concurrent increments never under-report.
+#[derive(Debug, Default)]
+struct LiveCounter {
+    live: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl LiveCounter {
+    fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII view of one live instance.
+#[derive(Debug)]
+struct LiveGuard {
+    counter: Arc<LiveCounter>,
+}
+
+impl LiveGuard {
+    fn new(counter: Arc<LiveCounter>) -> LiveGuard {
+        let now = counter.live.fetch_add(1, Ordering::Relaxed) + 1;
+        counter.peak.fetch_max(now, Ordering::Relaxed);
+        LiveGuard { counter }
+    }
+}
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        self.counter.live.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One in-flight instance: the payload plus its lifetime witness.
+struct LiveItem {
+    index: u64,
+    inst: Instance,
+    /// Held, not read: dropping the item is what decrements the live
+    /// counter, which is the entire point.
+    _guard: LiveGuard,
+}
+
+/// Digest of the code words, little-endian in symbol order.
+#[must_use]
+pub fn codes_digest(codes: &[u32]) -> u64 {
+    let mut h = Fnv64::new();
+    for &c in codes {
+        h.update(&c.to_le_bytes());
+    }
+    h.finish()
+}
+
+/// Runs the pipeline to completion.
+///
+/// # Errors
+///
+/// The store directory cannot be opened, or a pipeline thread panicked
+/// (which indicates a bug — the compute path itself is panic-free).
+pub fn run_stream(engine: &EngineHandle, config: &StreamConfig) -> Result<StreamReport, String> {
+    let store = match &config.store_dir {
+        Some(dir) => Some(Arc::new(
+            ResultStore::open(dir).map_err(|e| format!("store {}: {e}", dir.display()))?,
+        )),
+        None => None,
+    };
+    let threads = config.threads.max(1);
+    let depth = config.depth.max(1);
+    let live_bound = depth + threads + 1;
+    let counter = Arc::new(LiveCounter::default());
+    let budget = match config.work_limit {
+        Some(limit) => Budget::with_work_limit(limit),
+        None => Budget::unlimited(),
+    };
+
+    let (tx, rx) = sync_channel::<LiveItem>(depth);
+    let rx = Arc::new(Mutex::new(rx));
+    let (record_tx, record_rx) = std::sync::mpsc::channel::<StreamRecord>();
+
+    let started = Instant::now();
+    let producer = {
+        let counter = Arc::clone(&counter);
+        let count = config.count;
+        let master_seed = config.master_seed;
+        let tier = config.tier;
+        std::thread::spawn(move || {
+            for (i, inst) in generate_iter(count, master_seed, tier).enumerate() {
+                let item = LiveItem {
+                    index: i as u64,
+                    inst,
+                    _guard: LiveGuard::new(Arc::clone(&counter)),
+                };
+                // A send error means every worker is gone (only possible
+                // after a worker panic); stop producing.
+                if tx.send(item).is_err() {
+                    return;
+                }
+            }
+        })
+    };
+
+    let workers: Vec<_> = (0..threads)
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let record_tx = record_tx.clone();
+            let engine = engine.clone();
+            let store = store.clone();
+            let budget = budget.worker();
+            std::thread::spawn(move || loop {
+                let item = {
+                    let Ok(shared) = rx.lock() else { return };
+                    match shared.recv() {
+                        Ok(item) => item,
+                        Err(_) => return, // producer done, channel drained
+                    }
+                };
+                let record = process(&engine, store.as_deref(), &budget, &item);
+                drop(item); // release the LiveGuard before blocking on send
+                if record_tx.send(record).is_err() {
+                    return;
+                }
+            })
+        })
+        .collect();
+    drop(record_tx);
+
+    let mut records: Vec<StreamRecord> = record_rx.iter().collect();
+    producer
+        .join()
+        .map_err(|_| "stream producer panicked".to_owned())?;
+    for worker in workers {
+        worker
+            .join()
+            .map_err(|_| "stream worker panicked".to_owned())?;
+    }
+    let wall = started.elapsed();
+    records.sort_unstable_by_key(|r| r.index);
+
+    let peak_live = counter.peak();
+    if peak_live > live_bound {
+        // The tripwire itself: a lifetime leak is a pipeline bug, and the
+        // run fails loudly rather than reporting an unbounded "success".
+        return Err(format!(
+            "peak live instances {peak_live} exceeded the bound {live_bound}"
+        ));
+    }
+    Ok(StreamReport {
+        records,
+        peak_live,
+        live_bound,
+        wall,
+        work: budget.work_done(),
+        store: store.as_deref().map(ResultStore::stats).unwrap_or_default(),
+        cache: engine.cache_stats(),
+    })
+}
+
+/// Answers one instance: store-warm when possible, engine-cold otherwise;
+/// complete cold results are persisted for the next run.
+fn process(
+    engine: &EngineHandle,
+    store: Option<&ResultStore>,
+    budget: &Budget,
+    item: &LiveItem,
+) -> StreamRecord {
+    let inst = &item.inst;
+    let key = job_key(inst.n, inst.nv_override, &inst.constraints);
+    if let Some(stored) = store.and_then(|s| s.lookup(key)) {
+        return StreamRecord {
+            index: item.index,
+            key: key.0,
+            n: inst.n as u64,
+            nv: stored.nv as u64,
+            codes_digest: codes_digest(&stored.codes),
+            total_cubes: stored.total_cubes as u64,
+            satisfied: stored.satisfied as u64,
+            evaluated: stored.evaluated as u64,
+            store_hit: true,
+            complete: true,
+        };
+    }
+    let job = Job::Encode {
+        n: inst.n,
+        constraints: inst.constraints.clone(),
+    };
+    match engine.run(&job, budget) {
+        Ok(output) => {
+            if let Some(store) = store {
+                if StoredResult::from_output(&output).is_some() {
+                    store.insert_output(key, &output);
+                }
+            }
+            let complete = output.completion().is_complete();
+            match output {
+                JobOutput::Encoded {
+                    encoding,
+                    evaluation,
+                    ..
+                } => StreamRecord {
+                    index: item.index,
+                    key: key.0,
+                    n: inst.n as u64,
+                    nv: encoding.nv() as u64,
+                    codes_digest: codes_digest(encoding.codes()),
+                    total_cubes: evaluation.total_cubes as u64,
+                    satisfied: evaluation.satisfied as u64,
+                    evaluated: evaluation.evaluated as u64,
+                    store_hit: false,
+                    complete,
+                },
+                JobOutput::Evaluated { .. } => unreachable_record(item, key.0),
+            }
+        }
+        // Encode jobs over generated instances cannot fail validation;
+        // an error here still yields an honest (empty) record rather than
+        // killing the pipeline.
+        Err(_) => unreachable_record(item, key.0),
+    }
+}
+
+/// A sentinel record for can't-happen paths: all-zero result fields,
+/// `complete = false`, so any appearance fails the bench's mismatch and
+/// completeness gates instead of passing silently.
+fn unreachable_record(item: &LiveItem, key: u64) -> StreamRecord {
+    StreamRecord {
+        index: item.index,
+        key,
+        n: item.inst.n as u64,
+        nv: 0,
+        codes_digest: 0,
+        total_cubes: 0,
+        satisfied: 0,
+        evaluated: 0,
+        store_hit: false,
+        complete: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+    use picola_core::EngineConfig;
+
+    #[test]
+    fn storeless_stream_is_deterministic_and_bounded() {
+        let config = StreamConfig {
+            count: 24,
+            threads: 3,
+            depth: 4,
+            ..StreamConfig::default()
+        };
+        let a = run_stream(&EngineHandle::new(EngineConfig::default()), &config).unwrap();
+        let b = run_stream(&EngineHandle::new(EngineConfig::default()), &config).unwrap();
+        assert_eq!(a.records.len(), 24);
+        assert_eq!(a.records, b.records, "two cold runs are record-identical");
+        assert!(a.records.iter().all(|r| r.complete && !r.store_hit));
+        assert!(
+            a.peak_live <= a.live_bound,
+            "peak {} over bound {}",
+            a.peak_live,
+            a.live_bound
+        );
+        assert_eq!(a.live_bound, 4 + 3 + 1);
+        assert_eq!(
+            a.records.iter().map(|r| r.index).collect::<Vec<_>>(),
+            (0..24).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn depth_one_single_thread_still_drains_everything() {
+        let config = StreamConfig {
+            count: 10,
+            threads: 1,
+            depth: 1,
+            ..StreamConfig::default()
+        };
+        let report = run_stream(&EngineHandle::new(EngineConfig::default()), &config).unwrap();
+        assert_eq!(report.records.len(), 10);
+        assert!(report.peak_live <= 3);
+    }
+}

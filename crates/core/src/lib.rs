@@ -50,6 +50,7 @@ pub mod portfolio;
 pub mod refine;
 pub mod report;
 pub mod solve;
+pub mod store;
 pub mod validity;
 
 pub use classify::{geometry, update_constraints, ClassifyOutcome};
@@ -70,6 +71,9 @@ pub use portfolio::{EncoderPortfolio, MemberOutcome, PortfolioOutcome};
 pub use refine::{CandCursor, CodeTable, RefineCand, RefineEngine, RefineScratch};
 pub use report::RunReport;
 pub use solve::solve_column;
+pub use store::{
+    canonical_job_bytes, job_key, key_for, ResultStore, StoreKey, StoreStats, StoredResult,
+};
 pub use validity::ValidityTracker;
 
 // Budgeting and fault injection live in picola-logic (the dependency root);

@@ -1,0 +1,511 @@
+//! Compact binary serialization primitives for persistent artifacts.
+//!
+//! JSON served the bench/daemon paths fine while corpora were a dozen
+//! instances; the huge streaming tier (thousands of instances, persistent
+//! result records) needs the same discipline the bounded-length coding
+//! literature applies to symbol/length data: fixed magic + version header,
+//! LEB128 varints for the integers (almost all of which are tiny), and
+//! length-prefixed byte runs — no text, no per-field names.
+//!
+//! This module owns only the *primitives*: a bounds-checked [`ByteReader`]
+//! that can never panic or over-read on hostile input (the same hardening
+//! bar as the PR 1 KISS2/PLA parsers — every decode error is a structured
+//! [`BinioError`] carrying the byte offset), the [`ByteWriter`] that mirrors
+//! it, the self-describing [`Header`], and the FNV-1a digest used to
+//! content-address canonical artifact bytes. Record layouts live with their
+//! owners (`picola_core::store` for result records, `picola_bench::artifact`
+//! for instances and bench records); the byte-layout tables are in
+//! DESIGN.md §18.
+
+use std::fmt;
+
+/// Magic bytes opening every picola binary artifact.
+pub const MAGIC: [u8; 4] = *b"PCLA";
+
+/// Current artifact format version. Bump on any layout change; readers
+/// reject versions they do not know instead of misparsing.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Hard cap on any single length-prefixed run. Corrupt length prefixes
+/// must fail fast, not drive a multi-gigabyte allocation.
+pub const MAX_RUN_LEN: u64 = 64 * 1024 * 1024;
+
+/// A structured decode failure: what went wrong and where.
+///
+/// Decoding never panics — truncated, oversized, or corrupt inputs all
+/// land here, and the offset points at the field that failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinioError {
+    /// Byte offset at which the failing read started.
+    pub offset: usize,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl BinioError {
+    fn new(offset: usize, message: impl Into<String>) -> Self {
+        BinioError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for BinioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "binary decode error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for BinioError {}
+
+/// The self-describing header opening every artifact: magic, format
+/// version, and a record-kind tag so a file can never be decoded as the
+/// wrong kind silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Format version the artifact was written with.
+    pub version: u16,
+    /// Record-kind tag (see the `KIND_*` constants of each owner module).
+    pub kind: u8,
+}
+
+/// Appends binary primitives to a growable byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// A writer pre-sized for roughly `capacity` bytes.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Writes the artifact header for `kind` at the current position.
+    pub fn header(&mut self, kind: u8) {
+        self.buf.extend_from_slice(&MAGIC);
+        self.buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        self.buf.push(kind);
+    }
+
+    /// Writes one raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u64` as an LEB128 varint (1 byte for values < 128).
+    pub fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Writes a length-prefixed byte run.
+    pub fn bytes(&mut self, data: &[u8]) {
+        self.varint(data.len() as u64);
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// The bytes written so far.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the buffer.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Reads binary primitives from a byte slice with full bounds checking.
+///
+/// Every method returns `Err` instead of panicking on truncated or corrupt
+/// input; the reader position only advances on success.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `data`, positioned at the start.
+    #[must_use]
+    pub fn new(data: &'a [u8]) -> Self {
+        ByteReader { data, pos: 0 }
+    }
+
+    /// Current byte offset.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.data.len().saturating_sub(self.pos)
+    }
+
+    /// `true` when the reader has consumed every byte.
+    #[must_use]
+    pub fn is_at_end(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+
+    /// Reads and validates the artifact header, requiring `kind`.
+    ///
+    /// # Errors
+    ///
+    /// Truncation, wrong magic, an unknown format version, or a
+    /// mismatched record kind.
+    pub fn header(&mut self, kind: u8) -> Result<Header, BinioError> {
+        let start = self.pos;
+        let magic = self.take(4)?;
+        if magic != MAGIC {
+            return Err(BinioError::new(start, "bad magic (not a picola artifact)"));
+        }
+        let vs = self.take(2)?;
+        let version = u16::from_le_bytes([vs[0], vs[1]]);
+        if version == 0 || version > FORMAT_VERSION {
+            return Err(BinioError::new(
+                start + 4,
+                format!("unsupported format version {version} (max {FORMAT_VERSION})"),
+            ));
+        }
+        let got = self.u8()?;
+        if got != kind {
+            return Err(BinioError::new(
+                start + 6,
+                format!("record kind {got} where kind {kind} was required"),
+            ));
+        }
+        Ok(Header { version, kind: got })
+    }
+
+    /// Reads one raw byte.
+    ///
+    /// # Errors
+    ///
+    /// Truncated input.
+    pub fn u8(&mut self) -> Result<u8, BinioError> {
+        let b = self.take(1)?;
+        Ok(b[0])
+    }
+
+    /// Reads an LEB128 varint into a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Truncated input or a varint longer than 10 bytes / overflowing 64
+    /// bits (corrupt, by construction of the writer).
+    pub fn varint(&mut self) -> Result<u64, BinioError> {
+        let start = self.pos;
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self
+                .take(1)
+                .map_err(|_| BinioError::new(start, "truncated varint"))?[0];
+            let low = u64::from(byte & 0x7f);
+            if shift >= 63 && low > 1 {
+                return Err(BinioError::new(start, "varint overflows 64 bits"));
+            }
+            value |= low << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(BinioError::new(start, "varint longer than 10 bytes"));
+            }
+        }
+    }
+
+    /// Reads a varint and checks it against an inclusive cap — the guard
+    /// every count/length field goes through so corrupt prefixes cannot
+    /// drive huge allocations.
+    ///
+    /// # Errors
+    ///
+    /// Truncation, corruption, or a value above `cap`.
+    pub fn varint_capped(&mut self, cap: u64, what: &str) -> Result<u64, BinioError> {
+        let start = self.pos;
+        let v = self.varint()?;
+        if v > cap {
+            return Err(BinioError::new(
+                start,
+                format!("{what} {v} exceeds the cap of {cap}"),
+            ));
+        }
+        Ok(v)
+    }
+
+    /// Reads a length-prefixed byte run (length capped at [`MAX_RUN_LEN`]
+    /// and at the bytes actually remaining).
+    ///
+    /// # Errors
+    ///
+    /// Truncation or a corrupt length prefix.
+    pub fn bytes(&mut self) -> Result<&'a [u8], BinioError> {
+        let start = self.pos;
+        let len = self.varint_capped(MAX_RUN_LEN, "byte-run length")?;
+        let len = usize::try_from(len)
+            .map_err(|_| BinioError::new(start, "byte-run length does not fit usize"))?;
+        if len > self.remaining() {
+            return Err(BinioError::new(
+                start,
+                format!("byte run of {len} bytes with only {} remaining", self.remaining()),
+            ));
+        }
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Truncation, a corrupt length prefix, or invalid UTF-8.
+    pub fn str(&mut self) -> Result<&'a str, BinioError> {
+        let start = self.pos;
+        let raw = self.bytes()?;
+        std::str::from_utf8(raw).map_err(|_| BinioError::new(start, "byte run is not UTF-8"))
+    }
+
+    /// Requires that every byte has been consumed — trailing garbage on a
+    /// record is corruption, not padding.
+    ///
+    /// # Errors
+    ///
+    /// Unconsumed trailing bytes.
+    pub fn finish(&self) -> Result<(), BinioError> {
+        if self.is_at_end() {
+            Ok(())
+        } else {
+            Err(BinioError::new(
+                self.pos,
+                format!("{} trailing bytes after the record", self.remaining()),
+            ))
+        }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], BinioError> {
+        let end = self.pos.checked_add(len).ok_or_else(|| {
+            BinioError::new(self.pos, "read range overflows usize")
+        })?;
+        if end > self.data.len() {
+            return Err(BinioError::new(
+                self.pos,
+                format!("truncated input ({} bytes needed, {} remain)", len, self.remaining()),
+            ));
+        }
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+}
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a 64-bit hasher — the digest behind content addressing
+/// in the on-disk result store (same constants as the shard picker of
+/// [`crate::cache::GlobalMinimizeCache`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv64::default()
+    }
+
+    /// Folds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current digest value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// FNV-1a 64-bit digest of `bytes` in one call.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    #[test]
+    fn varints_round_trip_across_the_range() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut w = ByteWriter::new();
+        for &v in &values {
+            w.varint(v);
+        }
+        let mut r = ByteReader::new(w.as_slice());
+        for &v in &values {
+            assert_eq!(r.varint().unwrap(), v);
+        }
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn header_rejects_bad_magic_version_and_kind() {
+        let mut w = ByteWriter::new();
+        w.header(7);
+        let good = w.into_bytes();
+        assert!(ByteReader::new(&good).header(7).is_ok());
+        assert!(ByteReader::new(&good).header(8).is_err(), "kind mismatch");
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(ByteReader::new(&bad_magic).header(7).is_err());
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 0xff;
+        bad_version[5] = 0xff;
+        assert!(ByteReader::new(&bad_version).header(7).is_err());
+
+        assert!(ByteReader::new(&good[..5]).header(7).is_err(), "truncated");
+    }
+
+    #[test]
+    fn truncated_and_corrupt_runs_are_errors_not_panics() {
+        let mut w = ByteWriter::new();
+        w.bytes(b"hello world");
+        let bytes = w.into_bytes();
+        // Every prefix of a valid record must fail cleanly.
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            let _ = r.bytes(); // must not panic
+        }
+        // A length prefix pointing past the end fails with an offset.
+        let mut w = ByteWriter::new();
+        w.varint(1_000);
+        w.u8(1);
+        let mut r = ByteReader::new(w.as_slice());
+        let err = r.bytes().unwrap_err();
+        assert_eq!(err.offset, 0);
+        // An absurd length fails the cap before any allocation.
+        let mut w = ByteWriter::new();
+        w.varint(u64::MAX / 2);
+        let mut r = ByteReader::new(w.as_slice());
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn overlong_varints_are_corrupt() {
+        // 11 continuation bytes can never come from the writer.
+        let bytes = [0x80u8; 11];
+        assert!(ByteReader::new(&bytes).varint().is_err());
+        // 10 bytes whose top byte overflows 64 bits.
+        let mut overflow = [0x80u8; 10];
+        overflow[9] = 0x7f;
+        assert!(ByteReader::new(&overflow).varint().is_err());
+    }
+
+    #[test]
+    fn strings_round_trip_and_reject_bad_utf8() {
+        let mut w = ByteWriter::new();
+        w.str("gen-07");
+        w.str("");
+        let mut r = ByteReader::new(w.as_slice());
+        assert_eq!(r.str().unwrap(), "gen-07");
+        assert_eq!(r.str().unwrap(), "");
+        r.finish().unwrap();
+
+        let mut w = ByteWriter::new();
+        w.bytes(&[0xff, 0xfe]);
+        assert!(ByteReader::new(w.as_slice()).str().is_err());
+    }
+
+    #[test]
+    fn finish_rejects_trailing_garbage() {
+        let mut w = ByteWriter::new();
+        w.varint(5);
+        w.u8(9);
+        let mut r = ByteReader::new(w.as_slice());
+        assert_eq!(r.varint().unwrap(), 5);
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn fnv_digest_is_stable_and_streams() {
+        // Known FNV-1a vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.update(b"hel");
+        h.update(b"lo");
+        assert_eq!(h.finish(), fnv1a64(b"hello"));
+    }
+}

@@ -47,9 +47,14 @@
 //!   [`CoverEngine`] selector.
 //! - [`sat`]: CNF formulas, DIMACS I/O, a self-contained CDCL solver, and
 //!   the face-problem compiler behind the `picola-sat` exact oracle.
+//! - [`binio`]: compact binary serialization primitives (varints,
+//!   bounds-checked readers, versioned headers, FNV-1a digests) beneath
+//!   the persistent artifact codecs and the content-addressed result
+//!   store (DESIGN.md §18).
 
 #![warn(missing_docs)]
 
+pub mod binio;
 pub mod bitset;
 pub mod budget;
 pub mod cache;
@@ -78,6 +83,7 @@ pub mod simd;
 pub mod urp;
 pub mod verify;
 
+pub use binio::{fnv1a64, BinioError, ByteReader, ByteWriter, Fnv64};
 pub use bitset::WordSet;
 pub use budget::{Budget, Completion, ExhaustReason};
 pub use cache::{

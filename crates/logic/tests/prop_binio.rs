@@ -1,0 +1,203 @@
+//! Property-based fuzzers for the compact binary codec primitives.
+//!
+//! Two guarantees are pinned down, at the same hardening bar as the PR 1
+//! KISS2/PLA parsers:
+//!
+//! 1. **Round-trip bit-identity** — any sequence of primitive writes
+//!    (varints, raw bytes, length-prefixed runs, strings, headers) decodes
+//!    back to exactly the values written, re-encodes to exactly the same
+//!    bytes, and the reader lands precisely at the end of the buffer.
+//! 2. **Corruption tolerance** — arbitrary byte soup, truncations, and
+//!    single-byte flips of valid records produce structured
+//!    [`BinioError`]s (or, rarely, a different valid decode), never a
+//!    panic and never an over-read.
+
+// Tests are exempt from the panic-freedom policy; clippy's in-tests
+// exemption misses integration-test helpers, so waive it explicitly.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use picola_logic::binio::{fnv1a64, ByteReader, ByteWriter, Fnv64, MAX_RUN_LEN};
+use proptest::prelude::*;
+
+/// One primitive field as written / expected back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Field {
+    U8(u8),
+    Varint(u64),
+    Bytes(Vec<u8>),
+    Str(String),
+    Header(u8),
+}
+
+/// Strategy: one field, chosen by a tag byte (the vendored proptest has no
+/// `prop_oneof`, so the union is encoded by hand). Raw `u64` entropy feeds
+/// both small and full-range varints.
+fn field() -> impl Strategy<Value = Field> {
+    let raw = (
+        0u8..6,
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..64),
+    );
+    raw.prop_map(|(tag, entropy, blob)| match tag {
+        0 => Field::U8((entropy & 0xff) as u8),
+        1 => Field::Varint(entropy),
+        2 => Field::Varint(entropy % 1024), // bias toward real-record sizes
+        3 => Field::Bytes(blob),
+        4 => Field::Str(
+            blob.iter()
+                .map(|b| char::from(b'a' + (b % 26)))
+                .collect::<String>(),
+        ),
+        _ => Field::Header((entropy & 0xff) as u8),
+    })
+}
+
+fn encode(fields: &[Field]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    for f in fields {
+        match f {
+            Field::U8(v) => w.u8(*v),
+            Field::Varint(v) => w.varint(*v),
+            Field::Bytes(b) => w.bytes(b),
+            Field::Str(s) => w.str(s),
+            Field::Header(k) => w.header(*k),
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes `fields`-shaped data from `bytes`; stops at the first error.
+/// Asserts the reader never over-reads regardless of input.
+fn decode_prefix(bytes: &[u8], fields: &[Field]) -> Result<Vec<Field>, ()> {
+    let mut r = ByteReader::new(bytes);
+    let mut out = Vec::with_capacity(fields.len());
+    for f in fields {
+        let got = match f {
+            Field::U8(_) => r.u8().map(Field::U8),
+            Field::Varint(_) => r.varint().map(Field::Varint),
+            Field::Bytes(_) => r.bytes().map(|b| Field::Bytes(b.to_vec())),
+            Field::Str(_) => r.str().map(|s| Field::Str(s.to_owned())),
+            Field::Header(k) => r.header(*k).map(|h| Field::Header(h.kind)),
+        };
+        assert!(r.position() <= bytes.len(), "reader over-read");
+        match got {
+            Ok(v) => out.push(v),
+            Err(e) => {
+                assert!(e.offset <= bytes.len(), "error offset out of range");
+                assert!(!e.message.is_empty());
+                return Err(());
+            }
+        }
+    }
+    Ok(out)
+}
+
+proptest! {
+    /// Any write sequence decodes back to the exact values written, and
+    /// re-encoding the decoded values reproduces the bytes bit-identically.
+    #[test]
+    fn primitive_round_trip_is_bit_identical(
+        fields in proptest::collection::vec(field(), 0..32)
+    ) {
+        let bytes = encode(&fields);
+        let decoded = decode_prefix(&bytes, &fields);
+        prop_assert!(decoded.is_ok(), "valid record failed to decode");
+        if let Ok(decoded) = decoded {
+            prop_assert_eq!(&decoded, &fields);
+            prop_assert_eq!(encode(&decoded), bytes);
+        }
+    }
+
+    /// Arbitrary byte soup never panics any decoder and never reads past
+    /// the end; every failure is a structured error with an in-range
+    /// offset.
+    #[test]
+    fn arbitrary_bytes_never_panic(soup in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut r = ByteReader::new(&soup);
+        let mut step = 0usize;
+        loop {
+            let res = match step % 4 {
+                0 => r.varint().map(|_| ()),
+                1 => r.u8().map(|_| ()),
+                2 => r.bytes().map(|_| ()),
+                _ => r.str().map(|_| ()),
+            };
+            prop_assert!(r.position() <= soup.len(), "reader never over-reads");
+            match res {
+                Ok(()) => {}
+                Err(e) => {
+                    prop_assert!(e.offset <= soup.len());
+                    prop_assert!(!e.message.is_empty());
+                    break;
+                }
+            }
+            if r.is_at_end() {
+                break;
+            }
+            step += 1;
+        }
+        // Header decode over soup is equally panic-free.
+        let _ = ByteReader::new(&soup).header(1);
+    }
+
+    /// Every truncation of a valid record fails with a structured error
+    /// (or decodes a prefix cleanly) — never a panic, never an over-read.
+    #[test]
+    fn truncations_fail_structurally(
+        fields in proptest::collection::vec(field(), 1..16),
+        cut_pct in 0usize..100,
+    ) {
+        let bytes = encode(&fields);
+        let cut = bytes.len() * cut_pct / 100;
+        let _ = decode_prefix(&bytes[..cut], &fields);
+    }
+
+    /// A single flipped byte in a valid record either still decodes (the
+    /// flip landed in a payload) or fails structurally — never a panic.
+    #[test]
+    fn single_byte_flips_never_panic(
+        fields in proptest::collection::vec(field(), 1..16),
+        pos in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = encode(&fields);
+        let i = pos % bytes.len();
+        bytes[i] ^= xor;
+        let _ = decode_prefix(&bytes, &fields);
+    }
+
+    /// Corrupt length prefixes are rejected by the cap before any
+    /// allocation can happen.
+    #[test]
+    fn oversized_length_prefixes_are_capped(extra in 1u64..u64::MAX / 2) {
+        let bogus = MAX_RUN_LEN.saturating_add(extra);
+        let mut w = ByteWriter::new();
+        w.varint(bogus);
+        let err = ByteReader::new(w.as_slice()).bytes().unwrap_err();
+        prop_assert_eq!(err.offset, 0);
+    }
+
+    /// The streaming digest equals the one-shot digest under any split,
+    /// and a single-byte flip always changes it (each FNV-1a step is a
+    /// bijection on the state for fixed input, so a changed byte can never
+    /// cancel) — the property the content-addressed store keys on.
+    #[test]
+    fn fnv_digest_streams_and_discriminates(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        split in any::<usize>(),
+        flip in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let at = split % (data.len() + 1);
+        let mut h = Fnv64::new();
+        h.update(&data[..at]);
+        h.update(&data[at..]);
+        prop_assert_eq!(h.finish(), fnv1a64(&data));
+        if !data.is_empty() {
+            let mut other = data.clone();
+            let i = flip % other.len();
+            other[i] ^= xor;
+            prop_assert_ne!(fnv1a64(&other), fnv1a64(&data));
+        }
+    }
+}

@@ -24,8 +24,10 @@
 //! Fault injection rides the workspace-wide [`chaos`] harness: trigger
 //! points `server.queue` (admission reports a full queue), `server.worker`
 //! (worker panics mid-job), `server.socket` (connection drops
-//! mid-response), and `cache.shard` (shared-cache shard poisoned) are all
-//! deterministic and sweepable.
+//! mid-response), `cache.shard` (shared-cache shard poisoned), and
+//! `store.io` (the content-addressed result store's disk fails — lookups
+//! degrade to recomputation, inserts are skipped) are all deterministic
+//! and sweepable.
 
 #![warn(missing_docs)]
 
@@ -40,6 +42,7 @@ use crate::json::Object;
 use crate::protocol::{CODE_INTERNAL, CODE_INVALID, CODE_OK, CODE_PARSE, CODE_TRANSIENT};
 use picola_constraints::extract_constraints;
 use picola_core::engine::{EngineConfig, EngineHandle, Job, JobOutput};
+use picola_core::store::{key_for, ResultStore, StoredResult};
 use picola_core::PicolaError;
 use picola_fsm::{parse_kiss, symbolic_cover};
 use picola_logic::{chaos, parse_mv_pla, Budget, CacheStats, Completion};
@@ -74,6 +77,11 @@ pub struct ServerConfig {
     /// Compute engine configuration (cache capacity/shards, encoder
     /// options).
     pub engine: EngineConfig,
+    /// Content-addressed result store directory (`None` = no persistent
+    /// store). A warm entry answers an encode job without touching the
+    /// engine; store faults (including the `store.io` chaos point)
+    /// degrade to recomputation, never to a wrong or dropped answer.
+    pub store_dir: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +94,7 @@ impl Default for ServerConfig {
             max_budget_ms: 30_000,
             retry_after_ms: 25,
             engine: EngineConfig::default(),
+            store_dir: None,
         }
     }
 }
@@ -107,6 +116,11 @@ pub struct ServerStats {
     pub worker_panics: u64,
     /// Responses dropped by the `server.socket` chaos point.
     pub socket_drops: u64,
+    /// Encode jobs answered from the content-addressed store.
+    pub store_hits: u64,
+    /// Encode jobs the store could not answer (no entry, corrupt entry,
+    /// injected fault) — always recomputed.
+    pub store_misses: u64,
 }
 
 #[derive(Default)]
@@ -131,6 +145,8 @@ struct QueuedJob {
 struct Shared {
     config: ServerConfig,
     engine: EngineHandle,
+    /// Content-addressed result store (`None` when not configured).
+    store: Option<ResultStore>,
     queue: Mutex<VecDeque<QueuedJob>>,
     queue_cond: Condvar,
     state: AtomicU8,
@@ -153,6 +169,8 @@ impl Shared {
             failed: self.counters.failed.load(Ordering::Relaxed),
             worker_panics: self.counters.worker_panics.load(Ordering::Relaxed),
             socket_drops: self.counters.socket_drops.load(Ordering::Relaxed),
+            store_hits: self.store.as_ref().map_or(0, |s| s.stats().hits),
+            store_misses: self.store.as_ref().map_or(0, |s| s.stats().misses),
         }
     }
 }
@@ -173,8 +191,13 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
+        let store = match &config.store_dir {
+            Some(dir) => Some(ResultStore::open(dir)?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             engine: EngineHandle::new(config.engine.clone()),
+            store,
             config,
             queue: Mutex::new(VecDeque::new()),
             queue_cond: Condvar::new(),
@@ -401,6 +424,8 @@ fn handle_frame(frame: &str, writer: &mut TcpStream, shared: &Arc<Shared>) -> bo
                     .uint("cache_misses", c.misses)
                     .uint("cache_entries", c.entries as u64)
                     .uint("cache_shards", c.shards as u64)
+                    .uint("store_hits", s.store_hits)
+                    .uint("store_misses", s.store_misses)
                     .bool("draining", shared.draining()),
             );
             send_response(writer, &resp, shared)
@@ -644,12 +669,50 @@ fn execute(
         );
     }
     let job = Job::Encode { n, constraints };
+    // Content-addressed store: a warm entry (always a *complete* result —
+    // degraded outputs are never persisted) answers without computing. A
+    // miss of any flavour — absent, corrupt, injected `store.io` fault —
+    // falls through to the engine, and the fresh result is persisted for
+    // the next identical job.
+    let store_key = shared.store.as_ref().and_then(|_| key_for(&job, None));
+    if let (Some(store), Some(key)) = (shared.store.as_ref(), store_key) {
+        if let Some(stored) = store.lookup(key) {
+            let codes = stored
+                .codes
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            let body = Object::new()
+                .uint("n", n as u64)
+                .uint("nv", stored.nv as u64)
+                .str("codes", codes)
+                .uint("cubes", stored.total_cubes as u64)
+                .uint("satisfied", stored.satisfied as u64)
+                .uint("evaluated", stored.evaluated as u64);
+            return Ok((body, Completion::Complete));
+        }
+    }
     match shared.engine.run(&job, budget) {
         Ok(JobOutput::Encoded {
             encoding,
             evaluation,
             completion,
         }) => {
+            if completion.is_complete() {
+                if let (Some(store), Some(key)) = (shared.store.as_ref(), store_key) {
+                    store.insert(
+                        key,
+                        &StoredResult {
+                            nv: encoding.nv(),
+                            codes: encoding.codes().to_vec(),
+                            total_cubes: evaluation.total_cubes,
+                            satisfied: evaluation.satisfied,
+                            evaluated: evaluation.evaluated,
+                        },
+                    );
+                }
+            }
             let codes = encoding
                 .codes()
                 .iter()

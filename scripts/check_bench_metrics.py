@@ -40,6 +40,15 @@ slower per unit work than the scalar baseline. The speedup gate only
 applies when the aggregate scalar leg is large enough to measure
 (KERNEL_MIN_WALL_MS); smoke-sized aggregates gate on bit-identity alone.
 
+When the report carries a top-level `stream` block (schema v9+, the
+huge-tier streaming-store A/B), its invariants must hold: zero record
+mismatches across the memoryless/cold/warm legs, warm store hit rate at
+least 0.9, and peak live instances within the pipeline's configured bound.
+The warm-over-cold speedup must be at least 5x, but only when the cold leg
+is large enough to measure (STREAM_MIN_WALL_MS) — smoke-sized runs gate on
+the invariants alone. A stream-only report (`--tier huge`) legitimately
+has an empty `instances` list; the stream block is then required.
+
 With `--baseline`, every (instance, encoder) pair present in both reports
 is compared on `work` — the deterministic obs counter total, immune to
 machine noise unlike wall time. The check fails if any pair's work grew by
@@ -233,6 +242,47 @@ def check_kernel(report):
     return None
 
 
+# Below this much cold-leg wall time the stream A/B speedup is I/O and
+# scheduler noise: a smoke-sized huge-tier run finishes both legs in a few
+# milliseconds. The checked-in full runs are what the 5x gate is for; the
+# structural invariants (mismatches, hit rate, peak-live bound) are gated
+# always.
+STREAM_MIN_WALL_MS = 50.0
+
+
+def check_stream(report):
+    """Schema v9 gate: the huge-tier streaming-store A/B. The store must
+    never change a record, must actually answer the warm leg, and the
+    pipeline's bounded-memory tripwire must hold."""
+    stream = report.get("stream")
+    if stream is None:
+        return None
+    if stream.get("mismatches", 1) != 0:
+        return (f"stream reports {stream.get('mismatches')} record mismatches "
+                f"across the memoryless/cold/warm legs")
+    rate = stream.get("hit_rate", 0.0)
+    if rate < 0.9:
+        return (f"stream.hit_rate {rate:.3f} < 0.90 — the result store is "
+                f"not answering the warm leg")
+    peak = stream.get("peak_live", 1 << 60)
+    bound = stream.get("live_bound", 0)
+    if peak > bound:
+        return (f"stream.peak_live {peak} exceeds live_bound {bound} — the "
+                f"pipeline is not bounded-memory")
+    legs = {leg.get("name"): leg for leg in stream.get("legs", [])}
+    for name in ("memoryless", "cold", "warm"):
+        if name not in legs:
+            return f"stream block is missing the {name} leg"
+    cold_wall = legs["cold"].get("wall_ms", 0.0)
+    if cold_wall < STREAM_MIN_WALL_MS:
+        return None
+    speedup = stream.get("speedup", 0.0)
+    if speedup < 5.0:
+        return (f"stream.speedup {speedup:.2f} < 5.00 — a warm store run is "
+                f"not paying for itself")
+    return None
+
+
 def sat_gap_map(report):
     totals = report.get("totals", {}).get("sat")
     if not isinstance(totals, dict):
@@ -292,7 +342,7 @@ def main() -> int:
         report = json.load(fh)
 
     instances = report.get("instances", [])
-    if not instances:
+    if not instances and report.get("stream") is None:
         print("check_bench_metrics: no instances in report", file=sys.stderr)
         return 1
 
@@ -301,7 +351,7 @@ def main() -> int:
         if err:
             print(f"check_bench_metrics: {err}", file=sys.stderr)
             return 1
-    for check in (check_serve, check_sat, check_kernel):
+    for check in (check_serve, check_sat, check_kernel, check_stream):
         err = check(report)
         if err:
             print(f"check_bench_metrics: {err}", file=sys.stderr)
@@ -332,6 +382,12 @@ def main() -> int:
     kern = report.get("totals", {}).get("kernel")
     if kern:
         msg += f", kernel wide {kern.get('speedup_per_work', 0):.2f}x scalar"
+    stream = report.get("stream")
+    if stream:
+        msg += (f", stream warm {stream.get('speedup', 0):.2f}x cold"
+                f" @ {stream.get('hit_rate', 0):.0%} hits"
+                f" (peak live {stream.get('peak_live', 0)}"
+                f"/{stream.get('live_bound', 0)})")
     if matched is not None:
         msg += f", {matched} baseline pairs within +{max_regress:.0%}"
     print(msg + ")")

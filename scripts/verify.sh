@@ -80,13 +80,20 @@ if command -v python3 >/dev/null 2>&1; then
     # work counters are additionally gated against the pr8 report (+20%).
     python3 scripts/check_bench_metrics.py BENCH_pr9.json \
         --baseline BENCH_pr8.json
+    # Schema v9 adds the stream block (huge-tier streaming-store A/B):
+    # zero record mismatches across the memoryless/cold/warm legs, warm
+    # hit rate >= 0.9, peak live instances within the pipeline bound, and
+    # (on full-sized runs) a warm speedup of at least 5x; the
+    # deterministic work counters are gated against the pr9 report (+20%).
+    python3 scripts/check_bench_metrics.py BENCH_pr10.json \
+        --baseline BENCH_pr9.json
 else
     # Fallback without python: the metrics block must at least be present
     # and non-trivially populated in every instance.
     grep -q '"metrics"' /tmp/bench_smoke.json
     grep -q '"total_work"' /tmp/bench_smoke.json
 fi
-rm -f /tmp/bench_smoke.json
+rm -f /tmp/bench_smoke.json /tmp/bench_smoke.records.bin
 
 if [ "$SOAK" = 1 ]; then
     echo "== server soak (${PICOLA_SOAK_SECS:-60}s under rotating chaos)"

@@ -112,7 +112,9 @@ serve     <addr>           run the encoding daemon (e.g. 127.0.0.1:4815);
                            SIGTERM/SIGINT or a `shutdown` request drains
 submit    <addr> <file>    submit a .kiss2 / .mv PLA file to a daemon and
                            print the terminal response frame (exit 75 when
-                           every retry was load-shed)
+                           every retry was load-shed); with --batch FILE,
+                           stream every job file listed in FILE (one path
+                           per line, # comments) over one connection
 
 --budget-ms N    stop refining after N milliseconds (graceful: the best
                  result so far is still emitted, exit code stays 0)
@@ -125,6 +127,10 @@ submit    <addr> <file>    submit a .kiss2 / .mv PLA file to a daemon and
 --workers N        serve: worker threads in the job pool (default 2)
 --queue-depth N    serve: admission-control queue bound (default 16)
 --cache-capacity N serve: shared minimization-cache entry bound
+--store DIR        serve: content-addressed result store directory; warm
+                   entries answer repeat jobs without recomputing
+--batch FILE       submit: stream every job file listed in FILE over one
+                   connection, one response frame per job
 --dimacs P         sat: also write the CNF compiled at the final cost bound
                    (satisfiable exactly by the optimal encodings) to P";
 
@@ -232,6 +238,8 @@ struct Cli {
     queue_depth: Option<usize>,
     cache_capacity: Option<usize>,
     dimacs: Option<String>,
+    store: Option<String>,
+    batch: Option<String>,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, AppError> {
@@ -245,6 +253,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, AppError> {
     let mut queue_depth: Option<usize> = None;
     let mut cache_capacity: Option<usize> = None;
     let mut dimacs: Option<String> = None;
+    let mut store: Option<String> = None;
+    let mut batch: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -259,6 +269,18 @@ fn parse_cli(args: &[String]) -> Result<Cli, AppError> {
                     .next()
                     .ok_or_else(|| AppError::Usage(format!("{arg} needs a path")))?;
                 dimacs = Some(value.clone());
+            }
+            "--store" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| AppError::Usage(format!("{arg} needs a directory")))?;
+                store = Some(value.clone());
+            }
+            "--batch" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| AppError::Usage(format!("{arg} needs a file")))?;
+                batch = Some(value.clone());
             }
             "--budget-ms" | "--budget-work" | "--threads" | "--workers" | "--queue-depth"
             | "--cache-capacity" => {
@@ -310,6 +332,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, AppError> {
         queue_depth,
         cache_capacity,
         dimacs,
+        store,
+        batch,
     })
 }
 
@@ -587,6 +611,7 @@ fn cmd_serve(cli: &Cli) -> Result<(), AppError> {
     }
     config.engine.cache_capacity = cli.cache_capacity;
     config.engine.picola.threads = cli.threads;
+    config.store_dir = cli.store.clone();
     let handle = Server::start(config).map_err(|e| AppError::Io {
         path: cli.target.clone(),
         message: e.to_string(),
@@ -599,16 +624,22 @@ fn cmd_serve(cli: &Cli) -> Result<(), AppError> {
     }
     let stats = handle.shutdown();
     errln(&format!(
-        "# drained: {} completed, {} degraded, {} rejected, {} failed, {} panics contained",
-        stats.completed, stats.degraded, stats.rejected, stats.failed, stats.worker_panics
+        "# drained: {} completed, {} degraded, {} rejected, {} failed, {} panics contained, \
+         {} store hits / {} misses",
+        stats.completed,
+        stats.degraded,
+        stats.rejected,
+        stats.failed,
+        stats.worker_panics,
+        stats.store_hits,
+        stats.store_misses
     ));
     Ok(())
 }
 
-fn cmd_submit(cli: &Cli) -> Result<(), AppError> {
-    let Some(file) = &cli.extra else {
-        return Err(AppError::Usage("submit needs <addr> <file>".into()));
-    };
+/// Submits one job file over an existing client connection, prints the
+/// terminal frame, and maps the response to the CLI error contract.
+fn submit_one(client: &mut Client, cli: &Cli, file: &str, id: &str) -> Result<(), AppError> {
     let text = read(file)?;
     // `.mv` headers mark a multi-valued PLA; everything else is KISS2.
     let kind = if text.lines().any(|l| l.trim_start().starts_with(".mv")) {
@@ -616,10 +647,9 @@ fn cmd_submit(cli: &Cli) -> Result<(), AppError> {
     } else {
         JobKind::EncodeKiss
     };
-    let mut req = JobRequest::new("cli-1", kind, text);
+    let mut req = JobRequest::new(id, kind, text);
     req.budget_ms = cli.budget_ms;
     req.budget_work = cli.budget_work;
-    let mut client = Client::new(cli.target.clone());
     let outcome = client
         .submit_with_retry(&req, &RetryPolicy::default())
         .map_err(|e| match e {
@@ -653,6 +683,53 @@ fn cmd_submit(cli: &Cli) -> Result<(), AppError> {
                 _ => Err(AppError::Internal(msg)),
             }
         }
+    }
+}
+
+fn cmd_submit(cli: &Cli) -> Result<(), AppError> {
+    let mut client = Client::new(cli.target.clone());
+    let Some(batch) = &cli.batch else {
+        let Some(file) = &cli.extra else {
+            return Err(AppError::Usage(
+                "submit needs <addr> <file> (or <addr> --batch FILE)".into(),
+            ));
+        };
+        return submit_one(&mut client, cli, file, "cli-1");
+    };
+    // Batch mode: one connection, one frame per listed job file. Retry
+    // hints are honored per job by `submit_with_retry`; a job failing
+    // permanently does not stop the stream — the first error is the
+    // command's verdict after every job has its answer.
+    let list = read(batch)?;
+    let mut first_err: Option<AppError> = None;
+    let mut submitted = 0usize;
+    let mut failed = 0usize;
+    for (i, line) in list.lines().enumerate() {
+        let file = line.trim();
+        if file.is_empty() || file.starts_with('#') {
+            continue;
+        }
+        submitted += 1;
+        match submit_one(&mut client, cli, file, &format!("cli-{}", i + 1)) {
+            Ok(()) => {}
+            Err(AppError::PipeClosed) => return Err(AppError::PipeClosed),
+            Err(e) => {
+                failed += 1;
+                errln(&format!("picola: job {file}: {e}"));
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    errln(&format!(
+        "# batch: {} submitted, {} failed",
+        submitted, failed
+    ));
+    match first_err {
+        Some(e) => Err(e),
+        None if submitted == 0 => Err(AppError::Invalid(format!("{batch}: no job files listed"))),
+        None => Ok(()),
     }
 }
 

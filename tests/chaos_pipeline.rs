@@ -126,12 +126,14 @@ fn no_trigger_point_panics_the_pipeline() {
 fn armed_plans_actually_fire() {
     // Every trigger point must be reachable from the driver above —
     // otherwise the sweep silently tests nothing at that point. The
-    // server-layer points (`server.*`) and the shared-cache point
-    // (`cache.shard`) only fire on the daemon's job paths, which this
-    // single-process driver never enters; tests/server_lifecycle.rs
-    // sweeps those and asserts the same reachability property.
+    // server-layer points (`server.*`), the shared-cache point
+    // (`cache.shard`), and the result-store point (`store.io`) only fire
+    // on the daemon's job paths or store-backed runs, which this
+    // single-process driver never enters; tests/server_lifecycle.rs and
+    // the bench crate's store suite sweep those and assert the same
+    // reachability property.
     for &point in chaos::TRIGGER_POINTS {
-        if point.starts_with("server.") || point == "cache.shard" {
+        if point.starts_with("server.") || point == "cache.shard" || point == "store.io" {
             continue;
         }
         let _guard = chaos::arm(point, 0);

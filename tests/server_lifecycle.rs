@@ -90,8 +90,23 @@ fn ping_stats_and_encode_roundtrip() {
 fn chaos_sweep_every_fault_yields_structured_answer() {
     let _lock = chaos_lock();
     let payload = kiss_payload("lion9");
-    for &point in &["server.worker", "server.socket", "server.queue", "cache.shard"] {
-        let handle = start_server(ServerConfig::default());
+    for &point in &[
+        "server.worker",
+        "server.socket",
+        "server.queue",
+        "cache.shard",
+        "store.io",
+    ] {
+        // The store fault point is only reachable with a store configured.
+        let mut config = ServerConfig::default();
+        let store_dir = std::env::temp_dir().join(format!(
+            "picola-lifecycle-store-{}",
+            std::process::id()
+        ));
+        if point == "store.io" {
+            config.store_dir = Some(store_dir.to_string_lossy().into_owned());
+        }
+        let handle = start_server(config);
         let mut client = client_for(&handle);
         let (outcome, fired) = {
             let _guard = chaos::arm_global(point, 0);
@@ -122,6 +137,11 @@ fn chaos_sweep_every_fault_yields_structured_answer() {
             ("cache.shard", Ok(o)) => {
                 assert_eq!(o.response.status, Some(Status::Ok), "{point}");
             }
+            // A failing store disk degrades to recomputation: lookups
+            // miss, inserts are skipped, the job still answers `ok`.
+            ("store.io", Ok(o)) => {
+                assert_eq!(o.response.status, Some(Status::Ok), "{point}");
+            }
             (_, other) => panic!("{point}: unexpected outcome {other:?}"),
         }
         // Recovery: with the plan disarmed the same server answers
@@ -149,6 +169,10 @@ fn chaos_sweep_every_fault_yields_structured_answer() {
         }
         if point == "server.queue" {
             assert!(stats.rejected > 0, "load shed not counted");
+        }
+        if point == "store.io" {
+            assert!(stats.store_misses > 0, "store fault not counted as a miss");
+            let _ = std::fs::remove_dir_all(&store_dir);
         }
         assert!(stats.completed >= 1, "{point}: recovery job not counted");
     }
@@ -415,6 +439,49 @@ fn concurrent_clients_all_get_answers() {
     assert_eq!(stats.completed + stats.degraded, 12);
     let cache = handle_stats_conservation(&stats);
     assert!(cache, "server counters must account for every job");
+}
+
+/// With a result store configured, a repeated job is answered from disk —
+/// and the warm answer is byte-for-byte the cold answer.
+#[test]
+fn store_warm_repeat_answers_identically() {
+    let _lock = chaos_lock();
+    let store_dir = std::env::temp_dir().join(format!(
+        "picola-lifecycle-warm-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let config = ServerConfig {
+        store_dir: Some(store_dir.to_string_lossy().into_owned()),
+        ..ServerConfig::default()
+    };
+    let handle = start_server(config);
+    let mut client = client_for(&handle);
+    let payload = kiss_payload("lion9");
+    let cold = client
+        .submit(&JobRequest::new("c1", JobKind::EncodeKiss, payload.clone()))
+        .expect("cold job");
+    let warm = client
+        .submit(&JobRequest::new("c2", JobKind::EncodeKiss, payload))
+        .expect("warm job");
+    assert_eq!(cold.response.status, Some(Status::Ok));
+    assert_eq!(warm.response.status, Some(Status::Ok));
+    assert_eq!(
+        warm.response.body.get_str("codes"),
+        cold.response.body.get_str("codes"),
+        "store hit changed codes"
+    );
+    for field in ["n", "nv", "cubes", "satisfied", "evaluated"] {
+        assert_eq!(
+            warm.response.body.get_u64(field),
+            cold.response.body.get_u64(field),
+            "store hit changed {field}"
+        );
+    }
+    let stats = handle.shutdown();
+    assert!(stats.store_hits >= 1, "warm pass must hit the store");
+    assert_eq!(stats.store_misses, 1, "cold pass is the only miss");
+    let _ = std::fs::remove_dir_all(&store_dir);
 }
 
 /// Every answered job is exactly one of completed/degraded/rejected/failed.
